@@ -1,0 +1,1 @@
+bench/fig3_data.ml:

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Awe Baselines Bechamel Benchmark Core Fig3_data Float Hashtbl Int List Measure Mna Netlist Option Printf Staged String Suite Sys Test Time Toolkit Unix

@@ -1,0 +1,82 @@
+(* Prior-tool data points for the Fig. 3 reproduction.
+
+   These are qualitative positions read off the paper's own Figure 3 and
+   its Section II discussion — we obviously cannot rerun 1980s tools, so
+   the prior-art points are literature constants (see DESIGN.md). The
+   ASTRX/OBLX points and the two implemented-baseline points are measured
+   by this harness.
+
+   Fields: tool, group, circuit complexity (devices + design variables),
+   worst prediction error vs simulation (percent), first-time design
+   effort (hours = designer preparation + CPU). *)
+
+type group = Equation_accurate | Equation_fast | Astrx_oblx
+
+type point = {
+  tool : string;
+  group : group;
+  complexity : float;
+  error_pct : float;
+  effort_hours : float;
+  note : string;
+}
+
+let group_name = function
+  | Equation_accurate -> "eqn-based (accurate, high effort)"
+  | Equation_fast -> "eqn-based (fast, low accuracy)"
+  | Astrx_oblx -> "ASTRX/OBLX"
+
+(* Right-hand group of Fig. 3: accurate because a designer spent
+   weeks..years deriving equations. Effort includes the paper's stated
+   conversion (1000 lines of circuit-specific code ~ 1 month). *)
+let literature =
+  [
+    {
+      tool = "OPASYN";
+      group = Equation_accurate;
+      complexity = 18.0;
+      error_pct = 10.0;
+      effort_hours = 480.0;
+      note = "weeks of equation derivation for a textbook op-amp [7]";
+    };
+    {
+      tool = "OASYS";
+      group = Equation_accurate;
+      complexity = 25.0;
+      error_pct = 8.0;
+      effort_hours = 960.0;
+      note = "hierarchical plans; months per style [5]";
+    };
+    {
+      tool = "industrial eqn-based";
+      group = Equation_accurate;
+      complexity = 40.0;
+      error_pct = 15.0;
+      effort_hours = 4000.0;
+      note = "designer-years for an industrial cell [3]";
+    };
+    {
+      tool = "ARIADNE";
+      group = Equation_accurate;
+      complexity = 22.0;
+      error_pct = 20.0;
+      effort_hours = 700.0;
+      note = "symbolic simulation assists derivation [4]";
+    };
+    {
+      tool = "STAIC";
+      group = Equation_fast;
+      complexity = 20.0;
+      error_pct = 100.0;
+      effort_hours = 40.0;
+      note = "reduced preparation, reduced accuracy [6]";
+    };
+    {
+      tool = "knowledge-based (Sheu)";
+      group = Equation_fast;
+      complexity = 12.0;
+      error_pct = 200.0;
+      effort_hours = 24.0;
+      note = "first-order plans only [9]";
+    };
+  ]

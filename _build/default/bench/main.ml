@@ -1,0 +1,484 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md section 4 for the experiment index).
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table1       -- one experiment
+     dune exec bench/main.exe -- table2 --runs 3 --moves 40000
+
+   All runs are seeded; output is deterministic for a given build. *)
+
+let runs = ref 2
+let moves : int option ref = ref None
+let base_seed = 1988 (* a fixed arbitrary seed *)
+
+let sep title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
+
+let compile_exn (e : Suite.Ckts.entry) =
+  match Core.Compile.compile_source e.source with
+  | Ok p -> p
+  | Error msg -> failwith (e.name ^ ": " ^ msg)
+
+let fmt_opt = function Some v -> Core.Report.eng v | None -> "fail"
+let fmt_res = function Some (Ok v) -> Core.Report.eng v | Some (Error _) -> "fail" | None -> "-"
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: result of ASTRX's analyses                                 *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  sep "TABLE 1 -- Result of ASTRX's analyses (ours vs paper)";
+  Printf.printf "%-22s | %15s | %9s | %11s | %11s | %12s | %15s\n" "circuit" "input lines"
+    "user vars" "node vars" "cost terms" "'lines of C'" "bias nodes/elems";
+  Printf.printf "%-22s | %15s | %9s | %11s | %11s | %12s | %15s\n" "" "ours (paper)"
+    "ours(ppr)" "ours (ppr)" "ours (ppr)" "ours (ppr)" "ours (paper)";
+  Printf.printf "%s\n" (String.make 120 '-');
+  List.iter
+    (fun (e : Suite.Ckts.entry) ->
+      let p = compile_exn e in
+      let a = p.Core.Problem.analysis in
+      let nl, sl, uv, nv, terms, locc, bn, be =
+        match List.assoc_opt e.name Suite.Ckts.paper_table1 with
+        | Some t -> t
+        | None -> (0, 0, 0, 0, 0, 0, 0, 0)
+      in
+      Printf.printf
+        "%-22s | %3d+%-2d (%d+%d) | %3d (%2d) | %4d (%2d) | %4d (%3d) | %5d (%4d) | %d,%d (%d,%d)\n"
+        e.name a.Core.Problem.input_netlist_lines a.input_synth_lines nl sl a.n_user_vars uv
+        a.n_node_vars nv a.n_cost_terms terms a.lines_of_c locc a.bias_nodes a.bias_elements bn
+        be;
+      List.iter
+        (fun (j, n_, el) ->
+          Printf.printf "%22s   AWE circuit %-8s: %d nodes, %d elements\n" "" j n_ el)
+        a.awe_circuits)
+    Suite.Ckts.all;
+  print_newline ();
+  print_endline
+    "Notes: our synth-specific line counts are lower than the paper's because\n\
+     one .var card carries range+grid together; 'lines of C' uses the\n\
+     deterministic size metric of DESIGN.md (a closure-graph evaluator\n\
+     replaces the emitted C of the original)."
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: synthesis results                                          *)
+(* ------------------------------------------------------------------ *)
+
+let synthesize_best (e : Suite.Ckts.entry) =
+  let p = compile_exn e in
+  let best, all = Core.Oblx.best_of ~seed:base_seed ?moves:!moves ~runs:!runs p in
+  (p, best, all)
+
+let table2_circuit (e : Suite.Ckts.entry) =
+  let p, best, all = synthesize_best e in
+  let sims =
+    match Core.Verify.simulate_specs p best.Core.Oblx.final with
+    | Ok s -> Some s
+    | Error msg ->
+        Printf.printf "  !! verification failed: %s\n" msg;
+        None
+  in
+  Printf.printf "\n-- %s  (%d runs x %d moves; best cost %.4g; %.2f ms/eval; %.0f s/run)\n" e.name
+    (List.length all) best.moves best.best_cost best.eval_time_ms best.run_time_s;
+  Printf.printf "   %-10s %-12s %23s %26s\n" "spec" "goal" "ours: OBLX / Sim" "paper: OBLX / Sim";
+  List.iter
+    (fun (s : Core.Problem.spec) ->
+      let name = s.Core.Problem.spec_name in
+      let pred = List.assoc name best.predicted in
+      let sim = Option.map (List.assoc name) sims in
+      let paper =
+        match List.find_opt (fun (n, _, _, _) -> n = name) e.paper_table2 with
+        | Some (_, _, po, ps) ->
+            Printf.sprintf "%10s / %-10s" (Core.Report.eng po) (Core.Report.eng ps)
+        | None -> "-"
+      in
+      Printf.printf "   %-10s %-12s %10s / %-10s %26s\n" name (Core.Report.goal_text s)
+        (fmt_opt pred) (fmt_res sim) paper)
+    p.Core.Problem.specs;
+  (match sims with
+  | None -> ()
+  | Some sims ->
+      let worst = ref 0.0 in
+      List.iter
+        (fun (name, sim) ->
+          match (sim, List.assoc name best.predicted) with
+          | Ok sv, Some pv when Float.abs sv > 1e-12 ->
+              worst := Float.max !worst (Float.abs (pv -. sv) /. Float.abs sv)
+          | (Ok _ | Error _), _ -> ())
+        sims;
+      Printf.printf "   worst OBLX-vs-simulation discrepancy: %.2f%%\n" (100.0 *. !worst));
+  (* The paper's SR rows compare OBLX's hand expression against a transient
+     simulation; do the same when the circuit has an "sr" spec. *)
+  (match List.assoc_opt "sr" best.predicted with
+  | Some (Some sr_expr) when sr_expr > 0.0 -> begin
+      let tstop = 10.0 *. 2.5 /. sr_expr in
+      match
+        Core.Verify.transient_slew p best.Core.Oblx.final ~tf:"tf" ~vstep:2.0 ~tstop
+          ~dt:(tstop /. 600.0)
+      with
+      | Ok sr_tran ->
+          Printf.printf "   sr cross-check: expression %s vs transient simulation %s\n"
+            (Core.Report.eng sr_expr) (Core.Report.eng sr_tran)
+      | Error _ -> ()
+    end
+  | Some (Some _) | Some None | None -> ());
+  (p, best)
+
+let table2 () =
+  sep "TABLE 2 -- Basic synthesis results (goal : OBLX prediction / simulation)";
+  List.iter
+    (fun (e : Suite.Ckts.entry) ->
+      if e.synthesized && e.name <> "novel-folded-cascode" then ignore (table2_circuit e))
+    Suite.Ckts.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: novel folded cascode vs manual design                      *)
+(* ------------------------------------------------------------------ *)
+
+let apply_sizing st sizes =
+  Array.iteri
+    (fun i info ->
+      match info with
+      | Core.State.User { name; _ } -> begin
+          match List.assoc_opt name sizes with
+          | Some v -> Core.State.set_initial st i v
+          | None -> ()
+        end
+      | Core.State.Node_voltage _ -> ())
+    st.Core.State.info
+
+let table3 () =
+  sep "TABLE 3 -- Novel folded cascode: manual design vs automatic re-synthesis";
+  let e = Option.get (Suite.Ckts.find "novel-folded-cascode") in
+  let p = compile_exn e in
+  let manual = Core.State.snapshot p.Core.Problem.state0 in
+  apply_sizing manual Suite.Novel_folded_cascode.manual_sizing;
+  let manual_vals =
+    match Core.Verify.simulate_specs p manual with
+    | Ok s -> s
+    | Error msg -> failwith ("manual design: " ^ msg)
+  in
+  let best, _ = Core.Oblx.best_of ~seed:(base_seed + 7) ?moves:!moves ~runs:!runs p in
+  let sims =
+    match Core.Verify.simulate_specs p best.Core.Oblx.final with Ok s -> Some s | Error _ -> None
+  in
+  Printf.printf "%-10s %12s %24s %32s\n" "spec" "manual" "ours: OBLX / Sim"
+    "paper: man. | OBLX / Sim";
+  List.iter
+    (fun (s : Core.Problem.spec) ->
+      let name = s.Core.Problem.spec_name in
+      let man =
+        match List.assoc name manual_vals with Ok v -> Core.Report.eng v | Error _ -> "-"
+      in
+      let paper =
+        match
+          List.find_opt
+            (fun (n, _, _, _) -> n = name)
+            Suite.Novel_folded_cascode.paper_table3
+        with
+        | Some (_, pm, po, ps) ->
+            Printf.sprintf "%8s | %8s / %-8s" (Core.Report.eng pm) (Core.Report.eng po)
+              (Core.Report.eng ps)
+        | None -> "-"
+      in
+      Printf.printf "%-10s %12s %11s / %-10s %34s\n" name man
+        (fmt_opt (List.assoc name best.predicted))
+        (fmt_res (Option.map (List.assoc name) sims))
+        paper)
+    p.Core.Problem.specs;
+  Printf.printf "run: %d moves, %.2f ms/eval, %.0f s\n" best.moves best.eval_time_ms
+    best.run_time_s
+
+(* ------------------------------------------------------------------ *)
+(* Fig 2: KCL discrepancy during optimization                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  sep "FIG 2 -- Discrepancy from KCL-correct voltages during optimization";
+  let e = Option.get (Suite.Ckts.find "simple-ota") in
+  let p = compile_exn e in
+  let r = Core.Oblx.synthesize ~seed:(base_seed + 2) ?moves:!moves p in
+  Printf.printf "%10s %14s %14s %12s\n" "moves" "max |KCL| (A)" "rel KCL" "temperature";
+  let every = Int.max 1 (List.length r.Core.Oblx.trace / 40) in
+  List.iteri
+    (fun k tp ->
+      if k mod every = 0 then
+        Printf.printf "%10d %14.4g %14.4g %12.4g\n" tp.Core.Oblx.tp_moves tp.tp_max_kcl_abs
+          tp.tp_max_kcl_rel tp.tp_temperature)
+    r.trace;
+  (match Core.Verify.kcl_abs_error p r.final with
+  | Ok err -> Printf.printf "after NR polish (final design): max |KCL| = %.3g A\n" err
+  | Error msg -> Printf.printf "polish check failed: %s\n" msg);
+  match Core.Verify.bias_voltage_error p r.final with
+  | Ok err -> Printf.printf "final |V - V_newton| = %.3g V\n" err
+  | Error msg -> Printf.printf "voltage check failed: %s\n" msg
+
+(* ------------------------------------------------------------------ *)
+(* Fig 3: complexity / error / first-time effort                       *)
+(* ------------------------------------------------------------------ *)
+
+let count_devices (p : Core.Problem.t) =
+  Array.fold_left
+    (fun acc (e : Netlist.Circuit.element) ->
+      match e with
+      | Netlist.Circuit.Mosfet _ | Netlist.Circuit.Bjt _ -> acc + 1
+      | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
+      | Netlist.Circuit.Vsource _ | Netlist.Circuit.Isource _ | Netlist.Circuit.Vcvs _
+      | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _ | Netlist.Circuit.Ccvs _ ->
+          acc)
+    0 p.Core.Problem.bias.Netlist.Circuit.elements
+
+let fig3 () =
+  sep "FIG 3 -- Complexity, prediction error, and first-time design effort";
+  Printf.printf "%-26s %-34s %10s %8s %10s\n" "tool" "group" "complexity" "err %" "effort(h)";
+  List.iter
+    (fun (pt : Fig3_data.point) ->
+      Printf.printf "%-26s %-34s %10.0f %8.0f %10.0f  (%s)\n" pt.tool
+        (Fig3_data.group_name pt.group) pt.complexity pt.error_pct pt.effort_hours pt.note)
+    Fig3_data.literature;
+  (match Baselines.Eq_sizer.prediction_error () with
+  | Ok rows ->
+      let worst = List.fold_left (fun acc (_, _, _, rel) -> Float.max acc rel) 0.0 rows in
+      Printf.printf "%-26s %-34s %10.0f %8.0f %10.0f  (measured: square-law sizer on p1u2)\n"
+        "eq-baseline (measured)"
+        (Fig3_data.group_name Fig3_data.Equation_fast)
+        13.0 (100.0 *. worst) 8.0;
+      List.iter
+        (fun (name, eq, sim, rel) ->
+          Printf.printf "%30s %s: equations %s vs simulation %s (%.0f%% off)\n" "" name
+            (Core.Report.eng eq) (Core.Report.eng sim) (100.0 *. rel))
+        rows
+  | Error msg -> Printf.printf "eq-baseline failed: %s\n" msg);
+  (* Measured ASTRX/OBLX points. Effort = the paper's "afternoon" of
+     preparation (4 h) + measured CPU time. *)
+  List.iter
+    (fun name ->
+      let e = Option.get (Suite.Ckts.find name) in
+      let p, best, all = synthesize_best e in
+      match Core.Verify.simulate_specs p best.Core.Oblx.final with
+      | Error msg -> Printf.printf "%s: verify failed (%s)\n" name msg
+      | Ok sims ->
+          let worst = ref 0.0 in
+          List.iter
+            (fun (n, sim) ->
+              match (sim, List.assoc n best.predicted) with
+              | Ok sv, Some pv when Float.abs sv > 1e-12 ->
+                  worst := Float.max !worst (Float.abs (pv -. sv) /. Float.abs sv)
+              | (Ok _ | Error _), _ -> ())
+            sims;
+          let cpu_h =
+            List.fold_left (fun acc (r : Core.Oblx.result) -> acc +. r.run_time_s) 0.0 all
+            /. 3600.0
+          in
+          let complexity = float_of_int (count_devices p + Core.Problem.n_user_vars p) in
+          Printf.printf "%-26s %-34s %10.0f %8.1f %10.1f  (measured)\n" ("ASTRX/OBLX " ^ name)
+            (Fig3_data.group_name Fig3_data.Astrx_oblx)
+            complexity (100.0 *. !worst) (4.0 +. cpu_h))
+    [ "simple-ota"; "ota" ];
+  print_newline ();
+  print_endline
+    "Shape to check against the paper's Fig. 3: the equation-based groups trade\n\
+     months-to-years of first-time effort for accuracy (right group) or give up\n\
+     accuracy for speed (left group); ASTRX/OBLX sits at hours of effort with\n\
+     simulation-grade prediction accuracy."
+
+(* ------------------------------------------------------------------ *)
+(* Section VI model-comparison experiment                              *)
+(* ------------------------------------------------------------------ *)
+
+let models () =
+  sep "MODEL EXPERIMENT -- same Simple OTA, three model/process combinations";
+  let combos =
+    [
+      ("BSIM / 2u", "p2u", "nmos_bsim", "pmos_bsim", 580.0);
+      ("BSIM / 1.2u", "p1u2", "nmos_bsim", "pmos_bsim", 300.0);
+      ("MOS3 / 1.2u", "p1u2", "nmos", "pmos", 140.0);
+    ]
+  in
+  Printf.printf "%-14s %14s %14s %10s %10s\n" "model/process" "area (um^2)" "paper area"
+    "gain dB" "ugf";
+  List.iter
+    (fun (label, process, nmos, pmos, paper_area) ->
+      let src = Suite.Simple_ota.source_with ~process ~nmos ~pmos in
+      match Core.Compile.compile_source src with
+      | Error msg -> Printf.printf "%-14s FAILED: %s\n" label msg
+      | Ok p ->
+          let best, _ = Core.Oblx.best_of ~seed:(base_seed + 11) ?moves:!moves ~runs:!runs p in
+          let get n = List.assoc n best.Core.Oblx.predicted in
+          Printf.printf "%-14s %14s %14s %10s %10s\n%!" label
+            (fmt_opt (get "area"))
+            (Core.Report.eng paper_area)
+            (fmt_opt (get "adm"))
+            (fmt_opt (get "ugf")))
+    combos;
+  print_newline ();
+  print_endline
+    "Claim under test: the same specifications under different encapsulated\n\
+     device models lead to substantially different minimized areas -- the 2u\n\
+     process costs the most area, and the two 1.2u designs still differ\n\
+     because the models disagree (the paper saw 580/300/140 um^2)."
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the claims behind the formulation choices                 *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  sep "ABLATION -- starting-point sensitivity and relaxed-dc cost";
+  let e = Option.get (Suite.Ckts.find "simple-ota") in
+  let p = compile_exn e in
+  print_endline "(a) DELIGHT.SPICE-style local optimization from random starting points:";
+  let study = Baselines.Local_opt.starting_point_study ~runs:8 ~max_evals:250 p ~seed:77 in
+  List.iteri
+    (fun k (r : Baselines.Local_opt.run) ->
+      Printf.printf "    start %d: cost %8.3f -> %8.3f (%d evals)%s\n" k r.start_cost
+        r.final_cost r.evals
+        (if r.constraints_met then "  [met all constraints]" else ""))
+    study;
+  let ok = List.length (List.filter (fun r -> r.Baselines.Local_opt.constraints_met) study) in
+  Printf.printf "    %d/%d local runs met every constraint\n" ok (List.length study);
+  print_endline "(b) OBLX annealing (5 seeds, constraints met at the end?):";
+  let anneal_ok = ref 0 in
+  for k = 0 to 4 do
+    let r = Core.Oblx.synthesize ~seed:(500 + k) ?moves:!moves p in
+    let met =
+      List.for_all
+        (fun (s : Core.Problem.spec) ->
+          match (s.kind, List.assoc s.Core.Problem.spec_name r.Core.Oblx.predicted) with
+          | Netlist.Ast.Constraint_ge, Some v -> v >= s.good *. 0.95
+          | Netlist.Ast.Constraint_le, Some v -> v <= s.good *. 1.05
+          | (Netlist.Ast.Objective_max | Netlist.Ast.Objective_min), Some _ -> true
+          | _, None -> false)
+        p.Core.Problem.specs
+    in
+    if met then incr anneal_ok;
+    Printf.printf "    seed %d: cost %.4g%s\n" (500 + k) r.best_cost
+      (if met then "  [met all constraints]" else "")
+  done;
+  Printf.printf "    %d/5 annealing runs met every constraint\n" !anneal_ok;
+  print_endline "(c) evaluation cost: relaxed-dc vs full Newton solve per evaluation:";
+  let st = Core.State.snapshot p.Core.Problem.state0 in
+  ignore (Core.Moves.newton_global p st);
+  let w = Core.Weights.create () in
+  let time label f =
+    let t0 = Unix.gettimeofday () in
+    let n = 100 in
+    for _ = 1 to n do
+      f ()
+    done;
+    let per = (Unix.gettimeofday () -. t0) /. float_of_int n *. 1000.0 in
+    Printf.printf "    %-42s %8.3f ms/eval\n" label per;
+    per
+  in
+  let relaxed = time "relaxed-dc (OBLX evaluation)" (fun () -> ignore (Core.Eval.cost p w st)) in
+  let full =
+    time "full NR bias solve + same measurement" (fun () ->
+        ignore (Core.Moves.newton_global p st);
+        ignore (Core.Eval.cost p w st))
+  in
+  Printf.printf "    relaxed-dc speedup: %.1fx\n" (full /. relaxed)
+
+(* ------------------------------------------------------------------ *)
+(* Perf microbenches (Bechamel)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let perf () =
+  sep "PERF -- Bechamel microbenchmarks (time per run)";
+  let e = Option.get (Suite.Ckts.find "simple-ota") in
+  let p = compile_exn e in
+  let st = Core.State.snapshot p.Core.Problem.state0 in
+  ignore (Core.Moves.newton_global p st);
+  let w = Core.Weights.create () in
+  let value ex = Netlist.Expr.eval (Core.Eval.value_env p st) ex in
+  let jig = (List.hd p.Core.Problem.jigs).Core.Problem.jig_circuit in
+  let bp = Core.Eval.bias_point p st in
+  let ops name = List.assoc_opt name bp.Core.Eval.ops in
+  let lin = Mna.Linearize.build ~value ~ops jig in
+  let b = Mna.Linearize.excitation_of lin ~src:"vin" in
+  let out = Netlist.Circuit.find_node jig "out" in
+  let sel = Mna.Linearize.output_vector lin ~pos:out ~neg:None in
+  let freqs = Array.init 30 (fun k -> 10.0 ** (3.0 +. (float_of_int k /. 4.0))) in
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"astrx-oblx"
+      [
+        Test.make ~name:"table1:astrx-compile"
+          (Staged.stage (fun () -> ignore (Core.Compile.compile_source Suite.Simple_ota.source)));
+        Test.make ~name:"table2:oblx-cost-eval"
+          (Staged.stage (fun () -> ignore (Core.Eval.cost p w st)));
+        Test.make ~name:"fig2:kcl-residuals"
+          (Staged.stage (fun () -> ignore (Core.Eval.residuals_quick p st)));
+        Test.make ~name:"fig2:newton-step"
+          (Staged.stage (fun () -> ignore (Core.Moves.newton_step p st ~damping:1.0)));
+        Test.make ~name:"fig3:awe-rom-build"
+          (Staged.stage (fun () -> ignore (Awe.Rom.build lin ~b ~sel)));
+        Test.make ~name:"fig3:direct-ac-sweep30"
+          (Staged.stage (fun () -> ignore (Mna.Ac.sweep lin ~b ~sel freqs)));
+        Test.make ~name:"fig3:full-dc-solve"
+          (Staged.stage (fun () ->
+               ignore (Mna.Dc.solve ~value ~registry:p.Core.Problem.registry jig)));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some (t :: _) -> Printf.printf "%-40s %12.3f us/run\n" name (t /. 1e3)
+      | Some [] | None -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  print_endline
+    "\nThe AWE-based OBLX evaluation sits orders of magnitude below a full\n\
+     Newton + frequency-sweep simulation of the same jig -- the efficiency\n\
+     claim that makes annealing-based synthesis affordable."
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|table2|table3|fig2|fig3|models|ablation|perf|all]\n\
+    \       [--runs N] [--moves N]"
+
+let () =
+  let cmds = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--runs" :: v :: rest ->
+        runs := int_of_string v;
+        parse rest
+    | "--moves" :: v :: rest ->
+        moves := Some (int_of_string v);
+        parse rest
+    | cmd :: rest ->
+        cmds := cmd :: !cmds;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in
+  let dispatch = function
+    | "table1" -> table1 ()
+    | "table2" -> table2 ()
+    | "table3" -> table3 ()
+    | "fig2" -> fig2 ()
+    | "fig3" -> fig3 ()
+    | "models" -> models ()
+    | "ablation" -> ablation ()
+    | "perf" -> perf ()
+    | "all" ->
+        table1 ();
+        table2 ();
+        table3 ();
+        fig2 ();
+        fig3 ();
+        models ();
+        ablation ();
+        perf ()
+    | other ->
+        Printf.printf "unknown experiment %S\n" other;
+        usage ();
+        exit 1
+  in
+  List.iter dispatch cmds

@@ -1,0 +1,1 @@
+bin/astrx.ml: Arg Cmd Cmdliner Core Format List Option Printf String Suite Term

@@ -1,0 +1,1 @@
+bin/suite_runner.ml: Array Core List Netlist Printf String Suite Sys

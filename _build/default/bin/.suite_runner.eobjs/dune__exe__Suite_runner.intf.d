@@ -1,0 +1,1 @@
+bin/suite_runner.mli:

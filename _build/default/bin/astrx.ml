@@ -1,0 +1,195 @@
+(* The astrx command-line tool: compile a synthesis problem, run OBLX on
+   it, verify the result against the reference simulator.
+
+   astrx compile FILE          analysis only (the Table-1 row)
+   astrx synth FILE            synthesize and report
+   astrx bench NAME            run a built-in benchmark circuit
+*)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let print_analysis name (p : Core.Problem.t) =
+  let a = p.Core.Problem.analysis in
+  Printf.printf "%s: ASTRX analysis\n" name;
+  Printf.printf "  input lines          : %d netlist + %d synthesis-specific\n"
+    a.Core.Problem.input_netlist_lines a.input_synth_lines;
+  Printf.printf "  user variables       : %d\n" a.n_user_vars;
+  Printf.printf "  node-voltage vars    : %d (relaxed-dc)\n" a.n_node_vars;
+  Printf.printf "  cost-function terms  : %d\n" a.n_cost_terms;
+  Printf.printf "  generated code size  : %d (C-lines metric)\n" a.lines_of_c;
+  Printf.printf "  bias circuit         : %d nodes, %d elements\n" a.bias_nodes a.bias_elements;
+  List.iter
+    (fun (j, n_, e) -> Printf.printf "  AWE circuit %-8s : %d nodes, %d elements\n" j n_ e)
+    a.awe_circuits
+
+let print_result (p : Core.Problem.t) (r : Core.Oblx.result) ~verify =
+  Printf.printf "synthesis: cost=%.4g moves=%d evals=%d (%.2f ms/eval) in %.1f s%s\n"
+    r.Core.Oblx.best_cost r.moves r.evals r.eval_time_ms r.run_time_s
+    (if r.froze_early then ", froze" else "");
+  Printf.printf "sized design:\n";
+  Core.Report.print_sizes Format.std_formatter p r.final;
+  Format.pp_print_flush Format.std_formatter ();
+  let sims =
+    if verify then
+      match Core.Verify.simulate_specs p r.final with
+      | Ok sims -> Some sims
+      | Error e ->
+          Printf.printf "verification failed: %s\n" e;
+          None
+    else None
+  in
+  Printf.printf "%-10s %-12s %10s / %-10s\n" "spec" "goal" "oblx" "sim";
+  List.iter
+    (fun (s : Core.Problem.spec) ->
+      let predicted = List.assoc s.Core.Problem.spec_name r.predicted in
+      let simulated = Option.map (List.assoc s.Core.Problem.spec_name) sims in
+      print_endline (Core.Report.spec_row s ~predicted ~simulated))
+    p.Core.Problem.specs
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Problem description file")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed")
+let moves_arg = Arg.(value & opt (some int) None & info [ "moves" ] ~doc:"Annealing move budget")
+let runs_arg = Arg.(value & opt int 1 & info [ "runs" ] ~doc:"Independent annealing runs")
+
+let no_verify_arg =
+  Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip reference-simulator verification")
+
+let netlist_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-netlist" ] ~docv:"FILE" ~doc:"Write the sized design as a SPICE deck")
+
+let compile_cmd =
+  let run file =
+    match Core.Compile.compile_source (read_file file) with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok p ->
+        print_analysis file p;
+        0
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a problem and print ASTRX's analysis")
+    Term.(const run $ file_arg)
+
+let synth_source name src seed moves runs no_verify dump =
+  match Core.Compile.compile_source src with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok p ->
+      print_analysis name p;
+      let best, _ = Core.Oblx.best_of ~seed ?moves ~runs p in
+      print_result p best ~verify:(not no_verify);
+      (match dump with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Core.Report.sized_netlist p best.Core.Oblx.final);
+          close_out oc;
+          Printf.printf "sized netlist written to %s\n" path
+      | None -> ());
+      0
+
+let synth_cmd =
+  let run file seed moves runs no_verify dump =
+    synth_source file (read_file file) seed moves runs no_verify dump
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesize a problem with OBLX")
+    Term.(const run $ file_arg $ seed_arg $ moves_arg $ runs_arg $ no_verify_arg $ netlist_arg)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name")
+  in
+  let run name seed moves runs no_verify dump =
+    match Suite.Ckts.find name with
+    | None ->
+        Printf.eprintf "unknown benchmark %s; known: %s\n" name
+          (String.concat ", " (List.map (fun (e : Suite.Ckts.entry) -> e.name) Suite.Ckts.all));
+        1
+    | Some e -> synth_source e.name e.source seed moves runs no_verify dump
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run a built-in benchmark circuit")
+    Term.(const run $ name_arg $ seed_arg $ moves_arg $ runs_arg $ no_verify_arg $ netlist_arg)
+
+let corners_cmd =
+  let run file seed moves =
+    let src = read_file file in
+    match Core.Compile.compile_source src with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok p ->
+        let r = Core.Oblx.synthesize ~seed ?moves p in
+        Printf.printf "nominal synthesis: cost %.4g\n" r.Core.Oblx.best_cost;
+        let sizing = Core.Report.sizes p r.final in
+        (match Core.Corners.analyze ~source:src ~sizing () with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok results ->
+            Printf.printf "%-10s" "spec";
+            List.iter (fun sc -> Printf.printf " %12s" sc.Core.Corners.sc_corner) results;
+            Printf.printf " %12s\n" "worst-case";
+            let worst = Core.Corners.worst_case p results in
+            List.iter
+              (fun (s : Core.Problem.spec) ->
+                let name = s.Core.Problem.spec_name in
+                Printf.printf "%-10s" name;
+                List.iter
+                  (fun sc ->
+                    match List.assoc name sc.Core.Corners.sc_values with
+                    | Ok v -> Printf.printf " %12s" (Core.Report.eng v)
+                    | Error _ -> Printf.printf " %12s" "fail")
+                  results;
+                (match List.assoc name worst with
+                | Ok v -> Printf.printf " %12s\n" (Core.Report.eng v)
+                | Error _ -> Printf.printf " %12s\n" "fail"))
+              p.Core.Problem.specs;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "corners" ~doc:"Synthesize, then re-verify the design at process corners")
+    Term.(const run $ file_arg $ seed_arg $ moves_arg)
+
+let sens_cmd =
+  let run file seed moves =
+    match Core.Compile.compile_source (read_file file) with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok p ->
+        let r = Core.Oblx.synthesize ~seed ?moves p in
+        Printf.printf "synthesis: cost %.4g\n" r.Core.Oblx.best_cost;
+        let s = Core.Sensitivity.compute p r.Core.Oblx.final in
+        Core.Sensitivity.pp Format.std_formatter s;
+        Format.pp_print_flush Format.std_formatter ();
+        0
+  in
+  Cmd.v
+    (Cmd.info "sens" ~doc:"Synthesize, then print normalized spec/variable sensitivities")
+    Term.(const run $ file_arg $ seed_arg $ moves_arg)
+
+let list_cmd =
+  let run () =
+    List.iter (fun (e : Suite.Ckts.entry) -> print_endline e.name) Suite.Ckts.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in benchmarks") Term.(const run $ const ())
+
+let () =
+  let doc = "ASTRX/OBLX analog circuit synthesis" in
+  let info = Cmd.info "astrx" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ compile_cmd; synth_cmd; bench_cmd; corners_cmd; sens_cmd; list_cmd ]))

@@ -1,0 +1,36 @@
+(* Run the full benchmark suite sequentially and print a summary — a
+   lighter-weight sibling of bench/main.exe for interactive use:
+
+   suite_runner [seed [moves]]
+*)
+
+let () =
+  let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1 in
+  let moves = if Array.length Sys.argv > 2 then Some (int_of_string Sys.argv.(2)) else None in
+  Printf.printf "%-22s %8s %8s %10s %8s %s\n" "circuit" "cost" "evals" "ms/eval" "time" "unmet";
+  List.iter
+    (fun (e : Suite.Ckts.entry) ->
+      if e.synthesized then begin
+        match Core.Compile.compile_source e.source with
+        | Error msg -> Printf.printf "%-22s COMPILE FAIL: %s\n%!" e.name msg
+        | Ok p ->
+            let r = Core.Oblx.synthesize ~seed ?moves p in
+            let unmet =
+              List.filter_map
+                (fun (s : Core.Problem.spec) ->
+                  match List.assoc s.Core.Problem.spec_name r.Core.Oblx.predicted with
+                  | None -> Some s.spec_name
+                  | Some v -> begin
+                      match s.kind with
+                      | Netlist.Ast.Constraint_ge when v < s.good *. 0.98 -> Some s.spec_name
+                      | Netlist.Ast.Constraint_le when v > s.good *. 1.02 -> Some s.spec_name
+                      | Netlist.Ast.Constraint_ge | Netlist.Ast.Constraint_le
+                      | Netlist.Ast.Objective_max | Netlist.Ast.Objective_min ->
+                          None
+                    end)
+                p.Core.Problem.specs
+            in
+            Printf.printf "%-22s %8.3g %8d %10.2f %7.1fs %s\n%!" e.name r.best_cost r.evals
+              r.eval_time_ms r.run_time_s (String.concat "," unmet)
+      end)
+    Suite.Ckts.all

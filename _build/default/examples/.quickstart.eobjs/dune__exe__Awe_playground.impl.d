@@ -1,0 +1,1 @@
+examples/awe_playground.ml: Array Awe Buffer Float La List Mna Netlist Printf Unix

@@ -1,0 +1,1 @@
+examples/awe_playground.mli:

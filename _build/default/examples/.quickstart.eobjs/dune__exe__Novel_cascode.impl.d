@@ -1,0 +1,1 @@
+examples/novel_cascode.ml: Array Core List Option Printf Suite

@@ -1,0 +1,1 @@
+examples/novel_cascode.mli:

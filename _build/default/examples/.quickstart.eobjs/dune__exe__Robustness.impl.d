@@ -1,0 +1,1 @@
+examples/robustness.ml: Core Format List Printf Suite

@@ -1,0 +1,1 @@
+examples/two_stage_design.ml: Array Awe Core Format La List Printf Suite

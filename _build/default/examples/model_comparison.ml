@@ -1,0 +1,39 @@
+(* Example: the paper's Section-VI model experiment.
+
+   Synthesize the same Simple OTA under three device-model/process
+   combinations — BSIM/2u, BSIM/1.2u, MOS3/1.2u — with identical
+   specifications, minimizing active area. The paper found 580 / 300 /
+   140 um^2: the same tool, the same topology, and a 2x area difference
+   purely from the choice of device model. Encapsulated evaluators make
+   the swap a one-line change.
+
+   Run with: dune exec examples/model_comparison.exe *)
+
+let combos =
+  [
+    ("BSIM / 2u", Suite.Simple_ota.source_with ~process:"p2u" ~nmos:"nmos_bsim" ~pmos:"pmos_bsim");
+    ("BSIM / 1.2u", Suite.Simple_ota.source_with ~process:"p1u2" ~nmos:"nmos_bsim" ~pmos:"pmos_bsim");
+    ("MOS3 / 1.2u", Suite.Simple_ota.source_with ~process:"p1u2" ~nmos:"nmos" ~pmos:"pmos");
+  ]
+
+let () =
+  Printf.printf "%-12s %10s %10s %10s %8s\n" "model/proc" "area um^2" "gain dB" "ugf" "pm";
+  List.iter
+    (fun (label, src) ->
+      match Core.Compile.compile_source src with
+      | Error e -> Printf.printf "%-12s FAIL %s\n" label e
+      | Ok p ->
+          let r = Core.Oblx.synthesize ~seed:5 ~moves:25000 p in
+          let get name =
+            match List.assoc name r.Core.Oblx.predicted with Some v -> v | None -> nan
+          in
+          Printf.printf "%-12s %10.0f %10.1f %10s %8.1f\n%!" label (get "area") (get "adm")
+            (Core.Report.eng (get "ugf"))
+            (get "pm"))
+    combos;
+  print_endline "";
+  print_endline
+    "The paper's point: the same specifications under different device models\n\
+     produce substantially different areas — performance prediction accuracy\n\
+     depends on the model, so a synthesis tool must treat models as\n\
+     encapsulated, swappable components rather than baking in equations."

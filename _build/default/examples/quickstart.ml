@@ -1,0 +1,94 @@
+(* Quickstart: the paper's Section-IV walkthrough, end to end.
+
+   We size and bias the simple differential amplifier of Fig. 1a to
+   maximize differential gain such that the unity-gain frequency is at
+   least 1 MHz and the slew rate at least 1 V/us — the exact running
+   example of the paper — then verify the result with the reference
+   simulator.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+(* The input description: topology of the circuit under design, a test
+   jig defining how performance is measured, a bias circuit for the
+   relaxed-dc formulation, independent variables, and the specs. *)
+let problem_description =
+  {|.title section-IV differential amplifier
+.process p1u2
+.param vddval=5
+.param vssval=0
+.param cl=5p
+
+.subckt amp inp inm outp outm vdd vss
+* matched differential pair: both devices share the W and L variables
+m1 outm inp na vss nmos w='w' l='l'
+m2 outp inm na vss nmos w='w' l='l'
+* given loads (fixed-size PMOS mirror biased by vb)
+m3 outp nb vdd vdd pmos w=50u l=2u
+m4 outm nb vdd vdd pmos w=50u l=2u
+vb nb 0 'vbias'
+* the tail current is an independent variable
+itail na 0 'i'
+.ends
+
+.var w min=2u max=300u steps=100
+.var l min=1.2u max=20u steps=50
+.var i min=5u max=500u grid=log
+.var vbias min=2.8 max=4.5
+
+.jig main
+xamp inp inm outp outm nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 'vssval'
+vin inp 0 2.5 ac 1
+vcm inm 0 2.5
+cl1 outp 0 'cl'
+cl2 outm 0 'cl'
+.pz tf v(outp,outm) vin
+.endjig
+
+.bias
+xamp inp inm outp outm nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 'vssval'
+vin inp 0 2.5
+vcm inm 0 2.5
+cl1 outp 0 'cl'
+cl2 outm 0 'cl'
+.endbias
+
+.obj adm 'dc_gain(tf)' good=1000 bad=10
+.spec ugf 'ugf(tf)' good=1meg bad=10k
+.spec sr 'i / (2 * (cl + xamp.m1.cd + xamp.m3.cd))' good=1e6 bad=1e4
+|}
+
+let () =
+  print_endline "== ASTRX: compiling the problem ==";
+  match Core.Compile.compile_source problem_description with
+  | Error e -> failwith e
+  | Ok p ->
+      let a = p.Core.Problem.analysis in
+      Printf.printf "independent variables: %d user + %d node voltages (relaxed dc)\n"
+        a.Core.Problem.n_user_vars a.n_node_vars;
+      Printf.printf "cost function: %d terms\n" a.n_cost_terms;
+      print_endline "== OBLX: annealing ==";
+      let r = Core.Oblx.synthesize ~seed:42 ~moves:20000 p in
+      Printf.printf "done: %d moves, %.2f ms per circuit evaluation, %.1f s total\n"
+        r.Core.Oblx.moves r.eval_time_ms r.run_time_s;
+      print_endline "sized design:";
+      Core.Report.print_sizes Format.std_formatter p r.final;
+      Format.pp_print_flush Format.std_formatter ();
+      print_endline "== verification against the reference simulator ==";
+      let sims =
+        match Core.Verify.simulate_specs p r.final with
+        | Ok sims -> Some sims
+        | Error e ->
+            Printf.printf "(verification failed: %s)\n" e;
+            None
+      in
+      Printf.printf "%-10s %-12s %10s / %-10s\n" "spec" "goal" "oblx" "sim";
+      List.iter
+        (fun (s : Core.Problem.spec) ->
+          let predicted = List.assoc s.Core.Problem.spec_name r.predicted in
+          let simulated = Option.map (List.assoc s.Core.Problem.spec_name) sims in
+          print_endline (Core.Report.spec_row s ~predicted ~simulated))
+        p.Core.Problem.specs

@@ -1,0 +1,54 @@
+(* Example: post-synthesis robustness analysis — the paper's stated
+   future work, implemented here. Synthesize the Simple OTA, then:
+
+   1. re-verify the winning design at five process corners (slow/fast
+      silicon, threshold skews) with the reference simulator, and reduce
+      to the worst-case value of every specification;
+   2. compute normalized sensitivities d(spec)/d(var) to see which device
+      dominates each margin.
+
+   Run with: dune exec examples/robustness.exe *)
+
+let () =
+  match Core.Compile.compile_source Suite.Simple_ota.source with
+  | Error e -> failwith e
+  | Ok p ->
+      print_endline "== synthesis (nominal corner) ==";
+      let r = Core.Oblx.synthesize ~seed:99 ~moves:25000 p in
+      Printf.printf "best cost %.4g in %.0f s\n" r.Core.Oblx.best_cost r.run_time_s;
+      let sizing = Core.Report.sizes p r.final in
+      List.iter (fun (n, v) -> Printf.printf "  %-6s = %s\n" n (Core.Report.eng v)) sizing;
+      print_endline "== corner analysis ==";
+      (match
+         Core.Corners.analyze ~source:Suite.Simple_ota.source ~sizing ()
+       with
+      | Error e -> Printf.printf "corner analysis failed: %s\n" e
+      | Ok results ->
+          (* header *)
+          Printf.printf "%-10s" "spec";
+          List.iter (fun sc -> Printf.printf " %12s" sc.Core.Corners.sc_corner) results;
+          Printf.printf " %12s\n" "worst-case";
+          let worst = Core.Corners.worst_case p results in
+          List.iter
+            (fun (s : Core.Problem.spec) ->
+              let name = s.Core.Problem.spec_name in
+              Printf.printf "%-10s" name;
+              List.iter
+                (fun sc ->
+                  match List.assoc name sc.Core.Corners.sc_values with
+                  | Ok v -> Printf.printf " %12s" (Core.Report.eng v)
+                  | Error _ -> Printf.printf " %12s" "fail")
+                results;
+              (match List.assoc name worst with
+              | Ok v -> Printf.printf " %12s" (Core.Report.eng v)
+              | Error _ -> Printf.printf " %12s" "fail");
+              print_newline ())
+            p.Core.Problem.specs);
+      print_endline "== sensitivities (normalized d(spec)/d(var)) ==";
+      let s = Core.Sensitivity.compute p r.final in
+      Core.Sensitivity.pp Format.std_formatter s;
+      Format.pp_print_flush Format.std_formatter ();
+      print_endline "dominant variables for the unity-gain frequency:";
+      List.iter
+        (fun (v, sens) -> Printf.printf "  %-6s %+.3f\n" v sens)
+        (Core.Sensitivity.dominant s ~spec:"ugf" 3)

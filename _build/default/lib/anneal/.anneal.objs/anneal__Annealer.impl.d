@@ -1,0 +1,1 @@
+lib/anneal/annealer.ml: Array Float Hustin Int Lam Rng

@@ -1,0 +1,1 @@
+lib/anneal/hustin.ml: Array Float Rng

@@ -1,0 +1,1 @@
+lib/anneal/range.ml: Array Float

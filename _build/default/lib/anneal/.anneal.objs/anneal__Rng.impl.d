@@ -1,0 +1,1 @@
+lib/anneal/rng.ml: Array Float Int64

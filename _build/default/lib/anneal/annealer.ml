@@ -1,0 +1,124 @@
+type 'state problem = {
+  classes : string array;
+  propose : 'state -> int -> Rng.t -> (unit -> unit) option;
+  cost : 'state -> float;
+  snapshot : 'state -> 'state;
+  frozen : ('state -> bool) option;
+  on_stage : ('state -> stage_info -> unit) option;
+  on_result : (int -> accepted:bool -> unit) option;
+}
+
+and stage_info = {
+  stage : int;
+  moves_done : int;
+  temperature : float;
+  acceptance : float;
+  current_cost : float;
+  best_cost : float;
+}
+
+type 'state outcome = {
+  best : 'state;
+  best_cost : float;
+  final : 'state;
+  final_cost : float;
+  moves : int;
+  accepted : int;
+  stages : int;
+  froze_early : bool;
+}
+
+(* Initial temperature probe: sample random moves, undo each, and size T0
+   so a typical uphill move starts ~90% acceptable. *)
+let probe_t0 problem state rng =
+  let samples = 60 in
+  let c0 = problem.cost state in
+  let acc = ref 0.0 and n = ref 0 in
+  for _ = 1 to samples do
+    let k = Rng.int rng (Array.length problem.classes) in
+    match problem.propose state k rng with
+    | Some undo ->
+        let c1 = problem.cost state in
+        undo ();
+        acc := !acc +. Float.abs (c1 -. c0);
+        incr n
+    | None -> ()
+  done;
+  if !n = 0 then 1.0
+  else begin
+    let avg = !acc /. float_of_int !n in
+    Float.max 1e-9 (avg /. -.Float.log 0.9)
+  end
+
+let run ~rng ~total_moves ~init problem =
+  let hustin = Hustin.create ~classes:problem.classes in
+  let t0 = probe_t0 problem init rng in
+  let lam = Lam.create ~total_moves ~t0 in
+  let cur_cost = ref (problem.cost init) in
+  let best = ref (problem.snapshot init) in
+  let best_cost = ref !cur_cost in
+  let accepted = ref 0 in
+  let moves = ref 0 in
+  let stage = ref 0 in
+  let froze = ref false in
+  let stage_len = Int.max 50 (total_moves / 200) in
+  let rec loop () =
+    if Lam.finished lam || !froze then ()
+    else begin
+      let k = Hustin.pick hustin rng in
+      (match problem.propose init k rng with
+      | None -> Hustin.record hustin k ~accepted:false ~delta_cost:0.0
+      | Some undo ->
+          let c1 = problem.cost init in
+          let dc = c1 -. !cur_cost in
+          let t = Lam.temperature lam in
+          let take = dc <= 0.0 || Rng.float rng < Float.exp (-.dc /. t) in
+          if take then begin
+            cur_cost := c1;
+            incr accepted;
+            if c1 < !best_cost then begin
+              best_cost := c1;
+              best := problem.snapshot init
+            end
+          end
+          else undo ();
+          Lam.record lam ~accepted:take;
+          Hustin.record hustin k ~accepted:take ~delta_cost:dc;
+          match problem.on_result with
+          | Some f -> f k ~accepted:take
+          | None -> ());
+      incr moves;
+      if !moves mod stage_len = 0 then begin
+        incr stage;
+        (match problem.on_stage with
+        | Some hook ->
+            hook init
+              {
+                stage = !stage;
+                moves_done = !moves;
+                temperature = Lam.temperature lam;
+                acceptance = Lam.measured_ratio lam;
+                current_cost = !cur_cost;
+                best_cost = !best_cost;
+              };
+            (* The hook may have rescaled the cost function. *)
+            cur_cost := problem.cost init
+        | None -> ());
+        match problem.frozen with
+        | Some f when Lam.progress lam > 0.5 && f init -> froze := true
+        | Some _ | None -> ()
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  {
+    best = !best;
+    best_cost = !best_cost;
+    final = init;
+    final_cost = !cur_cost;
+    moves = !moves;
+    accepted = !accepted;
+    stages = !stage;
+    froze_early = !froze;
+  }

@@ -1,0 +1,50 @@
+(** Generic simulated-annealing driver combining the Lam schedule, Hustin
+    move selection, and Metropolis acceptance. Problems mutate their state
+    in place and hand back an undo thunk, so no per-move allocation of
+    state copies is needed.
+
+    The driver owns no problem-specific constants: the initial temperature
+    is probed from the cost landscape, the schedule is feedback-controlled,
+    and move-class probabilities adapt. *)
+
+type 'state problem = {
+  classes : string array;  (** move-class names, length >= 1 *)
+  propose : 'state -> int -> Rng.t -> (unit -> unit) option;
+      (** [propose st k rng] applies a move of class [k] in place and
+          returns the undo thunk; [None] when the class is inapplicable in
+          the current state (counted as a rejection for its statistics). *)
+  cost : 'state -> float;
+  snapshot : 'state -> 'state;  (** deep copy, used to keep the best state *)
+  frozen : ('state -> bool) option;
+      (** extra convergence test, polled once per stage after 50% progress *)
+  on_stage : ('state -> stage_info -> unit) option;
+      (** periodic hook (adaptive weights, tracing); the current cost is
+          re-evaluated after it runs, so the hook may reshape the cost *)
+  on_result : (int -> accepted:bool -> unit) option;
+      (** called after every decided move with its class index — feeds
+          per-variable range limiters *)
+}
+
+and stage_info = {
+  stage : int;
+  moves_done : int;
+  temperature : float;
+  acceptance : float;
+  current_cost : float;
+  best_cost : float;
+}
+
+type 'state outcome = {
+  best : 'state;
+  best_cost : float;
+  final : 'state;
+  final_cost : float;
+  moves : int;
+  accepted : int;
+  stages : int;
+  froze_early : bool;
+}
+
+(** [run ~rng ~total_moves ~init problem] anneals. [init] is mutated (it
+    becomes the final state); the best state seen is returned separately. *)
+val run : rng:Rng.t -> total_moves:int -> init:'state -> 'state problem -> 'state outcome

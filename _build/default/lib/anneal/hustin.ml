@@ -1,0 +1,51 @@
+type t = {
+  names : string array;
+  attempts : float array;
+  gain : float array;  (** sum of |delta cost| over accepted moves *)
+  mutable since_decay : int;
+}
+
+let create ~classes =
+  let n = Array.length classes in
+  if n = 0 then invalid_arg "Hustin.create: no classes";
+  { names = classes; attempts = Array.make n 0.0; gain = Array.make n 0.0; since_decay = 0 }
+
+let n_classes t = Array.length t.names
+let class_name t k = t.names.(k)
+let floor_prob = 0.02
+let decay_every = 2000
+let decay_factor = 0.5
+
+let probabilities t =
+  let n = n_classes t in
+  let quality = Array.init n (fun k -> if t.attempts.(k) > 0.0 then t.gain.(k) /. t.attempts.(k) else 0.0) in
+  let total = Array.fold_left ( +. ) 0.0 quality in
+  if total <= 0.0 then Array.make n (1.0 /. float_of_int n)
+  else begin
+    let head = 1.0 -. (floor_prob *. float_of_int n) in
+    Array.map (fun q -> floor_prob +. (head *. q /. total)) quality
+  end
+
+let pick t rng =
+  let probs = probabilities t in
+  let r = Rng.float rng in
+  let rec scan k acc =
+    if k >= Array.length probs - 1 then k
+    else begin
+      let acc = acc +. probs.(k) in
+      if r < acc then k else scan (k + 1) acc
+    end
+  in
+  scan 0 0.0
+
+let record t k ~accepted ~delta_cost =
+  t.attempts.(k) <- t.attempts.(k) +. 1.0;
+  if accepted then t.gain.(k) <- t.gain.(k) +. Float.abs delta_cost;
+  t.since_decay <- t.since_decay + 1;
+  if t.since_decay >= decay_every then begin
+    t.since_decay <- 0;
+    for i = 0 to n_classes t - 1 do
+      t.attempts.(i) <- t.attempts.(i) *. decay_factor;
+      t.gain.(i) <- t.gain.(i) *. decay_factor
+    done
+  end

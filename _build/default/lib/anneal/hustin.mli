@@ -1,0 +1,23 @@
+(** Hustin's adaptive move-class selection (from the TIM placement tool,
+    adopted by OBLX): each move class accumulates a quality statistic —
+    the cost change it produces on accepted moves per attempt — and classes
+    are then drawn with probability proportional to quality, with a floor
+    probability so no class starves. Statistics decay periodically so the
+    mix tracks the phase of the anneal (random moves early,
+    gradient/Newton moves near convergence). *)
+
+type t
+
+val create : classes:string array -> t
+val n_classes : t -> int
+val class_name : t -> int -> string
+
+(** [pick t rng] draws a class index. *)
+val pick : t -> Rng.t -> int
+
+(** [record t k ~accepted ~delta_cost] — call after each attempted move of
+    class [k]. *)
+val record : t -> int -> accepted:bool -> delta_cost:float -> unit
+
+(** [probabilities t] is the current selection distribution (sums to 1). *)
+val probabilities : t -> float array

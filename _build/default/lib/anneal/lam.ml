@@ -1,0 +1,40 @@
+type t = {
+  total_moves : int;
+  mutable moves : int;
+  mutable temp : float;
+  mutable ratio : float;  (** EWMA of acceptance *)
+}
+
+let create ~total_moves ~t0 =
+  { total_moves = Int.max 1 total_moves; moves = 0; temp = t0; ratio = 1.0 }
+
+let temperature t = t.temp
+let progress t = float_of_int t.moves /. float_of_int t.total_moves
+let finished t = t.moves >= t.total_moves
+
+(* Lam's optimal-rate trajectory, in the standard piecewise practical form:
+   exponential descent from ~1.0 to 0.44 over the first 15% of the run, a
+   0.44 plateau until 65%, then exponential quench. *)
+let target_at f =
+  if f < 0.15 then 0.44 +. (0.56 *. (560.0 ** (-.f /. 0.15)))
+  else if f < 0.65 then 0.44
+  else 0.44 *. (440.0 ** (-.(f -. 0.65) /. 0.35))
+
+let target_ratio t = target_at (progress t)
+let measured_ratio t = t.ratio
+
+(* EWMA weight and feedback gain; these are schedule-internal constants
+   (problem-independent), per Lam's derivation. *)
+let ewma_weight = 1.0 /. 500.0
+let feedback = 0.999
+
+let record t ~accepted =
+  t.moves <- t.moves + 1;
+  let a = if accepted then 1.0 else 0.0 in
+  t.ratio <- ((1.0 -. ewma_weight) *. t.ratio) +. (ewma_weight *. a);
+  let target = target_ratio t in
+  if t.ratio > target then t.temp <- t.temp *. feedback
+  else t.temp <- t.temp /. feedback;
+  (* Keep the temperature in a sane numeric range. *)
+  if t.temp < 1e-12 then t.temp <- 1e-12;
+  if t.temp > 1e12 then t.temp <- 1e12

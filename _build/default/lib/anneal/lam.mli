@@ -1,0 +1,31 @@
+(** The Lam-Delosme cooling schedule in its practical feedback form (as
+    modified by Swartz): instead of a fixed temperature decrement, the
+    schedule tracks a target acceptance-rate trajectory — ramp down to the
+    theoretically optimal 0.44, hold, then quench — and continuously
+    adjusts the temperature so the measured (exponentially averaged)
+    acceptance rate follows it. No problem-specific constants. *)
+
+type t
+
+(** [create ~total_moves ~t0] — [t0] is only a starting point; feedback
+    takes over immediately. *)
+val create : total_moves:int -> t0:float -> t
+
+val temperature : t -> float
+
+(** [target_ratio t] is the acceptance-rate setpoint at the current
+    progress (exposed for tests: 1 -> 0.44 -> 0). *)
+val target_ratio : t -> float
+
+(** [measured_ratio t] is the exponentially weighted acceptance rate. *)
+val measured_ratio : t -> float
+
+(** [record t ~accepted] updates statistics and adjusts the temperature;
+    call once per proposed move. *)
+val record : t -> accepted:bool -> unit
+
+(** [progress t] is the fraction of the move budget consumed, in [0, 1]. *)
+val progress : t -> float
+
+(** [finished t] when the move budget is exhausted. *)
+val finished : t -> bool

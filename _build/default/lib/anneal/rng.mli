@@ -1,0 +1,29 @@
+(** Deterministic splittable PRNG (xoshiro256** seeded via splitmix64).
+
+    Every stochastic component of OBLX draws from an explicit generator so
+    synthesis runs, tests and benchmark tables are exactly reproducible. *)
+
+type t
+
+val create : int -> t
+
+(** [split t] derives an independent generator (for parallel restarts). *)
+val split : t -> t
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [uniform t lo hi] is uniform in [lo, hi). *)
+val uniform : t -> float -> float -> float
+
+(** [int t n] is uniform in [0, n). @raise Invalid_argument if [n <= 0]. *)
+val int : t -> int -> int
+
+(** [gaussian t] is standard normal (Box-Muller). *)
+val gaussian : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [pick t arr] chooses a uniform element. *)
+val pick : t -> 'a array -> 'a

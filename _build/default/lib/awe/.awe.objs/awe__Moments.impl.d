@@ -1,0 +1,1 @@
+lib/awe/moments.ml: Array La Mna

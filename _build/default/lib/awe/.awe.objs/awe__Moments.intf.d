@@ -1,0 +1,1 @@
+lib/awe/moments.mli: La Mna

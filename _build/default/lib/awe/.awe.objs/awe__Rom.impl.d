@@ -1,0 +1,1 @@
+lib/awe/rom.ml: Array Float La List Moments Pade

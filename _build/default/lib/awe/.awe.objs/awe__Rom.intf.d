@@ -1,0 +1,1 @@
+lib/awe/rom.mli: La Mna Moments Pade

@@ -1,0 +1,225 @@
+type t = { rom : Pade.rom; moments : float array }
+
+(* A fit is numerically sound when the model actually reproduces the
+   moments it was fitted to — at high orders the Hankel system can be so
+   ill-conditioned that the "fit" fails its own inputs. *)
+let reconstructs rom moments q =
+  let rec check k =
+    if k >= 2 * q then true
+    else begin
+      let want = moments.(k) and got = Pade.moment rom k in
+      let scale = Float.abs want +. (1e-12 *. Float.abs moments.(0)) +. 1e-300 in
+      if Float.abs (got -. want) /. scale > 1e-6 then false else check (k + 1)
+    end
+  in
+  check 0
+
+let stable_enough rom =
+  let total = Array.fold_left (fun acc r -> acc +. La.Cpx.abs r) 0.0 rom.Pade.residues in
+  let unstable = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      if p.La.Cpx.re >= 0.0 then unstable := !unstable +. La.Cpx.abs rom.Pade.residues.(i))
+    rom.Pade.poles;
+  !unstable <= 1e-6 *. total
+
+(* Drop poles whose residues are numerically irrelevant — overfitting
+   artifacts that would otherwise pollute the pole list. *)
+let prune rom =
+  let total = Array.fold_left (fun acc r -> acc +. La.Cpx.abs r) 0.0 rom.Pade.residues in
+  let keep = ref [] in
+  Array.iteri
+    (fun i p ->
+      if La.Cpx.abs rom.Pade.residues.(i) > 1e-9 *. total then
+        keep := (p, rom.Pade.residues.(i)) :: !keep)
+    rom.Pade.poles;
+  let kept = List.rev !keep in
+  {
+    rom with
+    Pade.poles = Array.of_list (List.map fst kept);
+    residues = Array.of_list (List.map snd kept);
+    q = List.length kept;
+  }
+
+let build_with ?(qmax = 6) f ~b ~sel =
+  let count = (2 * qmax) + 2 in
+  let moments = Moments.compute_with f ~b ~sel ~count in
+  if Array.for_all (fun m -> Float.abs m < 1e-300) moments then
+    Error "rom: all moments are zero (no coupling from source to output)"
+  else if not (Array.for_all Float.is_finite moments) then Error "rom: non-finite moments"
+  else begin
+    (* Highest usable order wins: AWE accuracy away from dc improves with
+       order, and pruning removes the negligible-residue artifacts that
+       over-fitting introduces. The cheap series-division check filters
+       ill-conditioned orders before any root finding happens. *)
+    let rec descend q =
+      if q < 1 then Error "rom: no stable Pade model up to qmax"
+      else begin
+        match Pade.fit_coeffs ~q moments with
+        | Ok c
+          when Pade.series_matches c moments ~q ~tol:1e-6 && Pade.routh_stable c.Pade.qpoly
+          -> begin
+            match Pade.rom_of_coeffs c ~q with
+            | Ok rom when stable_enough rom && reconstructs rom moments q ->
+                Ok { rom = prune rom; moments }
+            | Ok _ | Error _ -> descend (q - 1)
+          end
+        | Ok _ | Error _ -> descend (q - 1)
+      end
+    in
+    descend qmax
+  end
+
+let build ?qmax lin ~b ~sel = build_with ?qmax (Moments.factor lin) ~b ~sel
+
+let dc_gain t = t.moments.(0)
+let eval t ~f = Pade.eval t.rom ~w:(2.0 *. Float.pi *. f)
+let magnitude_at t ~f = La.Cpx.abs (eval t ~f)
+let poles t = t.rom.Pade.poles
+
+(* Log-grid scan and bisection, identical in spirit to Mna.Ac but against
+   the reduced model, which is why it costs microseconds, not milliseconds. *)
+let crossing t ~level =
+  let fmin = 1e-2 and fmax = 1e12 in
+  let points = 281 in
+  let fk k = fmin *. ((fmax /. fmin) ** (float_of_int k /. float_of_int (points - 1))) in
+  let rec scan k prev =
+    if k >= points then None
+    else begin
+      let f = fk k in
+      let m = magnitude_at t ~f in
+      match prev with
+      | Some (fp, mp) when (mp -. level) *. (m -. level) <= 0.0 && mp > m ->
+          let rec bisect lo hi n =
+            if n = 0 then Some (Float.sqrt (lo *. hi))
+            else begin
+              let mid = Float.sqrt (lo *. hi) in
+              if magnitude_at t ~f:mid >= level then bisect mid hi (n - 1)
+              else bisect lo mid (n - 1)
+            end
+          in
+          bisect fp f 60
+      | Some _ | None -> scan (k + 1) (Some (f, m))
+    end
+  in
+  scan 0 None
+
+let unity_gain_freq t = crossing t ~level:1.0
+
+let bandwidth_3db t =
+  let a0 = Float.abs (dc_gain t) in
+  if a0 = 0.0 then None else crossing t ~level:(a0 /. Float.sqrt 2.0)
+
+let unwrapped_phase_to t ~fu =
+  let sgn = if dc_gain t >= 0.0 then 1.0 else -1.0 in
+  let h f = La.Cpx.scale sgn (eval t ~f) in
+  let steps = 160 in
+  let f0 = Float.min 1.0 (fu /. 1e6) in
+  let phase = ref (La.Cpx.arg (h f0)) in
+  let prev = ref (h f0) in
+  for k = 1 to steps do
+    let f = f0 *. ((fu /. f0) ** (float_of_int k /. float_of_int steps)) in
+    let cur = h f in
+    phase := !phase +. La.Cpx.arg (La.Cpx.div cur !prev);
+    prev := cur
+  done;
+  !phase *. 180.0 /. Float.pi
+
+let phase_margin t =
+  match unity_gain_freq t with
+  | None -> None
+  | Some fu -> Some (180.0 +. unwrapped_phase_to t ~fu)
+
+let gain_margin_db t =
+  (* Find the frequency where the unwrapped phase reaches -180 degrees. *)
+  let fmin = 1.0 and fmax = 1e12 in
+  let points = 301 in
+  let phase_at f = unwrapped_phase_to t ~fu:f in
+  let rec scan k prev =
+    if k >= points then None
+    else begin
+      let f = fmin *. ((fmax /. fmin) ** (float_of_int k /. float_of_int (points - 1))) in
+      let p = phase_at f in
+      match prev with
+      | Some (fp, pp) when (pp +. 180.0) *. (p +. 180.0) <= 0.0 ->
+          let fc = Float.sqrt (fp *. f) in
+          let m = magnitude_at t ~f:fc in
+          if m > 0.0 then Some (-20.0 *. Float.log10 m) else None
+      | Some _ | None -> scan (k + 1) (Some (f, p))
+    end
+  in
+  scan 0 None
+
+let dominant_pole_hz t =
+  let ps = t.rom.Pade.poles in
+  if Array.length ps = 0 then None
+  else begin
+    let best = Array.fold_left (fun acc p -> Float.min acc (La.Cpx.abs p)) infinity ps in
+    Some (best /. (2.0 *. Float.pi))
+  end
+
+let zeros t =
+  let q = t.rom.Pade.q in
+  if q <= 1 then [||]
+  else begin
+    (* N(s) = sum_i k_i * prod_(j<>i) (s - p_j), expanded in complex
+       arithmetic; conjugate symmetry makes the coefficients real. *)
+    let num = Array.make q La.Cpx.zero in
+    Array.iteri
+      (fun i ki ->
+        let prod = ref [| La.Cpx.one |] in
+        Array.iteri
+          (fun j pj ->
+            if j <> i then begin
+              let c = !prod in
+              let out = Array.make (Array.length c + 1) La.Cpx.zero in
+              Array.iteri
+                (fun k ck ->
+                  out.(k) <- La.Cpx.sub out.(k) (La.Cpx.mul pj ck);
+                  out.(k + 1) <- La.Cpx.add out.(k + 1) ck)
+                c;
+              prod := out
+            end)
+          t.rom.Pade.poles;
+        Array.iteri (fun k ck -> num.(k) <- La.Cpx.add num.(k) (La.Cpx.mul ki ck)) !prod)
+      t.rom.Pade.residues;
+    let real_coeffs = Array.map (fun z -> z.La.Cpx.re) num in
+    if La.Poly.degree real_coeffs = 0 then [||]
+    else try La.Roots.find real_coeffs with Failure _ -> [||]
+  end
+
+let step_response t ~time =
+  (* y(t) = sum_i k_i/p_i * (exp(p_i t) - 1) for a unit step input. *)
+  let acc = ref La.Cpx.zero in
+  Array.iteri
+    (fun i p ->
+      let e = La.Cpx.exp (La.Cpx.scale time p) in
+      let term = La.Cpx.mul (La.Cpx.div t.rom.Pade.residues.(i) p) (La.Cpx.sub e La.Cpx.one) in
+      acc := La.Cpx.add !acc term)
+    t.rom.Pade.poles;
+  !acc.La.Cpx.re
+
+let settling_time t ~tol =
+  let final = dc_gain t in
+  if final = 0.0 then None
+  else begin
+    (* Time scale from the slowest pole; search out to 50 of its periods. *)
+    let slowest =
+      Array.fold_left (fun acc p -> Float.min acc (La.Cpx.abs p)) infinity t.rom.Pade.poles
+    in
+    if not (Float.is_finite slowest) || slowest <= 0.0 then None
+    else begin
+      let tau = 1.0 /. slowest in
+      let t_max = 50.0 *. tau in
+      let points = 600 in
+      let time k = t_max *. ((float_of_int k /. float_of_int points) ** 2.0) in
+      (* Find the last sample outside the band; settle just after it. *)
+      let last_outside = ref (-1) in
+      for k = 0 to points do
+        let y = step_response t ~time:(time k) in
+        if Float.abs (y -. final) > tol *. Float.abs final then last_outside := k
+      done;
+      if !last_outside >= points then None
+      else Some (time (!last_outside + 1))
+    end
+  end

@@ -1,0 +1,1 @@
+lib/baselines/eq_sizer.ml: Array Core Float List Suite

@@ -1,0 +1,1 @@
+lib/baselines/eq_sizer.mli:

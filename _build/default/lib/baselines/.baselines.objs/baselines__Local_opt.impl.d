@@ -1,0 +1,1 @@
+lib/baselines/local_opt.ml: Anneal Array Core Float La List Netlist

@@ -1,0 +1,1 @@
+lib/baselines/local_opt.mli: Anneal Core

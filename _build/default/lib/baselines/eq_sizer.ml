@@ -1,0 +1,80 @@
+(* Square-law hand-design of the 5T OTA, as an equation-based synthesis
+   tool would codify it. Process constants are the long-channel values a
+   designer would read off the p1u2 datasheet — exactly the simplification
+   (I = K'W/2L (Vgs-Vt)^2, no mobility degradation, no velocity
+   saturation) the paper calls out as breaking down. *)
+
+type design = { sizes : (string * float) list; predicted : (string * float) list }
+
+(* First-order p1u2 constants. *)
+let kp_n = 95e-6
+let kp_p = 32e-6
+let lambda_n = 0.04
+let lambda_p = 0.06
+let cox = 1.7e-3
+
+let size ~ugf_target ~sr_target ~cl ~vdd =
+  let i_tail = sr_target *. cl in
+  let gm1 = 2.0 *. Float.pi *. ugf_target *. cl in
+  let id1 = i_tail /. 2.0 in
+  let l = 2e-6 in
+  let wl1 = gm1 *. gm1 /. (2.0 *. kp_n *. id1) in
+  let w1 = Float.max 2e-6 (wl1 *. l) in
+  let vdsat_mirror = 0.35 in
+  let wl3 = 2.0 *. id1 /. (kp_p *. vdsat_mirror *. vdsat_mirror) in
+  let w3 = Float.max 2e-6 (wl3 *. l) in
+  let vdsat_tail = 0.35 in
+  let wl5 = 2.0 *. i_tail /. (kp_n *. vdsat_tail *. vdsat_tail) in
+  let w5 = Float.max 2e-6 (wl5 *. l) in
+  let adm = gm1 /. (id1 *. (lambda_n +. lambda_p)) in
+  let adm_db = 20.0 *. Float.log10 adm in
+  (* Non-dominant pole at the mirror node: gm3 over the gate capacitance
+     of the mirror pair. *)
+  let gm3 = Float.sqrt (2.0 *. kp_p *. wl3 *. id1) in
+  let cmirror = 2.0 *. (2.0 /. 3.0) *. cox *. w3 *. l in
+  let f_nd = gm3 /. (2.0 *. Float.pi *. cmirror) in
+  let pm = 90.0 -. (Float.atan (ugf_target /. f_nd) *. 180.0 /. Float.pi) in
+  let area_um2 = ((2.0 *. w1 *. l) +. (2.0 *. w3 *. l) +. (2.0 *. w5 *. l)) *. 1e12 in
+  {
+    sizes =
+      [ ("w1", w1); ("l1", l); ("w3", w3); ("l3", l); ("w5", w5); ("l5", l); ("ib", i_tail) ];
+    predicted =
+      [
+        ("adm", adm_db);
+        ("ugf", ugf_target);
+        ("pm", pm);
+        ("sr", sr_target);
+        ("pwr", vdd *. 2.0 *. i_tail);
+        ("area", area_um2);
+      ];
+  }
+
+let prediction_error () =
+  match Core.Compile.compile_source Suite.Simple_ota.source with
+  | Error e -> Error e
+  | Ok p ->
+      let d = size ~ugf_target:50e6 ~sr_target:10e6 ~cl:1e-12 ~vdd:5.0 in
+      let st = Core.State.snapshot p.Core.Problem.state0 in
+      Array.iteri
+        (fun i info ->
+          match info with
+          | Core.State.User { name; _ } -> begin
+              match List.assoc_opt name d.sizes with
+              | Some v -> Core.State.set_initial st i v
+              | None -> ()
+            end
+          | Core.State.Node_voltage _ -> ())
+        st.Core.State.info;
+      (match Core.Verify.simulate_specs p st with
+      | Error e -> Error e
+      | Ok sims ->
+          let rows =
+            List.filter_map
+              (fun (name, eq_pred) ->
+                match List.assoc_opt name sims with
+                | Some (Ok sim) when Float.abs sim > 1e-30 ->
+                    Some (name, eq_pred, sim, Float.abs (eq_pred -. sim) /. Float.abs sim)
+                | Some (Ok _) | Some (Error _) | None -> None)
+              d.predicted
+          in
+          Ok rows)

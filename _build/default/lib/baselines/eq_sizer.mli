@@ -1,0 +1,24 @@
+(** OPASYN-style equation-based sizer for the Simple OTA topology: the
+    classical square-law design procedure a designer would codify once per
+    topology. It predicts performance from first-order hand equations —
+    the whole point of the comparison is that those predictions diverge
+    from detailed simulation (Fig. 3's right-hand group trades months of
+    preparatory effort for accuracy that is only as good as the
+    equations). *)
+
+type design = {
+  sizes : (string * float) list;  (** variable name -> value, Simple OTA vars *)
+  predicted : (string * float) list;
+      (** the hand-equation performance predictions: adm (dB), ugf (Hz),
+          pm (deg), sr (V/s), pwr (W), area (um^2) *)
+}
+
+(** [size ~ugf_target ~sr_target ~cl ~vdd] runs the design procedure. *)
+val size : ugf_target:float -> sr_target:float -> cl:float -> vdd:float -> design
+
+(** [prediction_error ()] sizes the Simple OTA for its benchmark targets,
+    re-measures the equation-based design with the reference simulator,
+    and returns per-spec (name, equation prediction, simulated value,
+    relative error). This is the measured datum behind Fig. 3's
+    "equation-based accuracy" axis. *)
+val prediction_error : unit -> ((string * float * float * float) list, string) result

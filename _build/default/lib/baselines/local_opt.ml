@@ -1,0 +1,134 @@
+type run = { start_cost : float; final_cost : float; evals : int; constraints_met : bool }
+
+(* Candidate vector: user variables only, log-scaled where the variable is
+   positive (sizes, currents) for better conditioning. *)
+type coding = { p : Core.Problem.t; log_coded : bool array; lo : float array; hi : float array }
+
+let coding_of (p : Core.Problem.t) =
+  let n = Core.Problem.n_user_vars p in
+  let log_coded = Array.make n false in
+  let lo = Array.make n 0.0 and hi = Array.make n 0.0 in
+  Array.iteri
+    (fun i info ->
+      if i < n then begin
+        match info with
+        | Core.State.User { vmin; vmax; grid; _ } ->
+            let logc = grid = Core.State.Log_grid && vmin > 0.0 in
+            log_coded.(i) <- logc;
+            lo.(i) <- (if logc then Float.log vmin else vmin);
+            hi.(i) <- (if logc then Float.log vmax else vmax)
+        | Core.State.Node_voltage _ -> ()
+      end)
+    p.Core.Problem.state0.Core.State.info;
+  { p; log_coded; lo; hi }
+
+let decode c (x : float array) =
+  let st = Core.State.snapshot c.p.Core.Problem.state0 in
+  Array.iteri
+    (fun i xi ->
+      let clamped = Float.max c.lo.(i) (Float.min c.hi.(i) xi) in
+      let v = if c.log_coded.(i) then Float.exp clamped else clamped in
+      Core.State.set_initial st i v)
+    x;
+  st
+
+(* Full-simulation evaluation: exact spec values through the reference
+   simulator, good/bad-normalized cost, large penalty when the simulator
+   itself fails to converge. *)
+let simulate_cost c (x : float array) =
+  let st = decode c x in
+  match Core.Verify.simulate_specs c.p st with
+  | Error _ -> 100.0
+  | Ok sims ->
+      let vals =
+        List.map (fun (n, r) -> (n, match r with Ok v -> Some v | Error _ -> None)) sims
+      in
+      let obj, perf = Core.Eval.cost_of_spec_values c.p vals in
+      obj +. (10.0 *. perf)
+
+let constraints_met_at c (x : float array) =
+  let st = decode c x in
+  match Core.Verify.simulate_specs c.p st with
+  | Error _ -> false
+  | Ok sims ->
+      List.for_all
+        (fun (s : Core.Problem.spec) ->
+          match List.assoc_opt s.Core.Problem.spec_name sims with
+          | Some (Ok v) -> begin
+              match s.kind with
+              | Netlist.Ast.Constraint_ge -> v >= s.good *. 0.98
+              | Netlist.Ast.Constraint_le -> v <= s.good *. 1.02
+              | Netlist.Ast.Objective_max | Netlist.Ast.Objective_min -> true
+            end
+          | Some (Error _) | None -> false)
+        c.p.Core.Problem.specs
+
+(* Textbook Nelder-Mead with standard coefficients. *)
+let nelder_mead ~f ~x0 ~scale ~max_evals =
+  let n = Array.length x0 in
+  let evals = ref 0 in
+  let fe x =
+    incr evals;
+    f x
+  in
+  let simplex =
+    Array.init (n + 1) (fun k ->
+        let x = Array.copy x0 in
+        if k > 0 then x.(k - 1) <- x.(k - 1) +. scale.(k - 1);
+        (x, 0.0))
+  in
+  Array.iteri (fun k (x, _) -> simplex.(k) <- (x, fe x)) simplex;
+  let sort () = Array.sort (fun (_, a) (_, b) -> Float.compare a b) simplex in
+  sort ();
+  let centroid () =
+    let c = Array.make n 0.0 in
+    for k = 0 to n - 1 do
+      let x, _ = simplex.(k) in
+      La.Vec.axpy (1.0 /. float_of_int n) x c
+    done;
+    c
+  in
+  let blend a xc xw = Array.init n (fun i -> xc.(i) +. (a *. (xc.(i) -. xw.(i)))) in
+  while !evals < max_evals do
+    let xc = centroid () in
+    let xw, fw = simplex.(n) in
+    let _, fbest = simplex.(0) in
+    let _, fsecond = simplex.(n - 1) in
+    let xr = blend 1.0 xc xw in
+    let fr = fe xr in
+    if fr < fbest then begin
+      let xe = blend 2.0 xc xw in
+      let fex = fe xe in
+      simplex.(n) <- (if fex < fr then (xe, fex) else (xr, fr))
+    end
+    else if fr < fsecond then simplex.(n) <- (xr, fr)
+    else begin
+      let xk = blend (-0.5) xc xw in
+      let fk = fe xk in
+      if fk < fw then simplex.(n) <- (xk, fk)
+      else begin
+        (* shrink toward the best vertex *)
+        let xb, _ = simplex.(0) in
+        for k = 1 to n do
+          let x, _ = simplex.(k) in
+          let xs = Array.init n (fun i -> xb.(i) +. (0.5 *. (x.(i) -. xb.(i)))) in
+          simplex.(k) <- (xs, fe xs)
+        done
+      end
+    end;
+    sort ()
+  done;
+  (fst simplex.(0), snd simplex.(0), !evals)
+
+let optimize ?(max_evals = 400) (p : Core.Problem.t) ~rng =
+  let c = coding_of p in
+  let n = Array.length c.lo in
+  let x0 = Array.init n (fun i -> Anneal.Rng.uniform rng c.lo.(i) c.hi.(i)) in
+  let scale = Array.init n (fun i -> 0.1 *. (c.hi.(i) -. c.lo.(i))) in
+  let start_cost = simulate_cost c x0 in
+  let xbest, fbest, evals = nelder_mead ~f:(simulate_cost c) ~x0 ~scale ~max_evals in
+  { start_cost; final_cost = fbest; evals; constraints_met = constraints_met_at c xbest }
+
+let starting_point_study ?(runs = 10) ?max_evals (p : Core.Problem.t) ~seed =
+  let rng = Anneal.Rng.create seed in
+  List.init runs (fun _ -> optimize ?max_evals p ~rng:(Anneal.Rng.split rng))

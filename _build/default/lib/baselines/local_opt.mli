@@ -1,0 +1,24 @@
+(** DELIGHT.SPICE-style baseline: local (derivative-free, Nelder-Mead)
+    optimization over the user variables, evaluating each candidate
+    through the full reference simulator (exact Newton-Raphson bias, AWE
+    at the exact operating point). No hill-climbing, no relaxed dc.
+
+    This is the paper's Section-II foil: simulation-in-the-loop local
+    optimization is accurate but starting-point sensitive — from a random
+    start it converges to whatever local minimum is nearby. *)
+
+type run = {
+  start_cost : float;
+  final_cost : float;
+  evals : int;
+  constraints_met : bool;  (** every constraint within 2% of its goal *)
+}
+
+(** [optimize ?max_evals p ~rng] runs Nelder-Mead from a random starting
+    point drawn with [rng]. *)
+val optimize : ?max_evals:int -> Core.Problem.t -> rng:Anneal.Rng.t -> run
+
+(** [starting_point_study ?runs ?max_evals p ~seed] repeats [optimize]
+    from independent random starts and reports each run — the fraction
+    with [constraints_met] measures starting-point sensitivity. *)
+val starting_point_study : ?runs:int -> ?max_evals:int -> Core.Problem.t -> seed:int -> run list

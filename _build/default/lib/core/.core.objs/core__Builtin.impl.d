@@ -1,0 +1,1 @@
+lib/core/builtin.ml: Float Netlist Printf

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array Builtin Devices Float List Netlist Option Printf Problem Result State Template Treelink

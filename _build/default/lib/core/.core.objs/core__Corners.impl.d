@@ -1,0 +1,1 @@
+lib/core/corners.ml: Array Compile Devices Float List Netlist Problem State Verify

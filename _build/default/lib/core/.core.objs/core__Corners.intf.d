@@ -1,0 +1,1 @@
+lib/core/corners.mli: Devices Problem

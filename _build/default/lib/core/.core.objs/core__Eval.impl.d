@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Awe Builtin Devices Float La List Mna Netlist Option Problem State String Treelink Weights

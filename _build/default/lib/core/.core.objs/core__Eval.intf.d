@@ -1,0 +1,1 @@
+lib/core/eval.mli: Awe Mna Netlist Problem State Weights

@@ -1,0 +1,1 @@
+lib/core/moves.ml: Anneal Array Devices Eval Float Int La List Mna Netlist Problem Seq State Treelink

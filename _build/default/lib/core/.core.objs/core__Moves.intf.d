@@ -1,0 +1,1 @@
+lib/core/moves.mli: Anneal La Problem State

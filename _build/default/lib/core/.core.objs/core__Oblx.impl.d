@@ -1,0 +1,1 @@
+lib/core/oblx.ml: Anneal Array Eval Float Int List Moves Option Problem State Unix Weights

@@ -1,0 +1,1 @@
+lib/core/oblx.mli: Problem State

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Eval Float Format List Netlist Printf Problem State String

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Array Eval Float Format List Moves Problem State

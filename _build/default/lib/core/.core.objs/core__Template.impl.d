@@ -1,0 +1,1 @@
+lib/core/template.ml: Array Devices List Netlist

@@ -1,0 +1,1 @@
+lib/core/treelink.ml: Array List Netlist

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Awe Builtin Eval Float La List Mna Netlist Option Problem State String

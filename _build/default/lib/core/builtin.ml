@@ -1,0 +1,20 @@
+(* Pure math builtins shared by every expression environment. *)
+
+exception Unknown_function of string
+
+let math_call name args =
+  let num = function
+    | Netlist.Expr.Num v -> v
+    | Netlist.Expr.Name n ->
+        raise (Netlist.Expr.Eval_error (Printf.sprintf "%s: unexpected name argument %s" name n))
+  in
+  match (name, args) with
+  | "min", [ a; b ] -> Float.min (num a) (num b)
+  | "max", [ a; b ] -> Float.max (num a) (num b)
+  | "abs", [ a ] -> Float.abs (num a)
+  | "sqrt", [ a ] -> Float.sqrt (num a)
+  | "log10", [ a ] -> Float.log10 (num a)
+  | "ln", [ a ] -> Float.log (num a)
+  | "exp", [ a ] -> Float.exp (num a)
+  | "db", [ a ] -> 20.0 *. Float.log10 (Float.abs (num a) +. 1e-300)
+  | _ -> raise (Unknown_function name)

@@ -1,0 +1,292 @@
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let math_call name args =
+  try Builtin.math_call name args
+  with Builtin.Unknown_function f -> err "unknown function %s in expression" f
+
+(* Compile-time environment: user variables at their initial values plus
+   .param definitions (evaluated recursively, cycle-guarded). *)
+let initial_env vars params =
+  let rec lookup seen path =
+    match path with
+    | [ name ] -> begin
+        match List.assoc_opt name vars with
+        | Some v -> v
+        | None -> begin
+            match List.assoc_opt name params with
+            | Some e ->
+                if List.mem name seen then err "parameter cycle involving %s" name
+                else
+                  Netlist.Expr.eval
+                    { Netlist.Expr.lookup = lookup (name :: seen); call = math_call }
+                    e
+            | None -> raise Not_found
+          end
+      end
+    | _ -> raise Not_found
+  in
+  { Netlist.Expr.lookup = lookup []; call = math_call }
+
+let known_tf_functions =
+  [ "dc_gain"; "ugf"; "phase_margin"; "pm"; "gain_at"; "bw3db"; "pole1"; "gain_margin_db" ]
+
+let spec_only_functions = [ "area"; "power"; "supply_current" ]
+
+let default_init (v : Netlist.Ast.var_decl) =
+  match v.Netlist.Ast.init with
+  | Some i -> i
+  | None -> begin
+      match v.grid with
+      | Netlist.Ast.Grid_log -> Float.sqrt (v.vmin *. v.vmax)
+      | Netlist.Ast.Grid_lin -> 0.5 *. (v.vmin +. v.vmax)
+    end
+
+let compile ?corner (ast : Netlist.Ast.problem) =
+  try
+    (* 1. Device model registry. *)
+    let decls =
+      List.map
+        (fun (m : Netlist.Ast.model_decl) ->
+          {
+            Devices.Registry.decl_name = m.model_name;
+            decl_kind = m.device_kind;
+            decl_level = m.level;
+            decl_params = m.mparams;
+          })
+        ast.models
+    in
+    let registry =
+      match Devices.Registry.build ?process:ast.process ?corner decls with
+      | Ok r -> r
+      | Error e -> err "%s" e
+    in
+    (* 2. Elaborate and template-expand the bias network. *)
+    if ast.bias = [] then err "no .bias block: the relaxed-dc formulation needs a bias network";
+    let bias_raw = Netlist.Elab.flatten ~subckts:ast.subckts ast.bias in
+    let bias = Template.expand ~registry bias_raw in
+    (* Reject elements the bias formulation does not support. *)
+    Array.iter
+      (fun (e : Netlist.Circuit.element) ->
+        match e with
+        | Netlist.Circuit.Inductor { name; _ } -> err "bias network: inductor %s unsupported" name
+        | Netlist.Circuit.Vcvs { name; _ }
+        | Netlist.Circuit.Cccs { name; _ }
+        | Netlist.Circuit.Ccvs { name; _ } ->
+            err "bias network: controlled source %s unsupported" name
+        | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Vsource _
+        | Netlist.Circuit.Isource _ | Netlist.Circuit.Vccs _ | Netlist.Circuit.Mosfet _
+        | Netlist.Circuit.Bjt _ ->
+            ())
+      bias.Netlist.Circuit.elements;
+    let tl = Treelink.analyze bias in
+    (* 3. Elaborate and expand each jig; resolve .pz ports. *)
+    let jigs =
+      List.map
+        (fun (j : Netlist.Ast.jig) ->
+          let c = Template.expand ~registry (Netlist.Elab.flatten ~subckts:ast.subckts j.jig_body) in
+          let tfs =
+            List.map
+              (fun (pz : Netlist.Ast.pz) ->
+                let node name =
+                  try Netlist.Circuit.find_node c name
+                  with Not_found -> err "jig %s: unknown node %s in .pz" j.jig_name name
+                in
+                let src =
+                  try Netlist.Circuit.element_name (Netlist.Circuit.find_element c pz.src)
+                  with Not_found -> err "jig %s: unknown source %s in .pz" j.jig_name pz.src
+                in
+                ( pz.tf_name,
+                  {
+                    Problem.out_pos = node pz.out_pos;
+                    out_neg = Option.map node pz.out_neg;
+                    src;
+                  } ))
+              j.pzs
+          in
+          { Problem.jig_name = j.jig_name; jig_circuit = c; tfs })
+        ast.jigs
+    in
+    (* 4. Cross-checks: every jig device must have a bias counterpart to
+       take its operating point from. *)
+    let bias_has name =
+      match Netlist.Circuit.find_element bias name with
+      | _ -> true
+      | exception Not_found -> false
+    in
+    List.iter
+      (fun (j : Problem.jig) ->
+        Array.iter
+          (fun (e : Netlist.Circuit.element) ->
+            match e with
+            | Netlist.Circuit.Mosfet { name; _ } | Netlist.Circuit.Bjt { name; _ } ->
+                if not (bias_has name) then
+                  err "jig %s: device %s has no counterpart in the bias network" j.jig_name name
+            | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _
+            | Netlist.Circuit.Inductor _ | Netlist.Circuit.Vsource _ | Netlist.Circuit.Isource _
+            | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _
+            | Netlist.Circuit.Ccvs _ ->
+                ())
+          j.jig_circuit.Netlist.Circuit.elements)
+      jigs;
+    (* 5. Spec sanity: called functions exist; tf names resolve. *)
+    let all_tfs = List.concat_map (fun (j : Problem.jig) -> List.map fst j.tfs) jigs in
+    List.iter
+      (fun (s : Netlist.Ast.spec) ->
+        List.iter
+          (fun (fname, args) ->
+            let known =
+              List.mem fname known_tf_functions
+              || List.mem fname spec_only_functions
+              || List.mem fname [ "min"; "max"; "abs"; "sqrt"; "log10"; "ln"; "exp"; "db" ]
+            in
+            if not known then err "spec %s: unknown function %s" s.spec_name fname;
+            if List.mem fname known_tf_functions then begin
+              match args with
+              | Netlist.Expr.Ref [ tfname ] :: _ ->
+                  if not (List.mem tfname all_tfs) then
+                    err "spec %s: unknown transfer function %s" s.spec_name tfname
+              | _ -> err "spec %s: %s expects a transfer-function name" s.spec_name fname
+            end)
+          (Netlist.Expr.calls s.expr);
+        if s.good = s.bad then err "spec %s: good and bad must differ" s.spec_name)
+      ast.specs;
+    if ast.specs = [] then err "no .obj/.spec cards";
+    (* 6. Build the variable vector: user variables then node voltages. *)
+    let init_vals = List.map (fun (v : Netlist.Ast.var_decl) -> (v.var_name, default_init v)) ast.vars in
+    let env0 = initial_env init_vals ast.params in
+    let supply_bounds =
+      Array.fold_left
+        (fun (lo, hi) (e : Netlist.Circuit.element) ->
+          match e with
+          | Netlist.Circuit.Vsource { dc; _ } -> begin
+              match Netlist.Expr.eval env0 dc with
+              | v -> (Float.min lo v, Float.max hi v)
+              | exception Netlist.Expr.Eval_error _ -> (lo, hi)
+            end
+          | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
+          | Netlist.Circuit.Isource _ | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Vccs _
+          | Netlist.Circuit.Cccs _ | Netlist.Circuit.Ccvs _ | Netlist.Circuit.Mosfet _
+          | Netlist.Circuit.Bjt _ ->
+              (lo, hi))
+        (0.0, 0.0) bias.Netlist.Circuit.elements
+    in
+    let v_lo = fst supply_bounds -. 1.0 and v_hi = snd supply_bounds +. 1.0 in
+    let user_infos =
+      List.map
+        (fun (v : Netlist.Ast.var_decl) ->
+          if v.vmin <= 0.0 && v.grid = Netlist.Ast.Grid_log then
+            err "var %s: log grid requires positive bounds" v.var_name;
+          if v.vmin >= v.vmax then err "var %s: min >= max" v.var_name;
+          State.User
+            {
+              name = v.var_name;
+              vmin = v.vmin;
+              vmax = v.vmax;
+              grid =
+                (match v.grid with
+                | Netlist.Ast.Grid_log -> State.Log_grid
+                | Netlist.Ast.Grid_lin -> State.Lin_grid);
+              steps = v.steps;
+            })
+        ast.vars
+    in
+    let node_infos =
+      List.init tl.Treelink.n_free (fun k ->
+          State.Node_voltage
+            {
+              label = tl.Treelink.labels.(k);
+              nodes = tl.Treelink.members.(k);
+              vmin = v_lo;
+              vmax = v_hi;
+            })
+    in
+    let state0 = State.create (Array.of_list (user_infos @ node_infos)) in
+    List.iteri
+      (fun i (v : Netlist.Ast.var_decl) -> State.set_initial state0 i (default_init v))
+      ast.vars;
+    (* 7. Analysis metrics (the Table-1 row) including the size of the
+       evaluator the original ASTRX would have emitted as C code. *)
+    let n_devices_regioned =
+      Array.fold_left
+        (fun acc (e : Netlist.Circuit.element) ->
+          match e with
+          | Netlist.Circuit.Mosfet { name; _ } | Netlist.Circuit.Bjt { name; _ } ->
+              if List.assoc_opt name ast.regions = Some Netlist.Ast.Region_any then acc
+              else acc + 1
+          | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
+          | Netlist.Circuit.Vsource _ | Netlist.Circuit.Isource _ | Netlist.Circuit.Vcvs _
+          | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _ | Netlist.Circuit.Ccvs _ ->
+              acc)
+        0 bias.Netlist.Circuit.elements
+    in
+    let spec_expr_size =
+      List.fold_left (fun acc (s : Netlist.Ast.spec) -> acc + Netlist.Expr.size s.expr) 0 ast.specs
+    in
+    let n_tfs = List.fold_left (fun acc (j : Problem.jig) -> acc + List.length j.tfs) 0 jigs in
+    let n_cost_terms =
+      List.length ast.specs + tl.Treelink.n_free + n_devices_regioned
+    in
+    let bias_elems = Netlist.Circuit.element_count bias in
+    let jig_sizes =
+      List.map
+        (fun (j : Problem.jig) ->
+          ( j.jig_name,
+            Netlist.Circuit.node_count j.jig_circuit,
+            Netlist.Circuit.element_count j.jig_circuit ))
+        jigs
+    in
+    let jig_elems = List.fold_left (fun acc (_, _, e) -> acc + e) 0 jig_sizes in
+    let lines_of_c =
+      38 + (3 * spec_expr_size) + (12 * tl.Treelink.n_free) + (9 * bias_elems)
+      + (7 * jig_elems) + (20 * n_tfs) + (6 * n_devices_regioned)
+    in
+    let analysis =
+      {
+        Problem.input_netlist_lines = ast.counts.netlist_lines;
+        input_synth_lines = ast.counts.synth_lines;
+        n_user_vars = List.length ast.vars;
+        n_node_vars = tl.Treelink.n_free;
+        n_cost_terms;
+        lines_of_c;
+        bias_nodes = Netlist.Circuit.node_count bias;
+        bias_elements = bias_elems;
+        awe_circuits = jig_sizes;
+      }
+    in
+    let specs =
+      List.map
+        (fun (s : Netlist.Ast.spec) ->
+          {
+            Problem.spec_name = s.spec_name;
+            kind = s.kind;
+            expr = s.expr;
+            good = s.good;
+            bad = s.bad;
+          })
+        ast.specs
+    in
+    Ok
+      {
+        Problem.title = ast.title;
+        registry;
+        params = ast.params;
+        state0;
+        bias;
+        tl;
+        jigs;
+        specs;
+        regions = ast.regions;
+        analysis;
+      }
+  with
+  | Error msg -> Result.Error ("astrx: " ^ msg)
+  | Netlist.Elab.Error msg -> Result.Error ("astrx: elaboration: " ^ msg)
+  | Failure msg -> Result.Error ("astrx: " ^ msg)
+
+let compile_source ?corner src =
+  match Netlist.Parser.parse_problem src with
+  | ast -> compile ?corner ast
+  | exception Netlist.Parser.Error (ln, msg) ->
+      Result.Error (Printf.sprintf "astrx: parse error at line %d: %s" ln msg)

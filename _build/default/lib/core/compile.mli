@@ -1,0 +1,21 @@
+(** ASTRX — compilation of a problem description into the cost function
+    OBLX minimizes.
+
+    The pipeline mirrors the paper's Section V.A: (a) determine the
+    independent variables x (user variables plus, via {!Treelink}, the
+    bias-network node voltages of the relaxed-dc formulation), (b) generate
+    the large-signal bias network with device templates expanded,
+    (c) derive the KCL constraints, (d) generate the small-signal AWE
+    circuits for every test jig, (e) generate cost terms for each
+    performance specification, and (f) emit the cost-function evaluator
+    (an OCaml closure graph here; the original emitted C — see DESIGN.md),
+    whose size is reported in the analysis record. *)
+
+exception Error of string
+
+(** [compile ?corner ast] runs the whole pipeline. The optional process
+    corner skews every device model (see {!Corners}). *)
+val compile : ?corner:Devices.Registry.corner -> Netlist.Ast.problem -> (Problem.t, string) result
+
+(** [compile_source ?corner src] parses then compiles. *)
+val compile_source : ?corner:Devices.Registry.corner -> string -> (Problem.t, string) result

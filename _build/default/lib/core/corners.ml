@@ -1,0 +1,86 @@
+let corner name kp vto beta =
+  {
+    Devices.Registry.corner_name = name;
+    kp_scale = kp;
+    vto_shift = vto;
+    beta_scale = beta;
+  }
+
+let standard =
+  [
+    Devices.Registry.nominal_corner;
+    corner "slow" 0.85 0.08 0.8;
+    corner "fast" 1.15 (-0.08) 1.2;
+    corner "slow-n-fast-p" 0.92 0.05 0.9;
+    corner "fast-n-slow-p" 1.08 (-0.05) 1.1;
+  ]
+
+type spec_at_corner = {
+  sc_corner : string;
+  sc_values : (string * (float, string) result) list;
+}
+
+let apply_sizing (st : State.t) sizing =
+  Array.iteri
+    (fun i info ->
+      match info with
+      | State.User { name; _ } -> begin
+          match List.assoc_opt name sizing with
+          | Some v -> State.set_initial st i v
+          | None -> ()
+        end
+      | State.Node_voltage _ -> ())
+    st.State.info
+
+let analyze ?(corners = standard) ~source ~sizing () =
+  let rec run acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest -> begin
+        match Compile.compile_source ~corner:c source with
+        | Error e -> Error (c.Devices.Registry.corner_name ^ ": " ^ e)
+        | Ok p -> begin
+            let st = State.snapshot p.Problem.state0 in
+            apply_sizing st sizing;
+            match Verify.simulate_specs p st with
+            | Error e ->
+                (* A corner where the design does not even bias up is a
+                   result, not an analysis failure. *)
+                run
+                  ({
+                     sc_corner = c.Devices.Registry.corner_name;
+                     sc_values =
+                       List.map
+                         (fun (s : Problem.spec) -> (s.Problem.spec_name, Error e))
+                         p.Problem.specs;
+                   }
+                  :: acc)
+                  rest
+            | Ok values ->
+                run
+                  ({ sc_corner = c.Devices.Registry.corner_name; sc_values = values } :: acc)
+                  rest
+          end
+      end
+  in
+  run [] corners
+
+let worst_case (p : Problem.t) results =
+  List.map
+    (fun (s : Problem.spec) ->
+      let name = s.Problem.spec_name in
+      let fold acc r =
+        match (acc, r) with
+        | Error e, _ -> Error e
+        | Ok _, Error e -> Error e
+        | Ok a, Ok v -> begin
+            (* pessimistic direction per goal kind *)
+            match s.kind with
+            | Netlist.Ast.Constraint_ge | Netlist.Ast.Objective_max -> Ok (Float.min a v)
+            | Netlist.Ast.Constraint_le | Netlist.Ast.Objective_min -> Ok (Float.max a v)
+          end
+      in
+      let per_corner = List.map (fun sc -> List.assoc name sc.sc_values) results in
+      match per_corner with
+      | [] -> (name, Error "no corners")
+      | first :: rest -> (name, List.fold_left fold first rest))
+    p.Problem.specs

@@ -1,0 +1,33 @@
+(** Process-corner analysis — the paper's stated next step ("the manual
+    designer was willing to trade nominal performance for better estimated
+    yield and performance over varying operating conditions. Adding this
+    ability to ASTRX/OBLX is one of our highest priorities").
+
+    A corner skews every device model (slow/fast silicon, threshold
+    shifts); [analyze] re-verifies a finished design at each corner with
+    the reference simulator, and [worst_case] reduces the per-corner spec
+    values to the pessimistic bound for each constraint direction. *)
+
+(** The classic five: nominal, slow, fast, and the two skewed corners. *)
+val standard : Devices.Registry.corner list
+
+type spec_at_corner = {
+  sc_corner : string;
+  sc_values : (string * (float, string) result) list;
+}
+
+(** [analyze ~source ~sizing] recompiles the problem at every corner,
+    applies the design point [sizing] (user-variable name/value pairs),
+    and evaluates every specification with the reference simulator. *)
+val analyze :
+  ?corners:Devices.Registry.corner list ->
+  source:string ->
+  sizing:(string * float) list ->
+  unit ->
+  (spec_at_corner list, string) result
+
+(** [worst_case p results] folds corner results into the worst value per
+    spec (min for >= constraints and maximized objectives, max for <=). A
+    spec that failed at any corner reports that corner's error. *)
+val worst_case :
+  Problem.t -> spec_at_corner list -> (string * (float, string) result) list

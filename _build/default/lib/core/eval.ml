@@ -1,0 +1,463 @@
+type bias_point = {
+  node_v : float array;
+  ops : (string * Mna.Dc.op_info) list;
+  residuals : float array;
+  res_scale : float array;
+  node_leaving : float array;
+      (* per bias node: total current leaving into non-source elements *)
+}
+
+exception Measurement_failed of string
+
+(* --- Element-value environment: state variables, parameters, math. --- *)
+
+let value_env (p : Problem.t) (st : State.t) =
+  let rec lookup seen path =
+    match path with
+    | [ name ] -> begin
+        match State.lookup_value st name with
+        | v -> v
+        | exception Not_found -> begin
+            match List.assoc_opt name p.Problem.params with
+            | Some e ->
+                if List.mem name seen then
+                  raise (Netlist.Expr.Eval_error ("parameter cycle at " ^ name))
+                else
+                  Netlist.Expr.eval
+                    { Netlist.Expr.lookup = lookup (name :: seen); call = Builtin.math_call }
+                    e
+            | None -> raise Not_found
+          end
+      end
+    | _ -> raise Not_found
+  in
+  { Netlist.Expr.lookup = lookup []; call = Builtin.math_call }
+
+(* --- Node voltages from the tree-link assignment. --- *)
+
+let node_voltages (p : Problem.t) (st : State.t) =
+  let env = value_env p st in
+  let base = Problem.node_var_base p in
+  Array.map
+    (fun a ->
+      match a with
+      | Treelink.Fixed e -> Netlist.Expr.eval env e
+      | Treelink.Free (k, off) -> st.State.values.(base + k) +. Netlist.Expr.eval env off)
+    p.Problem.tl.Treelink.of_node
+
+(* --- KCL currents over the bias network. ---
+
+   [currents] accumulates, per node, the sum of currents leaving the node
+   into elements (voltage sources excluded: inside a supernode they cancel)
+   and the sum of magnitudes (the normalization scale). Device operating
+   points fall out of the same sweep. *)
+
+let sweep_bias (p : Problem.t) (st : State.t) ~want_ops =
+  let env = value_env p st in
+  let value e = Netlist.Expr.eval env e in
+  let nv = node_voltages p st in
+  let n = Array.length nv in
+  let cur = Array.make n 0.0 in
+  let mag = Array.make n 0.0 in
+  let ops = ref [] in
+  let flow node i =
+    cur.(node) <- cur.(node) +. i;
+    mag.(node) <- mag.(node) +. Float.abs i
+  in
+  Array.iter
+    (fun (e : Netlist.Circuit.element) ->
+      match e with
+      | Netlist.Circuit.Resistor { n1; n2; value = ve; _ } ->
+          let i = (nv.(n1) -. nv.(n2)) /. value ve in
+          flow n1 i;
+          flow n2 (-.i)
+      | Netlist.Circuit.Capacitor _ -> ()
+      | Netlist.Circuit.Vsource _ -> ()
+      | Netlist.Circuit.Isource { np; nn; dc; _ } ->
+          let i = value dc in
+          flow np i;
+          flow nn (-.i)
+      | Netlist.Circuit.Vccs { np; nn; ncp; ncn; gm; _ } ->
+          let i = value gm *. (nv.(ncp) -. nv.(ncn)) in
+          flow np i;
+          flow nn (-.i)
+      | Netlist.Circuit.Mosfet { name; d; g; s; b; model; w; l; mult } -> begin
+          match Devices.Registry.find_exn p.Problem.registry model with
+          | Devices.Sig.Mos { eval; _ } ->
+              let op =
+                eval ~w:(value w) ~l:(value l) ~m:(value mult) ~vd:nv.(d) ~vg:nv.(g)
+                  ~vs:nv.(s) ~vb:nv.(b)
+              in
+              let open Devices.Sig in
+              flow d op.id_;
+              flow s (-.op.id_);
+              flow b (op.ibd_ +. op.ibs_);
+              flow d (-.op.ibd_);
+              flow s (-.op.ibs_);
+              if want_ops then ops := (name, Mna.Dc.Mos_op op) :: !ops
+          | Devices.Sig.Bjt _ -> failwith (name ^ ": MOS element with BJT model")
+        end
+      | Netlist.Circuit.Bjt { name; c; b; e = ne; model; area } -> begin
+          match Devices.Registry.find_exn p.Problem.registry model with
+          | Devices.Sig.Bjt { eval; _ } ->
+              let op = eval ~area:(value area) ~vc:nv.(c) ~vb:nv.(b) ~ve:nv.(ne) in
+              let open Devices.Sig in
+              flow c op.ic;
+              flow b op.ib;
+              flow ne (-.(op.ic +. op.ib));
+              if want_ops then ops := (name, Mna.Dc.Bjt_op op) :: !ops
+          | Devices.Sig.Mos _ -> failwith (name ^ ": BJT element with MOS model")
+        end
+      | Netlist.Circuit.Inductor { name; _ }
+      | Netlist.Circuit.Vcvs { name; _ }
+      | Netlist.Circuit.Cccs { name; _ }
+      | Netlist.Circuit.Ccvs { name; _ } ->
+          failwith (name ^ ": unsupported element in bias network"))
+    p.Problem.bias.Netlist.Circuit.elements;
+  (nv, cur, mag, List.rev !ops)
+
+let group_residuals (p : Problem.t) cur mag =
+  let tl = p.Problem.tl in
+  let residuals = Array.make tl.Treelink.n_free 0.0 in
+  let scale = Array.make tl.Treelink.n_free 0.0 in
+  Array.iteri
+    (fun k members ->
+      List.iter
+        (fun node ->
+          residuals.(k) <- residuals.(k) +. cur.(node);
+          scale.(k) <- scale.(k) +. mag.(node))
+        members)
+    tl.Treelink.members;
+  (residuals, scale)
+
+let bias_point p st =
+  let nv, cur, mag, ops = sweep_bias p st ~want_ops:true in
+  let residuals, res_scale = group_residuals p cur mag in
+  { node_v = nv; ops; residuals; res_scale; node_leaving = cur }
+
+let residuals_quick p st =
+  let _, cur, mag, _ = sweep_bias p st ~want_ops:false in
+  let residuals, _ = group_residuals p cur mag in
+  residuals
+
+(* --- Measurements over the AWE circuits. --- *)
+
+type measured = {
+  bias : bias_point;
+  roms : (string * (Awe.Rom.t, string) result) list;
+  spec_values : (string * float option) list;
+}
+
+(* Fields of a device operating point addressable from spec expressions. *)
+let op_field (op : Mna.Dc.op_info) field =
+  match (op, field) with
+  | Mna.Dc.Mos_op o, "id" -> Float.abs o.Devices.Sig.id_
+  | Mna.Dc.Mos_op o, "gm" -> o.Devices.Sig.gm
+  | Mna.Dc.Mos_op o, "gds" -> o.Devices.Sig.gds
+  | Mna.Dc.Mos_op o, "gmbs" -> o.Devices.Sig.gmbs
+  | Mna.Dc.Mos_op o, "vth" -> o.Devices.Sig.vth
+  | Mna.Dc.Mos_op o, "vdsat" -> o.Devices.Sig.vdsat
+  | Mna.Dc.Mos_op o, "vgst" -> o.Devices.Sig.vgst
+  | Mna.Dc.Mos_op o, "vds" -> o.Devices.Sig.vds_mag
+  | Mna.Dc.Mos_op o, "cgs" -> o.Devices.Sig.cgs
+  | Mna.Dc.Mos_op o, "cgd" -> o.Devices.Sig.cgd
+  | Mna.Dc.Mos_op o, "cgb" -> o.Devices.Sig.cgb
+  | Mna.Dc.Mos_op o, "cbd" -> o.Devices.Sig.cbd
+  | Mna.Dc.Mos_op o, "cbs" -> o.Devices.Sig.cbs
+  | Mna.Dc.Mos_op o, "cd" -> o.Devices.Sig.cgd +. o.Devices.Sig.cbd
+  | Mna.Dc.Mos_op o, "cs" -> o.Devices.Sig.cgs +. o.Devices.Sig.cbs
+  | Mna.Dc.Mos_op o, "cg" -> o.Devices.Sig.cgs +. o.Devices.Sig.cgd +. o.Devices.Sig.cgb
+  | Mna.Dc.Bjt_op o, "ic" -> Float.abs o.Devices.Sig.ic
+  | Mna.Dc.Bjt_op o, "ib" -> Float.abs o.Devices.Sig.ib
+  | Mna.Dc.Bjt_op o, "gm" -> o.Devices.Sig.bjt_gm
+  | Mna.Dc.Bjt_op o, "gpi" -> o.Devices.Sig.gpi
+  | Mna.Dc.Bjt_op o, "go" -> o.Devices.Sig.go
+  | Mna.Dc.Bjt_op o, "cpi" -> o.Devices.Sig.cpi
+  | Mna.Dc.Bjt_op o, "cmu" -> o.Devices.Sig.cmu
+  | Mna.Dc.Bjt_op o, "ccs" -> o.Devices.Sig.ccs
+  | Mna.Dc.Bjt_op o, "vbe" -> o.Devices.Sig.vbe_f
+  | (Mna.Dc.Mos_op _ | Mna.Dc.Bjt_op _), f -> raise (Measurement_failed ("unknown op field " ^ f))
+
+(* Active area of the circuit under design, reported in square microns:
+   W*L*m per MOS plus a nominal per-unit-area footprint for BJTs. *)
+let bjt_unit_area_um2 = 400.0
+
+let active_area_um2 (p : Problem.t) (st : State.t) =
+  let env = value_env p st in
+  let value e = Netlist.Expr.eval env e in
+  Array.fold_left
+    (fun acc (e : Netlist.Circuit.element) ->
+      match e with
+      | Netlist.Circuit.Mosfet { w; l; mult; _ } ->
+          acc +. (value w *. value l *. value mult *. 1e12)
+      | Netlist.Circuit.Bjt { area; _ } -> acc +. (value area *. bjt_unit_area_um2)
+      | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
+      | Netlist.Circuit.Vsource _ | Netlist.Circuit.Isource _ | Netlist.Circuit.Vcvs _
+      | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _ | Netlist.Circuit.Ccvs _ ->
+          acc)
+    0.0 p.Problem.bias.Netlist.Circuit.elements
+
+(* Static power: total dissipation over the bias network, which equals the
+   supply-delivered power once KCL holds. *)
+let static_power (p : Problem.t) (st : State.t) (bp : bias_point) =
+  let env = value_env p st in
+  let value e = Netlist.Expr.eval env e in
+  let nv = bp.node_v in
+  Array.fold_left
+    (fun acc (e : Netlist.Circuit.element) ->
+      match e with
+      | Netlist.Circuit.Resistor { n1; n2; value = ve; _ } ->
+          let dv = nv.(n1) -. nv.(n2) in
+          acc +. (dv *. dv /. value ve)
+      | Netlist.Circuit.Mosfet { name; d; s; _ } -> begin
+          match List.assoc_opt name bp.ops with
+          | Some (Mna.Dc.Mos_op o) -> acc +. Float.abs (o.Devices.Sig.id_ *. (nv.(d) -. nv.(s)))
+          | Some (Mna.Dc.Bjt_op _) | None -> acc
+        end
+      | Netlist.Circuit.Bjt { name; c; b; e = ne; _ } -> begin
+          match List.assoc_opt name bp.ops with
+          | Some (Mna.Dc.Bjt_op o) ->
+              acc
+              +. Float.abs (o.Devices.Sig.ic *. (nv.(c) -. nv.(ne)))
+              +. Float.abs (o.Devices.Sig.ib *. (nv.(b) -. nv.(ne)))
+          | Some (Mna.Dc.Mos_op _) | None -> acc
+        end
+      | Netlist.Circuit.Isource { np; nn; dc; _ } ->
+          acc +. Float.abs (value dc *. (nv.(np) -. nv.(nn)))
+      | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _ | Netlist.Circuit.Vsource _
+      | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _
+      | Netlist.Circuit.Ccvs _ ->
+          acc)
+    0.0 p.Problem.bias.Netlist.Circuit.elements
+
+let build_roms (p : Problem.t) (st : State.t) (bp : bias_point) =
+  let env = value_env p st in
+  let value e = Netlist.Expr.eval env e in
+  let ops name = List.assoc_opt name bp.ops in
+  List.concat_map
+    (fun (j : Problem.jig) ->
+      match Mna.Linearize.build ~value ~ops j.jig_circuit with
+      | lin ->
+          let fac = Awe.Moments.factor lin in
+          List.map
+            (fun (tfname, (tf : Problem.tf)) ->
+              let rom =
+                try
+                  let b = Mna.Linearize.excitation_of lin ~src:tf.src in
+                  let sel =
+                    Mna.Linearize.output_vector lin ~pos:tf.out_pos ~neg:tf.out_neg
+                  in
+                  Awe.Rom.build_with fac ~b ~sel
+                with
+                | Failure m -> Error m
+                | La.Lu.Singular _ -> Error "singular AWE system"
+              in
+              (tfname, rom))
+            j.tfs
+      | exception Failure m ->
+          List.map (fun (tfname, _) -> (tfname, Error m)) j.tfs)
+    p.Problem.jigs
+
+let rom_of roms tfname =
+  match List.assoc_opt tfname roms with
+  | Some (Ok r) -> r
+  | Some (Error m) -> raise (Measurement_failed (tfname ^ ": " ^ m))
+  | None -> raise (Measurement_failed ("unknown transfer function " ^ tfname))
+
+(* Spec-expression environment: element values plus device operating-point
+   references plus the AWE measurement functions. *)
+let spec_env (p : Problem.t) (st : State.t) (bp : bias_point) roms =
+  let base = value_env p st in
+  let lookup path =
+    match path with
+    | [ _ ] -> base.Netlist.Expr.lookup path
+    | [] -> raise Not_found
+    | parts -> begin
+        (* device ref: all but the last segment name the element *)
+        let rec split_last acc = function
+          | [ last ] -> (List.rev acc, last)
+          | x :: rest -> split_last (x :: acc) rest
+          | [] -> assert false
+        in
+        let devparts, field = split_last [] parts in
+        let devname = String.concat "." devparts in
+        match List.assoc_opt devname bp.ops with
+        | Some op -> op_field op field
+        | None -> raise Not_found
+      end
+  in
+  let call name args =
+    let tfarg = function
+      | Netlist.Expr.Name n -> n
+      | Netlist.Expr.Num _ ->
+          raise (Measurement_failed (name ^ ": expected a transfer-function name"))
+    in
+    let numarg = function
+      | Netlist.Expr.Num v -> v
+      | Netlist.Expr.Name n -> raise (Measurement_failed (name ^ ": unexpected name " ^ n))
+    in
+    match (name, args) with
+    | "dc_gain", [ tf ] -> Awe.Rom.dc_gain (rom_of roms (tfarg tf))
+    | "ugf", [ tf ] -> Option.value ~default:0.0 (Awe.Rom.unity_gain_freq (rom_of roms (tfarg tf)))
+    | ("phase_margin" | "pm"), [ tf ] ->
+        Option.value ~default:180.0 (Awe.Rom.phase_margin (rom_of roms (tfarg tf)))
+    | "gain_at", [ tf; f ] -> Awe.Rom.magnitude_at (rom_of roms (tfarg tf)) ~f:(numarg f)
+    | "bw3db", [ tf ] -> Option.value ~default:0.0 (Awe.Rom.bandwidth_3db (rom_of roms (tfarg tf)))
+    | "pole1", [ tf ] ->
+        Option.value ~default:0.0 (Awe.Rom.dominant_pole_hz (rom_of roms (tfarg tf)))
+    | "gain_margin_db", [ tf ] ->
+        Option.value ~default:60.0 (Awe.Rom.gain_margin_db (rom_of roms (tfarg tf)))
+    | "area", [] -> active_area_um2 p st
+    | "power", [] -> static_power p st bp
+    | "supply_current", [ src ] -> begin
+        (* Current delivered by a bias-network voltage source: by KCL the
+           source carries minus the sum of the other currents leaving its
+           + node (approximate if several sources share the node). *)
+        let srcname =
+          match src with
+          | Netlist.Expr.Name n -> n
+          | Netlist.Expr.Num _ ->
+              raise (Measurement_failed "supply_current: expected a source name")
+        in
+        match Netlist.Circuit.find_element p.Problem.bias srcname with
+        | Netlist.Circuit.Vsource { np; _ } -> Float.abs bp.node_leaving.(np)
+        | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
+        | Netlist.Circuit.Isource _ | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Vccs _
+        | Netlist.Circuit.Cccs _ | Netlist.Circuit.Ccvs _ | Netlist.Circuit.Mosfet _
+        | Netlist.Circuit.Bjt _ ->
+            raise (Measurement_failed ("supply_current: " ^ srcname ^ " is not a V source"))
+        | exception Not_found ->
+            raise (Measurement_failed ("supply_current: unknown source " ^ srcname))
+      end
+    | _ -> begin
+        try Builtin.math_call name args
+        with Builtin.Unknown_function f -> raise (Measurement_failed ("unknown function " ^ f))
+      end
+  in
+  { Netlist.Expr.lookup; call }
+
+let measure (p : Problem.t) (st : State.t) =
+  let bp = bias_point p st in
+  let roms = build_roms p st bp in
+  let env = spec_env p st bp roms in
+  let spec_values =
+    List.map
+      (fun (s : Problem.spec) ->
+        let v =
+          try Some (Netlist.Expr.eval env s.expr) with
+          | Measurement_failed _ -> None
+          | Netlist.Expr.Eval_error _ -> None
+        in
+        let v = match v with Some x when not (Float.is_finite x) -> None | other -> other in
+        (s.spec_name, v))
+      p.Problem.specs
+  in
+  { bias = bp; roms; spec_values }
+
+(* --- Cost assembly (paper eq. (5)). --- *)
+
+(* Penalty charged for a failed measurement: several times worse than a
+   "bad" outcome so the annealer backs away from degenerate regions. *)
+let failed_measurement_penalty = 5.0
+
+let cost_of_spec_values (p : Problem.t) spec_values =
+  List.fold_left
+    (fun (obj, perf) (s : Problem.spec) ->
+      let v = match List.assoc_opt s.spec_name spec_values with Some v -> v | None -> None in
+      let normalized =
+        match v with
+        | Some value -> (s.good -. value) /. (s.good -. s.bad)
+        | None -> failed_measurement_penalty
+      in
+      match s.kind with
+      | Netlist.Ast.Objective_max | Netlist.Ast.Objective_min ->
+          (* Exceeding "good" keeps paying, but boundedly: without the
+             clamp the annealer can ride a measurement artifact (e.g. a
+             barely-valid ROM reporting absurd bandwidth) to a bottomless
+             objective that drowns every penalty term. *)
+          (obj +. Float.max normalized (-2.0), perf)
+      | Netlist.Ast.Constraint_ge | Netlist.Ast.Constraint_le ->
+          (obj, perf +. Float.max 0.0 normalized))
+    (0.0, 0.0) p.Problem.specs
+
+let spec_terms (p : Problem.t) (m : measured) = cost_of_spec_values p m.spec_values
+
+(* Region-of-operation penalties (C_dev): saturation margin for MOS devices
+   and forward-active margin for BJTs, unless overridden by .devregion. *)
+let sat_margin = 0.03
+
+let dev_terms (p : Problem.t) (m : measured) =
+  List.fold_left
+    (fun acc (name, op) ->
+      let req =
+        Option.value ~default:Netlist.Ast.Region_sat (List.assoc_opt name p.Problem.regions)
+      in
+      match (req, op) with
+      | Netlist.Ast.Region_any, (Mna.Dc.Mos_op _ | Mna.Dc.Bjt_op _) -> acc
+      | Netlist.Ast.Region_sat, Mna.Dc.Mos_op o ->
+          (* "on" uses the raw overdrive so a hard-off device pays in
+             proportion to how far below threshold its gate sits. *)
+          let on = Float.max 0.0 (0.05 -. o.Devices.Sig.vgst_raw) in
+          let sat =
+            Float.max 0.0 (o.Devices.Sig.vdsat +. sat_margin -. o.Devices.Sig.vds_mag)
+          in
+          acc +. on +. sat
+      | Netlist.Ast.Region_linear, Mna.Dc.Mos_op o ->
+          let on = Float.max 0.0 (0.05 -. o.Devices.Sig.vgst_raw) in
+          let lin =
+            Float.max 0.0 (o.Devices.Sig.vds_mag -. o.Devices.Sig.vdsat +. sat_margin)
+          in
+          acc +. on +. lin
+      | Netlist.Ast.Region_off, Mna.Dc.Mos_op o ->
+          acc +. Float.max 0.0 (o.Devices.Sig.vgst_raw +. 0.05)
+      | Netlist.Ast.Region_sat, Mna.Dc.Bjt_op o ->
+          (* forward active: vbe >= ~0.55, vbc <= ~0.2 *)
+          let on = Float.max 0.0 (0.55 -. o.Devices.Sig.vbe_f) in
+          let fwd =
+            match o.Devices.Sig.bjt_region with
+            | Devices.Sig.Linear -> 0.5 (* saturated *)
+            | Devices.Sig.Off | Devices.Sig.Subthreshold | Devices.Sig.Saturation -> 0.0
+          in
+          acc +. on +. fwd
+      | (Netlist.Ast.Region_linear | Netlist.Ast.Region_off), Mna.Dc.Bjt_op o ->
+          acc +. Float.max 0.0 (o.Devices.Sig.vbe_f -. 0.4))
+    0.0 m.bias.ops
+
+(* Relaxed-dc penalties (C_dc): relative KCL violation per free variable. *)
+let dc_tau_rel = 1e-6
+
+let dc_terms (m : measured) =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k r ->
+      let scale = m.bias.res_scale.(k) +. 1e-9 in
+      let rel = Float.abs r /. scale in
+      acc := !acc +. Float.max 0.0 (rel -. dc_tau_rel))
+    m.bias.residuals;
+  !acc
+
+let raw_terms p _st m =
+  let obj, perf = spec_terms p m in
+  let dev = dev_terms p m in
+  let dc = dc_terms m in
+  (obj, perf, dev, dc)
+
+type breakdown = {
+  c_obj : float;
+  c_perf : float;
+  c_dev : float;
+  c_dc : float;
+  total : float;
+  measured : measured;
+}
+
+let cost (p : Problem.t) (w : Weights.t) (st : State.t) =
+  let m = measure p st in
+  let obj, perf, dev, dc = raw_terms p st m in
+  let c_obj = obj in
+  let c_perf = w.Weights.w_perf *. perf in
+  let c_dev = w.Weights.w_dev *. dev in
+  let c_dc = w.Weights.w_dc *. dc in
+  { c_obj; c_perf; c_dev; c_dc; total = c_obj +. c_perf +. c_dev +. c_dc; measured = m }
+
+let cost_scalar p w st = (cost p w st).total

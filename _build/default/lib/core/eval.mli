@@ -1,0 +1,75 @@
+(** The cost-function evaluator ASTRX compiles: given a design state x it
+    produces the bias point (device operating points + KCL residuals of the
+    relaxed-dc formulation), the AWE reduced-order models of every test-jig
+    transfer function, the measured specification values, and the scalar
+    cost C(x) of paper eq. (5):
+
+    C(x) = C_obj + C_perf + C_dev + C_dc *)
+
+type bias_point = {
+  node_v : float array;  (** absolute voltage per bias-circuit node *)
+  ops : (string * Mna.Dc.op_info) list;
+  residuals : float array;  (** KCL residual (A) per free variable *)
+  res_scale : float array;  (** sum of |branch currents| per free variable *)
+  node_leaving : float array;
+      (** per node, total current leaving into non-source elements — used
+          by the [supply_current] spec function *)
+}
+
+(** [value_env p st] evaluates element-value expressions: user variables,
+    parameters, and built-in math. *)
+val value_env : Problem.t -> State.t -> Netlist.Expr.env
+
+(** [node_voltages p st] maps the tree-link assignment onto the state. *)
+val node_voltages : Problem.t -> State.t -> float array
+
+val bias_point : Problem.t -> State.t -> bias_point
+
+(** [residuals_quick p st] recomputes only the KCL residual vector — the
+    inner loop of Newton-Raphson moves. *)
+val residuals_quick : Problem.t -> State.t -> float array
+
+exception Measurement_failed of string
+
+(** [op_field op name] reads one named quantity ([gm], [cd], [vdsat], ...)
+    from a device operating point — the resolution of dotted references
+    like [xamp.m1.cd] in specification expressions. *)
+val op_field : Mna.Dc.op_info -> string -> float
+
+(** [active_area_um2 p st] is the summed device area of the circuit under
+    design, square microns. *)
+val active_area_um2 : Problem.t -> State.t -> float
+
+type measured = {
+  bias : bias_point;
+  roms : (string * (Awe.Rom.t, string) result) list;  (** per transfer function *)
+  spec_values : (string * float option) list;  (** None = measurement failed *)
+}
+
+val measure : Problem.t -> State.t -> measured
+
+type breakdown = {
+  c_obj : float;
+  c_perf : float;
+  c_dev : float;
+  c_dc : float;
+  total : float;
+  measured : measured;
+}
+
+(** [cost p w st] — the full evaluation, with [w] the current adaptive
+    weights. *)
+val cost : Problem.t -> Weights.t -> State.t -> breakdown
+
+(** [cost_scalar] is [cost] without keeping the breakdown. *)
+val cost_scalar : Problem.t -> Weights.t -> State.t -> float
+
+(** Normalized spec terms, exposed for the adaptive-weight controller:
+    objective contributions and penalty contributions before weighting. *)
+val raw_terms : Problem.t -> State.t -> measured -> float * float * float * float
+
+(** [cost_of_spec_values p vals] is the (objective, penalty) pair from the
+    good/bad normalization alone — shared with the simulation-based
+    baseline optimizer, which has no relaxed-dc or device-region terms. *)
+val cost_of_spec_values :
+  Problem.t -> (string * float option) list -> float * float

@@ -1,0 +1,142 @@
+type trace_point = {
+  tp_moves : int;
+  tp_cost : float;
+  tp_best : float;
+  tp_max_kcl_rel : float;
+  tp_max_kcl_abs : float;
+  tp_temperature : float;
+}
+
+type result = {
+  final : State.t;
+  predicted : (string * float option) list;
+  best_cost : float;
+  moves : int;
+  accepted : int;
+  froze_early : bool;
+  evals : int;
+  eval_time_ms : float;
+  run_time_s : float;
+  trace : trace_point list;
+}
+
+let kcl_stats (bp : Eval.bias_point) =
+  let rel = ref 0.0 and abs_ = ref 0.0 in
+  Array.iteri
+    (fun k r ->
+      abs_ := Float.max !abs_ (Float.abs r);
+      rel := Float.max !rel (Float.abs r /. (bp.Eval.res_scale.(k) +. 1e-9)))
+    bp.Eval.residuals;
+  (!rel, !abs_)
+
+let synthesize ?(seed = 1) ?moves (p : Problem.t) =
+  let n_vars = State.n_vars p.Problem.state0 in
+  let total_moves =
+    match moves with Some m -> m | None -> Int.min 150_000 (Int.max 8_000 (2000 * n_vars))
+  in
+  let weights = Weights.create () in
+  let ctx = Moves.make p in
+  let rng = Anneal.Rng.create seed in
+  let evals = ref 0 in
+  let eval_clock = ref 0.0 in
+  let cost st =
+    let t0 = Unix.gettimeofday () in
+    let c = Eval.cost_scalar p weights st in
+    eval_clock := !eval_clock +. (Unix.gettimeofday () -. t0);
+    incr evals;
+    if Float.is_finite c then c else 1e12
+  in
+  let trace = ref [] in
+  let last_discrete = ref [||] in
+  let stable_stages = ref 0 in
+  let on_stage st (info : Anneal.Annealer.stage_info) =
+    (* Adaptive weights from the unweighted group penalties. *)
+    let m = Eval.measure p st in
+    let _, perf, dev, dc = Eval.raw_terms p st m in
+    let progress = float_of_int info.moves_done /. float_of_int total_moves in
+    Weights.update weights ~progress ~perf ~dev ~dc;
+    let rel, abs_ = kcl_stats m.Eval.bias in
+    trace :=
+      {
+        tp_moves = info.moves_done;
+        tp_cost = info.current_cost;
+        tp_best = info.best_cost;
+        tp_max_kcl_rel = rel;
+        tp_max_kcl_abs = abs_;
+        tp_temperature = info.temperature;
+      }
+      :: !trace;
+    (* Discrete-variable stability for the freezing criterion. *)
+    let disc = Array.copy st.State.grid_index in
+    if !last_discrete <> [||] && disc = !last_discrete then incr stable_stages
+    else stable_stages := 0;
+    last_discrete := disc
+  in
+  let frozen _st = !stable_stages >= 8 && Moves.ranges_converged ctx in
+  let problem =
+    {
+      Anneal.Annealer.classes = Moves.classes;
+      propose = (fun st k rng -> Moves.propose ctx st k rng);
+      cost;
+      snapshot = State.snapshot;
+      frozen = Some frozen;
+      on_stage = Some on_stage;
+      on_result = Some (fun k ~accepted -> Moves.record_result ctx k ~accepted);
+    }
+  in
+  let t_start = Unix.gettimeofday () in
+  let init = State.snapshot p.Problem.state0 in
+  let outcome = Anneal.Annealer.run ~rng ~total_moves ~init problem in
+  (* Final polish: drive the relaxed-dc residuals to zero with full NR so
+     the winning design is dc-correct like a simulated circuit. *)
+  let best = outcome.Anneal.Annealer.best in
+  let rec polish k =
+    if k = 0 then ()
+    else begin
+      match Moves.newton_step p best ~damping:1.0 with
+      | Some change when change > 1e-12 -> polish (k - 1)
+      | Some _ | None -> ()
+    end
+  in
+  polish 25;
+  (* If the iterated polish stalled short of dc-correctness, let the full
+     simulator engine finish the job. *)
+  (let bp = Eval.bias_point p best in
+   let worst =
+     Array.fold_left (fun a r -> Float.max a (Float.abs r)) 0.0 bp.Eval.residuals
+   in
+   if worst > 1e-9 then begin
+     ignore (Moves.newton_global p best);
+     polish 10
+   end);
+  let run_time_s = Unix.gettimeofday () -. t_start in
+  let m = Eval.measure p best in
+  {
+    final = best;
+    predicted = m.Eval.spec_values;
+    best_cost = outcome.Anneal.Annealer.best_cost;
+    moves = outcome.Anneal.Annealer.moves;
+    accepted = outcome.Anneal.Annealer.accepted;
+    froze_early = outcome.Anneal.Annealer.froze_early;
+    evals = !evals;
+    eval_time_ms = (if !evals > 0 then 1000.0 *. !eval_clock /. float_of_int !evals else 0.0);
+    run_time_s;
+    trace = List.rev !trace;
+  }
+
+let score (p : Problem.t) (r : result) =
+  (* Rank runs by final cost, with failed measurements pushed last. *)
+  let failed =
+    List.exists (fun (_, v) -> v = None) r.predicted && p.Problem.specs <> []
+  in
+  if failed then r.best_cost +. 1e6 else r.best_cost
+
+let best_of ?(seed = 1) ?moves ~runs (p : Problem.t) =
+  if runs < 1 then invalid_arg "Oblx.best_of: runs must be >= 1";
+  let results = List.init runs (fun k -> synthesize ~seed:(seed + (97 * k)) ?moves p) in
+  let best =
+    List.fold_left
+      (fun acc r -> match acc with None -> Some r | Some b -> if score p r < score p b then Some r else acc)
+      None results
+  in
+  (Option.get best, results)

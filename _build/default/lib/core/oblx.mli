@@ -1,0 +1,35 @@
+(** OBLX — the solution engine: simulated annealing over the compiled cost
+    function, with adaptive weights, Hustin move selection, Lam cooling,
+    range-limiter freezing and a final Newton-Raphson polish that makes the
+    winning design dc-correct to simulator-like tolerances. *)
+
+type trace_point = {
+  tp_moves : int;
+  tp_cost : float;
+  tp_best : float;
+  tp_max_kcl_rel : float;  (** worst relative KCL violation *)
+  tp_max_kcl_abs : float;  (** worst absolute KCL current, A *)
+  tp_temperature : float;
+}
+
+type result = {
+  final : State.t;  (** best design found, NR-polished *)
+  predicted : (string * float option) list;  (** OBLX's own spec predictions *)
+  best_cost : float;
+  moves : int;
+  accepted : int;
+  froze_early : bool;
+  evals : int;  (** cost-function evaluations performed *)
+  eval_time_ms : float;  (** mean wall time per evaluation *)
+  run_time_s : float;
+  trace : trace_point list;  (** per-stage, oldest first (Fig. 2 data) *)
+}
+
+(** [synthesize ?seed ?moves p] runs one annealing run. [moves] defaults to
+    [3000 * n_vars] capped to a practical budget. *)
+val synthesize : ?seed:int -> ?moves:int -> Problem.t -> result
+
+(** [best_of ?seed ?moves ~runs p] performs several independent runs (the
+    paper runs 5-10 overnight) and returns the lowest-cost result plus all
+    individual results. *)
+val best_of : ?seed:int -> ?moves:int -> runs:int -> Problem.t -> result * result list

@@ -1,0 +1,51 @@
+(* The compiled synthesis problem: everything ASTRX produces from the
+   input description, ready for OBLX to solve. *)
+
+type tf = { out_pos : int; out_neg : int option; src : string }
+
+type jig = {
+  jig_name : string;
+  jig_circuit : Netlist.Circuit.t;  (** template-expanded *)
+  tfs : (string * tf) list;  (** transfer-function name -> ports *)
+}
+
+type spec = {
+  spec_name : string;
+  kind : Netlist.Ast.goal_kind;
+  expr : Netlist.Expr.t;
+  good : float;
+  bad : float;
+}
+
+(* The Table-1 row: what ASTRX's analysis of the problem produced. *)
+type analysis = {
+  input_netlist_lines : int;
+  input_synth_lines : int;
+  n_user_vars : int;
+  n_node_vars : int;
+  n_cost_terms : int;
+  lines_of_c : int;  (** size of the generated evaluator, C-lines metric *)
+  bias_nodes : int;
+  bias_elements : int;
+  awe_circuits : (string * int * int) list;  (** jig, nodes, elements *)
+}
+
+type t = {
+  title : string;
+  registry : Devices.Registry.t;
+  params : (string * Netlist.Expr.t) list;
+  state0 : State.t;
+  bias : Netlist.Circuit.t;  (** template-expanded bias network *)
+  tl : Treelink.t;
+  jigs : jig list;
+  specs : spec list;
+  regions : (string * Netlist.Ast.region_req) list;
+  analysis : analysis;
+}
+
+let n_user_vars t = t.analysis.n_user_vars
+
+(* Variable index of the first node-voltage variable. *)
+let node_var_base t = t.analysis.n_user_vars
+
+let find_spec t name = List.find_opt (fun s -> s.spec_name = name) t.specs

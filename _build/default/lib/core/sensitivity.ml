@@ -1,0 +1,84 @@
+type t = { spec_names : string array; var_names : string array; matrix : float array array }
+
+(* Measure spec values with the bias re-solved, so the sensitivity
+   includes the operating-point shift the variable change causes. *)
+let measure_rebiased (p : Problem.t) (st : State.t) =
+  ignore (Moves.newton_global p st);
+  let m = Eval.measure p st in
+  m.Eval.spec_values
+
+let compute ?(rel_step = 0.02) (p : Problem.t) (st : State.t) =
+  let n_user = Problem.n_user_vars p in
+  let spec_names = Array.of_list (List.map (fun (s : Problem.spec) -> s.Problem.spec_name) p.Problem.specs) in
+  let var_names =
+    Array.init n_user (fun i ->
+        match st.State.info.(i) with
+        | State.User { name; _ } -> name
+        | State.Node_voltage _ -> assert false)
+  in
+  let base = State.snapshot st in
+  let base_vals = measure_rebiased p base in
+  let matrix = Array.make_matrix (Array.length spec_names) n_user nan in
+  for vi = 0 to n_user - 1 do
+    let v0 = st.State.values.(vi) in
+    let probe direction =
+      let work = State.snapshot st in
+      (match work.State.info.(vi) with
+      | State.User { steps = Some _; _ } ->
+          (* one grid slot in the requested direction *)
+          ignore (State.set_grid_slot work vi (work.State.grid_index.(vi) + direction))
+      | State.User _ | State.Node_voltage _ ->
+          let dv = Float.abs v0 *. rel_step +. 1e-12 in
+          State.set_initial work vi (v0 +. (float_of_int direction *. dv)));
+      (work.State.values.(vi), measure_rebiased p work)
+    in
+    let v_plus, vals_plus = probe 1 in
+    let v_minus, vals_minus = probe (-1) in
+    let dv = v_plus -. v_minus in
+    if Float.abs dv > 0.0 then
+      Array.iteri
+        (fun si name ->
+          let get vals = match List.assoc name vals with Some x -> Some x | None -> None in
+          match (get vals_plus, get vals_minus, get base_vals) with
+          | Some sp, Some sm, Some s0 when Float.abs s0 > 1e-30 ->
+              let dspec = (sp -. sm) /. s0 in
+              let dvar = dv /. (Float.abs v0 +. 1e-30) in
+              matrix.(si).(vi) <- dspec /. dvar
+          | _, _, _ -> ())
+        spec_names
+  done;
+  { spec_names; var_names; matrix }
+
+let dominant t ~spec n =
+  let si =
+    let rec find k =
+      if k >= Array.length t.spec_names then raise Not_found
+      else if t.spec_names.(k) = spec then k
+      else find (k + 1)
+    in
+    find 0
+  in
+  let pairs =
+    Array.to_list (Array.mapi (fun vi s -> (t.var_names.(vi), s)) t.matrix.(si))
+  in
+  let sorted =
+    List.sort
+      (fun (_, a) (_, b) -> Float.compare (Float.abs b) (Float.abs a))
+      (List.filter (fun (_, s) -> Float.is_finite s) pairs)
+  in
+  List.filteri (fun k _ -> k < n) sorted
+
+let pp ppf t =
+  Format.fprintf ppf "%-10s" "";
+  Array.iter (fun v -> Format.fprintf ppf " %9s" v) t.var_names;
+  Format.fprintf ppf "@\n";
+  Array.iteri
+    (fun si row ->
+      Format.fprintf ppf "%-10s" t.spec_names.(si);
+      Array.iter
+        (fun s ->
+          if Float.is_finite s then Format.fprintf ppf " %9.3f" s
+          else Format.fprintf ppf " %9s" "-")
+        row;
+      Format.fprintf ppf "@\n")
+    t.matrix

@@ -1,0 +1,24 @@
+(** Post-synthesis sensitivity analysis: how much each specification moves
+    per fractional change of each design variable, at a finished design
+    point. Useful for judging robustness (a companion to {!Corners}) and
+    for spotting which device dominates a failing margin.
+
+    Sensitivities are normalized logarithmic derivatives
+    S = (dSpec/Spec) / (dVar/Var), estimated by central differences with
+    the bias network re-solved at each perturbed point. *)
+
+type t = {
+  spec_names : string array;
+  var_names : string array;
+  matrix : float array array;  (** [spec][var], nan when unmeasurable *)
+}
+
+(** [compute ?rel_step p st] — [rel_step] is the fractional perturbation
+    (default 2%). Discrete variables are perturbed by whole grid steps. *)
+val compute : ?rel_step:float -> Problem.t -> State.t -> t
+
+(** [dominant t ~spec n] lists the [n] variables with the largest
+    |sensitivity| for a spec. *)
+val dominant : t -> spec:string -> int -> (string * float) list
+
+val pp : Format.formatter -> t -> unit

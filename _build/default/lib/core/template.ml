@@ -1,0 +1,52 @@
+(* Device-template expansion: the encapsulated evaluator for a MOS model
+   declares drain/source series resistances, which introduce internal
+   nodes. The expanded circuit is what both the bias network (type "B" in
+   Table 1) and the small-signal AWE circuits (type "A") are built from —
+   this is why the relaxed-dc formulation's added node-voltage variables
+   typically outnumber the user's own variables. *)
+
+let rd_expr rd_ohm_m w_expr =
+  (* rd = rd_ohm_m / W; W comes from the design grid so it is > 0. *)
+  Netlist.Expr.Div (Netlist.Expr.const rd_ohm_m, w_expr)
+
+let expand ~registry (circuit : Netlist.Circuit.t) =
+  let extra_nodes = ref [] in
+  let n_base = Netlist.Circuit.node_count circuit in
+  let next = ref n_base in
+  let fresh name =
+    let id = !next in
+    incr next;
+    extra_nodes := name :: !extra_nodes;
+    id
+  in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  Array.iter
+    (fun (e : Netlist.Circuit.element) ->
+      match e with
+      | Netlist.Circuit.Mosfet ({ name; d; g = _; s; b = _; model; w; _ } as mos) -> begin
+          match Devices.Registry.find_exn registry model with
+          | Devices.Sig.Mos { rd_ohm_m; _ } when rd_ohm_m > 0.0 ->
+              let d_int = fresh (name ^ "#d") in
+              let s_int = fresh (name ^ "#s") in
+              emit
+                (Netlist.Circuit.Resistor
+                   { name = name ^ "#rd"; n1 = d; n2 = d_int; value = rd_expr rd_ohm_m w });
+              emit
+                (Netlist.Circuit.Resistor
+                   { name = name ^ "#rs"; n1 = s; n2 = s_int; value = rd_expr rd_ohm_m w });
+              emit (Netlist.Circuit.Mosfet { mos with d = d_int; s = s_int })
+          | Devices.Sig.Mos _ | Devices.Sig.Bjt _ -> emit e
+        end
+      | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
+      | Netlist.Circuit.Vsource _ | Netlist.Circuit.Isource _ | Netlist.Circuit.Vcvs _
+      | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _ | Netlist.Circuit.Ccvs _
+      | Netlist.Circuit.Bjt _ ->
+          emit e)
+    circuit.Netlist.Circuit.elements;
+  {
+    Netlist.Circuit.node_names =
+      Array.append circuit.Netlist.Circuit.node_names
+        (Array.of_list (List.rev !extra_nodes));
+    elements = Array.of_list (List.rev !out);
+  }

@@ -1,0 +1,128 @@
+(* Tree-link analysis of the bias network: decide which node voltages are
+   trivially determined (ground, or reachable from a determined node
+   through independent voltage sources) and which become free variables of
+   the relaxed-dc formulation.
+
+   A voltage source between two undetermined nodes ties them into a
+   "supernode": one shared variable plus a symbolic offset, and KCL is
+   written for the group as a whole. *)
+
+type assignment =
+  | Fixed of Netlist.Expr.t  (** voltage is this expression of user vars *)
+  | Free of int * Netlist.Expr.t
+      (** variable index, plus an offset expression (usually 0) *)
+
+type t = {
+  of_node : assignment array;  (** indexed by bias-circuit node *)
+  n_free : int;
+  members : int list array;  (** free var index -> bias nodes in its group *)
+  labels : string array;  (** free var index -> representative node name *)
+}
+
+let zero = Netlist.Expr.const 0.0
+
+let analyze (circuit : Netlist.Circuit.t) =
+  let n = Netlist.Circuit.node_count circuit in
+  let assign : assignment option array = Array.make n None in
+  assign.(0) <- Some (Fixed zero);
+  (* Collect voltage-source edges: (np, nn, dc expr). VCVS with determined
+     controls could be handled too; bias networks in practice use only
+     independent sources, so VCVS in a bias net is rejected upstream. *)
+  let vedges =
+    Array.to_list circuit.Netlist.Circuit.elements
+    |> List.filter_map (fun (e : Netlist.Circuit.element) ->
+           match e with
+           | Netlist.Circuit.Vsource { np; nn; dc; _ } -> Some (np, nn, dc)
+           | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _
+           | Netlist.Circuit.Inductor _ | Netlist.Circuit.Isource _ | Netlist.Circuit.Vcvs _
+           | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _ | Netlist.Circuit.Ccvs _
+           | Netlist.Circuit.Mosfet _ | Netlist.Circuit.Bjt _ ->
+               None)
+  in
+  (* Fixpoint propagation of determined voltages across source edges. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (np, nn, dc) ->
+        let propagate target source sign =
+          match (assign.(target), assign.(source)) with
+          | None, Some (Fixed e) ->
+              let e' =
+                if sign > 0 then Netlist.Expr.Add (e, dc) else Netlist.Expr.Sub (e, dc)
+              in
+              assign.(target) <- Some (Fixed e');
+              changed := true
+          | None, Some (Free (k, off)) ->
+              let off' =
+                if sign > 0 then Netlist.Expr.Add (off, dc) else Netlist.Expr.Sub (off, dc)
+              in
+              assign.(target) <- Some (Free (k, off'));
+              changed := true
+          | Some _, _ | None, None -> ()
+        in
+        (* v(np) = v(nn) + dc *)
+        propagate np nn 1;
+        propagate nn np (-1))
+      vedges
+  done;
+  (* Remaining nodes become free variables; then one more propagation pass
+     links any still-floating source edges into the new supernodes. *)
+  let next_var = ref 0 in
+  let rec sweep () =
+    let made = ref false in
+    Array.iteri
+      (fun node a ->
+        if a = None then begin
+          assign.(node) <- Some (Free (!next_var, zero));
+          incr next_var;
+          made := true;
+          (* Re-run propagation so chained sources join this group. *)
+          let changed = ref true in
+          while !changed do
+            changed := false;
+            List.iter
+              (fun (np, nn, dc) ->
+                let propagate target source sign =
+                  match (assign.(target), assign.(source)) with
+                  | None, Some (Fixed e) ->
+                      assign.(target) <-
+                        Some
+                          (Fixed
+                             (if sign > 0 then Netlist.Expr.Add (e, dc)
+                              else Netlist.Expr.Sub (e, dc)));
+                      changed := true
+                  | None, Some (Free (k, off)) ->
+                      assign.(target) <-
+                        Some
+                          (Free
+                             ( k,
+                               if sign > 0 then Netlist.Expr.Add (off, dc)
+                               else Netlist.Expr.Sub (off, dc) ));
+                      changed := true
+                  | Some _, _ | None, None -> ()
+                in
+                propagate np nn 1;
+                propagate nn np (-1))
+              vedges
+          done
+        end)
+      assign;
+    if !made then sweep ()
+  in
+  sweep ();
+  let of_node =
+    Array.map (function Some a -> a | None -> assert false) assign
+  in
+  let n_free = !next_var in
+  let members = Array.make n_free [] in
+  let labels = Array.make n_free "" in
+  Array.iteri
+    (fun node a ->
+      match a with
+      | Free (k, _) ->
+          members.(k) <- node :: members.(k);
+          if labels.(k) = "" then labels.(k) <- circuit.Netlist.Circuit.node_names.(node)
+      | Fixed _ -> ())
+    of_node;
+  { of_node; n_free; members; labels }

@@ -1,0 +1,232 @@
+(* Reference-simulator evaluation of the specs. See verify.mli. *)
+
+exception Sim_failed of string
+
+let value_of p st =
+  let env = Eval.value_env p st in
+  fun e -> Netlist.Expr.eval env e
+
+(* Solve every jig with full Newton-Raphson and wrap direct-AC measurement
+   closures per transfer function. *)
+type jig_sim = {
+  lin : Mna.Linearize.t;
+  sol : Mna.Dc.solution;
+  tf_ports : (string * Problem.tf) list;
+}
+
+let solve_jigs p st =
+  let value = value_of p st in
+  List.map
+    (fun (j : Problem.jig) ->
+      match Mna.Dc.solve ~value ~registry:p.Problem.registry j.jig_circuit with
+      | Error e -> raise (Sim_failed (j.jig_name ^ ": " ^ e))
+      | Ok sol ->
+          let ops name = List.assoc_opt name sol.Mna.Dc.ops in
+          let lin = Mna.Linearize.build ~value ~ops j.jig_circuit in
+          { lin; sol; tf_ports = j.tfs })
+    p.Problem.jigs
+
+let find_tf jigs name =
+  List.find_map
+    (fun js ->
+      Option.map (fun tf -> (js, tf)) (List.assoc_opt name js.tf_ports))
+    jigs
+
+let simulate_specs (p : Problem.t) (st : State.t) =
+  try
+    let value = value_of p st in
+    let jigs = solve_jigs p st in
+    (* Exact bias operating point for device refs and power. *)
+    let bias_sol =
+      match Mna.Dc.solve ~value ~registry:p.Problem.registry p.Problem.bias with
+      | Ok s -> s
+      | Error e -> raise (Sim_failed ("bias: " ^ e))
+    in
+    let tf_measure name =
+      match find_tf jigs name with
+      | None -> raise (Sim_failed ("unknown transfer function " ^ name))
+      | Some (js, tf) ->
+          let b = Mna.Linearize.excitation_of js.lin ~src:tf.Problem.src in
+          let sel =
+            Mna.Linearize.output_vector js.lin ~pos:tf.Problem.out_pos ~neg:tf.Problem.out_neg
+          in
+          (js, b, sel)
+    in
+    let lookup path =
+      match path with
+      | [ name ] -> (Eval.value_env p st).Netlist.Expr.lookup [ name ]
+      | [] -> raise Not_found
+      | parts ->
+          let rec split_last acc = function
+            | [ last ] -> (List.rev acc, last)
+            | x :: rest -> split_last (x :: acc) rest
+            | [] -> assert false
+          in
+          let devparts, field = split_last [] parts in
+          let devname = String.concat "." devparts in
+          let op =
+            (* Prefer the jig operating point (it is what AC sees), fall
+               back to the bias network. *)
+            match
+              List.find_map (fun js -> List.assoc_opt devname js.sol.Mna.Dc.ops) jigs
+            with
+            | Some op -> Some op
+            | None -> List.assoc_opt devname bias_sol.Mna.Dc.ops
+          in
+          (match op with Some op -> Eval.op_field op field | None -> raise Not_found)
+    in
+    let call name args =
+      let tfarg = function
+        | Netlist.Expr.Name n -> n
+        | Netlist.Expr.Num _ -> raise (Sim_failed (name ^ ": expected transfer-function name"))
+      in
+      let numarg = function
+        | Netlist.Expr.Num v -> v
+        | Netlist.Expr.Name n -> raise (Sim_failed (name ^ ": unexpected name " ^ n))
+      in
+      match (name, args) with
+      | "dc_gain", [ tf ] ->
+          let js, b, sel = tf_measure (tfarg tf) in
+          Mna.Ac.dc_gain js.lin ~b ~sel
+      | "ugf", [ tf ] ->
+          let js, b, sel = tf_measure (tfarg tf) in
+          Option.value ~default:0.0 (Mna.Ac.unity_gain_freq js.lin ~b ~sel)
+      | ("phase_margin" | "pm"), [ tf ] ->
+          let js, b, sel = tf_measure (tfarg tf) in
+          Option.value ~default:180.0 (Mna.Ac.phase_margin js.lin ~b ~sel)
+      | "gain_at", [ tf; f ] ->
+          let js, b, sel = tf_measure (tfarg tf) in
+          La.Cpx.abs (Mna.Ac.transfer js.lin ~b ~sel ~w:(2.0 *. Float.pi *. numarg f))
+      | "bw3db", [ tf ] ->
+          let js, b, sel = tf_measure (tfarg tf) in
+          let a0 = Float.abs (Mna.Ac.dc_gain js.lin ~b ~sel) in
+          let target = a0 /. Float.sqrt 2.0 in
+          (* scan for the -3 dB point directly *)
+          let rec scan f =
+            if f > 1e12 then 1e12
+            else if La.Cpx.abs (Mna.Ac.transfer js.lin ~b ~sel ~w:(2.0 *. Float.pi *. f)) < target
+            then f
+            else scan (f *. 1.05)
+          in
+          scan 1.0
+      | "pole1", [ tf ] ->
+          (* The reference flow extracts poles with AWE at the simulator's
+             exact operating point (HSPICE's .pz plays this role). *)
+          let js, b, sel = tf_measure (tfarg tf) in
+          (match Awe.Rom.build js.lin ~b ~sel with
+          | Ok rom -> Option.value ~default:0.0 (Awe.Rom.dominant_pole_hz rom)
+          | Error e -> raise (Sim_failed ("pole1: " ^ e)))
+      | "gain_margin_db", [ tf ] ->
+          let js, b, sel = tf_measure (tfarg tf) in
+          (match Awe.Rom.build js.lin ~b ~sel with
+          | Ok rom -> Option.value ~default:60.0 (Awe.Rom.gain_margin_db rom)
+          | Error e -> raise (Sim_failed ("gain_margin_db: " ^ e)))
+      | "area", [] -> Eval.active_area_um2 p st
+      | "power", [] -> Mna.Dc.supply_power bias_sol ~value
+      | "supply_current", [ src ] -> begin
+          let srcname =
+            match src with
+            | Netlist.Expr.Name n -> n
+            | Netlist.Expr.Num _ -> raise (Sim_failed "supply_current: expected a source name")
+          in
+          match Mna.Dc.branch_current bias_sol srcname with
+          | Some i -> Float.abs i
+          | None -> raise (Sim_failed ("supply_current: unknown source " ^ srcname))
+        end
+      | _ -> begin
+          try Builtin.math_call name args
+          with Builtin.Unknown_function f -> raise (Sim_failed ("unknown function " ^ f))
+        end
+    in
+    let env = { Netlist.Expr.lookup; call } in
+    let values =
+      List.map
+        (fun (s : Problem.spec) ->
+          let v =
+            try Ok (Netlist.Expr.eval env s.expr) with
+            | Sim_failed m -> Error m
+            | Netlist.Expr.Eval_error m -> Error m
+          in
+          (s.spec_name, v))
+        p.Problem.specs
+    in
+    Ok values
+  with
+  | Sim_failed m -> Error m
+  | Failure m -> Error m
+
+let kcl_abs_error (p : Problem.t) (st : State.t) =
+  match Eval.bias_point p st with
+  | bp ->
+      Ok (Array.fold_left (fun acc r -> Float.max acc (Float.abs r)) 0.0 bp.Eval.residuals)
+  | exception Failure m -> Error m
+
+let bias_voltage_error (p : Problem.t) (st : State.t) =
+  let value = value_of p st in
+  match Mna.Dc.solve ~value ~registry:p.Problem.registry p.Problem.bias with
+  | Error e -> Error e
+  | Ok sol ->
+      let relaxed = Eval.node_voltages p st in
+      let worst = ref 0.0 in
+      Array.iteri
+        (fun node v ->
+          if node > 0 then
+            worst := Float.max !worst (Float.abs (v -. Mna.Dc.node_voltage sol node)))
+        relaxed;
+      Ok !worst
+
+let transient_slew (p : Problem.t) (st : State.t) ~tf ~vstep ~tstop ~dt =
+  let value = value_of p st in
+  (* Locate the jig owning [tf] and its ports. *)
+  let found =
+    List.find_map
+      (fun (j : Problem.jig) ->
+        Option.map (fun ports -> (j, ports)) (List.assoc_opt tf j.Problem.tfs))
+      p.Problem.jigs
+  in
+  match found with
+  | None -> Error ("unknown transfer function " ^ tf)
+  | Some (j, ports) -> begin
+      let src = ports.Problem.src in
+      (* The stimulus steps the source's dc value by vstep at tstop/10. *)
+      let v0 =
+        match Netlist.Circuit.find_element j.jig_circuit src with
+        | Netlist.Circuit.Vsource { dc; _ } | Netlist.Circuit.Isource { dc; _ } -> value dc
+        | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
+        | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _
+        | Netlist.Circuit.Ccvs _ | Netlist.Circuit.Mosfet _ | Netlist.Circuit.Bjt _ ->
+            0.0
+        | exception Not_found -> 0.0
+      in
+      let t_step = tstop /. 10.0 in
+      let stim = [ (src, fun t -> if t >= t_step then v0 +. vstep else v0) ] in
+      match
+        Mna.Tran.simulate ~value ~registry:p.Problem.registry ~tstop ~dt ~stimulus:stim
+          j.jig_circuit
+      with
+      | Error e -> Error e
+      | Ok r ->
+          let sr_pos = Mna.Tran.slew_rate r ports.Problem.out_pos ~t_from:t_step ~t_to:tstop in
+          let sr =
+            match ports.Problem.out_neg with
+            | None -> sr_pos
+            | Some neg ->
+                (* differential output: slew of the difference *)
+                let vp = Mna.Tran.node_waveform r ports.Problem.out_pos in
+                let vn = Mna.Tran.node_waveform r neg in
+                let best = ref 0.0 in
+                Array.iteri
+                  (fun k t ->
+                    if k > 0 && t >= t_step then begin
+                      let dtk = t -. r.Mna.Tran.times.(k - 1) in
+                      if dtk > 0.0 then
+                        best :=
+                          Float.max !best
+                            (Float.abs
+                               ((vp.(k) -. vn.(k) -. (vp.(k - 1) -. vn.(k - 1))) /. dtk))
+                    end)
+                  r.Mna.Tran.times;
+                !best
+          in
+          Ok sr
+    end

@@ -1,0 +1,31 @@
+(* Adaptive scalar weights for the penalty groups of C(x).
+
+   The paper replaces hand-tuned weights with an adaptive algorithm so that
+   no problem-specific constants are needed. The controller here follows
+   the same contract: penalty-group weights ratchet up while their group
+   remains violated as the anneal progresses, and relax slowly once the
+   group is satisfied, so by freeze-out the penalties dominate any
+   objective gradient and are driven to zero. *)
+
+type t = {
+  mutable w_perf : float;
+  mutable w_dev : float;
+  mutable w_dc : float;
+}
+
+let create () = { w_perf = 1.0; w_dev = 1.0; w_dc = 1.0 }
+let copy t = { w_perf = t.w_perf; w_dev = t.w_dev; w_dc = t.w_dc }
+
+let w_min = 1.0
+let w_max = 1e4
+
+let clamp w = Float.max w_min (Float.min w_max w)
+
+(* [update t ~progress ~perf ~dev ~dc] takes the *unweighted* group
+   penalties at the current state. Growth accelerates late in the anneal. *)
+let update t ~progress ~perf ~dev ~dc =
+  let gain = if progress < 0.3 then 1.02 else if progress < 0.7 then 1.08 else 1.15 in
+  let adjust w violated = clamp (if violated then w *. gain else w *. 0.995) in
+  t.w_perf <- adjust t.w_perf (perf > 1e-9);
+  t.w_dev <- adjust t.w_dev (dev > 1e-9);
+  t.w_dc <- adjust t.w_dc (dc > 1e-9)

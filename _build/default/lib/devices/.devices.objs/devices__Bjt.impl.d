@@ -1,0 +1,1 @@
+lib/devices/bjt.ml: Float Mos_common Sig

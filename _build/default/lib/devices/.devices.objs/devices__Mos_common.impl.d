@@ -1,0 +1,1 @@
+lib/devices/mos_common.ml: Float Mos_params Sig

@@ -1,0 +1,1 @@
+lib/devices/mos_common.mli: Mos_params Sig

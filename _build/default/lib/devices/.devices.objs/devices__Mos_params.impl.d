@@ -1,0 +1,1 @@
+lib/devices/mos_params.ml: Sig

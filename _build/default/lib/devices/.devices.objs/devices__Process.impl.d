@@ -1,0 +1,1 @@
+lib/devices/process.ml: Bjt Mos_params Sig

@@ -1,0 +1,1 @@
+lib/devices/process.mli: Bjt Mos_params Sig

@@ -1,0 +1,1 @@
+lib/devices/registry.ml: Bjt List Mos_common Mos_params Option Printf Process Sig

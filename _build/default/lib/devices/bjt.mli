@@ -1,0 +1,29 @@
+(** Simplified Gummel-Poon bipolar transistor evaluator: forward/reverse
+    transport with Early effect and high-injection rolloff, junction and
+    diffusion capacitances, smooth exponent limiting. *)
+
+type params = {
+  pol : Sig.polarity;  (** [N] = npn, [P] = pnp *)
+  is_ : float;  (** transport saturation current, A *)
+  bf : float;  (** forward beta *)
+  br : float;  (** reverse beta *)
+  vaf : float;  (** forward Early voltage, V *)
+  var_ : float;  (** reverse Early voltage, V *)
+  ikf : float;  (** high-injection corner current, A *)
+  tf : float;  (** forward transit time, s *)
+  cje : float;  (** B-E zero-bias depletion cap, F *)
+  vje : float;
+  mje : float;
+  cjc : float;  (** B-C zero-bias depletion cap, F *)
+  vjc : float;
+  mjc : float;
+  ccs0 : float;  (** collector-substrate cap, F *)
+}
+
+val default_npn : params
+
+(** [with_param p key v] overrides one named parameter ([is], [bf], ...).
+    [None] when the key is unknown. *)
+val with_param : params -> string -> float -> params option
+
+val make : params -> Sig.bjt_eval

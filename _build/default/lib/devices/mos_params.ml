@@ -1,0 +1,114 @@
+(* Parameter record shared by the three MOS models. Each model reads the
+   subset it needs; unused fields are simply ignored, mirroring how SPICE
+   model cards carry a superset of parameters. SI units. *)
+
+type level = Level1 | Level3 | Bsim
+
+type t = {
+  pol : Sig.polarity;
+  level : level;
+  vto : float;  (** zero-bias threshold, V (positive for both polarities) *)
+  kp : float;  (** transconductance u0*cox, A/V^2 *)
+  gamma : float;  (** body-effect coefficient, sqrt(V) *)
+  phi : float;  (** surface potential, V *)
+  lambda : float;  (** channel-length modulation, 1/V (level 1) *)
+  ld : float;  (** lateral diffusion, m *)
+  cox : float;  (** gate oxide capacitance, F/m^2 *)
+  (* level 3 *)
+  theta : float;  (** mobility degradation, 1/V *)
+  vmax : float;  (** carrier saturation velocity, m/s *)
+  eta : float;  (** DIBL coefficient *)
+  kappa : float;  (** saturation-region slope factor *)
+  (* BSIM-flavour short-channel terms *)
+  k1 : float;
+  k2 : float;
+  ua : float;  (** first-order mobility degradation, m/V *)
+  ub : float;  (** second-order mobility degradation, (m/V)^2 *)
+  dvt0 : float;  (** short-channel vth rolloff amplitude, V *)
+  dvt1 : float;  (** short-channel vth rolloff length scale, m *)
+  nfactor : float;  (** subthreshold swing factor *)
+  (* parasitics *)
+  cgso : float;  (** gate-source overlap, F/m *)
+  cgdo : float;
+  cgbo : float;
+  cj : float;  (** junction area cap, F/m^2 *)
+  mj : float;
+  pb : float;
+  cjsw : float;  (** junction sidewall cap, F/m *)
+  mjsw : float;
+  js : float;  (** junction saturation current, A/m^2 *)
+  ldiff : float;  (** drain/source diffusion extent, m *)
+  rsh : float;  (** diffusion sheet resistance, ohm/square *)
+  subth_n : float;  (** subthreshold slope factor for level 1/3 *)
+}
+
+let default_nmos =
+  {
+    pol = Sig.N;
+    level = Level1;
+    vto = 0.75;
+    kp = 60e-6;
+    gamma = 0.6;
+    phi = 0.7;
+    lambda = 0.03;
+    ld = 0.15e-6;
+    cox = 1.7e-3;
+    theta = 0.06;
+    vmax = 1.6e5;
+    eta = 0.02;
+    kappa = 0.4;
+    k1 = 0.65;
+    k2 = 0.02;
+    ua = 1.2e-9;
+    ub = 2.0e-18;
+    dvt0 = 0.18;
+    dvt1 = 0.45e-6;
+    nfactor = 1.3;
+    cgso = 2.6e-10;
+    cgdo = 2.6e-10;
+    cgbo = 1.5e-10;
+    cj = 3.0e-4;
+    mj = 0.5;
+    pb = 0.8;
+    cjsw = 2.5e-10;
+    mjsw = 0.33;
+    js = 1e-4;
+    ldiff = 2.5e-6;
+    rsh = 25.0;
+    subth_n = 1.5;
+  }
+
+(* Field-by-name update used when .model cards override parameters. *)
+let with_param t key v =
+  match key with
+  | "vto" -> Some { t with vto = v }
+  | "kp" -> Some { t with kp = v }
+  | "gamma" -> Some { t with gamma = v }
+  | "phi" -> Some { t with phi = v }
+  | "lambda" -> Some { t with lambda = v }
+  | "ld" -> Some { t with ld = v }
+  | "cox" -> Some { t with cox = v }
+  | "theta" -> Some { t with theta = v }
+  | "vmax" -> Some { t with vmax = v }
+  | "eta" -> Some { t with eta = v }
+  | "kappa" -> Some { t with kappa = v }
+  | "k1" -> Some { t with k1 = v }
+  | "k2" -> Some { t with k2 = v }
+  | "ua" -> Some { t with ua = v }
+  | "ub" -> Some { t with ub = v }
+  | "dvt0" -> Some { t with dvt0 = v }
+  | "dvt1" -> Some { t with dvt1 = v }
+  | "nfactor" -> Some { t with nfactor = v }
+  | "cgso" -> Some { t with cgso = v }
+  | "cgdo" -> Some { t with cgdo = v }
+  | "cgbo" -> Some { t with cgbo = v }
+  | "cj" -> Some { t with cj = v }
+  | "mj" -> Some { t with mj = v }
+  | "pb" -> Some { t with pb = v }
+  | "cjsw" -> Some { t with cjsw = v }
+  | "mjsw" -> Some { t with mjsw = v }
+  | "js" -> Some { t with js = v }
+  | "ldiff" -> Some { t with ldiff = v }
+  | "rsh" -> Some { t with rsh = v }
+  | "n" | "subth_n" -> Some { t with subth_n = v }
+  | _ -> None

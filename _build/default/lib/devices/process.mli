@@ -1,0 +1,21 @@
+(** Built-in fabrication processes. A process supplies default device
+    models under the conventional names [nmos], [pmos], [npn], [pnp].
+
+    Two synthetic-but-plausible CMOS generations are provided, standing in
+    for the industrial 2u and 1.2u decks of the paper (see DESIGN.md):
+    - ["p2u"]  — 2 micron, thick oxide, long-channel friendly;
+    - ["p1u2"] — 1.2 micron, thinner oxide, stronger short-channel effects.
+
+    Each exists in three model flavours selected by the model [level]:
+    ["1"], ["3"], ["bsim"]. *)
+
+(** [mos ~process ~level ~pol] is the parameter set, or [None] when the
+    process name is unknown. *)
+val mos :
+  process:string -> level:string -> pol:Sig.polarity -> Mos_params.t option
+
+(** [bjt ~process ~pol] is the BJT parameter set for BiCMOS processes. *)
+val bjt : process:string -> pol:Sig.polarity -> Bjt.params option
+
+(** [known] lists the built-in process names. *)
+val known : string list

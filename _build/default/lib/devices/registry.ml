@@ -1,0 +1,148 @@
+type t = (string * Sig.resolved) list
+
+type decl = {
+  decl_name : string;
+  decl_kind : string;
+  decl_level : string;
+  decl_params : (string * float) list;
+}
+
+type corner = {
+  corner_name : string;
+  kp_scale : float;
+  vto_shift : float;
+  beta_scale : float;
+}
+
+let nominal_corner = { corner_name = "nominal"; kp_scale = 1.0; vto_shift = 0.0; beta_scale = 1.0 }
+
+let skew_mos corner (p : Mos_params.t) =
+  { p with Mos_params.kp = p.Mos_params.kp *. corner.kp_scale; vto = p.Mos_params.vto +. corner.vto_shift }
+
+let skew_bjt corner (p : Bjt.params) = { p with Bjt.bf = p.Bjt.bf *. corner.beta_scale }
+
+let resolve_mos ~corner name params =
+  let params = skew_mos corner params in
+  let rd_ohm_m = params.Mos_params.rsh *. params.Mos_params.ldiff in
+  Sig.Mos { model_name = name; pol = params.Mos_params.pol; eval = Mos_common.make params; rd_ohm_m }
+
+let resolve_bjt ~corner name params =
+  let params = skew_bjt corner params in
+  Sig.Bjt { model_name = name; pol = params.Bjt.pol; eval = Bjt.make params }
+
+let process_entries ~corner process =
+  let mos_entry name level pol =
+    match Process.mos ~process ~level ~pol with
+    | Some p -> [ (name, resolve_mos ~corner name p) ]
+    | None -> []
+  in
+  let bjt_entry name pol =
+    match Process.bjt ~process ~pol with
+    | Some p -> [ (name, resolve_bjt ~corner name p) ]
+    | None -> []
+  in
+  List.concat
+    [
+      mos_entry "nmos" "3" Sig.N;
+      mos_entry "pmos" "3" Sig.P;
+      mos_entry "nmos_1" "1" Sig.N;
+      mos_entry "pmos_1" "1" Sig.P;
+      mos_entry "nmos_bsim" "bsim" Sig.N;
+      mos_entry "pmos_bsim" "bsim" Sig.P;
+      bjt_entry "npn" Sig.N;
+      bjt_entry "pnp" Sig.P;
+    ]
+
+let apply_mos_params base kvs =
+  List.fold_left
+    (fun acc (k, v) ->
+      match acc with
+      | Error _ -> acc
+      | Ok p -> begin
+          match Mos_params.with_param p k v with
+          | Some p' -> Ok p'
+          | None -> Error (Printf.sprintf "unknown MOS model parameter %S" k)
+        end)
+    (Ok base) kvs
+
+let apply_bjt_params base kvs =
+  List.fold_left
+    (fun acc (k, v) ->
+      match acc with
+      | Error _ -> acc
+      | Ok p -> begin
+          match Bjt.with_param p k v with
+          | Some p' -> Ok p'
+          | None -> Error (Printf.sprintf "unknown BJT model parameter %S" k)
+        end)
+    (Ok base) kvs
+
+let resolve_decl ?process ~corner d =
+  let mos pol =
+    let base =
+      match process with
+      | Some pr -> Process.mos ~process:pr ~level:d.decl_level ~pol
+      | None -> None
+    in
+    let base =
+      match base with
+      | Some b -> Some b
+      | None ->
+          (* No process: start from generic defaults with the right level. *)
+          let lv =
+            match d.decl_level with
+            | "1" -> Some Mos_params.Level1
+            | "3" -> Some Mos_params.Level3
+            | "bsim" -> Some Mos_params.Bsim
+            | _ -> None
+          in
+          Option.map (fun level -> { Mos_params.default_nmos with level; pol }) lv
+    in
+    match base with
+    | None -> Error (Printf.sprintf "model %s: unknown level %S" d.decl_name d.decl_level)
+    | Some b -> begin
+        match apply_mos_params b d.decl_params with
+        | Ok p -> Ok (resolve_mos ~corner d.decl_name p)
+        | Error e -> Error (Printf.sprintf "model %s: %s" d.decl_name e)
+      end
+  in
+  let bjt pol =
+    let base =
+      match process with
+      | Some pr -> Process.bjt ~process:pr ~pol
+      | None -> Some (match pol with Sig.N -> Bjt.default_npn | Sig.P -> { Bjt.default_npn with pol })
+    in
+    match base with
+    | None -> Error (Printf.sprintf "model %s: no BJT in process" d.decl_name)
+    | Some b -> begin
+        match apply_bjt_params b d.decl_params with
+        | Ok p -> Ok (resolve_bjt ~corner d.decl_name p)
+        | Error e -> Error (Printf.sprintf "model %s: %s" d.decl_name e)
+      end
+  in
+  match d.decl_kind with
+  | "nmos" -> mos Sig.N
+  | "pmos" -> mos Sig.P
+  | "npn" -> bjt Sig.N
+  | "pnp" -> bjt Sig.P
+  | other -> Error (Printf.sprintf "model %s: unknown device kind %S" d.decl_name other)
+
+let build ?process ?(corner = nominal_corner) decls =
+  let base = match process with Some p -> process_entries ~corner p | None -> [] in
+  let rec add acc = function
+    | [] -> Ok acc
+    | d :: rest -> begin
+        match resolve_decl ?process ~corner d with
+        | Ok r -> add ((d.decl_name, r) :: acc) rest
+        | Error e -> Error e
+      end
+  in
+  (* Declarations shadow process entries because assoc finds them first. *)
+  add base decls
+
+let find t name = List.assoc_opt name t
+
+let find_exn t name =
+  match find t name with
+  | Some r -> r
+  | None -> failwith (Printf.sprintf "unknown device model %S" name)

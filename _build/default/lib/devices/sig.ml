@@ -1,0 +1,67 @@
+(* Types shared by all encapsulated device evaluators.
+
+   Conventions: all electrical quantities are in the *external* frame (no
+   polarity flip visible to callers): currents are into the named terminal,
+   small-signal parameters are the Jacobian entries of those currents with
+   respect to terminal voltages. This makes MNA stamping identical for NMOS
+   and PMOS. SI units throughout (A, V, F, m). *)
+
+type region = Off | Subthreshold | Linear | Saturation
+
+let region_to_string = function
+  | Off -> "off"
+  | Subthreshold -> "subth"
+  | Linear -> "linear"
+  | Saturation -> "sat"
+
+(* Operating-point record for a MOS device. [id_] is the current into the
+   drain terminal (negative for a conducting PMOS). *)
+type mos_op = {
+  id_ : float;
+  ibd_ : float;  (** bulk-drain junction current, positive out of bulk into drain *)
+  ibs_ : float;  (** bulk-source junction current, positive out of bulk into source *)
+  gm : float;  (** d(id)/d(vg) *)
+  gds : float;  (** d(id)/d(vd) *)
+  gmbs : float;  (** d(id)/d(vb) *)
+  gbd : float;  (** bulk-drain junction conductance *)
+  gbs : float;  (** bulk-source junction conductance *)
+  cgs : float;
+  cgd : float;
+  cgb : float;
+  cbd : float;
+  cbs : float;
+  vth : float;  (** threshold in the device's own frame (positive number) *)
+  vdsat : float;  (** saturation voltage in the device frame *)
+  vgst : float;  (** effective (softplus-smoothed) gate overdrive *)
+  vgst_raw : float;  (** raw vgs - vth in the device frame; negative when off *)
+  vds_mag : float;  (** |vds| in the device frame *)
+  region : region;
+}
+
+type bjt_op = {
+  ic : float;  (** current into collector *)
+  ib : float;  (** current into base *)
+  bjt_gm : float;  (** d(ic)/d(vb) *)
+  gpi : float;  (** d(ib)/d(vb) *)
+  go : float;  (** d(ic)/d(vc) *)
+  gmu : float;  (** d(ib)/d(vc) — reverse-junction feedback *)
+  cpi : float;  (** base-emitter capacitance *)
+  cmu : float;  (** base-collector capacitance *)
+  ccs : float;  (** collector-substrate capacitance *)
+  vbe_f : float;  (** forward base-emitter voltage (device frame) *)
+  bjt_region : region;  (** Saturation = forward active here *)
+}
+
+type polarity = N | P
+
+(* The encapsulated evaluator interface: geometry + terminal voltages in,
+   operating point out. Everything about the model is behind this. *)
+type mos_eval = w:float -> l:float -> m:float -> vd:float -> vg:float -> vs:float -> vb:float -> mos_op
+
+type bjt_eval = area:float -> vc:float -> vb:float -> ve:float -> bjt_op
+
+type resolved =
+  | Mos of { model_name : string; pol : polarity; eval : mos_eval; rd_ohm_m : float }
+      (** [rd_ohm_m]: drain/source series resistance as ohm*meter — divide
+          by W to get the template's internal-node resistor. *)
+  | Bjt of { model_name : string; pol : polarity; eval : bjt_eval }

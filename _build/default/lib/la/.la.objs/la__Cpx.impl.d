@@ -1,0 +1,1 @@
+lib/la/cpx.ml: Complex Float Format

@@ -1,0 +1,1 @@
+lib/la/cpx.mli: Complex Format

@@ -1,0 +1,1 @@
+lib/la/lu.ml: Array Float Mat Vec

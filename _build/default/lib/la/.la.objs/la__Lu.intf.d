@@ -1,0 +1,1 @@
+lib/la/lu.mli: Mat Vec

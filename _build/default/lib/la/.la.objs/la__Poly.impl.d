@@ -1,0 +1,1 @@
+lib/la/poly.ml: Array Cpx Format Int

@@ -1,0 +1,1 @@
+lib/la/poly.mli: Cpx Format

@@ -1,0 +1,1 @@
+lib/la/roots.ml: Array Cpx Float Poly

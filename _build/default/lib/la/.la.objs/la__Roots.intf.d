@@ -1,0 +1,1 @@
+lib/la/roots.mli: Cpx Poly

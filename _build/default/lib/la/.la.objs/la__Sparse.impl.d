@@ -1,0 +1,1 @@
+lib/la/sparse.ml: Array List Mat Seq

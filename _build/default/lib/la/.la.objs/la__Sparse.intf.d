@@ -1,0 +1,1 @@
+lib/la/sparse.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/la/zmat.ml: Array Cpx Mat

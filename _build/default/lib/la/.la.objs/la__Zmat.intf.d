@@ -1,0 +1,1 @@
+lib/la/zmat.mli: Cpx Mat

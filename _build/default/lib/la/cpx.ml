@@ -1,0 +1,30 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let make re im = { re; im }
+let of_float x = { re = x; im = 0.0 }
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let inv = Complex.inv
+let scale k z = { re = k *. z.re; im = k *. z.im }
+let abs = Complex.norm
+let arg = Complex.arg
+let sqrt = Complex.sqrt
+let exp = Complex.exp
+
+let is_finite z =
+  let ok x = Float.is_finite x in
+  ok z.re && ok z.im
+
+let dist z1 z2 = abs (sub z1 z2)
+let pp ppf z = Format.fprintf ppf "(%.6g%+.6gi)" z.re z.im
+let ( +~ ) = add
+let ( -~ ) = sub
+let ( *~ ) = mul
+let ( /~ ) = div

@@ -1,0 +1,47 @@
+(** Complex arithmetic helpers on top of [Stdlib.Complex].
+
+    Nomenclature: [z] is a complex number, [x] a real number. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+
+(** [make re im] builds a complex number. *)
+val make : float -> float -> t
+
+(** [of_float x] is the real number [x] as a complex value. *)
+val of_float : float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val inv : t -> t
+val scale : float -> t -> t
+
+(** [abs z] is the modulus |z|. *)
+val abs : t -> float
+
+(** [arg z] is the argument of [z] in radians, in (-pi, pi]. *)
+val arg : t -> float
+
+val sqrt : t -> t
+val exp : t -> t
+
+(** [is_finite z] is false if either part is nan or infinite. *)
+val is_finite : t -> bool
+
+(** [dist z1 z2] is |z1 - z2|. *)
+val dist : t -> t -> float
+
+val pp : Format.formatter -> t -> unit
+
+(* Infix operators, prefixed with [~] to avoid clashing with float ops. *)
+val ( +~ ) : t -> t -> t
+val ( -~ ) : t -> t -> t
+val ( *~ ) : t -> t -> t
+val ( /~ ) : t -> t -> t

@@ -1,0 +1,107 @@
+type t = { lu : Mat.t; piv : int array; sign : float }
+
+exception Singular of int
+
+(* Doolittle factorization with partial pivoting. The pivot threshold is
+   relative to the largest entry of the column to tolerate badly scaled MNA
+   matrices (conductances span ~1e-12 .. 1e3 siemens). *)
+let factor a =
+  let n = Mat.rows a in
+  if n <> Mat.cols a then invalid_arg "Lu.factor: not square";
+  let lu = Mat.copy a in
+  let piv = Array.init n (fun k -> k) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !p k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !p j);
+        Mat.set lu !p j tmp
+      done;
+      let tp = piv.(k) in
+      piv.(k) <- piv.(!p);
+      piv.(!p) <- tp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if Float.abs pivot < 1e-300 || not (Float.is_finite pivot) then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = Mat.get lu i k /. pivot in
+      Mat.set lu i k f;
+      if f <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.add_to lu i j (-.f *. Mat.get lu k j)
+        done
+    done
+  done;
+  { lu; piv; sign = !sign }
+
+let dim t = Mat.rows t.lu
+
+let solve_in_place t b =
+  let n = dim t in
+  if Array.length b <> n then invalid_arg "Lu.solve: dim mismatch";
+  (* Apply the permutation, then forward- and back-substitute. *)
+  let y = Array.init n (fun i -> b.(t.piv.(i))) in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      y.(i) <- y.(i) -. (Mat.get t.lu i j *. y.(j))
+    done
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      y.(i) <- y.(i) -. (Mat.get t.lu i j *. y.(j))
+    done;
+    y.(i) <- y.(i) /. Mat.get t.lu i i
+  done;
+  Array.blit y 0 b 0 n
+
+let solve t b =
+  let x = Array.copy b in
+  solve_in_place t x;
+  x
+
+let solve_transposed t b =
+  let n = dim t in
+  if Array.length b <> n then invalid_arg "Lu.solve_transposed: dim mismatch";
+  (* A^T = U^T L^T P, so solve U^T z = b, L^T w = z, then x = P^T w. *)
+  let z = Array.copy b in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      z.(i) <- z.(i) -. (Mat.get t.lu j i *. z.(j))
+    done;
+    z.(i) <- z.(i) /. Mat.get t.lu i i
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      z.(i) <- z.(i) -. (Mat.get t.lu j i *. z.(j))
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    x.(t.piv.(i)) <- z.(i)
+  done;
+  x
+
+let det t =
+  let n = dim t in
+  let d = ref t.sign in
+  for k = 0 to n - 1 do
+    d := !d *. Mat.get t.lu k k
+  done;
+  !d
+
+let rcond_estimate t a =
+  let n = dim t in
+  if n = 0 then 1.0
+  else begin
+    let e = Array.init n (fun i -> if i land 1 = 0 then 1.0 else -1.0) in
+    let x = solve t e in
+    let nx = Vec.norm_inf x in
+    let na = Mat.norm_inf a in
+    if nx = 0.0 || na = 0.0 then 1.0 else 1.0 /. (na *. nx)
+  end

@@ -1,0 +1,120 @@
+(* Durand-Kerner with variable rescaling. For polynomial p(s) of degree d we
+   substitute s = r*t with r the Cauchy-bound radius so the roots of the
+   rescaled polynomial are O(1), which keeps the simultaneous iteration
+   well-behaved for AWE's widely spread pole magnitudes. *)
+
+let cauchy_radius c =
+  let d = Poly.degree c in
+  let lead = c.(d) in
+  let m = ref 0.0 in
+  for k = 0 to d - 1 do
+    m := Float.max !m (Float.abs (c.(k) /. lead))
+  done;
+  1.0 +. !m
+
+let rescale c r =
+  let d = Poly.degree c in
+  Array.init (d + 1) (fun k -> c.(k) *. (r ** float_of_int k))
+
+let find ?(max_iter = 120) ?(tol = 1e-12) c =
+  let c = Poly.trim c in
+  let d = Poly.degree c in
+  if d = 0 then [||]
+  else begin
+    let r = cauchy_radius c in
+    let cs = Poly.normalize (rescale c r) in
+    (* Initial guesses on a spiral that is not a root-of-unity pattern. *)
+    let seed = Cpx.make 0.4 0.9 in
+    let z = Array.make d Cpx.one in
+    let () =
+      let cur = ref seed in
+      for k = 0 to d - 1 do
+        z.(k) <- !cur;
+        cur := Cpx.mul !cur seed
+      done
+    in
+    let converged = ref false in
+    let iter = ref 0 in
+    while (not !converged) && !iter < max_iter do
+      incr iter;
+      let worst = ref 0.0 in
+      for i = 0 to d - 1 do
+        let p = Poly.eval_cpx cs z.(i) in
+        let denom = ref Cpx.one in
+        for j = 0 to d - 1 do
+          if j <> i then denom := Cpx.mul !denom (Cpx.sub z.(i) z.(j))
+        done;
+        let step =
+          if Cpx.abs !denom < 1e-30 then Cpx.make 1e-6 1e-6 else Cpx.div p !denom
+        in
+        z.(i) <- Cpx.sub z.(i) step;
+        worst := Float.max !worst (Cpx.abs step)
+      done;
+      if !worst < tol then converged := true
+    done;
+    if not (Array.for_all Cpx.is_finite z) then failwith "Roots.find: diverged";
+    (* Newton polish on the original (unscaled) polynomial. *)
+    let out = Array.map (fun t -> Cpx.scale r t) z in
+    let dc = Poly.derivative c in
+    for i = 0 to d - 1 do
+      for _ = 1 to 3 do
+        let p = Poly.eval_cpx c out.(i) and dp = Poly.eval_cpx dc out.(i) in
+        if Cpx.abs dp > 1e-30 then begin
+          let step = Cpx.div p dp in
+          if Cpx.is_finite step && Cpx.abs step < 0.5 *. (1.0 +. Cpx.abs out.(i)) then
+            out.(i) <- Cpx.sub out.(i) step
+        end
+      done
+    done;
+    (* Enforce conjugate symmetry: snap near-real roots to the axis, average
+       conjugate pairs. *)
+    let snapped =
+      Array.map
+        (fun zr ->
+          if Float.abs zr.Cpx.im <= 1e-9 *. (1.0 +. Float.abs zr.Cpx.re) then
+            { zr with Cpx.im = 0.0 }
+          else zr)
+        out
+    in
+    let used = Array.make d false in
+    for i = 0 to d - 1 do
+      if (not used.(i)) && snapped.(i).Cpx.im <> 0.0 then begin
+        let target = Cpx.conj snapped.(i) in
+        let best = ref (-1) and bestd = ref infinity in
+        for j = 0 to d - 1 do
+          if j <> i && not used.(j) then begin
+            let dd = Cpx.dist snapped.(j) target in
+            if dd < !bestd then begin
+              bestd := dd;
+              best := j
+            end
+          end
+        done;
+        if !best >= 0 && !bestd < 1e-6 *. (1.0 +. Cpx.abs target) then begin
+          let a = snapped.(i) and b = snapped.(!best) in
+          let re = 0.5 *. (a.Cpx.re +. b.Cpx.re) in
+          let im = 0.5 *. (Float.abs a.Cpx.im +. Float.abs b.Cpx.im) in
+          let s = if a.Cpx.im >= 0.0 then 1.0 else -1.0 in
+          snapped.(i) <- Cpx.make re (s *. im);
+          snapped.(!best) <- Cpx.make re (-.s *. im);
+          used.(i) <- true;
+          used.(!best) <- true
+        end
+      end
+    done;
+    snapped
+  end
+
+let residual c roots =
+  let c = Poly.trim c in
+  let scale = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 c in
+  if scale = 0.0 then 0.0
+  else
+    Array.fold_left
+      (fun acc zr ->
+        let m = Cpx.abs zr in
+        (* Normalize by the polynomial magnitude at comparable argument size
+           to avoid penalizing huge roots. *)
+        let denom = Float.max scale (scale *. (m ** float_of_int (Poly.degree c))) in
+        Float.max acc (Cpx.abs (Poly.eval_cpx c zr) /. denom))
+      0.0 roots

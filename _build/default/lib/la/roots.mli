@@ -1,0 +1,15 @@
+(** Complex roots of real-coefficient polynomials via the Durand-Kerner
+    (Weierstrass) simultaneous iteration, with Newton polishing.
+
+    AWE characteristic polynomials are small (degree <= ~10) and can be very
+    badly scaled, so coefficients are rescaled internally. *)
+
+(** [find ?max_iter ?tol c] returns the [degree c] roots of [c].
+    Roots of nearly-zero polynomials or non-convergent iterations raise
+    [Failure]. Conjugate symmetry is enforced on output (pairs within
+    tolerance are averaged), so downstream code can rely on it. *)
+val find : ?max_iter:int -> ?tol:float -> Poly.t -> Cpx.t array
+
+(** [residual c roots] is max_k |c(root_k)| / scale, a quality measure used
+    by tests and by AWE order-escalation. *)
+val residual : Poly.t -> Cpx.t array -> float

@@ -1,0 +1,39 @@
+(** Compressed-sparse-row matrices.
+
+    MNA capacitance matrices are extremely sparse (a handful of entries
+    per device); the AWE moment recursion multiplies by C once per moment,
+    so a CSR matvec replaces the dense O(n^2) product there. Assembly goes
+    through a triplet buffer (duplicate entries are summed, as stamping
+    produces them). *)
+
+type triplets
+
+(** [triplets ()] is an empty assembly buffer. *)
+val triplets : unit -> triplets
+
+(** [add t i j v] accumulates [v] at (i, j). *)
+val add : triplets -> int -> int -> float -> unit
+
+type t
+
+(** [compress ~rows ~cols t] builds the CSR form; duplicates summed,
+    explicit zeros dropped. *)
+val compress : rows:int -> cols:int -> triplets -> t
+
+(** [of_dense m] converts a dense matrix (zeros dropped). *)
+val of_dense : Mat.t -> t
+
+val rows : t -> int
+val cols : t -> int
+
+(** [nnz t] is the stored entry count. *)
+val nnz : t -> int
+
+(** [mul_vec t x] is [t * x]. *)
+val mul_vec : t -> Vec.t -> Vec.t
+
+(** [mul_vec_into t x y] writes [t * x] into [y] without allocating. *)
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+
+(** [to_dense t] expands back (for tests). *)
+val to_dense : t -> Mat.t

@@ -1,0 +1,48 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+let fill x v = Array.fill x 0 (Array.length x) v
+
+let axpy a x y =
+  if Array.length x <> Array.length y then invalid_arg "Vec.axpy: dim mismatch";
+  for k = 0 to Array.length x - 1 do
+    y.(k) <- y.(k) +. (a *. x.(k))
+  done
+
+let dot x y =
+  if Array.length x <> Array.length y then invalid_arg "Vec.dot: dim mismatch";
+  let s = ref 0.0 in
+  for k = 0 to Array.length x - 1 do
+    s := !s +. (x.(k) *. y.(k))
+  done;
+  !s
+
+let scale a x = Array.map (fun v -> a *. v) x
+
+let add x y =
+  if Array.length x <> Array.length y then invalid_arg "Vec.add: dim mismatch";
+  Array.init (Array.length x) (fun k -> x.(k) +. y.(k))
+
+let sub x y =
+  if Array.length x <> Array.length y then invalid_arg "Vec.sub: dim mismatch";
+  Array.init (Array.length x) (fun k -> x.(k) -. y.(k))
+
+let norm2 x = Stdlib.sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
+
+let max_abs_index x =
+  if Array.length x = 0 then invalid_arg "Vec.max_abs_index: empty";
+  let best = ref 0 in
+  for k = 1 to Array.length x - 1 do
+    if Float.abs x.(k) > Float.abs x.(!best) then best := k
+  done;
+  !best
+
+let pp ppf x =
+  Format.fprintf ppf "[|";
+  Array.iteri (fun k v -> Format.fprintf ppf (if k = 0 then "%.6g" else "; %.6g") v) x;
+  Format.fprintf ppf "|]"

@@ -1,0 +1,33 @@
+(** Dense vectors of floats. Thin wrappers over [float array] chosen for
+    clarity at call sites in the numerical code. *)
+
+type t = float array
+
+val create : int -> t
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+val fill : t -> float -> unit
+
+(** [axpy a x y] computes [y <- a*x + y] in place. Dimensions must agree. *)
+val axpy : float -> t -> t -> unit
+
+val dot : t -> t -> float
+val scale : float -> t -> t
+
+(** [add x y] and [sub x y] allocate a fresh result. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+(** [norm2 x] is the Euclidean norm. *)
+val norm2 : t -> float
+
+(** [norm_inf x] is the max-abs norm; 0 for the empty vector. *)
+val norm_inf : t -> float
+
+(** [max_abs_index x] is the index of the entry with largest magnitude.
+    @raise Invalid_argument on the empty vector. *)
+val max_abs_index : t -> int
+
+val pp : Format.formatter -> t -> unit

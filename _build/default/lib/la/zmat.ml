@@ -1,0 +1,70 @@
+type t = { m : int; n : int; a : Cpx.t array }
+
+let create m n = { m; n; a = Array.make (m * n) Cpx.zero }
+let rows t = t.m
+let cols t = t.n
+let get t i j = t.a.((i * t.n) + j)
+let set t i j v = t.a.((i * t.n) + j) <- v
+let add_to t i j v = t.a.((i * t.n) + j) <- Cpx.add t.a.((i * t.n) + j) v
+
+let of_real_pair g c w =
+  let m = Mat.rows g and n = Mat.cols g in
+  if m <> Mat.rows c || n <> Mat.cols c then invalid_arg "Zmat.of_real_pair: shape mismatch";
+  let t = create m n in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      set t i j { Cpx.re = Mat.get g i j; im = w *. Mat.get c i j }
+    done
+  done;
+  t
+
+let mul_vec t x =
+  if t.n <> Array.length x then invalid_arg "Zmat.mul_vec: dim mismatch";
+  Array.init t.m (fun i ->
+      let s = ref Cpx.zero in
+      for j = 0 to t.n - 1 do
+        s := Cpx.add !s (Cpx.mul (get t i j) x.(j))
+      done;
+      !s)
+
+exception Singular of int
+
+let solve t b =
+  let n = t.m in
+  if n <> t.n then invalid_arg "Zmat.solve: not square";
+  if Array.length b <> n then invalid_arg "Zmat.solve: dim mismatch";
+  let x = Array.copy b in
+  for k = 0 to n - 1 do
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if Cpx.abs (get t i k) > Cpx.abs (get t !p k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = get t k j in
+        set t k j (get t !p j);
+        set t !p j tmp
+      done;
+      let tmp = x.(k) in
+      x.(k) <- x.(!p);
+      x.(!p) <- tmp
+    end;
+    let pivot = get t k k in
+    if Cpx.abs pivot < 1e-300 || not (Cpx.is_finite pivot) then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = Cpx.div (get t i k) pivot in
+      if Cpx.abs f <> 0.0 then begin
+        for j = k + 1 to n - 1 do
+          set t i j (Cpx.sub (get t i j) (Cpx.mul f (get t k j)))
+        done;
+        x.(i) <- Cpx.sub x.(i) (Cpx.mul f x.(k))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- Cpx.sub x.(i) (Cpx.mul (get t i j) x.(j))
+    done;
+    x.(i) <- Cpx.div x.(i) (get t i i)
+  done;
+  x

@@ -1,0 +1,1 @@
+lib/mna/ac.ml: Array Float La Linearize

@@ -1,0 +1,1 @@
+lib/mna/dc.ml: Array Devices Float La List Netlist Option Seq Sysmat

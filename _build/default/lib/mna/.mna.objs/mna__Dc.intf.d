@@ -1,0 +1,1 @@
+lib/mna/dc.mli: Devices La Netlist Sysmat

@@ -1,0 +1,1 @@
+lib/mna/linearize.ml: Array Dc Devices Float La Netlist Sysmat

@@ -1,0 +1,1 @@
+lib/mna/linearize.mli: Dc La Netlist Sysmat

@@ -1,0 +1,1 @@
+lib/mna/sysmat.ml: Array La List Netlist String

@@ -1,0 +1,1 @@
+lib/mna/tran.ml: Array Dc Devices Float La List Netlist Result Sysmat

@@ -1,0 +1,1 @@
+lib/mna/tran.mli: Devices Netlist Sysmat

@@ -1,0 +1,59 @@
+(** Nonlinear DC operating-point analysis by Newton-Raphson with gmin
+    stepping, per-step voltage damping, and a source-stepping fallback —
+    this is the "detailed circuit simulator" half of the reproduction's
+    reference simulator.
+
+    Capacitors are open, inductors are 0 V branches. *)
+
+type op_info = Mos_op of Devices.Sig.mos_op | Bjt_op of Devices.Sig.bjt_op
+
+type solution = {
+  index : Sysmat.t;
+  x : float array;  (** full unknown vector (node voltages then branches) *)
+  ops : (string * op_info) list;  (** per nonlinear device, by element name *)
+  iterations : int;
+}
+
+(** [node_voltage sol node] — ground returns 0. *)
+val node_voltage : solution -> int -> float
+
+(** [branch_current sol name] is the current through a voltage-defined
+    element, positive from its + node to its - node through the element. *)
+val branch_current : solution -> string -> float option
+
+(** [supply_power sol ~value] is the total power delivered by independent
+    voltage sources, watts. *)
+val supply_power : solution -> value:(Netlist.Expr.t -> float) -> float
+
+(** [solve ~value ~registry circuit] computes the operating point.
+    [value] evaluates element-value expressions (design variables bound by
+    the caller). [x0] warm-starts the Newton iteration. *)
+val solve :
+  ?max_iter:int ->
+  ?x0:float array ->
+  value:(Netlist.Expr.t -> float) ->
+  registry:Devices.Registry.t ->
+  Netlist.Circuit.t ->
+  (solution, string) result
+
+(** Low-level hooks shared with the transient engine. *)
+
+(** [assemble idx ~value ~registry ~gmin ~srcscale x] stamps the Newton
+    Jacobian and right-hand side at the linearization point [x]. *)
+val assemble :
+  Sysmat.t ->
+  value:(Netlist.Expr.t -> float) ->
+  registry:Devices.Registry.t ->
+  gmin:float ->
+  srcscale:float ->
+  float array ->
+  La.Mat.t * La.Vec.t
+
+(** [collect_ops idx ~value ~registry x] evaluates every nonlinear device at
+    the state [x]. *)
+val collect_ops :
+  Sysmat.t ->
+  value:(Netlist.Expr.t -> float) ->
+  registry:Devices.Registry.t ->
+  float array ->
+  (string * op_info) list

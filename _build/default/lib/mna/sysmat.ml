@@ -1,0 +1,81 @@
+(* Unknown-vector layout for modified nodal analysis.
+
+   Unknowns: node voltages for nodes 1..n-1 (ground eliminated), then one
+   branch current per voltage-defined element (independent V source,
+   inductor, VCVS, CCVS). *)
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  n_nodes : int;  (** including ground *)
+  branches : (string * int) list;  (** element name -> branch slot *)
+  size : int;  (** total unknown count *)
+}
+
+let needs_branch (e : Netlist.Circuit.element) =
+  match e with
+  | Netlist.Circuit.Vsource _ | Netlist.Circuit.Inductor _ | Netlist.Circuit.Vcvs _
+  | Netlist.Circuit.Ccvs _ ->
+      true
+  | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Isource _
+  | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _ | Netlist.Circuit.Mosfet _
+  | Netlist.Circuit.Bjt _ ->
+      false
+
+let of_circuit circuit =
+  let n_nodes = Netlist.Circuit.node_count circuit in
+  let branches = ref [] in
+  let next = ref 0 in
+  Array.iter
+    (fun e ->
+      if needs_branch e then begin
+        branches := (Netlist.Circuit.element_name e, !next) :: !branches;
+        incr next
+      end)
+    circuit.Netlist.Circuit.elements;
+  { circuit; n_nodes; branches = List.rev !branches; size = n_nodes - 1 + !next }
+
+(* Row/column of a node: ground maps to -1 (meaning: drop the stamp). *)
+let node_row _t node = node - 1
+let branch_row t slot = t.n_nodes - 1 + slot
+
+let branch_of_name t name =
+  match List.assoc_opt name t.branches with
+  | Some slot -> Some (branch_row t slot)
+  | None ->
+      (* F/H cards written inside a subcircuit refer to sources by their
+         local name; after elaboration both carry the same prefix, but a
+         reference from the top level to an inner source arrives bare. *)
+      let suffix = "." ^ name in
+      List.find_map
+        (fun (n, slot) ->
+          if
+            String.length n > String.length suffix
+            && String.sub n (String.length n - String.length suffix) (String.length suffix)
+               = suffix
+          then Some (branch_row t slot)
+          else None)
+        t.branches
+
+(* Stamping helpers: silently drop contributions touching ground. *)
+let add_g t m i j v =
+  if i >= 0 && j >= 0 then La.Mat.add_to m i j v;
+  ignore t
+
+let add_vec i v (b : La.Vec.t) = if i >= 0 then b.(i) <- b.(i) +. v
+
+(* Conductance [g] between nodes [n1] and [n2]. *)
+let stamp_conductance t m n1 n2 g =
+  let i = node_row t n1 and j = node_row t n2 in
+  add_g t m i i g;
+  add_g t m j j g;
+  add_g t m i j (-.g);
+  add_g t m j i (-.g)
+
+(* Transconductance: current [gm * (v_ncp - v_ncn)] flowing np -> nn. *)
+let stamp_vccs t m np nn ncp ncn gm =
+  let ip = node_row t np and in_ = node_row t nn in
+  let jcp = node_row t ncp and jcn = node_row t ncn in
+  add_g t m ip jcp gm;
+  add_g t m ip jcn (-.gm);
+  add_g t m in_ jcp (-.gm);
+  add_g t m in_ jcn gm

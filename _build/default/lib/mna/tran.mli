@@ -1,0 +1,28 @@
+(** Nonlinear transient analysis with fixed-step backward-Euler integration
+    and a Newton solve per timestep. Used as the reference measurement for
+    large-signal specifications (slew rate) that AWE cannot predict.
+
+    Time-varying stimulus is supplied per source name; sources without an
+    override keep their DC value. *)
+
+type t = {
+  index : Sysmat.t;
+  times : float array;
+  states : float array array;  (** [step][unknown] *)
+}
+
+(** [node_waveform r node] extracts one node's voltage trace. *)
+val node_waveform : t -> int -> float array
+
+(** [slew_rate r node ~t_from ~t_to] is the peak |dv/dt| of the node
+    voltage inside the window, V/s. *)
+val slew_rate : t -> int -> t_from:float -> t_to:float -> float
+
+val simulate :
+  value:(Netlist.Expr.t -> float) ->
+  registry:Devices.Registry.t ->
+  tstop:float ->
+  dt:float ->
+  stimulus:(string * (float -> float)) list ->
+  Netlist.Circuit.t ->
+  (t, string) result

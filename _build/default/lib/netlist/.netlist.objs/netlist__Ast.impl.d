@@ -1,0 +1,1 @@
+lib/netlist/ast.ml: Expr

@@ -1,0 +1,1 @@
+lib/netlist/elab.ml: Array Ast Circuit Expr Hashtbl List Printf

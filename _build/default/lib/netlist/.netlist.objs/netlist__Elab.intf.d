@@ -1,0 +1,1 @@
+lib/netlist/elab.mli: Ast Circuit

@@ -1,0 +1,1 @@
+lib/netlist/expr.ml: Float Format List Printf String Units

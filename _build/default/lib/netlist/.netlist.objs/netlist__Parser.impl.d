@@ -1,0 +1,1 @@
+lib/netlist/parser.ml: Ast Buffer Char Expr List Option Printf String Units

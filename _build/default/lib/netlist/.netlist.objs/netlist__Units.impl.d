@@ -1,0 +1,1 @@
+lib/netlist/units.ml: Float Printf String

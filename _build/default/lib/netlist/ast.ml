@@ -1,0 +1,104 @@
+(* Card-level abstract syntax of the ASTRX input language. Everything is
+   lower-cased by the parser; expressions keep their parsed form. *)
+
+type element =
+  | Resistor of { name : string; n1 : string; n2 : string; value : Expr.t }
+  | Capacitor of { name : string; n1 : string; n2 : string; value : Expr.t }
+  | Inductor of { name : string; n1 : string; n2 : string; value : Expr.t }
+  | Vsource of { name : string; np : string; nn : string; dc : Expr.t; ac : float }
+  | Isource of { name : string; np : string; nn : string; dc : Expr.t; ac : float }
+  | Vcvs of { name : string; np : string; nn : string; ncp : string; ncn : string; gain : Expr.t }
+  | Vccs of { name : string; np : string; nn : string; ncp : string; ncn : string; gm : Expr.t }
+  | Cccs of { name : string; np : string; nn : string; vsrc : string; gain : Expr.t }
+  | Ccvs of { name : string; np : string; nn : string; vsrc : string; r : Expr.t }
+  | Mosfet of {
+      name : string;
+      d : string;
+      g : string;
+      s : string;
+      b : string;
+      model : string;
+      w : Expr.t;
+      l : Expr.t;
+      mult : Expr.t;
+    }
+  | Bjt of {
+      name : string;
+      c : string;
+      b : string;
+      e : string;
+      model : string;
+      area : Expr.t;
+    }
+  | Subckt_inst of {
+      name : string;
+      nodes : string list;
+      subckt : string;
+      params : (string * Expr.t) list;
+    }
+
+type subckt = { sub_name : string; ports : string list; body : element list }
+
+type pz = {
+  tf_name : string;
+  out_pos : string;
+  out_neg : string option;  (** differential output when present *)
+  src : string;  (** name of the independent source driving the jig *)
+}
+
+type jig = { jig_name : string; jig_body : element list; pzs : pz list }
+
+type grid_kind = Grid_log | Grid_lin
+
+type var_decl = {
+  var_name : string;
+  vmin : float;
+  vmax : float;
+  grid : grid_kind;
+  steps : int option;  (** None = continuous variable *)
+  init : float option;
+}
+
+type goal_kind = Objective_max | Objective_min | Constraint_ge | Constraint_le
+
+type spec = { spec_name : string; kind : goal_kind; expr : Expr.t; good : float; bad : float }
+
+type region_req = Region_sat | Region_linear | Region_off | Region_any
+
+type model_decl = {
+  model_name : string;
+  device_kind : string;  (** nmos | pmos | npn | pnp *)
+  level : string;  (** "1" | "3" | "bsim" | "gp" *)
+  mparams : (string * float) list;
+}
+
+type line_counts = { netlist_lines : int; synth_lines : int }
+
+type problem = {
+  title : string;
+  subckts : subckt list;
+  models : model_decl list;
+  process : string option;  (** named built-in process providing models *)
+  params : (string * Expr.t) list;  (** .param named constants *)
+  vars : var_decl list;
+  jigs : jig list;
+  bias : element list;
+  specs : spec list;
+  regions : (string * region_req) list;  (** .devregion overrides *)
+  counts : line_counts;
+}
+
+let element_name = function
+  | Resistor { name; _ }
+  | Capacitor { name; _ }
+  | Inductor { name; _ }
+  | Vsource { name; _ }
+  | Isource { name; _ }
+  | Vcvs { name; _ }
+  | Vccs { name; _ }
+  | Cccs { name; _ }
+  | Ccvs { name; _ }
+  | Mosfet { name; _ }
+  | Bjt { name; _ }
+  | Subckt_inst { name; _ } ->
+      name

@@ -1,0 +1,128 @@
+exception Error of string
+
+let is_ground name = name = "0" || name = "gnd"
+
+type builder = {
+  mutable names : string list;  (** reversed, excluding ground *)
+  tbl : (string, int) Hashtbl.t;
+  mutable elements : Circuit.element list;  (** reversed *)
+}
+
+let intern b name =
+  if is_ground name then 0
+  else
+    match Hashtbl.find_opt b.tbl name with
+    | Some k -> k
+    | None ->
+        let k = Hashtbl.length b.tbl + 1 in
+        Hashtbl.add b.tbl name k;
+        b.names <- name :: b.names;
+        k
+
+(* [prefix] is "" at top level, "xamp." inside instance xamp. [port_map]
+   maps a subcircuit's formal port names to already-resolved parent node
+   names. [params] substitutes instance parameters into expressions. *)
+let rec expand b ~subckts ~prefix ~port_map ~params ~depth body =
+  if depth > 20 then raise (Error "subcircuit nesting too deep (recursive subckt?)");
+  let resolve_node n =
+    if is_ground n then "0"
+    else
+      match List.assoc_opt n port_map with
+      | Some parent -> parent
+      | None -> prefix ^ n
+  in
+  let node n = intern b (resolve_node n) in
+  let ename n = prefix ^ n in
+  let sub e = Expr.subst params e in
+  let add e = b.elements <- e :: b.elements in
+  let handle (el : Ast.element) =
+    match el with
+    | Ast.Resistor { name; n1; n2; value } ->
+        add (Circuit.Resistor { name = ename name; n1 = node n1; n2 = node n2; value = sub value })
+    | Ast.Capacitor { name; n1; n2; value } ->
+        add
+          (Circuit.Capacitor { name = ename name; n1 = node n1; n2 = node n2; value = sub value })
+    | Ast.Inductor { name; n1; n2; value } ->
+        add (Circuit.Inductor { name = ename name; n1 = node n1; n2 = node n2; value = sub value })
+    | Ast.Vsource { name; np; nn; dc; ac } ->
+        add (Circuit.Vsource { name = ename name; np = node np; nn = node nn; dc = sub dc; ac })
+    | Ast.Isource { name; np; nn; dc; ac } ->
+        add (Circuit.Isource { name = ename name; np = node np; nn = node nn; dc = sub dc; ac })
+    | Ast.Vcvs { name; np; nn; ncp; ncn; gain } ->
+        add
+          (Circuit.Vcvs
+             {
+               name = ename name;
+               np = node np;
+               nn = node nn;
+               ncp = node ncp;
+               ncn = node ncn;
+               gain = sub gain;
+             })
+    | Ast.Vccs { name; np; nn; ncp; ncn; gm } ->
+        add
+          (Circuit.Vccs
+             {
+               name = ename name;
+               np = node np;
+               nn = node nn;
+               ncp = node ncp;
+               ncn = node ncn;
+               gm = sub gm;
+             })
+    | Ast.Cccs { name; np; nn; vsrc; gain } ->
+        add
+          (Circuit.Cccs
+             { name = ename name; np = node np; nn = node nn; vsrc = ename vsrc; gain = sub gain })
+    | Ast.Ccvs { name; np; nn; vsrc; r } ->
+        add
+          (Circuit.Ccvs
+             { name = ename name; np = node np; nn = node nn; vsrc = ename vsrc; r = sub r })
+    | Ast.Mosfet { name; d; g; s; b = nb; model; w; l; mult } ->
+        add
+          (Circuit.Mosfet
+             {
+               name = ename name;
+               d = node d;
+               g = node g;
+               s = node s;
+               b = node nb;
+               model;
+               w = sub w;
+               l = sub l;
+               mult = sub mult;
+             })
+    | Ast.Bjt { name; c; b = nb; e; model; area } ->
+        add
+          (Circuit.Bjt
+             {
+               name = ename name;
+               c = node c;
+               b = node nb;
+               e = node e;
+               model;
+               area = sub area;
+             })
+    | Ast.Subckt_inst { name; nodes; subckt; params = inst_params } -> begin
+        match List.find_opt (fun s -> s.Ast.sub_name = subckt) subckts with
+        | None -> raise (Error ("unknown subcircuit " ^ subckt))
+        | Some def ->
+            if List.length def.ports <> List.length nodes then
+              raise
+                (Error
+                   (Printf.sprintf "instance %s: %d nodes given, subckt %s has %d ports"
+                      (ename name) (List.length nodes) subckt (List.length def.ports)));
+            let port_map' = List.combine def.ports (List.map resolve_node nodes) in
+            let params' = List.map (fun (k, e) -> (k, sub e)) inst_params in
+            expand b ~subckts
+              ~prefix:(ename name ^ ".")
+              ~port_map:port_map' ~params:params' ~depth:(depth + 1) def.body
+      end
+  in
+  List.iter handle body
+
+let flatten ~subckts body =
+  let b = { names = []; tbl = Hashtbl.create 64; elements = [] } in
+  expand b ~subckts ~prefix:"" ~port_map:[] ~params:[] ~depth:0 body;
+  let names = Array.of_list ("0" :: List.rev b.names) in
+  { Circuit.node_names = names; elements = Array.of_list (List.rev b.elements) }

@@ -1,0 +1,12 @@
+(** Elaboration: expand subcircuit instances into a flat {!Circuit.t}.
+
+    Node and element names of expanded instances get a ["inst."] prefix;
+    instance parameters are substituted structurally into the body's value
+    expressions. ["0"] and ["gnd"] both denote ground. *)
+
+exception Error of string
+
+(** [flatten ~subckts body] elaborates a list of element cards against the
+    given subcircuit definitions. Nested instances are supported; recursion
+    (a subcircuit instantiating itself) is an [Error]. *)
+val flatten : subckts:Ast.subckt list -> Ast.element list -> Circuit.t

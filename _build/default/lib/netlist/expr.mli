@@ -1,0 +1,74 @@
+(** The arithmetic expression language used in element values and in
+    performance-specification cards, e.g.
+    ['I / (2 * (Cl + xamp.m1.cd))'] or ['dc_gain(tf)'].
+
+    Grammar (precedence low to high):
+    {v
+      expr   ::= term (('+'|'-') term)*
+      term   ::= factor (('*'|'/') factor)*
+      factor ::= atom ('^' factor)?
+      atom   ::= number | ref | call | '-' atom | '(' expr ')'
+      ref    ::= ident ('.' ident)*
+      call   ::= ident '(' expr (',' expr)* ')'
+    v}
+    Numbers accept SPICE suffixes ([1Meg], [10p]). *)
+
+type t =
+  | Const of float
+  | Ref of string list
+      (** A possibly dotted reference: a plain variable/parameter ([I]), or
+          a device operating-point quantity ([xamp.m1.cd]). *)
+  | Call of string * t list
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow of t * t
+
+exception Parse_error of string
+
+(** [parse s] parses an expression. @raise Parse_error *)
+val parse : string -> t
+
+(** Evaluation environment. [lookup path] resolves dotted references;
+    [call name args] applies a function to already-evaluated numeric
+    arguments, except that a sub-expression which is a bare identifier is
+    passed through [name_arg] resolution first: functions like [dc_gain(tf)]
+    take the {e name} [tf], not a number. The environment decides, via
+    [is_name name arg_index fname], whether a given argument position of
+    [fname] is a name. *)
+type env = {
+  lookup : string list -> float;  (** raise [Not_found] for unknown refs *)
+  call : string -> arg list -> float;
+}
+
+and arg = Name of string | Num of float
+
+exception Eval_error of string
+
+(** [eval env e] evaluates [e]. Unknown references become [Eval_error]. *)
+val eval : env -> t -> float
+
+(** [subst map e] structurally substitutes single-identifier references:
+    any [Ref [x]] with [x] bound in [map] is replaced — used when
+    instantiating subcircuit parameters. *)
+val subst : (string * t) list -> t -> t
+
+(** [refs e] lists every dotted reference occurring in [e] (no dedup). *)
+val refs : t -> string list list
+
+(** [calls e] lists every function name called in [e] with its argument
+    expressions. *)
+val calls : t -> (string * t list) list
+
+(** [size e] counts AST nodes — used for the "Lines of C" size metric. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [const x] and [var name] are convenience constructors. *)
+val const : float -> t
+
+val var : string -> t

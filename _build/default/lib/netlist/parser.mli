@@ -1,0 +1,30 @@
+(** Parser for the ASTRX input language — a SPICE-flavoured, line-oriented
+    format. ['*'] starts a comment line, ['+'] continues the previous card,
+    tokens are case-insensitive, quoted strings (['...']) hold expressions.
+
+    Cards:
+    {v
+    <elements>                      r/c/l/v/i/e/g/f/h/m/q/x, SPICE syntax
+    .subckt name p1 p2 ... / .ends
+    .model name nmos|pmos|npn|pnp level=1|3|bsim [k=v ...]
+    .process name                   built-in process providing models
+    .param name=expr
+    .var name min=.. max=.. [grid=log|lin] [steps=n] [init=..]
+    .jig name / .endjig             test-jig body; may contain .pz cards
+    .pz tfname v(out[,outn]) srcname
+    .bias / .endbias                bias-circuit body
+    .obj name 'expr' good=.. bad=..
+    .spec name 'expr' good=.. bad=..
+    .devregion elemname sat|linear|off|any
+    .title text
+    v} *)
+
+exception Error of int * string
+(** Parse error with 1-based logical line number. *)
+
+(** [parse_problem src] parses a whole problem description. *)
+val parse_problem : string -> Ast.problem
+
+(** [parse_elements src] parses a bare list of element cards (used by tests
+    and by programmatic circuit construction). *)
+val parse_elements : string -> Ast.element list

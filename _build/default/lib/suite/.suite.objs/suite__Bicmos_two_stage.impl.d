@@ -1,0 +1,1 @@
+lib/suite/bicmos_two_stage.ml:

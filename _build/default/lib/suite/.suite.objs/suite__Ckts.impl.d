@@ -1,0 +1,1 @@
+lib/suite/ckts.ml: Bicmos_two_stage Comparator Folded_cascode List Novel_folded_cascode Ota Simple_ota Two_stage

@@ -1,0 +1,1 @@
+lib/suite/folded_cascode.ml:

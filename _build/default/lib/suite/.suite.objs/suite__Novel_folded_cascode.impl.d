@@ -1,0 +1,1 @@
+lib/suite/novel_folded_cascode.ml:

@@ -1,0 +1,1 @@
+lib/suite/simple_ota.ml: Printf

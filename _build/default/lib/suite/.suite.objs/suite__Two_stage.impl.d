@@ -1,0 +1,1 @@
+lib/suite/two_stage.ml:

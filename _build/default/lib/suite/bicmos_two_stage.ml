@@ -1,0 +1,87 @@
+(* BiCMOS two-stage amplifier: MOS differential first stage with an npn
+   common-emitter second stage — exercises mixed MOS/BJT synthesis
+   (Table 2, last column). *)
+
+let name = "bicmos-two-stage"
+
+let source =
+  {|.title BiCMOS two-stage amplifier
+.process p1u2
+.param vddval=5
+.param vcmval=2.5
+.param cl=1p
+
+.subckt amp inp inm out vdd vss
+* PMOS input pair with NMOS mirror load: the first-stage output sits a
+* vgs above vss, which directly biases the npn base of the second stage
+m1 n1 inp ntail vdd pmos w='w1' l='l1'
+m2 n2 inm ntail vdd pmos w='w1' l='l1'
+m3 n1 n1 vss vss nmos w='w3' l='l3'
+m4 n2 n1 vss vss nmos w='w3' l='l3'
+m5 ntail bp vdd vdd pmos w='w5' l='l5'
+m8 bp bp vdd vdd pmos w='w5' l='l5'
+iref bp vss 'ib'
+* npn common-emitter second stage with PMOS current-source load
+q1 out n2 vss npn 'qarea'
+m6 out nbp vdd vdd pmos w='w6' l='l6'
+vbp vdd nbp 'vb'
+cc n2 out 'ccomp'
+.ends
+
+.var w1 min=2u max=400u steps=120
+.var l1 min=1.2u max=20u steps=60
+.var w3 min=2u max=400u steps=120
+.var l3 min=1.2u max=20u steps=60
+.var w5 min=2u max=400u steps=120
+.var l5 min=1.2u max=20u steps=60
+.var w6 min=2u max=800u steps=120
+.var l6 min=1.2u max=20u steps=60
+.var qarea min=0.5 max=20 grid=log
+.var ib min=2u max=1m grid=log
+.var vb min=0.3 max=2.5
+.var ccomp min=50f max=20p grid=log
+
+.jig main
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval' ac 1
+cl1 out 0 'cl'
+.pz tf v(out) vin
+.pz tfdd v(out) vdd
+.pz tfss v(out) vss
+.endjig
+
+.bias
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval'
+cl1 out 0 'cl'
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=100 bad=40
+.obj area 'area()' good=2000 bad=50000
+.spec ugf 'ugf(tf)' good=50meg bad=1meg
+.spec pm 'phase_margin(tf)' good=45 bad=15
+.spec psrr_vss 'db(dc_gain(tf)) - db(dc_gain(tfss))' good=60 bad=10
+.spec psrr_vdd 'db(dc_gain(tf)) - db(dc_gain(tfdd))' good=40 bad=5
+.spec swing 'vddval - xamp.m6.vdsat - 0.3' good=2 bad=0.8
+.spec sr 'ib / (ccomp + xamp.m2.cd + xamp.m4.cd)' good=10e6 bad=1e6
+.spec pwr 'power()' good=20m bad=100m
+|}
+
+let paper_table2 =
+  [
+    ("adm", "maximize", 99.1, 99.1);
+    ("ugf", ">=50Meg", 73.7e6, 75.1e6);
+    ("pm", ">=45", 45.2, 49.6);
+    ("psrr_vss", ">=60", 78.9, 79.0);
+    ("psrr_vdd", ">=40", 52.2, 52.2);
+    ("swing", ">=2", 3.3, 4.0);
+    ("sr", ">=10V/us", 10e6, 9.5e6);
+    ("area", "minimize", 11900.0, 11900.0);
+    ("pwr", "<=20mW", 1.3e-3, 1.5e-3);
+  ]

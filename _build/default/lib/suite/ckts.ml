@@ -1,0 +1,64 @@
+(* Index of the benchmark suite. Five of these topologies (Simple OTA,
+   OTA, Two-Stage, Folded Cascode, Comparator) blanket essentially all
+   previously published synthesis results; the last two stress mixed
+   MOS/BJT design and a just-published high-performance topology. *)
+
+type entry = {
+  name : string;
+  source : string;
+  synthesized : bool;  (** false = ASTRX analysis only (comparator) *)
+  paper_table2 : (string * string * float * float) list;
+      (** spec, goal text, paper OBLX value, paper simulation value *)
+}
+
+let all =
+  [
+    {
+      name = Simple_ota.name;
+      source = Simple_ota.source;
+      synthesized = true;
+      paper_table2 = Simple_ota.paper_table2;
+    };
+    { name = Ota.name; source = Ota.source; synthesized = true; paper_table2 = Ota.paper_table2 };
+    {
+      name = Two_stage.name;
+      source = Two_stage.source;
+      synthesized = true;
+      paper_table2 = Two_stage.paper_table2;
+    };
+    {
+      name = Folded_cascode.name;
+      source = Folded_cascode.source;
+      synthesized = true;
+      paper_table2 = Folded_cascode.paper_table2;
+    };
+    { name = Comparator.name; source = Comparator.source; synthesized = false; paper_table2 = [] };
+    {
+      name = Bicmos_two_stage.name;
+      source = Bicmos_two_stage.source;
+      synthesized = true;
+      paper_table2 = Bicmos_two_stage.paper_table2;
+    };
+    {
+      name = Novel_folded_cascode.name;
+      source = Novel_folded_cascode.source;
+      synthesized = true;
+      paper_table2 = [];
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+(* Paper Table 1, for side-by-side reporting: circuit ->
+   (netlist lines, synth lines, user vars, node vars, terms, lines of C,
+    bias nodes, bias elements). *)
+let paper_table1 =
+  [
+    ("simple-ota", (30, 28, 7, 14, 56, 1443, 20, 31));
+    ("ota", (34, 33, 11, 24, 85, 1809, 28, 49));
+    ("two-stage", (43, 40, 19, 26, 88, 1894, 34, 54));
+    ("folded-cascode", (65, 56, 28, 70, 212, 3408, 75, 138));
+    ("comparator", (131, 68, 19, 57, 169, 3088, 65, 126));
+    ("bicmos-two-stage", (39, 33, 12, 26, 86, 1723, 33, 54));
+    ("novel-folded-cascode", (68, 51, 27, 84, 246, 3960, 90, 167));
+  ]

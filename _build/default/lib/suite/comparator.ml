@@ -1,0 +1,116 @@
+(* Clocked comparator (preamp + gain stage + output stage), analysis-only
+   benchmark: the paper presents its ASTRX analysis in Table 1 and defers
+   synthesis results to the CICC'94 companion paper [22], so we do the
+   same — Table 1 numbers come from compiling this problem; it is not part
+   of the Table 2 synthesis sweep. Three test jigs give the three AWE
+   circuits of the paper's Table 1 column. *)
+
+let name = "comparator"
+
+let source =
+  {|.title latching comparator front-end
+.process p1u2
+.param vddval=5
+.param vcmval=2.5
+
+.subckt preamp inp inm outp outm vdd vss
+m1 outm inp ntail vss nmos w='w1' l='l1'
+m2 outp inm ntail vss nmos w='w1' l='l1'
+m3 outm nbp vdd vdd pmos w='w3' l='l3'
+m4 outp nbp vdd vdd pmos w='w3' l='l3'
+m5 ntail bp vss vss nmos w='w5' l='l5'
+m6 bp bp vss vss nmos w='w5' l='l5'
+iref vdd bp 'ib1'
+vbp vdd nbp 'vb1'
+.ends
+
+.subckt gainstage inp inm outp outm vdd vss
+m1 outm inp ntail vss nmos w='w7' l='l7'
+m2 outp inm ntail vss nmos w='w7' l='l7'
+m3 outm outm vdd vdd pmos w='w8' l='l8'
+m4 outp outp vdd vdd pmos w='w8' l='l8'
+m5 ntail bp vss vss nmos w='w9' l='l9'
+m6 bp bp vss vss nmos w='w9' l='l9'
+iref vdd bp 'ib2'
+.ends
+
+.subckt outstage in out vdd vss
+m1 out in vss vss nmos w='w10' l='l10'
+m2 out nbp vdd vdd pmos w='w11' l='l11'
+vbp vdd nbp 'vb2'
+.ends
+
+.var w1 min=2u max=400u steps=120
+.var l1 min=1.2u max=10u steps=50
+.var w3 min=2u max=400u steps=120
+.var l3 min=1.2u max=10u steps=50
+.var w5 min=2u max=400u steps=120
+.var l5 min=1.2u max=10u steps=50
+.var w7 min=2u max=400u steps=120
+.var l7 min=1.2u max=10u steps=50
+.var w8 min=2u max=400u steps=120
+.var l8 min=1.2u max=10u steps=50
+.var w9 min=2u max=400u steps=120
+.var l9 min=1.2u max=10u steps=50
+.var w10 min=2u max=400u steps=120
+.var l10 min=1.2u max=10u steps=50
+.var w11 min=2u max=400u steps=120
+.var l11 min=1.2u max=10u steps=50
+.var ib1 min=2u max=1m grid=log
+.var ib2 min=2u max=1m grid=log
+.var vb1 min=0.3 max=2.5
+.var vb2 min=0.3 max=2.5
+
+.jig chain
+xpre inp inm p1 p2 nvdd nvss preamp
+xgs p1 p2 g1 g2 nvdd nvss gainstage
+xout g1 o1 nvdd nvss outstage
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval' ac 1
+cl1 o1 0 200f
+.pz tfc v(o1) vin
+.endjig
+
+.jig pre
+xpre inp inm p1 p2 nvdd nvss preamp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval' ac 1
+cp1 p1 0 100f
+cp2 p2 0 100f
+.pz tfp v(p2,p1) vin
+.endjig
+
+.jig psr
+xpre inp inm p1 p2 nvdd nvss preamp
+xgs p1 p2 g1 g2 nvdd nvss gainstage
+xout g1 o1 nvdd nvss outstage
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval'
+cl1 o1 0 200f
+.pz tfdd v(o1) vdd
+.endjig
+
+.bias
+xpre inp inm p1 p2 nvdd nvss preamp
+xgs p1 p2 g1 g2 nvdd nvss gainstage
+xout g1 o1 nvdd nvss outstage
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval'
+cl1 o1 0 200f
+.endbias
+
+.obj speed 'bw3db(tfc)' good=100meg bad=1meg
+.obj area 'area()' good=2000 bad=50000
+.spec again 'db(dc_gain(tfc))' good=50 bad=20
+.spec pregain 'db(dc_gain(tfp))' good=20 bad=5
+.spec psr 'db(dc_gain(tfc)) - db(dc_gain(tfdd))' good=30 bad=5
+.spec pwr 'power()' good=5m bad=30m
+|}

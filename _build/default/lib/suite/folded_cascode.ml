@@ -1,0 +1,98 @@
+(* Folded-cascode op-amp: NMOS input pair folded into PMOS cascodes with a
+   cascoded NMOS mirror load. The cascode bias voltages are independent
+   design variables, as in the paper's formulation. Fourth column of
+   Tables 1 and 2. *)
+
+let name = "folded-cascode"
+
+let source =
+  {|.title folded cascode op-amp
+.process p1u2
+.param vddval=5
+.param vcmval=2.5
+.param cl=1.25p
+
+.subckt amp inp inm out vdd vss
+* input pair and tail mirror
+m1 f1 inp ntail vss nmos w='w1' l='l1'
+m2 f2 inm ntail vss nmos w='w1' l='l1'
+m0 ntail bp vss vss nmos w='w0' l='l0'
+m11 bp bp vss vss nmos w='w0' l='l0'
+iref vdd bp 'ib'
+* top PMOS current sources
+m3 f1 nbp vdd vdd pmos w='w3' l='l3'
+m4 f2 nbp vdd vdd pmos w='w3' l='l3'
+vbp vdd nbp 'vbp'
+* PMOS cascodes
+m5 o1 ncp f1 vdd pmos w='w5' l='l5'
+m6 out ncp f2 vdd pmos w='w5' l='l5'
+vcp vdd ncp 'vcp'
+* cascoded NMOS mirror load
+m7 o1 ncn n9 vss nmos w='w7' l='l7'
+m8 out ncn n10 vss nmos w='w7' l='l7'
+m9 n9 o1 vss vss nmos w='w9' l='l9'
+m10 n10 o1 vss vss nmos w='w9' l='l9'
+vcn ncn 0 'vcn'
+.ends
+
+.var w1 min=4u max=600u steps=120
+.var l1 min=1.2u max=10u steps=50
+.var w0 min=4u max=600u steps=120
+.var l0 min=1.2u max=10u steps=50
+.var w3 min=4u max=800u steps=120
+.var l3 min=1.2u max=10u steps=50
+.var w5 min=4u max=800u steps=120
+.var l5 min=1.2u max=10u steps=50
+.var w7 min=4u max=600u steps=120
+.var l7 min=1.2u max=10u steps=50
+.var w9 min=4u max=600u steps=120
+.var l9 min=1.2u max=10u steps=50
+.var ib min=5u max=2m grid=log
+.var vbp min=0.3 max=2.5
+.var vcp min=0.8 max=3.5
+.var vcn min=0.8 max=3.5
+
+.jig main
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval' ac 1
+cl1 out 0 'cl'
+.pz tf v(out) vin
+.pz tfdd v(out) vdd
+.pz tfss v(out) vss
+.endjig
+
+.bias
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval'
+cl1 out 0 'cl'
+.endbias
+
+.obj ugf 'ugf(tf)' good=80meg bad=1meg
+.obj area 'area()' good=5000 bad=100000
+.spec adm 'db(dc_gain(tf))' good=70 bad=30
+.spec pm 'phase_margin(tf)' good=60 bad=20
+.spec psrr_vss 'db(dc_gain(tf)) - db(dc_gain(tfss))' good=65 bad=20
+.spec psrr_vdd 'db(dc_gain(tf)) - db(dc_gain(tfdd))' good=90 bad=20
+.spec swing 'vddval - xamp.m4.vdsat - xamp.m6.vdsat - xamp.m8.vdsat - xamp.m10.vdsat' good=2 bad=0.5
+.spec sr 'ib / (cl + xamp.m6.cd + xamp.m8.cd)' good=50e6 bad=5e6
+.spec pwr 'power()' good=15m bad=60m
+|}
+
+let paper_table2 =
+  [
+    ("adm", ">=70", 70.1, 70.1);
+    ("ugf", "maximize", 72.4e6, 72.1e6);
+    ("pm", ">=60", 80.0, 80.0);
+    ("psrr_vss", ">=105", 107.0, 107.0);
+    ("psrr_vdd", ">=105", 125.0, 125.0);
+    ("swing", ">=+-1.0", 1.5, 1.5);
+    ("sr", ">=50V/us", 67e6, 57e6);
+    ("area", "minimize", 46000.0, 46000.0);
+    ("pwr", "<=15mW", 10e-3, 10e-3);
+  ]

@@ -1,0 +1,82 @@
+(* Symmetric OTA: NMOS differential pair into PMOS diode loads, mirrored
+   with gain k to the output branches, NMOS mirror closing the loop —
+   second column of Tables 1 and 2. *)
+
+let name = "ota"
+
+let source =
+  {|.title symmetric OTA
+.process p1u2
+.param vddval=5
+.param vcmval=2.5
+.param cl=1p
+
+.subckt amp inp inm out vdd vss
+m1 n3 inp ntail vss nmos w='w1' l='l1'
+m2 n4 inm ntail vss nmos w='w1' l='l1'
+m3 n3 n3 vdd vdd pmos w='w3' l='l3'
+m4 n4 n4 vdd vdd pmos w='w3' l='l3'
+m5 n5 n3 vdd vdd pmos w='wm' l='l3'
+m6 out n4 vdd vdd pmos w='wm' l='l3'
+m7 n5 n5 vss vss nmos w='w7' l='l7'
+m8 out n5 vss vss nmos w='w7' l='l7'
+m9 ntail bp vss vss nmos w='w9' l='l9'
+m10 bp bp vss vss nmos w='w9' l='l9'
+iref vdd bp 'ib'
+.ends
+
+.var w1 min=2u max=400u steps=120
+.var l1 min=1.2u max=20u steps=60
+.var w3 min=2u max=400u steps=120
+.var l3 min=1.2u max=20u steps=60
+.var wm min=2u max=600u steps=120
+.var w7 min=2u max=400u steps=120
+.var l7 min=1.2u max=20u steps=60
+.var w9 min=2u max=400u steps=120
+.var l9 min=1.2u max=20u steps=60
+.var ib min=2u max=1m grid=log
+
+.jig main
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval' ac 1
+cl1 out 0 'cl'
+.pz tf v(out) vin
+.pz tfdd v(out) vdd
+.pz tfss v(out) vss
+.endjig
+
+.bias
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval'
+cl1 out 0 'cl'
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=40 bad=6
+.obj area 'area()' good=500 bad=20000
+.spec ugf 'ugf(tf)' good=25meg bad=500k
+.spec pm 'phase_margin(tf)' good=45 bad=15
+.spec psrr_vss 'db(dc_gain(tf)) - db(dc_gain(tfss))' good=40 bad=5
+.spec psrr_vdd 'db(dc_gain(tf)) - db(dc_gain(tfdd))' good=40 bad=5
+.spec swing 'vddval - xamp.m6.vdsat - xamp.m8.vdsat' good=2.5 bad=1
+.spec sr 'ib / (cl + xamp.m6.cd + xamp.m8.cd)' good=10e6 bad=1e6
+.spec pwr 'power()' good=1m bad=10m
+|}
+
+let paper_table2 =
+  [
+    ("adm", "maximize", 40.4, 40.2);
+    ("ugf", ">=25Meg", 25.0e6, 25.4e6);
+    ("pm", ">=45", 57.9, 57.8);
+    ("psrr_vss", ">=40", 42.1, 42.0);
+    ("psrr_vdd", ">=40", 52.8, 52.8);
+    ("swing", ">=2.5", 4.0, 4.0);
+    ("sr", ">=10V/us", 51.6e6, 48.2e6);
+    ("area", "minimize", 900.0, 900.0);
+    ("pwr", "<=1mW", 0.33e-3, 0.34e-3);
+  ]

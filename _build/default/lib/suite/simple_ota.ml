@@ -1,0 +1,83 @@
+(* Simple OTA: the classic 5-transistor operational transconductance
+   amplifier (differential NMOS pair, PMOS current-mirror load, mirrored
+   tail current source). First column of Tables 1 and 2. *)
+
+let name = "simple-ota"
+
+(* The same topology parameterized by the process/model names so the
+   Section-VI model-comparison experiment (BSIM/2u vs BSIM/1.2u vs
+   MOS3/1.2u) reuses it verbatim. *)
+let source_with ~process ~nmos ~pmos =
+  Printf.sprintf
+    {|.title simple OTA (5T)
+.process %s
+.param vddval=5
+.param vcmval=2.5
+.param cl=1p
+
+.subckt amp inp inm out vdd vss
+m1 n1 inp ntail vss %s w='w1' l='l1'
+m2 out inm ntail vss %s w='w1' l='l1'
+m3 n1 n1 vdd vdd %s w='w3' l='l3'
+m4 out n1 vdd vdd %s w='w3' l='l3'
+m5 ntail bp vss vss %s w='w5' l='l5'
+m6 bp bp vss vss %s w='w5' l='l5'
+iref vdd bp 'ib'
+.ends
+
+.var w1 min=2u max=400u steps=120
+.var l1 min=1.2u max=20u steps=60
+.var w3 min=2u max=400u steps=120
+.var l3 min=1.2u max=20u steps=60
+.var w5 min=2u max=400u steps=120
+.var l5 min=1.2u max=20u steps=60
+.var ib min=2u max=2m grid=log
+
+.jig main
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval' ac 1
+cl1 out 0 'cl'
+.pz tf v(out) vin
+.pz tfdd v(out) vdd
+.pz tfss v(out) vss
+.endjig
+
+.bias
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval'
+cl1 out 0 'cl'
+.endbias
+
+.obj adm 'db(dc_gain(tf))' good=40 bad=6
+.obj area 'area()' good=500 bad=20000
+.spec ugf 'ugf(tf)' good=50meg bad=1meg
+.spec pm 'phase_margin(tf)' good=60 bad=20
+.spec psrr_vss 'db(dc_gain(tf)) - db(dc_gain(tfss))' good=20 bad=0
+.spec psrr_vdd 'db(dc_gain(tf)) - db(dc_gain(tfdd))' good=20 bad=0
+.spec swing 'vddval - xamp.m4.vdsat - xamp.m2.vdsat - xamp.m5.vdsat' good=2.3 bad=1
+.spec sr 'ib / (cl + xamp.m2.cd + xamp.m4.cd)' good=10e6 bad=1e6
+.spec pwr 'power()' good=1m bad=10m
+|}
+    process nmos nmos pmos pmos nmos nmos
+
+let source = source_with ~process:"p1u2" ~nmos:"nmos" ~pmos:"pmos"
+
+(* Paper values for EXPERIMENTS.md side-by-side comparison (Table 2 col 1). *)
+let paper_table2 =
+  [
+    ("adm", "maximize", 36.6, 36.6);
+    ("ugf", ">=50Meg", 50.1e6, 50.6e6);
+    ("pm", ">=60", 71.4, 74.8);
+    ("psrr_vss", ">=20", 21.9, 21.9);
+    ("psrr_vdd", ">=20", 36.8, 36.8);
+    ("swing", ">=2.3", 3.7, 3.6);
+    ("sr", ">=10V/us", 130e6, 131e6);
+    ("area", "minimize", 2800.0, 2800.0);
+    ("pwr", "<=1mW", 0.72e-3, 0.72e-3);
+  ]

@@ -1,0 +1,84 @@
+(* Two-stage Miller-compensated op-amp: 5T first stage, common-source PMOS
+   second stage, compensation capacitor with nulling resistor. Third
+   column of Tables 1 and 2. *)
+
+let name = "two-stage"
+
+let source =
+  {|.title two-stage miller op-amp
+.process p1u2
+.param vddval=5
+.param vcmval=2.5
+.param cl=1p
+
+.subckt amp inp inm out vdd vss
+m1 n1 inp ntail vss nmos w='w1' l='l1'
+m2 n2 inm ntail vss nmos w='w1' l='l1'
+m3 n1 n1 vdd vdd pmos w='w3' l='l3'
+m4 n2 n1 vdd vdd pmos w='w3' l='l3'
+m5 ntail bp vss vss nmos w='w5' l='l5'
+m6 out n2 vdd vdd pmos w='w6' l='l6'
+m7 out bp vss vss nmos w='w7' l='l5'
+m8 bp bp vss vss nmos w='w5' l='l5'
+iref vdd bp 'ib'
+rz n2 nz 'rz'
+cc nz out 'ccomp'
+.ends
+
+.var w1 min=2u max=400u steps=120
+.var l1 min=1.2u max=20u steps=60
+.var w3 min=2u max=400u steps=120
+.var l3 min=1.2u max=20u steps=60
+.var w5 min=2u max=400u steps=120
+.var l5 min=1.2u max=20u steps=60
+.var w6 min=2u max=800u steps=120
+.var l6 min=1.2u max=20u steps=60
+.var w7 min=2u max=800u steps=120
+.var ib min=2u max=1m grid=log
+.var ccomp min=50f max=20p grid=log
+.var rz min=100 max=100k grid=log
+
+.jig main
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval' ac 1
+cl1 out 0 'cl'
+.pz tf v(out) vin
+.pz tfdd v(out) vdd
+.pz tfss v(out) vss
+.endjig
+
+.bias
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval'
+cl1 out 0 'cl'
+.endbias
+
+.obj area 'area()' good=800 bad=30000
+.spec adm 'db(dc_gain(tf))' good=60 bad=20
+.spec ugf 'ugf(tf)' good=10meg bad=200k
+.spec pm 'phase_margin(tf)' good=45 bad=15
+.spec psrr_vss 'db(dc_gain(tf)) - db(dc_gain(tfss))' good=20 bad=0
+.spec psrr_vdd 'db(dc_gain(tf)) - db(dc_gain(tfdd))' good=40 bad=5
+.spec swing 'vddval - xamp.m6.vdsat - xamp.m7.vdsat' good=2 bad=0.8
+.spec sr 'ib / (ccomp + xamp.m2.cd + xamp.m4.cd)' good=2e6 bad=2e5
+.spec pwr 'power()' good=1m bad=10m
+|}
+
+let paper_table2 =
+  [
+    ("adm", ">=60", 66.4, 66.4);
+    ("ugf", ">=10Meg", 10.6e6, 10.6e6);
+    ("pm", ">=45", 87.3, 86.5);
+    ("psrr_vss", ">=20", 31.0, 30.9);
+    ("psrr_vdd", ">=40", 45.8, 45.8);
+    ("swing", ">=2", 2.7, 2.8);
+    ("sr", ">=2V/us", 3.8e6, 4.0e6);
+    ("area", "minimize", 2100.0, 2100.0);
+    ("pwr", "<=1mW", 0.16e-3, 0.16e-3);
+  ]

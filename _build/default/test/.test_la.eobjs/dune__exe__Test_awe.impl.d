@@ -1,0 +1,1 @@
+test/test_awe.ml: Alcotest Array Awe Buffer Float La List Mna Netlist Printf QCheck QCheck_alcotest Random Unix

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Anneal Baselines Core Float List Suite

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Anneal Array Core Devices Float List Mna Netlist Option Printf Result String Suite

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Array Devices Float List Option QCheck QCheck_alcotest Result

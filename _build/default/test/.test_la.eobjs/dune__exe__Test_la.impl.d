@@ -1,0 +1,1 @@
+test/test_la.ml: Alcotest Array Float Fun La List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_mna.ml: Alcotest Array Devices Float La List Mna Netlist Result

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Core Devices Float List Result String Suite

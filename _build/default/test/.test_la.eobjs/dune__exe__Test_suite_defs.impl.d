@@ -1,0 +1,1 @@
+test/test_suite_defs.ml: Alcotest Core Lazy List Mna Netlist Option String Suite

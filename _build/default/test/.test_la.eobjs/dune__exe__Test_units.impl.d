@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Float List Netlist QCheck QCheck_alcotest

@@ -1,0 +1,241 @@
+(* Tests for the annealing kernel: RNG, Lam schedule, Hustin selection,
+   range limiter, and the driver on known optimization landscapes. *)
+
+let test_rng_determinism () =
+  let a = Anneal.Rng.create 42 and b = Anneal.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "same stream" (Anneal.Rng.float a) (Anneal.Rng.float b)
+  done;
+  let c = Anneal.Rng.create 43 in
+  Alcotest.(check bool) "different seed differs" true
+    (Anneal.Rng.float a <> Anneal.Rng.float c)
+
+let test_rng_uniformity () =
+  let rng = Anneal.Rng.create 7 in
+  let n = 20000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Anneal.Rng.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "out of range";
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~0.5" true (Float.abs (mean -. 0.5) < 0.01);
+  Alcotest.(check bool) "var ~1/12" true (Float.abs (var -. (1.0 /. 12.0)) < 0.005)
+
+let test_rng_int_bounds () =
+  let rng = Anneal.Rng.create 3 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    let v = Anneal.Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int out of range";
+    seen.(v) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen);
+  Alcotest.check_raises "nonpositive bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Anneal.Rng.int rng 0))
+
+let test_rng_gaussian () =
+  let rng = Anneal.Rng.create 11 in
+  let n = 20000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Anneal.Rng.gaussian rng in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~0" true (Float.abs mean < 0.03);
+  Alcotest.(check bool) "var ~1" true (Float.abs (var -. 1.0) < 0.05)
+
+let test_rng_split_independence () =
+  let rng = Anneal.Rng.create 5 in
+  let a = Anneal.Rng.split rng and b = Anneal.Rng.split rng in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Anneal.Rng.float a = Anneal.Rng.float b then incr same
+  done;
+  Alcotest.(check bool) "split streams diverge" true (!same < 5)
+
+(* --- Lam schedule --- *)
+
+let test_lam_target_trajectory () =
+  let t = Anneal.Lam.create ~total_moves:1000 ~t0:1.0 in
+  (* At the start the target is near 1; after 40% it is the 0.44 plateau. *)
+  Alcotest.(check bool) "starts high" true (Anneal.Lam.target_ratio t > 0.9);
+  for _ = 1 to 400 do
+    Anneal.Lam.record t ~accepted:true
+  done;
+  Alcotest.(check (float 1e-9)) "plateau" 0.44 (Anneal.Lam.target_ratio t);
+  for _ = 1 to 590 do
+    Anneal.Lam.record t ~accepted:false
+  done;
+  Alcotest.(check bool) "quench low" true (Anneal.Lam.target_ratio t < 0.1);
+  Alcotest.(check bool) "not finished" true (not (Anneal.Lam.finished t));
+  for _ = 1 to 10 do
+    Anneal.Lam.record t ~accepted:false
+  done;
+  Alcotest.(check bool) "finished" true (Anneal.Lam.finished t)
+
+let test_lam_feedback_direction () =
+  (* All-accepted moves during the plateau push the temperature down. *)
+  let t = Anneal.Lam.create ~total_moves:10000 ~t0:1.0 in
+  for _ = 1 to 3000 do
+    Anneal.Lam.record t ~accepted:true
+  done;
+  Alcotest.(check bool) "cooled" true (Anneal.Lam.temperature t < 1.0);
+  (* All-rejected pushes it back up. *)
+  let tmp = Anneal.Lam.temperature t in
+  for _ = 1 to 1000 do
+    Anneal.Lam.record t ~accepted:false
+  done;
+  Alcotest.(check bool) "reheated" true (Anneal.Lam.temperature t > tmp)
+
+(* --- Hustin --- *)
+
+let test_hustin_distribution () =
+  let h = Anneal.Hustin.create ~classes:[| "a"; "b"; "c" |] in
+  let probs = Anneal.Hustin.probabilities h in
+  Alcotest.(check (float 1e-9)) "uniform at start" (1.0 /. 3.0) probs.(0);
+  (* Class b produces all the gain; its probability must dominate. *)
+  for _ = 1 to 500 do
+    Anneal.Hustin.record h 1 ~accepted:true ~delta_cost:10.0;
+    Anneal.Hustin.record h 0 ~accepted:false ~delta_cost:0.0;
+    Anneal.Hustin.record h 2 ~accepted:true ~delta_cost:0.01
+  done;
+  let probs = Anneal.Hustin.probabilities h in
+  Alcotest.(check bool) "b dominates" true (probs.(1) > 0.8);
+  Alcotest.(check bool) "floor respected" true (probs.(0) >= 0.02 -. 1e-12);
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 probs)
+
+let test_hustin_pick_follows_probs () =
+  let h = Anneal.Hustin.create ~classes:[| "a"; "b" |] in
+  for _ = 1 to 200 do
+    Anneal.Hustin.record h 0 ~accepted:true ~delta_cost:5.0
+  done;
+  let rng = Anneal.Rng.create 9 in
+  let counts = [| 0; 0 |] in
+  for _ = 1 to 2000 do
+    let k = Anneal.Hustin.pick h rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "mostly class a" true (counts.(0) > 1700)
+
+(* --- Range limiter --- *)
+
+let test_range_adaptation () =
+  let r =
+    Anneal.Range.create ~n:1 ~initial:[| 1.0 |] ~min_step:[| 1e-6 |] ~max_step:[| 10.0 |]
+  in
+  for _ = 1 to 100 do
+    Anneal.Range.record r 0 ~accepted:true
+  done;
+  Alcotest.(check bool) "grows on accept" true (Anneal.Range.step r 0 > 1.0);
+  for _ = 1 to 1000 do
+    Anneal.Range.record r 0 ~accepted:false
+  done;
+  Alcotest.(check bool) "shrinks on reject" true (Anneal.Range.step r 0 < 0.01);
+  for _ = 1 to 100000 do
+    Anneal.Range.record r 0 ~accepted:false
+  done;
+  Alcotest.(check (float 1e-12)) "clamped at min" 1e-6 (Anneal.Range.step r 0)
+
+(* --- Annealer on known landscapes --- *)
+
+(* State: a float array; moves perturb one coordinate. *)
+let vector_problem ~cost ~dim ~span =
+  {
+    Anneal.Annealer.classes = [| "perturb"; "big" |];
+    propose =
+      (fun st k rng ->
+        let i = Anneal.Rng.int rng dim in
+        let old = st.(i) in
+        let scale = if k = 0 then 0.1 *. span else span in
+        st.(i) <- Float.max (-.span) (Float.min span (old +. (Anneal.Rng.gaussian rng *. scale)));
+        Some (fun () -> st.(i) <- old));
+    cost;
+    snapshot = Array.copy;
+    frozen = None;
+    on_stage = None;
+    on_result = None;
+  }
+
+let test_annealer_sphere () =
+  let dim = 4 in
+  let cost st = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 st in
+  let rng = Anneal.Rng.create 123 in
+  let init = Array.make dim 3.0 in
+  let out = Anneal.Annealer.run ~rng ~total_moves:20000 ~init (vector_problem ~cost ~dim ~span:5.0) in
+  Alcotest.(check bool) "near origin" true (out.Anneal.Annealer.best_cost < 0.05)
+
+let test_annealer_rastrigin () =
+  (* Multimodal: plain descent from (3, 3) gets stuck; annealing should
+     reach the global basin around the origin. *)
+  let dim = 2 in
+  let cost st =
+    Array.fold_left
+      (fun acc v -> acc +. ((v *. v) -. (10.0 *. Float.cos (2.0 *. Float.pi *. v)) +. 10.0))
+      0.0 st
+  in
+  let rng = Anneal.Rng.create 99 in
+  let init = [| 3.0; 3.0 |] in
+  let out = Anneal.Annealer.run ~rng ~total_moves:40000 ~init (vector_problem ~cost ~dim ~span:5.12) in
+  (* Global minimum is 0; the nearest non-global basins are at ~1. *)
+  Alcotest.(check bool) "global basin" true (out.Anneal.Annealer.best_cost < 1.0)
+
+let test_annealer_best_preserved () =
+  (* The reported best must be at least as good as the final state. *)
+  let cost st = Float.abs st.(0) in
+  let rng = Anneal.Rng.create 5 in
+  let out =
+    Anneal.Annealer.run ~rng ~total_moves:5000 ~init:[| 4.0 |]
+      (vector_problem ~cost ~dim:1 ~span:5.0)
+  in
+  Alcotest.(check bool) "best <= final" true
+    (out.Anneal.Annealer.best_cost <= out.final_cost +. 1e-12);
+  Alcotest.(check (float 1e-12)) "best matches its state" out.best_cost (cost out.best)
+
+let test_annealer_stage_hook_runs () =
+  let stages = ref 0 in
+  let problem =
+    { (vector_problem ~cost:(fun st -> st.(0) *. st.(0)) ~dim:1 ~span:1.0) with
+      Anneal.Annealer.on_stage = Some (fun _ _ -> incr stages) }
+  in
+  let rng = Anneal.Rng.create 1 in
+  let out = Anneal.Annealer.run ~rng ~total_moves:2000 ~init:[| 1.0 |] problem in
+  Alcotest.(check bool) "stages ran" true (!stages > 0);
+  Alcotest.(check int) "stage count matches" !stages out.Anneal.Annealer.stages
+
+let () =
+  Alcotest.run "anneal"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+        ] );
+      ( "lam",
+        [
+          Alcotest.test_case "target trajectory" `Quick test_lam_target_trajectory;
+          Alcotest.test_case "feedback direction" `Quick test_lam_feedback_direction;
+        ] );
+      ( "hustin",
+        [
+          Alcotest.test_case "distribution" `Quick test_hustin_distribution;
+          Alcotest.test_case "pick follows probs" `Quick test_hustin_pick_follows_probs;
+        ] );
+      ("range", [ Alcotest.test_case "adaptation" `Quick test_range_adaptation ]);
+      ( "annealer",
+        [
+          Alcotest.test_case "sphere" `Quick test_annealer_sphere;
+          Alcotest.test_case "rastrigin (multimodal)" `Slow test_annealer_rastrigin;
+          Alcotest.test_case "best preserved" `Quick test_annealer_best_preserved;
+          Alcotest.test_case "stage hook" `Quick test_annealer_stage_hook_runs;
+        ] );
+    ]

@@ -1,0 +1,45 @@
+(* Tests for the two prior-approach baselines. *)
+
+let test_eq_sizer_produces_design () =
+  let d = Baselines.Eq_sizer.size ~ugf_target:50e6 ~sr_target:10e6 ~cl:1e-12 ~vdd:5.0 in
+  (* All sizes positive and inside plausible IC ranges. *)
+  List.iter
+    (fun (name, v) ->
+      if v <= 0.0 then Alcotest.failf "%s nonpositive" name;
+      if name <> "ib" && (v < 1e-6 || v > 1e-3) then Alcotest.failf "%s out of range: %g" name v)
+    d.Baselines.Eq_sizer.sizes;
+  (* The tail current must equal SR * Cl by construction. *)
+  Alcotest.(check (float 1e-9)) "tail current" 10e-6 (List.assoc "ib" d.sizes);
+  (* Predicted UGF is the target. *)
+  Alcotest.(check (float 1.0)) "predicted ugf" 50e6 (List.assoc "ugf" d.predicted)
+
+let test_eq_sizer_prediction_error_is_large () =
+  (* The paper's Fig. 3 story: simple square-law equations mispredict a
+     short-channel process. The worst relative error must be substantial
+     (tens of percent), and at least one prediction should be off by >20%. *)
+  match Baselines.Eq_sizer.prediction_error () with
+  | Error e -> Alcotest.failf "baseline failed: %s" e
+  | Ok rows ->
+      Alcotest.(check bool) "several specs compared" true (List.length rows >= 4);
+      let worst = List.fold_left (fun acc (_, _, _, rel) -> Float.max acc rel) 0.0 rows in
+      Alcotest.(check bool) "worst error > 20%" true (worst > 0.2)
+
+let test_local_opt_runs () =
+  match Core.Compile.compile_source Suite.Simple_ota.source with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      let rng = Anneal.Rng.create 31 in
+      let r = Baselines.Local_opt.optimize ~max_evals:60 p ~rng in
+      Alcotest.(check bool) "improves on start" true (r.final_cost <= r.start_cost);
+      Alcotest.(check bool) "used its budget" true (r.evals >= 40)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "eq-sizer",
+        [
+          Alcotest.test_case "design procedure" `Quick test_eq_sizer_produces_design;
+          Alcotest.test_case "prediction error" `Slow test_eq_sizer_prediction_error_is_large;
+        ] );
+      ("local-opt", [ Alcotest.test_case "nelder-mead runs" `Slow test_local_opt_runs ]);
+    ]

@@ -1,0 +1,341 @@
+(* Tests for the ASTRX compiler and OBLX machinery: tree-link analysis,
+   device templates, compilation of the whole benchmark suite, cost
+   evaluation, Newton-Raphson moves, adaptive weights. *)
+
+let circuit src = Netlist.Elab.flatten ~subckts:[] (Netlist.Parser.parse_elements src)
+let registry = Result.get_ok (Devices.Registry.build ~process:"p1u2" [])
+
+(* --- Treelink --- *)
+
+let test_treelink_fixed_and_free () =
+  (* vdd fixes node a; node mid (between resistors) is free. *)
+  let c = circuit "vdd a 0 5\nr1 a mid 1k\nr2 mid 0 1k\n" in
+  let tl = Core.Treelink.analyze c in
+  Alcotest.(check int) "one free var" 1 tl.Core.Treelink.n_free;
+  (match tl.Core.Treelink.of_node.(Netlist.Circuit.find_node c "a") with
+  | Core.Treelink.Fixed _ -> ()
+  | Core.Treelink.Free _ -> Alcotest.fail "a should be fixed");
+  match tl.Core.Treelink.of_node.(Netlist.Circuit.find_node c "mid") with
+  | Core.Treelink.Free _ -> ()
+  | Core.Treelink.Fixed _ -> Alcotest.fail "mid should be free"
+
+let test_treelink_chained_sources () =
+  (* Stacked sources: 0 -> a (5V) -> b (a+2). Both fixed. *)
+  let c = circuit "v1 a 0 5\nv2 b a 2\nr1 b 0 1k\n" in
+  let tl = Core.Treelink.analyze c in
+  Alcotest.(check int) "no free vars" 0 tl.Core.Treelink.n_free
+
+let test_treelink_supernode () =
+  (* A floating source ties two otherwise-free nodes into one variable. *)
+  let c = circuit "i1 0 x 1m\nvf y x 1\nr1 x 0 1k\nr2 y 0 1k\n" in
+  let tl = Core.Treelink.analyze c in
+  Alcotest.(check int) "one supernode var" 1 tl.Core.Treelink.n_free;
+  let kx =
+    match tl.Core.Treelink.of_node.(Netlist.Circuit.find_node c "x") with
+    | Core.Treelink.Free (k, _) -> k
+    | Core.Treelink.Fixed _ -> Alcotest.fail "x free"
+  in
+  match tl.Core.Treelink.of_node.(Netlist.Circuit.find_node c "y") with
+  | Core.Treelink.Free (k, _) -> Alcotest.(check int) "same group" kx k
+  | Core.Treelink.Fixed _ -> Alcotest.fail "y free"
+
+(* --- Template expansion --- *)
+
+let test_template_adds_internal_nodes () =
+  let c = circuit "m1 d g s b nmos w=10u l=2u\n" in
+  let before_nodes = Netlist.Circuit.node_count c in
+  let e = Core.Template.expand ~registry c in
+  Alcotest.(check int) "adds 2 nodes" (before_nodes + 2) (Netlist.Circuit.node_count e);
+  Alcotest.(check int) "adds 2 resistors" 3 (Netlist.Circuit.element_count e);
+  (* The channel element now connects to the internal nodes. *)
+  match Netlist.Circuit.find_element e "m1" with
+  | Netlist.Circuit.Mosfet { d; s; _ } ->
+      let di = Netlist.Circuit.find_node e "m1#d" and si = Netlist.Circuit.find_node e "m1#s" in
+      Alcotest.(check int) "drain internal" di d;
+      Alcotest.(check int) "source internal" si s
+  | _ -> Alcotest.fail "m1 missing"
+
+(* --- Compilation of the full suite --- *)
+
+let compile_suite name =
+  let e = Option.get (Suite.Ckts.find name) in
+  match Core.Compile.compile_source e.Suite.Ckts.source with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "%s: %s" name msg
+
+let test_compile_all_suite () =
+  List.iter
+    (fun (e : Suite.Ckts.entry) -> ignore (compile_suite e.name))
+    Suite.Ckts.all
+
+let test_compile_simple_ota_analysis () =
+  let p = compile_suite "simple-ota" in
+  let a = p.Core.Problem.analysis in
+  Alcotest.(check int) "7 user vars (paper: 7)" 7 a.Core.Problem.n_user_vars;
+  (* Internal template nodes make added voltages outnumber user vars, as
+     the paper reports. *)
+  Alcotest.(check bool) "node vars > user vars" true (a.n_node_vars > a.n_user_vars);
+  Alcotest.(check bool) "terms counted" true (a.n_cost_terms > 20);
+  Alcotest.(check bool) "lines-of-C metric" true (a.lines_of_c > 300)
+
+let test_compile_errors () =
+  let bad src =
+    match Core.Compile.compile_source src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected compile error"
+  in
+  (* no bias block *)
+  bad ".jig j\nvin a 0 0 ac 1\nr1 a 0 1k\n.pz t v(a) vin\n.endjig\n.obj o 'dc_gain(t)' good=1 bad=0\n";
+  (* unknown transfer function in spec *)
+  bad
+    ".jig j\nvin a 0 0 ac 1\nr1 a 0 1k\n.pz t v(a) vin\n.endjig\n.bias\nr1 a 0 1k\n.endbias\n.obj o 'dc_gain(zzz)' good=1 bad=0\n";
+  (* unknown node in .pz *)
+  bad
+    ".jig j\nvin a 0 0 ac 1\nr1 a 0 1k\n.pz t v(nope) vin\n.endjig\n.bias\nr1 a 0 1k\n.endbias\n.obj o 'dc_gain(t)' good=1 bad=0\n";
+  (* spec with good = bad *)
+  bad
+    ".jig j\nvin a 0 0 ac 1\nr1 a 0 1k\n.pz t v(a) vin\n.endjig\n.bias\nr1 a 0 1k\n.endbias\n.obj o 'dc_gain(t)' good=1 bad=1\n";
+  (* jig device with no bias counterpart *)
+  bad
+    (".jig j\nvin g 0 2 ac 1\nvd d0 0 5\nm9 d0 g 0 0 nmos w=10u l=2u\n.pz t v(d0) vin\n.endjig\n"
+   ^ ".bias\nr1 a 0 1k\n.endbias\n.obj o 'dc_gain(t)' good=1 bad=0\n.process p1u2\n")
+
+(* --- State --- *)
+
+let test_state_grid () =
+  let info =
+    [|
+      Core.State.User
+        { name = "w"; vmin = 1e-6; vmax = 1e-4; grid = Core.State.Log_grid; steps = Some 21 };
+      Core.State.User { name = "v"; vmin = 0.0; vmax = 5.0; grid = Core.State.Lin_grid; steps = None };
+    |]
+  in
+  let st = Core.State.create info in
+  (* Discrete var starts on the grid at the geometric midpoint. *)
+  Alcotest.(check int) "mid slot" 10 st.Core.State.grid_index.(0);
+  Alcotest.(check bool) "value on grid" true (Float.abs (st.values.(0) -. 1e-5) < 1e-9);
+  (* Stepping the grid moves by the log step. *)
+  ignore (Core.State.set_grid_slot st 0 11);
+  let ratio = st.values.(0) /. 1e-5 in
+  Alcotest.(check bool) "log step ratio" true (Float.abs (ratio -. (100.0 ** 0.05)) < 1e-6);
+  (* Clamping at the ends. *)
+  ignore (Core.State.set_grid_slot st 0 999);
+  Alcotest.(check int) "clamped high" 20 st.grid_index.(0);
+  (* Continuous clamp. *)
+  Core.State.set_initial st 1 7.0;
+  Alcotest.(check (float 0.0)) "clamped" 5.0 st.values.(1);
+  (* Snapshot/restore round-trip. *)
+  let snap = Core.State.snapshot st in
+  Core.State.set_initial st 1 1.0;
+  Core.State.restore ~from:snap st;
+  Alcotest.(check (float 0.0)) "restored" 5.0 st.values.(1)
+
+(* --- Cost evaluation and Newton moves on the simple OTA --- *)
+
+let test_eval_kcl_zero_after_newton () =
+  let p = compile_suite "simple-ota" in
+  let st = Core.State.snapshot p.Core.Problem.state0 in
+  (* Drive the node voltages to dc-correctness: global solve to get into
+     the Newton basin, then iterate the relaxed-dc NR step. *)
+  Alcotest.(check bool) "global solve works" true (Core.Moves.newton_global p st);
+  let rec iterate n =
+    if n > 0 then begin
+      match Core.Moves.newton_step p st ~damping:1.0 with
+      | Some change when change > 1e-12 -> iterate (n - 1)
+      | Some _ | None -> ()
+    end
+  in
+  iterate 60;
+  let bp = Core.Eval.bias_point p st in
+  let worst = Array.fold_left (fun acc r -> Float.max acc (Float.abs r)) 0.0 bp.Core.Eval.residuals in
+  Alcotest.(check bool) "KCL < 1 pA" true (worst < 1e-12);
+  (* And the relaxed voltages agree with the reference simulator. *)
+  match Core.Verify.bias_voltage_error p st with
+  | Ok e -> Alcotest.(check bool) "voltages match NR solve" true (e < 1e-5)
+  | Error msg -> Alcotest.failf "verify: %s" msg
+
+let test_eval_cost_decomposition () =
+  let p = compile_suite "simple-ota" in
+  let w = Core.Weights.create () in
+  let bd = Core.Eval.cost p w p.Core.Problem.state0 in
+  Alcotest.(check bool) "penalties nonneg" true
+    (bd.Core.Eval.c_perf >= 0.0 && bd.c_dev >= 0.0 && bd.c_dc >= 0.0);
+  Alcotest.(check (float 1e-9)) "total is the sum"
+    (bd.c_obj +. bd.c_perf +. bd.c_dev +. bd.c_dc)
+    bd.total
+
+let test_eval_area_function () =
+  let p = compile_suite "simple-ota" in
+  let st = p.Core.Problem.state0 in
+  let area = Core.Eval.active_area_um2 p st in
+  (* 6 devices, each w*l at the grid midpoints: just sanity bounds. *)
+  Alcotest.(check bool) "positive and sane" true (area > 10.0 && area < 1e6)
+
+let test_weights_ratchet () =
+  let w = Core.Weights.create () in
+  for _ = 1 to 50 do
+    Core.Weights.update w ~progress:0.8 ~perf:1.0 ~dev:0.0 ~dc:1.0
+  done;
+  Alcotest.(check bool) "violated groups grow" true (w.Core.Weights.w_perf > 5.0);
+  Alcotest.(check bool) "dc grows" true (w.w_dc > 5.0);
+  Alcotest.(check bool) "satisfied group near 1" true (w.w_dev <= 1.0 +. 1e-9);
+  for _ = 1 to 10000 do
+    Core.Weights.update w ~progress:0.9 ~perf:1.0 ~dev:0.0 ~dc:0.0
+  done;
+  Alcotest.(check bool) "capped" true (w.w_perf <= 1e4 +. 1.0)
+
+let test_moves_undo_restores () =
+  let p = compile_suite "simple-ota" in
+  let ctx = Core.Moves.make p in
+  let st = Core.State.snapshot p.Core.Problem.state0 in
+  let rng = Anneal.Rng.create 2 in
+  let reference = Core.State.snapshot st in
+  for k = 0 to Array.length Core.Moves.classes - 1 do
+    for _ = 1 to 20 do
+      match Core.Moves.propose ctx st k rng with
+      | Some undo ->
+          undo ();
+          Alcotest.(check bool)
+            (Printf.sprintf "undo of class %d restores values" k)
+            true
+            (st.Core.State.values = reference.Core.State.values
+            && st.grid_index = reference.grid_index)
+      | None -> ()
+    done
+  done
+
+let test_oblx_short_run_deterministic () =
+  let p = compile_suite "simple-ota" in
+  let r1 = Core.Oblx.synthesize ~seed:4 ~moves:800 p in
+  let r2 = Core.Oblx.synthesize ~seed:4 ~moves:800 p in
+  Alcotest.(check (float 0.0)) "same seed, same result" r1.Core.Oblx.best_cost r2.best_cost;
+  let r3 = Core.Oblx.synthesize ~seed:5 ~moves:800 p in
+  Alcotest.(check bool) "different seed differs" true (r1.best_cost <> r3.Core.Oblx.best_cost)
+
+let test_oblx_trace_collected () =
+  let p = compile_suite "simple-ota" in
+  let r = Core.Oblx.synthesize ~seed:6 ~moves:8000 p in
+  Alcotest.(check bool) "trace nonempty" true (List.length r.Core.Oblx.trace > 2);
+  (* Fig. 2 shape: the final KCL discrepancy sits well below the worst
+     seen during optimization (individual stage samples are noisy, so
+     compare the end against the peak, not point to point). *)
+  let worst =
+    List.fold_left (fun acc tp -> Float.max acc tp.Core.Oblx.tp_max_kcl_abs) 0.0 r.trace
+  in
+  (match List.rev r.trace with
+  | last :: _ ->
+      Alcotest.(check bool) "kcl ends below a tenth of its peak" true
+        (last.Core.Oblx.tp_max_kcl_abs < 0.1 *. worst)
+  | [] -> Alcotest.fail "trace");
+  (* The NR-polished best design is dc-correct outright. *)
+  match Core.Verify.kcl_abs_error p r.final with
+  | Ok e -> Alcotest.(check bool) "polished KCL tiny" true (e < 1e-9)
+  | Error msg -> Alcotest.failf "kcl: %s" msg
+
+let test_report_eng () =
+  Alcotest.(check string) "meg" "73.7meg" (Core.Report.eng 73.7e6);
+  Alcotest.(check string) "micro" "2.5u" (Core.Report.eng 2.5e-6);
+  Alcotest.(check string) "zero" "0" (Core.Report.eng 0.0)
+
+
+let test_devregion_any_disables_penalty () =
+  (* A .devregion card switching a device to "any" removes its region
+     terms from the cost. *)
+  let base = Suite.Simple_ota.source in
+  let with_any = base ^ ".devregion xamp.m5 any\n" in
+  match (Core.Compile.compile_source base, Core.Compile.compile_source with_any) with
+  | Ok p0, Ok p1 ->
+      Alcotest.(check int) "one fewer cost term"
+        (p0.Core.Problem.analysis.Core.Problem.n_cost_terms - 1)
+        p1.Core.Problem.analysis.Core.Problem.n_cost_terms
+  | _, _ -> Alcotest.fail "compile"
+
+let test_corner_compile_changes_prediction () =
+  (* Compiling the same problem at a slow corner shifts measured specs. *)
+  let slow = List.nth Core.Corners.standard 1 in
+  match
+    ( Core.Compile.compile_source Suite.Simple_ota.source,
+      Core.Compile.compile_source ~corner:slow Suite.Simple_ota.source )
+  with
+  | Ok p0, Ok p1 ->
+      let measure p =
+        let st = Core.State.snapshot p.Core.Problem.state0 in
+        ignore (Core.Moves.newton_global p st);
+        let m = Core.Eval.measure p st in
+        List.assoc "pwr" m.Core.Eval.spec_values
+      in
+      (match (measure p0, measure p1) with
+      | Some a, Some b ->
+          Alcotest.(check bool) "corner changes power" true
+            (Float.abs (a -. b) > 1e-3 *. Float.abs a)
+      | _, _ -> Alcotest.fail "measurement failed")
+  | _, _ -> Alcotest.fail "compile"
+
+
+let test_sized_netlist_roundtrip () =
+  (* The exported deck parses back and simulates to the same bias point. *)
+  let p = compile_suite "simple-ota" in
+  let st = Core.State.snapshot p.Core.Problem.state0 in
+  Alcotest.(check bool) "bias solves" true (Core.Moves.newton_global p st);
+  let deck = Core.Report.sized_netlist p st in
+  let element_lines =
+    String.split_on_char '\n' deck
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '*' && l.[0] <> '.')
+    |> String.concat "\n"
+  in
+  let elems = Netlist.Parser.parse_elements element_lines in
+  let c = Netlist.Elab.flatten ~subckts:[] elems in
+  let reg = p.Core.Problem.registry in
+  let value e =
+    Netlist.Expr.eval
+      { Netlist.Expr.lookup = (fun _ -> raise Not_found); call = (fun _ _ -> nan) }
+      e
+  in
+  match Mna.Dc.solve ~value ~registry:reg c with
+  | Error e -> Alcotest.failf "re-simulation: %s" e
+  | Ok sol ->
+      (* The re-simulated output voltage matches the relaxed-dc state. *)
+      let out = Netlist.Circuit.find_node c "out" in
+      let orig_out = Netlist.Circuit.find_node p.Core.Problem.bias "out" in
+      let v_orig = (Core.Eval.node_voltages p st).(orig_out) in
+      Alcotest.(check bool) "output voltage within 50 mV" true
+        (Float.abs (Mna.Dc.node_voltage sol out -. v_orig) < 0.05)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "treelink",
+        [
+          Alcotest.test_case "fixed and free" `Quick test_treelink_fixed_and_free;
+          Alcotest.test_case "chained sources" `Quick test_treelink_chained_sources;
+          Alcotest.test_case "supernode" `Quick test_treelink_supernode;
+        ] );
+      ("template", [ Alcotest.test_case "internal nodes" `Quick test_template_adds_internal_nodes ]);
+      ( "compile",
+        [
+          Alcotest.test_case "whole suite compiles" `Quick test_compile_all_suite;
+          Alcotest.test_case "simple-ota analysis" `Quick test_compile_simple_ota_analysis;
+          Alcotest.test_case "errors" `Quick test_compile_errors;
+        ] );
+      ("state", [ Alcotest.test_case "grids and clamps" `Quick test_state_grid ]);
+      ( "eval",
+        [
+          Alcotest.test_case "newton drives KCL to zero" `Quick test_eval_kcl_zero_after_newton;
+          Alcotest.test_case "cost decomposition" `Quick test_eval_cost_decomposition;
+          Alcotest.test_case "area function" `Quick test_eval_area_function;
+        ] );
+      ("weights", [ Alcotest.test_case "ratchet" `Quick test_weights_ratchet ]);
+      ( "oblx",
+        [
+          Alcotest.test_case "moves undo" `Quick test_moves_undo_restores;
+          Alcotest.test_case "determinism" `Slow test_oblx_short_run_deterministic;
+          Alcotest.test_case "trace (fig 2)" `Slow test_oblx_trace_collected;
+        ] );
+      ("report", [ Alcotest.test_case "eng format" `Quick test_report_eng ]);
+      ( "features",
+        [
+          Alcotest.test_case "devregion any" `Quick test_devregion_any_disables_penalty;
+          Alcotest.test_case "sized netlist roundtrip" `Quick test_sized_netlist_roundtrip;
+          Alcotest.test_case "corner compile" `Quick test_corner_compile_changes_prediction;
+        ] );
+    ]

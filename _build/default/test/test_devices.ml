@@ -1,0 +1,271 @@
+(* Tests for the encapsulated device evaluators: physical sanity, smooth
+   derivatives, polarity and terminal-swap symmetry, junction models. *)
+
+let nmos level =
+  Option.get (Devices.Process.mos ~process:"p1u2" ~level ~pol:Devices.Sig.N)
+
+let pmos level =
+  Option.get (Devices.Process.mos ~process:"p1u2" ~level ~pol:Devices.Sig.P)
+
+let eval_n ?(level = "3") ~vd ~vg ~vs ~vb () =
+  (Devices.Mos_common.make (nmos level)) ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd ~vg ~vs ~vb
+
+let test_mos_regions () =
+  let sat = eval_n ~vd:3.0 ~vg:2.0 ~vs:0.0 ~vb:0.0 () in
+  Alcotest.(check string) "sat" "sat" (Devices.Sig.region_to_string sat.Devices.Sig.region);
+  let lin = eval_n ~vd:0.1 ~vg:3.0 ~vs:0.0 ~vb:0.0 () in
+  Alcotest.(check string) "linear" "linear" (Devices.Sig.region_to_string lin.Devices.Sig.region);
+  let off = eval_n ~vd:3.0 ~vg:0.0 ~vs:0.0 ~vb:0.0 () in
+  Alcotest.(check string) "off" "off" (Devices.Sig.region_to_string off.Devices.Sig.region);
+  Alcotest.(check bool) "off current tiny" true (Float.abs off.Devices.Sig.id_ < 1e-9)
+
+let test_mos_monotonic_vgs () =
+  (* Drain current increases with gate drive across the full range —
+     smooth subthreshold blending must not break monotonicity. *)
+  let prev = ref neg_infinity in
+  let ok = ref true in
+  for k = 0 to 60 do
+    let vg = 0.0 +. (float_of_int k /. 60.0 *. 4.0) in
+    let op = eval_n ~vd:2.5 ~vg ~vs:0.0 ~vb:0.0 () in
+    if op.Devices.Sig.id_ < !prev -. 1e-15 then ok := false;
+    prev := op.Devices.Sig.id_
+  done;
+  Alcotest.(check bool) "monotone in vgs" true !ok
+
+let prop_mos_gm_consistent =
+  (* gm reported by the evaluator equals the numerical derivative of id
+     with a different (smaller) step: consistency of the smooth model. *)
+  QCheck.Test.make ~name:"mos: gm = dId/dVg" ~count:150
+    QCheck.(
+      quad (float_range 0.5 4.5) (float_range 0.8 3.5) (float_range 0.0 1.0)
+        (int_range 0 2))
+    (fun (vd, vg, vs_frac, lvl_idx) ->
+      let level = [| "1"; "3"; "bsim" |].(lvl_idx) in
+      let vs = vs_frac *. 0.5 in
+      let ev = Devices.Mos_common.make (nmos level) in
+      let op = ev ~w:20e-6 ~l:2e-6 ~m:1.0 ~vd ~vg ~vs ~vb:0.0 in
+      let h = 1e-7 in
+      let idp = (ev ~w:20e-6 ~l:2e-6 ~m:1.0 ~vd ~vg:(vg +. h) ~vs ~vb:0.0).Devices.Sig.id_ in
+      let idm = (ev ~w:20e-6 ~l:2e-6 ~m:1.0 ~vd ~vg:(vg -. h) ~vs ~vb:0.0).Devices.Sig.id_ in
+      let fd = (idp -. idm) /. (2.0 *. h) in
+      Float.abs (fd -. op.Devices.Sig.gm) <= 1e-4 *. (Float.abs fd +. 1e-9))
+
+let test_mos_polarity_symmetry () =
+  (* A PMOS with mirrored voltages carries exactly minus the NMOS current
+     when its parameters mirror the NMOS ones. *)
+  let n = nmos "3" in
+  let p = { (pmos "3") with Devices.Mos_params.vto = n.Devices.Mos_params.vto; kp = n.kp; gamma = n.gamma;
+            lambda = n.lambda; theta = n.theta; vmax = n.vmax; eta = n.eta } in
+  let evn = Devices.Mos_common.make n and evp = Devices.Mos_common.make p in
+  let opn = evn ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd:2.0 ~vg:1.5 ~vs:0.0 ~vb:0.0 in
+  let opp = evp ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd:(-2.0) ~vg:(-1.5) ~vs:0.0 ~vb:0.0 in
+  Alcotest.(check (float 1e-12)) "mirrored current" opn.Devices.Sig.id_ (-.opp.Devices.Sig.id_);
+  (* gm is the Jacobian entry in the external frame: equal for both. *)
+  Alcotest.(check (float 1e-9)) "gm equal" opn.Devices.Sig.gm opp.Devices.Sig.gm
+
+let test_mos_source_drain_swap () =
+  (* The MOS is symmetric: swapping d and s negates the current. *)
+  let ev = Devices.Mos_common.make (nmos "3") in
+  let fwd = ev ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd:1.0 ~vg:3.0 ~vs:0.2 ~vb:0.0 in
+  let rev = ev ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd:0.2 ~vg:3.0 ~vs:1.0 ~vb:0.0 in
+  Alcotest.(check (float 1e-12)) "swap negates" fwd.Devices.Sig.id_ (-.rev.Devices.Sig.id_)
+
+let test_mos_continuity_at_swap () =
+  (* No current jump across vds = 0. *)
+  let ev = Devices.Mos_common.make (nmos "bsim") in
+  let at vd = (ev ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd ~vg:2.0 ~vs:0.0 ~vb:0.0).Devices.Sig.id_ in
+  let eps = 1e-9 in
+  Alcotest.(check bool) "continuous at 0" true (Float.abs (at eps -. at (-.eps)) < 1e-9)
+
+let test_mos_body_effect () =
+  (* Reverse body bias raises vth. *)
+  let ev = Devices.Mos_common.make (nmos "3") in
+  let op0 = ev ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd:2.0 ~vg:1.5 ~vs:0.0 ~vb:0.0 in
+  let oprb = ev ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd:2.0 ~vg:1.5 ~vs:0.0 ~vb:(-2.0) in
+  Alcotest.(check bool) "vth rises" true (oprb.Devices.Sig.vth > op0.Devices.Sig.vth);
+  Alcotest.(check bool) "current falls" true (oprb.Devices.Sig.id_ < op0.Devices.Sig.id_)
+
+let test_mos_models_differ () =
+  (* The model-comparison experiment requires the three models to predict
+     different currents at the same bias and geometry. *)
+  let id level =
+    (Devices.Mos_common.make (nmos level)) ~w:10e-6 ~l:1.2e-6 ~m:1.0 ~vd:2.5 ~vg:2.0 ~vs:0.0
+      ~vb:0.0
+  in
+  let i1 = (id "1").Devices.Sig.id_ in
+  let i3 = (id "3").Devices.Sig.id_ in
+  let ib = (id "bsim").Devices.Sig.id_ in
+  let rel a b = Float.abs (a -. b) /. Float.max (Float.abs a) (Float.abs b) in
+  Alcotest.(check bool) "1 vs 3 differ" true (rel i1 i3 > 0.05);
+  Alcotest.(check bool) "3 vs bsim differ" true (rel i3 ib > 0.05)
+
+let test_mos_short_channel () =
+  (* Shorter channel -> more current per W/L square and lower vth (BSIM). *)
+  let ev = Devices.Mos_common.make (nmos "bsim") in
+  let long_ = ev ~w:20e-6 ~l:10e-6 ~m:1.0 ~vd:2.5 ~vg:2.0 ~vs:0.0 ~vb:0.0 in
+  let short_ = ev ~w:2.4e-6 ~l:1.2e-6 ~m:1.0 ~vd:2.5 ~vg:2.0 ~vs:0.0 ~vb:0.0 in
+  (* same W/L ratio *)
+  Alcotest.(check bool) "short channel vth lower" true
+    (short_.Devices.Sig.vth < long_.Devices.Sig.vth)
+
+let test_mos_caps_positive_and_regionwise () =
+  let sat = eval_n ~vd:3.0 ~vg:2.0 ~vs:0.0 ~vb:0.0 () in
+  let lin = eval_n ~vd:0.05 ~vg:3.0 ~vs:0.0 ~vb:0.0 () in
+  let open Devices.Sig in
+  List.iter
+    (fun (label, v) -> if v < 0.0 then Alcotest.failf "%s negative" label)
+    [ ("cgs", sat.cgs); ("cgd", sat.cgd); ("cgb", sat.cgb); ("cbd", sat.cbd); ("cbs", sat.cbs) ];
+  Alcotest.(check bool) "sat: cgs >> cgd" true (sat.cgs > 2.0 *. sat.cgd);
+  Alcotest.(check bool) "linear: cgs ~ cgd" true
+    (Float.abs (lin.cgs -. lin.cgd) < 0.3 *. lin.cgs)
+
+let test_junction_cap_clamping () =
+  let c0 = 1e-12 and pb = 0.8 and mj = 0.5 in
+  let c_rev = Devices.Mos_common.junction_cap c0 pb mj (-2.0) in
+  let c_zero = Devices.Mos_common.junction_cap c0 pb mj 0.0 in
+  let c_fwd = Devices.Mos_common.junction_cap c0 pb mj 0.79 in
+  Alcotest.(check bool) "reverse smaller" true (c_rev < c_zero);
+  Alcotest.(check (float 1e-18)) "zero bias" c0 c_zero;
+  Alcotest.(check bool) "forward finite" true (Float.is_finite c_fwd && c_fwd > c0)
+
+(* --- BJT --- *)
+
+let test_bjt_forward_active () =
+  let ev = Devices.Bjt.make Devices.Bjt.default_npn in
+  let op = ev ~area:1.0 ~vc:3.0 ~vb:0.7 ~ve:0.0 in
+  let open Devices.Sig in
+  Alcotest.(check bool) "ic positive" true (op.ic > 0.0);
+  Alcotest.(check bool) "beta plausible" true (op.ic /. op.ib > 20.0 && op.ic /. op.ib < 200.0);
+  (* gm = ic/vt for an ideal BJT *)
+  let gm_ideal = op.ic /. 0.02585 in
+  Alcotest.(check bool) "gm near ic/vt" true (Float.abs (op.bjt_gm -. gm_ideal) < 0.2 *. gm_ideal)
+
+let test_bjt_early_effect () =
+  let ev = Devices.Bjt.make Devices.Bjt.default_npn in
+  let lo = ev ~area:1.0 ~vc:1.0 ~vb:0.7 ~ve:0.0 in
+  let hi = ev ~area:1.0 ~vc:4.0 ~vb:0.7 ~ve:0.0 in
+  Alcotest.(check bool) "ic grows with vce" true (hi.Devices.Sig.ic > lo.Devices.Sig.ic);
+  Alcotest.(check bool) "go positive" true (lo.Devices.Sig.go > 0.0)
+
+let test_bjt_pnp_mirror () =
+  let pnp = { Devices.Bjt.default_npn with Devices.Bjt.pol = Devices.Sig.P } in
+  let ev = Devices.Bjt.make pnp in
+  let op = ev ~area:1.0 ~vc:(-3.0) ~vb:(-0.7) ~ve:0.0 in
+  Alcotest.(check bool) "pnp ic negative" true (op.Devices.Sig.ic < 0.0)
+
+let test_bjt_exp_overflow_protection () =
+  let ev = Devices.Bjt.make Devices.Bjt.default_npn in
+  let op = ev ~area:1.0 ~vc:5.0 ~vb:5.0 ~ve:0.0 in
+  Alcotest.(check bool) "finite at vbe=5" true
+    (Float.is_finite op.Devices.Sig.ic && Float.is_finite op.Devices.Sig.bjt_gm)
+
+let test_bjt_area_scaling () =
+  let ev = Devices.Bjt.make Devices.Bjt.default_npn in
+  let a1 = ev ~area:1.0 ~vc:3.0 ~vb:0.65 ~ve:0.0 in
+  let a4 = ev ~area:4.0 ~vc:3.0 ~vb:0.65 ~ve:0.0 in
+  let ratio = a4.Devices.Sig.ic /. a1.Devices.Sig.ic in
+  Alcotest.(check bool) "ic scales ~4x with area" true (ratio > 3.5 && ratio < 4.5)
+
+(* --- Registry --- *)
+
+let test_registry_process_names () =
+  let r = Result.get_ok (Devices.Registry.build ~process:"p1u2" []) in
+  List.iter
+    (fun n ->
+      match Devices.Registry.find r n with
+      | Some _ -> ()
+      | None -> Alcotest.failf "missing %s" n)
+    [ "nmos"; "pmos"; "nmos_1"; "pmos_1"; "nmos_bsim"; "pmos_bsim"; "npn"; "pnp" ]
+
+let test_registry_decl_override () =
+  let r =
+    Result.get_ok
+      (Devices.Registry.build ~process:"p1u2"
+         [
+           {
+             Devices.Registry.decl_name = "mydev";
+             decl_kind = "nmos";
+             decl_level = "1";
+             decl_params = [ ("vto", 1.5) ];
+           };
+         ])
+  in
+  match Devices.Registry.find r "mydev" with
+  | Some (Devices.Sig.Mos { eval; _ }) ->
+      let op = eval ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd:2.0 ~vg:1.2 ~vs:0.0 ~vb:0.0 in
+      (* vgs 1.2 < vto 1.5 -> off *)
+      Alcotest.(check bool) "custom vto honored" true (Float.abs op.Devices.Sig.id_ < 1e-8)
+  | Some (Devices.Sig.Bjt _) | None -> Alcotest.fail "mydev missing"
+
+let test_registry_errors () =
+  (match
+     Devices.Registry.build
+       [ { Devices.Registry.decl_name = "x"; decl_kind = "nmos"; decl_level = "9"; decl_params = [] } ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad level accepted");
+  (match
+     Devices.Registry.build
+       [ { Devices.Registry.decl_name = "x"; decl_kind = "nmos"; decl_level = "1"; decl_params = [ ("zap", 1.0) ] } ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad param accepted");
+  match
+    Devices.Registry.build
+      [ { Devices.Registry.decl_name = "x"; decl_kind = "weird"; decl_level = "1"; decl_params = [] } ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad kind accepted"
+
+
+let test_junction_exp_clamp_continuity () =
+  (* The linearized exponential joins the true one continuously at 40 vt. *)
+  let vt = Devices.Mos_common.vt_thermal in
+  let ev = Devices.Mos_common.make (nmos "3") in
+  (* Drive the bulk-source junction just below/above the clamp knee. *)
+  let ibs vb =
+    (ev ~w:10e-6 ~l:2e-6 ~m:1.0 ~vd:2.0 ~vg:0.0 ~vs:0.0 ~vb).Devices.Sig.ibs_
+  in
+  let below = ibs (40.0 *. vt -. 1e-6) and above = ibs (40.0 *. vt +. 1e-6) in
+  Alcotest.(check bool) "continuous at the knee" true
+    (Float.abs (above -. below) < 1e-3 *. Float.abs below)
+
+let test_mos_gds_positive_in_sat () =
+  let op = eval_n ~vd:3.0 ~vg:2.0 ~vs:0.0 ~vb:0.0 () in
+  Alcotest.(check bool) "gds > 0" true (op.Devices.Sig.gds > 0.0);
+  Alcotest.(check bool) "gm >> gds" true (op.Devices.Sig.gm > 5.0 *. op.Devices.Sig.gds)
+
+let () =
+  Alcotest.run "devices"
+    [
+      ( "mos",
+        [
+          Alcotest.test_case "regions" `Quick test_mos_regions;
+          Alcotest.test_case "monotone vgs" `Quick test_mos_monotonic_vgs;
+          QCheck_alcotest.to_alcotest prop_mos_gm_consistent;
+          Alcotest.test_case "polarity symmetry" `Quick test_mos_polarity_symmetry;
+          Alcotest.test_case "source-drain swap" `Quick test_mos_source_drain_swap;
+          Alcotest.test_case "continuity at vds=0" `Quick test_mos_continuity_at_swap;
+          Alcotest.test_case "body effect" `Quick test_mos_body_effect;
+          Alcotest.test_case "models differ" `Quick test_mos_models_differ;
+          Alcotest.test_case "short channel" `Quick test_mos_short_channel;
+          Alcotest.test_case "capacitances" `Quick test_mos_caps_positive_and_regionwise;
+          Alcotest.test_case "junction cap clamp" `Quick test_junction_cap_clamping;
+          Alcotest.test_case "junction exp clamp" `Quick test_junction_exp_clamp_continuity;
+          Alcotest.test_case "gds in saturation" `Quick test_mos_gds_positive_in_sat;
+        ] );
+      ( "bjt",
+        [
+          Alcotest.test_case "forward active" `Quick test_bjt_forward_active;
+          Alcotest.test_case "early effect" `Quick test_bjt_early_effect;
+          Alcotest.test_case "pnp mirror" `Quick test_bjt_pnp_mirror;
+          Alcotest.test_case "exp overflow" `Quick test_bjt_exp_overflow_protection;
+          Alcotest.test_case "area scaling" `Quick test_bjt_area_scaling;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "process names" `Quick test_registry_process_names;
+          Alcotest.test_case "decl override" `Quick test_registry_decl_override;
+          Alcotest.test_case "errors" `Quick test_registry_errors;
+        ] );
+    ]

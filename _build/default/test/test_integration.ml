@@ -1,0 +1,137 @@
+(* End-to-end integration tests: the complete ASTRX -> OBLX -> verification
+   pipeline on small problems, and the agreement between OBLX's AWE-based
+   predictions and the reference simulator that is the paper's headline
+   accuracy claim. *)
+
+(* A deliberately small problem so the full loop runs in seconds: size a
+   single common-source stage for gain and bandwidth. *)
+let cs_problem =
+  {|.title common-source stage
+.process p1u2
+.param vddval=5
+
+.subckt amp in out vdd vss
+m1 out in vss vss nmos w='w' l='l'
+m2 out nbp vdd vdd pmos w='wp' l='l'
+vbp vdd nbp 'vb'
+.ends
+
+.var w min=2u max=200u steps=80
+.var l min=1.2u max=10u steps=40
+.var wp min=2u max=200u steps=80
+.var vb min=0.5 max=2.5
+
+.jig main
+xamp in out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vin in 0 1.2 ac 1
+cl1 out 0 2p
+.pz tf v(out) vin
+.endjig
+
+.bias
+xamp in out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vin in 0 1.2
+cl1 out 0 2p
+.endbias
+
+.obj gain 'db(dc_gain(tf))' good=30 bad=5
+.spec ugf 'ugf(tf)' good=5meg bad=100k
+.spec pwr 'power()' good=2m bad=20m
+|}
+
+let synthesize () =
+  match Core.Compile.compile_source cs_problem with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok p ->
+      let r = Core.Oblx.synthesize ~seed:8 ~moves:6000 p in
+      (p, r)
+
+let test_end_to_end_meets_constraints () =
+  let p, r = synthesize () in
+  List.iter
+    (fun (s : Core.Problem.spec) ->
+      match (s.kind, List.assoc s.Core.Problem.spec_name r.Core.Oblx.predicted) with
+      | _, None -> Alcotest.failf "%s not measured" s.spec_name
+      | Netlist.Ast.Constraint_ge, Some v ->
+          if v < s.good *. 0.95 then Alcotest.failf "%s = %g below %g" s.spec_name v s.good
+      | Netlist.Ast.Constraint_le, Some v ->
+          if v > s.good *. 1.05 then Alcotest.failf "%s = %g above %g" s.spec_name v s.good
+      | (Netlist.Ast.Objective_max | Netlist.Ast.Objective_min), Some _ -> ())
+    p.Core.Problem.specs
+
+let test_prediction_matches_simulation () =
+  (* The Table-2 claim: for small-signal specs, OBLX's relaxed-dc + AWE
+     prediction matches the independent simulator within a few percent. *)
+  let p, r = synthesize () in
+  match Core.Verify.simulate_specs p r.Core.Oblx.final with
+  | Error e -> Alcotest.failf "verify: %s" e
+  | Ok sims ->
+      List.iter
+        (fun (name, sim) ->
+          match (sim, List.assoc name r.predicted) with
+          | Ok sv, Some pv ->
+              let rel = Float.abs (pv -. sv) /. (1.0 +. Float.abs sv) in
+              if rel > 0.05 then Alcotest.failf "%s: oblx %g vs sim %g" name pv sv
+          | Ok _, None -> Alcotest.failf "%s unmeasured by oblx" name
+          | Error e, _ -> Alcotest.failf "%s: simulator failed: %s" name e)
+        sims
+
+let test_final_design_is_dc_correct () =
+  let p, r = synthesize () in
+  (match Core.Verify.kcl_abs_error p r.Core.Oblx.final with
+  | Ok e -> Alcotest.(check bool) "KCL < 1 nA" true (e < 1e-9)
+  | Error e -> Alcotest.failf "kcl: %s" e);
+  match Core.Verify.bias_voltage_error p r.Core.Oblx.final with
+  | Ok e -> Alcotest.(check bool) "voltages within 1 mV of Newton" true (e < 1e-3)
+  | Error e -> Alcotest.failf "dv: %s" e
+
+let test_quickstart_compiles () =
+  (* Every shipped benchmark + the README quickstart parse and compile. *)
+  List.iter
+    (fun (e : Suite.Ckts.entry) ->
+      match Core.Compile.compile_source e.Suite.Ckts.source with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" e.name msg)
+    Suite.Ckts.all
+
+let test_manual_novel_cascode_simulates () =
+  (* The Table-3 "manual" reference design must bias up and have healthy
+     gain through the reference simulator. *)
+  match Core.Compile.compile_source Suite.Novel_folded_cascode.source with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      let st = Core.State.snapshot p.Core.Problem.state0 in
+      Array.iteri
+        (fun i info ->
+          match info with
+          | Core.State.User { name; _ } -> begin
+              match List.assoc_opt name Suite.Novel_folded_cascode.manual_sizing with
+              | Some v -> Core.State.set_initial st i v
+              | None -> ()
+            end
+          | Core.State.Node_voltage _ -> ())
+        st.Core.State.info;
+      (match Core.Verify.simulate_specs p st with
+      | Error e -> Alcotest.failf "manual design: %s" e
+      | Ok sims -> begin
+          match List.assoc "adm" sims with
+          | Ok gain -> Alcotest.(check bool) "manual gain > 40 dB" true (gain > 40.0)
+          | Error e -> Alcotest.failf "adm: %s" e
+        end)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "meets constraints" `Slow test_end_to_end_meets_constraints;
+          Alcotest.test_case "prediction = simulation" `Slow test_prediction_matches_simulation;
+          Alcotest.test_case "dc-correct at freeze" `Slow test_final_design_is_dc_correct;
+          Alcotest.test_case "suite compiles" `Quick test_quickstart_compiles;
+          Alcotest.test_case "manual novel cascode" `Slow test_manual_novel_cascode_simulates;
+        ] );
+    ]

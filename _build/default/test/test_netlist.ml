@@ -1,0 +1,250 @@
+(* Tests for the card parser and subcircuit elaboration. *)
+
+let parse_one s =
+  match Netlist.Parser.parse_elements s with
+  | [ e ] -> e
+  | _ -> Alcotest.failf "expected one element from %S" s
+
+let test_parse_rlc () =
+  (match parse_one "r1 a b 1k" with
+  | Netlist.Ast.Resistor { name; n1; n2; _ } ->
+      Alcotest.(check string) "name" "r1" name;
+      Alcotest.(check string) "n1" "a" n1;
+      Alcotest.(check string) "n2" "b" n2
+  | _ -> Alcotest.fail "not a resistor");
+  (match parse_one "c2 out 0 'cl'" with
+  | Netlist.Ast.Capacitor { value = Netlist.Expr.Ref [ "cl" ]; _ } -> ()
+  | _ -> Alcotest.fail "capacitor with expression value");
+  match parse_one "l1 a b 1u" with
+  | Netlist.Ast.Inductor _ -> ()
+  | _ -> Alcotest.fail "inductor"
+
+let test_parse_sources () =
+  (match parse_one "v1 p n 5 ac 1" with
+  | Netlist.Ast.Vsource { ac; _ } -> Alcotest.(check (float 0.0)) "ac" 1.0 ac
+  | _ -> Alcotest.fail "vsource");
+  (match parse_one "ib vdd bp '2*i'" with
+  | Netlist.Ast.Isource { dc = Netlist.Expr.Mul _; _ } -> ()
+  | _ -> Alcotest.fail "isource with expr");
+  (match parse_one "e1 a b c d 10" with
+  | Netlist.Ast.Vcvs _ -> ()
+  | _ -> Alcotest.fail "vcvs");
+  (match parse_one "g1 a b c d 1m" with
+  | Netlist.Ast.Vccs _ -> ()
+  | _ -> Alcotest.fail "vccs");
+  (match parse_one "f1 a b vsense 2" with
+  | Netlist.Ast.Cccs { vsrc; _ } -> Alcotest.(check string) "vsrc" "vsense" vsrc
+  | _ -> Alcotest.fail "cccs");
+  match parse_one "h1 a b vsense 50" with
+  | Netlist.Ast.Ccvs _ -> ()
+  | _ -> Alcotest.fail "ccvs"
+
+let test_parse_devices () =
+  (match parse_one "m1 d g s b nmos w='w1' l=2u m=2" with
+  | Netlist.Ast.Mosfet { model; w = Netlist.Expr.Ref [ "w1" ]; _ } ->
+      Alcotest.(check string) "model" "nmos" model
+  | _ -> Alcotest.fail "mosfet");
+  match parse_one "q1 c b e npn 2" with
+  | Netlist.Ast.Bjt { area = Netlist.Expr.Const 2.0; _ } -> ()
+  | _ -> Alcotest.fail "bjt"
+
+let test_parse_mosfet_missing_w () =
+  match Netlist.Parser.parse_elements "m1 d g s b nmos l=2u" with
+  | exception Netlist.Parser.Error (_, _) -> ()
+  | _ -> Alcotest.fail "expected error for missing w="
+
+let test_continuation_and_comments () =
+  let src = "* a comment\nr1 a b\n+ 1k ; trailing comment\nr2 b 0 2k\n" in
+  Alcotest.(check int) "two elements" 2 (List.length (Netlist.Parser.parse_elements src))
+
+let test_case_insensitive () =
+  match parse_one "R1 A B 1K" with
+  | Netlist.Ast.Resistor { name; n1; _ } ->
+      Alcotest.(check string) "lowered name" "r1" name;
+      Alcotest.(check string) "lowered node" "a" n1
+  | _ -> Alcotest.fail "resistor"
+
+let small_problem =
+  {|.title test
+.process p1u2
+.param cl=1p
+.subckt amp in out vdd
+m1 out in 0 0 nmos w='w' l='l'
+r1 vdd out 10k
+.ends
+.var w min=2u max=100u steps=10
+.var l min=1u max=10u
+.jig main
+xa in out nvdd amp
+vdd nvdd 0 5
+vin in 0 2.5 ac 1
+cl1 out 0 'cl'
+.pz tf v(out) vin
+.endjig
+.bias
+xa in out nvdd amp
+vdd nvdd 0 5
+vin in 0 2.5
+.endbias
+.obj gain 'db(dc_gain(tf))' good=20 bad=0
+.spec ugf 'ugf(tf)' good=1meg bad=10k
+|}
+
+let test_parse_problem () =
+  let p = Netlist.Parser.parse_problem small_problem in
+  Alcotest.(check int) "subckts" 1 (List.length p.Netlist.Ast.subckts);
+  Alcotest.(check int) "vars" 2 (List.length p.vars);
+  Alcotest.(check int) "jigs" 1 (List.length p.jigs);
+  Alcotest.(check int) "specs" 2 (List.length p.specs);
+  Alcotest.(check (option string)) "process" (Some "p1u2") p.process;
+  (match p.vars with
+  | [ w; l ] ->
+      Alcotest.(check (option int)) "w discrete" (Some 10) w.Netlist.Ast.steps;
+      Alcotest.(check (option int)) "l continuous" None l.Netlist.Ast.steps
+  | _ -> Alcotest.fail "vars");
+  match p.specs with
+  | [ gain; ugf ] ->
+      Alcotest.(check bool) "obj kind" true (gain.Netlist.Ast.kind = Netlist.Ast.Objective_max);
+      Alcotest.(check bool) "spec kind" true (ugf.Netlist.Ast.kind = Netlist.Ast.Constraint_ge)
+  | _ -> Alcotest.fail "specs"
+
+let test_pz_differential () =
+  let p =
+    Netlist.Parser.parse_problem
+      ".jig j\nvin a 0 0 ac 1\nr1 a b 1k\nr2 b 0 1k\n.pz t v(a,b) vin\n.endjig\n.bias\nr9 x 0 1\n.endbias\n.obj o 'dc_gain(t)' good=1 bad=0\n"
+  in
+  match p.Netlist.Ast.jigs with
+  | [ { pzs = [ pz ]; _ } ] ->
+      Alcotest.(check string) "pos" "a" pz.Netlist.Ast.out_pos;
+      Alcotest.(check (option string)) "neg" (Some "b") pz.out_neg
+  | _ -> Alcotest.fail "jig"
+
+let test_parse_problem_errors () =
+  let bad src =
+    match Netlist.Parser.parse_problem src with
+    | exception Netlist.Parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  bad ".subckt a\n";
+  (* missing ports *)
+  bad ".jig j\n";
+  (* unterminated *)
+  bad ".var x max=1\n";
+  (* missing min *)
+  bad ".spec s 'x'\n";
+  (* missing good/bad *)
+  bad ".frobnicate\n";
+  bad "r1 a b 1k\n" (* element at top level *)
+
+let test_line_counts () =
+  let p = Netlist.Parser.parse_problem small_problem in
+  (* netlist-ish: .title .process .subckt(2 elems+ends=4 lines) .jig(6) .pz .endjig .bias(4) .endbias *)
+  Alcotest.(check bool) "netlist lines counted" true (p.Netlist.Ast.counts.netlist_lines >= 15);
+  Alcotest.(check int) "synth lines" 5 p.counts.synth_lines
+(* .param + 2 .var + .obj + .spec *)
+
+(* --- Elaboration --- *)
+
+let test_elab_flat () =
+  let elems = Netlist.Parser.parse_elements "r1 a b 1k\nr2 b 0 1k\n" in
+  let c = Netlist.Elab.flatten ~subckts:[] elems in
+  Alcotest.(check int) "nodes (gnd + a + b)" 3 (Netlist.Circuit.node_count c);
+  Alcotest.(check int) "elements" 2 (Netlist.Circuit.element_count c)
+
+let test_elab_subckt () =
+  let p = Netlist.Parser.parse_problem small_problem in
+  let jig = List.hd p.Netlist.Ast.jigs in
+  let c = Netlist.Elab.flatten ~subckts:p.subckts jig.jig_body in
+  (* xa.m1 and xa.r1 present with prefixed names *)
+  (match Netlist.Circuit.find_element c "xa.m1" with
+  | Netlist.Circuit.Mosfet _ -> ()
+  | _ -> Alcotest.fail "xa.m1 not a mosfet"
+  | exception Not_found -> Alcotest.fail "xa.m1 missing");
+  (* port mapping: the subckt 'out' port is the jig's 'out' node *)
+  match Netlist.Circuit.find_node c "out" with
+  | _ -> ()
+  | exception Not_found -> Alcotest.fail "port node missing"
+
+let test_elab_param_subst () =
+  let subckts =
+    (Netlist.Parser.parse_problem ".subckt dub a b\nr1 a b 'r0*2'\n.ends\n.bias\nr9 x 0 1\n.endbias\n.obj o 'area()' good=1 bad=2\n")
+      .Netlist.Ast.subckts
+  in
+  let elems = Netlist.Parser.parse_elements "x1 p q dub r0=500\n" in
+  let c = Netlist.Elab.flatten ~subckts elems in
+  match Netlist.Circuit.find_element c "x1.r1" with
+  | Netlist.Circuit.Resistor { value; _ } ->
+      let v =
+        Netlist.Expr.eval
+          { Netlist.Expr.lookup = (fun _ -> raise Not_found); call = (fun _ _ -> nan) }
+          value
+      in
+      Alcotest.(check (float 1e-9)) "substituted" 1000.0 v
+  | _ -> Alcotest.fail "x1.r1"
+
+let test_elab_unknown_subckt () =
+  match Netlist.Elab.flatten ~subckts:[] (Netlist.Parser.parse_elements "x1 a b nosuch\n") with
+  | exception Netlist.Elab.Error _ -> ()
+  | _ -> Alcotest.fail "expected elaboration error"
+
+let test_elab_port_arity () =
+  let subckts =
+    [ { Netlist.Ast.sub_name = "two"; ports = [ "a"; "b" ]; body = [] } ]
+  in
+  match Netlist.Elab.flatten ~subckts (Netlist.Parser.parse_elements "x1 a two\n") with
+  | exception Netlist.Elab.Error _ -> ()
+  | _ -> Alcotest.fail "expected arity error"
+
+
+let test_elab_nested_subckts () =
+  (* Two levels of nesting with parameter substitution through both. *)
+  let p =
+    Netlist.Parser.parse_problem
+      (".subckt inner a b\nr1 a b 'rv'\n.ends\n"
+      ^ ".subckt outer x y\nxi x y inner rv='rtop*2'\n.ends\n"
+      ^ ".bias\nr9 z 0 1\n.endbias\n.obj o 'area()' good=1 bad=2\n")
+  in
+  let elems = Netlist.Parser.parse_elements "xo p q outer rtop=100\n" in
+  let c = Netlist.Elab.flatten ~subckts:p.Netlist.Ast.subckts elems in
+  match Netlist.Circuit.find_element c "xo.xi.r1" with
+  | Netlist.Circuit.Resistor { value; _ } ->
+      let v =
+        Netlist.Expr.eval
+          { Netlist.Expr.lookup = (fun _ -> raise Not_found); call = (fun _ _ -> nan) }
+          value
+      in
+      Alcotest.(check (float 1e-9)) "param through two levels" 200.0 v
+  | _ -> Alcotest.fail "xo.xi.r1"
+
+let test_elab_ground_aliases () =
+  (* "0" and "gnd" are the same node. *)
+  let c = Netlist.Elab.flatten ~subckts:[] (Netlist.Parser.parse_elements "r1 a 0 1k\nr2 a gnd 1k\n") in
+  Alcotest.(check int) "two nodes only" 2 (Netlist.Circuit.node_count c)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "rlc" `Quick test_parse_rlc;
+          Alcotest.test_case "sources" `Quick test_parse_sources;
+          Alcotest.test_case "devices" `Quick test_parse_devices;
+          Alcotest.test_case "missing w" `Quick test_parse_mosfet_missing_w;
+          Alcotest.test_case "continuation/comments" `Quick test_continuation_and_comments;
+          Alcotest.test_case "case insensitive" `Quick test_case_insensitive;
+          Alcotest.test_case "full problem" `Quick test_parse_problem;
+          Alcotest.test_case "differential pz" `Quick test_pz_differential;
+          Alcotest.test_case "errors" `Quick test_parse_problem_errors;
+          Alcotest.test_case "line counts" `Quick test_line_counts;
+        ] );
+      ( "elab",
+        [
+          Alcotest.test_case "flat" `Quick test_elab_flat;
+          Alcotest.test_case "subckt expansion" `Quick test_elab_subckt;
+          Alcotest.test_case "param substitution" `Quick test_elab_param_subst;
+          Alcotest.test_case "unknown subckt" `Quick test_elab_unknown_subckt;
+          Alcotest.test_case "port arity" `Quick test_elab_port_arity;
+          Alcotest.test_case "nested subckts" `Quick test_elab_nested_subckts;
+          Alcotest.test_case "ground aliases" `Quick test_elab_ground_aliases;
+        ] );
+    ]

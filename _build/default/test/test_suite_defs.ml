@@ -1,0 +1,123 @@
+(* Consistency tests over the benchmark-suite definitions themselves: the
+   paper tables we compare against must reference specs that exist, every
+   circuit must compile, and the analysis invariants the paper highlights
+   must hold across the whole suite. *)
+
+let compiled =
+  lazy
+    (List.map
+       (fun (e : Suite.Ckts.entry) ->
+         match Core.Compile.compile_source e.source with
+         | Ok p -> (e, p)
+         | Error msg -> Alcotest.failf "%s: %s" e.name msg)
+       Suite.Ckts.all)
+
+let test_paper_rows_reference_real_specs () =
+  List.iter
+    (fun ((e : Suite.Ckts.entry), p) ->
+      List.iter
+        (fun (name, _, _, _) ->
+          match Core.Problem.find_spec p name with
+          | Some _ -> ()
+          | None -> Alcotest.failf "%s: paper row %s has no matching spec" e.name name)
+        e.paper_table2)
+    (Lazy.force compiled)
+
+let test_every_circuit_has_objective_and_constraints () =
+  List.iter
+    (fun ((e : Suite.Ckts.entry), p) ->
+      let objs, cons =
+        List.partition
+          (fun (s : Core.Problem.spec) ->
+            match s.kind with
+            | Netlist.Ast.Objective_max | Netlist.Ast.Objective_min -> true
+            | Netlist.Ast.Constraint_ge | Netlist.Ast.Constraint_le -> false)
+          p.Core.Problem.specs
+      in
+      if objs = [] then Alcotest.failf "%s: no objective" e.name;
+      if cons = [] then Alcotest.failf "%s: no constraints" e.name)
+    (Lazy.force compiled)
+
+let test_node_vars_exceed_user_vars_everywhere () =
+  (* The paper calls this out explicitly for Table 1. *)
+  List.iter
+    (fun ((e : Suite.Ckts.entry), p) ->
+      let a = p.Core.Problem.analysis in
+      if a.Core.Problem.n_node_vars <= a.n_user_vars then
+        Alcotest.failf "%s: node vars (%d) <= user vars (%d)" e.name a.n_node_vars a.n_user_vars)
+    (Lazy.force compiled)
+
+let test_every_bias_network_solvable () =
+  (* The reference simulator must be able to bias every benchmark at its
+     initial sizing — otherwise verification could never run. *)
+  List.iter
+    (fun ((e : Suite.Ckts.entry), p) ->
+      let st = p.Core.Problem.state0 in
+      let env = Core.Eval.value_env p st in
+      let value ex = Netlist.Expr.eval env ex in
+      match Mna.Dc.solve ~value ~registry:p.Core.Problem.registry p.Core.Problem.bias with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: bias unsolvable at initial sizing: %s" e.name msg)
+    (Lazy.force compiled)
+
+let test_jigs_dc_solvable () =
+  List.iter
+    (fun ((e : Suite.Ckts.entry), p) ->
+      let st = p.Core.Problem.state0 in
+      let env = Core.Eval.value_env p st in
+      let value ex = Netlist.Expr.eval env ex in
+      List.iter
+        (fun (j : Core.Problem.jig) ->
+          match Mna.Dc.solve ~value ~registry:p.Core.Problem.registry j.jig_circuit with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "%s/%s: %s" e.name j.jig_name msg)
+        p.Core.Problem.jigs)
+    (Lazy.force compiled)
+
+let test_differential_benchmark_measures_differentially () =
+  (* novel-folded-cascode declares v(outp,outm): the compiled tf must have
+     a negative output node. *)
+  let _, p =
+    List.find
+      (fun ((e : Suite.Ckts.entry), _) -> e.name = "novel-folded-cascode")
+      (Lazy.force compiled)
+  in
+  let j = List.hd p.Core.Problem.jigs in
+  match List.assoc "tf" j.Core.Problem.tfs with
+  | { Core.Problem.out_neg = Some _; _ } -> ()
+  | { Core.Problem.out_neg = None; _ } -> Alcotest.fail "tf should be differential"
+
+let test_goal_text_and_rows () =
+  let _, p =
+    List.find (fun ((e : Suite.Ckts.entry), _) -> e.name = "simple-ota") (Lazy.force compiled)
+  in
+  let adm = Option.get (Core.Problem.find_spec p "adm") in
+  Alcotest.(check string) "objective" "maximize" (Core.Report.goal_text adm);
+  let ugf = Option.get (Core.Problem.find_spec p "ugf") in
+  Alcotest.(check string) "constraint" ">=50meg" (Core.Report.goal_text ugf);
+  let row = Core.Report.spec_row ugf ~predicted:(Some 59.9e6) ~simulated:(Some (Ok 60.0e6)) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "row mentions prediction" true (contains row "59.9meg");
+  Alcotest.(check bool) "row mentions simulation" true (contains row "60meg")
+
+let () =
+  Alcotest.run "suite-defs"
+    [
+      ( "consistency",
+        [
+          Alcotest.test_case "paper rows match specs" `Quick test_paper_rows_reference_real_specs;
+          Alcotest.test_case "objectives and constraints" `Quick
+            test_every_circuit_has_objective_and_constraints;
+          Alcotest.test_case "node vars > user vars" `Quick
+            test_node_vars_exceed_user_vars_everywhere;
+          Alcotest.test_case "bias networks solvable" `Quick test_every_bias_network_solvable;
+          Alcotest.test_case "jigs dc-solvable" `Quick test_jigs_dc_solvable;
+          Alcotest.test_case "differential measurement" `Quick
+            test_differential_benchmark_measures_differentially;
+          Alcotest.test_case "report rows" `Quick test_goal_text_and_rows;
+        ] );
+    ]
