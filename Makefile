@@ -1,0 +1,23 @@
+# Convenience targets; dune is the real build system.
+
+.PHONY: all build test bench bench-quick clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Every paper table/figure (~15 min).
+bench:
+	dune exec bench/main.exe
+
+# Small-budget multi-start scaling measurement; writes
+# bench/results/perf-parallel-latest.json (used by CI as an artifact).
+bench-quick:
+	dune exec bench/main.exe -- perf-parallel --moves 2000 --runs 4
+
+clean:
+	dune clean

@@ -4,12 +4,16 @@
    Usage:
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- table1       -- one experiment
-     dune exec bench/main.exe -- table2 --runs 3 --moves 40000
+     dune exec bench/main.exe -- table2 --runs 3 --moves 40000 --jobs 4
+     dune exec bench/main.exe -- perf-parallel --moves 2000    -- speedup JSON
 
-   All runs are seeded; output is deterministic for a given build. *)
+   All runs are seeded; output is deterministic for a given build (wall
+   clocks aside). --jobs spreads multi-start runs across OCaml domains
+   without changing any reported design (see docs/PARALLEL.md). *)
 
 let runs = ref 2
 let moves : int option ref = ref None
+let jobs : int option ref = ref None
 let base_seed = 1988 (* a fixed arbitrary seed *)
 
 let sep title =
@@ -66,7 +70,7 @@ let table1 () =
 
 let synthesize_best (e : Suite.Ckts.entry) =
   let p = compile_exn e in
-  let best, all = Core.Oblx.best_of ~seed:base_seed ?moves:!moves ~runs:!runs p in
+  let best, all = Core.Oblx.best_of ~seed:base_seed ?moves:!moves ?jobs:!jobs ~runs:!runs p in
   (p, best, all)
 
 let table2_circuit (e : Suite.Ckts.entry) =
@@ -158,7 +162,7 @@ let table3 () =
     | Ok s -> s
     | Error msg -> failwith ("manual design: " ^ msg)
   in
-  let best, _ = Core.Oblx.best_of ~seed:(base_seed + 7) ?moves:!moves ~runs:!runs p in
+  let best, _ = Core.Oblx.best_of ~seed:(base_seed + 7) ?moves:!moves ?jobs:!jobs ~runs:!runs p in
   let sims =
     match Core.Verify.simulate_specs p best.Core.Oblx.final with Ok s -> Some s | Error _ -> None
   in
@@ -303,7 +307,9 @@ let models () =
       match Core.Compile.compile_source src with
       | Error msg -> Printf.printf "%-14s FAILED: %s\n" label msg
       | Ok p ->
-          let best, _ = Core.Oblx.best_of ~seed:(base_seed + 11) ?moves:!moves ~runs:!runs p in
+          let best, _ =
+            Core.Oblx.best_of ~seed:(base_seed + 11) ?moves:!moves ?jobs:!jobs ~runs:!runs p
+          in
           let get n = List.assoc n best.Core.Oblx.predicted in
           Printf.printf "%-14s %14s %14s %10s %10s\n%!" label
             (fmt_opt (get "area"))
@@ -336,24 +342,25 @@ let ablation () =
     study;
   let ok = List.length (List.filter (fun r -> r.Baselines.Local_opt.constraints_met) study) in
   Printf.printf "    %d/%d local runs met every constraint\n" ok (List.length study);
-  print_endline "(b) OBLX annealing (5 seeds, constraints met at the end?):";
+  print_endline "(b) OBLX annealing (5 independent restarts, constraints met at the end?):";
+  let _, restarts = Core.Oblx.best_of ~seed:500 ?moves:!moves ?jobs:!jobs ~runs:5 p in
   let anneal_ok = ref 0 in
-  for k = 0 to 4 do
-    let r = Core.Oblx.synthesize ~seed:(500 + k) ?moves:!moves p in
-    let met =
-      List.for_all
-        (fun (s : Core.Problem.spec) ->
-          match (s.kind, List.assoc s.Core.Problem.spec_name r.Core.Oblx.predicted) with
-          | Netlist.Ast.Constraint_ge, Some v -> v >= s.good *. 0.95
-          | Netlist.Ast.Constraint_le, Some v -> v <= s.good *. 1.05
-          | (Netlist.Ast.Objective_max | Netlist.Ast.Objective_min), Some _ -> true
-          | _, None -> false)
-        p.Core.Problem.specs
-    in
-    if met then incr anneal_ok;
-    Printf.printf "    seed %d: cost %.4g%s\n" (500 + k) r.best_cost
-      (if met then "  [met all constraints]" else "")
-  done;
+  List.iteri
+    (fun k (r : Core.Oblx.result) ->
+      let met =
+        List.for_all
+          (fun (s : Core.Problem.spec) ->
+            match (s.kind, List.assoc s.Core.Problem.spec_name r.Core.Oblx.predicted) with
+            | Netlist.Ast.Constraint_ge, Some v -> v >= s.good *. 0.95
+            | Netlist.Ast.Constraint_le, Some v -> v <= s.good *. 1.05
+            | (Netlist.Ast.Objective_max | Netlist.Ast.Objective_min), Some _ -> true
+            | _, None -> false)
+          p.Core.Problem.specs
+      in
+      if met then incr anneal_ok;
+      Printf.printf "    restart %d: cost %.4g%s\n" k r.best_cost
+        (if met then "  [met all constraints]" else ""))
+    restarts;
   Printf.printf "    %d/5 annealing runs met every constraint\n" !anneal_ok;
   print_endline "(c) evaluation cost: relaxed-dc vs full Newton solve per evaluation:";
   let st = Core.State.snapshot p.Core.Problem.state0 in
@@ -436,11 +443,108 @@ let perf () =
      claim that makes annealing-based synthesis affordable."
 
 (* ------------------------------------------------------------------ *)
+(* Perf: domain-parallel multi-start speedup (JSON artifact)            *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let perf_parallel () =
+  sep "PERF-PARALLEL -- multi-start speedup vs domain count (table2-class workload)";
+  let p_runs = Int.max !runs 4 in
+  let p_moves = Option.value !moves ~default:20_000 in
+  let job_counts =
+    List.sort_uniq compare [ 1; 2; 4; Core.Oblx.default_jobs () ]
+    |> List.filter (fun j -> j >= 1)
+  in
+  Printf.printf "runs=%d moves=%d recommended domains=%d\n" p_runs p_moves
+    (Domain.recommended_domain_count ());
+  let circuits = [ "simple-ota"; "ota" ] in
+  let measured =
+    List.map
+      (fun name ->
+        let e = Option.get (Suite.Ckts.find name) in
+        let p = compile_exn e in
+        Printf.printf "\n-- %s\n" name;
+        Printf.printf "   %6s %10s %10s %12s %10s\n" "jobs" "wall s" "speedup" "best cost" "evals";
+        let rows =
+          List.map
+            (fun j ->
+              let t0 = Unix.gettimeofday () in
+              let best, all =
+                Core.Oblx.best_of ~seed:base_seed ~moves:p_moves ~jobs:j ~runs:p_runs p
+              in
+              let wall = Unix.gettimeofday () -. t0 in
+              let evals =
+                List.fold_left (fun a (r : Core.Oblx.result) -> a + r.evals) 0 all
+              in
+              (j, wall, best.Core.Oblx.best_cost, evals))
+            job_counts
+        in
+        let base_wall =
+          match rows with (1, w, _, _) :: _ -> w | _ -> (match rows with (_, w, _, _) :: _ -> w | [] -> 1.0)
+        in
+        List.iter
+          (fun (j, w, c, ev) ->
+            Printf.printf "   %6d %10.2f %9.2fx %12.4g %10d\n" j w (base_wall /. w) c ev)
+          rows;
+        let costs = List.map (fun (_, _, c, _) -> c) rows in
+        let deterministic =
+          match costs with [] -> true | c0 :: rest -> List.for_all (fun c -> c = c0) rest
+        in
+        Printf.printf "   winner identical across job counts: %b\n" deterministic;
+        (name, rows, base_wall, deterministic))
+      circuits
+  in
+  (* JSON artifact, M14-harness style: bench/results/<name>-latest.json. *)
+  (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
+  (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
+  let path = "bench/results/perf-parallel-latest.json" in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"perf-parallel\",\n";
+  out "  \"seed\": %d,\n" base_seed;
+  out "  \"runs\": %d,\n" p_runs;
+  out "  \"moves\": %d,\n" p_moves;
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"circuits\": [\n";
+  List.iteri
+    (fun ci (name, rows, base_wall, deterministic) ->
+      out "    {\n";
+      out "      \"name\": \"%s\",\n" (json_escape name);
+      out "      \"deterministic_winner\": %b,\n" deterministic;
+      out "      \"results\": [\n";
+      List.iteri
+        (fun ri (j, w, c, ev) ->
+          out
+            "        {\"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.3f, \"best_cost\": %.6g, \
+             \"evals\": %d}%s\n"
+            j w (base_wall /. w) c ev
+            (if ri = List.length rows - 1 then "" else ","))
+        rows;
+      out "      ]\n";
+      out "    }%s\n" (if ci = List.length measured - 1 then "" else ",")
+    )
+    measured;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|fig2|fig3|models|ablation|perf|all]\n\
-    \       [--runs N] [--moves N]"
+    "usage: main.exe [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|all]\n\
+    \       [--runs N] [--moves N] [--jobs N]"
 
 let () =
   let cmds = ref [] in
@@ -451,6 +555,9 @@ let () =
         parse rest
     | "--moves" :: v :: rest ->
         moves := Some (int_of_string v);
+        parse rest
+    | "--jobs" :: v :: rest ->
+        jobs := Some (int_of_string v);
         parse rest
     | cmd :: rest ->
         cmds := cmd :: !cmds;
@@ -467,6 +574,7 @@ let () =
     | "models" -> models ()
     | "ablation" -> ablation ()
     | "perf" -> perf ()
+    | "perf-parallel" -> perf_parallel ()
     | "all" ->
         table1 ();
         table2 ();
@@ -475,7 +583,8 @@ let () =
         fig3 ();
         models ();
         ablation ();
-        perf ()
+        perf ();
+        perf_parallel ()
     | other ->
         Printf.printf "unknown experiment %S\n" other;
         usage ();

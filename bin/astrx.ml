@@ -60,6 +60,24 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed")
 let moves_arg = Arg.(value & opt (some int) None & info [ "moves" ] ~doc:"Annealing move budget")
 let runs_arg = Arg.(value & opt int 1 & info [ "runs" ] ~doc:"Independent annealing runs")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ]
+        ~doc:
+          "Worker domains running the independent restarts in parallel (default: cores - 1). \
+           The winner is bit-identical for any job count; see docs/PARALLEL.md.")
+
+let early_stop_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "early-stop" ]
+        ~doc:
+          "Let laggard restarts give up once another run has published a much better cost \
+           (faster, but the winner may differ from the deterministic default)")
+
 let no_verify_arg =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip reference-simulator verification")
 
@@ -82,14 +100,23 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a problem and print ASTRX's analysis")
     Term.(const run $ file_arg)
 
-let synth_source name src seed moves runs no_verify dump =
+let synth_source name src seed moves runs jobs early_stop no_verify dump =
   match Core.Compile.compile_source src with
   | Error e ->
       prerr_endline e;
       1
+  | Ok _ when runs < 1 ->
+      prerr_endline "astrx: --runs must be >= 1";
+      1
   | Ok p ->
       print_analysis name p;
-      let best, _ = Core.Oblx.best_of ~seed ?moves ~runs p in
+      let best, all = Core.Oblx.best_of ~seed ?moves ?jobs ~early_stop ~runs p in
+      if runs > 1 then begin
+        let cut = List.length (List.filter (fun r -> r.Core.Oblx.cut_short) all) in
+        Printf.printf "multi-start: %d runs on %d domain(s)%s\n" runs
+          (Int.min runs (Int.max 1 (Option.value jobs ~default:(Core.Oblx.default_jobs ()))))
+          (if cut > 0 then Printf.sprintf ", %d cut short" cut else "")
+      end;
       print_result p best ~verify:(not no_verify);
       (match dump with
       | Some path ->
@@ -101,26 +128,30 @@ let synth_source name src seed moves runs no_verify dump =
       0
 
 let synth_cmd =
-  let run file seed moves runs no_verify dump =
-    synth_source file (read_file file) seed moves runs no_verify dump
+  let run file seed moves runs jobs early_stop no_verify dump =
+    synth_source file (read_file file) seed moves runs jobs early_stop no_verify dump
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a problem with OBLX")
-    Term.(const run $ file_arg $ seed_arg $ moves_arg $ runs_arg $ no_verify_arg $ netlist_arg)
+    Term.(
+      const run $ file_arg $ seed_arg $ moves_arg $ runs_arg $ jobs_arg $ early_stop_arg
+      $ no_verify_arg $ netlist_arg)
 
 let bench_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name")
   in
-  let run name seed moves runs no_verify dump =
+  let run name seed moves runs jobs early_stop no_verify dump =
     match Suite.Ckts.find name with
     | None ->
         Printf.eprintf "unknown benchmark %s; known: %s\n" name
           (String.concat ", " (List.map (fun (e : Suite.Ckts.entry) -> e.name) Suite.Ckts.all));
         1
-    | Some e -> synth_source e.name e.source seed moves runs no_verify dump
+    | Some e -> synth_source e.name e.source seed moves runs jobs early_stop no_verify dump
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run a built-in benchmark circuit")
-    Term.(const run $ name_arg $ seed_arg $ moves_arg $ runs_arg $ no_verify_arg $ netlist_arg)
+    Term.(
+      const run $ name_arg $ seed_arg $ moves_arg $ runs_arg $ jobs_arg $ early_stop_arg
+      $ no_verify_arg $ netlist_arg)
 
 let corners_cmd =
   let run file seed moves =

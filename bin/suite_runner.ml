@@ -1,12 +1,17 @@
-(* Run the full benchmark suite sequentially and print a summary — a
-   lighter-weight sibling of bench/main.exe for interactive use:
+(* Run the full benchmark suite and print a summary — a lighter-weight
+   sibling of bench/main.exe for interactive use:
 
-   suite_runner [seed [moves]]
-*)
+   suite_runner [seed [moves [runs [jobs]]]]
+
+   With runs > 1 each circuit is synthesized by the domain-parallel
+   multi-start engine (Oblx.best_of) and the winning run is reported. *)
 
 let () =
-  let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1 in
-  let moves = if Array.length Sys.argv > 2 then Some (int_of_string Sys.argv.(2)) else None in
+  let arg k = if Array.length Sys.argv > k then Some (int_of_string Sys.argv.(k)) else None in
+  let seed = Option.value (arg 1) ~default:1 in
+  let moves = arg 2 in
+  let runs = Option.value (arg 3) ~default:1 in
+  let jobs = arg 4 in
   Printf.printf "%-22s %8s %8s %10s %8s %s\n" "circuit" "cost" "evals" "ms/eval" "time" "unmet";
   List.iter
     (fun (e : Suite.Ckts.entry) ->
@@ -14,7 +19,7 @@ let () =
         match Core.Compile.compile_source e.source with
         | Error msg -> Printf.printf "%-22s COMPILE FAIL: %s\n%!" e.name msg
         | Ok p ->
-            let r = Core.Oblx.synthesize ~seed ?moves p in
+            let r, all = Core.Oblx.best_of ~seed ?moves ?jobs ~runs p in
             let unmet =
               List.filter_map
                 (fun (s : Core.Problem.spec) ->
@@ -30,7 +35,8 @@ let () =
                     end)
                 p.Core.Problem.specs
             in
+            let wall = List.fold_left (fun a (x : Core.Oblx.result) -> a +. x.run_time_s) 0.0 all in
             Printf.printf "%-22s %8.3g %8d %10.2f %7.1fs %s\n%!" e.name r.best_cost r.evals
-              r.eval_time_ms r.run_time_s (String.concat "," unmet)
+              r.eval_time_ms wall (String.concat "," unmet)
       end)
     Suite.Ckts.all

@@ -6,6 +6,7 @@ type 'state problem = {
   frozen : ('state -> bool) option;
   on_stage : ('state -> stage_info -> unit) option;
   on_result : (int -> accepted:bool -> unit) option;
+  abort : (stage_info -> bool) option;
 }
 
 and stage_info = {
@@ -26,6 +27,7 @@ type 'state outcome = {
   accepted : int;
   stages : int;
   froze_early : bool;
+  aborted : bool;
 }
 
 (* Initial temperature probe: sample random moves, undo each, and size T0
@@ -61,9 +63,10 @@ let run ~rng ~total_moves ~init problem =
   let moves = ref 0 in
   let stage = ref 0 in
   let froze = ref false in
+  let aborted = ref false in
   let stage_len = Int.max 50 (total_moves / 200) in
   let rec loop () =
-    if Lam.finished lam || !froze then ()
+    if Lam.finished lam || !froze || !aborted then ()
     else begin
       let k = Hustin.pick hustin rng in
       (match problem.propose init k rng with
@@ -90,20 +93,25 @@ let run ~rng ~total_moves ~init problem =
       incr moves;
       if !moves mod stage_len = 0 then begin
         incr stage;
+        let info =
+          {
+            stage = !stage;
+            moves_done = !moves;
+            temperature = Lam.temperature lam;
+            acceptance = Lam.measured_ratio lam;
+            current_cost = !cur_cost;
+            best_cost = !best_cost;
+          }
+        in
         (match problem.on_stage with
         | Some hook ->
-            hook init
-              {
-                stage = !stage;
-                moves_done = !moves;
-                temperature = Lam.temperature lam;
-                acceptance = Lam.measured_ratio lam;
-                current_cost = !cur_cost;
-                best_cost = !best_cost;
-              };
+            hook init info;
             (* The hook may have rescaled the cost function. *)
             cur_cost := problem.cost init
         | None -> ());
+        (match problem.abort with
+        | Some f when f info -> aborted := true
+        | Some _ | None -> ());
         match problem.frozen with
         | Some f when Lam.progress lam > 0.5 && f init -> froze := true
         | Some _ | None -> ()
@@ -121,4 +129,5 @@ let run ~rng ~total_moves ~init problem =
     accepted = !accepted;
     stages = !stage;
     froze_early = !froze;
+    aborted = !aborted;
   }

@@ -23,6 +23,11 @@ type 'state problem = {
   on_result : (int -> accepted:bool -> unit) option;
       (** called after every decided move with its class index — feeds
           per-variable range limiters *)
+  abort : (stage_info -> bool) option;
+      (** external cancellation, polled once per stage regardless of
+          progress — used by parallel multi-start to cut laggard runs when
+          another restart has already published a much better cost. An
+          aborted run still reports its best state so far. *)
 }
 
 and stage_info = {
@@ -43,6 +48,7 @@ type 'state outcome = {
   accepted : int;
   stages : int;
   froze_early : bool;
+  aborted : bool;  (** stopped by the [abort] hook rather than the schedule *)
 }
 
 (** [run ~rng ~total_moves ~init problem] anneals. [init] is mutated (it

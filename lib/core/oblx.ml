@@ -14,10 +14,16 @@ type result = {
   moves : int;
   accepted : int;
   froze_early : bool;
+  cut_short : bool;
   evals : int;
   eval_time_ms : float;
   run_time_s : float;
   trace : trace_point list;
+}
+
+type control = {
+  publish : float -> unit;
+  cutoff : progress:float -> best:float -> bool;
 }
 
 let kcl_stats (bp : Eval.bias_point) =
@@ -29,14 +35,14 @@ let kcl_stats (bp : Eval.bias_point) =
     bp.Eval.residuals;
   (!rel, !abs_)
 
-let synthesize ?(seed = 1) ?moves (p : Problem.t) =
+let synthesize ?(seed = 1) ?rng ?moves ?control (p : Problem.t) =
   let n_vars = State.n_vars p.Problem.state0 in
   let total_moves =
     match moves with Some m -> m | None -> Int.min 150_000 (Int.max 8_000 (2000 * n_vars))
   in
   let weights = Weights.create () in
   let ctx = Moves.make p in
-  let rng = Anneal.Rng.create seed in
+  let rng = match rng with Some r -> r | None -> Anneal.Rng.create seed in
   let evals = ref 0 in
   let eval_clock = ref 0.0 in
   let cost st =
@@ -73,6 +79,14 @@ let synthesize ?(seed = 1) ?moves (p : Problem.t) =
     last_discrete := disc
   in
   let frozen _st = !stable_stages >= 8 && Moves.ranges_converged ctx in
+  let abort =
+    Option.map
+      (fun c (info : Anneal.Annealer.stage_info) ->
+        c.publish info.best_cost;
+        let progress = float_of_int info.moves_done /. float_of_int total_moves in
+        c.cutoff ~progress ~best:info.best_cost)
+      control
+  in
   let problem =
     {
       Anneal.Annealer.classes = Moves.classes;
@@ -82,6 +96,7 @@ let synthesize ?(seed = 1) ?moves (p : Problem.t) =
       frozen = Some frozen;
       on_stage = Some on_stage;
       on_result = Some (fun k ~accepted -> Moves.record_result ctx k ~accepted);
+      abort;
     }
   in
   let t_start = Unix.gettimeofday () in
@@ -118,6 +133,7 @@ let synthesize ?(seed = 1) ?moves (p : Problem.t) =
     moves = outcome.Anneal.Annealer.moves;
     accepted = outcome.Anneal.Annealer.accepted;
     froze_early = outcome.Anneal.Annealer.froze_early;
+    cut_short = outcome.Anneal.Annealer.aborted;
     evals = !evals;
     eval_time_ms = (if !evals > 0 then 1000.0 *. !eval_clock /. float_of_int !evals else 0.0);
     run_time_s;
@@ -131,9 +147,64 @@ let score (p : Problem.t) (r : result) =
   in
   if failed then r.best_cost +. 1e6 else r.best_cost
 
-let best_of ?(seed = 1) ?moves ~runs (p : Problem.t) =
+let default_jobs () = Int.max 1 (Domain.recommended_domain_count () - 1)
+
+(* A laggard gives up only when its best is worse than the published global
+   best by a slack that scales with the costs involved: close races are
+   always allowed to finish, so early stopping rarely changes the winner. *)
+let early_stop_slack best = Float.max 1.0 (0.25 *. Float.abs best)
+
+let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ~runs (p : Problem.t) =
   if runs < 1 then invalid_arg "Oblx.best_of: runs must be >= 1";
-  let results = List.init runs (fun k -> synthesize ~seed:(seed + (97 * k)) ?moves p) in
+  let jobs = Int.min runs (match jobs with Some j -> Int.max 1 j | None -> default_jobs ()) in
+  (* Restart k always anneals with the k-th split of the root generator, so
+     the set of runs — and therefore the winner — is independent of how the
+     runs are scheduled across domains. *)
+  let root = Anneal.Rng.create seed in
+  let streams = Array.make runs root in
+  for k = 0 to runs - 1 do
+    streams.(k) <- Anneal.Rng.split root
+  done;
+  let global_best = Atomic.make Float.infinity in
+  let rec publish c =
+    let cur = Atomic.get global_best in
+    if c < cur && not (Atomic.compare_and_set global_best cur c) then publish c
+  in
+  let control =
+    if not early_stop then None
+    else
+      Some
+        {
+          publish;
+          cutoff =
+            (fun ~progress ~best ->
+              progress > 0.5 && best > Atomic.get global_best +. early_stop_slack best);
+        }
+  in
+  let results : result option array = Array.make runs None in
+  let next = Atomic.make 0 in
+  (* Each worker owns the runs it claims: every slot of [results] is written
+     by exactly one domain, and Domain.join publishes them to this one. *)
+  let worker () =
+    let rec take () =
+      let k = Atomic.fetch_and_add next 1 in
+      if k < runs then begin
+        let r = synthesize ~rng:streams.(k) ?moves ?control p in
+        publish r.best_cost;
+        results.(k) <- Some r;
+        take ()
+      end
+    in
+    take ()
+  in
+  if jobs <= 1 then worker ()
+  else begin
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  let results = Array.to_list results |> List.filter_map Fun.id in
+  (* Strict < keeps the earliest run on ties, independent of scheduling. *)
   let best =
     List.fold_left
       (fun acc r -> match acc with None -> Some r | Some b -> if score p r < score p b then Some r else acc)

@@ -19,17 +19,53 @@ type result = {
   moves : int;
   accepted : int;
   froze_early : bool;
+  cut_short : bool;  (** abandoned early by multi-start early stopping *)
   evals : int;  (** cost-function evaluations performed *)
   eval_time_ms : float;  (** mean wall time per evaluation *)
   run_time_s : float;
   trace : trace_point list;  (** per-stage, oldest first (Fig. 2 data) *)
 }
 
-(** [synthesize ?seed ?moves p] runs one annealing run. [moves] defaults to
-    [3000 * n_vars] capped to a practical budget. *)
-val synthesize : ?seed:int -> ?moves:int -> Problem.t -> result
+(** Hooks a multi-start scheduler threads into a run. [publish] is called
+    once per annealing stage with the run's best cost so far; [cutoff]
+    decides, given the run's progress in [0,1] and its best cost, whether
+    the run should cut its losses and stop. *)
+type control = {
+  publish : float -> unit;
+  cutoff : progress:float -> best:float -> bool;
+}
 
-(** [best_of ?seed ?moves ~runs p] performs several independent runs (the
-    paper runs 5-10 overnight) and returns the lowest-cost result plus all
-    individual results. *)
-val best_of : ?seed:int -> ?moves:int -> runs:int -> Problem.t -> result * result list
+(** [synthesize ?seed ?rng ?moves ?control p] runs one annealing run.
+    [moves] defaults to [2000 * n_vars] clamped to a practical budget.
+    [rng] (a stream from {!Anneal.Rng.split}) overrides [seed]; [control]
+    connects the run to a parallel multi-start scheduler. *)
+val synthesize :
+  ?seed:int -> ?rng:Anneal.Rng.t -> ?moves:int -> ?control:control -> Problem.t -> result
+
+(** Default worker count for {!best_of}:
+    [Domain.recommended_domain_count () - 1], at least 1 — keep one core
+    for the caller. *)
+val default_jobs : unit -> int
+
+(** [best_of ?seed ?moves ?jobs ?early_stop ~runs p] performs [runs]
+    independent annealing runs — the paper's "5-10 runs overnight",
+    except spread across [jobs] OCaml domains so a modern multicore
+    machine finishes them in one coffee — and returns the lowest-cost
+    result plus every run's result, in run order.
+
+    Restart [k] draws from the [k]-th {!Anneal.Rng.split} stream of the
+    root generator, so for a fixed [seed] the winner is bit-identical for
+    every [jobs] value, including the sequential [jobs:1] path. With
+    [early_stop] (default off), runs publish their best cost through a
+    shared atomic and a laggard past half its move budget gives up once it
+    trails the global best by a wide margin; this trades the determinism
+    guarantee for wall-clock (the winner is still the best completed run,
+    but laggards report [cut_short] and spend fewer evaluations). *)
+val best_of :
+  ?seed:int ->
+  ?moves:int ->
+  ?jobs:int ->
+  ?early_stop:bool ->
+  runs:int ->
+  Problem.t ->
+  result * result list

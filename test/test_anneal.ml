@@ -60,6 +60,49 @@ let test_rng_split_independence () =
   done;
   Alcotest.(check bool) "split streams diverge" true (!same < 5)
 
+(* Statistical independence of split streams: across many seeds, sibling
+   streams and parent/child streams must be uncorrelated and each stream
+   must stay uniform — the property the parallel multi-start engine rests
+   on (every restart draws from its own split). *)
+let test_rng_split_statistical_independence () =
+  let correlation xs ys =
+    let n = float_of_int (Array.length xs) in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. n in
+    let mx = mean xs and my = mean ys in
+    let cov = ref 0.0 and vx = ref 0.0 and vy = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let dx = x -. mx and dy = ys.(i) -. my in
+        cov := !cov +. (dx *. dy);
+        vx := !vx +. (dx *. dx);
+        vy := !vy +. (dy *. dy))
+      xs;
+    !cov /. Float.sqrt ((!vx *. !vy) +. 1e-300)
+  in
+  let n = 20000 in
+  List.iter
+    (fun seed ->
+      let root = Anneal.Rng.create seed in
+      let a = Anneal.Rng.split root and b = Anneal.Rng.split root in
+      let draw rng = Array.init n (fun _ -> Anneal.Rng.float rng) in
+      let xa = draw a and xb = draw b and xr = draw root in
+      (* Siblings and parent/child pairwise uncorrelated (3-sigma bound for
+         n iid uniforms is ~3/sqrt(n) ≈ 0.021). *)
+      let bound = 0.03 in
+      Alcotest.(check bool) "sibling corr ~ 0" true (Float.abs (correlation xa xb) < bound);
+      Alcotest.(check bool) "parent/child corr ~ 0" true (Float.abs (correlation xa xr) < bound);
+      (* Each split stream is still uniform. *)
+      let mean = Array.fold_left ( +. ) 0.0 xa /. float_of_int n in
+      Alcotest.(check bool) "split stream uniform mean" true (Float.abs (mean -. 0.5) < 0.015);
+      (* Splitting must not disturb the parent's future stream: the parent
+         advances by exactly one [next] per split, deterministically. *)
+      let r1 = Anneal.Rng.create seed and r2 = Anneal.Rng.create seed in
+      ignore (Anneal.Rng.split r1);
+      ignore (Anneal.Rng.split r2);
+      Alcotest.(check (float 0.0)) "parent stream deterministic after split"
+        (Anneal.Rng.float r1) (Anneal.Rng.float r2))
+    [ 1; 42; 1988 ]
+
 (* --- Lam schedule --- *)
 
 let test_lam_target_trajectory () =
@@ -161,6 +204,7 @@ let vector_problem ~cost ~dim ~span =
     frozen = None;
     on_stage = None;
     on_result = None;
+    abort = None;
   }
 
 let test_annealer_sphere () =
@@ -198,6 +242,105 @@ let test_annealer_best_preserved () =
     (out.Anneal.Annealer.best_cost <= out.final_cost +. 1e-12);
   Alcotest.(check (float 1e-12)) "best matches its state" out.best_cost (cost out.best)
 
+let test_annealer_abort_hook () =
+  (* The abort hook is polled once per stage regardless of progress; a run
+     that is told to stop must stop at the next stage boundary, keep its
+     best-so-far, and report [aborted]. *)
+  let problem =
+    { (vector_problem ~cost:(fun st -> st.(0) *. st.(0)) ~dim:1 ~span:1.0) with
+      Anneal.Annealer.abort = Some (fun info -> info.Anneal.Annealer.stage >= 2) }
+  in
+  let rng = Anneal.Rng.create 2 in
+  let total_moves = 50000 in
+  let out = Anneal.Annealer.run ~rng ~total_moves ~init:[| 1.0 |] problem in
+  Alcotest.(check bool) "aborted flag set" true out.Anneal.Annealer.aborted;
+  Alcotest.(check bool) "stopped well before the budget" true (out.moves < total_moves / 2);
+  Alcotest.(check (float 1e-12)) "best state kept" out.best_cost
+    (out.best.(0) *. out.best.(0))
+
+let test_annealer_no_abort_unaffected () =
+  (* A hook that never fires must leave the run byte-identical to no hook. *)
+  let cost st = Float.abs st.(0) in
+  let run abort =
+    let problem = { (vector_problem ~cost ~dim:1 ~span:2.0) with Anneal.Annealer.abort } in
+    Anneal.Annealer.run ~rng:(Anneal.Rng.create 77) ~total_moves:3000 ~init:[| 1.5 |] problem
+  in
+  let a = run None and b = run (Some (fun _ -> false)) in
+  Alcotest.(check (float 0.0)) "same best cost" a.Anneal.Annealer.best_cost b.best_cost;
+  Alcotest.(check int) "same move count" a.moves b.moves;
+  Alcotest.(check bool) "not aborted" false b.aborted
+
+(* --- parallel multi-start determinism --- *)
+
+(* A deliberately tiny synthesis problem so best_of with several runs
+   completes in seconds: size a common-source stage. *)
+let cs_source =
+  {|.title common-source stage
+.process p1u2
+.param vddval=5
+
+.subckt amp in out vdd vss
+m1 out in vss vss nmos w='w' l='l'
+m2 out nbp vdd vdd pmos w='wp' l='l'
+vbp vdd nbp 'vb'
+.ends
+
+.var w min=2u max=200u steps=80
+.var l min=1.2u max=10u steps=40
+.var wp min=2u max=200u steps=80
+.var vb min=0.5 max=2.5
+
+.jig main
+xamp in out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vin in 0 1.2 ac 1
+cl1 out 0 2p
+.pz tf v(out) vin
+.endjig
+
+.bias
+xamp in out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vin in 0 1.2
+cl1 out 0 2p
+.endbias
+
+.obj gain 'db(dc_gain(tf))' good=30 bad=5
+.spec ugf 'ugf(tf)' good=5meg bad=100k
+|}
+
+let state_fingerprint (st : Core.State.t) =
+  (* Structural digest of the design point: exact variable values. *)
+  Array.fold_left (fun acc v -> Hashtbl.hash (acc, Int64.bits_of_float v)) 0 st.Core.State.values
+
+let test_best_of_jobs_deterministic () =
+  match Core.Compile.compile_source cs_source with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok p ->
+      let seed = 8 and runs = 4 and moves = 1200 in
+      let winner jobs = Core.Oblx.best_of ~seed ~moves ~jobs ~runs p in
+      let b1, all1 = winner 1 in
+      let b4, all4 = winner 4 in
+      Alcotest.(check int) "all runs reported (jobs=1)" runs (List.length all1);
+      Alcotest.(check int) "all runs reported (jobs=4)" runs (List.length all4);
+      Alcotest.(check (float 0.0)) "same winning cost" b1.Core.Oblx.best_cost b4.best_cost;
+      Alcotest.(check int) "same winning design (state hash)"
+        (state_fingerprint b1.final) (state_fingerprint b4.final);
+      (* Per-run results line up pairwise too, not just the winner. *)
+      List.iter2
+        (fun (a : Core.Oblx.result) (b : Core.Oblx.result) ->
+          Alcotest.(check (float 0.0)) "run cost matches across job counts" a.best_cost
+            b.best_cost)
+        all1 all4;
+      (* Restarts draw from distinct split streams, so they explore
+         genuinely different trajectories. *)
+      let distinct =
+        List.sort_uniq compare (List.map (fun (r : Core.Oblx.result) -> r.Core.Oblx.best_cost) all1)
+      in
+      Alcotest.(check bool) "restarts differ from each other" true (List.length distinct > 1)
+
 let test_annealer_stage_hook_runs () =
   let stages = ref 0 in
   let problem =
@@ -219,6 +362,8 @@ let () =
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian;
           Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "split statistical independence" `Quick
+            test_rng_split_statistical_independence;
         ] );
       ( "lam",
         [
@@ -237,5 +382,11 @@ let () =
           Alcotest.test_case "rastrigin (multimodal)" `Slow test_annealer_rastrigin;
           Alcotest.test_case "best preserved" `Quick test_annealer_best_preserved;
           Alcotest.test_case "stage hook" `Quick test_annealer_stage_hook_runs;
+          Alcotest.test_case "abort hook" `Quick test_annealer_abort_hook;
+          Alcotest.test_case "inert abort hook" `Quick test_annealer_no_abort_unaffected;
+        ] );
+      ( "multi-start",
+        [
+          Alcotest.test_case "jobs-count determinism" `Slow test_best_of_jobs_deterministic;
         ] );
     ]

@@ -89,6 +89,32 @@ let test_final_design_is_dc_correct () =
   | Ok e -> Alcotest.(check bool) "voltages within 1 mV of Newton" true (e < 1e-3)
   | Error e -> Alcotest.failf "dv: %s" e
 
+let test_multi_start_smoke () =
+  (* The domain-parallel multi-start path end-to-end on a real benchmark:
+     4 restarts over 2 domains must all complete, agree with the winner
+     selection rule, and leave every spec measured. *)
+  match Suite.Ckts.find "simple-ota" with
+  | None -> Alcotest.fail "simple-ota benchmark missing"
+  | Some e -> begin
+      match Core.Compile.compile_source e.Suite.Ckts.source with
+      | Error msg -> Alcotest.failf "compile: %s" msg
+      | Ok p ->
+          let best, all = Core.Oblx.best_of ~seed:3 ~moves:1500 ~jobs:2 ~runs:4 p in
+          Alcotest.(check int) "all restarts reported" 4 (List.length all);
+          List.iter
+            (fun (r : Core.Oblx.result) ->
+              Alcotest.(check bool) "winner is the minimum" true
+                (best.Core.Oblx.best_cost <= r.best_cost);
+              Alcotest.(check bool) "run not cut short by default" false r.cut_short)
+            all;
+          List.iter
+            (fun (s : Core.Problem.spec) ->
+              match List.assoc s.Core.Problem.spec_name best.Core.Oblx.predicted with
+              | Some _ -> ()
+              | None -> Alcotest.failf "%s unmeasured on winner" s.spec_name)
+            p.Core.Problem.specs
+    end
+
 let test_quickstart_compiles () =
   (* Every shipped benchmark + the README quickstart parse and compile. *)
   List.iter
@@ -132,6 +158,7 @@ let () =
           Alcotest.test_case "prediction = simulation" `Slow test_prediction_matches_simulation;
           Alcotest.test_case "dc-correct at freeze" `Slow test_final_design_is_dc_correct;
           Alcotest.test_case "suite compiles" `Quick test_quickstart_compiles;
+          Alcotest.test_case "multi-start smoke" `Slow test_multi_start_smoke;
           Alcotest.test_case "manual novel cascode" `Slow test_manual_novel_cascode_simulates;
         ] );
     ]
