@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick clean
+.PHONY: all build test bench bench-quick trace-replay clean
 
 all: build
 
@@ -18,6 +18,18 @@ bench:
 # bench/results/perf-parallel-latest.json (used by CI as an artifact).
 bench-quick:
 	dune exec bench/main.exe -- perf-parallel --moves 2000 --runs 4
+
+# Record simple-ota traces sequentially and domain-parallel, then replay
+# both against the compiled cost function (docs/OBSERVABILITY.md) — the
+# telemetry side of the --jobs determinism guarantee.
+trace-replay:
+	mkdir -p bench/results
+	dune exec bin/astrx.exe -- bench simple-ota --no-verify --moves 2000 --runs 4 --jobs 1 \
+		--trace bench/results/trace-jobs1.jsonl
+	dune exec bin/astrx.exe -- replay simple-ota bench/results/trace-jobs1.jsonl
+	dune exec bin/astrx.exe -- bench simple-ota --no-verify --moves 2000 --runs 4 --jobs 4 \
+		--trace bench/results/trace-jobs4.jsonl
+	dune exec bin/astrx.exe -- replay simple-ota bench/results/trace-jobs4.jsonl
 
 clean:
 	dune clean

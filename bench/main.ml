@@ -541,9 +541,102 @@ let perf_parallel () =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: annealing observability summary (JSON artifact)           *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry () =
+  sep "TELEMETRY -- annealing observability summary (simple-ota)";
+  let e = Option.get (Suite.Ckts.find "simple-ota") in
+  let p = compile_exn e in
+  let t_moves = Option.value !moves ~default:20_000 in
+  let t_runs = Int.max 1 !runs in
+  let summary = Obs.Sink.Summary.create () in
+  (* Summary sink at [Moves] level: full per-move statistics, O(1) memory. *)
+  let obs = Obs.Trace.make ~level:Obs.Event.Moves [ Obs.Sink.Summary.sink summary ] in
+  let t0 = Unix.gettimeofday () in
+  let best, _ = Core.Oblx.best_of ~seed:(base_seed + 5) ~moves:t_moves ?jobs:!jobs ~obs ~runs:t_runs p in
+  let wall = Unix.gettimeofday () -. t0 in
+  let stats = Obs.Sink.Summary.stats summary in
+  let moves_per_sec = float_of_int stats.Obs.Sink.Summary.moves /. Float.max 1e-9 wall in
+  Printf.printf "runs=%d moves/run=%d wall=%.2fs -> %.0f moves/s (%d evals total)\n" t_runs
+    t_moves wall moves_per_sec stats.Obs.Sink.Summary.moves;
+  Printf.printf "best cost %.4g; accept ratio %.2f overall\n" best.Core.Oblx.best_cost
+    (float_of_int stats.accepted /. float_of_int (Int.max 1 stats.moves));
+  Printf.printf "\n  move-class mix:\n";
+  List.iter
+    (fun (c : Obs.Sink.Summary.class_row) ->
+      Printf.printf "  %-10s %7d attempts %7d accepted %6d inapplicable\n" c.cr_name
+        c.cr_attempts c.cr_accepted c.cr_inapplicable)
+    stats.class_rows;
+  Printf.printf "\n  accept ratio by stage (restart 0):\n";
+  Printf.printf "  %6s %8s %12s %10s %12s\n" "stage" "moves" "temperature" "accept" "best";
+  let r0 =
+    List.filter (fun (s : Obs.Sink.Summary.stage_row) -> s.sr_restart = 0) stats.stage_rows
+  in
+  let every = Int.max 1 (List.length r0 / 20) in
+  List.iteri
+    (fun i (s : Obs.Sink.Summary.stage_row) ->
+      if i mod every = 0 then
+        Printf.printf "  %6d %8d %12.4g %10.3f %12.6g\n" s.sr_stage s.sr_moves s.sr_temperature
+          s.sr_acceptance s.sr_best)
+    r0;
+  (* JSON artifact next to perf-parallel's. *)
+  (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
+  (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
+  let path = "bench/results/telemetry-latest.json" in
+  let num v = Obs.Json.Num v in
+  let int v = num (float_of_int v) in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "telemetry");
+        ("circuit", Obs.Json.Str "simple-ota");
+        ("seed", int (base_seed + 5));
+        ("runs", int t_runs);
+        ("moves_per_run", int t_moves);
+        ("wall_s", num wall);
+        ("moves_per_sec", num moves_per_sec);
+        ("best_cost", num best.Core.Oblx.best_cost);
+        ( "classes",
+          Obs.Json.Arr
+            (List.map
+               (fun (c : Obs.Sink.Summary.class_row) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str c.cr_name);
+                     ("attempts", int c.cr_attempts);
+                     ("accepted", int c.cr_accepted);
+                     ("inapplicable", int c.cr_inapplicable);
+                   ])
+               stats.class_rows) );
+        ( "stages",
+          Obs.Json.Arr
+            (List.map
+               (fun (s : Obs.Sink.Summary.stage_row) ->
+                 Obs.Json.Obj
+                   [
+                     ("restart", int s.sr_restart);
+                     ("stage", int s.sr_stage);
+                     ("moves", int s.sr_moves);
+                     ("temperature", num s.sr_temperature);
+                     ("acceptance", num s.sr_acceptance);
+                     ("cost", num s.sr_cost);
+                     ("best", num s.sr_best);
+                   ])
+               stats.stage_rows) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|all]\n\
+    "usage: main.exe \
+     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|telemetry|all]\n\
     \       [--runs N] [--moves N] [--jobs N]"
 
 let () =
@@ -575,6 +668,7 @@ let () =
     | "ablation" -> ablation ()
     | "perf" -> perf ()
     | "perf-parallel" -> perf_parallel ()
+    | "telemetry" -> telemetry ()
     | "all" ->
         table1 ();
         table2 ();
@@ -584,7 +678,8 @@ let () =
         models ();
         ablation ();
         perf ();
-        perf_parallel ()
+        perf_parallel ();
+        telemetry ()
     | other ->
         Printf.printf "unknown experiment %S\n" other;
         usage ();

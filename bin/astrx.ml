@@ -4,6 +4,7 @@
    astrx compile FILE          analysis only (the Table-1 row)
    astrx synth FILE            synthesize and report
    astrx bench NAME            run a built-in benchmark circuit
+   astrx replay NAME TRACE     re-check a recorded trace against the cost fn
 *)
 
 let read_file path =
@@ -81,6 +82,38 @@ let early_stop_arg =
 let no_verify_arg =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip reference-simulator verification")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write annealing telemetry (one JSON event per line) to $(docv); see \
+           docs/OBSERVABILITY.md. With --runs > 1 every restart shares the file, tagged by \
+           restart index.")
+
+let trace_level_conv =
+  let parse s =
+    match Obs.Event.level_of_string s with Ok l -> Ok l | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Obs.Event.level_to_string l))
+
+let trace_level_arg =
+  Arg.(
+    value
+    & opt trace_level_conv Obs.Event.Moves
+    & info [ "trace-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Trace verbosity: $(b,summary) (restart/done), $(b,stage) (+ per-stage cost, Hustin \
+           probabilities, weight updates), or $(b,moves) (+ every decided move with accepted \
+           design points — required for $(b,astrx replay)). Default $(b,moves).")
+
+(* The trace handle for one CLI invocation, or [Trace.none] without --trace. *)
+let make_trace path level =
+  match path with
+  | None -> Obs.Trace.none
+  | Some path -> Obs.Trace.make ~level [ Obs.Sink.jsonl_file path ]
+
 let netlist_arg =
   Arg.(
     value
@@ -100,7 +133,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a problem and print ASTRX's analysis")
     Term.(const run $ file_arg)
 
-let synth_source name src seed moves runs jobs early_stop no_verify dump =
+let synth_source name src seed moves runs jobs early_stop no_verify dump trace_path trace_level
+    =
   match Core.Compile.compile_source src with
   | Error e ->
       prerr_endline e;
@@ -110,12 +144,25 @@ let synth_source name src seed moves runs jobs early_stop no_verify dump =
       1
   | Ok p ->
       print_analysis name p;
-      let best, all = Core.Oblx.best_of ~seed ?moves ?jobs ~early_stop ~runs p in
+      let obs = make_trace trace_path trace_level in
+      let best, all = Core.Oblx.best_of ~seed ?moves ?jobs ~early_stop ~obs ~runs p in
+      Obs.Trace.close obs;
+      (match trace_path with
+      | Some path ->
+          Printf.printf "trace written to %s (level %s)\n" path
+            (Obs.Event.level_to_string trace_level)
+      | None -> ());
       if runs > 1 then begin
-        let cut = List.length (List.filter (fun r -> r.Core.Oblx.cut_short) all) in
+        let cuts = List.filter (fun r -> r.Core.Oblx.cut_short) all in
         Printf.printf "multi-start: %d runs on %d domain(s)%s\n" runs
           (Int.min runs (Int.max 1 (Option.value jobs ~default:(Core.Oblx.default_jobs ()))))
-          (if cut > 0 then Printf.sprintf ", %d cut short" cut else "")
+          (if cuts <> [] then Printf.sprintf ", %d cut short" (List.length cuts) else "");
+        List.iter
+          (fun (r : Core.Oblx.result) ->
+            match r.Core.Oblx.cut_reason with
+            | Some reason -> Printf.printf "  cut: %s\n" reason
+            | None -> ())
+          cuts
       end;
       print_result p best ~verify:(not no_verify);
       (match dump with
@@ -128,30 +175,105 @@ let synth_source name src seed moves runs jobs early_stop no_verify dump =
       0
 
 let synth_cmd =
-  let run file seed moves runs jobs early_stop no_verify dump =
-    synth_source file (read_file file) seed moves runs jobs early_stop no_verify dump
+  let run file seed moves runs jobs early_stop no_verify dump trace trace_level =
+    synth_source file (read_file file) seed moves runs jobs early_stop no_verify dump trace
+      trace_level
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a problem with OBLX")
     Term.(
       const run $ file_arg $ seed_arg $ moves_arg $ runs_arg $ jobs_arg $ early_stop_arg
-      $ no_verify_arg $ netlist_arg)
+      $ no_verify_arg $ netlist_arg $ trace_arg $ trace_level_arg)
 
 let bench_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name")
   in
-  let run name seed moves runs jobs early_stop no_verify dump =
+  let run name seed moves runs jobs early_stop no_verify dump trace trace_level =
     match Suite.Ckts.find name with
     | None ->
         Printf.eprintf "unknown benchmark %s; known: %s\n" name
           (String.concat ", " (List.map (fun (e : Suite.Ckts.entry) -> e.name) Suite.Ckts.all));
         1
-    | Some e -> synth_source e.name e.source seed moves runs jobs early_stop no_verify dump
+    | Some e ->
+        synth_source e.name e.source seed moves runs jobs early_stop no_verify dump trace
+          trace_level
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run a built-in benchmark circuit")
     Term.(
       const run $ name_arg $ seed_arg $ moves_arg $ runs_arg $ jobs_arg $ early_stop_arg
-      $ no_verify_arg $ netlist_arg)
+      $ no_verify_arg $ netlist_arg $ trace_arg $ trace_level_arg)
+
+(* Problem source for replay: a built-in benchmark name or a file path. *)
+let problem_source name =
+  match Suite.Ckts.find name with
+  | Some e -> Ok e.Suite.Ckts.source
+  | None -> if Sys.file_exists name then Ok (read_file name) else Error (Printf.sprintf "replay: %S is neither a built-in benchmark nor a file" name)
+
+let replay_cmd =
+  let problem_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROBLEM" ~doc:"Built-in benchmark name or problem file")
+  in
+  let trace_file_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE" ~doc:"JSONL trace file")
+  in
+  let tol_arg =
+    Arg.(
+      value
+      & opt float 1e-6
+      & info [ "tol" ] ~doc:"Relative cost tolerance for a replayed state to count as matching")
+  in
+  let run name trace_file tol =
+    match problem_source name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src -> begin
+        match Core.Compile.compile_source src with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok p -> begin
+            match Obs.Replay.read_file trace_file with
+            | Error e ->
+                Printf.eprintf "replay: cannot read %s: %s\n" trace_file e;
+                1
+            | Ok events -> begin
+                match Core.Oblx.replay ~tol p events with
+                | Ok stats ->
+                    Printf.printf
+                      "replay OK: %d events, %d restart(s), %d accepted states re-evaluated, \
+                       max rel err %.3g\n"
+                      stats.Obs.Replay.rs_events stats.rs_restarts stats.rs_checked
+                      stats.rs_max_rel_err;
+                    if stats.rs_checked = 0 then begin
+                      Printf.eprintf
+                        "replay: trace has no replayable states — record with --trace-level \
+                         moves\n";
+                      1
+                    end
+                    else 0
+                | Error (mismatches, stats) ->
+                    Printf.eprintf "replay FAILED: %d of %d re-evaluations mismatch\n"
+                      (List.length mismatches) stats.Obs.Replay.rs_checked;
+                    List.iteri
+                      (fun i m ->
+                        if i < 10 then
+                          Format.eprintf "  %a@." Obs.Replay.pp_mismatch m)
+                      mismatches;
+                    1
+              end
+          end
+      end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-evaluate every accepted state of a recorded trace against the compiled cost \
+          function (deterministic-replay regression check)")
+    Term.(const run $ problem_arg $ trace_file_arg $ tol_arg)
 
 let corners_cmd =
   let run file seed moves =
@@ -223,4 +345,5 @@ let () =
   let info = Cmd.info "astrx" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ compile_cmd; synth_cmd; bench_cmd; corners_cmd; sens_cmd; list_cmd ]))
+       (Cmd.group info
+          [ compile_cmd; synth_cmd; bench_cmd; replay_cmd; corners_cmd; sens_cmd; list_cmd ]))

@@ -1,10 +1,13 @@
 (* Run the full benchmark suite and print a summary — a lighter-weight
    sibling of bench/main.exe for interactive use:
 
-   suite_runner [seed [moves [runs [jobs]]]]
+   suite_runner [seed [moves [runs [jobs [trace-file [trace-level]]]]]]
 
    With runs > 1 each circuit is synthesized by the domain-parallel
-   multi-start engine (Oblx.best_of) and the winning run is reported. *)
+   multi-start engine (Oblx.best_of) and the winning run is reported.
+   With a trace file, every circuit's annealing telemetry is appended to
+   the same JSONL stream (docs/OBSERVABILITY.md); trace-level is one of
+   summary|stage|moves (default stage). *)
 
 let () =
   let arg k = if Array.length Sys.argv > k then Some (int_of_string Sys.argv.(k)) else None in
@@ -12,6 +15,21 @@ let () =
   let moves = arg 2 in
   let runs = Option.value (arg 3) ~default:1 in
   let jobs = arg 4 in
+  let obs =
+    if Array.length Sys.argv > 5 then begin
+      let level =
+        if Array.length Sys.argv > 6 then
+          match Obs.Event.level_of_string Sys.argv.(6) with
+          | Ok l -> l
+          | Error e ->
+              prerr_endline e;
+              exit 2
+        else Obs.Event.Stage
+      in
+      Obs.Trace.make ~level [ Obs.Sink.jsonl_file Sys.argv.(5) ]
+    end
+    else Obs.Trace.none
+  in
   Printf.printf "%-22s %8s %8s %10s %8s %s\n" "circuit" "cost" "evals" "ms/eval" "time" "unmet";
   List.iter
     (fun (e : Suite.Ckts.entry) ->
@@ -19,7 +37,7 @@ let () =
         match Core.Compile.compile_source e.source with
         | Error msg -> Printf.printf "%-22s COMPILE FAIL: %s\n%!" e.name msg
         | Ok p ->
-            let r, all = Core.Oblx.best_of ~seed ?moves ?jobs ~runs p in
+            let r, all = Core.Oblx.best_of ~seed ?moves ?jobs ~obs ~runs p in
             let unmet =
               List.filter_map
                 (fun (s : Core.Problem.spec) ->
@@ -39,4 +57,5 @@ let () =
             Printf.printf "%-22s %8.3g %8d %10.2f %7.1fs %s\n%!" e.name r.best_cost r.evals
               r.eval_time_ms wall (String.concat "," unmet)
       end)
-    Suite.Ckts.all
+    Suite.Ckts.all;
+  Obs.Trace.close obs

@@ -52,7 +52,7 @@ let probe_t0 problem state rng =
     Float.max 1e-9 (avg /. -.Float.log 0.9)
   end
 
-let run ~rng ~total_moves ~init problem =
+let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
   let hustin = Hustin.create ~classes:problem.classes in
   let t0 = probe_t0 problem init rng in
   let lam = Lam.create ~total_moves ~t0 in
@@ -65,12 +65,28 @@ let run ~rng ~total_moves ~init problem =
   let froze = ref false in
   let aborted = ref false in
   let stage_len = Int.max 50 (total_moves / 200) in
+  (* Telemetry is emitted after the move counter advances, so an event's
+     [moves] field is the 1-based index of the decided move. Snapshotting
+     the state (for replay) happens only at the [Moves] level and only on
+     accepts, so tracing at coarser levels costs nothing per move. *)
+  let trace_moves = Obs.Trace.enabled trace Obs.Event.Moves in
+  let emit_move ~temperature ~decision ~cls ~delta_cost ~cost ~state =
+    Obs.Trace.emit trace ~moves:!moves ~temperature
+      ~acceptance:(Lam.measured_ratio lam)
+      (Obs.Event.Move
+         { cls; class_name = problem.classes.(cls); decision; delta_cost; cost; state })
+  in
   let rec loop () =
     if Lam.finished lam || !froze || !aborted then ()
     else begin
       let k = Hustin.pick hustin rng in
       (match problem.propose init k rng with
-      | None -> Hustin.record hustin k ~accepted:false ~delta_cost:0.0
+      | None ->
+          Hustin.record hustin k ~accepted:false ~delta_cost:0.0;
+          incr moves;
+          if trace_moves then
+            emit_move ~temperature:(Lam.temperature lam) ~decision:Obs.Event.Inapplicable
+              ~cls:k ~delta_cost:0.0 ~cost:!cur_cost ~state:None
       | Some undo ->
           let c1 = problem.cost init in
           let dc = c1 -. !cur_cost in
@@ -87,10 +103,16 @@ let run ~rng ~total_moves ~init problem =
           else undo ();
           Lam.record lam ~accepted:take;
           Hustin.record hustin k ~accepted:take ~delta_cost:dc;
-          match problem.on_result with
+          incr moves;
+          if trace_moves then begin
+            let decision = if take then Obs.Event.Accepted else Obs.Event.Rejected in
+            let state = if take then Option.map (fun v -> v init) view else None in
+            (* [t] is the temperature the Metropolis decision used. *)
+            emit_move ~temperature:t ~decision ~cls:k ~delta_cost:dc ~cost:!cur_cost ~state
+          end;
+          (match problem.on_result with
           | Some f -> f k ~accepted:take
-          | None -> ());
-      incr moves;
+          | None -> ()));
       if !moves mod stage_len = 0 then begin
         incr stage;
         let info =
@@ -103,6 +125,15 @@ let run ~rng ~total_moves ~init problem =
             best_cost = !best_cost;
           }
         in
+        Obs.Trace.emit trace ~moves:!moves ~temperature:info.temperature
+          ~acceptance:info.acceptance
+          (Obs.Event.Stage
+             {
+               stage = !stage;
+               current_cost = !cur_cost;
+               best_cost = !best_cost;
+               probs = Hustin.probabilities hustin;
+             });
         (match problem.on_stage with
         | Some hook ->
             hook init info;

@@ -51,6 +51,23 @@ type 'state outcome = {
   aborted : bool;  (** stopped by the [abort] hook rather than the schedule *)
 }
 
-(** [run ~rng ~total_moves ~init problem] anneals. [init] is mutated (it
-    becomes the final state); the best state seen is returned separately. *)
-val run : rng:Rng.t -> total_moves:int -> init:'state -> 'state problem -> 'state outcome
+(** [run ?trace ?view ~rng ~total_moves ~init problem] anneals. [init] is
+    mutated (it becomes the final state); the best state seen is returned
+    separately.
+
+    [trace] (default {!Obs.Trace.none}) receives structured telemetry:
+    one [Move] event per decided move (at level [Moves]) and one [Stage]
+    event per stage with the Hustin class probabilities (at level
+    [Stage]). [view] projects the problem state to the (values, grid)
+    pair recorded on accepted moves — install it to make traces
+    replayable with {!Obs.Replay}; without it accepted moves carry no
+    state. Tracing never draws from [rng], so it cannot perturb the
+    annealing trajectory. *)
+val run :
+  ?trace:Obs.Trace.t ->
+  ?view:('state -> float array * int array) ->
+  rng:Rng.t ->
+  total_moves:int ->
+  init:'state ->
+  'state problem ->
+  'state outcome

@@ -15,6 +15,7 @@ type result = {
   accepted : int;
   froze_early : bool;
   cut_short : bool;
+  cut_reason : string option;
   evals : int;
   eval_time_ms : float;
   run_time_s : float;
@@ -23,7 +24,7 @@ type result = {
 
 type control = {
   publish : float -> unit;
-  cutoff : progress:float -> best:float -> bool;
+  cutoff : progress:float -> best:float -> string option;
 }
 
 let kcl_stats (bp : Eval.bias_point) =
@@ -35,7 +36,7 @@ let kcl_stats (bp : Eval.bias_point) =
     bp.Eval.residuals;
   (!rel, !abs_)
 
-let synthesize ?(seed = 1) ?rng ?moves ?control (p : Problem.t) =
+let synthesize ?(seed = 1) ?rng ?moves ?control ?(obs = Obs.Trace.none) (p : Problem.t) =
   let n_vars = State.n_vars p.Problem.state0 in
   let total_moves =
     match moves with Some m -> m | None -> Int.min 150_000 (Int.max 8_000 (2000 * n_vars))
@@ -52,15 +53,32 @@ let synthesize ?(seed = 1) ?rng ?moves ?control (p : Problem.t) =
     incr evals;
     if Float.is_finite c then c else 1e12
   in
+  Obs.Trace.emit obs ~moves:0 ~temperature:0.0 ~acceptance:1.0
+    (Obs.Event.Restart { total_moves; classes = Moves.classes });
   let trace = ref [] in
   let last_discrete = ref [||] in
   let stable_stages = ref 0 in
   let on_stage st (info : Anneal.Annealer.stage_info) =
     (* Adaptive weights from the unweighted group penalties. *)
     let m = Eval.measure p st in
-    let _, perf, dev, dc = Eval.raw_terms p st m in
+    let obj, perf, dev, dc = Eval.raw_terms p st m in
     let progress = float_of_int info.moves_done /. float_of_int total_moves in
     Weights.update weights ~progress ~perf ~dev ~dc;
+    (* The weights are part of the cost function, so replay tracks these
+       events to re-evaluate later accepted states; eq. (2) term breakdown
+       rides along for explainability. *)
+    Obs.Trace.emit obs ~moves:info.moves_done ~temperature:info.temperature
+      ~acceptance:info.acceptance
+      (Obs.Event.Weight_update
+         {
+           w_perf = weights.Weights.w_perf;
+           w_dev = weights.Weights.w_dev;
+           w_dc = weights.Weights.w_dc;
+           c_obj = obj;
+           c_perf = perf;
+           c_dev = dev;
+           c_dc = dc;
+         });
     let rel, abs_ = kcl_stats m.Eval.bias in
     trace :=
       {
@@ -79,12 +97,20 @@ let synthesize ?(seed = 1) ?rng ?moves ?control (p : Problem.t) =
     last_discrete := disc
   in
   let frozen _st = !stable_stages >= 8 && Moves.ranges_converged ctx in
+  (* The cutoff's verdict is kept, not just its boolean: an aborted restart
+     must still account for why it stopped in its own result and in the
+     trace's [Done] event, instead of the reason dying inside the poll. *)
+  let cut_reason = ref None in
   let abort =
     Option.map
       (fun c (info : Anneal.Annealer.stage_info) ->
         c.publish info.best_cost;
         let progress = float_of_int info.moves_done /. float_of_int total_moves in
-        c.cutoff ~progress ~best:info.best_cost)
+        match c.cutoff ~progress ~best:info.best_cost with
+        | Some reason ->
+            if !cut_reason = None then cut_reason := Some reason;
+            true
+        | None -> false)
       control
   in
   let problem =
@@ -101,7 +127,8 @@ let synthesize ?(seed = 1) ?rng ?moves ?control (p : Problem.t) =
   in
   let t_start = Unix.gettimeofday () in
   let init = State.snapshot p.Problem.state0 in
-  let outcome = Anneal.Annealer.run ~rng ~total_moves ~init problem in
+  let view (st : State.t) = (Array.copy st.State.values, Array.copy st.State.grid_index) in
+  let outcome = Anneal.Annealer.run ~trace:obs ~view ~rng ~total_moves ~init problem in
   (* Final polish: drive the relaxed-dc residuals to zero with full NR so
      the winning design is dc-correct like a simulated circuit. *)
   let best = outcome.Anneal.Annealer.best in
@@ -126,6 +153,22 @@ let synthesize ?(seed = 1) ?rng ?moves ?control (p : Problem.t) =
    end);
   let run_time_s = Unix.gettimeofday () -. t_start in
   let m = Eval.measure p best in
+  Obs.Trace.emit obs ~moves:outcome.Anneal.Annealer.moves ~temperature:0.0
+    ~acceptance:
+      (if outcome.Anneal.Annealer.moves > 0 then
+         float_of_int outcome.Anneal.Annealer.accepted
+         /. float_of_int outcome.Anneal.Annealer.moves
+       else 0.0)
+    (Obs.Event.Done
+       {
+         best_cost = outcome.Anneal.Annealer.best_cost;
+         final_cost = outcome.Anneal.Annealer.final_cost;
+         accepted = outcome.Anneal.Annealer.accepted;
+         stages = outcome.Anneal.Annealer.stages;
+         froze_early = outcome.Anneal.Annealer.froze_early;
+         aborted = outcome.Anneal.Annealer.aborted;
+         abort_reason = !cut_reason;
+       });
   {
     final = best;
     predicted = m.Eval.spec_values;
@@ -134,6 +177,7 @@ let synthesize ?(seed = 1) ?rng ?moves ?control (p : Problem.t) =
     accepted = outcome.Anneal.Annealer.accepted;
     froze_early = outcome.Anneal.Annealer.froze_early;
     cut_short = outcome.Anneal.Annealer.aborted;
+    cut_reason = !cut_reason;
     evals = !evals;
     eval_time_ms = (if !evals > 0 then 1000.0 *. !eval_clock /. float_of_int !evals else 0.0);
     run_time_s;
@@ -154,7 +198,8 @@ let default_jobs () = Int.max 1 (Domain.recommended_domain_count () - 1)
    always allowed to finish, so early stopping rarely changes the winner. *)
 let early_stop_slack best = Float.max 1.0 (0.25 *. Float.abs best)
 
-let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ~runs (p : Problem.t) =
+let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(obs = Obs.Trace.none) ~runs
+    (p : Problem.t) =
   if runs < 1 then invalid_arg "Oblx.best_of: runs must be >= 1";
   let jobs = Int.min runs (match jobs with Some j -> Int.max 1 j | None -> default_jobs ()) in
   (* Restart k always anneals with the k-th split of the root generator, so
@@ -178,7 +223,14 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ~runs (p : Problem.t)
           publish;
           cutoff =
             (fun ~progress ~best ->
-              progress > 0.5 && best > Atomic.get global_best +. early_stop_slack best);
+              let global = Atomic.get global_best in
+              if progress > 0.5 && best > global +. early_stop_slack best then
+                Some
+                  (Printf.sprintf
+                     "early-stop: best %.6g trails global best %.6g beyond slack %.3g at \
+                      progress %.2f"
+                     best global (early_stop_slack best) progress)
+              else None);
         }
   in
   let results : result option array = Array.make runs None in
@@ -189,7 +241,9 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ~runs (p : Problem.t)
     let rec take () =
       let k = Atomic.fetch_and_add next 1 in
       if k < runs then begin
-        let r = synthesize ~rng:streams.(k) ?moves ?control p in
+        (* Restart-tagged events let the shared sinks demultiplex the
+           interleaved streams of concurrent domains. *)
+        let r = synthesize ~rng:streams.(k) ?moves ?control ~obs:(Obs.Trace.with_restart obs k) p in
         publish r.best_cost;
         results.(k) <- Some r;
         take ()
@@ -211,3 +265,24 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ~runs (p : Problem.t)
       None results
   in
   (Option.get best, results)
+
+(* ------------------------------------------------------------------ *)
+(* Trace replay                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cost (p : Problem.t) : Obs.Replay.cost_fn =
+ fun ~w_perf ~w_dev ~w_dc ~values ~grid ->
+  (* Rebuild a state over the problem's variable metadata from the recorded
+     design point, and a weights record from the tracked trajectory; the
+     non-finite clamp matches [synthesize]'s cost wrapper exactly. *)
+  let n = State.n_vars p.Problem.state0 in
+  if Array.length values <> n || Array.length grid <> n then
+    invalid_arg
+      (Printf.sprintf "Oblx.replay_cost: recorded state has %d variables, problem has %d"
+         (Array.length values) n);
+  let st = { State.info = p.Problem.state0.State.info; values; grid_index = grid } in
+  let w = { Weights.w_perf; w_dev; w_dc } in
+  let c = Eval.cost_scalar p w st in
+  if Float.is_finite c then c else 1e12
+
+let replay ?tol (p : Problem.t) events = Obs.Replay.check ~cost:(replay_cost p) ?tol events

@@ -20,6 +20,10 @@ type result = {
   accepted : int;
   froze_early : bool;
   cut_short : bool;  (** abandoned early by multi-start early stopping *)
+  cut_reason : string option;
+      (** why the run was cut short — the cutoff's verdict, preserved
+          rather than collapsed into the boolean; [None] unless
+          [cut_short] *)
   evals : int;  (** cost-function evaluations performed *)
   eval_time_ms : float;  (** mean wall time per evaluation *)
   run_time_s : float;
@@ -29,18 +33,34 @@ type result = {
 (** Hooks a multi-start scheduler threads into a run. [publish] is called
     once per annealing stage with the run's best cost so far; [cutoff]
     decides, given the run's progress in [0,1] and its best cost, whether
-    the run should cut its losses and stop. *)
+    the run should cut its losses and stop — [Some reason] aborts and the
+    reason is preserved in [result.cut_reason] and the trace's [Done]
+    event. *)
 type control = {
   publish : float -> unit;
-  cutoff : progress:float -> best:float -> bool;
+  cutoff : progress:float -> best:float -> string option;
 }
 
-(** [synthesize ?seed ?rng ?moves ?control p] runs one annealing run.
+(** [synthesize ?seed ?rng ?moves ?control ?obs p] runs one annealing run.
     [moves] defaults to [2000 * n_vars] clamped to a practical budget.
     [rng] (a stream from {!Anneal.Rng.split}) overrides [seed]; [control]
-    connects the run to a parallel multi-start scheduler. *)
+    connects the run to a parallel multi-start scheduler.
+
+    [obs] (default {!Obs.Trace.none}) receives the structured telemetry of
+    docs/OBSERVABILITY.md: a [Restart] event, the annealer's [Move]/[Stage]
+    stream (accepted moves carry the design point, making the trace
+    replayable), a [Weight_update] per stage with the eq. (2) cost
+    breakdown, and a final [Done] with the abort reason if any. Emission
+    never touches the RNG, so a traced run is bit-identical to an untraced
+    one. *)
 val synthesize :
-  ?seed:int -> ?rng:Anneal.Rng.t -> ?moves:int -> ?control:control -> Problem.t -> result
+  ?seed:int ->
+  ?rng:Anneal.Rng.t ->
+  ?moves:int ->
+  ?control:control ->
+  ?obs:Obs.Trace.t ->
+  Problem.t ->
+  result
 
 (** Default worker count for {!best_of}:
     [Domain.recommended_domain_count () - 1], at least 1 — keep one core
@@ -60,12 +80,34 @@ val default_jobs : unit -> int
     shared atomic and a laggard past half its move budget gives up once it
     trails the global best by a wide margin; this trades the determinism
     guarantee for wall-clock (the winner is still the best completed run,
-    but laggards report [cut_short] and spend fewer evaluations). *)
+    but laggards report [cut_short], with the reason in [cut_reason], and
+    spend fewer evaluations).
+
+    [obs] is shared by every restart: run [k] emits into
+    [Obs.Trace.with_restart obs k], so one JSONL file (the sinks are
+    mutex-serialized) captures all runs and can be demultiplexed — or
+    replayed — per restart afterwards. *)
 val best_of :
   ?seed:int ->
   ?moves:int ->
   ?jobs:int ->
   ?early_stop:bool ->
+  ?obs:Obs.Trace.t ->
   runs:int ->
   Problem.t ->
   result * result list
+
+(** [replay_cost p] re-evaluates a recorded design point under recorded
+    adaptive weights with [p]'s compiled cost function, applying the same
+    non-finite clamp as {!synthesize}. Raises [Invalid_argument] when the
+    recorded state's arity does not match [p]. *)
+val replay_cost : Problem.t -> Obs.Replay.cost_fn
+
+(** [replay ?tol p events] runs {!Obs.Replay.check} against [p]'s compiled
+    cost function: every accepted state in the trace must re-evaluate to
+    its recorded cost within [tol]. *)
+val replay :
+  ?tol:float ->
+  Problem.t ->
+  Obs.Event.t list ->
+  (Obs.Replay.stats, Obs.Replay.mismatch list * Obs.Replay.stats) Stdlib.result

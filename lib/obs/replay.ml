@@ -1,0 +1,114 @@
+type cost_fn =
+  w_perf:float -> w_dev:float -> w_dc:float -> values:float array -> grid:int array -> float
+
+type mismatch = {
+  mm_restart : int;
+  mm_moves : int;
+  mm_recorded : float;
+  mm_recomputed : float;
+  mm_rel_err : float;
+}
+
+type stats = {
+  rs_events : int;
+  rs_restarts : int;
+  rs_checked : int;
+  rs_max_rel_err : float;
+}
+
+(* The weights in force for one restart. Initial values mirror
+   [Weights.create]: every group starts at 1. *)
+type weight_state = { mutable w_perf : float; mutable w_dev : float; mutable w_dc : float }
+
+let check ~cost ?(tol = 1e-6) events =
+  let weights : (int, weight_state) Hashtbl.t = Hashtbl.create 8 in
+  let weights_for restart =
+    match Hashtbl.find_opt weights restart with
+    | Some w -> w
+    | None ->
+        let w = { w_perf = 1.0; w_dev = 1.0; w_dc = 1.0 } in
+        Hashtbl.add weights restart w;
+        w
+  in
+  let restarts = Hashtbl.create 8 in
+  let checked = ref 0 in
+  let max_err = ref 0.0 in
+  let mismatches = ref [] in
+  let n_events = ref 0 in
+  List.iter
+    (fun (ev : Event.t) ->
+      incr n_events;
+      Hashtbl.replace restarts ev.Event.restart ();
+      match ev.Event.body with
+      | Event.Weight_update { w_perf; w_dev; w_dc; _ } ->
+          let w = weights_for ev.restart in
+          w.w_perf <- w_perf;
+          w.w_dev <- w_dev;
+          w.w_dc <- w_dc
+      | Event.Move { decision = Event.Accepted; cost = recorded; state = Some (values, grid); _ }
+        ->
+          let w = weights_for ev.restart in
+          let recomputed =
+            cost ~w_perf:w.w_perf ~w_dev:w.w_dev ~w_dc:w.w_dc ~values ~grid
+          in
+          let rel =
+            Float.abs (recorded -. recomputed)
+            /. Float.max 1.0 (Float.max (Float.abs recorded) (Float.abs recomputed))
+          in
+          incr checked;
+          max_err := Float.max !max_err rel;
+          if not (rel <= tol) then
+            mismatches :=
+              {
+                mm_restart = ev.restart;
+                mm_moves = ev.moves;
+                mm_recorded = recorded;
+                mm_recomputed = recomputed;
+                mm_rel_err = rel;
+              }
+              :: !mismatches
+      | Event.Move _ | Event.Restart _ | Event.Stage _ | Event.Done _ -> ())
+    events;
+  let stats =
+    {
+      rs_events = !n_events;
+      rs_restarts = Hashtbl.length restarts;
+      rs_checked = !checked;
+      rs_max_rel_err = !max_err;
+    }
+  in
+  match List.rev !mismatches with [] -> Ok stats | ms -> Error (ms, stats)
+
+let pp_mismatch fmt m =
+  Format.fprintf fmt "restart %d move %d: recorded cost %.17g, replay computed %.17g (rel err %.3g)"
+    m.mm_restart m.mm_moves m.mm_recorded m.mm_recomputed m.mm_rel_err
+
+let read_lines lines =
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (n + 1) acc rest
+        else begin
+          match Json.of_string line with
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+          | Ok j -> begin
+              match Event.of_json j with
+              | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+              | Ok ev -> go (n + 1) (ev :: acc) rest
+            end
+        end
+  in
+  go 1 [] lines
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let rec slurp acc =
+        match input_line ic with
+        | line -> slurp (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let lines = slurp [] in
+      close_in ic;
+      read_lines lines

@@ -1,0 +1,53 @@
+(** Deterministic trace replay: re-evaluate every accepted state recorded
+    in a trace against the (caller-supplied) compiled cost function and
+    fail on any mismatch beyond tolerance.
+
+    This turns each recorded run into a regression test of the cost
+    function and of the annealer's bookkeeping: if the binary that replays
+    the trace computes a different cost for a recorded design point than
+    the binary that produced it, either the evaluator changed behaviour or
+    the trace was corrupted. Because events are restart-tagged, a single
+    interleaved trace from a domain-parallel [best_of] replays exactly like
+    per-run traces — the [--jobs] invariance of docs/PARALLEL.md becomes a
+    checkable property.
+
+    The adaptive penalty weights are part of the cost function, so the
+    checker tracks [Weight_update] events per restart and hands the weights
+    in force at each accepted move to the cost callback. *)
+
+type cost_fn =
+  w_perf:float -> w_dev:float -> w_dc:float -> values:float array -> grid:int array -> float
+
+type mismatch = {
+  mm_restart : int;
+  mm_moves : int;  (** move counter of the offending event *)
+  mm_recorded : float;
+  mm_recomputed : float;
+  mm_rel_err : float;
+}
+
+type stats = {
+  rs_events : int;
+  rs_restarts : int;  (** distinct restart indices seen *)
+  rs_checked : int;  (** accepted moves with a recorded state *)
+  rs_max_rel_err : float;
+}
+
+(** [check ~cost ?tol events] — [tol] is a relative tolerance (default
+    [1e-6]; replay within the producing build is exact, the slack covers
+    libm drift across machines). [Ok stats] when every recorded state
+    re-evaluates to its recorded cost; [Error (mismatches, stats)]
+    otherwise. A trace with no replayable event yields [Ok] with
+    [rs_checked = 0] — callers wanting proof of coverage should assert on
+    it. *)
+val check : cost:cost_fn -> ?tol:float -> Event.t list -> (stats, mismatch list * stats) result
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+(** [read_file path] loads a JSONL trace written by {!Sink.jsonl_file};
+    fails on the first malformed line (1-based line number in the
+    message). *)
+val read_file : string -> (Event.t list, string) result
+
+(** [read_lines lines] — same decoder over in-memory lines. *)
+val read_lines : string list -> (Event.t list, string) result

@@ -1,0 +1,72 @@
+(** Pluggable telemetry sinks. A sink consumes {!Event.t} values; all
+    built-in sinks are safe to share between domains (a mutex serializes
+    [emit]), which is what lets a single trace file collect the
+    restart-tagged events of a domain-parallel {!Core.Oblx.best_of}. *)
+
+type t = {
+  emit : Event.t -> unit;
+  close : unit -> unit;  (** flush and release resources; idempotent *)
+}
+
+val null : t
+
+(** [tee sinks] fans every event out to each of [sinks]. *)
+val tee : t list -> t
+
+(** [jsonl_channel oc] writes one JSON object per line. [close] flushes but
+    leaves the channel open (the caller owns it). *)
+val jsonl_channel : out_channel -> t
+
+(** [jsonl_file path] — like {!jsonl_channel} over a fresh file; [close]
+    closes it. *)
+val jsonl_file : string -> t
+
+(** Bounded in-memory ring buffer: keeps the most recent [capacity]
+    events. *)
+module Ring : sig
+  type ring
+
+  val create : capacity:int -> ring
+  val sink : ring -> t
+  val length : ring -> int
+  val dropped : ring -> int  (** events evicted since creation *)
+
+  val contents : ring -> Event.t list  (** oldest first *)
+end
+
+(** Streaming summary statistics, computed without retaining events. *)
+module Summary : sig
+  type summary
+
+  type stage_row = {
+    sr_restart : int;
+    sr_stage : int;
+    sr_moves : int;
+    sr_temperature : float;
+    sr_acceptance : float;
+    sr_cost : float;
+    sr_best : float;
+  }
+
+  type class_row = {
+    cr_name : string;
+    cr_attempts : int;
+    cr_accepted : int;
+    cr_inapplicable : int;
+  }
+
+  type stats = {
+    events : int;
+    restarts : int;
+    moves : int;  (** decided moves across all restarts *)
+    accepted : int;
+    best_cost : float;  (** lowest [Done.best_cost] seen, else [infinity] *)
+    stage_rows : stage_row list;  (** in emission order *)
+    class_rows : class_row list;  (** move-class mix, by class name *)
+    aborts : (int * string) list;  (** (restart, reason) for cut-short runs *)
+  }
+
+  val create : unit -> summary
+  val sink : summary -> t
+  val stats : summary -> stats
+end

@@ -1,0 +1,31 @@
+(* Regenerate the committed golden trace used by test_obs.ml:
+
+     dune exec test/gen_golden.exe -- test/golden/simple_ota.jsonl
+
+   The parameters here (circuit, seed, move budget, trace level) are the
+   contract with the golden test — change them in both places or the diff
+   will flag every event. A small budget keeps the committed file small
+   while still exercising every event kind. *)
+
+let circuit = "simple-ota"
+let seed = 11
+let moves = 600
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden/simple_ota.jsonl" in
+  let e =
+    match Suite.Ckts.find circuit with
+    | Some e -> e
+    | None -> failwith ("unknown circuit " ^ circuit)
+  in
+  let p =
+    match Core.Compile.compile_source e.Suite.Ckts.source with
+    | Ok p -> p
+    | Error msg -> failwith msg
+  in
+  let sink = Obs.Sink.jsonl_file path in
+  let obs = Obs.Trace.make ~level:Obs.Event.Moves [ sink ] in
+  let r = Core.Oblx.synthesize ~seed ~moves ~obs p in
+  Obs.Trace.close obs;
+  Printf.printf "wrote %s (best cost %.17g, %d moves, %d accepted)\n" path r.Core.Oblx.best_cost
+    r.moves r.accepted

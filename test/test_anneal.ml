@@ -167,6 +167,52 @@ let test_hustin_pick_follows_probs () =
   done;
   Alcotest.(check bool) "mostly class a" true (counts.(0) > 1700)
 
+let prop_hustin_probs_normalized =
+  (* Under arbitrary record sequences — including ones that cross the
+     periodic decay boundary — the selection distribution stays a proper
+     distribution with every class at or above the floor probability. *)
+  QCheck.Test.make ~name:"hustin probabilities stay normalized" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rng 5 in
+      let h = Anneal.Hustin.create ~classes:(Array.init n (Printf.sprintf "c%d")) in
+      let ok = ref true in
+      for i = 1 to 5000 do
+        Anneal.Hustin.record h (Random.State.int rng n)
+          ~accepted:(Random.State.bool rng)
+          ~delta_cost:(Random.State.float rng 20.0 -. 10.0);
+        if i mod 250 = 0 then begin
+          let probs = Anneal.Hustin.probabilities h in
+          let sum = Array.fold_left ( +. ) 0.0 probs in
+          if Float.abs (sum -. 1.0) > 1e-9 then ok := false;
+          Array.iter (fun p -> if p < 0.02 -. 1e-12 then ok := false) probs
+        end
+      done;
+      !ok)
+
+let test_hustin_starved_class_recovers () =
+  (* The floor probability exists so a class that stops paying can still be
+     sampled and — via the periodic statistic decay — win back its share
+     once it becomes productive. *)
+  let h = Anneal.Hustin.create ~classes:[| "a"; "b"; "c" |] in
+  for _ = 1 to 600 do
+    Anneal.Hustin.record h 0 ~accepted:true ~delta_cost:10.0;
+    Anneal.Hustin.record h 1 ~accepted:false ~delta_cost:0.0
+  done;
+  let probs = Anneal.Hustin.probabilities h in
+  Alcotest.(check bool) "a dominates first" true (probs.(0) > 0.7);
+  Alcotest.(check bool) "b starved to the floor" true (probs.(1) < 0.1);
+  (* Phase change: a stops paying, b produces all the gain. *)
+  for _ = 1 to 6000 do
+    Anneal.Hustin.record h 0 ~accepted:false ~delta_cost:0.0;
+    Anneal.Hustin.record h 1 ~accepted:true ~delta_cost:10.0
+  done;
+  let probs = Anneal.Hustin.probabilities h in
+  Alcotest.(check bool) "b recovered dominance" true (probs.(1) > 0.5);
+  Alcotest.(check bool) "b beats a" true (probs.(1) > probs.(0));
+  Alcotest.(check (float 1e-9)) "still sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 probs)
+
 (* --- Range limiter --- *)
 
 let test_range_adaptation () =
@@ -374,6 +420,8 @@ let () =
         [
           Alcotest.test_case "distribution" `Quick test_hustin_distribution;
           Alcotest.test_case "pick follows probs" `Quick test_hustin_pick_follows_probs;
+          QCheck_alcotest.to_alcotest prop_hustin_probs_normalized;
+          Alcotest.test_case "starved class recovers" `Quick test_hustin_starved_class_recovers;
         ] );
       ("range", [ Alcotest.test_case "adaptation" `Quick test_range_adaptation ]);
       ( "annealer",

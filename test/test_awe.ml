@@ -28,6 +28,91 @@ let test_moments_rc () =
       Alcotest.failf "m%d = %.17g, expected %.17g" k m.(k) expect
   done
 
+let prop_moments_random_single_rc =
+  (* Random single-section RC: m_k = (-RC)^k exactly, and the dominant pole
+     sits at 1/(2 pi RC). *)
+  QCheck.Test.make ~name:"random RC section matches closed form" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let r = 10.0 ** QCheck.Gen.float_range 2.0 4.5 rng in
+      let c = 10.0 ** QCheck.Gen.float_range (-12.5) (-9.5) rng in
+      let lin, b, sel =
+        lin_of (Printf.sprintf "vin in 0 0 ac 1\nr1 in out %.17g\nc1 out 0 %.17g\n" r c) "out"
+      in
+      let rc = r *. c in
+      let m = Awe.Moments.compute lin ~b ~sel ~count:5 in
+      let moments_ok =
+        Array.for_all Fun.id
+          (Array.init 5 (fun k ->
+               let expect = (-.rc) ** float_of_int k in
+               Float.abs (m.(k) -. expect) <= 1e-6 *. Float.abs expect))
+      in
+      let pole_ok =
+        match Awe.Rom.build lin ~b ~sel with
+        | Error _ -> false
+        | Ok rom -> begin
+            match Awe.Rom.dominant_pole_hz rom with
+            | None -> false
+            | Some f ->
+                let expect = 1.0 /. (2.0 *. Float.pi *. rc) in
+                Float.abs (f -. expect) <= 1e-3 *. expect
+          end
+      in
+      moments_ok && pole_ok)
+
+let prop_moments_two_section_recurrence =
+  (* Random two-section RC ladder. The exact transfer function is
+     H(s) = 1 / (1 + b s + a s^2) with a = R1 C1 R2 C2 and
+     b = R1 C1 + R1 C2 + R2 C2, so the Maclaurin coefficients satisfy the
+     recurrence m0 = 1, m1 = -b, m_k = -b m_(k-1) - a m_(k-2); the poles
+     are the roots of a s^2 + b s + 1 (always real for an RC ladder). *)
+  QCheck.Test.make ~name:"two-section ladder matches moment recurrence and pole formula"
+    ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let pick lo hi = 10.0 ** QCheck.Gen.float_range lo hi rng in
+      let r1 = pick 2.0 4.5 and r2 = pick 2.0 4.5 in
+      let c1 = pick (-12.5) (-9.5) and c2 = pick (-12.5) (-9.5) in
+      let lin, b, sel =
+        lin_of
+          (Printf.sprintf
+             "vin n0 0 0 ac 1\nr1 n0 n1 %.17g\nc1 n1 0 %.17g\nr2 n1 n2 %.17g\nc2 n2 0 %.17g\n"
+             r1 c1 r2 c2)
+          "n2"
+      in
+      let a = r1 *. c1 *. r2 *. c2 in
+      let bb = (r1 *. c1) +. (r1 *. c2) +. (r2 *. c2) in
+      let count = 6 in
+      let expect = Array.make count 0.0 in
+      expect.(0) <- 1.0;
+      expect.(1) <- -.bb;
+      for k = 2 to count - 1 do
+        expect.(k) <- (-.bb *. expect.(k - 1)) -. (a *. expect.(k - 2))
+      done;
+      let m = Awe.Moments.compute lin ~b ~sel ~count in
+      let moments_ok =
+        Array.for_all Fun.id
+          (Array.init count (fun k ->
+               Float.abs (m.(k) -. expect.(k)) <= 1e-6 *. Float.abs expect.(k)))
+      in
+      let pole_ok =
+        (* Dominant (smaller-magnitude) root of a s^2 + b s + 1 = 0. *)
+        let disc = (bb *. bb) -. (4.0 *. a) in
+        let p_dom = ((-.bb) +. Float.sqrt disc) /. (2.0 *. a) in
+        match Awe.Rom.build lin ~b ~sel with
+        | Error _ -> false
+        | Ok rom -> begin
+            match Awe.Rom.dominant_pole_hz rom with
+            | None -> false
+            | Some f ->
+                let expect_hz = Float.abs p_dom /. (2.0 *. Float.pi) in
+                Float.abs (f -. expect_hz) <= 1e-3 *. expect_hz
+          end
+      in
+      moments_ok && pole_ok)
+
 let test_pade_single_pole () =
   let rc = 1e-6 in
   let moments = Array.init 6 (fun k -> (-.rc) ** float_of_int k) in
@@ -226,7 +311,11 @@ let () =
   Alcotest.run "awe"
     [
       ( "moments",
-        [ Alcotest.test_case "rc analytic" `Quick test_moments_rc ] );
+        [
+          Alcotest.test_case "rc analytic" `Quick test_moments_rc;
+          QCheck_alcotest.to_alcotest prop_moments_random_single_rc;
+          QCheck_alcotest.to_alcotest prop_moments_two_section_recurrence;
+        ] );
       ( "pade",
         [
           Alcotest.test_case "single pole" `Quick test_pade_single_pole;

@@ -184,6 +184,45 @@ let test_weights_ratchet () =
   done;
   Alcotest.(check bool) "capped" true (w.w_perf <= 1e4 +. 1.0)
 
+let test_weights_relax_when_satisfied () =
+  let w = Core.Weights.create () in
+  for _ = 1 to 60 do
+    Core.Weights.update w ~progress:0.8 ~perf:1.0 ~dev:1.0 ~dc:1.0
+  done;
+  let high = w.Core.Weights.w_perf in
+  Alcotest.(check bool) "grew under violation" true (high > 100.0);
+  (* Once the group is satisfied the weight relaxes multiplicatively. *)
+  let prev = ref high in
+  for _ = 1 to 200 do
+    Core.Weights.update w ~progress:0.8 ~perf:0.0 ~dev:0.0 ~dc:0.0;
+    Alcotest.(check bool) "monotone decay" true (w.Core.Weights.w_perf <= !prev +. 1e-12);
+    prev := w.Core.Weights.w_perf
+  done;
+  Alcotest.(check (float 1e-9)) "one relax step is x0.995" (high *. (0.995 ** 200.0))
+    w.Core.Weights.w_perf;
+  (* Decay clamps at w_min = 1, never below. *)
+  for _ = 1 to 100_000 do
+    Core.Weights.update w ~progress:0.8 ~perf:0.0 ~dev:0.0 ~dc:0.0
+  done;
+  Alcotest.(check (float 0.0)) "floor at 1" 1.0 w.Core.Weights.w_perf;
+  Alcotest.(check (float 0.0)) "dev floor at 1" 1.0 w.w_dev
+
+let test_weights_gain_accelerates_with_progress () =
+  (* The same violation pressure pushes harder near freeze-out than at the
+     start of the anneal. *)
+  let grow progress =
+    let w = Core.Weights.create () in
+    for _ = 1 to 20 do
+      Core.Weights.update w ~progress ~perf:1.0 ~dev:0.0 ~dc:0.0
+    done;
+    w.Core.Weights.w_perf
+  in
+  let early = grow 0.1 and mid = grow 0.5 and late = grow 0.9 in
+  Alcotest.(check bool) "early < mid" true (early < mid);
+  Alcotest.(check bool) "mid < late" true (mid < late);
+  Alcotest.(check (float 1e-9)) "early gain is 1.02^20" (1.02 ** 20.0) early;
+  Alcotest.(check (float 1e-9)) "late gain is 1.15^20" (1.15 ** 20.0) late
+
 let test_moves_undo_restores () =
   let p = compile_suite "simple-ota" in
   let ctx = Core.Moves.make p in
@@ -324,7 +363,12 @@ let () =
           Alcotest.test_case "cost decomposition" `Quick test_eval_cost_decomposition;
           Alcotest.test_case "area function" `Quick test_eval_area_function;
         ] );
-      ("weights", [ Alcotest.test_case "ratchet" `Quick test_weights_ratchet ]);
+      ( "weights",
+        [
+          Alcotest.test_case "ratchet" `Quick test_weights_ratchet;
+          Alcotest.test_case "relax when satisfied" `Quick test_weights_relax_when_satisfied;
+          Alcotest.test_case "gain accelerates" `Quick test_weights_gain_accelerates_with_progress;
+        ] );
       ( "oblx",
         [
           Alcotest.test_case "moves undo" `Quick test_moves_undo_restores;
