@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick trace-replay clean
+.PHONY: all build test bench bench-quick bench-serve trace-replay serve-smoke clean
 
 all: build
 
@@ -31,5 +31,18 @@ trace-replay:
 		--trace bench/results/trace-jobs4.jsonl
 	dune exec bin/astrx.exe -- replay simple-ota bench/results/trace-jobs4.jsonl
 
+# Small-budget run of the oblxd job-service bench (docs/SERVER.md); writes
+# bench/results/serve-latest.json with throughput, queue-wait percentiles,
+# cache hit rate, and the deadline/determinism checks.
+bench-serve:
+	dune exec bench/main.exe -- serve --moves 300
+
+# Boot the daemon, exercise submit/cache-hit/cancel/shutdown over the
+# socket (scripts/serve_smoke.sh; the CI serve-smoke job).
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 clean:
 	dune clean
+	rm -f oblxd.sock
+	rm -rf oblxd-state

@@ -633,10 +633,192 @@ let telemetry () =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Serve: oblxd job-service throughput and latency (JSON artifact)      *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(Int.min (n - 1) (int_of_float (Float.round (q *. float_of_int (n - 1)))))
+
+let jnum j k = match Obs.Json.mem_opt k j with Some (Obs.Json.Num v) -> Some v | _ -> None
+let jstr j k = match Obs.Json.mem_opt k j with Some (Obs.Json.Str s) -> Some s | _ -> None
+
+let serve () =
+  sep "SERVE -- oblxd job service: throughput, queue wait, cache, deadlines";
+  (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
+  (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
+  let socket = "bench/results/serve-bench.sock" in
+  let workers = Option.value !jobs ~default:(Core.Oblx.default_jobs ()) in
+  let s_moves = Option.value !moves ~default:800 in
+  let cfg =
+    {
+      Serve.Server.socket_path = socket;
+      pool =
+        { Serve.Pool.default_config with workers; queue_capacity = 256; state_dir = None };
+    }
+  in
+  (* The daemon runs in-process on its own domain; [ready] fires once the
+     socket is listening, so no sleep-and-retry connect dance. *)
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run
+          ~ready:(fun () ->
+            Mutex.lock ready_m;
+            ready := true;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          cfg)
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let fail msg =
+    (* Leave no daemon behind even when an assertion trips. *)
+    ignore (Serve.Client.shutdown ~socket ());
+    Domain.join server;
+    failwith ("serve bench: " ^ msg)
+  in
+  let ok = function Ok v -> v | Error e -> fail e in
+  let source name = (Option.get (Suite.Ckts.find name)).Suite.Ckts.source in
+  let circuits = [ "simple-ota"; "ota" ] in
+  let n_jobs = Int.max 50 (25 * List.length circuits) in
+  Printf.printf "workers=%d moves/job=%d submissions=%d circuits=%s\n%!" workers s_moves
+    n_jobs (String.concat "," circuits);
+  let t0 = Unix.gettimeofday () in
+  (* A mixed batch: repeated topologies (cache hits), varying seeds and
+     priorities. The first job per circuit is the only compile miss. *)
+  let ids =
+    List.init n_jobs (fun i ->
+        let name = List.nth circuits (i mod List.length circuits) in
+        ok
+          (Serve.Client.submit ~socket
+             {
+               Serve.Proto.sb_name = name;
+               sb_source = source name;
+               sb_seed = base_seed + i;
+               sb_moves = Some s_moves;
+               sb_runs = 1;
+               sb_priority = i mod 3;
+               sb_deadline_s = None;
+               sb_trace = false;
+             }))
+  in
+  let jobs_done = List.map (fun id -> ok (Serve.Client.wait ~socket id)) ids in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun j ->
+      match jstr j "state" with
+      | Some "done" -> ()
+      | s -> fail (Printf.sprintf "job ended %s" (Option.value s ~default:"?")))
+    jobs_done;
+  let waits =
+    List.map (fun j -> Option.value (jnum j "wait_s") ~default:0.0) jobs_done
+    |> Array.of_list
+  in
+  Array.sort compare waits;
+  let throughput = float_of_int n_jobs /. wall in
+  Printf.printf "completed %d jobs in %.2f s -> %.2f jobs/s on %d worker(s)\n" n_jobs wall
+    throughput workers;
+  Printf.printf "queue wait: p50 %.3f s, p90 %.3f s, p99 %.3f s\n" (percentile waits 0.50)
+    (percentile waits 0.90) (percentile waits 0.99);
+  let stats = ok (Serve.Client.stats ~socket ()) in
+  let cache = Option.value (Obs.Json.mem_opt "cache" stats) ~default:(Obs.Json.Obj []) in
+  let hit_rate = Option.value (jnum cache "hit_rate") ~default:0.0 in
+  Printf.printf "compile cache: %.0f hits / %.0f misses (hit rate %.0f%%)\n"
+    (Option.value (jnum cache "hits") ~default:0.0)
+    (Option.value (jnum cache "misses") ~default:0.0)
+    (100.0 *. hit_rate);
+  if hit_rate <= 0.0 then fail "cache hit rate is 0 on repeated topologies";
+  (* Deadline demo: a job whose move budget cannot finish inside its latency
+     bound must come back cut with reason "deadline", within budget + poll
+     granularity (256 moves) + CI slack. *)
+  let deadline = 0.75 in
+  let d_id =
+    ok
+      (Serve.Client.submit ~socket
+         {
+           Serve.Proto.sb_name = "simple-ota";
+           sb_source = source "simple-ota";
+           sb_seed = base_seed;
+           sb_moves = Some 10_000_000;
+           sb_runs = 1;
+           sb_priority = 0;
+           sb_deadline_s = Some deadline;
+           sb_trace = false;
+         })
+  in
+  let d_job = ok (Serve.Client.wait ~socket d_id) in
+  let d_run = Option.value (jnum d_job "run_s") ~default:infinity in
+  let d_cut = jstr d_job "cut_reason" in
+  Printf.printf "deadline demo: %.2f s budget -> finished in %.2f s, cut_reason=%s\n" deadline
+    d_run
+    (Option.value d_cut ~default:"none");
+  if d_cut <> Some Core.Oblx.deadline_reason then fail "deadline job was not cut by deadline";
+  if d_run > deadline +. 3.0 then fail "deadline overrun beyond poll granularity + slack";
+  (* Determinism: the same (problem, seed, moves) through the service must
+     reproduce the CLI path bit-for-bit — the abort plumbing may not perturb
+     the trajectory of a run it never cuts. *)
+  let probe = List.hd jobs_done in
+  let served_cost = Option.get (jnum probe "best_cost") in
+  let p =
+    match Core.Compile.compile_source (source "simple-ota") with
+    | Ok p -> p
+    | Error e -> fail e
+  in
+  let local, _ = Core.Oblx.best_of ~seed:base_seed ~moves:s_moves ~jobs:1 ~runs:1 p in
+  Printf.printf "determinism: served best cost %.17g vs local %.17g -> %s\n" served_cost
+    local.Core.Oblx.best_cost
+    (if served_cost = local.Core.Oblx.best_cost then "bit-identical" else "MISMATCH");
+  if served_cost <> local.Core.Oblx.best_cost then
+    fail "served result differs from local best_of";
+  ok (Serve.Client.shutdown ~socket ());
+  Domain.join server;
+  let path = "bench/results/serve-latest.json" in
+  let num v = Obs.Json.Num v in
+  let int v = num (float_of_int v) in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "serve");
+        ("workers", int workers);
+        ("submissions", int n_jobs);
+        ("moves_per_job", int s_moves);
+        ("wall_s", num wall);
+        ("throughput_jobs_per_s", num throughput);
+        ( "queue_wait_s",
+          Obs.Json.Obj
+            [
+              ("p50", num (percentile waits 0.50));
+              ("p90", num (percentile waits 0.90));
+              ("p99", num (percentile waits 0.99));
+            ] );
+        ("cache_hit_rate", num hit_rate);
+        ( "deadline_demo",
+          Obs.Json.Obj
+            [
+              ("budget_s", num deadline);
+              ("run_s", num d_run);
+              ("cut_reason", Obs.Json.Str (Option.value d_cut ~default:"none"));
+            ] );
+        ("deterministic_vs_local", Obs.Json.Bool (served_cost = local.Core.Oblx.best_cost));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|telemetry|all]\n\
+     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|telemetry|serve|all]\n\
     \       [--runs N] [--moves N] [--jobs N]"
 
 let () =
@@ -669,6 +851,7 @@ let () =
     | "perf" -> perf ()
     | "perf-parallel" -> perf_parallel ()
     | "telemetry" -> telemetry ()
+    | "serve" -> serve ()
     | "all" ->
         table1 ();
         table2 ();
@@ -679,7 +862,8 @@ let () =
         ablation ();
         perf ();
         perf_parallel ();
-        telemetry ()
+        telemetry ();
+        serve ()
     | other ->
         Printf.printf "unknown experiment %S\n" other;
         usage ();

@@ -5,6 +5,9 @@
    astrx synth FILE            synthesize and report
    astrx bench NAME            run a built-in benchmark circuit
    astrx replay NAME TRACE     re-check a recorded trace against the cost fn
+   astrx submit PROBLEM        queue a job on a running oblxd daemon
+   astrx status|result|cancel ID / stats / shutdown
+                               talk to the daemon (docs/SERVER.md)
 *)
 
 let read_file path =
@@ -203,11 +206,17 @@ let bench_cmd =
       const run $ name_arg $ seed_arg $ moves_arg $ runs_arg $ jobs_arg $ early_stop_arg
       $ no_verify_arg $ netlist_arg $ trace_arg $ trace_level_arg)
 
-(* Problem source for replay: a built-in benchmark name or a file path. *)
+(* Problem source for replay/submit: a built-in benchmark name or a file
+   path. An unreadable file is an [Error], not an escaping [Sys_error]. *)
 let problem_source name =
   match Suite.Ckts.find name with
   | Some e -> Ok e.Suite.Ckts.source
-  | None -> if Sys.file_exists name then Ok (read_file name) else Error (Printf.sprintf "replay: %S is neither a built-in benchmark nor a file" name)
+  | None ->
+      if Sys.file_exists name then (
+        match read_file name with
+        | src -> Ok src
+        | exception Sys_error e -> Error (Printf.sprintf "astrx: cannot read %s: %s" name e))
+      else Error (Printf.sprintf "astrx: %S is neither a built-in benchmark nor a file" name)
 
 let replay_cmd =
   let problem_arg =
@@ -216,8 +225,11 @@ let replay_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"PROBLEM" ~doc:"Built-in benchmark name or problem file")
   in
+  (* Deliberately a plain string, not [Arg.file]: a missing trace must land
+     in the [Obs.Replay.read_file] error path below (clear message, exit 1),
+     not cmdliner's usage error. *)
   let trace_file_arg =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE" ~doc:"JSONL trace file")
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TRACE" ~doc:"JSONL trace file")
   in
   let tol_arg =
     Arg.(
@@ -340,10 +352,210 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List built-in benchmarks") Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Daemon client (oblxd; docs/SERVER.md)                               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Obs.Json
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "oblxd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the oblxd daemon")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Print the raw JSON response on one line")
+
+let id_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"Job id")
+
+let client_fail e =
+  prerr_endline ("astrx: " ^ e);
+  1
+
+let jstr job k = match Json.mem_opt k job with Some (Json.Str s) -> Some s | _ -> None
+let jnum job k = match Json.mem_opt k job with Some (Json.Num v) -> Some v | _ -> None
+
+(* One job record, as a short human-readable block. *)
+let print_job job =
+  let field k render = match render k with Some s -> s | None -> "-" in
+  let str k = field k (jstr job) in
+  let num fmt k = field k (fun k -> Option.map (Printf.sprintf fmt) (jnum job k)) in
+  Printf.printf "job %s (%s): %s\n" (num "%.0f" "id") (str "name") (str "state");
+  Printf.printf "  seed %s, runs %s, priority %s, cache %s\n" (num "%.0f" "seed")
+    (num "%.0f" "runs") (num "%.0f" "priority") (str "cache");
+  Printf.printf "  wait %s s, run %s s\n" (num "%.3f" "wait_s") (num "%.3f" "run_s");
+  (match jstr job "cut_reason" with
+  | Some r -> Printf.printf "  cut short: %s\n" r
+  | None -> ());
+  (match jstr job "error" with Some e -> Printf.printf "  error: %s\n" e | None -> ());
+  match jnum job "best_cost" with
+  | Some c ->
+      Printf.printf "  best cost %.4g in %s moves (%s evals)\n" c (num "%.0f" "moves")
+        (num "%.0f" "evals")
+  | None -> ()
+
+let print_response ~json render = function
+  | Error e -> client_fail e
+  | Ok j ->
+      if json then print_endline (Json.to_string j) else render j;
+      0
+
+let submit_cmd =
+  let priority_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "priority" ] ~docv:"N" ~doc:"Higher runs first among queued jobs (default 0)")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Latency bound from submission (queue wait counts); an overrunning job is cut \
+             with cut_reason \"deadline\"")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "events" ]
+          ~doc:"Keep the job's recent stage-level telemetry in its result record")
+  in
+  let wait_flag = Arg.(value & flag & info [ "wait" ] ~doc:"Block until the job finishes") in
+  let problem_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROBLEM" ~doc:"Built-in benchmark name or problem file")
+  in
+  let run socket name seed moves runs priority deadline events wait json =
+    match problem_source name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src -> begin
+        let spec =
+          {
+            Serve.Proto.sb_name = name;
+            sb_source = src;
+            sb_seed = seed;
+            sb_moves = moves;
+            sb_runs = runs;
+            sb_priority = priority;
+            sb_deadline_s = deadline;
+            sb_trace = events;
+          }
+        in
+        match Serve.Client.submit ~socket spec with
+        | Error e -> client_fail e
+        | Ok id ->
+            if not wait then begin
+              if json then
+                print_endline (Json.to_string (Json.Obj [ ("id", Json.Num (float_of_int id)) ]))
+              else Printf.printf "job %d queued\n" id;
+              0
+            end
+            else print_response ~json print_job (Serve.Client.wait ~socket id)
+      end
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Queue a synthesis job on a running oblxd daemon")
+    Term.(
+      const run $ socket_arg $ problem_arg $ seed_arg $ moves_arg $ runs_arg $ priority_arg
+      $ deadline_arg $ events_arg $ wait_flag $ json_arg)
+
+let status_cmd =
+  let run socket id json = print_response ~json print_job (Serve.Client.status ~socket id) in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show a daemon job's state and queue position")
+    Term.(const run $ socket_arg $ id_arg $ json_arg)
+
+let result_cmd =
+  let run socket id json = print_response ~json print_job (Serve.Client.result ~socket id) in
+  Cmd.v
+    (Cmd.info "result" ~doc:"Fetch a daemon job's full result record")
+    Term.(const run $ socket_arg $ id_arg $ json_arg)
+
+let cancel_cmd =
+  let run socket id =
+    match Serve.Client.cancel ~socket id with
+    | Error e -> client_fail e
+    | Ok () ->
+        Printf.printf "job %d cancelled\n" id;
+        0
+  in
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"Cancel a queued or running daemon job")
+    Term.(const run $ socket_arg $ id_arg)
+
+let stats_cmd =
+  let run socket json =
+    let render j =
+      let sub k = match Json.mem_opt k j with Some o -> o | None -> Json.Obj [] in
+      let jobs = sub "jobs" and cache = sub "cache" in
+      let n o k = match jnum o k with Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+      Printf.printf "uptime %s s, %s worker(s), queue %s/%s\n" (n j "uptime_s")
+        (n j "workers") (n j "queue_depth") (n j "queue_capacity");
+      Printf.printf "jobs: %s total (%s queued, %s running, %s done, %s failed, %s \
+                     cancelled, %s rejected)\n"
+        (n jobs "total") (n jobs "queued") (n jobs "running") (n jobs "done")
+        (n jobs "failed") (n jobs "cancelled") (n jobs "rejected");
+      Printf.printf "cache: %s hit / %s miss (%s entries, %s evictions)%s\n" (n cache "hits")
+        (n cache "misses") (n cache "entries") (n cache "evictions")
+        (match jnum cache "hit_rate" with
+        | Some r -> Printf.sprintf ", hit rate %.0f%%" (100.0 *. r)
+        | None -> "");
+      match Json.mem_opt "workers_detail" j with
+      | Some (Json.Arr ws) ->
+          List.iter
+            (fun w ->
+              Printf.printf "  worker %s: %s job(s), %s moves%s\n" (n w "worker") (n w "jobs")
+                (n w "moves")
+                (match jnum w "moves_per_s" with
+                | Some r -> Printf.sprintf " (%.0f moves/s)" r
+                | None -> ""))
+            ws
+      | Some _ | None -> ()
+    in
+    print_response ~json render (Serve.Client.stats ~socket ())
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show daemon queue, cache, and worker statistics")
+    Term.(const run $ socket_arg $ json_arg)
+
+let shutdown_cmd =
+  let run socket =
+    match Serve.Client.shutdown ~socket () with
+    | Error e -> client_fail e
+    | Ok () ->
+        print_endline "daemon shutting down";
+        0
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit")
+    Term.(const run $ socket_arg)
+
 let () =
   let doc = "ASTRX/OBLX analog circuit synthesis" in
   let info = Cmd.info "astrx" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; synth_cmd; bench_cmd; replay_cmd; corners_cmd; sens_cmd; list_cmd ]))
+          [
+            compile_cmd;
+            synth_cmd;
+            bench_cmd;
+            replay_cmd;
+            corners_cmd;
+            sens_cmd;
+            list_cmd;
+            submit_cmd;
+            status_cmd;
+            result_cmd;
+            cancel_cmd;
+            stats_cmd;
+            shutdown_cmd;
+          ]))

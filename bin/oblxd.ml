@@ -1,0 +1,102 @@
+(* oblxd — the synthesis daemon: a Unix-socket JSONL service around the
+   ASTRX compile cache and an OBLX worker pool (docs/SERVER.md).
+
+     oblxd --socket oblxd.sock --workers 4 --queue 64
+     astrx submit simple-ota --seed 7 --wait
+
+   Runs in the foreground until a shutdown request or SIGINT/SIGTERM. *)
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "oblxd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains running jobs (default: cores - 1)")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Queue capacity; submissions beyond it are rejected with a reason")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "cache" ] ~docv:"N" ~doc:"Compile-cache capacity (problems, LRU-evicted)")
+
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) (Some "oblxd-state")
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory receiving one job-<id>.json per finished job; --no-state disables")
+
+let no_state_arg =
+  Arg.(value & flag & info [ "no-state" ] ~doc:"Keep no on-disk job records")
+
+let default_moves_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "default-moves" ] ~docv:"N"
+        ~doc:
+          "Move budget for submissions that do not set one (default: OBLX's per-problem \
+           budget, which can be large — production deployments should cap it)")
+
+let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup banner")
+
+let run socket workers queue cache state_dir no_state default_moves quiet =
+  let workers = match workers with Some w -> Int.max 0 w | None -> Core.Oblx.default_jobs () in
+  let state_dir = if no_state then None else state_dir in
+  let cfg =
+    {
+      Serve.Server.socket_path = socket;
+      pool =
+        {
+          Serve.Pool.workers;
+          queue_capacity = queue;
+          cache_capacity = cache;
+          state_dir;
+          default_moves;
+        };
+    }
+  in
+  let ready () =
+    if not quiet then begin
+      Printf.printf "oblxd: listening on %s (%d worker%s, queue %d, cache %d)\n%!" socket
+        workers
+        (if workers = 1 then "" else "s")
+        queue cache;
+      match state_dir with
+      | Some d -> Printf.printf "oblxd: job records in %s/\n%!" d
+      | None -> ()
+    end
+  in
+  match Serve.Server.run ~ready cfg with
+  | () ->
+      if not quiet then print_endline "oblxd: drained, bye";
+      0
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "oblxd: %s(%s): %s\n" fn arg (Unix.error_message e);
+      1
+
+let () =
+  let doc = "OBLX synthesis daemon (JSONL over a Unix socket)" in
+  let info = Cmd.info "oblxd" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg $ state_dir_arg
+            $ no_state_arg $ default_moves_arg $ quiet_arg)))

@@ -65,6 +65,27 @@ let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
   let froze = ref false in
   let aborted = ref false in
   let stage_len = Int.max 50 (total_moves / 200) in
+  (* Deadlines and cancellation ride on [abort], so its poll interval must
+     not scale with the move budget the way stages do: a 20M-move run would
+     otherwise check only every 100k moves (minutes of wall time). When
+     [stage_len <= 256] the extra poll never fires and behavior is exactly
+     the per-stage poll of old. *)
+  let abort_len = Int.min stage_len 256 in
+  let poll_abort () =
+    match problem.abort with
+    | Some f
+      when f
+             {
+               stage = !stage;
+               moves_done = !moves;
+               temperature = Lam.temperature lam;
+               acceptance = Lam.measured_ratio lam;
+               current_cost = !cur_cost;
+               best_cost = !best_cost;
+             } ->
+        aborted := true
+    | Some _ | None -> ()
+  in
   (* Telemetry is emitted after the move counter advances, so an event's
      [moves] field is the 1-based index of the decided move. Snapshotting
      the state (for replay) happens only at the [Moves] level and only on
@@ -76,6 +97,10 @@ let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
       (Obs.Event.Move
          { cls; class_name = problem.classes.(cls); decision; delta_cost; cost; state })
   in
+  (* Poll the abort hook once before the first move: a run whose deadline
+     already expired (or whose job was cancelled while queued) must not buy
+     a whole stage of evaluations just to learn it should stop. *)
+  poll_abort ();
   let rec loop () =
     if Lam.finished lam || !froze || !aborted then ()
     else begin
@@ -146,7 +171,8 @@ let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
         match problem.frozen with
         | Some f when Lam.progress lam > 0.5 && f init -> froze := true
         | Some _ | None -> ()
-      end;
+      end
+      else if !moves mod abort_len = 0 then poll_abort ();
       loop ()
     end
   in

@@ -24,10 +24,14 @@ type 'state problem = {
       (** called after every decided move with its class index — feeds
           per-variable range limiters *)
   abort : (stage_info -> bool) option;
-      (** external cancellation, polled once per stage regardless of
-          progress — used by parallel multi-start to cut laggard runs when
-          another restart has already published a much better cost. An
-          aborted run still reports its best state so far. *)
+      (** external cancellation, polled once before the first move (with
+          [stage = 0], so a run that is already past its deadline or was
+          cancelled while queued stops before spending a stage of
+          evaluations) and then at least once per stage and at least every
+          256 moves regardless of progress — used by parallel multi-start
+          to cut laggard runs and by the serve layer for
+          deadlines/cancellation. An aborted run still reports its best
+          state so far. *)
 }
 
 and stage_info = {

@@ -198,7 +198,7 @@ let default_jobs () = Int.max 1 (Domain.recommended_domain_count () - 1)
    always allowed to finish, so early stopping rarely changes the winner. *)
 let early_stop_slack best = Float.max 1.0 (0.25 *. Float.abs best)
 
-let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(obs = Obs.Trace.none) ~runs
+let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?cutoff ?(obs = Obs.Trace.none) ~runs
     (p : Problem.t) =
   if runs < 1 then invalid_arg "Oblx.best_of: runs must be >= 1";
   let jobs = Int.min runs (match jobs with Some j -> Int.max 1 j | None -> default_jobs ()) in
@@ -215,22 +215,34 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(obs = Obs.Trace.non
     let cur = Atomic.get global_best in
     if c < cur && not (Atomic.compare_and_set global_best cur c) then publish c
   in
+  (* The external cutoff (deadline / cancellation from the serve layer) is
+     checked before the early-stop race logic: a deadline verdict must win
+     even when the run is leading. A control that only carries an external
+     cutoff never perturbs the annealing trajectory unless it fires, so the
+     bit-for-bit determinism guarantee holds for un-cut runs. *)
+  let external_cut () = match cutoff with Some f -> f () | None -> None in
   let control =
-    if not early_stop then None
+    if not early_stop && cutoff = None then None
     else
       Some
         {
           publish;
           cutoff =
             (fun ~progress ~best ->
-              let global = Atomic.get global_best in
-              if progress > 0.5 && best > global +. early_stop_slack best then
-                Some
-                  (Printf.sprintf
-                     "early-stop: best %.6g trails global best %.6g beyond slack %.3g at \
-                      progress %.2f"
-                     best global (early_stop_slack best) progress)
-              else None);
+              match external_cut () with
+              | Some reason -> Some reason
+              | None ->
+                  if not early_stop then None
+                  else begin
+                    let global = Atomic.get global_best in
+                    if progress > 0.5 && best > global +. early_stop_slack best then
+                      Some
+                        (Printf.sprintf
+                           "early-stop: best %.6g trails global best %.6g beyond slack %.3g at \
+                            progress %.2f"
+                           best global (early_stop_slack best) progress)
+                    else None
+                  end);
         }
   in
   let results : result option array = Array.make runs None in
@@ -265,6 +277,32 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(obs = Obs.Trace.non
       None results
   in
   (Option.get best, results)
+
+(* ------------------------------------------------------------------ *)
+(* Job-facing synthesis: deadlines and cancellation                    *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_reason = "deadline"
+
+let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?deadline_s ?poll
+    ?(obs = Obs.Trace.none) (p : Problem.t) =
+  (* The deadline clock starts here — queue wait is the caller's budget to
+     spend before calling — and is polled through the annealer's abort
+     hook, so an already-expired deadline stops a run before its first
+     move. The cancellation [poll] wins over the deadline: an operator's
+     verdict is more informative than a timer's. *)
+  let t0 = Unix.gettimeofday () in
+  let cutoff () =
+    match (match poll with Some f -> f () | None -> None) with
+    | Some reason -> Some reason
+    | None -> begin
+        match deadline_s with
+        | Some budget when Unix.gettimeofday () -. t0 > budget -> Some deadline_reason
+        | Some _ | None -> None
+      end
+  in
+  let cutoff = if poll = None && deadline_s = None then None else Some cutoff in
+  best_of ~seed ?moves ?jobs ~early_stop ?cutoff ~obs ~runs p
 
 (* ------------------------------------------------------------------ *)
 (* Trace replay                                                        *)

@@ -83,6 +83,13 @@ val default_jobs : unit -> int
     but laggards report [cut_short], with the reason in [cut_reason], and
     spend fewer evaluations).
 
+    [cutoff] is an external kill switch polled through the annealer's
+    abort hook (before the first move, then once per stage): returning
+    [Some reason] aborts every live restart with that reason preserved in
+    [cut_reason]. It is how the serve layer implements deadlines and job
+    cancellation. A [cutoff] that never fires does not perturb the
+    annealing trajectory, so the determinism guarantee above still holds.
+
     [obs] is shared by every restart: run [k] emits into
     [Obs.Trace.with_restart obs k], so one JSONL file (the sinks are
     mutex-serialized) captures all runs and can be demultiplexed — or
@@ -92,8 +99,34 @@ val best_of :
   ?moves:int ->
   ?jobs:int ->
   ?early_stop:bool ->
+  ?cutoff:(unit -> string option) ->
   ?obs:Obs.Trace.t ->
   runs:int ->
+  Problem.t ->
+  result * result list
+
+(** The [cut_reason] recorded when {!run_job}'s deadline fires:
+    ["deadline"]. *)
+val deadline_reason : string
+
+(** [run_job ?seed ?moves ?runs ?jobs ?early_stop ?deadline_s ?poll ?obs p]
+    is the job-facing wrapper the synthesis service runs per queued job:
+    {!best_of} with a wall-clock budget and a cancellation poll composed
+    into an external [cutoff]. The deadline clock starts at the call (queue
+    wait is the caller's business); when it expires, live restarts abort
+    with [cut_reason = Some deadline_reason]. [poll] is checked first, so
+    an explicit cancellation reason ("cancelled", "shutdown") wins over the
+    timer. With neither [deadline_s] nor [poll], this is exactly
+    [best_of] — bit-for-bit, including the trajectory. *)
+val run_job :
+  ?seed:int ->
+  ?moves:int ->
+  ?runs:int ->
+  ?jobs:int ->
+  ?early_stop:bool ->
+  ?deadline_s:float ->
+  ?poll:(unit -> string option) ->
+  ?obs:Obs.Trace.t ->
   Problem.t ->
   result * result list
 

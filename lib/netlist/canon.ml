@@ -1,0 +1,159 @@
+(* Canonical content hashing: the compile-cache key of lib/serve.
+
+   The canonical form is textual — one line per fact, sections in a fixed
+   order, lines inside a section sorted — and the hash is the stdlib MD5
+   digest of that text. MD5 is fine here: the key addresses a cache, it is
+   not a security boundary. A "canon:v1" header versions the format so a
+   future change to the rendering invalidates old keys instead of aliasing
+   them. *)
+
+let version = "canon:v1"
+let sp = Printf.sprintf
+
+(* Floats render with 17 significant digits: enough for exact binary
+   round-trip, so two cards are equal exactly when their values are. *)
+let num v = sp "%.17g" v
+let expr e = Expr.to_string e
+
+(* ------------------------------------------------------------------ *)
+(* Elaborated circuits                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Node indices depend on interning order, which depends on element order;
+   resolving them back to names makes the rendering order-invariant. *)
+let element_line (c : Circuit.t) (e : Circuit.element) =
+  let n k = c.Circuit.node_names.(k) in
+  match e with
+  | Circuit.Resistor { name; n1; n2; value } -> sp "r %s %s %s %s" name (n n1) (n n2) (expr value)
+  | Circuit.Capacitor { name; n1; n2; value } ->
+      sp "c %s %s %s %s" name (n n1) (n n2) (expr value)
+  | Circuit.Inductor { name; n1; n2; value } ->
+      sp "l %s %s %s %s" name (n n1) (n n2) (expr value)
+  | Circuit.Vsource { name; np; nn; dc; ac } ->
+      sp "v %s %s %s %s ac=%s" name (n np) (n nn) (expr dc) (num ac)
+  | Circuit.Isource { name; np; nn; dc; ac } ->
+      sp "i %s %s %s %s ac=%s" name (n np) (n nn) (expr dc) (num ac)
+  | Circuit.Vcvs { name; np; nn; ncp; ncn; gain } ->
+      sp "e %s %s %s %s %s %s" name (n np) (n nn) (n ncp) (n ncn) (expr gain)
+  | Circuit.Vccs { name; np; nn; ncp; ncn; gm } ->
+      sp "g %s %s %s %s %s %s" name (n np) (n nn) (n ncp) (n ncn) (expr gm)
+  | Circuit.Cccs { name; np; nn; vsrc; gain } ->
+      sp "f %s %s %s %s %s" name (n np) (n nn) vsrc (expr gain)
+  | Circuit.Ccvs { name; np; nn; vsrc; r } -> sp "h %s %s %s %s %s" name (n np) (n nn) vsrc (expr r)
+  | Circuit.Mosfet { name; d; g; s; b; model; w; l; mult } ->
+      sp "m %s %s %s %s %s %s w=%s l=%s mult=%s" name (n d) (n g) (n s) (n b) model (expr w)
+        (expr l) (expr mult)
+  | Circuit.Bjt { name; c = nc; b; e = ne; model; area } ->
+      sp "q %s %s %s %s %s area=%s" name (n nc) (n b) (n ne) model (expr area)
+
+let circuit_fingerprint (c : Circuit.t) =
+  Array.to_list c.Circuit.elements
+  |> List.map (element_line c)
+  |> List.sort String.compare
+  |> String.concat "\n"
+
+let digest s = Digest.to_hex (Digest.string s)
+let circuit_hash c = digest (version ^ "\n" ^ circuit_fingerprint c)
+
+(* ------------------------------------------------------------------ *)
+(* Whole problems                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw (unelaborated) card rendering — the fallback when a body does not
+   elaborate; also covers subcircuit instances before expansion. *)
+let ast_element_line (e : Ast.element) =
+  match e with
+  | Ast.Resistor { name; n1; n2; value } -> sp "r %s %s %s %s" name n1 n2 (expr value)
+  | Ast.Capacitor { name; n1; n2; value } -> sp "c %s %s %s %s" name n1 n2 (expr value)
+  | Ast.Inductor { name; n1; n2; value } -> sp "l %s %s %s %s" name n1 n2 (expr value)
+  | Ast.Vsource { name; np; nn; dc; ac } -> sp "v %s %s %s %s ac=%s" name np nn (expr dc) (num ac)
+  | Ast.Isource { name; np; nn; dc; ac } -> sp "i %s %s %s %s ac=%s" name np nn (expr dc) (num ac)
+  | Ast.Vcvs { name; np; nn; ncp; ncn; gain } ->
+      sp "e %s %s %s %s %s %s" name np nn ncp ncn (expr gain)
+  | Ast.Vccs { name; np; nn; ncp; ncn; gm } -> sp "g %s %s %s %s %s %s" name np nn ncp ncn (expr gm)
+  | Ast.Cccs { name; np; nn; vsrc; gain } -> sp "f %s %s %s %s %s" name np nn vsrc (expr gain)
+  | Ast.Ccvs { name; np; nn; vsrc; r } -> sp "h %s %s %s %s %s" name np nn vsrc (expr r)
+  | Ast.Mosfet { name; d; g; s; b; model; w; l; mult } ->
+      sp "m %s %s %s %s %s %s w=%s l=%s mult=%s" name d g s b model (expr w) (expr l) (expr mult)
+  | Ast.Bjt { name; c; b; e = ne; model; area } ->
+      sp "q %s %s %s %s %s area=%s" name c b ne model (expr area)
+  | Ast.Subckt_inst { name; nodes; subckt; params } ->
+      sp "x %s %s %s %s" name (String.concat "," nodes) subckt
+        (String.concat ","
+           (List.sort String.compare (List.map (fun (k, v) -> sp "%s=%s" k (expr v)) params)))
+
+(* A body elaborates against the problem's subcircuit definitions; the flat
+   circuit is what the cost-function generator actually sees, so hashing it
+   makes instantiation order and private subckt-body ordering irrelevant.
+   Bodies that fail to elaborate (the compile will fail too, and the cache
+   remembers the failure) fall back to their raw cards. *)
+let body_fingerprint ~subckts body =
+  match Elab.flatten ~subckts body with
+  | c -> circuit_fingerprint c
+  | exception _ ->
+      "unelab\n"
+      ^ String.concat "\n" (List.sort String.compare (List.map ast_element_line body))
+
+let sorted_section tag lines =
+  sp "[%s]\n%s" tag (String.concat "\n" (List.sort String.compare lines))
+
+let problem_hash (p : Ast.problem) =
+  let subckts = p.Ast.subckts in
+  let buf = Buffer.create 1024 in
+  let section tag lines = Buffer.add_string buf (sorted_section tag lines ^ "\n") in
+  Buffer.add_string buf (version ^ "\n");
+  Buffer.add_string buf (sp "[process]\n%s\n" (Option.value p.Ast.process ~default:"-"));
+  section "models"
+    (List.map
+       (fun (m : Ast.model_decl) ->
+         sp "%s %s %s %s" m.Ast.model_name m.device_kind m.level
+           (String.concat ","
+              (List.sort String.compare
+                 (List.map (fun (k, v) -> sp "%s=%s" k (num v)) m.mparams))))
+       p.Ast.models);
+  section "params" (List.map (fun (k, e) -> sp "%s=%s" k (expr e)) p.Ast.params);
+  section "vars"
+    (List.map
+       (fun (v : Ast.var_decl) ->
+         sp "%s min=%s max=%s grid=%s steps=%s init=%s" v.Ast.var_name (num v.vmin) (num v.vmax)
+           (match v.grid with Ast.Grid_log -> "log" | Ast.Grid_lin -> "lin")
+           (match v.steps with Some s -> string_of_int s | None -> "cont")
+           (match v.init with Some f -> num f | None -> "-"))
+       p.Ast.vars);
+  Buffer.add_string buf (sp "[bias]\n%s\n" (body_fingerprint ~subckts p.Ast.bias));
+  List.iter
+    (fun (j : Ast.jig) ->
+      Buffer.add_string buf (sp "[jig %s]\n%s\n" j.Ast.jig_name (body_fingerprint ~subckts j.jig_body));
+      Buffer.add_string buf
+        (sorted_section
+           (sp "pz %s" j.Ast.jig_name)
+           (List.map
+              (fun (z : Ast.pz) ->
+                sp "%s v(%s%s) %s" z.Ast.tf_name z.out_pos
+                  (match z.out_neg with Some onn -> "," ^ onn | None -> "")
+                  z.src)
+              j.pzs)
+         ^ "\n"))
+    (List.sort (fun (a : Ast.jig) b -> String.compare a.Ast.jig_name b.Ast.jig_name) p.Ast.jigs);
+  section "specs"
+    (List.map
+       (fun (s : Ast.spec) ->
+         sp "%s %s '%s' good=%s bad=%s" s.Ast.spec_name
+           (match s.kind with
+           | Ast.Objective_max -> "max"
+           | Ast.Objective_min -> "min"
+           | Ast.Constraint_ge -> "ge"
+           | Ast.Constraint_le -> "le")
+           (expr s.expr) (num s.good) (num s.bad))
+       p.Ast.specs);
+  section "regions"
+    (List.map
+       (fun (name, r) ->
+         sp "%s %s" name
+           (match r with
+           | Ast.Region_sat -> "sat"
+           | Ast.Region_linear -> "linear"
+           | Ast.Region_off -> "off"
+           | Ast.Region_any -> "any"))
+       p.Ast.regions);
+  digest (Buffer.contents buf)

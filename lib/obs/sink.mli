@@ -13,6 +13,11 @@ val null : t
 (** [tee sinks] fans every event out to each of [sinks]. *)
 val tee : t list -> t
 
+(** [filtered ~level inner] passes through only events whose body level is
+    at or below [level] — a per-sink verbosity cap under a shared trace
+    handle (e.g. a Stage-level ring teed next to a Moves-level summary). *)
+val filtered : level:Event.level -> t -> t
+
 (** [jsonl_channel oc] writes one JSON object per line. [close] flushes but
     leaves the channel open (the caller owns it). *)
 val jsonl_channel : out_channel -> t

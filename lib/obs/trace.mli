@@ -15,6 +15,12 @@ val make : ?restart:int -> level:Event.level -> Sink.t list -> t
     shared trace. *)
 val with_restart : t -> int -> t
 
+(** [add_sink t sink] is [t] also delivering to [sink] — how the serve
+    layer attaches a per-job ring buffer next to the daemon's global
+    summary sink without rebuilding the handle's level/restart state.
+    Adding a sink to {!none} still records nothing (its level is [Off]). *)
+val add_sink : t -> Sink.t -> t
+
 val restart : t -> int
 val level : t -> Event.level
 

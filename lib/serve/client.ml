@@ -1,0 +1,90 @@
+module Json = Obs.Json
+
+let request ~socket ?(timeout_s = 30.0) j =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () = try Unix.close fd with Unix.Unix_error _ -> () in
+  match
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  with
+  | line -> begin
+      cleanup ();
+      match Json.of_string line with
+      | Ok v -> Ok v
+      | Error e -> Error (Printf.sprintf "malformed response: %s" e)
+    end
+  | exception Unix.Unix_error (err, _, _) ->
+      cleanup ();
+      Error
+        (Printf.sprintf "cannot reach oblxd at %s: %s — is the daemon running?" socket
+           (Unix.error_message err))
+  | exception End_of_file ->
+      cleanup ();
+      Error "connection closed by daemon before a response arrived"
+  | exception Sys_error e ->
+      cleanup ();
+      Error e
+
+(* A protocol-level failure (ok:false) folds into the Error channel here so
+   callers see one kind of failure. *)
+let checked ~socket ?timeout_s req =
+  match request ~socket ?timeout_s (Proto.request_to_json req) with
+  | Error e -> Error e
+  | Ok resp -> begin
+      match Proto.response_error resp with Some e -> Error e | None -> Ok resp
+    end
+
+let submit ~socket ?timeout_s s =
+  match checked ~socket ?timeout_s (Proto.Submit s) with
+  | Error e -> Error e
+  | Ok resp -> begin
+      match Json.mem_opt "id" resp with
+      | Some v -> Ok (Json.to_int v)
+      | None -> Error "submit response carries no id"
+    end
+
+let job_of resp =
+  match Json.mem_opt "job" resp with
+  | Some j -> Ok j
+  | None -> Error "response carries no job record"
+
+let status ~socket ?timeout_s id =
+  Result.bind (checked ~socket ?timeout_s (Proto.Status id)) job_of
+
+let result ~socket ?timeout_s id =
+  Result.bind (checked ~socket ?timeout_s (Proto.Result id)) job_of
+
+let cancel ~socket ?timeout_s id =
+  Result.map (fun _ -> ()) (checked ~socket ?timeout_s (Proto.Cancel id))
+
+let stats ~socket ?timeout_s () = checked ~socket ?timeout_s Proto.Stats
+
+let shutdown ~socket ?timeout_s () =
+  Result.map (fun _ -> ()) (checked ~socket ?timeout_s Proto.Shutdown)
+
+let wait ~socket ?(poll_s = 0.05) ?(timeout_s = 600.0) id =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    match status ~socket id with
+    | Error e -> Error e
+    | Ok job -> begin
+        match Json.mem_opt "state" job with
+        | Some (Json.Str ("queued" | "running")) ->
+            if Unix.gettimeofday () -. t0 > timeout_s then
+              Error (Printf.sprintf "job %d still not finished after %.0f s" id timeout_s)
+            else begin
+              Unix.sleepf poll_s;
+              go ()
+            end
+        | Some (Json.Str _) -> result ~socket id
+        | Some _ | None -> Error "status response carries no state"
+      end
+  in
+  go ()

@@ -1,0 +1,28 @@
+(** Client side of the oblxd protocol: one connection per request (the
+    daemon serves connections sequentially, so holding one open starves
+    other clients), with socket timeouts so a wedged daemon surfaces as an
+    [Error], never a hang. Used by the [astrx submit|status|...]
+    subcommands, the serve bench, and the CI smoke test. *)
+
+(** [request ~socket ?timeout_s j] sends one JSON line and reads one JSON
+    line back. [Error] covers connection failures (daemon not running),
+    timeouts, and transport-level garbage; protocol-level failures come
+    back as [Ok] responses with ["ok":false] — test with
+    {!Proto.response_error}. *)
+val request : socket:string -> ?timeout_s:float -> Obs.Json.t -> (Obs.Json.t, string) result
+
+(* Typed wrappers; each is [request] on the corresponding {!Proto.request}
+   with ["ok"] checked. *)
+
+val submit : socket:string -> ?timeout_s:float -> Proto.submit -> (int, string) result
+val status : socket:string -> ?timeout_s:float -> int -> (Obs.Json.t, string) result
+val result : socket:string -> ?timeout_s:float -> int -> (Obs.Json.t, string) result
+val cancel : socket:string -> ?timeout_s:float -> int -> (unit, string) result
+val stats : socket:string -> ?timeout_s:float -> unit -> (Obs.Json.t, string) result
+val shutdown : socket:string -> ?timeout_s:float -> unit -> (unit, string) result
+
+(** [wait ~socket ?poll_s ?timeout_s id] polls [status] until the job
+    leaves [queued]/[running] (default poll 50 ms, timeout 600 s), then
+    returns the full [result] response's ["job"] object. *)
+val wait :
+  socket:string -> ?poll_s:float -> ?timeout_s:float -> int -> (Obs.Json.t, string) result

@@ -1,0 +1,499 @@
+module Json = Obs.Json
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  state_dir : string option;
+  default_moves : int option;
+}
+
+let default_config =
+  {
+    workers = Core.Oblx.default_jobs ();
+    queue_capacity = 64;
+    cache_capacity = 64;
+    state_dir = None;
+    default_moves = None;
+  }
+
+type job_state = Queued | Running | Done | Failed | Cancelled
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+(* What a finished synthesis leaves on the job record. *)
+type outcome = {
+  jo_best_cost : float;
+  jo_moves : int;  (** across every restart of the job *)
+  jo_evals : int;
+  jo_cut_reason : string option;
+  jo_predicted : (string * float option) list;
+  jo_sizes : (string * float) list;
+}
+
+type job = {
+  id : int;
+  spec : Proto.submit;
+  submitted_at : float;
+  mutable state : job_state;
+  mutable started_at : float option;
+  mutable finished_at : float option;
+  mutable worker : int option;
+  mutable cache : Core.Compile_cache.outcome option;
+  mutable error : string option;  (** [Failed]: the compile error *)
+  mutable outcome : outcome option;
+  cancel : string option Atomic.t;
+      (** cancellation verdict, polled by the annealer's abort hook *)
+  ring : Obs.Sink.Ring.ring option;  (** per-job stage events, on request *)
+}
+
+type t = {
+  cfg : config;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (int, job) Hashtbl.t;
+  mutable queue : job list;  (** sorted: priority desc, then id asc *)
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable rejected : int;
+  cache : Core.Compile_cache.t;
+  summary : Obs.Sink.Summary.summary;
+  obs_base : Obs.Trace.t;  (** Moves-level handle over the summary sink *)
+  worker_moves : int array;
+  worker_busy_s : float array;
+  worker_jobs : int array;
+  mutable domains : unit Domain.t list;
+  started_wall : float;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Queue discipline                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue queue job =
+  let precedes (a : job) (b : job) =
+    a.spec.Proto.sb_priority > b.spec.Proto.sb_priority
+    || (a.spec.Proto.sb_priority = b.spec.Proto.sb_priority && a.id < b.id)
+  in
+  let rec insert = function
+    | [] -> [ job ]
+    | j :: rest when precedes job j -> job :: j :: rest
+    | j :: rest -> j :: insert rest
+  in
+  insert queue
+
+(* ------------------------------------------------------------------ *)
+(* Finishing and persistence                                           *)
+(* ------------------------------------------------------------------ *)
+
+let opt_num = function Some v -> Json.Num v | None -> Json.Null
+let num_i i = Json.Num (float_of_int i)
+let opt_str = function Some s -> Json.Str s | None -> Json.Null
+
+(* Caller holds the lock. *)
+let job_json ~full t (j : job) =
+  let wait_s =
+    match j.started_at with
+    | Some st -> st -. j.submitted_at
+    | None -> if j.state = Queued then now () -. j.submitted_at else 0.0
+  in
+  let run_s =
+    match (j.started_at, j.finished_at) with
+    | Some st, Some fin -> Some (fin -. st)
+    | Some st, None -> Some (now () -. st)
+    | None, _ -> None
+  in
+  let queue_pos =
+    match j.state with
+    | Queued ->
+        let rec pos k = function
+          | [] -> None
+          | (q : job) :: rest -> if q.id = j.id then Some k else pos (k + 1) rest
+        in
+        pos 0 t.queue
+    | Running | Done | Failed | Cancelled -> None
+  in
+  let base =
+    [
+      ("id", num_i j.id);
+      ("name", Json.Str j.spec.Proto.sb_name);
+      ("state", Json.Str (state_name j.state));
+      ("seed", num_i j.spec.Proto.sb_seed);
+      ("runs", num_i j.spec.Proto.sb_runs);
+      ("priority", num_i j.spec.Proto.sb_priority);
+      ("deadline_s", opt_num j.spec.Proto.sb_deadline_s);
+      ("queue_position", match queue_pos with Some p -> num_i p | None -> Json.Null);
+      ("wait_s", Json.Num wait_s);
+      ("run_s", opt_num run_s);
+      ( "cache",
+        match j.cache with
+        | Some Core.Compile_cache.Hit -> Json.Str "hit"
+        | Some Core.Compile_cache.Miss -> Json.Str "miss"
+        | None -> Json.Null );
+      ("error", opt_str j.error);
+      ("cut_reason", opt_str (match j.outcome with Some o -> o.jo_cut_reason | None -> None));
+    ]
+  in
+  let detail =
+    if not full then []
+    else
+      match j.outcome with
+      | None -> []
+      | Some o ->
+          [
+            ("best_cost", Json.Num o.jo_best_cost);
+            ("moves", num_i o.jo_moves);
+            ("evals", num_i o.jo_evals);
+            ( "predicted",
+              Json.Obj (List.map (fun (k, v) -> (k, opt_num v)) o.jo_predicted) );
+            ("sizes", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) o.jo_sizes));
+          ]
+  in
+  let events =
+    if not full then []
+    else
+      match j.ring with
+      | None -> []
+      | Some ring ->
+          [
+            ( "events",
+              Json.Arr (List.map Obs.Event.to_json (Obs.Sink.Ring.contents ring)) );
+            ("events_dropped", num_i (Obs.Sink.Ring.dropped ring));
+          ]
+  in
+  Json.Obj (base @ detail @ events)
+
+(* Persist outside the lock: the record is already rendered. *)
+let persist t (j : job) rendered =
+  match t.cfg.state_dir with
+  | None -> ()
+  | Some dir -> begin
+      match
+        let oc = open_out (Filename.concat dir (Printf.sprintf "job-%d.json" j.id)) in
+        output_string oc (Json.to_string rendered);
+        output_char oc '\n';
+        close_out oc
+      with
+      | () -> ()
+      | exception Sys_error _ -> () (* the state dir is best-effort ops trail *)
+    end
+
+let finish t (j : job) ~worker ~state ?error ?outcome () =
+  let rendered =
+    locked t (fun () ->
+        j.state <- state;
+        j.finished_at <- Some (now ());
+        (match error with Some _ -> j.error <- error | None -> ());
+        (match outcome with Some _ -> j.outcome <- outcome | None -> ());
+        (match (worker, j.started_at, j.finished_at) with
+        | Some w, Some st, Some fin ->
+            t.worker_busy_s.(w) <- t.worker_busy_s.(w) +. (fin -. st);
+            t.worker_jobs.(w) <- t.worker_jobs.(w) + 1;
+            (match outcome with
+            | Some o -> t.worker_moves.(w) <- t.worker_moves.(w) + o.jo_moves
+            | None -> ())
+        | _ -> ());
+        job_json ~full:true t j)
+  in
+  persist t j rendered
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_job t (j : job) ~worker =
+  match Core.Compile_cache.compile t.cache ~source:j.spec.Proto.sb_source with
+  | Error e ->
+      locked t (fun () -> j.cache <- Some Core.Compile_cache.Miss);
+      finish t j ~worker:(Some worker) ~state:Failed ~error:e ()
+  | Ok (p, cache_outcome) ->
+      locked t (fun () -> j.cache <- Some cache_outcome);
+      let obs =
+        match j.ring with
+        | Some ring ->
+            (* The ring rides next to the global summary but is capped at
+               Stage level: a job's recent history, not a move torrent. *)
+            Obs.Trace.add_sink t.obs_base
+              (Obs.Sink.filtered ~level:Obs.Event.Stage (Obs.Sink.Ring.sink ring))
+        | None -> t.obs_base
+      in
+      (* The deadline is a latency bound from submission, so the queue wait
+         already spent part of it; an exhausted budget still runs the job,
+         which aborts at move 0 via the annealer's pre-loop poll. *)
+      let deadline_s =
+        Option.map
+          (fun budget -> Float.max 0.0 (budget -. (now () -. j.submitted_at)))
+          j.spec.Proto.sb_deadline_s
+      in
+      let moves =
+        match j.spec.Proto.sb_moves with Some m -> Some m | None -> t.cfg.default_moves
+      in
+      let best, all =
+        Core.Oblx.run_job ~seed:j.spec.Proto.sb_seed ?moves ~runs:j.spec.Proto.sb_runs ~jobs:1
+          ?deadline_s
+          ~poll:(fun () -> Atomic.get j.cancel)
+          ~obs p
+      in
+      (* The job-level cut reason: the winner's, or the first restart that
+         reported one (a deadline can fire during restart k > 0 while the
+         winner ran to completion). *)
+      let cut_reason =
+        match best.Core.Oblx.cut_reason with
+        | Some r -> Some r
+        | None ->
+            List.find_map (fun (r : Core.Oblx.result) -> r.Core.Oblx.cut_reason) all
+      in
+      let outcome =
+        {
+          jo_best_cost = best.Core.Oblx.best_cost;
+          jo_moves = List.fold_left (fun a (r : Core.Oblx.result) -> a + r.Core.Oblx.moves) 0 all;
+          jo_evals = List.fold_left (fun a (r : Core.Oblx.result) -> a + r.Core.Oblx.evals) 0 all;
+          jo_cut_reason = cut_reason;
+          jo_predicted = best.Core.Oblx.predicted;
+          jo_sizes = Core.Report.sizes p best.Core.Oblx.final;
+        }
+      in
+      let state = if Atomic.get j.cancel <> None then Cancelled else Done in
+      finish t j ~worker:(Some worker) ~state ~outcome ()
+
+let rec worker_loop t ~worker =
+  let job =
+    locked t (fun () ->
+        while t.queue = [] && not t.stopping do
+          Condition.wait t.nonempty t.mutex
+        done;
+        match t.queue with
+        | [] -> None (* stopping *)
+        | j :: rest ->
+            t.queue <- rest;
+            j.state <- Running;
+            j.started_at <- Some (now ());
+            j.worker <- Some worker;
+            Some j)
+  in
+  match job with
+  | None -> ()
+  | Some j ->
+      (match run_job t j ~worker with
+      | () -> ()
+      | exception exn ->
+          (* A worker must outlive any single job: record the wreckage and
+             move on. *)
+          finish t j ~worker:(Some worker) ~state:Failed
+            ~error:(Printf.sprintf "internal error: %s" (Printexc.to_string exn))
+            ());
+      worker_loop t ~worker
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create cfg =
+  if cfg.workers < 0 then invalid_arg "Pool.create: workers must be >= 0";
+  if cfg.queue_capacity < 1 then invalid_arg "Pool.create: queue_capacity must be >= 1";
+  (match cfg.state_dir with
+  | Some dir -> ( try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | None -> ());
+  let summary = Obs.Sink.Summary.create () in
+  let t =
+    {
+      cfg;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Hashtbl.create 64;
+      queue = [];
+      next_id = 0;
+      stopping = false;
+      rejected = 0;
+      cache = Core.Compile_cache.create ~capacity:cfg.cache_capacity ();
+      summary;
+      obs_base = Obs.Trace.make ~level:Obs.Event.Moves [ Obs.Sink.Summary.sink summary ];
+      worker_moves = Array.make (Int.max 1 cfg.workers) 0;
+      worker_busy_s = Array.make (Int.max 1 cfg.workers) 0.0;
+      worker_jobs = Array.make (Int.max 1 cfg.workers) 0;
+      domains = [];
+      started_wall = now ();
+    }
+  in
+  t.domains <-
+    List.init cfg.workers (fun w -> Domain.spawn (fun () -> worker_loop t ~worker:w));
+  t
+
+let submit t (s : Proto.submit) =
+  if s.Proto.sb_runs < 1 then Error "runs must be >= 1"
+  else if String.trim s.Proto.sb_source = "" then Error "empty problem source"
+  else
+    locked t (fun () ->
+        if t.stopping then Error "daemon is shutting down"
+        else if List.length t.queue >= t.cfg.queue_capacity then begin
+          t.rejected <- t.rejected + 1;
+          Error
+            (Printf.sprintf "queue full: %d jobs queued (capacity %d) — retry later"
+               (List.length t.queue) t.cfg.queue_capacity)
+        end
+        else begin
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          let job =
+            {
+              id;
+              spec = s;
+              submitted_at = now ();
+              state = Queued;
+              started_at = None;
+              finished_at = None;
+              worker = None;
+              cache = None;
+              error = None;
+              outcome = None;
+              cancel = Atomic.make None;
+              ring =
+                (if s.Proto.sb_trace then Some (Obs.Sink.Ring.create ~capacity:256) else None);
+            }
+          in
+          Hashtbl.add t.jobs id job;
+          t.queue <- enqueue t.queue job;
+          Condition.signal t.nonempty;
+          Ok id
+        end)
+
+let find_job t id = Hashtbl.find_opt t.jobs id
+
+let cancel t id =
+  let finish_queued =
+    locked t (fun () ->
+        match find_job t id with
+        | None -> Error (Printf.sprintf "unknown job %d" id)
+        | Some j -> begin
+            match j.state with
+            | Queued ->
+                Atomic.set j.cancel (Some "cancelled");
+                t.queue <- List.filter (fun (q : job) -> q.id <> id) t.queue;
+                Ok (Some j)
+            | Running ->
+                (* The annealer's abort hook picks this up at its next poll;
+                   the worker records the final state. *)
+                Atomic.set j.cancel (Some "cancelled");
+                Ok None
+            | Done | Failed | Cancelled ->
+                Error (Printf.sprintf "job %d already %s" id (state_name j.state))
+          end)
+  in
+  match finish_queued with
+  | Error e -> Error e
+  | Ok None -> Ok ()
+  | Ok (Some j) ->
+      finish t j ~worker:None ~state:Cancelled ();
+      Ok ()
+
+let with_job t id f =
+  locked t (fun () ->
+      match find_job t id with
+      | None -> Error (Printf.sprintf "unknown job %d" id)
+      | Some j -> Ok (f j))
+
+let status_json t id = with_job t id (fun j -> job_json ~full:false t j)
+let result_json t id = with_job t id (fun j -> job_json ~full:true t j)
+
+let stats_json t =
+  let cache = Core.Compile_cache.stats t.cache in
+  let telemetry = Obs.Sink.Summary.stats t.summary in
+  locked t (fun () ->
+      let by_state = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun _ (j : job) ->
+          let k = state_name j.state in
+          Hashtbl.replace by_state k (1 + Option.value (Hashtbl.find_opt by_state k) ~default:0))
+        t.jobs;
+      let count k = Option.value (Hashtbl.find_opt by_state k) ~default:0 in
+      let lookups = cache.Core.Compile_cache.hits + cache.Core.Compile_cache.misses in
+      Proto.ok
+        [
+          ("uptime_s", Json.Num (now () -. t.started_wall));
+          ("workers", num_i t.cfg.workers);
+          ("queue_depth", num_i (List.length t.queue));
+          ("queue_capacity", num_i t.cfg.queue_capacity);
+          ( "jobs",
+            Json.Obj
+              [
+                ("total", num_i (Hashtbl.length t.jobs));
+                ("queued", num_i (count "queued"));
+                ("running", num_i (count "running"));
+                ("done", num_i (count "done"));
+                ("failed", num_i (count "failed"));
+                ("cancelled", num_i (count "cancelled"));
+                ("rejected", num_i t.rejected);
+              ] );
+          ( "cache",
+            Json.Obj
+              [
+                ("hits", num_i cache.Core.Compile_cache.hits);
+                ("misses", num_i cache.Core.Compile_cache.misses);
+                ("entries", num_i cache.Core.Compile_cache.entries);
+                ("evictions", num_i cache.Core.Compile_cache.evictions);
+                ("capacity", num_i cache.Core.Compile_cache.capacity);
+                ( "hit_rate",
+                  if lookups = 0 then Json.Null
+                  else Json.Num (float_of_int cache.Core.Compile_cache.hits /. float_of_int lookups)
+                );
+              ] );
+          ( "telemetry",
+            Json.Obj
+              [
+                ("moves", num_i telemetry.Obs.Sink.Summary.moves);
+                ("accepted", num_i telemetry.Obs.Sink.Summary.accepted);
+                ("events", num_i telemetry.Obs.Sink.Summary.events);
+              ] );
+          ( "workers_detail",
+            Json.Arr
+              (List.init t.cfg.workers (fun w ->
+                   Json.Obj
+                     [
+                       ("worker", num_i w);
+                       ("jobs", num_i t.worker_jobs.(w));
+                       ("moves", num_i t.worker_moves.(w));
+                       ("busy_s", Json.Num t.worker_busy_s.(w));
+                       ( "moves_per_s",
+                         if t.worker_busy_s.(w) > 0.0 then
+                           Json.Num (float_of_int t.worker_moves.(w) /. t.worker_busy_s.(w))
+                         else Json.Null );
+                     ])) );
+        ])
+
+let shutdown t =
+  let queued, domains =
+    locked t (fun () ->
+        if t.stopping then ([], [])
+        else begin
+          t.stopping <- true;
+          let queued = t.queue in
+          t.queue <- [];
+          List.iter
+            (fun (j : job) ->
+              Atomic.set j.cancel (Some "shutdown");
+              j.state <- Cancelled)
+            queued;
+          (* Trip every running job's abort hook so workers drain fast. *)
+          Hashtbl.iter
+            (fun _ (j : job) ->
+              if j.state = Running then Atomic.set j.cancel (Some "shutdown"))
+            t.jobs;
+          Condition.broadcast t.nonempty;
+          let d = t.domains in
+          t.domains <- [];
+          (queued, d)
+        end)
+  in
+  List.iter (fun j -> finish t j ~worker:None ~state:Cancelled ()) queued;
+  List.iter Domain.join domains

@@ -1,0 +1,57 @@
+(** The daemon's engine room: a job table, a bounded priority queue, and a
+    pool of worker domains that compile (through the shared
+    {!Core.Compile_cache}) and anneal each job via {!Core.Oblx.run_job}.
+
+    Lifecycle of a job: [Queued] → [Running] → [Done] | [Failed] |
+    [Cancelled]. A cancel on a queued job removes it from the queue; a
+    cancel on a running job trips the annealer's abort hook, and the
+    partial result (best design so far, with [cut_reason]) is kept on the
+    record. A full queue rejects new submissions with a reason — the
+    backpressure contract — rather than queueing unboundedly.
+
+    All table/queue state is guarded by one mutex; synthesis itself runs
+    outside it. JSON views are rendered under the lock so a reader never
+    sees a half-updated record. *)
+
+type config = {
+  workers : int;  (** worker domains; 0 accepts jobs but runs none (tests) *)
+  queue_capacity : int;
+  cache_capacity : int;  (** compile-cache entries *)
+  state_dir : string option;
+      (** when set, every finished job's record is written there as
+          [job-<id>.json] — the ops trail surviving the daemon *)
+  default_moves : int option;
+      (** moves budget for submissions that leave ["moves"] null *)
+}
+
+val default_config : config
+
+type t
+
+(** [create config] spawns the workers and returns the running pool. *)
+val create : config -> t
+
+(** [submit t s] enqueues and returns the fresh job id, or the
+    backpressure/validation reason. *)
+val submit : t -> Proto.submit -> (int, string) result
+
+val cancel : t -> int -> (unit, string) result
+
+(** [status_json t id] — the lightweight view: state, queue position,
+    wait/run seconds, cache outcome. *)
+val status_json : t -> int -> (Obs.Json.t, string) result
+
+(** [result_json t id] — the full record: everything in the status view
+    plus, for finished jobs, best cost, move/eval counts, [cut_reason],
+    predicted specs, the sized design, and (when the submission asked for
+    a trace) the job's ring of stage events. *)
+val result_json : t -> int -> (Obs.Json.t, string) result
+
+(** [stats_json t] — jobs by state, queue depth, compile-cache hit rate,
+    and per-worker moves/s from the shared streaming-summary sink. *)
+val stats_json : t -> Obs.Json.t
+
+(** [shutdown t] — reject new work, cancel queued jobs (reason
+    ["shutdown"]), trip running jobs' abort hooks, and join the workers.
+    Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,113 @@
+module Json = Obs.Json
+
+type submit = {
+  sb_name : string;
+  sb_source : string;
+  sb_seed : int;
+  sb_moves : int option;
+  sb_runs : int;
+  sb_priority : int;
+  sb_deadline_s : float option;
+  sb_trace : bool;
+}
+
+type request =
+  | Submit of submit
+  | Status of int
+  | Result of int
+  | Cancel of int
+  | Stats
+  | Shutdown
+
+let num_i i = Json.Num (float_of_int i)
+let opt f = function Some v -> f v | None -> Json.Null
+
+let request_to_json = function
+  | Submit s ->
+      Json.Obj
+        [
+          ("op", Json.Str "submit");
+          ("name", Json.Str s.sb_name);
+          ("source", Json.Str s.sb_source);
+          ("seed", num_i s.sb_seed);
+          ("moves", opt num_i s.sb_moves);
+          ("runs", num_i s.sb_runs);
+          ("priority", num_i s.sb_priority);
+          ("deadline_s", opt (fun v -> Json.Num v) s.sb_deadline_s);
+          ("trace", Json.Bool s.sb_trace);
+        ]
+  | Status id -> Json.Obj [ ("op", Json.Str "status"); ("id", num_i id) ]
+  | Result id -> Json.Obj [ ("op", Json.Str "result"); ("id", num_i id) ]
+  | Cancel id -> Json.Obj [ ("op", Json.Str "cancel"); ("id", num_i id) ]
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+
+(* Decoding is lenient on optional fields (absent = default) and strict on
+   shape: a wrong type surfaces as a decode error, not a crash. *)
+let request_of_json j =
+  let field_opt k = Json.mem_opt k j in
+  let int_field k ~default =
+    match field_opt k with
+    | Some Json.Null | None -> default
+    | Some v -> Json.to_int v
+  in
+  let int_opt_field k =
+    match field_opt k with Some Json.Null | None -> None | Some v -> Some (Json.to_int v)
+  in
+  let float_opt_field k =
+    match field_opt k with Some Json.Null | None -> None | Some v -> Some (Json.to_float v)
+  in
+  let str_field k ~default =
+    match field_opt k with Some v -> Json.to_str v | None -> default
+  in
+  let bool_field k ~default =
+    match field_opt k with Some v -> Json.to_bool v | None -> default
+  in
+  let id () =
+    match field_opt "id" with
+    | Some v -> Json.to_int v
+    | None -> raise (Json.Decode_error "missing field \"id\"")
+  in
+  match Json.to_str (Json.mem "op" j) with
+  | "submit" ->
+      let source =
+        match field_opt "source" with
+        | Some v -> Json.to_str v
+        | None -> raise (Json.Decode_error "submit: missing field \"source\"")
+      in
+      Ok
+        (Submit
+           {
+             sb_name = str_field "name" ~default:"";
+             sb_source = source;
+             sb_seed = int_field "seed" ~default:1;
+             sb_moves = int_opt_field "moves";
+             sb_runs = int_field "runs" ~default:1;
+             sb_priority = int_field "priority" ~default:0;
+             sb_deadline_s = float_opt_field "deadline_s";
+             sb_trace = bool_field "trace" ~default:false;
+           })
+  | "status" -> Ok (Status (id ()))
+  | "result" -> Ok (Result (id ()))
+  | "cancel" -> Ok (Cancel (id ()))
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* Field accessors raise [Decode_error] on shape mismatches anywhere in the
+   request; fold those into the result. *)
+let request_of_json j =
+  match request_of_json j with r -> r | exception Json.Decode_error e -> Error e
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+let err msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+
+let response_error j =
+  match Json.mem_opt "ok" j with
+  | Some (Json.Bool true) -> None
+  | Some (Json.Bool false) -> begin
+      match Json.mem_opt "error" j with
+      | Some (Json.Str e) -> Some e
+      | Some _ | None -> Some "request failed"
+    end
+  | Some _ | None -> Some "malformed response (no \"ok\" field)"

@@ -1,0 +1,51 @@
+(** The oblxd wire protocol: JSONL over a Unix-domain socket. Each request
+    is one JSON object on one line; each response is one JSON object on
+    one line, with ["ok"] telling success from failure. The payload
+    encoding reuses the telemetry JSON of {!Obs.Json} — the same codec the
+    trace files use, so one parser serves both.
+
+    Requests (fields beyond ["op"] shown with their defaults):
+    {v
+    {"op":"submit","source":S,"name":N,"seed":1,"moves":null,"runs":1,
+     "priority":0,"deadline_s":null,"trace":false}
+    {"op":"status","id":I}
+    {"op":"result","id":I}
+    {"op":"cancel","id":I}
+    {"op":"stats"}
+    {"op":"shutdown"}
+    v}
+    See docs/SERVER.md for the full schema including responses. *)
+
+type submit = {
+  sb_name : string;  (** label for humans: file name or benchmark name *)
+  sb_source : string;  (** the problem description text itself *)
+  sb_seed : int;
+  sb_moves : int option;  (** [None] = OBLX's per-problem default budget *)
+  sb_runs : int;  (** independent restarts, run sequentially in the job *)
+  sb_priority : int;  (** higher runs sooner; ties go to submission order *)
+  sb_deadline_s : float option;
+      (** wall-clock budget measured from submission (queue wait counts);
+          on expiry the job aborts with [cut_reason = "deadline"] *)
+  sb_trace : bool;  (** keep a bounded ring of stage events with the job *)
+}
+
+type request =
+  | Submit of submit
+  | Status of int
+  | Result of int
+  | Cancel of int
+  | Stats
+  | Shutdown
+
+val request_to_json : request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (request, string) result
+
+(** [ok fields] is [{"ok":true, ...fields}]. *)
+val ok : (string * Obs.Json.t) list -> Obs.Json.t
+
+(** [err msg] is [{"ok":false,"error":msg}]. *)
+val err : string -> Obs.Json.t
+
+(** [response_error j] — [Some msg] when [j] is an error response (or is
+    not a well-formed response at all), [None] when ["ok"] is true. *)
+val response_error : Obs.Json.t -> string option

@@ -1,0 +1,98 @@
+module Json = Obs.Json
+
+type config = {
+  socket_path : string;
+  pool : Pool.config;
+}
+
+let handle pool stop (req : Proto.request) =
+  match req with
+  | Proto.Submit s -> begin
+      match Pool.submit pool s with
+      | Ok id -> Proto.ok [ ("id", Json.Num (float_of_int id)) ]
+      | Error e -> Proto.err e
+    end
+  | Proto.Status id -> begin
+      match Pool.status_json pool id with
+      | Ok j -> Proto.ok [ ("job", j) ]
+      | Error e -> Proto.err e
+    end
+  | Proto.Result id -> begin
+      match Pool.result_json pool id with
+      | Ok j -> Proto.ok [ ("job", j) ]
+      | Error e -> Proto.err e
+    end
+  | Proto.Cancel id -> begin
+      match Pool.cancel pool id with Ok () -> Proto.ok [] | Error e -> Proto.err e
+    end
+  | Proto.Stats -> Pool.stats_json pool
+  | Proto.Shutdown ->
+      Atomic.set stop true;
+      Proto.ok [ ("shutting_down", Json.Bool true) ]
+
+(* One connection: requests line by line until EOF. A malformed line gets
+   an error response rather than a dropped connection, so a misbehaving
+   client can diagnose itself. *)
+let serve_connection pool stop fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    if Atomic.get stop then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+          (match Json.of_string line with
+          | Error e -> respond (Proto.err (Printf.sprintf "bad JSON: %s" e))
+          | Ok j -> begin
+              match Proto.request_of_json j with
+              | Error e -> respond (Proto.err (Printf.sprintf "bad request: %s" e))
+              | Ok req -> respond (handle pool stop req)
+            end);
+          loop ()
+  in
+  (* A client that vanished mid-response (EPIPE, reset) is its problem,
+     not the daemon's. *)
+  (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let run ?ready config =
+  let stop = Atomic.make false in
+  (* Graceful signals: finish the in-flight request, then drain. SIGPIPE
+     must not kill the daemon when a client disconnects mid-write. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let on_signal _ = Atomic.set stop true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal) with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal) with Invalid_argument _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listener 64;
+  let pool = Pool.create config.pool in
+  (match ready with Some f -> f () | None -> ());
+  let rec accept_loop () =
+    if Atomic.get stop then ()
+    else begin
+      (* Select with a short timeout so a signal or shutdown request is
+         honoured even while no client is connected. *)
+      (match Unix.select [ listener ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> begin
+          match Unix.accept listener with
+          | fd, _ -> serve_connection pool stop fd
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  Pool.shutdown pool;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  try Unix.unlink config.socket_path with Unix.Unix_error _ -> ()

@@ -1,0 +1,17 @@
+(** The oblxd daemon loop: a Unix-domain stream socket speaking the JSONL
+    protocol of {!Proto}, dispatching into a {!Pool}. Connections are
+    served one at a time (requests are table lookups; synthesis happens on
+    the pool's worker domains), so clients should keep connections short —
+    the bundled {!Client} opens one per request. *)
+
+type config = {
+  socket_path : string;
+  pool : Pool.config;
+}
+
+(** [run ?ready config] binds [config.socket_path] (unlinking a stale
+    socket file first), starts the pool, and serves until a [shutdown]
+    request or SIGINT/SIGTERM arrives; then drains the pool and removes
+    the socket file. [ready] fires once the socket is listening — how an
+    in-process harness (tests, bench) knows it can connect. *)
+val run : ?ready:(unit -> unit) -> config -> unit

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the oblxd daemon (docs/SERVER.md): boot it,
+# prove the compile cache hits on a repeated topology, prove cancellation
+# propagates cut_reason, and shut down cleanly. CI runs this as the
+# serve-smoke job; locally it is `make serve-smoke`. Everything lives in a
+# temp dir, nothing is left behind.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+dune build bin/oblxd.exe bin/astrx.exe
+
+OBLXD=_build/default/bin/oblxd.exe
+ASTRX=_build/default/bin/astrx.exe
+DIR=$(mktemp -d)
+SOCK="$DIR/oblxd.sock"
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+cleanup() {
+  if [ -n "${DAEMON_PID:-}" ]; then kill "$DAEMON_PID" 2>/dev/null || true; fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$OBLXD" --socket "$SOCK" --workers 1 --state-dir "$DIR/state" &
+DAEMON_PID=$!
+
+for _ in $(seq 1 50); do
+  if [ -S "$SOCK" ]; then break; fi
+  sleep 0.1
+done
+if [ ! -S "$SOCK" ]; then fail "daemon socket never appeared"; fi
+
+echo "== first submission (compile miss) =="
+OUT1=$("$ASTRX" submit simple-ota --socket "$SOCK" --moves 500 --wait --json)
+echo "$OUT1"
+echo "$OUT1" | grep -q '"state":"done"' || fail "first job did not finish"
+echo "$OUT1" | grep -q '"cache":"miss"' || fail "first job should miss the cache"
+
+echo "== second submission (cache hit) =="
+OUT2=$("$ASTRX" submit simple-ota --socket "$SOCK" --seed 2 --moves 500 --wait --json)
+echo "$OUT2" | grep -q '"state":"done"' || fail "second job did not finish"
+echo "$OUT2" | grep -q '"cache":"hit"' || fail "second submission should hit the compile cache"
+
+echo "== cancellation propagates cut_reason =="
+ID=$("$ASTRX" submit simple-ota --socket "$SOCK" --moves 20000000 --json | sed 's/[^0-9]//g')
+sleep 0.5
+"$ASTRX" cancel "$ID" --socket "$SOCK"
+RES=""
+for _ in $(seq 1 100); do
+  RES=$("$ASTRX" result "$ID" --socket "$SOCK" --json)
+  if echo "$RES" | grep -q '"state":"cancelled"'; then break; fi
+  sleep 0.1
+done
+echo "$RES" | grep -q '"state":"cancelled"' || fail "cancelled job never reached state=cancelled"
+echo "$RES" | grep -q '"cut_reason":"cancelled"' || fail "cut_reason not propagated to the job record"
+
+echo "== stats =="
+"$ASTRX" stats --socket "$SOCK"
+"$ASTRX" stats --socket "$SOCK" --json | grep -q '"hit_rate"' || fail "stats carry no cache hit rate"
+
+echo "== clean shutdown =="
+"$ASTRX" shutdown --socket "$SOCK"
+for _ in $(seq 1 100); do
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then fail "daemon still alive after shutdown"; fi
+if [ -S "$SOCK" ]; then fail "socket file not removed on shutdown"; fi
+DAEMON_PID=
+ls "$DIR/state" | grep -q '^job-' || fail "no job records in the state dir"
+
+echo "serve-smoke: OK"

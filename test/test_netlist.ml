@@ -221,6 +221,94 @@ let test_elab_ground_aliases () =
   let c = Netlist.Elab.flatten ~subckts:[] (Netlist.Parser.parse_elements "r1 a 0 1k\nr2 a gnd 1k\n") in
   Alcotest.(check int) "two nodes only" 2 (Netlist.Circuit.node_count c)
 
+(* --- Canonical hashing (the serve-layer compile-cache key) --- *)
+
+let hash_src s = Netlist.Canon.problem_hash (Netlist.Parser.parse_problem s)
+
+let test_canon_circuit_element_order () =
+  let flat s = Netlist.Elab.flatten ~subckts:[] (Netlist.Parser.parse_elements s) in
+  (* Element order also permutes node-interning order; both must cancel. *)
+  let a = flat "r1 a b 1k\nr2 b 0 2k\nc1 a 0 1p\n" in
+  let b = flat "c1 a 0 1p\nr2 b 0 2k\nr1 a b 1k\n" in
+  Alcotest.(check string) "reordered elements hash alike" (Netlist.Canon.circuit_hash a)
+    (Netlist.Canon.circuit_hash b);
+  let changed = flat "r1 a b 1k\nr2 b 0 2k\nc1 a 0 2p\n" in
+  Alcotest.(check bool) "changed value hashes differently" true
+    (Netlist.Canon.circuit_hash a <> Netlist.Canon.circuit_hash changed)
+
+let test_canon_problem_invariances () =
+  let base = hash_src small_problem in
+  (* Same facts: jig and bias element lines permuted, subckt body permuted,
+     a comment added, the title changed. *)
+  let permuted =
+    {|.title something else entirely
+* a cosmetic comment
+.process p1u2
+.param cl=1p
+.subckt amp in out vdd
+r1 vdd out 10k
+m1 out in 0 0 nmos w='w' l='l'
+.ends
+.var w min=2u max=100u steps=10
+.var l min=1u max=10u
+.jig main
+cl1 out 0 'cl'
+vin in 0 2.5 ac 1
+vdd nvdd 0 5
+xa in out nvdd amp
+.pz tf v(out) vin
+.endjig
+.bias
+vin in 0 2.5
+vdd nvdd 0 5
+xa in out nvdd amp
+.endbias
+.obj gain 'db(dc_gain(tf))' good=20 bad=0
+.spec ugf 'ugf(tf)' good=1meg bad=10k
+|}
+  in
+  Alcotest.(check string) "order/comments/title canonicalized away" base (hash_src permuted)
+
+let test_canon_subckt_inst_order () =
+  let mk body =
+    ".subckt d a b\nr1 a b 1k\n.ends\n.jig j\n" ^ body
+    ^ "vin p 0 1 ac 1\n.pz t v(q) vin\n.endjig\n.bias\nr9 x 0 1\n.endbias\n\
+       .obj o 'dc_gain(t)' good=1 bad=0\n"
+  in
+  Alcotest.(check string) "instantiation order canonicalized away"
+    (hash_src (mk "x1 p q d\nx2 q 0 d\n"))
+    (hash_src (mk "x2 q 0 d\nx1 p q d\n"))
+
+let replace_once sub by s =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then Alcotest.failf "pattern %S not found" sub
+    else if String.sub s i m = sub then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+
+let test_canon_problem_sensitivity () =
+  let base = hash_src small_problem in
+  let tweaked replace_what with_what =
+    let s = replace_once replace_what with_what small_problem in
+    Alcotest.(check bool)
+      (Printf.sprintf "hash moves when %S -> %S" replace_what with_what)
+      true
+      (hash_src s <> base)
+  in
+  tweaked "10k" "11k";
+  (* an element value inside the subckt body *)
+  tweaked "max=100u" "max=90u";
+  (* a variable range *)
+  tweaked "good=20" "good=21";
+  (* a spec bound *)
+  tweaked ".param cl=1p" ".param cl=2p";
+  (* a shared parameter *)
+  tweaked ".process p1u2" ".process p2u"
+(* the process card *)
+
 let () =
   Alcotest.run "netlist"
     [
@@ -246,5 +334,12 @@ let () =
           Alcotest.test_case "port arity" `Quick test_elab_port_arity;
           Alcotest.test_case "nested subckts" `Quick test_elab_nested_subckts;
           Alcotest.test_case "ground aliases" `Quick test_elab_ground_aliases;
+        ] );
+      ( "canon",
+        [
+          Alcotest.test_case "circuit element order" `Quick test_canon_circuit_element_order;
+          Alcotest.test_case "problem invariances" `Quick test_canon_problem_invariances;
+          Alcotest.test_case "subckt instantiation order" `Quick test_canon_subckt_inst_order;
+          Alcotest.test_case "problem sensitivity" `Quick test_canon_problem_sensitivity;
         ] );
     ]

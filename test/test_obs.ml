@@ -121,6 +121,122 @@ let test_json_exact_float_round_trip () =
          | Ok (Obs.Json.Num y) -> Int64.bits_of_float y = Int64.bits_of_float x
          | _ -> false))
 
+(* Random whole documents: arbitrary byte strings as keys and values,
+   finite floats, nested arrays/objects. Two renderings are compared
+   (rather than the values) so -0.0 vs 0.0 cannot produce a spurious
+   failure: equal text implies an equal parse. *)
+let json_value_gen =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         let scalar =
+           oneof
+             [
+               return Obs.Json.Null;
+               map (fun b -> Obs.Json.Bool b) bool;
+               map
+                 (fun f -> Obs.Json.Num (if Float.is_finite f then f else 0.0))
+                 QCheck.Gen.float;
+               map (fun s -> Obs.Json.Str s) (string_size (int_bound 12));
+             ]
+         in
+         if n = 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               (1, map (fun l -> Obs.Json.Arr l) (list_size (int_bound 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun l -> Obs.Json.Obj l)
+                   (list_size (int_bound 4)
+                      (pair (string_size (int_bound 8)) (self (n / 2)))) );
+             ])
+
+let test_json_document_round_trip_random () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300 ~name:"random document survives print/parse"
+       (QCheck.make ~print:(fun v -> Obs.Json.to_string v) json_value_gen)
+       (fun v ->
+         let s = Obs.Json.to_string v in
+         match Obs.Json.of_string s with
+         | Ok v' -> Obs.Json.to_string v' = s
+         | Error _ -> false))
+
+let test_json_adversarial_strings () =
+  (* Every byte value must survive one escape/unescape cycle. *)
+  let all_bytes = String.init 256 Char.chr in
+  (match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Str all_bytes)) with
+  | Ok (Obs.Json.Str s) -> Alcotest.(check string) "all 256 bytes round-trip" all_bytes s
+  | Ok _ | Error _ -> Alcotest.fail "all-bytes string did not parse back");
+  (* Escapes the printer never emits but a peer may send. *)
+  List.iter
+    (fun (input, expect) ->
+      match Obs.Json.of_string input with
+      | Ok (Obs.Json.Str s) -> Alcotest.(check string) input expect s
+      | Ok _ -> Alcotest.failf "%s: parsed to a non-string" input
+      | Error e -> Alcotest.failf "%s: %s" input e)
+    [
+      ({|"a\/b"|}, "a/b");
+      ({|"AZ"|}, "AZ");
+      ({|"\b\f"|}, "\b\012");
+      ({|"tab\there"|}, "tab\there");
+    ];
+  (* Malformed escapes and truncated strings are errors, not crashes. *)
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s
+      | Error _ -> ())
+    [ {|"\x"|}; {|"\u12"|}; {|"\u12zz"|}; {|"\|}; "\"abc"; "\"a\\" ]
+
+let test_json_deep_nesting () =
+  let depth = 400 in
+  let doc =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "0"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  (match Obs.Json.of_string doc with
+  | Ok v ->
+      let rec measure acc = function
+        | Obs.Json.Arr [ inner ] -> measure (acc + 1) inner
+        | Obs.Json.Num 0.0 -> acc
+        | _ -> Alcotest.fail "unexpected shape"
+      in
+      Alcotest.(check int) "array nesting depth" depth (measure 0 v)
+  | Error e -> Alcotest.failf "deep array: %s" e);
+  let obj =
+    String.concat "" (List.init depth (fun _ -> {|{"k":|}))
+    ^ "null"
+    ^ String.concat "" (List.init depth (fun _ -> "}"))
+  in
+  match Obs.Json.of_string obj with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "deep object: %s" e
+
+let test_json_truncated_prefixes () =
+  (* Every strict prefix of a valid document must come back Ok or Error —
+     never an escaping exception. (Some prefixes are themselves valid:
+     "12" is a prefix of "123".) *)
+  let docs =
+    [
+      {|{"a":[1,true,"x\n"],"b":{"c":null,"d":-1.5e-3}}|};
+      {|[[],{},"é",1e10]|};
+      Obs.Json.to_string (Obs.Event.to_json (List.nth sample_events 1));
+    ]
+  in
+  List.iter
+    (fun doc ->
+      for n = 0 to String.length doc - 1 do
+        let prefix = String.sub doc 0 n in
+        match Obs.Json.of_string prefix with
+        | Ok _ | Error _ -> ()
+        | exception exn ->
+            Alcotest.failf "prefix %S raised %s" prefix (Printexc.to_string exn)
+      done)
+    docs
+
 (* --- Event encoding --- *)
 
 let test_event_round_trip () =
@@ -579,6 +695,11 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_json_errors;
           Alcotest.test_case "float bit-exactness (property)" `Quick
             test_json_exact_float_round_trip;
+          Alcotest.test_case "document round-trips (property)" `Quick
+            test_json_document_round_trip_random;
+          Alcotest.test_case "adversarial strings" `Quick test_json_adversarial_strings;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+          Alcotest.test_case "truncated prefixes" `Quick test_json_truncated_prefixes;
         ] );
       ( "event",
         [

@@ -1,0 +1,352 @@
+(* Tests for the synthesis service: protocol codec, compile cache, pool
+   queue discipline (backpressure, priorities, cancellation, deadlines),
+   and the socket daemon end to end. *)
+
+let ota_source = (Option.get (Suite.Ckts.find "simple-ota")).Suite.Ckts.source
+
+let submission ?(name = "simple-ota") ?(source = ota_source) ?(seed = 1) ?moves ?(runs = 1)
+    ?(priority = 0) ?deadline_s ?(trace = false) () =
+  {
+    Serve.Proto.sb_name = name;
+    sb_source = source;
+    sb_seed = seed;
+    sb_moves = moves;
+    sb_runs = runs;
+    sb_priority = priority;
+    sb_deadline_s = deadline_s;
+    sb_trace = trace;
+  }
+
+let jnum j k =
+  match Obs.Json.mem_opt k j with Some (Obs.Json.Num v) -> Some v | _ -> None
+
+let jstr j k =
+  match Obs.Json.mem_opt k j with Some (Obs.Json.Str s) -> Some s | _ -> None
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* --- Protocol --- *)
+
+let test_proto_round_trip () =
+  let requests =
+    [
+      Serve.Proto.Submit
+        (submission ~name:"x" ~source:"src" ~seed:7 ~moves:123 ~runs:3 ~priority:2
+           ~deadline_s:1.5 ~trace:true ());
+      Serve.Proto.Submit (submission ~source:"s" ());
+      Serve.Proto.Status 4;
+      Serve.Proto.Result 0;
+      Serve.Proto.Cancel 91;
+      Serve.Proto.Stats;
+      Serve.Proto.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Serve.Proto.request_of_json (Serve.Proto.request_to_json req) with
+      | Ok req' -> Alcotest.(check bool) "request survives the wire" true (req = req')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    requests
+
+let test_proto_lenient_defaults () =
+  let decode s =
+    match Obs.Json.of_string s with
+    | Ok j -> Serve.Proto.request_of_json j
+    | Error e -> Alcotest.failf "json: %s" e
+  in
+  (match decode {|{"op":"submit","source":"body"}|} with
+  | Ok (Serve.Proto.Submit s) ->
+      Alcotest.(check int) "default seed" 1 s.Serve.Proto.sb_seed;
+      Alcotest.(check int) "default runs" 1 s.sb_runs;
+      Alcotest.(check int) "default priority" 0 s.sb_priority;
+      Alcotest.(check bool) "default moves" true (s.sb_moves = None);
+      Alcotest.(check bool) "default deadline" true (s.sb_deadline_s = None);
+      Alcotest.(check bool) "default trace" false s.sb_trace
+  | Ok _ -> Alcotest.fail "wrong request"
+  | Error e -> Alcotest.failf "decode: %s" e);
+  (* Shape errors are decode errors, never exceptions. *)
+  List.iter
+    (fun s ->
+      match decode s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected decode error for %s" s)
+    [
+      {|{"op":"submit"}|};
+      {|{"op":"status"}|};
+      {|{"op":"cancel","id":"three"}|};
+      {|{"op":"frobnicate"}|};
+      {|{"op":"submit","source":"s","seed":"high"}|};
+    ]
+
+(* --- Compile cache --- *)
+
+let test_cache_hit_miss () =
+  let cache = Core.Compile_cache.create ~capacity:4 () in
+  let _, o1 = ok (Core.Compile_cache.compile cache ~source:ota_source) in
+  let _, o2 = ok (Core.Compile_cache.compile cache ~source:ota_source) in
+  Alcotest.(check bool) "first is a miss" true (o1 = Core.Compile_cache.Miss);
+  Alcotest.(check bool) "second is a hit" true (o2 = Core.Compile_cache.Hit);
+  (* Cosmetic edits (comment, title) hit the same entry. *)
+  let _, o3 =
+    ok (Core.Compile_cache.compile cache ~source:("* cosmetic comment\n" ^ ota_source))
+  in
+  Alcotest.(check bool) "comment-only edit hits" true (o3 = Core.Compile_cache.Hit);
+  let st = Core.Compile_cache.stats cache in
+  Alcotest.(check int) "hits" 2 st.Core.Compile_cache.hits;
+  Alcotest.(check int) "misses" 1 st.Core.Compile_cache.misses;
+  Alcotest.(check int) "entries" 1 st.Core.Compile_cache.entries
+
+let test_cache_remembers_failures () =
+  (* Parses fine but fails semantic compilation: unknown model. *)
+  let broken =
+    ".jig j\nm1 d g 0 0 nosuchmodel w=10u l=1u\nvin d 0 1 ac 1\n.pz t v(d) vin\n.endjig\n\
+     .bias\nr1 x 0 1\n.endbias\n.obj o 'dc_gain(t)' good=1 bad=0\n"
+  in
+  let cache = Core.Compile_cache.create ~capacity:4 () in
+  let r1 = Core.Compile_cache.compile cache ~source:broken in
+  let r2 = Core.Compile_cache.compile cache ~source:broken in
+  (match (r1, r2) with
+  | Error e1, Error e2 -> Alcotest.(check string) "same error replayed" e1 e2
+  | _ -> Alcotest.fail "expected compile errors");
+  let st = Core.Compile_cache.stats cache in
+  Alcotest.(check int) "second lookup hit the cached failure" 1 st.Core.Compile_cache.hits;
+  Alcotest.(check int) "compiled once" 1 st.Core.Compile_cache.misses;
+  (* A parse error is not cacheable (no canonical form to key on). *)
+  match Core.Compile_cache.compile cache ~source:".frobnicate\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_cache_lru_eviction () =
+  let cache = Core.Compile_cache.create ~capacity:1 () in
+  let other = (Option.get (Suite.Ckts.find "ota")).Suite.Ckts.source in
+  let _ = ok (Core.Compile_cache.compile cache ~source:ota_source) in
+  let _ = ok (Core.Compile_cache.compile cache ~source:other) in
+  let _, o3 = ok (Core.Compile_cache.compile cache ~source:ota_source) in
+  Alcotest.(check bool) "evicted entry misses again" true (o3 = Core.Compile_cache.Miss);
+  let st = Core.Compile_cache.stats cache in
+  Alcotest.(check int) "evictions" 2 st.Core.Compile_cache.evictions;
+  Alcotest.(check int) "capacity bound holds" 1 st.Core.Compile_cache.entries
+
+(* --- Pool --- *)
+
+(* workers = 0: jobs stay queued, so queue discipline is observable without
+   racing real synthesis. *)
+let frozen_pool ?(queue_capacity = 2) () =
+  Serve.Pool.create
+    {
+      Serve.Pool.default_config with
+      workers = 0;
+      queue_capacity;
+      state_dir = None;
+    }
+
+let test_pool_backpressure () =
+  let pool = frozen_pool ~queue_capacity:2 () in
+  let id0 = ok (Serve.Pool.submit pool (submission ())) in
+  let _ = ok (Serve.Pool.submit pool (submission ())) in
+  (match Serve.Pool.submit pool (submission ()) with
+  | Error reason ->
+      Alcotest.(check bool) "rejection explains itself" true
+        (String.length reason > 0
+        && String.sub reason 0 (String.length "queue full") = "queue full")
+  | Ok _ -> Alcotest.fail "third submission must be rejected");
+  (* Draining one queued job frees a slot. *)
+  ok (Serve.Pool.cancel pool id0);
+  let _ = ok (Serve.Pool.submit pool (submission ())) in
+  (* Invalid submissions are rejected up front, not enqueued. *)
+  (match Serve.Pool.submit pool (submission ~runs:0 ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "runs=0 must be rejected");
+  (match Serve.Pool.submit pool (submission ~source:"  " ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty source must be rejected");
+  Serve.Pool.shutdown pool
+
+let test_pool_priority_order () =
+  let pool = frozen_pool ~queue_capacity:8 () in
+  let low = ok (Serve.Pool.submit pool (submission ~priority:0 ())) in
+  let high = ok (Serve.Pool.submit pool (submission ~priority:5 ())) in
+  let mid = ok (Serve.Pool.submit pool (submission ~priority:3 ())) in
+  let pos id =
+    match jnum (ok (Serve.Pool.status_json pool id)) "queue_position" with
+    | Some p -> int_of_float p
+    | None -> Alcotest.failf "job %d not queued" id
+  in
+  Alcotest.(check int) "high first" 0 (pos high);
+  Alcotest.(check int) "mid second" 1 (pos mid);
+  Alcotest.(check int) "low last" 2 (pos low);
+  Serve.Pool.shutdown pool
+
+let test_pool_cancel_queued () =
+  let pool = frozen_pool ~queue_capacity:4 () in
+  let id = ok (Serve.Pool.submit pool (submission ())) in
+  ok (Serve.Pool.cancel pool id);
+  let j = ok (Serve.Pool.result_json pool id) in
+  Alcotest.(check (option string)) "state" (Some "cancelled") (jstr j "state");
+  (* Cancelling twice is an error (already cancelled), as is an unknown id. *)
+  (match Serve.Pool.cancel pool id with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double cancel must fail");
+  (match Serve.Pool.cancel pool 999 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown id must fail");
+  Serve.Pool.shutdown pool
+
+let running_pool () =
+  Serve.Pool.create
+    { Serve.Pool.default_config with workers = 1; queue_capacity = 16; state_dir = None }
+
+let rec wait_done pool id =
+  let j = ok (Serve.Pool.status_json pool id) in
+  match jstr j "state" with
+  | Some ("queued" | "running") ->
+      Unix.sleepf 0.02;
+      wait_done pool id
+  | Some s -> s
+  | None -> Alcotest.fail "no state"
+
+let test_pool_deadline_cut () =
+  let pool = running_pool () in
+  (* A move budget far beyond what 0.2 s allows: the deadline must cut it,
+     and the record must say so. *)
+  let id =
+    ok (Serve.Pool.submit pool (submission ~moves:10_000_000 ~deadline_s:0.2 ()))
+  in
+  let state = wait_done pool id in
+  let j = ok (Serve.Pool.result_json pool id) in
+  Alcotest.(check string) "finished" "done" state;
+  Alcotest.(check (option string)) "cut by the deadline"
+    (Some Core.Oblx.deadline_reason) (jstr j "cut_reason");
+  Alcotest.(check bool) "still reports a best design" true (jnum j "best_cost" <> None);
+  Serve.Pool.shutdown pool
+
+let test_pool_determinism_and_trace () =
+  let pool = running_pool () in
+  let moves = 400 in
+  let id = ok (Serve.Pool.submit pool (submission ~seed:5 ~moves ~trace:true ())) in
+  let state = wait_done pool id in
+  Alcotest.(check string) "finished" "done" state;
+  let j = ok (Serve.Pool.result_json pool id) in
+  (* Bit-for-bit against the CLI path: the service's abort plumbing must not
+     perturb a run it never cuts. *)
+  let p =
+    match Core.Compile.compile_source ota_source with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let local, _ = Core.Oblx.best_of ~seed:5 ~moves ~jobs:1 ~runs:1 p in
+  (match jnum j "best_cost" with
+  | Some served ->
+      Alcotest.(check bool) "served = local, bit for bit" true
+        (Int64.bits_of_float served = Int64.bits_of_float local.Core.Oblx.best_cost)
+  | None -> Alcotest.fail "no best_cost");
+  (* trace:true attaches the stage-event ring to the record. *)
+  (match Obs.Json.mem_opt "events" j with
+  | Some (Obs.Json.Arr evs) -> Alcotest.(check bool) "events captured" true (evs <> [])
+  | _ -> Alcotest.fail "no events array");
+  Serve.Pool.shutdown pool
+
+let test_pool_shutdown_cancels_queued () =
+  let pool = frozen_pool ~queue_capacity:4 () in
+  let id = ok (Serve.Pool.submit pool (submission ())) in
+  Serve.Pool.shutdown pool;
+  let j = ok (Serve.Pool.result_json pool id) in
+  Alcotest.(check (option string)) "queued job cancelled" (Some "cancelled")
+    (jstr j "state");
+  (match Serve.Pool.submit pool (submission ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "submissions after shutdown must be rejected");
+  (* Idempotent. *)
+  Serve.Pool.shutdown pool
+
+(* --- Daemon over the socket --- *)
+
+let test_server_end_to_end () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "oblxd-test-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      Serve.Server.socket_path = socket;
+      pool =
+        { Serve.Pool.default_config with workers = 1; queue_capacity = 8; state_dir = None };
+    }
+  in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run
+          ~ready:(fun () ->
+            Mutex.lock ready_m;
+            ready := true;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          cfg)
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  (* Submit twice: the second compile must hit the cache. *)
+  let id1 = ok (Serve.Client.submit ~socket (submission ~moves:300 ())) in
+  let j1 = ok (Serve.Client.wait ~socket id1) in
+  Alcotest.(check (option string)) "first done" (Some "done") (jstr j1 "state");
+  Alcotest.(check (option string)) "first missed the cache" (Some "miss") (jstr j1 "cache");
+  let id2 = ok (Serve.Client.submit ~socket (submission ~moves:300 ~seed:2 ())) in
+  let j2 = ok (Serve.Client.wait ~socket id2) in
+  Alcotest.(check (option string)) "second hit the cache" (Some "hit") (jstr j2 "cache");
+  (* Malformed and protocol-error requests answer with ok:false, and the
+     connection-per-request model survives them. *)
+  (match Serve.Client.request ~socket (Obs.Json.Str "not a request") with
+  | Ok resp -> Alcotest.(check bool) "error response" true (Serve.Proto.response_error resp <> None)
+  | Error e -> Alcotest.failf "transport error: %s" e);
+  (match Serve.Client.status ~socket 999 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown id must be an error");
+  (* Stats reflect the two finished jobs and the cache hit. *)
+  let stats = ok (Serve.Client.stats ~socket ()) in
+  let jobs = Option.get (Obs.Json.mem_opt "jobs" stats) in
+  Alcotest.(check (option (float 0.0))) "two done" (Some 2.0) (jnum jobs "done");
+  let cache = Option.get (Obs.Json.mem_opt "cache" stats) in
+  Alcotest.(check bool) "hit rate > 0"
+    true
+    (match jnum cache "hit_rate" with Some r -> r > 0.0 | None -> false);
+  ok (Serve.Client.shutdown ~socket ());
+  Domain.join server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket);
+  (* A client against a dead daemon gets a clear error, not a hang. *)
+  match Serve.Client.stats ~socket () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dead daemon must be an error"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_proto_round_trip;
+          Alcotest.test_case "lenient defaults + shape errors" `Quick
+            test_proto_lenient_defaults;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "failures cached" `Quick test_cache_remembers_failures;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "backpressure" `Quick test_pool_backpressure;
+          Alcotest.test_case "priority order" `Quick test_pool_priority_order;
+          Alcotest.test_case "cancel queued" `Quick test_pool_cancel_queued;
+          Alcotest.test_case "deadline cut" `Slow test_pool_deadline_cut;
+          Alcotest.test_case "determinism + trace" `Slow test_pool_determinism_and_trace;
+          Alcotest.test_case "shutdown cancels queued" `Quick
+            test_pool_shutdown_cancels_queued;
+        ] );
+      ( "server",
+        [ Alcotest.test_case "end to end over the socket" `Slow test_server_end_to_end ] );
+    ]
