@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-serve trace-replay serve-smoke clean
+.PHONY: all build test bench bench-quick bench-serve bench-serve-concurrent trace-replay serve-smoke clean
 
 all: build
 
@@ -36,6 +36,12 @@ trace-replay:
 # cache hit rate, and the deadline/determinism checks.
 bench-serve:
 	dune exec bench/main.exe -- serve --moves 300
+
+# The daemon under simultaneous clients: stats latency with idle
+# connections held, over-cap rejection, and parallel submit/wait
+# throughput; writes bench/results/serve-concurrent-latest.json.
+bench-serve-concurrent:
+	dune exec bench/main.exe -- serve-concurrent --moves 300
 
 # Boot the daemon, exercise submit/cache-hit/cancel/shutdown over the
 # socket (scripts/serve_smoke.sh; the CI serve-smoke job).

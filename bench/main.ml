@@ -655,6 +655,8 @@ let serve () =
   let cfg =
     {
       Serve.Server.socket_path = socket;
+      max_connections = Serve.Server.default_max_connections;
+      idle_timeout_s = Serve.Server.default_idle_timeout_s;
       pool =
         { Serve.Pool.default_config with workers; queue_capacity = 256; state_dir = None };
     }
@@ -815,10 +817,189 @@ let serve () =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Serve-concurrent: the daemon under simultaneous clients             *)
+(* ------------------------------------------------------------------ *)
+
+let serve_concurrent () =
+  sep "SERVE-CONCURRENT -- oblxd under held connections and parallel clients";
+  (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
+  (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
+  let socket = "bench/results/serve-concurrent.sock" in
+  let workers = Option.value !jobs ~default:(Core.Oblx.default_jobs ()) in
+  let s_moves = Option.value !moves ~default:600 in
+  let clients = 4 in
+  let jobs_per_client = 6 in
+  let max_connections = 16 in
+  let cfg =
+    {
+      Serve.Server.socket_path = socket;
+      max_connections;
+      idle_timeout_s = Serve.Server.default_idle_timeout_s;
+      pool =
+        { Serve.Pool.default_config with workers; queue_capacity = 256; state_dir = None };
+    }
+  in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run
+          ~ready:(fun () ->
+            Mutex.lock ready_m;
+            ready := true;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          cfg)
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let fail msg =
+    ignore (Serve.Client.shutdown ~socket ());
+    Domain.join server;
+    failwith ("serve-concurrent bench: " ^ msg)
+  in
+  let ok = function Ok v -> v | Error e -> fail e in
+  let connect_raw () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  in
+  Printf.printf "workers=%d clients=%d jobs/client=%d moves/job=%d cap=%d\n%!" workers
+    clients jobs_per_client s_moves max_connections;
+  (* Phase A: held idle connections must not serialize other clients. The
+     serial accept loop this daemon replaced would hang on the first one. *)
+  let held = ref (List.init 8 (fun _ -> connect_raw ())) in
+  let lat =
+    Array.init 60 (fun _ ->
+        let t = Unix.gettimeofday () in
+        ignore (ok (Serve.Client.stats ~socket ~timeout_s:5.0 ()));
+        Unix.gettimeofday () -. t)
+  in
+  Array.sort compare lat;
+  let lat_p50 = 1000.0 *. percentile lat 0.50 and lat_p99 = 1000.0 *. percentile lat 0.99 in
+  Printf.printf "stats latency with 8 idle connections held: p50 %.2f ms, p99 %.2f ms\n"
+    lat_p50 lat_p99;
+  (* Phase B: fill every slot; the next connection is answered busy. *)
+  held := !held @ List.init (max_connections - 8) (fun _ -> connect_raw ());
+  let busy_refused =
+    match Serve.Client.stats ~socket ~timeout_s:5.0 () with
+    | Error e ->
+        let has_cap = Serve.Proto.busy_message max_connections = e in
+        if not has_cap then fail ("unexpected over-cap error: " ^ e);
+        true
+    | Ok _ -> fail "over-cap connection was not refused"
+  in
+  List.iter Unix.close !held;
+  held := [];
+  (* Closed slots are reclaimed on the server's side of the socket; give the
+     reaper a beat before the parallel phase needs them. *)
+  let rec await_slot n =
+    match Serve.Client.stats ~socket ~timeout_s:5.0 () with
+    | Ok _ -> ()
+    | Error _ when n > 0 ->
+        Unix.sleepf 0.05;
+        await_slot (n - 1)
+    | Error e -> fail ("slots never freed: " ^ e)
+  in
+  await_slot 100;
+  (* Phase C: parallel clients, each submitting and awaiting its own batch. *)
+  let source = (Option.get (Suite.Ckts.find "simple-ota")).Suite.Ckts.source in
+  let t0 = Unix.gettimeofday () in
+  let client ci =
+    List.map
+      (fun k ->
+        let seed = base_seed + (ci * jobs_per_client) + k in
+        match
+          Serve.Client.submit ~socket
+            {
+              Serve.Proto.sb_name = "simple-ota";
+              sb_source = source;
+              sb_seed = seed;
+              sb_moves = Some s_moves;
+              sb_runs = 1;
+              sb_priority = 0;
+              sb_deadline_s = None;
+              sb_trace = false;
+            }
+        with
+        | Error e -> Error e
+        | Ok id -> Serve.Client.wait ~socket id)
+      (List.init jobs_per_client Fun.id)
+  in
+  let doms = List.init clients (fun ci -> Domain.spawn (fun () -> client ci)) in
+  let jobs_done = List.concat_map Domain.join doms |> List.map ok in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun j ->
+      match jstr j "state" with
+      | Some "done" -> ()
+      | s -> fail (Printf.sprintf "job ended %s" (Option.value s ~default:"?")))
+    jobs_done;
+  let n_jobs = clients * jobs_per_client in
+  let throughput = float_of_int n_jobs /. wall in
+  Printf.printf "%d clients x %d jobs: %d done in %.2f s -> %.2f jobs/s\n" clients
+    jobs_per_client n_jobs wall throughput;
+  (* Determinism through the concurrent path: client 0's first job ran with
+     [base_seed] and must match the CLI bit for bit. *)
+  let served_cost = Option.get (jnum (List.hd jobs_done) "best_cost") in
+  let p =
+    match Core.Compile.compile_source source with Ok p -> p | Error e -> fail e
+  in
+  let local, _ = Core.Oblx.best_of ~seed:base_seed ~moves:s_moves ~jobs:1 ~runs:1 p in
+  Printf.printf "determinism: served %.17g vs local %.17g -> %s\n" served_cost
+    local.Core.Oblx.best_cost
+    (if served_cost = local.Core.Oblx.best_cost then "bit-identical" else "MISMATCH");
+  if served_cost <> local.Core.Oblx.best_cost then
+    fail "served result differs from local best_of";
+  let stats = ok (Serve.Client.stats ~socket ()) in
+  let conns = Option.value (Obs.Json.mem_opt "connections" stats) ~default:(Obs.Json.Obj []) in
+  let cnum k = Option.value (jnum conns k) ~default:0.0 in
+  Printf.printf "connections: %.0f served, %.0f rejected (cap %d)\n" (cnum "total")
+    (cnum "rejected") max_connections;
+  if cnum "rejected" < 1.0 then fail "expected at least one over-cap rejection";
+  ok (Serve.Client.shutdown ~socket ());
+  Domain.join server;
+  let path = "bench/results/serve-concurrent-latest.json" in
+  let num v = Obs.Json.Num v in
+  let int v = num (float_of_int v) in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "serve-concurrent");
+        ("workers", int workers);
+        ("clients", int clients);
+        ("jobs_per_client", int jobs_per_client);
+        ("moves_per_job", int s_moves);
+        ("max_connections", int max_connections);
+        ("held_connections", int 8);
+        ( "stats_latency_ms",
+          Obs.Json.Obj [ ("p50", num lat_p50); ("p99", num lat_p99) ] );
+        ("busy_refused", Obs.Json.Bool busy_refused);
+        ("wall_s", num wall);
+        ("throughput_jobs_per_s", num throughput);
+        ( "connections",
+          Obs.Json.Obj
+            [
+              ("total", num (cnum "total"));
+              ("rejected", num (cnum "rejected"));
+            ] );
+        ("deterministic_vs_local", Obs.Json.Bool true);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|telemetry|serve|all]\n\
+     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|telemetry|serve|serve-concurrent|all]\n\
     \       [--runs N] [--moves N] [--jobs N]"
 
 let () =
@@ -852,6 +1033,7 @@ let () =
     | "perf-parallel" -> perf_parallel ()
     | "telemetry" -> telemetry ()
     | "serve" -> serve ()
+    | "serve-concurrent" -> serve_concurrent ()
     | "all" ->
         table1 ();
         table2 ();
@@ -863,7 +1045,8 @@ let () =
         perf ();
         perf_parallel ();
         telemetry ();
-        serve ()
+        serve ();
+        serve_concurrent ()
     | other ->
         Printf.printf "unknown experiment %S\n" other;
         usage ();

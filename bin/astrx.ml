@@ -503,6 +503,14 @@ let stats_cmd =
                      cancelled, %s rejected)\n"
         (n jobs "total") (n jobs "queued") (n jobs "running") (n jobs "done")
         (n jobs "failed") (n jobs "cancelled") (n jobs "rejected");
+      (match jnum j "restored_jobs" with
+      | Some r when r > 0.0 -> Printf.printf "  %.0f restored from the job log at startup\n" r
+      | Some _ | None -> ());
+      (match Json.mem_opt "connections" j with
+      | Some conns ->
+          Printf.printf "connections: %s active (max %s), %s accepted, %s rejected\n"
+            (n conns "active") (n conns "max") (n conns "total") (n conns "rejected")
+      | None -> ());
       Printf.printf "cache: %s hit / %s miss (%s entries, %s evictions)%s\n" (n cache "hits")
         (n cache "misses") (n cache "entries") (n cache "evictions")
         (match jnum cache "hit_rate" with

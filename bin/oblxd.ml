@@ -54,14 +54,33 @@ let default_moves_arg =
           "Move budget for submissions that do not set one (default: OBLX's per-problem \
            budget, which can be large — production deployments should cap it)")
 
+let max_connections_arg =
+  Arg.(
+    value
+    & opt int Serve.Server.default_max_connections
+    & info [ "max-connections" ] ~docv:"N"
+        ~doc:
+          "Live-connection cap; connections beyond it are answered with an error line and \
+           closed")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt float Serve.Server.default_idle_timeout_s
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:"Drop a connection this quiet between requests (frees its slot)")
+
 let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup banner")
 
-let run socket workers queue cache state_dir no_state default_moves quiet =
+let run socket workers queue cache state_dir no_state default_moves max_connections
+    idle_timeout quiet =
   let workers = match workers with Some w -> Int.max 0 w | None -> Core.Oblx.default_jobs () in
   let state_dir = if no_state then None else state_dir in
   let cfg =
     {
       Serve.Server.socket_path = socket;
+      max_connections = Int.max 1 max_connections;
+      idle_timeout_s = idle_timeout;
       pool =
         {
           Serve.Pool.workers;
@@ -74,12 +93,13 @@ let run socket workers queue cache state_dir no_state default_moves quiet =
   in
   let ready () =
     if not quiet then begin
-      Printf.printf "oblxd: listening on %s (%d worker%s, queue %d, cache %d)\n%!" socket
-        workers
+      Printf.printf
+        "oblxd: listening on %s (%d worker%s, queue %d, cache %d, max %d connections)\n%!"
+        socket workers
         (if workers = 1 then "" else "s")
-        queue cache;
+        queue cache (Int.max 1 max_connections);
       match state_dir with
-      | Some d -> Printf.printf "oblxd: job records in %s/\n%!" d
+      | Some d -> Printf.printf "oblxd: job records and jobs.log in %s/\n%!" d
       | None -> ()
     end
   in
@@ -99,4 +119,5 @@ let () =
        (Cmd.v info
           Term.(
             const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg $ state_dir_arg
-            $ no_state_arg $ default_moves_arg $ quiet_arg)))
+            $ no_state_arg $ default_moves_arg $ max_connections_arg $ idle_timeout_arg
+            $ quiet_arg)))

@@ -67,7 +67,7 @@ let evict_lru t =
 
 let compile t ~source =
   match key_of_source source with
-  | Error e -> Error e
+  | Error e -> Error (e, Miss) (* unparseable: no key, so never cached *)
   | Ok key -> begin
       let cached =
         locked t (fun () ->
@@ -83,7 +83,7 @@ let compile t ~source =
       in
       match cached with
       | Some (Ok p) -> Ok (p, Hit)
-      | Some (Error e) -> Error e
+      | Some (Error e) -> Error (e, Hit)
       | None -> begin
           (* Compile outside the lock: a big problem takes real time and
              must not stall lookups (or other compiles) behind it. *)
@@ -93,6 +93,6 @@ let compile t ~source =
                 if Hashtbl.length t.table >= t.capacity then evict_lru t;
                 Hashtbl.add t.table key { value; last_used = t.tick }
               end);
-          match value with Ok p -> Ok (p, Miss) | Error e -> Error e
+          match value with Ok p -> Ok (p, Miss) | Error e -> Error (e, Miss)
         end
     end

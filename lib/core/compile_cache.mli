@@ -40,5 +40,8 @@ val key_of_source : string -> (string, string) result
     that key, or compile and remember. Failed compiles are cached too
     (with their message), so a hammering client re-posting a broken
     description costs one compile, not one per submission. The [outcome]
-    tells whether this call hit the cache. *)
-val compile : t -> source:string -> (Problem.t * outcome, string) result
+    tells whether this call hit the cache — on both branches: a cached
+    failure replays as [Error (msg, Hit)], so a job record can report the
+    true hit/miss even when the compile failed. A parse error (no
+    canonical key to cache under) is always [Error (msg, Miss)]. *)
+val compile : t -> source:string -> (Problem.t * outcome, string * outcome) result

@@ -1,36 +1,50 @@
 module Json = Obs.Json
 
+(* Failure attribution matters to whoever is holding the pager: a connect
+   failure means "no daemon there" (wrong path, not started, crashed); an
+   EAGAIN after a successful connect is the socket timeout expiring on a
+   daemon that accepted but never answered — a very different bug. Keep
+   the two reports distinct. *)
 let request ~socket ?(timeout_s = 30.0) j =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let cleanup () = try Unix.close fd with Unix.Unix_error _ -> () in
-  match
-    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
-    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
-    Unix.connect fd (Unix.ADDR_UNIX socket);
-    let oc = Unix.out_channel_of_descr fd in
-    let ic = Unix.in_channel_of_descr fd in
-    output_string oc (Json.to_string j);
-    output_char oc '\n';
-    flush oc;
-    input_line ic
-  with
-  | line -> begin
-      cleanup ();
-      match Json.of_string line with
-      | Ok v -> Ok v
-      | Error e -> Error (Printf.sprintf "malformed response: %s" e)
-    end
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
   | exception Unix.Unix_error (err, _, _) ->
       cleanup ();
       Error
         (Printf.sprintf "cannot reach oblxd at %s: %s — is the daemon running?" socket
            (Unix.error_message err))
-  | exception End_of_file ->
-      cleanup ();
-      Error "connection closed by daemon before a response arrived"
-  | exception Sys_error e ->
-      cleanup ();
-      Error e
+  | () -> begin
+      match
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+        Proto.write_line fd j;
+        Proto.read_line (Proto.line_reader fd)
+      with
+      | Some line -> begin
+          cleanup ();
+          match Json.of_string line with
+          | Ok v -> Ok v
+          | Error e -> Error (Printf.sprintf "malformed response: %s" e)
+        end
+      | None ->
+          cleanup ();
+          Error "connection closed by daemon before a response arrived"
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          cleanup ();
+          Error
+            (Printf.sprintf
+               "oblxd at %s did not respond within %.0f s — daemon wedged or overloaded?"
+               socket timeout_s)
+      | exception Unix.Unix_error (err, _, _) ->
+          cleanup ();
+          Error
+            (Printf.sprintf "lost connection to oblxd at %s: %s" socket
+               (Unix.error_message err))
+      | exception Sys_error e ->
+          cleanup ();
+          Error e
+    end
 
 (* A protocol-level failure (ok:false) folds into the Error channel here so
    callers see one kind of failure. *)

@@ -1,12 +1,17 @@
 (** Client side of the oblxd protocol: one connection per request (the
-    daemon serves connections sequentially, so holding one open starves
-    other clients), with socket timeouts so a wedged daemon surfaces as an
-    [Error], never a hang. Used by the [astrx submit|status|...]
-    subcommands, the serve bench, and the CI smoke test. *)
+    daemon serves connections concurrently, but a fresh connection per
+    request keeps the client trivially correct and leaves no idle
+    connection holding a slot), with socket timeouts so a wedged daemon
+    surfaces as an [Error], never a hang. Used by the
+    [astrx submit|status|...] subcommands, the serve bench, and the CI
+    smoke test. *)
 
 (** [request ~socket ?timeout_s j] sends one JSON line and reads one JSON
-    line back. [Error] covers connection failures (daemon not running),
-    timeouts, and transport-level garbage; protocol-level failures come
+    line back. [Error] distinguishes the failure classes an operator
+    debugs differently: ["cannot reach oblxd …"] (connect failed — daemon
+    not running or wrong socket path) vs ["… did not respond within N s"]
+    (connected, then the socket timeout expired — daemon wedged or
+    overloaded) vs transport-level garbage. Protocol-level failures come
     back as [Ok] responses with ["ok":false] — test with
     {!Proto.response_error}. *)
 val request : socket:string -> ?timeout_s:float -> Obs.Json.t -> (Obs.Json.t, string) result

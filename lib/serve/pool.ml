@@ -61,6 +61,9 @@ type t = {
   mutable next_id : int;
   mutable stopping : bool;
   mutable rejected : int;
+  restored : int;  (** jobs replayed from the log at startup *)
+  log : out_channel option;  (** [state_dir/jobs.log], append mode *)
+  log_mutex : Mutex.t;  (** appends are whole lines, never interleaved *)
   cache : Core.Compile_cache.t;
   summary : Obs.Sink.Summary.summary;
   obs_base : Obs.Trace.t;  (** Moves-level handle over the summary sink *)
@@ -104,9 +107,13 @@ let opt_str = function Some s -> Json.Str s | None -> Json.Null
 (* Caller holds the lock. *)
 let job_json ~full t (j : job) =
   let wait_s =
-    match j.started_at with
-    | Some st -> st -. j.submitted_at
-    | None -> if j.state = Queued then now () -. j.submitted_at else 0.0
+    match (j.started_at, j.state, j.finished_at) with
+    | Some st, _, _ -> st -. j.submitted_at
+    | None, Queued, _ -> now () -. j.submitted_at
+    (* Never ran (cancelled while queued, or lost to a restart): the whole
+       life of the job was waiting. *)
+    | None, _, Some fin -> fin -. j.submitted_at
+    | None, _, None -> 0.0
   in
   let run_s =
     match (j.started_at, j.finished_at) with
@@ -189,8 +196,53 @@ let persist t (j : job) rendered =
       | exception Sys_error _ -> () (* the state dir is best-effort ops trail *)
     end
 
+(* ------------------------------------------------------------------ *)
+(* The durable job log                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [state_dir/jobs.log] is an append-only JSONL journal: one "submit" line
+   when a job enters the queue, one "finish" line when it leaves a worker
+   (or is cancelled). Each line wraps the same record [job_json] renders,
+   plus what that record omits: raw timestamps, the problem source, and
+   the submitted move budget. [create] replays it so a restarted daemon
+   still answers status/result for every pre-restart job id. *)
+
+let log_append t wrap =
+  match t.log with
+  | None -> ()
+  | Some oc ->
+      Mutex.lock t.log_mutex;
+      (try
+         output_string oc (Json.to_string wrap);
+         output_char oc '\n';
+         flush oc
+       with Sys_error _ -> () (* best-effort, like the per-job files *));
+      Mutex.unlock t.log_mutex
+
+(* Caller holds the lock (wraps a [job_json] rendering). *)
+let log_submit_wrap t (j : job) =
+  Json.Obj
+    [
+      ("log", Json.Str "submit");
+      ("t", Json.Num j.submitted_at);
+      ("source", Json.Str j.spec.Proto.sb_source);
+      ("moves", match j.spec.Proto.sb_moves with Some m -> num_i m | None -> Json.Null);
+      ("trace", Json.Bool j.spec.Proto.sb_trace);
+      ("job", job_json ~full:false t j);
+    ]
+
+let log_finish_wrap (j : job) rendered =
+  Json.Obj
+    [
+      ("log", Json.Str "finish");
+      ("t", match j.finished_at with Some v -> Json.Num v | None -> Json.Null);
+      ("submitted_at", Json.Num j.submitted_at);
+      ("started_at", opt_num j.started_at);
+      ("job", rendered);
+    ]
+
 let finish t (j : job) ~worker ~state ?error ?outcome () =
-  let rendered =
+  let rendered, wrap =
     locked t (fun () ->
         j.state <- state;
         j.finished_at <- Some (now ());
@@ -204,9 +256,146 @@ let finish t (j : job) ~worker ~state ?error ?outcome () =
             | Some o -> t.worker_moves.(w) <- t.worker_moves.(w) + o.jo_moves
             | None -> ())
         | _ -> ());
-        job_json ~full:true t j)
+        let rendered = job_json ~full:true t j in
+        (rendered, log_finish_wrap j rendered))
   in
-  persist t j rendered
+  persist t j rendered;
+  log_append t wrap
+
+(* --- Replay: jobs.log lines back into job records ------------------- *)
+
+let jstr j k = match Json.mem_opt k j with Some (Json.Str s) -> Some s | _ -> None
+let jnum j k = match Json.mem_opt k j with Some (Json.Num v) -> Some v | _ -> None
+let jint j k = Option.map int_of_float (jnum j k)
+
+let state_of_name = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "failed" -> Some Failed
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
+let spec_of_log wrap jobj =
+  {
+    Proto.sb_name = Option.value (jstr jobj "name") ~default:"";
+    sb_source = Option.value (jstr wrap "source") ~default:"";
+    sb_seed = Option.value (jint jobj "seed") ~default:1;
+    sb_moves = jint wrap "moves";
+    sb_runs = Option.value (jint jobj "runs") ~default:1;
+    sb_priority = Option.value (jint jobj "priority") ~default:0;
+    sb_deadline_s = jnum jobj "deadline_s";
+    sb_trace =
+      (match Json.mem_opt "trace" wrap with Some (Json.Bool b) -> b | _ -> false);
+  }
+
+let outcome_of_log jobj =
+  match jnum jobj "best_cost" with
+  | None -> None
+  | Some c ->
+      let pairs k f =
+        match Json.mem_opt k jobj with
+        | Some (Json.Obj kvs) -> List.filter_map f kvs
+        | _ -> []
+      in
+      Some
+        {
+          jo_best_cost = c;
+          jo_moves = Option.value (jint jobj "moves") ~default:0;
+          jo_evals = Option.value (jint jobj "evals") ~default:0;
+          jo_cut_reason = jstr jobj "cut_reason";
+          jo_predicted =
+            pairs "predicted" (fun (k, v) ->
+                match v with
+                | Json.Num v -> Some (k, Some v)
+                | Json.Null -> Some (k, None)
+                | _ -> None);
+          jo_sizes =
+            pairs "sizes" (fun (k, v) ->
+                match v with Json.Num v -> Some (k, v) | _ -> None);
+        }
+
+let cache_of_log jobj =
+  match jstr jobj "cache" with
+  | Some "hit" -> Some Core.Compile_cache.Hit
+  | Some "miss" -> Some Core.Compile_cache.Miss
+  | Some _ | None -> None
+
+let fresh_job ~id ~spec ~submitted_at =
+  {
+    id;
+    spec;
+    submitted_at;
+    state = Queued;
+    started_at = None;
+    finished_at = None;
+    worker = None;
+    cache = None;
+    error = None;
+    outcome = None;
+    cancel = Atomic.make None;
+    ring = None;
+  }
+
+(* Jobs in submission order; ones whose latest record still says
+   queued/running were interrupted by the crash/restart. A torn final
+   line (the daemon died mid-append) is skipped, not fatal. *)
+let replay_log path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let table : (int, job) Hashtbl.t = Hashtbl.create 64 in
+      let order = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match Json.of_string line with
+           | Error _ -> ()
+           | Ok wrap -> begin
+               match (jstr wrap "log", Json.mem_opt "job" wrap) with
+               | Some kind, Some jobj -> begin
+                   match jint jobj "id" with
+                   | None -> ()
+                   | Some id -> begin
+                       let job =
+                         match Hashtbl.find_opt table id with
+                         | Some j -> j
+                         | None ->
+                             let j =
+                               fresh_job ~id ~spec:(spec_of_log wrap jobj)
+                                 ~submitted_at:
+                                   (Option.value
+                                      (match kind with
+                                      | "submit" -> jnum wrap "t"
+                                      | _ -> jnum wrap "submitted_at")
+                                      ~default:0.0)
+                             in
+                             order := id :: !order;
+                             Hashtbl.replace table id j;
+                             j
+                       in
+                       if kind = "finish" then begin
+                         (match jstr jobj "state" with
+                         | Some s -> begin
+                             match state_of_name s with
+                             | Some ((Done | Failed | Cancelled) as st) -> job.state <- st
+                             | Some (Queued | Running) | None -> ()
+                           end
+                         | None -> ());
+                         job.started_at <- jnum wrap "started_at";
+                         job.finished_at <- jnum wrap "t";
+                         job.cache <- cache_of_log jobj;
+                         job.error <- jstr jobj "error";
+                         job.outcome <- outcome_of_log jobj
+                       end
+                     end
+                 end
+               | _ -> ()
+             end
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev_map (fun id -> Hashtbl.find table id) !order
 
 (* ------------------------------------------------------------------ *)
 (* Workers                                                             *)
@@ -214,8 +403,10 @@ let finish t (j : job) ~worker ~state ?error ?outcome () =
 
 let run_job t (j : job) ~worker =
   match Core.Compile_cache.compile t.cache ~source:j.spec.Proto.sb_source with
-  | Error e ->
-      locked t (fun () -> j.cache <- Some Core.Compile_cache.Miss);
+  | Error (e, cache_outcome) ->
+      (* The cache deliberately remembers failures; report the real
+         hit/miss so repeated broken submissions don't read as misses. *)
+      locked t (fun () -> j.cache <- Some cache_outcome);
       finish t j ~worker:(Some worker) ~state:Failed ~error:e ()
   | Ok (p, cache_outcome) ->
       locked t (fun () -> j.cache <- Some cache_outcome);
@@ -302,9 +493,19 @@ let rec worker_loop t ~worker =
 let create cfg =
   if cfg.workers < 0 then invalid_arg "Pool.create: workers must be >= 0";
   if cfg.queue_capacity < 1 then invalid_arg "Pool.create: queue_capacity must be >= 1";
-  (match cfg.state_dir with
-  | Some dir -> ( try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
-  | None -> ());
+  let restored_jobs, log =
+    match cfg.state_dir with
+    | None -> ([], None)
+    | Some dir ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let path = Filename.concat dir "jobs.log" in
+        let restored = if Sys.file_exists path then replay_log path else [] in
+        let oc =
+          try Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+          with Sys_error _ -> None
+        in
+        (restored, oc)
+  in
   let summary = Obs.Sink.Summary.create () in
   let t =
     {
@@ -313,9 +514,12 @@ let create cfg =
       nonempty = Condition.create ();
       jobs = Hashtbl.create 64;
       queue = [];
-      next_id = 0;
+      next_id = List.fold_left (fun acc (j : job) -> Int.max acc (j.id + 1)) 0 restored_jobs;
       stopping = false;
       rejected = 0;
+      restored = List.length restored_jobs;
+      log;
+      log_mutex = Mutex.create ();
       cache = Core.Compile_cache.create ~capacity:cfg.cache_capacity ();
       summary;
       obs_base = Obs.Trace.make ~level:Obs.Event.Moves [ Obs.Sink.Summary.sink summary ];
@@ -326,6 +530,17 @@ let create cfg =
       started_wall = now ();
     }
   in
+  List.iter (fun (j : job) -> Hashtbl.replace t.jobs j.id j) restored_jobs;
+  (* A job the previous daemon never finished cannot be resumed (its worker
+     died mid-anneal); fail it loudly rather than letting it vanish. This
+     also journals the verdict, so a second restart replays it as failed. *)
+  List.iter
+    (fun (j : job) ->
+      match j.state with
+      | Queued | Running ->
+          finish t j ~worker:None ~state:Failed ~error:"daemon restarted" ()
+      | Done | Failed | Cancelled -> ())
+    restored_jobs;
   t.domains <-
     List.init cfg.workers (fun w -> Domain.spawn (fun () -> worker_loop t ~worker:w));
   t
@@ -333,40 +548,54 @@ let create cfg =
 let submit t (s : Proto.submit) =
   if s.Proto.sb_runs < 1 then Error "runs must be >= 1"
   else if String.trim s.Proto.sb_source = "" then Error "empty problem source"
-  else
-    locked t (fun () ->
-        if t.stopping then Error "daemon is shutting down"
-        else if List.length t.queue >= t.cfg.queue_capacity then begin
-          t.rejected <- t.rejected + 1;
-          Error
-            (Printf.sprintf "queue full: %d jobs queued (capacity %d) — retry later"
-               (List.length t.queue) t.cfg.queue_capacity)
-        end
-        else begin
-          let id = t.next_id in
-          t.next_id <- id + 1;
-          let job =
-            {
-              id;
-              spec = s;
-              submitted_at = now ();
-              state = Queued;
-              started_at = None;
-              finished_at = None;
-              worker = None;
-              cache = None;
-              error = None;
-              outcome = None;
-              cancel = Atomic.make None;
-              ring =
-                (if s.Proto.sb_trace then Some (Obs.Sink.Ring.create ~capacity:256) else None);
-            }
-          in
-          Hashtbl.add t.jobs id job;
-          t.queue <- enqueue t.queue job;
-          Condition.signal t.nonempty;
-          Ok id
-        end)
+  else begin
+    let admitted =
+      locked t (fun () ->
+          if t.stopping then Error "daemon is shutting down"
+          else if List.length t.queue >= t.cfg.queue_capacity then begin
+            t.rejected <- t.rejected + 1;
+            Error
+              (Printf.sprintf "queue full: %d jobs queued (capacity %d) — retry later"
+                 (List.length t.queue) t.cfg.queue_capacity)
+          end
+          else begin
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            let job =
+              {
+                (fresh_job ~id ~spec:s ~submitted_at:(now ())) with
+                ring =
+                  (if s.Proto.sb_trace then Some (Obs.Sink.Ring.create ~capacity:256)
+                   else None);
+              }
+            in
+            Hashtbl.add t.jobs id job;
+            Ok (id, job, log_submit_wrap t job)
+          end)
+    in
+    match admitted with
+    | Error e -> Error e
+    | Ok (id, job, wrap) ->
+        (* Journal before the job becomes runnable: a worker cannot emit
+           the finish record ahead of the submit record it pairs with. *)
+        log_append t wrap;
+        let enqueued =
+          locked t (fun () ->
+              if t.stopping then false
+              else begin
+                t.queue <- enqueue t.queue job;
+                Condition.signal t.nonempty;
+                true
+              end)
+        in
+        (* Shutdown slipped between admission and enqueue: the drain pass
+           never saw this job, so record the cancellation here. *)
+        if not enqueued then begin
+          Atomic.set job.cancel (Some "shutdown");
+          finish t job ~worker:None ~state:Cancelled ()
+        end;
+        Ok id
+  end
 
 let find_job t id = Hashtbl.find_opt t.jobs id
 
@@ -435,6 +664,7 @@ let stats_json t =
                 ("cancelled", num_i (count "cancelled"));
                 ("rejected", num_i t.rejected);
               ] );
+          ("restored_jobs", num_i t.restored);
           ( "cache",
             Json.Obj
               [
@@ -496,4 +726,10 @@ let shutdown t =
         end)
   in
   List.iter (fun j -> finish t j ~worker:None ~state:Cancelled ()) queued;
-  List.iter Domain.join domains
+  List.iter Domain.join domains;
+  (* Workers are gone and submissions are refused: nothing appends past
+     this point, so the journal can close. (A second shutdown call raises
+     on the closed channel; swallow it — idempotence is the contract.) *)
+  match t.log with
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())
+  | None -> ()

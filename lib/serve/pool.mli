@@ -9,6 +9,13 @@
     record. A full queue rejects new submissions with a reason — the
     backpressure contract — rather than queueing unboundedly.
 
+    With a [state_dir], the pool also keeps a durable job log
+    ([state_dir/jobs.log], append-only JSONL): one record on submit, one
+    on finish. {!create} replays it, so a restarted daemon still answers
+    [status]/[result] for every pre-restart job id; jobs the old daemon
+    left [Queued]/[Running] cannot be resumed and are replayed as
+    [Failed] with error ["daemon restarted"].
+
     All table/queue state is guarded by one mutex; synthesis itself runs
     outside it. JSON views are rendered under the lock so a reader never
     sees a half-updated record. *)
@@ -19,7 +26,8 @@ type config = {
   cache_capacity : int;  (** compile-cache entries *)
   state_dir : string option;
       (** when set, every finished job's record is written there as
-          [job-<id>.json] — the ops trail surviving the daemon *)
+          [job-<id>.json], and [jobs.log] journals every submit/finish —
+          the ops trail surviving the daemon, replayed by {!create} *)
   default_moves : int option;
       (** moves budget for submissions that leave ["moves"] null *)
 }
@@ -28,7 +36,10 @@ val default_config : config
 
 type t
 
-(** [create config] spawns the workers and returns the running pool. *)
+(** [create config] replays [state_dir/jobs.log] (when configured),
+    spawns the workers, and returns the running pool. Fresh job ids
+    continue past the highest replayed id, so pre-restart ids stay
+    unambiguous. *)
 val create : config -> t
 
 (** [submit t s] enqueues and returns the fresh job id, or the
@@ -47,8 +58,9 @@ val status_json : t -> int -> (Obs.Json.t, string) result
     a trace) the job's ring of stage events. *)
 val result_json : t -> int -> (Obs.Json.t, string) result
 
-(** [stats_json t] — jobs by state, queue depth, compile-cache hit rate,
-    and per-worker moves/s from the shared streaming-summary sink. *)
+(** [stats_json t] — jobs by state, queue depth, [restored_jobs] (jobs
+    replayed from the log at startup), compile-cache hit rate, and
+    per-worker moves/s from the shared streaming-summary sink. *)
 val stats_json : t -> Obs.Json.t
 
 (** [shutdown t] — reject new work, cancel queued jobs (reason

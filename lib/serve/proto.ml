@@ -102,6 +102,62 @@ let request_of_json j =
 let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
 let err msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
 
+let busy_message cap =
+  Printf.sprintf "daemon at connection capacity (%d) — retry shortly" cap
+
+(* ------------------------------------------------------------------ *)
+(* Line transport over raw descriptors                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Both ends speak newline-delimited JSON over a Unix fd. Raw [Unix.read]/
+   [Unix.write] rather than channels, so an [SO_RCVTIMEO]/[SO_SNDTIMEO]
+   expiry surfaces deterministically as [Unix_error (EAGAIN, _, _)] — the
+   server turns it into an idle-timeout disconnect, the client into a
+   "daemon did not respond" report instead of a misattributed connect
+   failure. *)
+
+let write_line fd j =
+  let s = Json.to_string j ^ "\n" in
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+type line_reader = { lr_fd : Unix.file_descr; lr_buf : Buffer.t; lr_chunk : Bytes.t }
+
+let line_reader fd = { lr_fd = fd; lr_buf = Buffer.create 512; lr_chunk = Bytes.create 4096 }
+
+(* [read_line r] returns the next newline-terminated line (newline
+   stripped), or [None] at EOF. A final unterminated line is returned as
+   is. Unix errors (including EAGAIN on timeout) propagate to the caller. *)
+let read_line r =
+  let take_upto pos =
+    let all = Buffer.contents r.lr_buf in
+    let line = String.sub all 0 pos in
+    Buffer.clear r.lr_buf;
+    Buffer.add_substring r.lr_buf all (pos + 1) (String.length all - pos - 1);
+    line
+  in
+  let rec go () =
+    match String.index_opt (Buffer.contents r.lr_buf) '\n' with
+    | Some pos -> Some (take_upto pos)
+    | None -> begin
+        match Unix.read r.lr_fd r.lr_chunk 0 (Bytes.length r.lr_chunk) with
+        | 0 ->
+            if Buffer.length r.lr_buf = 0 then None
+            else begin
+              let line = Buffer.contents r.lr_buf in
+              Buffer.clear r.lr_buf;
+              Some line
+            end
+        | n ->
+            Buffer.add_subbytes r.lr_buf r.lr_chunk 0 n;
+            go ()
+      end
+  in
+  go ()
+
 let response_error j =
   match Json.mem_opt "ok" j with
   | Some (Json.Bool true) -> None

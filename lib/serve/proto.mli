@@ -49,3 +49,26 @@ val err : string -> Obs.Json.t
 (** [response_error j] — [Some msg] when [j] is an error response (or is
     not a well-formed response at all), [None] when ["ok"] is true. *)
 val response_error : Obs.Json.t -> string option
+
+(** [busy_message cap] — the error a connection over the daemon's
+    connection cap is answered with before its socket closes. *)
+val busy_message : int -> string
+
+(** {2 Line transport}
+
+    Newline-delimited JSON over raw descriptors. Raw [Unix.read]/[write]
+    rather than channels, so a socket-timeout expiry surfaces as
+    [Unix.Unix_error (EAGAIN, _, _)] — letting callers tell an idle or
+    wedged peer from a connection that never opened. *)
+
+(** [write_line fd j] writes [j] and a newline, looping over partial
+    writes. Unix errors (EPIPE, EAGAIN on send-timeout) propagate. *)
+val write_line : Unix.file_descr -> Obs.Json.t -> unit
+
+type line_reader
+
+val line_reader : Unix.file_descr -> line_reader
+
+(** [read_line r] — the next line (newline stripped), [None] at EOF. A
+    final unterminated line is returned as is. Unix errors propagate. *)
+val read_line : line_reader -> string option

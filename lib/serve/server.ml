@@ -2,14 +2,69 @@ module Json = Obs.Json
 
 type config = {
   socket_path : string;
+  max_connections : int;
+  idle_timeout_s : float;
   pool : Pool.config;
 }
 
-let handle pool stop (req : Proto.request) =
+let default_max_connections = 32
+let default_idle_timeout_s = 30.0
+
+(* ------------------------------------------------------------------ *)
+(* Connection registry                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Each accepted connection gets its own thread (they spend their lives
+   blocked in [read]; requests themselves are table lookups, so threads —
+   not domains — are the right weight). The registry tracks live fds so
+   shutdown can nudge blocked readers awake, and counts
+   accepted/rejected connections for [stats]. *)
+type registry = {
+  r_mutex : Mutex.t;
+  r_conns : (int, Unix.file_descr) Hashtbl.t;  (** live connections *)
+  r_threads : (int, Thread.t) Hashtbl.t;
+  mutable r_dead : Thread.t list;  (** finished, awaiting a reaping join *)
+  mutable r_next : int;
+  mutable r_total : int;  (** accepted over the daemon's lifetime *)
+  mutable r_rejected : int;  (** turned away at the connection cap *)
+}
+
+let registry_create () =
+  {
+    r_mutex = Mutex.create ();
+    r_conns = Hashtbl.create 32;
+    r_threads = Hashtbl.create 32;
+    r_dead = [];
+    r_next = 0;
+    r_total = 0;
+    r_rejected = 0;
+  }
+
+let with_registry reg f =
+  Mutex.lock reg.r_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg.r_mutex) f
+
+let num_i i = Json.Num (float_of_int i)
+
+let connections_json cfg reg =
+  with_registry reg (fun () ->
+      Json.Obj
+        [
+          ("active", num_i (Hashtbl.length reg.r_conns));
+          ("max", num_i cfg.max_connections);
+          ("total", num_i reg.r_total);
+          ("rejected", num_i reg.r_rejected);
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let handle cfg reg pool stop (req : Proto.request) =
   match req with
   | Proto.Submit s -> begin
       match Pool.submit pool s with
-      | Ok id -> Proto.ok [ ("id", Json.Num (float_of_int id)) ]
+      | Ok id -> Proto.ok [ ("id", num_i id) ]
       | Error e -> Proto.err e
     end
   | Proto.Status id -> begin
@@ -25,46 +80,104 @@ let handle pool stop (req : Proto.request) =
   | Proto.Cancel id -> begin
       match Pool.cancel pool id with Ok () -> Proto.ok [] | Error e -> Proto.err e
     end
-  | Proto.Stats -> Pool.stats_json pool
+  | Proto.Stats -> begin
+      match Pool.stats_json pool with
+      | Json.Obj fields ->
+          Json.Obj (fields @ [ ("connections", connections_json cfg reg) ])
+      | j -> j
+    end
   | Proto.Shutdown ->
       Atomic.set stop true;
       Proto.ok [ ("shutting_down", Json.Bool true) ]
 
-(* One connection: requests line by line until EOF. A malformed line gets
-   an error response rather than a dropped connection, so a misbehaving
-   client can diagnose itself. *)
-let serve_connection pool stop fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let respond j =
-    output_string oc (Json.to_string j);
-    output_char oc '\n';
-    flush oc
-  in
+(* One connection: requests line by line until EOF, idle timeout, or
+   shutdown. A malformed line gets an error response rather than a dropped
+   connection, so a misbehaving client can diagnose itself. *)
+let serve_connection cfg reg pool stop fd =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO cfg.idle_timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.idle_timeout_s
+   with Unix.Unix_error _ -> ());
+  let reader = Proto.line_reader fd in
   let rec loop () =
     if Atomic.get stop then ()
     else
-      match input_line ic with
-      | exception End_of_file -> ()
-      | line when String.trim line = "" -> loop ()
-      | line ->
+      match Proto.read_line reader with
+      | None -> ()
+      | Some line when String.trim line = "" -> loop ()
+      | Some line ->
           (match Json.of_string line with
-          | Error e -> respond (Proto.err (Printf.sprintf "bad JSON: %s" e))
+          | Error e -> Proto.write_line fd (Proto.err (Printf.sprintf "bad JSON: %s" e))
           | Ok j -> begin
               match Proto.request_of_json j with
-              | Error e -> respond (Proto.err (Printf.sprintf "bad request: %s" e))
-              | Ok req -> respond (handle pool stop req)
+              | Error e ->
+                  Proto.write_line fd (Proto.err (Printf.sprintf "bad request: %s" e))
+              | Ok req -> Proto.write_line fd (handle cfg reg pool stop req)
             end);
           loop ()
   in
-  (* A client that vanished mid-response (EPIPE, reset) is its problem,
-     not the daemon's. *)
+  (* EAGAIN is the idle timeout expiring between requests: the connection
+     has gone quiet, reclaim its slot. A client that vanished mid-response
+     (EPIPE, reset) is its problem, not the daemon's. *)
   (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_connection cfg reg pool stop fd =
+  (* Reap finished threads first so the bookkeeping stays O(live). *)
+  let dead =
+    with_registry reg (fun () ->
+        let d = reg.r_dead in
+        reg.r_dead <- [];
+        d)
+  in
+  List.iter Thread.join dead;
+  let admitted =
+    with_registry reg (fun () ->
+        if Hashtbl.length reg.r_conns >= cfg.max_connections then begin
+          reg.r_rejected <- reg.r_rejected + 1;
+          false
+        end
+        else begin
+          let id = reg.r_next in
+          reg.r_next <- id + 1;
+          reg.r_total <- reg.r_total + 1;
+          Hashtbl.replace reg.r_conns id fd;
+          let thread =
+            Thread.create
+              (fun () ->
+                Fun.protect
+                  ~finally:(fun () ->
+                    with_registry reg (fun () ->
+                        Hashtbl.remove reg.r_conns id;
+                        Hashtbl.remove reg.r_threads id;
+                        reg.r_dead <- Thread.self () :: reg.r_dead))
+                  (fun () -> serve_connection cfg reg pool stop fd))
+              ()
+          in
+          (* The finally above also takes [r_mutex], so this registration
+             always lands before the thread's own deregistration. *)
+          Hashtbl.replace reg.r_threads id thread;
+          true
+        end)
+  in
+  if not admitted then begin
+    (* Over the cap: refuse with one error line, then close. The short
+       send timeout keeps a non-reading client from wedging the accept
+       loop. *)
+    (try
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+       Proto.write_line fd (Proto.err (Proto.busy_message cfg.max_connections))
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+
 let run ?ready config =
   let stop = Atomic.make false in
-  (* Graceful signals: finish the in-flight request, then drain. SIGPIPE
+  (* Graceful signals: finish in-flight responses, then drain. SIGPIPE
      must not kill the daemon when a client disconnects mid-write. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let on_signal _ = Atomic.set stop true in
@@ -75,17 +188,18 @@ let run ?ready config =
   Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
   Unix.listen listener 64;
   let pool = Pool.create config.pool in
+  let reg = registry_create () in
   (match ready with Some f -> f () | None -> ());
   let rec accept_loop () =
     if Atomic.get stop then ()
     else begin
       (* Select with a short timeout so a signal or shutdown request is
-         honoured even while no client is connected. *)
+         honoured even while no client is connecting. *)
       (match Unix.select [ listener ] [] [] 0.25 with
       | [], _, _ -> ()
       | _ :: _, _, _ -> begin
           match Unix.accept listener with
-          | fd, _ -> serve_connection pool stop fd
+          | fd, _ -> spawn_connection config reg pool stop fd
           | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
         end
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -93,6 +207,23 @@ let run ?ready config =
     end
   in
   accept_loop ();
+  (* Graceful drain: no new connections are accepted past this point.
+     Connection threads notice [stop] before their next read; ones blocked
+     *in* a read get their read side shut down, which reads as EOF — the
+     response they were writing has already flushed (writes complete
+     before the loop returns to read). Join everything before the pool
+     stops and the socket file unlinks. *)
+  let threads =
+    with_registry reg (fun () ->
+        Hashtbl.iter
+          (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+          reg.r_conns;
+        let live = Hashtbl.fold (fun _ th acc -> th :: acc) reg.r_threads [] in
+        let dead = reg.r_dead in
+        reg.r_dead <- [];
+        live @ dead)
+  in
+  List.iter Thread.join threads;
   Pool.shutdown pool;
   (try Unix.close listener with Unix.Unix_error _ -> ());
   try Unix.unlink config.socket_path with Unix.Unix_error _ -> ()

@@ -1,17 +1,35 @@
 (** The oblxd daemon loop: a Unix-domain stream socket speaking the JSONL
-    protocol of {!Proto}, dispatching into a {!Pool}. Connections are
-    served one at a time (requests are table lookups; synthesis happens on
-    the pool's worker domains), so clients should keep connections short —
-    the bundled {!Client} opens one per request. *)
+    protocol of {!Proto}, dispatching into a {!Pool}.
+
+    Connections are served {e concurrently}: each accepted connection gets
+    its own thread (requests are table lookups; synthesis happens on the
+    pool's worker domains), so a slow or idle client cannot starve
+    another client's [stats]. A connection may carry many requests,
+    pipelined one line at a time; the bundled {!Client} still opens one
+    per request. Beyond [max_connections] live connections, new ones are
+    answered with one [ok:false] line ({!Proto.busy_message}) and closed.
+    A connection idle longer than [idle_timeout_s] between requests is
+    closed to reclaim its slot. *)
 
 type config = {
   socket_path : string;
+  max_connections : int;  (** live-connection cap; see {!default_max_connections} *)
+  idle_timeout_s : float;
+      (** quiet time between requests before a connection is dropped *)
   pool : Pool.config;
 }
 
+val default_max_connections : int
+(** 32 — plenty for one-socket local traffic while bounding thread count. *)
+
+val default_idle_timeout_s : float
+(** 30 s. *)
+
 (** [run ?ready config] binds [config.socket_path] (unlinking a stale
     socket file first), starts the pool, and serves until a [shutdown]
-    request or SIGINT/SIGTERM arrives; then drains the pool and removes
-    the socket file. [ready] fires once the socket is listening — how an
-    in-process harness (tests, bench) knows it can connect. *)
+    request or SIGINT/SIGTERM arrives; then drains gracefully — stops
+    accepting, lets every in-flight response flush, joins the connection
+    threads, shuts the pool down — and removes the socket file. [ready]
+    fires once the socket is listening — how an in-process harness
+    (tests, bench) knows it can connect. *)
 val run : ?ready:(unit -> unit) -> config -> unit

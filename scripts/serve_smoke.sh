@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the oblxd daemon (docs/SERVER.md): boot it,
 # prove the compile cache hits on a repeated topology, prove cancellation
-# propagates cut_reason, and shut down cleanly. CI runs this as the
-# serve-smoke job; locally it is `make serve-smoke`. Everything lives in a
-# temp dir, nothing is left behind.
+# propagates cut_reason, serve two clients at once, survive a kill -9 with
+# the job log answering for pre-restart ids, and shut down cleanly. CI
+# runs this as the serve-smoke job; locally it is `make serve-smoke`.
+# Everything lives in a temp dir, nothing is left behind.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,6 +58,40 @@ echo "$RES" | grep -q '"cut_reason":"cancelled"' || fail "cut_reason not propaga
 echo "== stats =="
 "$ASTRX" stats --socket "$SOCK"
 "$ASTRX" stats --socket "$SOCK" --json | grep -q '"hit_rate"' || fail "stats carry no cache hit rate"
+"$ASTRX" stats --socket "$SOCK" --json | grep -q '"connections"' || fail "stats carry no connection counters"
+
+echo "== two concurrent clients =="
+"$ASTRX" submit simple-ota --socket "$SOCK" --seed 11 --moves 4000 --wait --json > "$DIR/c1.json" &
+C1=$!
+"$ASTRX" submit simple-ota --socket "$SOCK" --seed 12 --moves 4000 --wait --json > "$DIR/c2.json" &
+C2=$!
+# A third client must be answered while both waiters are in flight.
+"$ASTRX" stats --socket "$SOCK" --json >/dev/null || fail "stats blocked behind in-flight clients"
+wait "$C1" || fail "first concurrent client failed"
+wait "$C2" || fail "second concurrent client failed"
+grep -q '"state":"done"' "$DIR/c1.json" || fail "first concurrent job did not finish"
+grep -q '"state":"done"' "$DIR/c2.json" || fail "second concurrent job did not finish"
+
+echo "== kill -9, restart, job-log replay =="
+DONE_ID=$(grep -o '"id":[0-9]*' "$DIR/c1.json" | head -1 | sed 's/[^0-9]//g')
+# Leave a job running when the daemon dies: it cannot be resumed and must
+# be replayed as failed("daemon restarted").
+ORPHAN_ID=$("$ASTRX" submit simple-ota --socket "$SOCK" --moves 20000000 --json | sed 's/[^0-9]//g')
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+"$OBLXD" --socket "$SOCK" --workers 1 --state-dir "$DIR/state" &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do
+  if "$ASTRX" stats --socket "$SOCK" --json >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+RES=$("$ASTRX" result "$DONE_ID" --socket "$SOCK" --json) || fail "restarted daemon does not know job $DONE_ID"
+echo "$RES" | grep -q '"state":"done"' || fail "replayed job $DONE_ID lost its result"
+echo "$RES" | grep -q '"best_cost"' || fail "replayed job $DONE_ID lost its best cost"
+ORES=$("$ASTRX" result "$ORPHAN_ID" --socket "$SOCK" --json) || fail "restarted daemon does not know job $ORPHAN_ID"
+echo "$ORES" | grep -q '"state":"failed"' || fail "interrupted job $ORPHAN_ID not failed on replay"
+echo "$ORES" | grep -q 'daemon restarted' || fail "interrupted job $ORPHAN_ID lacks the restart verdict"
+"$ASTRX" stats --socket "$SOCK" --json | grep -q '"restored_jobs"' || fail "stats carry no restored_jobs"
 
 echo "== clean shutdown =="
 "$ASTRX" shutdown --socket "$SOCK"

@@ -25,6 +25,11 @@ let jstr j k =
 
 let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 (* --- Protocol --- *)
 
 let test_proto_round_trip () =
@@ -80,15 +85,20 @@ let test_proto_lenient_defaults () =
 
 (* --- Compile cache --- *)
 
+(* [compile] failures carry the cache outcome too; unwrap successes. *)
+let cok = function
+  | Ok v -> v
+  | Error (e, _) -> Alcotest.failf "unexpected compile error: %s" e
+
 let test_cache_hit_miss () =
   let cache = Core.Compile_cache.create ~capacity:4 () in
-  let _, o1 = ok (Core.Compile_cache.compile cache ~source:ota_source) in
-  let _, o2 = ok (Core.Compile_cache.compile cache ~source:ota_source) in
+  let _, o1 = cok (Core.Compile_cache.compile cache ~source:ota_source) in
+  let _, o2 = cok (Core.Compile_cache.compile cache ~source:ota_source) in
   Alcotest.(check bool) "first is a miss" true (o1 = Core.Compile_cache.Miss);
   Alcotest.(check bool) "second is a hit" true (o2 = Core.Compile_cache.Hit);
   (* Cosmetic edits (comment, title) hit the same entry. *)
   let _, o3 =
-    ok (Core.Compile_cache.compile cache ~source:("* cosmetic comment\n" ^ ota_source))
+    cok (Core.Compile_cache.compile cache ~source:("* cosmetic comment\n" ^ ota_source))
   in
   Alcotest.(check bool) "comment-only edit hits" true (o3 = Core.Compile_cache.Hit);
   let st = Core.Compile_cache.stats cache in
@@ -106,22 +116,28 @@ let test_cache_remembers_failures () =
   let r1 = Core.Compile_cache.compile cache ~source:broken in
   let r2 = Core.Compile_cache.compile cache ~source:broken in
   (match (r1, r2) with
-  | Error e1, Error e2 -> Alcotest.(check string) "same error replayed" e1 e2
+  | Error (e1, o1), Error (e2, o2) ->
+      Alcotest.(check string) "same error replayed" e1 e2;
+      (* Regression: the error branch reports the true cache outcome — a
+         replayed failure is a hit, not a miss. *)
+      Alcotest.(check bool) "first failure is a miss" true (o1 = Core.Compile_cache.Miss);
+      Alcotest.(check bool) "replayed failure is a hit" true (o2 = Core.Compile_cache.Hit)
   | _ -> Alcotest.fail "expected compile errors");
   let st = Core.Compile_cache.stats cache in
   Alcotest.(check int) "second lookup hit the cached failure" 1 st.Core.Compile_cache.hits;
   Alcotest.(check int) "compiled once" 1 st.Core.Compile_cache.misses;
   (* A parse error is not cacheable (no canonical form to key on). *)
   match Core.Compile_cache.compile cache ~source:".frobnicate\n" with
-  | Error _ -> ()
+  | Error (_, Core.Compile_cache.Miss) -> ()
+  | Error (_, Core.Compile_cache.Hit) -> Alcotest.fail "parse errors must never report a hit"
   | Ok _ -> Alcotest.fail "expected parse error"
 
 let test_cache_lru_eviction () =
   let cache = Core.Compile_cache.create ~capacity:1 () in
   let other = (Option.get (Suite.Ckts.find "ota")).Suite.Ckts.source in
-  let _ = ok (Core.Compile_cache.compile cache ~source:ota_source) in
-  let _ = ok (Core.Compile_cache.compile cache ~source:other) in
-  let _, o3 = ok (Core.Compile_cache.compile cache ~source:ota_source) in
+  let _ = cok (Core.Compile_cache.compile cache ~source:ota_source) in
+  let _ = cok (Core.Compile_cache.compile cache ~source:other) in
+  let _, o3 = cok (Core.Compile_cache.compile cache ~source:ota_source) in
   Alcotest.(check bool) "evicted entry misses again" true (o3 = Core.Compile_cache.Miss);
   let st = Core.Compile_cache.stats cache in
   Alcotest.(check int) "evictions" 2 st.Core.Compile_cache.evictions;
@@ -259,6 +275,123 @@ let test_pool_shutdown_cancels_queued () =
   (* Idempotent. *)
   Serve.Pool.shutdown pool
 
+let test_pool_wait_s_on_cancelled_queued () =
+  let pool = frozen_pool ~queue_capacity:4 () in
+  let id = ok (Serve.Pool.submit pool (submission ())) in
+  Unix.sleepf 0.05;
+  ok (Serve.Pool.cancel pool id);
+  let j = ok (Serve.Pool.result_json pool id) in
+  Alcotest.(check (option string)) "cancelled" (Some "cancelled") (jstr j "state");
+  (* Regression: a job cancelled while still queued spent real time
+     waiting; its record must report that wait, not 0. *)
+  (match jnum j "wait_s" with
+  | Some w -> Alcotest.(check bool) "wait_s covers the queue time" true (w >= 0.04 && w < 10.0)
+  | None -> Alcotest.fail "no wait_s");
+  Serve.Pool.shutdown pool
+
+(* Parses fine but fails semantic compilation (unknown model) — the shape
+   of failure the compile cache replays. *)
+let broken_source =
+  ".jig j\nm1 d g 0 0 nosuchmodel w=10u l=1u\nvin d 0 1 ac 1\n.pz t v(d) vin\n.endjig\n\
+   .bias\nr1 x 0 1\n.endbias\n.obj o 'dc_gain(t)' good=1 bad=0\n"
+
+let test_pool_failed_job_cache_outcome () =
+  let pool = running_pool () in
+  let id1 = ok (Serve.Pool.submit pool (submission ~source:broken_source ())) in
+  Alcotest.(check string) "first failed" "failed" (wait_done pool id1);
+  let id2 = ok (Serve.Pool.submit pool (submission ~source:broken_source ())) in
+  Alcotest.(check string) "second failed" "failed" (wait_done pool id2);
+  let j1 = ok (Serve.Pool.result_json pool id1) in
+  let j2 = ok (Serve.Pool.result_json pool id2) in
+  (* Regression: the compile-failure path records the real cache outcome
+     instead of unconditionally claiming a miss. *)
+  Alcotest.(check (option string)) "first failure missed the cache" (Some "miss")
+    (jstr j1 "cache");
+  Alcotest.(check (option string)) "replayed failure hit the cache" (Some "hit")
+    (jstr j2 "cache");
+  Alcotest.(check bool) "error preserved" true (jstr j2 "error" <> None);
+  Serve.Pool.shutdown pool
+
+(* --- Durable job log: restart replay --- *)
+
+let dir_counter = ref 0
+
+let temp_state_dir tag =
+  incr dir_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "oblxd-%s-%d-%d" tag (Unix.getpid ()) !dir_counter)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let test_pool_restart_replay () =
+  let dir = temp_state_dir "replay" in
+  rm_rf dir;
+  let cfg workers =
+    { Serve.Pool.default_config with workers; queue_capacity = 8; state_dir = Some dir }
+  in
+  let pool_a = Serve.Pool.create (cfg 1) in
+  let id = ok (Serve.Pool.submit pool_a (submission ~moves:300 ())) in
+  Alcotest.(check string) "job finished" "done" (wait_done pool_a id);
+  let ja = ok (Serve.Pool.result_json pool_a id) in
+  let cost_a =
+    match jnum ja "best_cost" with
+    | Some c -> c
+    | None -> Alcotest.fail "no best_cost before restart"
+  in
+  Serve.Pool.shutdown pool_a;
+  (* Restart over the same state_dir: the journal replays the finished
+     job, so its id still answers — with the same result, bit for bit. *)
+  let pool_b = Serve.Pool.create (cfg 0) in
+  let jb = ok (Serve.Pool.result_json pool_b id) in
+  Alcotest.(check (option string)) "replayed state" (Some "done") (jstr jb "state");
+  (match jnum jb "best_cost" with
+  | Some c ->
+      Alcotest.(check bool) "replayed cost bit-identical" true
+        (Int64.bits_of_float c = Int64.bits_of_float cost_a)
+  | None -> Alcotest.fail "replayed record lost best_cost");
+  Alcotest.(check (option string)) "cache outcome survives" (jstr ja "cache")
+    (jstr jb "cache");
+  let stats = Serve.Pool.stats_json pool_b in
+  Alcotest.(check (option (float 0.0))) "restored counter" (Some 1.0)
+    (jnum stats "restored_jobs");
+  (* Fresh ids continue past the replayed ones — no ambiguity. *)
+  let id2 = ok (Serve.Pool.submit pool_b (submission ())) in
+  Alcotest.(check bool) "ids continue past replayed ones" true (id2 > id);
+  Serve.Pool.shutdown pool_b;
+  rm_rf dir
+
+let test_pool_restart_interrupted () =
+  let dir = temp_state_dir "interrupted" in
+  rm_rf dir;
+  let cfg () =
+    { Serve.Pool.default_config with workers = 0; queue_capacity = 8; state_dir = Some dir }
+  in
+  (* A frozen pool leaves the job queued; abandoning it without shutdown
+     simulates a daemon crash mid-queue. *)
+  let crashed = Serve.Pool.create (cfg ()) in
+  let id = ok (Serve.Pool.submit crashed (submission ())) in
+  let pool = Serve.Pool.create (cfg ()) in
+  let j = ok (Serve.Pool.result_json pool id) in
+  Alcotest.(check (option string)) "interrupted job failed" (Some "failed")
+    (jstr j "state");
+  Alcotest.(check (option string)) "blames the restart" (Some "daemon restarted")
+    (jstr j "error");
+  (match jnum (Serve.Pool.stats_json pool) "restored_jobs" with
+  | Some n -> Alcotest.(check bool) "restored counted" true (n >= 1.0)
+  | None -> Alcotest.fail "no restored_jobs in stats");
+  Serve.Pool.shutdown pool;
+  (* The verdict is itself journaled: a second restart still answers. *)
+  let pool2 = Serve.Pool.create (cfg ()) in
+  let j2 = ok (Serve.Pool.result_json pool2 id) in
+  Alcotest.(check (option string)) "verdict survives a second restart" (Some "failed")
+    (jstr j2 "state");
+  Serve.Pool.shutdown pool2;
+  rm_rf dir
+
 (* --- Daemon over the socket --- *)
 
 let test_server_end_to_end () =
@@ -269,6 +402,8 @@ let test_server_end_to_end () =
   let cfg =
     {
       Serve.Server.socket_path = socket;
+      max_connections = Serve.Server.default_max_connections;
+      idle_timeout_s = Serve.Server.default_idle_timeout_s;
       pool =
         { Serve.Pool.default_config with workers = 1; queue_capacity = 8; state_dir = None };
     }
@@ -322,6 +457,152 @@ let test_server_end_to_end () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "dead daemon must be an error"
 
+(* Boot a daemon on a fresh socket, run [f socket], always drain it. *)
+let sock_counter = ref 0
+
+let with_server ?(workers = 0) ?(max_connections = Serve.Server.default_max_connections)
+    ?(idle_timeout_s = Serve.Server.default_idle_timeout_s) f =
+  incr sock_counter;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "oblxd-t%d-%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let cfg =
+    {
+      Serve.Server.socket_path = socket;
+      max_connections;
+      idle_timeout_s;
+      pool =
+        { Serve.Pool.default_config with workers; queue_capacity = 8; state_dir = None };
+    }
+  in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run
+          ~ready:(fun () ->
+            Mutex.lock ready_m;
+            ready := true;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          cfg)
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Serve.Client.shutdown ~socket ());
+      Domain.join server)
+    (fun () -> f socket)
+
+let connect_raw socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let raw_response reader =
+  match Serve.Proto.read_line reader with
+  | Some line -> (
+      match Obs.Json.of_string line with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "bad response json: %s" e)
+  | None -> Alcotest.fail "connection closed before a response"
+
+let test_server_concurrent_clients () =
+  with_server (fun socket ->
+      (* An idle connection holds a slot but must not block other clients —
+         the serial accept loop this server replaced would hang here. *)
+      let idle = connect_raw socket in
+      let stats = ok (Serve.Client.stats ~socket ~timeout_s:2.0 ()) in
+      Alcotest.(check bool) "stats answered while another client idles" true
+        (Obs.Json.mem_opt "jobs" stats <> None);
+      (* Two simultaneous connections, both answered on their own socket. *)
+      let a = connect_raw socket and b = connect_raw socket in
+      let ra = Serve.Proto.line_reader a and rb = Serve.Proto.line_reader b in
+      Serve.Proto.write_line a (Serve.Proto.request_to_json Serve.Proto.Stats);
+      Serve.Proto.write_line b (Serve.Proto.request_to_json Serve.Proto.Stats);
+      Alcotest.(check bool) "first connection answered" true
+        (Serve.Proto.response_error (raw_response ra) = None);
+      Alcotest.(check bool) "second connection answered" true
+        (Serve.Proto.response_error (raw_response rb) = None);
+      (* A connection serves several requests back to back. *)
+      Serve.Proto.write_line a (Serve.Proto.request_to_json (Serve.Proto.Status 999));
+      Alcotest.(check bool) "second request on the same connection" true
+        (Serve.Proto.response_error (raw_response ra) <> None);
+      List.iter Unix.close [ idle; a; b ])
+
+let test_server_connection_cap () =
+  with_server ~max_connections:2 (fun socket ->
+      let a = connect_raw socket in
+      let b = connect_raw socket in
+      (* The listener registers connections in accept order, so by the time
+         a third connect is accepted both slots are held. *)
+      (match Serve.Client.stats ~socket ~timeout_s:2.0 () with
+      | Error e ->
+          Alcotest.(check bool) "busy error names the cap" true
+            (contains e "connection capacity")
+      | Ok _ -> Alcotest.fail "over-cap connection must be refused");
+      (* Closing a held connection frees its slot. *)
+      Unix.close a;
+      let rec retry n =
+        match Serve.Client.stats ~socket ~timeout_s:2.0 () with
+        | Ok _ -> ()
+        | Error _ when n > 0 ->
+            Unix.sleepf 0.05;
+            retry (n - 1)
+        | Error e -> Alcotest.failf "slot never freed: %s" e
+      in
+      retry 40;
+      Unix.close b)
+
+let test_server_idle_timeout () =
+  with_server ~idle_timeout_s:0.3 (fun socket ->
+      let fd = connect_raw socket in
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      let t0 = Unix.gettimeofday () in
+      let reader = Serve.Proto.line_reader fd in
+      (match Serve.Proto.read_line reader with
+      | None -> ()
+      | Some _ -> Alcotest.fail "idle connection must be closed, not answered");
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "closed after roughly the idle timeout" true
+        (dt >= 0.2 && dt < 4.0);
+      Unix.close fd;
+      (* The slot is back and the daemon keeps serving. *)
+      ignore (ok (Serve.Client.stats ~socket ())))
+
+let test_client_error_attribution () =
+  (* Connect failure: daemon not running / wrong path. *)
+  (match Serve.Client.stats ~socket:"/nonexistent-dir/oblxd.sock" () with
+  | Error e ->
+      Alcotest.(check bool) "connect failure says cannot reach" true
+        (contains e "cannot reach")
+  | Ok _ -> Alcotest.fail "connect must fail");
+  (* Regression: a socket that accepts (kernel backlog) but never answers
+     is a response timeout — "did not respond" — not a reachability
+     problem. *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "oblxd-mute-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 4;
+  (match Serve.Client.stats ~socket:path ~timeout_s:0.3 () with
+  | Error e ->
+      Alcotest.(check bool) "timeout says did not respond" true
+        (contains e "did not respond");
+      Alcotest.(check bool) "timeout not misattributed to reachability" false
+        (contains e "cannot reach")
+  | Ok _ -> Alcotest.fail "mute daemon must time out");
+  Unix.close listener;
+  Unix.unlink path
+
 let () =
   Alcotest.run "serve"
     [
@@ -346,7 +627,24 @@ let () =
           Alcotest.test_case "determinism + trace" `Slow test_pool_determinism_and_trace;
           Alcotest.test_case "shutdown cancels queued" `Quick
             test_pool_shutdown_cancels_queued;
+          Alcotest.test_case "wait_s on cancelled queued job" `Quick
+            test_pool_wait_s_on_cancelled_queued;
+          Alcotest.test_case "failed job cache outcome" `Slow
+            test_pool_failed_job_cache_outcome;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "restart replays finished jobs" `Slow test_pool_restart_replay;
+          Alcotest.test_case "restart fails interrupted jobs" `Quick
+            test_pool_restart_interrupted;
         ] );
       ( "server",
-        [ Alcotest.test_case "end to end over the socket" `Slow test_server_end_to_end ] );
+        [
+          Alcotest.test_case "end to end over the socket" `Slow test_server_end_to_end;
+          Alcotest.test_case "concurrent clients" `Quick test_server_concurrent_clients;
+          Alcotest.test_case "connection cap" `Quick test_server_connection_cap;
+          Alcotest.test_case "idle timeout" `Quick test_server_idle_timeout;
+          Alcotest.test_case "client error attribution" `Quick
+            test_client_error_attribution;
+        ] );
     ]
