@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-serve bench-serve-concurrent trace-replay serve-smoke clean
+.PHONY: all build test bench bench-quick bench-perf-incremental bench-serve bench-serve-concurrent trace-replay serve-smoke clean
 
 all: build
 
@@ -18,6 +18,12 @@ bench:
 # bench/results/perf-parallel-latest.json (used by CI as an artifact).
 bench-quick:
 	dune exec bench/main.exe -- perf-parallel --moves 2000 --runs 4
+
+# Move-scoped incremental evaluation vs full recompute (docs/PERFORMANCE.md);
+# writes bench/results/perf-incremental-latest.json with per-circuit
+# speedups, cache counters and the bit-identity checks.
+bench-perf-incremental:
+	dune exec bench/main.exe -- perf-incremental --moves 4000
 
 # Record simple-ota traces sequentially and domain-parallel, then replay
 # both against the compiled cost function (docs/OBSERVABILITY.md) — the

@@ -458,6 +458,16 @@ let json_escape s =
          | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
+(* Every perf artifact carries the same [baseline] block so results from
+   different hosts / configurations are comparable at a glance. *)
+let baseline_json ~jobs ~eval_mode =
+  Obs.Json.Obj
+    [
+      ("host", Obs.Json.Str (Unix.gethostname ()));
+      ("jobs", Obs.Json.Num (float_of_int jobs));
+      ("eval_mode", Obs.Json.Str eval_mode);
+    ]
+
 let perf_parallel () =
   sep "PERF-PARALLEL -- multi-start speedup vs domain count (table2-class workload)";
   let p_runs = Int.max !runs 4 in
@@ -513,6 +523,9 @@ let perf_parallel () =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"bench\": \"perf-parallel\",\n";
+  out "  \"baseline\": %s,\n"
+    (Obs.Json.to_string
+       (baseline_json ~jobs:(Core.Oblx.default_jobs ()) ~eval_mode:"incremental"));
   out "  \"seed\": %d,\n" base_seed;
   out "  \"runs\": %d,\n" p_runs;
   out "  \"moves\": %d,\n" p_moves;
@@ -581,6 +594,25 @@ let telemetry () =
         Printf.printf "  %6d %8d %12.4g %10.3f %12.6g\n" s.sr_stage s.sr_moves s.sr_temperature
           s.sr_acceptance s.sr_best)
     r0;
+  (* Incremental-evaluation cache behaviour, summed over restarts (the
+     Evals events each restart emits per stage; the sink keeps the
+     latest per restart). *)
+  let ev_sum f = List.fold_left (fun a (_, d) -> a + f d) 0 stats.eval_rows in
+  let ev_full = ev_sum (fun (d : Obs.Event.evals_data) -> d.full)
+  and ev_incr = ev_sum (fun d -> d.Obs.Event.incr)
+  and ev_oh = ev_sum (fun d -> d.Obs.Event.op_hits)
+  and ev_om = ev_sum (fun d -> d.Obs.Event.op_misses)
+  and ev_rb = ev_sum (fun d -> d.Obs.Event.rom_builds)
+  and ev_rr = ev_sum (fun d -> d.Obs.Event.rom_reuses)
+  and ev_se = ev_sum (fun d -> d.Obs.Event.spec_evals)
+  and ev_sr = ev_sum (fun d -> d.Obs.Event.spec_reuses)
+  and ev_rs = ev_sum (fun d -> d.Obs.Event.resyncs)
+  and ev_mm = ev_sum (fun d -> d.Obs.Event.resync_mismatches) in
+  let pct a b = 100.0 *. float_of_int a /. float_of_int (Int.max 1 (a + b)) in
+  Printf.printf "\n  incremental evaluation (all restarts):\n";
+  Printf.printf "  %d incremental + %d full evals; op cache %.1f%% hit; ROM reuse %.1f%%; \
+                 spec reuse %.1f%%; %d resyncs, %d mismatches\n"
+    ev_incr ev_full (pct ev_oh ev_om) (pct ev_rr ev_rb) (pct ev_sr ev_se) ev_rs ev_mm;
   (* JSON artifact next to perf-parallel's. *)
   (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
   (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
@@ -591,6 +623,10 @@ let telemetry () =
     Obs.Json.Obj
       [
         ("bench", Obs.Json.Str "telemetry");
+        ( "baseline",
+          baseline_json
+            ~jobs:(Option.value !jobs ~default:(Core.Oblx.default_jobs ()))
+            ~eval_mode:"incremental" );
         ("circuit", Obs.Json.Str "simple-ota");
         ("seed", int (base_seed + 5));
         ("runs", int t_runs);
@@ -598,6 +634,20 @@ let telemetry () =
         ("wall_s", num wall);
         ("moves_per_sec", num moves_per_sec);
         ("best_cost", num best.Core.Oblx.best_cost);
+        ( "evals",
+          Obs.Json.Obj
+            [
+              ("full", int ev_full);
+              ("incr", int ev_incr);
+              ("op_hits", int ev_oh);
+              ("op_misses", int ev_om);
+              ("rom_builds", int ev_rb);
+              ("rom_reuses", int ev_rr);
+              ("spec_evals", int ev_se);
+              ("spec_reuses", int ev_sr);
+              ("resyncs", int ev_rs);
+              ("resync_mismatches", int ev_mm);
+            ] );
         ( "classes",
           Obs.Json.Arr
             (List.map
@@ -632,6 +682,173 @@ let telemetry () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Perf-incremental: move-scoped evaluation vs full recompute           *)
+(* ------------------------------------------------------------------ *)
+
+let perf_incremental () =
+  sep "PERF-INCREMENTAL -- move-scoped evaluation vs full recompute";
+  let n_moves = Option.value !moves ~default:4_000 in
+  let circuits = [ "simple-ota"; "two-stage"; "folded-cascode"; "ladder-bias-amp" ] in
+  Printf.printf "moves=%d (uniform single-variable perturbation walk, ~50%% undone)\n" n_moves;
+  (* The walk mirrors the annealer's dominant move: perturb one uniformly
+     chosen variable, evaluate the cost, undo about half the moves. Both
+     evaluators see the identical state sequence (same RNG seed), so the
+     running cost sum must agree bit for bit. *)
+  let walk p (eval_fn : string -> Core.State.t -> float) =
+    let st = Core.State.snapshot p.Core.Problem.state0 in
+    let rng = Anneal.Rng.create (base_seed + 17) in
+    let n = Core.State.n_vars st in
+    let acc = ref 0.0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n_moves do
+      let v = Anneal.Rng.int rng n in
+      let cls =
+        match st.Core.State.info.(v) with
+        | Core.State.User _ -> "user-var"
+        | Core.State.Node_voltage _ -> "node-v"
+      in
+      let prev = st.Core.State.values.(v) in
+      st.Core.State.values.(v) <-
+        Core.State.clamp st v
+          (prev +. ((Anneal.Rng.float rng -. 0.5) *. (Float.abs prev +. 0.1)));
+      acc := !acc +. eval_fn cls st;
+      if Anneal.Rng.bool rng then st.Core.State.values.(v) <- prev
+    done;
+    (Unix.gettimeofday () -. t0, !acc)
+  in
+  let measured =
+    List.map
+      (fun name ->
+        let e = Option.get (Suite.Ckts.find name) in
+        let p = compile_exn e in
+        let w = Core.Weights.create () in
+        let full_wall, full_acc =
+          walk p (fun _ st -> (Core.Eval.cost p w st).Core.Eval.total)
+        in
+        let ss = Core.Eval.Incr.create p in
+        let incr_wall, incr_acc =
+          walk p (fun cls st ->
+              Core.Eval.Incr.set_class ss cls;
+              Core.Eval.Incr.cost_scalar ss w st)
+        in
+        let identical =
+          Int64.equal (Int64.bits_of_float full_acc) (Int64.bits_of_float incr_acc)
+        in
+        let s = Core.Eval.Incr.stats ss in
+        let rate wall = float_of_int n_moves /. Float.max 1e-9 wall in
+        let speedup = full_wall /. Float.max 1e-9 incr_wall in
+        Printf.printf "\n-- %s (%d vars)\n" name (Core.State.n_vars p.Core.Problem.state0);
+        Printf.printf "   full        %8.0f moves/s (%.2f s)\n" (rate full_wall) full_wall;
+        Printf.printf "   incremental %8.0f moves/s (%.2f s)  -> %.2fx\n" (rate incr_wall)
+          incr_wall speedup;
+        Printf.printf "   walk cost sum bit-identical: %b\n" identical;
+        let pct a b = 100.0 *. float_of_int a /. float_of_int (Int.max 1 (a + b)) in
+        Printf.printf
+          "   op cache %.1f%% hit; ROM reuse %.1f%%; spec reuse %.1f%%; %d resyncs, %d \
+           mismatches\n"
+          (pct s.Core.Eval.Incr.op_hits s.Core.Eval.Incr.op_misses)
+          (pct s.Core.Eval.Incr.rom_reuses s.Core.Eval.Incr.rom_builds)
+          (pct s.Core.Eval.Incr.spec_reuses s.Core.Eval.Incr.spec_evals)
+          s.Core.Eval.Incr.resyncs s.Core.Eval.Incr.resync_mismatches;
+        List.iter
+          (fun (c : Core.Eval.Incr.class_row) ->
+            Printf.printf "   class %-9s %6d evals, %.2f dirty vars/eval\n" c.cr_class
+              c.cr_evals
+              (float_of_int c.cr_dirty_vars /. float_of_int (Int.max 1 c.cr_evals)))
+          s.Core.Eval.Incr.by_class;
+        if not identical then failwith (name ^ ": incremental walk diverged from full");
+        if s.Core.Eval.Incr.resync_mismatches > 0 then
+          failwith (name ^ ": resync caught a divergence");
+        (name, full_wall, incr_wall, speedup, identical, s))
+      circuits
+  in
+  (* End-to-end guard: a real annealing run with the incremental evaluator
+     must elect the same winner, bit for bit. *)
+  let eq_name = "ladder-bias-amp" in
+  let eq_moves = Int.min n_moves 2_000 in
+  let eq_p = compile_exn (Option.get (Suite.Ckts.find eq_name)) in
+  let eq_run inc = Core.Oblx.synthesize ~seed:base_seed ~moves:eq_moves ~incremental:inc eq_p in
+  let eq_full = eq_run false and eq_incr = eq_run true in
+  let eq_identical =
+    Int64.equal
+      (Int64.bits_of_float eq_full.Core.Oblx.best_cost)
+      (Int64.bits_of_float eq_incr.Core.Oblx.best_cost)
+    && eq_full.Core.Oblx.accepted = eq_incr.Core.Oblx.accepted
+  in
+  Printf.printf "\nsynthesize winner (%s, %d moves) bit-identical: %b\n" eq_name eq_moves
+    eq_identical;
+  if not eq_identical then failwith "synthesize winner differs with incremental evaluation";
+  let best_speedup = List.fold_left (fun a (_, _, _, sp, _, _) -> Float.max a sp) 0.0 measured in
+  Printf.printf "best circuit speedup: %.2fx\n" best_speedup;
+  (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
+  (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
+  let path = "bench/results/perf-incremental-latest.json" in
+  let num v = Obs.Json.Num v in
+  let int v = num (float_of_int v) in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "perf-incremental");
+        ("baseline", baseline_json ~jobs:1 ~eval_mode:"incremental");
+        ("seed", int (base_seed + 17));
+        ("moves", int n_moves);
+        ("best_speedup", num best_speedup);
+        ( "synthesize_check",
+          Obs.Json.Obj
+            [
+              ("circuit", Obs.Json.Str eq_name);
+              ("moves", int eq_moves);
+              ("winner_bit_identical", Obs.Json.Bool eq_identical);
+            ] );
+        ( "circuits",
+          Obs.Json.Arr
+            (List.map
+               (fun (name, full_wall, incr_wall, speedup, identical, (s : Core.Eval.Incr.stats)) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str name);
+                     ("full_wall_s", num full_wall);
+                     ("full_moves_per_s", num (float_of_int n_moves /. Float.max 1e-9 full_wall));
+                     ("incr_wall_s", num incr_wall);
+                     ("incr_moves_per_s", num (float_of_int n_moves /. Float.max 1e-9 incr_wall));
+                     ("speedup", num speedup);
+                     ("walk_bit_identical", Obs.Json.Bool identical);
+                     ("op_hits", int s.op_hits);
+                     ("op_misses", int s.op_misses);
+                     ("rom_builds", int s.rom_builds);
+                     ("rom_reuses", int s.rom_reuses);
+                     ("spec_evals", int s.spec_evals);
+                     ("spec_reuses", int s.spec_reuses);
+                     ("resyncs", int s.resyncs);
+                     ("resync_mismatches", int s.resync_mismatches);
+                     ( "dirty_hist",
+                       Obs.Json.Arr (Array.to_list (Array.map (fun k -> int k) s.dirty_hist)) );
+                     ( "classes",
+                       Obs.Json.Arr
+                         (List.map
+                            (fun (c : Core.Eval.Incr.class_row) ->
+                              Obs.Json.Obj
+                                [
+                                  ("name", Obs.Json.Str c.cr_class);
+                                  ("evals", int c.cr_evals);
+                                  ("dirty_vars", int c.cr_dirty_vars);
+                                  ("op_hits", int c.cr_op_hits);
+                                  ("op_misses", int c.cr_op_misses);
+                                  ("rom_builds", int c.cr_rom_builds);
+                                  ("rom_reuses", int c.cr_rom_reuses);
+                                ])
+                            s.by_class) );
+                   ])
+               measured) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Serve: oblxd job-service throughput and latency (JSON artifact)      *)
@@ -788,6 +1005,9 @@ let serve () =
     Obs.Json.Obj
       [
         ("bench", Obs.Json.Str "serve");
+        ( "baseline",
+          baseline_json ~jobs:workers
+            ~eval_mode:(if cfg.pool.Serve.Pool.incremental then "incremental" else "full") );
         ("workers", int workers);
         ("submissions", int n_jobs);
         ("moves_per_job", int s_moves);
@@ -970,6 +1190,9 @@ let serve_concurrent () =
     Obs.Json.Obj
       [
         ("bench", Obs.Json.Str "serve-concurrent");
+        ( "baseline",
+          baseline_json ~jobs:workers
+            ~eval_mode:(if cfg.pool.Serve.Pool.incremental then "incremental" else "full") );
         ("workers", int workers);
         ("clients", int clients);
         ("jobs_per_client", int jobs_per_client);
@@ -999,7 +1222,7 @@ let serve_concurrent () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|telemetry|serve|serve-concurrent|all]\n\
+     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|perf-incremental|telemetry|serve|serve-concurrent|all]\n\
     \       [--runs N] [--moves N] [--jobs N]"
 
 let () =
@@ -1031,6 +1254,7 @@ let () =
     | "ablation" -> ablation ()
     | "perf" -> perf ()
     | "perf-parallel" -> perf_parallel ()
+    | "perf-incremental" -> perf_incremental ()
     | "telemetry" -> telemetry ()
     | "serve" -> serve ()
     | "serve-concurrent" -> serve_concurrent ()
@@ -1044,6 +1268,7 @@ let () =
         ablation ();
         perf ();
         perf_parallel ();
+        perf_incremental ();
         telemetry ();
         serve ();
         serve_concurrent ()

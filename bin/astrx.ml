@@ -117,6 +117,16 @@ let make_trace path level =
   | None -> Obs.Trace.none
   | Some path -> Obs.Trace.make ~level [ Obs.Sink.jsonl_file path ]
 
+let no_incremental_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Evaluate every move with the full cost function instead of the move-scoped \
+           incremental evaluator (escape hatch; the trajectory and winner are bit-identical \
+           either way)")
+
 let netlist_arg =
   Arg.(
     value
@@ -136,8 +146,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a problem and print ASTRX's analysis")
     Term.(const run $ file_arg)
 
-let synth_source name src seed moves runs jobs early_stop no_verify dump trace_path trace_level
-    =
+let synth_source name src seed moves runs jobs early_stop no_incremental no_verify dump
+    trace_path trace_level =
   match Core.Compile.compile_source src with
   | Error e ->
       prerr_endline e;
@@ -148,7 +158,10 @@ let synth_source name src seed moves runs jobs early_stop no_verify dump trace_p
   | Ok p ->
       print_analysis name p;
       let obs = make_trace trace_path trace_level in
-      let best, all = Core.Oblx.best_of ~seed ?moves ?jobs ~early_stop ~obs ~runs p in
+      let best, all =
+        Core.Oblx.best_of ~seed ?moves ?jobs ~early_stop ~incremental:(not no_incremental) ~obs
+          ~runs p
+      in
       Obs.Trace.close obs;
       (match trace_path with
       | Some path ->
@@ -168,6 +181,18 @@ let synth_source name src seed moves runs jobs early_stop no_verify dump trace_p
           cuts
       end;
       print_result p best ~verify:(not no_verify);
+      (match best.Core.Oblx.eval_stats with
+      | Some es when es.Core.Eval.Incr.incr_evals > 0 ->
+          let pct a b = if a + b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int (a + b) in
+          Printf.printf
+            "eval: %d incremental + %d full; op cache %.1f%% hit, ROM reuse %.1f%%, spec reuse \
+             %.1f%%; %d resyncs, %d mismatches\n"
+            es.Core.Eval.Incr.incr_evals es.Core.Eval.Incr.full_evals
+            (pct es.Core.Eval.Incr.op_hits es.Core.Eval.Incr.op_misses)
+            (pct es.Core.Eval.Incr.rom_reuses es.Core.Eval.Incr.rom_builds)
+            (pct es.Core.Eval.Incr.spec_reuses es.Core.Eval.Incr.spec_evals)
+            es.Core.Eval.Incr.resyncs es.Core.Eval.Incr.resync_mismatches
+      | Some _ | None -> ());
       (match dump with
       | Some path ->
           let oc = open_out path in
@@ -178,33 +203,35 @@ let synth_source name src seed moves runs jobs early_stop no_verify dump trace_p
       0
 
 let synth_cmd =
-  let run file seed moves runs jobs early_stop no_verify dump trace trace_level =
-    synth_source file (read_file file) seed moves runs jobs early_stop no_verify dump trace
-      trace_level
+  let run file seed moves runs jobs early_stop no_incremental no_verify dump trace trace_level
+      =
+    synth_source file (read_file file) seed moves runs jobs early_stop no_incremental no_verify
+      dump trace trace_level
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a problem with OBLX")
     Term.(
       const run $ file_arg $ seed_arg $ moves_arg $ runs_arg $ jobs_arg $ early_stop_arg
-      $ no_verify_arg $ netlist_arg $ trace_arg $ trace_level_arg)
+      $ no_incremental_arg $ no_verify_arg $ netlist_arg $ trace_arg $ trace_level_arg)
 
 let bench_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name")
   in
-  let run name seed moves runs jobs early_stop no_verify dump trace trace_level =
+  let run name seed moves runs jobs early_stop no_incremental no_verify dump trace trace_level
+      =
     match Suite.Ckts.find name with
     | None ->
         Printf.eprintf "unknown benchmark %s; known: %s\n" name
           (String.concat ", " (List.map (fun (e : Suite.Ckts.entry) -> e.name) Suite.Ckts.all));
         1
     | Some e ->
-        synth_source e.name e.source seed moves runs jobs early_stop no_verify dump trace
-          trace_level
+        synth_source e.name e.source seed moves runs jobs early_stop no_incremental no_verify
+          dump trace trace_level
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run a built-in benchmark circuit")
     Term.(
       const run $ name_arg $ seed_arg $ moves_arg $ runs_arg $ jobs_arg $ early_stop_arg
-      $ no_verify_arg $ netlist_arg $ trace_arg $ trace_level_arg)
+      $ no_incremental_arg $ no_verify_arg $ netlist_arg $ trace_arg $ trace_level_arg)
 
 (* Problem source for replay/submit: a built-in benchmark name or a file
    path. An unreadable file is an [Error], not an escaping [Sys_error]. *)
@@ -516,6 +543,21 @@ let stats_cmd =
         (match jnum cache "hit_rate" with
         | Some r -> Printf.sprintf ", hit rate %.0f%%" (100.0 *. r)
         | None -> "");
+      (match (Json.mem_opt "eval_mode" j, Json.mem_opt "evals" j) with
+      | Some (Json.Str mode), Some (Json.Obj _ as ev) ->
+          let pct a b =
+            match (jnum ev a, jnum ev b) with
+            | Some x, Some y when x +. y > 0.0 -> Printf.sprintf "%.0f%%" (100.0 *. x /. (x +. y))
+            | _ -> "-"
+          in
+          Printf.printf
+            "evals (%s): %s incremental / %s full; op cache %s hit, ROM reuse %s, spec reuse \
+             %s, %s resyncs (%s mismatches)\n"
+            mode (n ev "incremental") (n ev "full") (pct "op_hits" "op_misses")
+            (pct "rom_reuses" "rom_builds") (pct "spec_reuses" "spec_evals") (n ev "resyncs")
+            (n ev "resync_mismatches")
+      | Some (Json.Str mode), _ -> Printf.printf "evals: mode %s\n" mode
+      | _ -> ());
       match Json.mem_opt "workers_detail" j with
       | Some (Json.Arr ws) ->
           List.iter

@@ -70,10 +70,19 @@ let idle_timeout_arg =
     & info [ "idle-timeout" ] ~docv:"SECONDS"
         ~doc:"Drop a connection this quiet between requests (frees its slot)")
 
+let no_incremental_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Evaluate every move with the full cost function instead of the move-scoped \
+           incremental evaluator (escape hatch; results are bit-identical either way)")
+
 let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup banner")
 
-let run socket workers queue cache state_dir no_state default_moves max_connections
-    idle_timeout quiet =
+let run socket workers queue cache state_dir no_state default_moves no_incremental
+    max_connections idle_timeout quiet =
   let workers = match workers with Some w -> Int.max 0 w | None -> Core.Oblx.default_jobs () in
   let state_dir = if no_state then None else state_dir in
   let cfg =
@@ -88,6 +97,7 @@ let run socket workers queue cache state_dir no_state default_moves max_connecti
           cache_capacity = cache;
           state_dir;
           default_moves;
+          incremental = not no_incremental;
         };
     }
   in
@@ -119,5 +129,5 @@ let () =
        (Cmd.v info
           Term.(
             const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg $ state_dir_arg
-            $ no_state_arg $ default_moves_arg $ max_connections_arg $ idle_timeout_arg
-            $ quiet_arg)))
+            $ no_state_arg $ default_moves_arg $ no_incremental_arg $ max_connections_arg
+            $ idle_timeout_arg $ quiet_arg)))

@@ -29,10 +29,8 @@ let initial_env vars params =
   in
   { Netlist.Expr.lookup = lookup []; call = math_call }
 
-let known_tf_functions =
-  [ "dc_gain"; "ugf"; "phase_margin"; "pm"; "gain_at"; "bw3db"; "pole1"; "gain_margin_db" ]
-
-let spec_only_functions = [ "area"; "power"; "supply_current" ]
+let known_tf_functions = Depgraph.known_tf_functions
+let spec_only_functions = Depgraph.spec_only_functions
 
 let default_init (v : Netlist.Ast.var_decl) =
   match v.Netlist.Ast.init with
@@ -267,6 +265,11 @@ let compile ?corner (ast : Netlist.Ast.problem) =
           })
         ast.specs
     in
+    (* 8. The static dependency graph the incremental evaluator walks
+       (variable -> nodes -> elements -> jigs -> specs). *)
+    let deps =
+      Depgraph.analyze ~params:ast.params ~state0 ~bias ~tl ~jigs ~specs
+    in
     Ok
       {
         Problem.title = ast.title;
@@ -279,6 +282,7 @@ let compile ?corner (ast : Netlist.Ast.problem) =
         specs;
         regions = ast.regions;
         analysis;
+        deps;
       }
   with
   | Error msg -> Result.Error ("astrx: " ^ msg)

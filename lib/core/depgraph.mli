@@ -1,0 +1,27 @@
+(** Static dependency analysis of a compiled problem (docs/PERFORMANCE.md):
+    which bias nodes, elements, test jigs and specs can a change to one
+    optimization variable reach? {!Eval.Incr} walks the resulting
+    {!Problem.depgraph} to re-evaluate only the dirty slice of the cost
+    function after a move.
+
+    Every edge set is a conservative over-approximation: references that
+    cannot be resolved statically map onto every variable, so a missing
+    edge can never silently freeze a stale cached value. *)
+
+(** Spec functions whose first argument names a transfer function of a
+    jig ([dc_gain], [ugf], ...). Shared with {!Compile}'s spec checks. *)
+val known_tf_functions : string list
+
+(** Spec functions that read the whole bias solution ([area], [power],
+    [supply_current]) — the specs calling them are re-measured on every
+    evaluation. *)
+val spec_only_functions : string list
+
+val analyze :
+  params:(string * Netlist.Expr.t) list ->
+  state0:State.t ->
+  bias:Netlist.Circuit.t ->
+  tl:Treelink.t ->
+  jigs:Problem.jig list ->
+  specs:Problem.spec list ->
+  Problem.depgraph

@@ -230,33 +230,30 @@ let static_power (p : Problem.t) (st : State.t) (bp : bias_point) =
           acc)
     0.0 p.Problem.bias.Netlist.Circuit.elements
 
+let roms_for_jig ~value ~ops (j : Problem.jig) =
+  match Mna.Linearize.build ~value ~ops j.Problem.jig_circuit with
+  | lin ->
+      let fac = Awe.Moments.factor lin in
+      List.map
+        (fun (tfname, (tf : Problem.tf)) ->
+          let rom =
+            try
+              let b = Mna.Linearize.excitation_of lin ~src:tf.src in
+              let sel = Mna.Linearize.output_vector lin ~pos:tf.out_pos ~neg:tf.out_neg in
+              Awe.Rom.build_with fac ~b ~sel
+            with
+            | Failure m -> Error m
+            | La.Lu.Singular _ -> Error "singular AWE system"
+          in
+          (tfname, rom))
+        j.Problem.tfs
+  | exception Failure m -> List.map (fun (tfname, _) -> (tfname, Error m)) j.Problem.tfs
+
 let build_roms (p : Problem.t) (st : State.t) (bp : bias_point) =
   let env = value_env p st in
   let value e = Netlist.Expr.eval env e in
   let ops name = List.assoc_opt name bp.ops in
-  List.concat_map
-    (fun (j : Problem.jig) ->
-      match Mna.Linearize.build ~value ~ops j.jig_circuit with
-      | lin ->
-          let fac = Awe.Moments.factor lin in
-          List.map
-            (fun (tfname, (tf : Problem.tf)) ->
-              let rom =
-                try
-                  let b = Mna.Linearize.excitation_of lin ~src:tf.src in
-                  let sel =
-                    Mna.Linearize.output_vector lin ~pos:tf.out_pos ~neg:tf.out_neg
-                  in
-                  Awe.Rom.build_with fac ~b ~sel
-                with
-                | Failure m -> Error m
-                | La.Lu.Singular _ -> Error "singular AWE system"
-              in
-              (tfname, rom))
-            j.tfs
-      | exception Failure m ->
-          List.map (fun (tfname, _) -> (tfname, Error m)) j.tfs)
-    p.Problem.jigs
+  List.concat_map (roms_for_jig ~value ~ops) p.Problem.jigs
 
 let rom_of roms tfname =
   match List.assoc_opt tfname roms with
@@ -336,21 +333,22 @@ let spec_env (p : Problem.t) (st : State.t) (bp : bias_point) roms =
   in
   { Netlist.Expr.lookup; call }
 
+(* One spec under an environment: failures and non-finite results both
+   report as "unmeasurable". Shared verbatim with the incremental path. *)
+let measure_spec env (s : Problem.spec) =
+  let v =
+    try Some (Netlist.Expr.eval env s.Problem.expr) with
+    | Measurement_failed _ -> None
+    | Netlist.Expr.Eval_error _ -> None
+  in
+  match v with Some x when not (Float.is_finite x) -> None | other -> other
+
 let measure (p : Problem.t) (st : State.t) =
   let bp = bias_point p st in
   let roms = build_roms p st bp in
   let env = spec_env p st bp roms in
   let spec_values =
-    List.map
-      (fun (s : Problem.spec) ->
-        let v =
-          try Some (Netlist.Expr.eval env s.expr) with
-          | Measurement_failed _ -> None
-          | Netlist.Expr.Eval_error _ -> None
-        in
-        let v = match v with Some x when not (Float.is_finite x) -> None | other -> other in
-        (s.spec_name, v))
-      p.Problem.specs
+    List.map (fun (s : Problem.spec) -> (s.Problem.spec_name, measure_spec env s)) p.Problem.specs
   in
   { bias = bp; roms; spec_values }
 
@@ -451,8 +449,10 @@ type breakdown = {
   measured : measured;
 }
 
-let cost (p : Problem.t) (w : Weights.t) (st : State.t) =
-  let m = measure p st in
+(* The final fold from a [measured] to the weighted breakdown — one code
+   path, used identically by the full and the incremental evaluator, so
+   that equal inputs give bit-equal totals. *)
+let breakdown_of (p : Problem.t) (w : Weights.t) (st : State.t) (m : measured) =
   let obj, perf, dev, dc = raw_terms p st m in
   let c_obj = obj in
   let c_perf = w.Weights.w_perf *. perf in
@@ -460,4 +460,628 @@ let cost (p : Problem.t) (w : Weights.t) (st : State.t) =
   let c_dc = w.Weights.w_dc *. dc in
   { c_obj; c_perf; c_dev; c_dc; total = c_obj +. c_perf +. c_dev +. c_dc; measured = m }
 
+let cost (p : Problem.t) (w : Weights.t) (st : State.t) = breakdown_of p w st (measure p st)
+
 let cost_scalar p w st = (cost p w st).total
+
+(* ------------------------------------------------------------------ *)
+(* Incremental move-scoped evaluation                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A session walks the compiled dependency graph (Problem.deps) to
+   re-evaluate only the slice of the cost function a move touched, while
+   guaranteeing bit-identical totals to the full [cost] above:
+
+   - per-element KCL flow contributions are cached and the node-current
+     accumulators are re-folded from zero over ALL elements in element
+     order, so the floating-point addition order matches [sweep_bias]
+     exactly;
+   - device operating points are memoized on their exact inputs (bitwise
+     geometry + terminal voltages), and "did this element change" is a
+     physical-identity test on the operating-point record — a clean
+     element keeps the very record the cached AWE models were built from;
+   - per-jig AWE ROM lists are reused until a dependent operating point
+     changes or a jig value expression evaluates to different bits;
+   - per-spec measured values are reused unless the spec reads a rebuilt
+     jig, a changed operating point, or a dirty variable; area/power/
+     supply_current specs read the whole bias solution and are always
+     re-measured;
+   - the final fold to c_obj/c_perf/c_dev/c_dc runs [breakdown_of] on the
+     reconstructed [measured] — the same code path as the full evaluator.
+
+   A periodic resync (every [resync_every] incremental evaluations)
+   recomputes the full cost and compares bitwise; a mismatch is counted
+   and drops every cache. *)
+
+module Incr = struct
+  type class_row = {
+    cr_class : string;
+    cr_evals : int;
+    cr_dirty_vars : int;
+    cr_op_hits : int;
+    cr_op_misses : int;
+    cr_rom_builds : int;
+    cr_rom_reuses : int;
+  }
+
+  type stats = {
+    full_evals : int;
+    incr_evals : int;
+    dirty_vars : int;
+    op_hits : int;
+    op_misses : int;
+    rom_builds : int;
+    rom_reuses : int;
+    spec_evals : int;
+    spec_reuses : int;
+    resyncs : int;
+    resync_mismatches : int;
+    dirty_hist : int array;
+    by_class : class_row list;
+  }
+
+  type counters = {
+    mutable k_evals : int;
+    mutable k_dirty : int;
+    mutable k_op_hits : int;
+    mutable k_op_misses : int;
+    mutable k_rom_builds : int;
+    mutable k_rom_reuses : int;
+  }
+
+  type memo_slot = { key : float array; memo_op : Mna.Dc.op_info }
+
+  type elem_cache = {
+    ec_name : string;
+    mutable flows : (int * float) array;  (* KCL contributions, emission order *)
+    mutable op : Mna.Dc.op_info option;
+    memo : memo_slot option array;  (* tiny per-device operating-point memo *)
+    mutable memo_next : int;
+  }
+
+  type session = {
+    sp : Problem.t;
+    dg : Problem.depgraph;
+    resync_every : int;
+    last_values : float array;
+    mutable primed : bool;
+    nv : float array;  (* cached node voltages *)
+    cur : float array;  (* cached per-node current sums *)
+    mag : float array;  (* cached per-node |current| sums *)
+    elems : elem_cache array;
+    elem_changed : bool array;  (* scratch, per sync *)
+    node_seen : bool array;  (* scratch, per sync *)
+    jig_valid : bool array;  (* persistent: cached ROM list is current *)
+    jig_vals : float array array;  (* value-expression bits at last build *)
+    jig_roms : (string * (Awe.Rom.t, string) result) list array;
+    spec_valid : bool array;
+    spec_cache : float option array;
+    (* reverse maps derived from the per-spec dependency sets *)
+    var_specs : int list array;
+    elem_specs : int list array;
+    jig_specs : int list array;
+    mutable residuals : float array;
+    mutable res_scale : float array;
+    mutable ops_list : (string * Mna.Dc.op_info) list;  (* element order *)
+    mutable dirty_accum : int;  (* dirty vars since the last cost eval *)
+    mutable since_resync : int;
+    mutable cls : string;  (* move class currently charged, for stats *)
+    (* counters *)
+    mutable c_full : int;
+    mutable c_incr : int;
+    mutable c_dirty : int;
+    mutable c_op_hits : int;
+    mutable c_op_misses : int;
+    mutable c_rom_builds : int;
+    mutable c_rom_reuses : int;
+    mutable c_spec_evals : int;
+    mutable c_spec_reuses : int;
+    mutable c_resyncs : int;
+    mutable c_mismatches : int;
+    hist : int array;
+    by_class : (string, counters) Hashtbl.t;
+  }
+
+  let default_resync = 1024
+
+  let create ?(resync_every = default_resync) (p : Problem.t) =
+    let dg = p.Problem.deps in
+    let n_vars = State.n_vars p.Problem.state0 in
+    let n_nodes = Array.length p.Problem.tl.Treelink.of_node in
+    let n_elems = Array.length p.Problem.bias.Netlist.Circuit.elements in
+    let n_jigs = List.length p.Problem.jigs in
+    let n_specs = List.length p.Problem.specs in
+    let elems =
+      Array.map
+        (fun (e : Netlist.Circuit.element) ->
+          let is_device =
+            match e with
+            | Netlist.Circuit.Mosfet _ | Netlist.Circuit.Bjt _ -> true
+            | _ -> false
+          in
+          {
+            ec_name = Netlist.Circuit.element_name e;
+            flows = [||];
+            op = None;
+            memo = Array.make (if is_device then 4 else 0) None;
+            memo_next = 0;
+          })
+        p.Problem.bias.Netlist.Circuit.elements
+    in
+    let var_specs = Array.make n_vars [] in
+    let elem_specs = Array.make n_elems [] in
+    let jig_specs = Array.make n_jigs [] in
+    Array.iteri
+      (fun si (sd : Problem.spec_deps) ->
+        List.iter (fun v -> var_specs.(v) <- si :: var_specs.(v)) sd.Problem.sd_vars;
+        List.iter (fun e -> elem_specs.(e) <- si :: elem_specs.(e)) sd.Problem.sd_elems;
+        List.iter (fun j -> jig_specs.(j) <- si :: jig_specs.(j)) sd.Problem.sd_jigs)
+      dg.Problem.dg_spec_deps;
+    {
+      sp = p;
+      dg;
+      resync_every = Int.max 2 resync_every;
+      last_values = Array.make n_vars Float.nan;
+      primed = false;
+      nv = Array.make n_nodes 0.0;
+      cur = Array.make n_nodes 0.0;
+      mag = Array.make n_nodes 0.0;
+      elems;
+      elem_changed = Array.make n_elems false;
+      node_seen = Array.make n_nodes false;
+      jig_valid = Array.make n_jigs false;
+      jig_vals = Array.make n_jigs [||];
+      jig_roms = Array.make n_jigs [];
+      spec_valid = Array.make n_specs false;
+      spec_cache = Array.make n_specs None;
+      var_specs;
+      elem_specs;
+      jig_specs;
+      residuals = [||];
+      res_scale = [||];
+      ops_list = [];
+      dirty_accum = 0;
+      since_resync = 0;
+      cls = "";
+      c_full = 0;
+      c_incr = 0;
+      c_dirty = 0;
+      c_op_hits = 0;
+      c_op_misses = 0;
+      c_rom_builds = 0;
+      c_rom_reuses = 0;
+      c_spec_evals = 0;
+      c_spec_reuses = 0;
+      c_resyncs = 0;
+      c_mismatches = 0;
+      hist = Array.make 9 0;
+      by_class = Hashtbl.create 8;
+    }
+
+  let set_class ss cls = ss.cls <- cls
+
+  let invalidate ss = ss.primed <- false
+
+  let class_counters ss =
+    match Hashtbl.find_opt ss.by_class ss.cls with
+    | Some k -> k
+    | None ->
+        let k =
+          {
+            k_evals = 0;
+            k_dirty = 0;
+            k_op_hits = 0;
+            k_op_misses = 0;
+            k_rom_builds = 0;
+            k_rom_reuses = 0;
+          }
+        in
+        Hashtbl.add ss.by_class ss.cls k;
+        k
+
+  (* Bitwise float equality: the only change detector compatible with a
+     bit-identity guarantee (0.0 vs -0.0 and NaN payloads matter). *)
+  let feq_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+  let key_eq a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i >= Array.length a || (feq_bits a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let memo_find ss ec key =
+    let n = Array.length ec.memo in
+    let rec go i =
+      if i >= n then None
+      else
+        match ec.memo.(i) with
+        | Some slot when key_eq slot.key key -> Some slot.memo_op
+        | Some _ | None -> go (i + 1)
+    in
+    match go 0 with
+    | Some op ->
+        ss.c_op_hits <- ss.c_op_hits + 1;
+        (class_counters ss).k_op_hits <- (class_counters ss).k_op_hits + 1;
+        Some op
+    | None ->
+        ss.c_op_misses <- ss.c_op_misses + 1;
+        (class_counters ss).k_op_misses <- (class_counters ss).k_op_misses + 1;
+        None
+
+  let memo_add ec key memo_op =
+    if Array.length ec.memo > 0 then begin
+      ec.memo.(ec.memo_next) <- Some { key; memo_op };
+      ec.memo_next <- (ec.memo_next + 1) mod Array.length ec.memo
+    end
+
+  let set_flows ss i ec flows =
+    let changed =
+      Array.length ec.flows <> Array.length flows
+      ||
+      let rec go k =
+        if k >= Array.length flows then false
+        else begin
+          let n0, v0 = ec.flows.(k) and n1, v1 = flows.(k) in
+          n0 <> n1 || (not (feq_bits v0 v1)) || go (k + 1)
+        end
+      in
+      go 0
+    in
+    if changed then begin
+      ec.flows <- flows;
+      ss.elem_changed.(i) <- true
+    end
+
+  (* Recompute one element's flow contributions (and operating point for a
+     device) with the same arithmetic, in the same order, as [sweep_bias]. *)
+  let recompute_elem ss ~force value i (e : Netlist.Circuit.element) =
+    let p = ss.sp in
+    let nv = ss.nv in
+    let ec = ss.elems.(i) in
+    match e with
+    | Netlist.Circuit.Resistor { n1; n2; value = ve; _ } ->
+        let iv = (nv.(n1) -. nv.(n2)) /. value ve in
+        set_flows ss i ec [| (n1, iv); (n2, -.iv) |]
+    | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Vsource _ -> ()
+    | Netlist.Circuit.Isource { np; nn; dc; _ } ->
+        let iv = value dc in
+        set_flows ss i ec [| (np, iv); (nn, -.iv) |]
+    | Netlist.Circuit.Vccs { np; nn; ncp; ncn; gm; _ } ->
+        let iv = value gm *. (nv.(ncp) -. nv.(ncn)) in
+        set_flows ss i ec [| (np, iv); (nn, -.iv) |]
+    | Netlist.Circuit.Mosfet { name; d; g; s; b; model; w; l; mult } -> begin
+        match Devices.Registry.find_exn p.Problem.registry model with
+        | Devices.Sig.Mos { eval; _ } ->
+            let key = [| value w; value l; value mult; nv.(d); nv.(g); nv.(s); nv.(b) |] in
+            let op_info =
+              match memo_find ss ec key with
+              | Some op -> op
+              | None ->
+                  let op =
+                    eval ~w:key.(0) ~l:key.(1) ~m:key.(2) ~vd:key.(3) ~vg:key.(4) ~vs:key.(5)
+                      ~vb:key.(6)
+                  in
+                  let oi = Mna.Dc.Mos_op op in
+                  memo_add ec key oi;
+                  oi
+            in
+            let unchanged = match ec.op with Some o -> o == op_info | None -> false in
+            if force || not unchanged then begin
+              (match op_info with
+              | Mna.Dc.Mos_op op ->
+                  let open Devices.Sig in
+                  ec.flows <-
+                    [|
+                      (d, op.id_);
+                      (s, -.op.id_);
+                      (b, op.ibd_ +. op.ibs_);
+                      (d, -.op.ibd_);
+                      (s, -.op.ibs_);
+                    |]
+              | Mna.Dc.Bjt_op _ -> assert false);
+              ec.op <- Some op_info;
+              ss.elem_changed.(i) <- true
+            end
+        | Devices.Sig.Bjt _ -> failwith (name ^ ": MOS element with BJT model")
+      end
+    | Netlist.Circuit.Bjt { name; c; b; e = ne; model; area } -> begin
+        match Devices.Registry.find_exn p.Problem.registry model with
+        | Devices.Sig.Bjt { eval; _ } ->
+            let key = [| value area; nv.(c); nv.(b); nv.(ne) |] in
+            let op_info =
+              match memo_find ss ec key with
+              | Some op -> op
+              | None ->
+                  let op = eval ~area:key.(0) ~vc:key.(1) ~vb:key.(2) ~ve:key.(3) in
+                  let oi = Mna.Dc.Bjt_op op in
+                  memo_add ec key oi;
+                  oi
+            in
+            let unchanged = match ec.op with Some o -> o == op_info | None -> false in
+            if force || not unchanged then begin
+              (match op_info with
+              | Mna.Dc.Bjt_op op ->
+                  let open Devices.Sig in
+                  ec.flows <- [| (c, op.ic); (b, op.ib); (ne, -.(op.ic +. op.ib)) |]
+              | Mna.Dc.Mos_op _ -> assert false);
+              ec.op <- Some op_info;
+              ss.elem_changed.(i) <- true
+            end
+        | Devices.Sig.Mos _ -> failwith (name ^ ": BJT element with MOS model")
+      end
+    | Netlist.Circuit.Inductor { name; _ }
+    | Netlist.Circuit.Vcvs { name; _ }
+    | Netlist.Circuit.Cccs { name; _ }
+    | Netlist.Circuit.Ccvs { name; _ } ->
+        failwith (name ^ ": unsupported element in bias network")
+
+  (* Node voltage with the same arithmetic as [node_voltages]. *)
+  let node_voltage_of p (st : State.t) env node =
+    let base = Problem.node_var_base p in
+    match p.Problem.tl.Treelink.of_node.(node) with
+    | Treelink.Fixed e -> Netlist.Expr.eval env e
+    | Treelink.Free (k, off) -> st.State.values.(base + k) +. Netlist.Expr.eval env off
+
+  (* Re-check a jig's value expressions against the bits recorded when its
+     ROM list was built; different bits drop the cached list. *)
+  let check_jig_vals ss env j =
+    if ss.jig_valid.(j) then begin
+      let vals = ss.jig_vals.(j) in
+      let same = ref (Array.length vals > 0 || ss.dg.Problem.dg_jig_exprs.(j) = []) in
+      let k = ref 0 in
+      List.iter
+        (fun e ->
+          let v = try Netlist.Expr.eval env e with _ -> Float.nan in
+          if !k >= Array.length vals || not (feq_bits vals.(!k) v) then same := false;
+          incr k)
+        ss.dg.Problem.dg_jig_exprs.(j);
+      if not !same then ss.jig_valid.(j) <- false
+    end
+
+  (* Bring the bias slice (node voltages, element flows and operating
+     points, KCL residuals) up to date with [st], marking dependent jigs
+     and specs stale along the way. *)
+  let sync ss (st : State.t) =
+    let p = ss.sp in
+    let n_vars = Array.length ss.last_values in
+    let n_elems = Array.length ss.elems in
+    try
+      let force = not ss.primed in
+      let env = value_env p st in
+      let value e = Netlist.Expr.eval env e in
+      Array.fill ss.elem_changed 0 n_elems false;
+      let elem_dirty = Array.make n_elems force in
+      let dirty = ref [] in
+      if force then begin
+        for v = n_vars - 1 downto 0 do
+          dirty := v :: !dirty
+        done;
+        Array.iteri (fun node _ -> ss.nv.(node) <- node_voltage_of p st env node) ss.nv;
+        Array.fill ss.jig_valid 0 (Array.length ss.jig_valid) false;
+        Array.fill ss.spec_valid 0 (Array.length ss.spec_valid) false
+      end
+      else begin
+        for v = n_vars - 1 downto 0 do
+          if not (feq_bits ss.last_values.(v) st.State.values.(v)) then dirty := v :: !dirty
+        done;
+        (* dirty vars -> nodes: recompute, and only a node whose voltage
+           actually changed bits dirties the elements on it *)
+        let touched_nodes = ref [] in
+        List.iter
+          (fun v ->
+            List.iter
+              (fun node ->
+                if not ss.node_seen.(node) then begin
+                  ss.node_seen.(node) <- true;
+                  touched_nodes := node :: !touched_nodes;
+                  let fresh = node_voltage_of p st env node in
+                  if not (feq_bits fresh ss.nv.(node)) then begin
+                    ss.nv.(node) <- fresh;
+                    List.iter
+                      (fun e -> elem_dirty.(e) <- true)
+                      ss.dg.Problem.dg_node_elems.(node)
+                  end
+                end)
+              ss.dg.Problem.dg_var_nodes.(v);
+            List.iter (fun e -> elem_dirty.(e) <- true) ss.dg.Problem.dg_var_elems.(v))
+          !dirty;
+        List.iter (fun node -> ss.node_seen.(node) <- false) !touched_nodes
+      end;
+      let n_dirty = List.length !dirty in
+      ss.dirty_accum <- ss.dirty_accum + n_dirty;
+      (* Recompute dirty elements; [elem_changed] ends up true only where
+         the contribution (or operating point) has genuinely new bits. *)
+      Array.iteri
+        (fun i e -> if elem_dirty.(i) then recompute_elem ss ~force value i e)
+        p.Problem.bias.Netlist.Circuit.elements;
+      let any_changed = force || Array.exists Fun.id ss.elem_changed in
+      if any_changed then begin
+        (* Re-fold the node-current accumulators from zero over all
+           elements in element order: the same addition sequence as
+           [sweep_bias], so clean totals keep their exact bits. *)
+        Array.fill ss.cur 0 (Array.length ss.cur) 0.0;
+        Array.fill ss.mag 0 (Array.length ss.mag) 0.0;
+        Array.iter
+          (fun ec ->
+            Array.iter
+              (fun (node, i) ->
+                ss.cur.(node) <- ss.cur.(node) +. i;
+                ss.mag.(node) <- ss.mag.(node) +. Float.abs i)
+              ec.flows)
+          ss.elems;
+        let residuals, res_scale = group_residuals p ss.cur ss.mag in
+        ss.residuals <- residuals;
+        ss.res_scale <- res_scale;
+        let ops = ref [] in
+        for i = n_elems - 1 downto 0 do
+          match ss.elems.(i).op with
+          | Some op -> ops := (ss.elems.(i).ec_name, op) :: !ops
+          | None -> ()
+        done;
+        ss.ops_list <- !ops;
+        (* changed elements invalidate dependent jigs and specs *)
+        Array.iteri
+          (fun i changed ->
+            if changed then begin
+              List.iter (fun j -> ss.jig_valid.(j) <- false) ss.dg.Problem.dg_elem_jigs.(i);
+              List.iter (fun s -> ss.spec_valid.(s) <- false) ss.elem_specs.(i)
+            end)
+          ss.elem_changed
+      end;
+      if not force then
+        List.iter
+          (fun v ->
+            List.iter (fun j -> check_jig_vals ss env j) ss.dg.Problem.dg_var_jigs.(v);
+            List.iter (fun s -> ss.spec_valid.(s) <- false) ss.var_specs.(v))
+          !dirty;
+      Array.blit st.State.values 0 ss.last_values 0 n_vars;
+      ss.primed <- true
+    with e ->
+      ss.primed <- false;
+      raise e
+
+  let residuals_quick ss st =
+    sync ss st;
+    Array.copy ss.residuals
+
+  let bias_view ss st =
+    sync ss st;
+    (ss.nv, ss.ops_list)
+
+  let measure_with ss (st : State.t) =
+    let p = ss.sp in
+    sync ss st;
+    let bp =
+      {
+        node_v = Array.copy ss.nv;
+        ops = ss.ops_list;
+        residuals = Array.copy ss.residuals;
+        res_scale = Array.copy ss.res_scale;
+        node_leaving = Array.copy ss.cur;
+      }
+    in
+    (* Rebuild the ROM lists of stale jigs only; a rebuilt jig re-measures
+       the specs that read it. *)
+    let kk = class_counters ss in
+    (if Array.exists (fun v -> not v) ss.jig_valid then begin
+       let env = value_env p st in
+       let value e = Netlist.Expr.eval env e in
+       let ops name = List.assoc_opt name bp.ops in
+       List.iteri
+         (fun j jig ->
+           if not ss.jig_valid.(j) then begin
+             ss.jig_roms.(j) <- roms_for_jig ~value ~ops jig;
+             ss.jig_vals.(j) <-
+               Array.of_list
+                 (List.map
+                    (fun e -> try value e with _ -> Float.nan)
+                    ss.dg.Problem.dg_jig_exprs.(j));
+             ss.jig_valid.(j) <- true;
+             List.iter (fun s -> ss.spec_valid.(s) <- false) ss.jig_specs.(j);
+             ss.c_rom_builds <- ss.c_rom_builds + 1;
+             kk.k_rom_builds <- kk.k_rom_builds + 1
+           end
+           else begin
+             ss.c_rom_reuses <- ss.c_rom_reuses + 1;
+             kk.k_rom_reuses <- kk.k_rom_reuses + 1
+           end)
+         p.Problem.jigs
+     end
+     else begin
+       let n = Array.length ss.jig_valid in
+       ss.c_rom_reuses <- ss.c_rom_reuses + n;
+       kk.k_rom_reuses <- kk.k_rom_reuses + n
+     end);
+    let roms = List.concat (Array.to_list ss.jig_roms) in
+    (* Re-measure stale specs with the same environment the full
+       evaluator builds. *)
+    let env = spec_env p st bp roms in
+    List.iteri
+      (fun i (s : Problem.spec) ->
+        let sd = ss.dg.Problem.dg_spec_deps.(i) in
+        if sd.Problem.sd_always || not ss.spec_valid.(i) then begin
+          ss.spec_cache.(i) <- measure_spec env s;
+          ss.spec_valid.(i) <- true;
+          ss.c_spec_evals <- ss.c_spec_evals + 1
+        end
+        else ss.c_spec_reuses <- ss.c_spec_reuses + 1)
+      p.Problem.specs;
+    let spec_values =
+      List.mapi (fun i (s : Problem.spec) -> (s.Problem.spec_name, ss.spec_cache.(i))) p.Problem.specs
+    in
+    { bias = bp; roms; spec_values }
+
+  let cost ss (w : Weights.t) (st : State.t) =
+    let was_primed = ss.primed in
+    ss.dirty_accum <- 0;
+    let m = measure_with ss st in
+    let bd = breakdown_of ss.sp w st m in
+    let kk = class_counters ss in
+    kk.k_evals <- kk.k_evals + 1;
+    kk.k_dirty <- kk.k_dirty + ss.dirty_accum;
+    if was_primed then begin
+      ss.c_incr <- ss.c_incr + 1;
+      ss.c_dirty <- ss.c_dirty + ss.dirty_accum;
+      ss.hist.(Int.min ss.dirty_accum (Array.length ss.hist - 1)) <-
+        ss.hist.(Int.min ss.dirty_accum (Array.length ss.hist - 1)) + 1
+    end
+    else ss.c_full <- ss.c_full + 1;
+    (* Periodic resync: recompute from scratch, compare bitwise, count
+       and recover from any divergence. *)
+    ss.since_resync <- ss.since_resync + 1;
+    if was_primed && ss.since_resync >= ss.resync_every then begin
+      ss.since_resync <- 0;
+      ss.c_resyncs <- ss.c_resyncs + 1;
+      let full = cost ss.sp w st in
+      ss.c_full <- ss.c_full + 1;
+      if
+        not
+          (feq_bits full.total bd.total && feq_bits full.c_obj bd.c_obj
+          && feq_bits full.c_perf bd.c_perf && feq_bits full.c_dev bd.c_dev
+          && feq_bits full.c_dc bd.c_dc)
+      then begin
+        ss.c_mismatches <- ss.c_mismatches + 1;
+        ss.primed <- false;
+        full
+      end
+      else bd
+    end
+    else bd
+
+  let cost_scalar ss w st = (cost ss w st).total
+
+  let stats ss =
+    let by_class =
+      Hashtbl.fold
+        (fun cls (k : counters) acc ->
+          {
+            cr_class = (if cls = "" then "(none)" else cls);
+            cr_evals = k.k_evals;
+            cr_dirty_vars = k.k_dirty;
+            cr_op_hits = k.k_op_hits;
+            cr_op_misses = k.k_op_misses;
+            cr_rom_builds = k.k_rom_builds;
+            cr_rom_reuses = k.k_rom_reuses;
+          }
+          :: acc)
+        ss.by_class []
+      |> List.sort (fun a b -> String.compare a.cr_class b.cr_class)
+    in
+    {
+      full_evals = ss.c_full;
+      incr_evals = ss.c_incr;
+      dirty_vars = ss.c_dirty;
+      op_hits = ss.c_op_hits;
+      op_misses = ss.c_op_misses;
+      rom_builds = ss.c_rom_builds;
+      rom_reuses = ss.c_rom_reuses;
+      spec_evals = ss.c_spec_evals;
+      spec_reuses = ss.c_spec_reuses;
+      resyncs = ss.c_resyncs;
+      resync_mismatches = ss.c_mismatches;
+      dirty_hist = Array.copy ss.hist;
+      by_class;
+    }
+
+  let problem ss = ss.sp
+end

@@ -73,3 +73,85 @@ val raw_terms : Problem.t -> State.t -> measured -> float * float * float * floa
     baseline optimizer, which has no relaxed-dc or device-region terms. *)
 val cost_of_spec_values :
   Problem.t -> (string * float option) list -> float * float
+
+(** [breakdown_of p w st m] folds an already-measured point into the cost
+    breakdown — the final stage [cost] runs, exposed so {!Incr} can share
+    it bit for bit. *)
+val breakdown_of : Problem.t -> Weights.t -> State.t -> measured -> breakdown
+
+(** Incremental move-scoped evaluation (docs/PERFORMANCE.md).
+
+    A session owns caches for one annealing run: per-element KCL flow
+    contributions and device operating points (with a small memo keyed on
+    the exact geometry + terminal-voltage bits), per-jig AWE ROM lists,
+    and per-spec measured values. After a move, only the slice of the
+    cost function reachable from the changed variables through
+    {!Problem.depgraph} is re-evaluated; the final fold reuses the full
+    evaluator's own code (same element order, same addition order), so
+    the returned breakdown is bit-identical to {!cost}. A periodic
+    resync recomputes from scratch and verifies exactly that. *)
+module Incr : sig
+  type session
+
+  (** Per-move-class cache behaviour, for telemetry. *)
+  type class_row = {
+    cr_class : string;
+    cr_evals : int;
+    cr_dirty_vars : int;
+    cr_op_hits : int;
+    cr_op_misses : int;
+    cr_rom_builds : int;
+    cr_rom_reuses : int;
+  }
+
+  type stats = {
+    full_evals : int;  (** from-scratch evaluations (unprimed or resync) *)
+    incr_evals : int;  (** evaluations served from a primed session *)
+    dirty_vars : int;  (** total dirty variables across incremental evals *)
+    op_hits : int;  (** device-op memo hits *)
+    op_misses : int;  (** device-op model evaluations *)
+    rom_builds : int;  (** jig ROM lists rebuilt *)
+    rom_reuses : int;  (** jig ROM lists served from cache *)
+    spec_evals : int;
+    spec_reuses : int;
+    resyncs : int;  (** periodic full-recompute verifications *)
+    resync_mismatches : int;  (** resyncs that caught a divergence (bug) *)
+    dirty_hist : int array;
+        (** histogram of dirty-variable counts per incremental eval;
+            last bucket accumulates everything >= its index *)
+    by_class : class_row list;
+  }
+
+  (** [create ?resync_every p] — a fresh, unprimed session. Every
+      [resync_every] incremental evaluations (default 1024) the result is
+      verified bitwise against a from-scratch {!Eval.cost}. *)
+  val create : ?resync_every:int -> Problem.t -> session
+
+  val problem : session -> Problem.t
+
+  (** Tag subsequent evaluations with a move-class name for [stats]. *)
+  val set_class : session -> string -> unit
+
+  (** Drop all caches; the next evaluation runs from scratch. *)
+  val invalidate : session -> unit
+
+  (** Bit-identical to [Eval.cost p w st]. *)
+  val cost : session -> Weights.t -> State.t -> breakdown
+
+  val cost_scalar : session -> Weights.t -> State.t -> float
+
+  (** Bit-identical to [Eval.residuals_quick p st], but served from the
+      cached bias slice — the Newton-Raphson inner loop. *)
+  val residuals_quick : session -> State.t -> float array
+
+  (** [bias_view ss st] syncs and exposes the cached node voltages and
+      operating points (element order) — shared with the NR Jacobian so
+      the move generator evaluates each device model once per point. *)
+  val bias_view :
+    session -> State.t -> float array * (string * Mna.Dc.op_info) list
+
+  (** Bit-identical to [Eval.measure p st]. *)
+  val measure_with : session -> State.t -> measured
+
+  val stats : session -> stats
+end

@@ -1,5 +1,8 @@
 type t = {
   p : Problem.t;
+  session : Eval.Incr.session option;
+      (* shared incremental-eval session: NR moves read residuals and
+         device operating points from its caches *)
   range : Anneal.Range.t;
   max_step : float array;
   discrete : int array;  (** indices of discrete vars *)
@@ -11,7 +14,7 @@ type t = {
 
 let classes = [| "user-disc"; "user-cont"; "node-v"; "nr-partial"; "nr-full"; "multi" |]
 
-let make (p : Problem.t) =
+let make ?session (p : Problem.t) =
   let st = p.Problem.state0 in
   let n = State.n_vars st in
   let initial = Array.make n 0.0 in
@@ -48,6 +51,7 @@ let make (p : Problem.t) =
   in
   {
     p;
+    session;
     range = Anneal.Range.create ~n ~initial ~min_step ~max_step;
     max_step;
     discrete = Array.of_list (List.rev !discrete);
@@ -61,13 +65,12 @@ let make (p : Problem.t) =
 
 (* Assemble the Jacobian d(residual_k)/d(x_l) of the grouped KCL residuals
    with respect to the node-voltage variables, at the current state. *)
-let bias_jacobian (p : Problem.t) (st : State.t) =
+let bias_jacobian_with (p : Problem.t) (st : State.t) ~nv ~op_of =
   let tl = p.Problem.tl in
   let nf = tl.Treelink.n_free in
   let j = La.Mat.create nf nf in
   let env = Eval.value_env p st in
   let value e = Netlist.Expr.eval env e in
-  let nv = Eval.node_voltages p st in
   let var_of node =
     match tl.Treelink.of_node.(node) with
     | Treelink.Free (k, _) -> Some k
@@ -97,13 +100,23 @@ let bias_jacobian (p : Problem.t) (st : State.t) =
           add np ncn (-.g);
           add nn ncp (-.g);
           add nn ncn g
-      | Netlist.Circuit.Mosfet { d; g = ng; s; b; model; w; l; mult; _ } -> begin
-          match Devices.Registry.find_exn p.Problem.registry model with
-          | Devices.Sig.Mos { eval; _ } ->
-              let op =
-                eval ~w:(value w) ~l:(value l) ~m:(value mult) ~vd:nv.(d) ~vg:nv.(ng)
-                  ~vs:nv.(s) ~vb:nv.(b)
-              in
+      | Netlist.Circuit.Mosfet { name; d; g = ng; s; b; model; w; l; mult } -> begin
+          let op =
+            match op_of name with
+            | Some (Mna.Dc.Mos_op op) -> Some op
+            | Some (Mna.Dc.Bjt_op _) -> None
+            | None -> begin
+                match Devices.Registry.find_exn p.Problem.registry model with
+                | Devices.Sig.Mos { eval; _ } ->
+                    Some
+                      (eval ~w:(value w) ~l:(value l) ~m:(value mult) ~vd:nv.(d)
+                         ~vg:nv.(ng) ~vs:nv.(s) ~vb:nv.(b))
+                | Devices.Sig.Bjt _ -> None
+              end
+          in
+          match op with
+          | None -> ()
+          | Some op ->
               let open Devices.Sig in
               let gsum = op.gm +. op.gds +. op.gmbs in
               add d ng op.gm;
@@ -116,12 +129,22 @@ let bias_jacobian (p : Problem.t) (st : State.t) =
               add s s gsum;
               pair b d op.gbd;
               pair b s op.gbs
-          | Devices.Sig.Bjt _ -> ()
         end
-      | Netlist.Circuit.Bjt { c; b; e = ne; model; area; _ } -> begin
-          match Devices.Registry.find_exn p.Problem.registry model with
-          | Devices.Sig.Bjt { eval; _ } ->
-              let op = eval ~area:(value area) ~vc:nv.(c) ~vb:nv.(b) ~ve:nv.(ne) in
+      | Netlist.Circuit.Bjt { name; c; b; e = ne; model; area } -> begin
+          let op =
+            match op_of name with
+            | Some (Mna.Dc.Bjt_op op) -> Some op
+            | Some (Mna.Dc.Mos_op _) -> None
+            | None -> begin
+                match Devices.Registry.find_exn p.Problem.registry model with
+                | Devices.Sig.Bjt { eval; _ } ->
+                    Some (eval ~area:(value area) ~vc:nv.(c) ~vb:nv.(b) ~ve:nv.(ne))
+                | Devices.Sig.Mos _ -> None
+              end
+          in
+          match op with
+          | None -> ()
+          | Some op ->
               let open Devices.Sig in
               let dic_dvc = op.go and dic_dvb = op.bjt_gm in
               let dic_dve = -.(dic_dvc +. dic_dvb) in
@@ -136,7 +159,6 @@ let bias_jacobian (p : Problem.t) (st : State.t) =
               add ne c (-.(dic_dvc +. dib_dvc));
               add ne b (-.(dic_dvb +. dib_dvb));
               add ne ne (-.(dic_dve +. dib_dve))
-          | Devices.Sig.Mos _ -> ()
         end
       | Netlist.Circuit.Inductor _ | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Cccs _
       | Netlist.Circuit.Ccvs _ ->
@@ -147,16 +169,36 @@ let bias_jacobian (p : Problem.t) (st : State.t) =
   done;
   j
 
+let bias_jacobian (p : Problem.t) (st : State.t) =
+  bias_jacobian_with p st ~nv:(Eval.node_voltages p st) ~op_of:(fun _ -> None)
+
 let debug_jacobian = bias_jacobian
 
 let residual_norm res = Array.fold_left (fun a r -> a +. Float.abs r) 0.0 res
 
-let newton_step (p : Problem.t) (st : State.t) ~damping =
+(* With a session, the residual vector and the Jacobian's device operating
+   points come out of the incremental caches: across the backtracking line
+   search (and across NR iterations near convergence) most device models
+   hit the memo instead of re-evaluating. The arithmetic is the same
+   either way — the session serves bitwise-identical values. *)
+let residuals_of ?session p st =
+  match session with
+  | Some ss -> Eval.Incr.residuals_quick ss st
+  | None -> Eval.residuals_quick p st
+
+let jacobian_of ?session p st =
+  match session with
+  | Some ss ->
+      let nv, ops = Eval.Incr.bias_view ss st in
+      bias_jacobian_with p st ~nv ~op_of:(fun name -> List.assoc_opt name ops)
+  | None -> bias_jacobian p st
+
+let newton_step_with ?session (p : Problem.t) (st : State.t) ~damping =
   let nf = p.Problem.tl.Treelink.n_free in
   if nf = 0 then None
   else begin
-    let res = Eval.residuals_quick p st in
-    let j = bias_jacobian p st in
+    let res = residuals_of ?session p st in
+    let j = jacobian_of ?session p st in
     match La.Lu.factor j with
     | exception La.Lu.Singular _ -> None
     | lu ->
@@ -186,7 +228,7 @@ let newton_step (p : Problem.t) (st : State.t) ~damping =
             let changed = apply scale in
             if tries = 0 then Some changed
             else begin
-              let norm1 = residual_norm (Eval.residuals_quick p st) in
+              let norm1 = residual_norm (residuals_of ?session p st) in
               if norm1 <= norm0 *. 0.999 || norm1 < 1e-15 then Some changed
               else backtrack (scale *. 0.35) (tries - 1)
             end
@@ -194,6 +236,8 @@ let newton_step (p : Problem.t) (st : State.t) ~damping =
           backtrack scale0 5
         end
   end
+
+let newton_step (p : Problem.t) (st : State.t) ~damping = newton_step_with p st ~damping
 
 (* Full Newton solve of the bias network through the reference DC engine
    (gmin stepping, source stepping): "a simulator performs a complete
@@ -221,11 +265,11 @@ let newton_global (p : Problem.t) (st : State.t) =
         p.Problem.tl.Treelink.members;
       true
 
-let newton_solve p st =
+let newton_solve ?session p st =
   let rec loop it last =
     if it >= 10 then last
     else begin
-      match newton_step p st ~damping:1.0 with
+      match newton_step_with ?session p st ~damping:1.0 with
       | None -> last
       | Some change -> if change < 1e-9 then Some change else loop (it + 1) (Some change)
     end
@@ -275,7 +319,7 @@ let propose ctx (st : State.t) k rng =
       if Array.length ctx.node_vars = 0 then None
       else begin
         let saved = save_nodes p st in
-        match newton_step p st ~damping:0.7 with
+        match newton_step_with ?session:ctx.session p st ~damping:0.7 with
         | Some _ -> Some (fun () -> restore_nodes p st saved)
         | None ->
             restore_nodes p st saved;
@@ -288,7 +332,7 @@ let propose ctx (st : State.t) k rng =
         (* Try the cheap iterated step first; escalate to the full
            simulator solve when it stalls far from dc-correctness. *)
         let ok =
-          match newton_solve p st with
+          match newton_solve ?session:ctx.session p st with
           | Some change when change < 1e-6 -> true
           | Some _ | None -> newton_global p st
         in

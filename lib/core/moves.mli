@@ -17,7 +17,11 @@ type t
 
 val classes : string array
 
-val make : Problem.t -> t
+(** [make ?session p] — with [session], the Newton-Raphson move classes
+    read KCL residuals and device operating points out of the shared
+    incremental-evaluation caches ({!Eval.Incr}) instead of re-sweeping
+    the bias network; the values served are bitwise identical. *)
+val make : ?session:Eval.Incr.session -> Problem.t -> t
 
 (** [propose ctx st k rng] applies a move of class [k] to [st] in place and
     returns the undo thunk; [None] when inapplicable. *)
@@ -35,6 +39,12 @@ val ranges_converged : t -> bool
     variables in place, returning the max absolute voltage change; exposed
     for tests. *)
 val newton_step : Problem.t -> State.t -> damping:float -> float option
+
+(** [newton_step_with ?session p st ~damping] is {!newton_step} with the
+    residuals and Jacobian operating points served from an incremental
+    session's caches (bitwise-identical values). *)
+val newton_step_with :
+  ?session:Eval.Incr.session -> Problem.t -> State.t -> damping:float -> float option
 
 (** [debug_jacobian p st] is the analytic KCL Jacobian over the free node
     variables — exposed so tests can check it against finite differences. *)

@@ -20,6 +20,7 @@ type result = {
   eval_time_ms : float;
   run_time_s : float;
   trace : trace_point list;
+  eval_stats : Eval.Incr.stats option;
 }
 
 type control = {
@@ -36,22 +37,36 @@ let kcl_stats (bp : Eval.bias_point) =
     bp.Eval.residuals;
   (!rel, !abs_)
 
-let synthesize ?(seed = 1) ?rng ?moves ?control ?(obs = Obs.Trace.none) (p : Problem.t) =
+let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true) ?control ?(obs = Obs.Trace.none)
+    (p : Problem.t) =
   let n_vars = State.n_vars p.Problem.state0 in
   let total_moves =
     match moves with Some m -> m | None -> Int.min 150_000 (Int.max 8_000 (2000 * n_vars))
   in
   let weights = Weights.create () in
-  let ctx = Moves.make p in
+  (* One incremental-evaluation session per annealing run: the session's
+     caches follow this run's trajectory (including undo of rejected
+     moves, which the value diff detects like any other move) and serve
+     bit-identical costs, so the trajectory — and the winner — match the
+     full evaluator exactly. *)
+  let session = if incremental then Some (Eval.Incr.create p) else None in
+  let ctx = Moves.make ?session p in
   let rng = match rng with Some r -> r | None -> Anneal.Rng.create seed in
   let evals = ref 0 in
   let eval_clock = ref 0.0 in
   let cost st =
     let t0 = Unix.gettimeofday () in
-    let c = Eval.cost_scalar p weights st in
+    let c =
+      match session with
+      | Some ss -> Eval.Incr.cost_scalar ss weights st
+      | None -> Eval.cost_scalar p weights st
+    in
     eval_clock := !eval_clock +. (Unix.gettimeofday () -. t0);
     incr evals;
     if Float.is_finite c then c else 1e12
+  in
+  let measure st =
+    match session with Some ss -> Eval.Incr.measure_with ss st | None -> Eval.measure p st
   in
   Obs.Trace.emit obs ~moves:0 ~temperature:0.0 ~acceptance:1.0
     (Obs.Event.Restart { total_moves; classes = Moves.classes });
@@ -60,7 +75,7 @@ let synthesize ?(seed = 1) ?rng ?moves ?control ?(obs = Obs.Trace.none) (p : Pro
   let stable_stages = ref 0 in
   let on_stage st (info : Anneal.Annealer.stage_info) =
     (* Adaptive weights from the unweighted group penalties. *)
-    let m = Eval.measure p st in
+    let m = measure st in
     let obj, perf, dev, dc = Eval.raw_terms p st m in
     let progress = float_of_int info.moves_done /. float_of_int total_moves in
     Weights.update weights ~progress ~perf ~dev ~dc;
@@ -79,6 +94,39 @@ let synthesize ?(seed = 1) ?rng ?moves ?control ?(obs = Obs.Trace.none) (p : Pro
            c_dev = dev;
            c_dc = dc;
          });
+    (match session with
+    | Some ss ->
+        let es = Eval.Incr.stats ss in
+        Obs.Trace.emit obs ~moves:info.moves_done ~temperature:info.temperature
+          ~acceptance:info.acceptance
+          (Obs.Event.Evals
+             {
+               full = es.Eval.Incr.full_evals;
+               incr = es.Eval.Incr.incr_evals;
+               dirty_vars = es.Eval.Incr.dirty_vars;
+               op_hits = es.Eval.Incr.op_hits;
+               op_misses = es.Eval.Incr.op_misses;
+               rom_builds = es.Eval.Incr.rom_builds;
+               rom_reuses = es.Eval.Incr.rom_reuses;
+               spec_evals = es.Eval.Incr.spec_evals;
+               spec_reuses = es.Eval.Incr.spec_reuses;
+               resyncs = es.Eval.Incr.resyncs;
+               resync_mismatches = es.Eval.Incr.resync_mismatches;
+               per_class =
+                 List.map
+                   (fun (c : Eval.Incr.class_row) ->
+                     {
+                       Obs.Event.ec_name = c.Eval.Incr.cr_class;
+                       ec_evals = c.Eval.Incr.cr_evals;
+                       ec_dirty = c.Eval.Incr.cr_dirty_vars;
+                       ec_op_hits = c.Eval.Incr.cr_op_hits;
+                       ec_op_misses = c.Eval.Incr.cr_op_misses;
+                       ec_rom_builds = c.Eval.Incr.cr_rom_builds;
+                       ec_rom_reuses = c.Eval.Incr.cr_rom_reuses;
+                     })
+                   es.Eval.Incr.by_class;
+             })
+    | None -> ());
     let rel, abs_ = kcl_stats m.Eval.bias in
     trace :=
       {
@@ -116,7 +164,12 @@ let synthesize ?(seed = 1) ?rng ?moves ?control ?(obs = Obs.Trace.none) (p : Pro
   let problem =
     {
       Anneal.Annealer.classes = Moves.classes;
-      propose = (fun st k rng -> Moves.propose ctx st k rng);
+      propose =
+        (fun st k rng ->
+          (match session with
+          | Some ss -> Eval.Incr.set_class ss Moves.classes.(k)
+          | None -> ());
+          Moves.propose ctx st k rng);
       cost;
       snapshot = State.snapshot;
       frozen = Some frozen;
@@ -135,7 +188,7 @@ let synthesize ?(seed = 1) ?rng ?moves ?control ?(obs = Obs.Trace.none) (p : Pro
   let rec polish k =
     if k = 0 then ()
     else begin
-      match Moves.newton_step p best ~damping:1.0 with
+      match Moves.newton_step_with ?session p best ~damping:1.0 with
       | Some change when change > 1e-12 -> polish (k - 1)
       | Some _ | None -> ()
     end
@@ -152,7 +205,7 @@ let synthesize ?(seed = 1) ?rng ?moves ?control ?(obs = Obs.Trace.none) (p : Pro
      polish 10
    end);
   let run_time_s = Unix.gettimeofday () -. t_start in
-  let m = Eval.measure p best in
+  let m = measure best in
   Obs.Trace.emit obs ~moves:outcome.Anneal.Annealer.moves ~temperature:0.0
     ~acceptance:
       (if outcome.Anneal.Annealer.moves > 0 then
@@ -182,6 +235,7 @@ let synthesize ?(seed = 1) ?rng ?moves ?control ?(obs = Obs.Trace.none) (p : Pro
     eval_time_ms = (if !evals > 0 then 1000.0 *. !eval_clock /. float_of_int !evals else 0.0);
     run_time_s;
     trace = List.rev !trace;
+    eval_stats = Option.map Eval.Incr.stats session;
   }
 
 let score (p : Problem.t) (r : result) =
@@ -198,8 +252,8 @@ let default_jobs () = Int.max 1 (Domain.recommended_domain_count () - 1)
    always allowed to finish, so early stopping rarely changes the winner. *)
 let early_stop_slack best = Float.max 1.0 (0.25 *. Float.abs best)
 
-let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?cutoff ?(obs = Obs.Trace.none) ~runs
-    (p : Problem.t) =
+let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true) ?cutoff
+    ?(obs = Obs.Trace.none) ~runs (p : Problem.t) =
   if runs < 1 then invalid_arg "Oblx.best_of: runs must be >= 1";
   let jobs = Int.min runs (match jobs with Some j -> Int.max 1 j | None -> default_jobs ()) in
   (* Restart k always anneals with the k-th split of the root generator, so
@@ -255,7 +309,10 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?cutoff ?(obs = Obs.T
       if k < runs then begin
         (* Restart-tagged events let the shared sinks demultiplex the
            interleaved streams of concurrent domains. *)
-        let r = synthesize ~rng:streams.(k) ?moves ?control ~obs:(Obs.Trace.with_restart obs k) p in
+        let r =
+          synthesize ~rng:streams.(k) ?moves ~incremental ?control
+            ~obs:(Obs.Trace.with_restart obs k) p
+        in
         publish r.best_cost;
         results.(k) <- Some r;
         take ()
@@ -284,8 +341,8 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?cutoff ?(obs = Obs.T
 
 let deadline_reason = "deadline"
 
-let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?deadline_s ?poll
-    ?(obs = Obs.Trace.none) (p : Problem.t) =
+let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?(incremental = true)
+    ?deadline_s ?poll ?(obs = Obs.Trace.none) (p : Problem.t) =
   (* The deadline clock starts here — queue wait is the caller's budget to
      spend before calling — and is polled through the annealer's abort
      hook, so an already-expired deadline stops a run before its first
@@ -302,7 +359,7 @@ let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?deadline
       end
   in
   let cutoff = if poll = None && deadline_s = None then None else Some cutoff in
-  best_of ~seed ?moves ?jobs ~early_stop ?cutoff ~obs ~runs p
+  best_of ~seed ?moves ?jobs ~early_stop ~incremental ?cutoff ~obs ~runs p
 
 (* ------------------------------------------------------------------ *)
 (* Trace replay                                                        *)

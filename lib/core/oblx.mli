@@ -28,6 +28,8 @@ type result = {
   eval_time_ms : float;  (** mean wall time per evaluation *)
   run_time_s : float;
   trace : trace_point list;  (** per-stage, oldest first (Fig. 2 data) *)
+  eval_stats : Eval.Incr.stats option;
+      (** incremental-evaluation cache counters, when enabled *)
 }
 
 (** Hooks a multi-start scheduler threads into a run. [publish] is called
@@ -57,6 +59,7 @@ val synthesize :
   ?seed:int ->
   ?rng:Anneal.Rng.t ->
   ?moves:int ->
+  ?incremental:bool ->
   ?control:control ->
   ?obs:Obs.Trace.t ->
   Problem.t ->
@@ -99,6 +102,7 @@ val best_of :
   ?moves:int ->
   ?jobs:int ->
   ?early_stop:bool ->
+  ?incremental:bool ->
   ?cutoff:(unit -> string option) ->
   ?obs:Obs.Trace.t ->
   runs:int ->
@@ -124,6 +128,7 @@ val run_job :
   ?runs:int ->
   ?jobs:int ->
   ?early_stop:bool ->
+  ?incremental:bool ->
   ?deadline_s:float ->
   ?poll:(unit -> string option) ->
   ?obs:Obs.Trace.t ->

@@ -17,6 +17,40 @@ type spec = {
   bad : float;
 }
 
+(* Static dependency graph over the compiled problem, emitted by ASTRX
+   alongside the evaluator itself: optimization variable -> affected bias
+   nodes -> affected elements (device operating points, KCL flows) ->
+   affected test jigs (AWE models) and cost terms. [Eval.Incr] walks it to
+   re-evaluate only the slice of the cost function a move touched.
+
+   All edge lists are conservative over-approximations: an edge too many
+   costs a redundant recompute, an edge too few would break the
+   bit-identity guarantee — [Depgraph.analyze] therefore maps any
+   unresolvable reference onto every variable. *)
+type spec_deps = {
+  sd_always : bool;
+      (** re-measure on every evaluation (area/power/supply_current, or an
+          unresolvable reference) *)
+  sd_vars : int list;  (** variable indices the spec expression reads *)
+  sd_elems : int list;  (** bias elements whose operating point it reads *)
+  sd_jigs : int list;  (** jigs whose transfer functions it measures *)
+}
+
+type depgraph = {
+  dg_var_nodes : int list array;
+      (** variable index -> bias nodes whose voltage depends on it *)
+  dg_node_elems : int list array;  (** bias node -> elements touching it *)
+  dg_var_elems : int list array;
+      (** variable -> elements whose value expressions read it *)
+  dg_elem_jigs : int list array;
+      (** bias element -> jigs that take its operating point *)
+  dg_var_jigs : int list array;
+      (** variable -> jigs whose own element values read it *)
+  dg_jig_exprs : Netlist.Expr.t list array;
+      (** jig -> value expressions its linearization evaluates *)
+  dg_spec_deps : spec_deps array;  (** per spec, in spec order *)
+}
+
 (* The Table-1 row: what ASTRX's analysis of the problem produced. *)
 type analysis = {
   input_netlist_lines : int;
@@ -41,6 +75,7 @@ type t = {
   specs : spec list;
   regions : (string * Netlist.Ast.region_req) list;
   analysis : analysis;
+  deps : depgraph;
 }
 
 let n_user_vars t = t.analysis.n_user_vars

@@ -19,6 +19,32 @@ let level_of_string s =
 
 type decision = Accepted | Rejected | Inapplicable
 
+(* Incremental-evaluator cache behaviour per move class (Eval.Incr). *)
+type eval_class = {
+  ec_name : string;
+  ec_evals : int;
+  ec_dirty : int;
+  ec_op_hits : int;
+  ec_op_misses : int;
+  ec_rom_builds : int;
+  ec_rom_reuses : int;
+}
+
+type evals_data = {
+  full : int;
+  incr : int;
+  dirty_vars : int;
+  op_hits : int;
+  op_misses : int;
+  rom_builds : int;
+  rom_reuses : int;
+  spec_evals : int;
+  spec_reuses : int;
+  resyncs : int;
+  resync_mismatches : int;
+  per_class : eval_class list;
+}
+
 type body =
   | Restart of { total_moves : int; classes : string array }
   | Move of {
@@ -39,6 +65,7 @@ type body =
       c_dev : float;
       c_dc : float;
     }
+  | Evals of evals_data
   | Done of {
       best_cost : float;
       final_cost : float;
@@ -59,7 +86,7 @@ type t = {
 
 let level_of_body = function
   | Restart _ | Done _ -> Summary
-  | Stage _ | Weight_update _ -> Stage
+  | Stage _ | Weight_update _ | Evals _ -> Stage
   | Move _ -> Moves
 
 let kind t =
@@ -68,6 +95,7 @@ let kind t =
   | Move _ -> "move"
   | Stage _ -> "stage"
   | Weight_update _ -> "weights"
+  | Evals _ -> "evals"
   | Done _ -> "done"
 
 (* ------------------------------------------------------------------ *)
@@ -125,6 +153,36 @@ let to_json t =
           ("c_perf", Json.Num c_perf);
           ("c_dev", Json.Num c_dev);
           ("c_dc", Json.Num c_dc);
+        ]
+    | Evals e ->
+        [
+          ("ev", Json.Str "evals");
+          ("full", Json.Num (float_of_int e.full));
+          ("incr", Json.Num (float_of_int e.incr));
+          ("dirty", Json.Num (float_of_int e.dirty_vars));
+          ("op_hits", Json.Num (float_of_int e.op_hits));
+          ("op_misses", Json.Num (float_of_int e.op_misses));
+          ("rom_builds", Json.Num (float_of_int e.rom_builds));
+          ("rom_reuses", Json.Num (float_of_int e.rom_reuses));
+          ("spec_evals", Json.Num (float_of_int e.spec_evals));
+          ("spec_reuses", Json.Num (float_of_int e.spec_reuses));
+          ("resyncs", Json.Num (float_of_int e.resyncs));
+          ("mismatches", Json.Num (float_of_int e.resync_mismatches));
+          ( "classes",
+            Json.Arr
+              (List.map
+                 (fun c ->
+                   Json.Obj
+                     [
+                       ("name", Json.Str c.ec_name);
+                       ("evals", Json.Num (float_of_int c.ec_evals));
+                       ("dirty", Json.Num (float_of_int c.ec_dirty));
+                       ("op_hits", Json.Num (float_of_int c.ec_op_hits));
+                       ("op_misses", Json.Num (float_of_int c.ec_op_misses));
+                       ("rom_builds", Json.Num (float_of_int c.ec_rom_builds));
+                       ("rom_reuses", Json.Num (float_of_int c.ec_rom_reuses));
+                     ])
+                 e.per_class) );
         ]
     | Done { best_cost; final_cost; accepted; stages; froze_early; aborted; abort_reason } ->
         [
@@ -206,6 +264,33 @@ let of_json j =
               c_dev = Json.to_float (Json.mem "c_dev" j);
               c_dc = Json.to_float (Json.mem "c_dc" j);
             }
+      | "evals" ->
+          let cls cj =
+            {
+              ec_name = Json.to_str (Json.mem "name" cj);
+              ec_evals = Json.to_int (Json.mem "evals" cj);
+              ec_dirty = Json.to_int (Json.mem "dirty" cj);
+              ec_op_hits = Json.to_int (Json.mem "op_hits" cj);
+              ec_op_misses = Json.to_int (Json.mem "op_misses" cj);
+              ec_rom_builds = Json.to_int (Json.mem "rom_builds" cj);
+              ec_rom_reuses = Json.to_int (Json.mem "rom_reuses" cj);
+            }
+          in
+          Evals
+            {
+              full = Json.to_int (Json.mem "full" j);
+              incr = Json.to_int (Json.mem "incr" j);
+              dirty_vars = Json.to_int (Json.mem "dirty" j);
+              op_hits = Json.to_int (Json.mem "op_hits" j);
+              op_misses = Json.to_int (Json.mem "op_misses" j);
+              rom_builds = Json.to_int (Json.mem "rom_builds" j);
+              rom_reuses = Json.to_int (Json.mem "rom_reuses" j);
+              spec_evals = Json.to_int (Json.mem "spec_evals" j);
+              spec_reuses = Json.to_int (Json.mem "spec_reuses" j);
+              resyncs = Json.to_int (Json.mem "resyncs" j);
+              resync_mismatches = Json.to_int (Json.mem "mismatches" j);
+              per_class = List.map cls (Json.to_list (Json.mem "classes" j));
+            }
       | "done" ->
           Done
             {
@@ -276,6 +361,7 @@ let diff ~tol a b =
             && feq ~tol x.c_dev y.c_dev && feq ~tol x.c_dc y.c_dc)
         then err "weights differ"
         else None
+    | Evals x, Evals y -> if x <> y then err "eval counters differ" else None
     | Done x, Done y ->
         if not (feq ~tol x.best_cost y.best_cost) then err "done best differs"
         else if not (feq ~tol x.final_cost y.final_cost) then err "done final differs"
@@ -285,7 +371,7 @@ let diff ~tol a b =
           err "termination flags differ"
         else if x.abort_reason <> y.abort_reason then err "abort reason differs"
         else None
-    | (Restart _ | Move _ | Stage _ | Weight_update _ | Done _), _ ->
+    | (Restart _ | Move _ | Stage _ | Weight_update _ | Evals _ | Done _), _ ->
         err "event kind %s vs %s" (kind a) (kind b)
 
 let approx_equal ~tol a b = diff ~tol a b = None

@@ -28,6 +28,36 @@ val level_leq : level -> level -> bool
 
 type decision = Accepted | Rejected | Inapplicable
 
+(** Incremental-evaluator cache behaviour for one move class
+    (see [Eval.Incr] in the core library). *)
+type eval_class = {
+  ec_name : string;
+  ec_evals : int;
+  ec_dirty : int;  (** total dirty variables across this class's evals *)
+  ec_op_hits : int;
+  ec_op_misses : int;
+  ec_rom_builds : int;
+  ec_rom_reuses : int;
+}
+
+(** Cumulative incremental-evaluation counters for one restart: full vs
+    incremental evaluations, device-op memo and AWE-ROM cache behaviour,
+    periodic resync verification results. *)
+type evals_data = {
+  full : int;
+  incr : int;
+  dirty_vars : int;
+  op_hits : int;
+  op_misses : int;
+  rom_builds : int;
+  rom_reuses : int;
+  spec_evals : int;
+  spec_reuses : int;
+  resyncs : int;
+  resync_mismatches : int;  (** nonzero = incremental evaluator bug *)
+  per_class : eval_class list;
+}
+
 type body =
   | Restart of { total_moves : int; classes : string array }
   | Move of {
@@ -54,6 +84,7 @@ type body =
       c_dev : float;  (** unweighted device-region penalty term *)
       c_dc : float;  (** unweighted relaxed-dc penalty term *)
     }
+  | Evals of evals_data  (** per-stage snapshot of {!evals_data} *)
   | Done of {
       best_cost : float;
       final_cost : float;

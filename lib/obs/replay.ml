@@ -67,7 +67,7 @@ let check ~cost ?(tol = 1e-6) events =
                 mm_rel_err = rel;
               }
               :: !mismatches
-      | Event.Move _ | Event.Restart _ | Event.Stage _ | Event.Done _ -> ())
+      | Event.Move _ | Event.Restart _ | Event.Stage _ | Event.Evals _ | Event.Done _ -> ())
     events;
   let stats =
     {

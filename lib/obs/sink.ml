@@ -109,6 +109,7 @@ module Summary = struct
     best_cost : float;
     stage_rows : stage_row list;
     class_rows : class_row list;
+    eval_rows : (int * Event.evals_data) list;
     aborts : (int * string) list;
   }
 
@@ -120,6 +121,7 @@ module Summary = struct
     mutable s_best : float;
     mutable s_stages : stage_row list;  (** newest first *)
     classes : (string, int ref * int ref * int ref) Hashtbl.t;
+    evals : (int, Event.evals_data) Hashtbl.t;  (** latest per restart *)
     mutable s_aborts : (int * string) list;
     lock : Mutex.t;
   }
@@ -133,6 +135,7 @@ module Summary = struct
       s_best = Float.infinity;
       s_stages = [];
       classes = Hashtbl.create 8;
+      evals = Hashtbl.create 8;
       s_aborts = [];
       lock = Mutex.create ();
     }
@@ -171,6 +174,7 @@ module Summary = struct
           }
           :: s.s_stages
     | Event.Weight_update _ -> ()
+    | Event.Evals e -> Hashtbl.replace s.evals ev.restart e
     | Event.Done { best_cost; aborted; abort_reason; _ } ->
         s.s_best <- Float.min s.s_best best_cost;
         if aborted then
@@ -206,6 +210,9 @@ module Summary = struct
         best_cost = s.s_best;
         stage_rows = List.rev s.s_stages;
         class_rows;
+        eval_rows =
+          Hashtbl.fold (fun r e acc -> (r, e) :: acc) s.evals []
+          |> List.sort (fun (a, _) (b, _) -> compare a b);
         aborts = List.rev s.s_aborts;
       }
     in

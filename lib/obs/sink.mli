@@ -68,6 +68,8 @@ module Summary : sig
     best_cost : float;  (** lowest [Done.best_cost] seen, else [infinity] *)
     stage_rows : stage_row list;  (** in emission order *)
     class_rows : class_row list;  (** move-class mix, by class name *)
+    eval_rows : (int * Event.evals_data) list;
+        (** latest incremental-evaluation counters per restart *)
     aborts : (int * string) list;  (** (restart, reason) for cut-short runs *)
   }
 

@@ -6,6 +6,7 @@ type config = {
   cache_capacity : int;
   state_dir : string option;
   default_moves : int option;
+  incremental : bool;  (** move-scoped incremental cost evaluation *)
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     cache_capacity = 64;
     state_dir = None;
     default_moves = None;
+    incremental = true;
   }
 
 type job_state = Queued | Running | Done | Failed | Cancelled
@@ -432,7 +434,7 @@ let run_job t (j : job) ~worker =
       in
       let best, all =
         Core.Oblx.run_job ~seed:j.spec.Proto.sb_seed ?moves ~runs:j.spec.Proto.sb_runs ~jobs:1
-          ?deadline_s
+          ~incremental:t.cfg.incremental ?deadline_s
           ~poll:(fun () -> Atomic.get j.cancel)
           ~obs p
       in
@@ -685,6 +687,28 @@ let stats_json t =
                 ("accepted", num_i telemetry.Obs.Sink.Summary.accepted);
                 ("events", num_i telemetry.Obs.Sink.Summary.events);
               ] );
+          ("eval_mode", Json.Str (if t.cfg.incremental then "incremental" else "full"));
+          ( "evals",
+            (* Aggregated incremental-evaluator counters over the latest
+               snapshot per restart — cache effectiveness at a glance. *)
+            let rows = telemetry.Obs.Sink.Summary.eval_rows in
+            let sum f = List.fold_left (fun a (_, e) -> a + f e) 0 rows in
+            if rows = [] then Json.Null
+            else
+              Json.Obj
+                [
+                  ("full", num_i (sum (fun e -> e.Obs.Event.full)));
+                  ("incremental", num_i (sum (fun e -> e.Obs.Event.incr)));
+                  ("op_hits", num_i (sum (fun e -> e.Obs.Event.op_hits)));
+                  ("op_misses", num_i (sum (fun e -> e.Obs.Event.op_misses)));
+                  ("rom_builds", num_i (sum (fun e -> e.Obs.Event.rom_builds)));
+                  ("rom_reuses", num_i (sum (fun e -> e.Obs.Event.rom_reuses)));
+                  ("spec_evals", num_i (sum (fun e -> e.Obs.Event.spec_evals)));
+                  ("spec_reuses", num_i (sum (fun e -> e.Obs.Event.spec_reuses)));
+                  ("resyncs", num_i (sum (fun e -> e.Obs.Event.resyncs)));
+                  ( "resync_mismatches",
+                    num_i (sum (fun e -> e.Obs.Event.resync_mismatches)) );
+                ] );
           ( "workers_detail",
             Json.Arr
               (List.init t.cfg.workers (fun w ->

@@ -30,6 +30,10 @@ type config = {
           the ops trail surviving the daemon, replayed by {!create} *)
   default_moves : int option;
       (** moves budget for submissions that leave ["moves"] null *)
+  incremental : bool;
+      (** evaluate costs with the move-scoped incremental evaluator
+          ({!Core.Eval.Incr}); results are bit-identical either way, this
+          is the escape hatch if they ever aren't *)
 }
 
 val default_config : config

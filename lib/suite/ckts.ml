@@ -45,6 +45,12 @@ let all =
       synthesized = true;
       paper_table2 = [];
     };
+    {
+      name = Ladder_bias.name;
+      source = Ladder_bias.source;
+      synthesized = true;
+      paper_table2 = Ladder_bias.paper_table2;
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

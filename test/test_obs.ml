@@ -43,6 +43,33 @@ let sample_events =
     mk ~moves:50
       (Obs.Event.Weight_update
          { w_perf = 2.0; w_dev = 1.0; w_dc = 4.0; c_obj = 0.5; c_perf = 0.1; c_dev = 0.0; c_dc = 0.2 });
+    mk ~moves:50
+      (Obs.Event.Evals
+         {
+           full = 2;
+           incr = 48;
+           dirty_vars = 61;
+           op_hits = 400;
+           op_misses = 44;
+           rom_builds = 9;
+           rom_reuses = 87;
+           spec_evals = 120;
+           spec_reuses = 360;
+           resyncs = 1;
+           resync_mismatches = 0;
+           per_class =
+             [
+               {
+                 Obs.Event.ec_name = "node-v";
+                 ec_evals = 30;
+                 ec_dirty = 30;
+                 ec_op_hits = 300;
+                 ec_op_misses = 12;
+                 ec_rom_builds = 2;
+                 ec_rom_reuses = 60;
+               };
+             ];
+         });
     mk ~moves:100 ~restart:1
       (Obs.Event.Done
          {
@@ -313,7 +340,7 @@ let test_levels () =
 
 let test_trace_level_filtering () =
   (* Each body kind is recorded only at (or above) its own level. *)
-  let expected = [ (Obs.Event.Off, 0); (Obs.Event.Summary, 3); (Obs.Event.Stage, 5); (Obs.Event.Moves, 8) ] in
+  let expected = [ (Obs.Event.Off, 0); (Obs.Event.Summary, 3); (Obs.Event.Stage, 6); (Obs.Event.Moves, 9) ] in
   List.iter
     (fun (level, expect) ->
       let ring = Obs.Sink.Ring.create ~capacity:64 in
