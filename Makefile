@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-perf-incremental bench-serve bench-serve-concurrent trace-replay serve-smoke clean
+.PHONY: all build test bench bench-quick bench-perf-check bench-perf-incremental bench-serve bench-serve-concurrent trace-replay serve-smoke clean
 
 all: build
 
@@ -18,6 +18,14 @@ bench:
 # bench/results/perf-parallel-latest.json (used by CI as an artifact).
 bench-quick:
 	dune exec bench/main.exe -- perf-parallel --moves 2000 --runs 4
+
+# bench-quick plus the regression gate: exits non-zero when the jobs=4
+# speedup drops below the floor, scaled for the host's core count
+# (docs/PARALLEL.md, "reading perf-parallel JSON"). CI runs this against
+# the committed bench/results/perf-parallel-latest.json.
+PERF_FLOOR ?= 2.0
+bench-perf-check:
+	dune exec bench/main.exe -- perf-parallel --moves 2000 --runs 4 --floor $(PERF_FLOOR)
 
 # Move-scoped incremental evaluation vs full recompute (docs/PERFORMANCE.md);
 # writes bench/results/perf-incremental-latest.json with per-circuit

@@ -14,6 +14,10 @@
 let runs = ref 2
 let moves : int option ref = ref None
 let jobs : int option ref = ref None
+
+(* --floor F: perf-parallel exits 1 when the jobs=4 speedup falls below
+   F scaled by the host's core count (CI's regression gate). *)
+let floor_opt : float option ref = ref None
 let base_seed = 1988 (* a fixed arbitrary seed *)
 
 let sep title =
@@ -468,16 +472,115 @@ let baseline_json ~jobs ~eval_mode =
       ("eval_mode", Obs.Json.Str eval_mode);
     ]
 
+(* One perf-parallel measurement row: a [best_of] at one jobs count, with
+   the per-domain GC/claim accounting and the telemetry-merge counters the
+   run reported back. *)
+type pp_row = {
+  pp_jobs : int;
+  pp_wall : float;
+  pp_cost : float;
+  pp_evals : int;
+  pp_report : Core.Oblx.parallel_report option;
+}
+
+let pp_row_json ~base_wall (r : pp_row) =
+  let open Obs.Json in
+  let num_i n = Num (float_of_int n) in
+  let perf_fields =
+    match r.pp_report with
+    | None -> []
+    | Some (pr : Core.Oblx.parallel_report) ->
+        let sum_f f = List.fold_left (fun a d -> a +. f d) 0.0 pr.Core.Oblx.pr_domains in
+        let sum_i f = List.fold_left (fun a d -> a + f d) 0 pr.Core.Oblx.pr_domains in
+        [
+          ( "gc",
+            Obj
+              [
+                ( "minor_collections",
+                  num_i (sum_i (fun (d : Core.Oblx.domain_report) -> d.d_minor_collections)) );
+                ( "major_collections",
+                  num_i (sum_i (fun (d : Core.Oblx.domain_report) -> d.d_major_collections)) );
+                ("promoted_words", Num (sum_f (fun (d : Core.Oblx.domain_report) -> d.d_promoted_words)));
+                ("minor_words", Num (sum_f (fun (d : Core.Oblx.domain_report) -> d.d_minor_words)));
+              ] );
+          ( "domains",
+            Arr
+              (List.map
+                 (fun (d : Core.Oblx.domain_report) ->
+                   Obj
+                     [
+                       ("index", num_i d.Core.Oblx.d_index);
+                       ("restarts", num_i d.d_restarts);
+                       ("wall_s", Num d.d_wall_s);
+                       ("minor_collections", num_i d.d_minor_collections);
+                       ("major_collections", num_i d.d_major_collections);
+                       ("promoted_words", Num d.d_promoted_words);
+                       ("minor_words", Num d.d_minor_words);
+                     ])
+                 pr.Core.Oblx.pr_domains) );
+          ( "merge",
+            match pr.Core.Oblx.pr_merge with
+            | None -> Null
+            | Some (m : Obs.Shard.stats) ->
+                Obj
+                  [
+                    ("buffers", num_i m.Obs.Shard.sh_buffers);
+                    ("events", num_i m.sh_events);
+                    ("batches", num_i m.sh_batches);
+                    ("lock_wait_s", Num m.sh_lock_wait_s);
+                  ] );
+        ]
+  in
+  Obj
+    ([
+       ("jobs", num_i r.pp_jobs);
+       ("wall_s", Num r.pp_wall);
+       ("speedup", Num (base_wall /. r.pp_wall));
+       ("best_cost", Num r.pp_cost);
+       ("evals", num_i r.pp_evals);
+     ]
+    @ perf_fields)
+
+(* The previously committed artifact's mean jobs=[j] speedup, for the
+   regression line CI prints next to the fresh number. *)
+let pp_prior_speedup json ~jobs =
+  try
+    let sps =
+      Obs.Json.to_list (Obs.Json.mem "circuits" json)
+      |> List.filter_map (fun c ->
+             Obs.Json.to_list (Obs.Json.mem "results" c)
+             |> List.find_map (fun r ->
+                    if Obs.Json.to_int (Obs.Json.mem "jobs" r) = jobs then
+                      Some (Obs.Json.to_float (Obs.Json.mem "speedup" r))
+                    else None))
+    in
+    match sps with
+    | [] -> None
+    | _ -> Some (List.fold_left ( +. ) 0.0 sps /. float_of_int (List.length sps))
+  with Obs.Json.Decode_error _ -> None
+
 let perf_parallel () =
   sep "PERF-PARALLEL -- multi-start speedup vs domain count (table2-class workload)";
   let p_runs = Int.max !runs 4 in
   let p_moves = Option.value !moves ~default:20_000 in
+  let host_cores = Domain.recommended_domain_count () in
   let job_counts =
     List.sort_uniq compare [ 1; 2; 4; Core.Oblx.default_jobs () ]
     |> List.filter (fun j -> j >= 1)
   in
-  Printf.printf "runs=%d moves=%d recommended domains=%d\n" p_runs p_moves
-    (Domain.recommended_domain_count ());
+  Printf.printf "runs=%d moves=%d host cores=%d\n" p_runs p_moves host_cores;
+  (* The committed artifact (if any) before we overwrite it: the CI gate
+     prints the prior speedup next to the fresh one. *)
+  let artifact_path = "bench/results/perf-parallel-latest.json" in
+  let prior =
+    if Sys.file_exists artifact_path then begin
+      let ic = open_in artifact_path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.of_string s with Ok j -> Some j | Error _ -> None
+    end
+    else None
+  in
   let circuits = [ "simple-ota"; "ota" ] in
   let measured =
     List.map
@@ -485,41 +588,95 @@ let perf_parallel () =
         let e = Option.get (Suite.Ckts.find name) in
         let p = compile_exn e in
         Printf.printf "\n-- %s\n" name;
-        Printf.printf "   %6s %10s %10s %12s %10s\n" "jobs" "wall s" "speedup" "best cost" "evals";
+        Printf.printf "   %6s %10s %10s %12s %10s %10s %10s %10s\n" "jobs" "wall s" "speedup"
+          "best cost" "evals" "minor GCs" "major GCs" "lock wait";
         let rows =
           List.map
             (fun j ->
+              (* A Stage-level summary sink rides along so the run exercises
+                 the real telemetry path (per-restart shard buffers merging
+                 at stage boundaries when jobs > 1). Emission never touches
+                 the RNG, so results stay bit-identical across job counts. *)
+              let summary = Obs.Sink.Summary.create () in
+              let obs =
+                Obs.Trace.make ~level:Obs.Event.Stage [ Obs.Sink.Summary.sink summary ]
+              in
+              let report = ref None in
               let t0 = Unix.gettimeofday () in
               let best, all =
-                Core.Oblx.best_of ~seed:base_seed ~moves:p_moves ~jobs:j ~runs:p_runs p
+                Core.Oblx.best_of ~seed:base_seed ~moves:p_moves ~jobs:j ~runs:p_runs ~obs
+                  ~perf:(fun r -> report := Some r)
+                  p
               in
               let wall = Unix.gettimeofday () -. t0 in
-              let evals =
-                List.fold_left (fun a (r : Core.Oblx.result) -> a + r.evals) 0 all
-              in
-              (j, wall, best.Core.Oblx.best_cost, evals))
+              let evals = List.fold_left (fun a (r : Core.Oblx.result) -> a + r.evals) 0 all in
+              {
+                pp_jobs = j;
+                pp_wall = wall;
+                pp_cost = best.Core.Oblx.best_cost;
+                pp_evals = evals;
+                pp_report = !report;
+              })
             job_counts
         in
-        let base_wall =
-          match rows with (1, w, _, _) :: _ -> w | _ -> (match rows with (_, w, _, _) :: _ -> w | [] -> 1.0)
-        in
+        let base_wall = match rows with r :: _ -> r.pp_wall | [] -> 1.0 in
         List.iter
-          (fun (j, w, c, ev) ->
-            Printf.printf "   %6d %10.2f %9.2fx %12.4g %10d\n" j w (base_wall /. w) c ev)
+          (fun r ->
+            let minor, major, lock_wait =
+              match r.pp_report with
+              | None -> (0, 0, 0.0)
+              | Some pr ->
+                  ( List.fold_left
+                      (fun a (d : Core.Oblx.domain_report) -> a + d.d_minor_collections)
+                      0 pr.Core.Oblx.pr_domains,
+                    List.fold_left
+                      (fun a (d : Core.Oblx.domain_report) -> a + d.d_major_collections)
+                      0 pr.Core.Oblx.pr_domains,
+                    match pr.Core.Oblx.pr_merge with
+                    | Some m -> m.Obs.Shard.sh_lock_wait_s
+                    | None -> 0.0 )
+            in
+            Printf.printf "   %6d %10.2f %9.2fx %12.4g %10d %10d %10d %9.3fs\n" r.pp_jobs
+              r.pp_wall (base_wall /. r.pp_wall) r.pp_cost r.pp_evals minor major lock_wait)
           rows;
-        let costs = List.map (fun (_, _, c, _) -> c) rows in
         let deterministic =
-          match costs with [] -> true | c0 :: rest -> List.for_all (fun c -> c = c0) rest
+          match rows with
+          | [] -> true
+          | r0 :: rest -> List.for_all (fun r -> r.pp_cost = r0.pp_cost) rest
         in
         Printf.printf "   winner identical across job counts: %b\n" deterministic;
         (name, rows, base_wall, deterministic))
       circuits
   in
+  (* Recommend the domain count from the measured curve — the smallest
+     jobs value achieving the best mean speedup across circuits — instead
+     of parroting Domain.recommended_domain_count. *)
+  let mean_speedup j =
+    let sps =
+      List.filter_map
+        (fun (_, rows, base_wall, _) ->
+          List.find_map
+            (fun r -> if r.pp_jobs = j then Some (base_wall /. r.pp_wall) else None)
+            rows)
+        measured
+    in
+    match sps with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 sps /. float_of_int (List.length sps)
+  in
+  let recommended_domains =
+    List.fold_left
+      (fun (bj, bs) j ->
+        let s = mean_speedup j in
+        if s > bs +. 1e-9 then (j, s) else (bj, bs))
+      (1, mean_speedup 1) job_counts
+    |> fst
+  in
+  Printf.printf "\nrecommended domains (measured): %d\n" recommended_domains;
   (* JSON artifact, M14-harness style: bench/results/<name>-latest.json. *)
   (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
   (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
-  let path = "bench/results/perf-parallel-latest.json" in
-  let oc = open_out path in
+  let oc = open_out artifact_path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"bench\": \"perf-parallel\",\n";
@@ -529,7 +686,8 @@ let perf_parallel () =
   out "  \"seed\": %d,\n" base_seed;
   out "  \"runs\": %d,\n" p_runs;
   out "  \"moves\": %d,\n" p_moves;
-  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"host_cores\": %d,\n" host_cores;
+  out "  \"recommended_domains\": %d,\n" recommended_domains;
   out "  \"circuits\": [\n";
   List.iteri
     (fun ci (name, rows, base_wall, deterministic) ->
@@ -538,21 +696,40 @@ let perf_parallel () =
       out "      \"deterministic_winner\": %b,\n" deterministic;
       out "      \"results\": [\n";
       List.iteri
-        (fun ri (j, w, c, ev) ->
-          out
-            "        {\"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.3f, \"best_cost\": %.6g, \
-             \"evals\": %d}%s\n"
-            j w (base_wall /. w) c ev
+        (fun ri r ->
+          out "        %s%s\n"
+            (Obs.Json.to_string (pp_row_json ~base_wall r))
             (if ri = List.length rows - 1 then "" else ","))
         rows;
       out "      ]\n";
-      out "    }%s\n" (if ci = List.length measured - 1 then "" else ",")
-    )
+      out "    }%s\n" (if ci = List.length measured - 1 then "" else ","))
     measured;
   out "  ]\n";
   out "}\n";
   close_out oc;
-  Printf.printf "\nwrote %s\n" path
+  Printf.printf "wrote %s\n" artifact_path;
+  (* Regression gate (--floor F): the requested jobs=4 floor is scaled by
+     the cores actually present — on a c-core host, 4 domains can at best
+     approach min(4,c)x, so the effective floor is F * min(4,c)/4. *)
+  match !floor_opt with
+  | None -> ()
+  | Some f ->
+      let gate_jobs = 4 in
+      let effective = f *. float_of_int (Int.min gate_jobs host_cores) /. float_of_int gate_jobs in
+      let fresh = mean_speedup gate_jobs in
+      (match Option.map (pp_prior_speedup ~jobs:gate_jobs) prior |> Option.join with
+      | Some prev ->
+          Printf.printf "floor check: jobs=%d mean speedup %.2fx (committed artifact had %.2fx)\n"
+            gate_jobs fresh prev
+      | None -> Printf.printf "floor check: jobs=%d mean speedup %.2fx (no committed artifact)\n" gate_jobs fresh);
+      Printf.printf "floor check: effective floor %.2fx (requested %.2fx scaled for %d host cores)\n"
+        effective f host_cores;
+      if fresh < effective then begin
+        Printf.eprintf "perf-parallel: FAIL: jobs=%d speedup %.2fx below floor %.2fx\n" gate_jobs
+          fresh effective;
+        exit 1
+      end
+      else Printf.printf "floor check: PASS\n"
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: annealing observability summary (JSON artifact)           *)
@@ -1223,7 +1400,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|perf-incremental|telemetry|serve|serve-concurrent|all]\n\
-    \       [--runs N] [--moves N] [--jobs N]"
+    \       [--runs N] [--moves N] [--jobs N] [--floor F]"
 
 let () =
   let cmds = ref [] in
@@ -1237,6 +1414,9 @@ let () =
         parse rest
     | "--jobs" :: v :: rest ->
         jobs := Some (int_of_string v);
+        parse rest
+    | "--floor" :: v :: rest ->
+        floor_opt := Some (float_of_string v);
         parse rest
     | cmd :: rest ->
         cmds := cmd :: !cmds;

@@ -11,11 +11,16 @@ exception Measurement_failed of string
 
 (* --- Element-value environment: state variables, parameters, math. --- *)
 
-let value_env (p : Problem.t) (st : State.t) =
+(* The environment closures read the state through [get_st], so one
+   environment built once can serve a whole annealing run whose state
+   record is swapped (or mutated) underneath it — the incremental session
+   allocates its environments in [Incr.create] instead of once per
+   evaluation. *)
+let value_env_get (p : Problem.t) (get_st : unit -> State.t) =
   let rec lookup seen path =
     match path with
     | [ name ] -> begin
-        match State.lookup_value st name with
+        match State.lookup_value (get_st ()) name with
         | v -> v
         | exception Not_found -> begin
             match List.assoc_opt name p.Problem.params with
@@ -32,6 +37,8 @@ let value_env (p : Problem.t) (st : State.t) =
     | _ -> raise Not_found
   in
   { Netlist.Expr.lookup = lookup []; call = Builtin.math_call }
+
+let value_env (p : Problem.t) (st : State.t) = value_env_get p (fun () -> st)
 
 (* --- Node voltages from the tree-link assignment. --- *)
 
@@ -116,10 +123,13 @@ let sweep_bias (p : Problem.t) (st : State.t) ~want_ops =
     p.Problem.bias.Netlist.Circuit.elements;
   (nv, cur, mag, List.rev !ops)
 
-let group_residuals (p : Problem.t) cur mag =
+(* In-place variant shared with the incremental session, which folds into
+   arrays preallocated in its arena instead of allocating per evaluation.
+   Same accumulation order either way. *)
+let group_residuals_into (p : Problem.t) cur mag residuals scale =
   let tl = p.Problem.tl in
-  let residuals = Array.make tl.Treelink.n_free 0.0 in
-  let scale = Array.make tl.Treelink.n_free 0.0 in
+  Array.fill residuals 0 (Array.length residuals) 0.0;
+  Array.fill scale 0 (Array.length scale) 0.0;
   Array.iteri
     (fun k members ->
       List.iter
@@ -127,7 +137,13 @@ let group_residuals (p : Problem.t) cur mag =
           residuals.(k) <- residuals.(k) +. cur.(node);
           scale.(k) <- scale.(k) +. mag.(node))
         members)
-    tl.Treelink.members;
+    tl.Treelink.members
+
+let group_residuals (p : Problem.t) cur mag =
+  let tl = p.Problem.tl in
+  let residuals = Array.make tl.Treelink.n_free 0.0 in
+  let scale = Array.make tl.Treelink.n_free 0.0 in
+  group_residuals_into p cur mag residuals scale;
   (residuals, scale)
 
 let bias_point p st =
@@ -198,11 +214,12 @@ let active_area_um2 (p : Problem.t) (st : State.t) =
     0.0 p.Problem.bias.Netlist.Circuit.elements
 
 (* Static power: total dissipation over the bias network, which equals the
-   supply-delivered power once KCL holds. *)
-let static_power (p : Problem.t) (st : State.t) (bp : bias_point) =
+   supply-delivered power once KCL holds. [nv]/[ops] are taken apart from
+   the bias point so the incremental session can pass its cached slices. *)
+let static_power_parts (p : Problem.t) (st : State.t) ~(nv : float array)
+    ~(ops : (string * Mna.Dc.op_info) list) =
   let env = value_env p st in
   let value e = Netlist.Expr.eval env e in
-  let nv = bp.node_v in
   Array.fold_left
     (fun acc (e : Netlist.Circuit.element) ->
       match e with
@@ -210,12 +227,12 @@ let static_power (p : Problem.t) (st : State.t) (bp : bias_point) =
           let dv = nv.(n1) -. nv.(n2) in
           acc +. (dv *. dv /. value ve)
       | Netlist.Circuit.Mosfet { name; d; s; _ } -> begin
-          match List.assoc_opt name bp.ops with
+          match List.assoc_opt name ops with
           | Some (Mna.Dc.Mos_op o) -> acc +. Float.abs (o.Devices.Sig.id_ *. (nv.(d) -. nv.(s)))
           | Some (Mna.Dc.Bjt_op _) | None -> acc
         end
       | Netlist.Circuit.Bjt { name; c; b; e = ne; _ } -> begin
-          match List.assoc_opt name bp.ops with
+          match List.assoc_opt name ops with
           | Some (Mna.Dc.Bjt_op o) ->
               acc
               +. Float.abs (o.Devices.Sig.ic *. (nv.(c) -. nv.(ne)))
@@ -262,9 +279,24 @@ let rom_of roms tfname =
   | None -> raise (Measurement_failed ("unknown transfer function " ^ tfname))
 
 (* Spec-expression environment: element values plus device operating-point
-   references plus the AWE measurement functions. *)
-let spec_env (p : Problem.t) (st : State.t) (bp : bias_point) roms =
-  let base = value_env p st in
+   references plus the AWE measurement functions.
+
+   The environment is built over a mutable context instead of capturing a
+   bias point directly: the closures read whichever state / operating
+   points / ROM list the context currently holds. The full evaluator fills
+   a fresh context per measurement; the incremental session allocates one
+   context and one environment at [Incr.create] and repoints the fields —
+   the arithmetic either way is identical. *)
+type spec_ctx = {
+  mutable cx_st : State.t;
+  mutable cx_nv : float array;  (* bias node voltages *)
+  mutable cx_ops : (string * Mna.Dc.op_info) list;
+  mutable cx_node_leaving : float array;
+  mutable cx_roms : (string * (Awe.Rom.t, string) result) list;
+}
+
+let spec_ctx_env (p : Problem.t) (cx : spec_ctx) =
+  let base = value_env_get p (fun () -> cx.cx_st) in
   let lookup path =
     match path with
     | [ _ ] -> base.Netlist.Expr.lookup path
@@ -278,7 +310,7 @@ let spec_env (p : Problem.t) (st : State.t) (bp : bias_point) roms =
         in
         let devparts, field = split_last [] parts in
         let devname = String.concat "." devparts in
-        match List.assoc_opt devname bp.ops with
+        match List.assoc_opt devname cx.cx_ops with
         | Some op -> op_field op field
         | None -> raise Not_found
       end
@@ -294,18 +326,20 @@ let spec_env (p : Problem.t) (st : State.t) (bp : bias_point) roms =
       | Netlist.Expr.Name n -> raise (Measurement_failed (name ^ ": unexpected name " ^ n))
     in
     match (name, args) with
-    | "dc_gain", [ tf ] -> Awe.Rom.dc_gain (rom_of roms (tfarg tf))
-    | "ugf", [ tf ] -> Option.value ~default:0.0 (Awe.Rom.unity_gain_freq (rom_of roms (tfarg tf)))
+    | "dc_gain", [ tf ] -> Awe.Rom.dc_gain (rom_of cx.cx_roms (tfarg tf))
+    | "ugf", [ tf ] ->
+        Option.value ~default:0.0 (Awe.Rom.unity_gain_freq (rom_of cx.cx_roms (tfarg tf)))
     | ("phase_margin" | "pm"), [ tf ] ->
-        Option.value ~default:180.0 (Awe.Rom.phase_margin (rom_of roms (tfarg tf)))
-    | "gain_at", [ tf; f ] -> Awe.Rom.magnitude_at (rom_of roms (tfarg tf)) ~f:(numarg f)
-    | "bw3db", [ tf ] -> Option.value ~default:0.0 (Awe.Rom.bandwidth_3db (rom_of roms (tfarg tf)))
+        Option.value ~default:180.0 (Awe.Rom.phase_margin (rom_of cx.cx_roms (tfarg tf)))
+    | "gain_at", [ tf; f ] -> Awe.Rom.magnitude_at (rom_of cx.cx_roms (tfarg tf)) ~f:(numarg f)
+    | "bw3db", [ tf ] ->
+        Option.value ~default:0.0 (Awe.Rom.bandwidth_3db (rom_of cx.cx_roms (tfarg tf)))
     | "pole1", [ tf ] ->
-        Option.value ~default:0.0 (Awe.Rom.dominant_pole_hz (rom_of roms (tfarg tf)))
+        Option.value ~default:0.0 (Awe.Rom.dominant_pole_hz (rom_of cx.cx_roms (tfarg tf)))
     | "gain_margin_db", [ tf ] ->
-        Option.value ~default:60.0 (Awe.Rom.gain_margin_db (rom_of roms (tfarg tf)))
-    | "area", [] -> active_area_um2 p st
-    | "power", [] -> static_power p st bp
+        Option.value ~default:60.0 (Awe.Rom.gain_margin_db (rom_of cx.cx_roms (tfarg tf)))
+    | "area", [] -> active_area_um2 p cx.cx_st
+    | "power", [] -> static_power_parts p cx.cx_st ~nv:cx.cx_nv ~ops:cx.cx_ops
     | "supply_current", [ src ] -> begin
         (* Current delivered by a bias-network voltage source: by KCL the
            source carries minus the sum of the other currents leaving its
@@ -317,7 +351,7 @@ let spec_env (p : Problem.t) (st : State.t) (bp : bias_point) roms =
               raise (Measurement_failed "supply_current: expected a source name")
         in
         match Netlist.Circuit.find_element p.Problem.bias srcname with
-        | Netlist.Circuit.Vsource { np; _ } -> Float.abs bp.node_leaving.(np)
+        | Netlist.Circuit.Vsource { np; _ } -> Float.abs cx.cx_node_leaving.(np)
         | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
         | Netlist.Circuit.Isource _ | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Vccs _
         | Netlist.Circuit.Cccs _ | Netlist.Circuit.Ccvs _ | Netlist.Circuit.Mosfet _
@@ -332,6 +366,16 @@ let spec_env (p : Problem.t) (st : State.t) (bp : bias_point) roms =
       end
   in
   { Netlist.Expr.lookup; call }
+
+let spec_env (p : Problem.t) (st : State.t) (bp : bias_point) roms =
+  spec_ctx_env p
+    {
+      cx_st = st;
+      cx_nv = bp.node_v;
+      cx_ops = bp.ops;
+      cx_node_leaving = bp.node_leaving;
+      cx_roms = roms;
+    }
 
 (* One spec under an environment: failures and non-finite results both
    report as "unmeasurable". Shared verbatim with the incremental path. *)
@@ -531,37 +575,61 @@ module Incr = struct
 
   type memo_slot = { key : float array; memo_op : Mna.Dc.op_info }
 
+  (* Per-element arena slot. KCL contributions live in the flat [fn]/[fv]
+     pair (node index / current), length [flen], capacity fixed at create
+     time — recomputing an element writes in place instead of allocating a
+     tuple array per move. [kscratch] is the operating-point memo probe
+     key, likewise reused; it is copied only on a memo miss. *)
   type elem_cache = {
     ec_name : string;
-    mutable flows : (int * float) array;  (* KCL contributions, emission order *)
+    fn : int array;  (* flow nodes, emission order *)
+    fv : float array;  (* flow currents *)
+    mutable flen : int;
     mutable op : Mna.Dc.op_info option;
     memo : memo_slot option array;  (* tiny per-device operating-point memo *)
     mutable memo_next : int;
+    kscratch : float array;  (* memo probe key: 7 for MOS, 4 for BJT *)
   }
 
+  (* The session is the per-domain arena: every array below is allocated
+     once in [create] and written in place on the hot path. The only
+     steady-state allocations per evaluation are the [measured] record
+     handed back across the API boundary (with defensive copies of the
+     bias arrays) and whatever the device models themselves box. *)
   type session = {
     sp : Problem.t;
     dg : Problem.depgraph;
     resync_every : int;
     last_values : float array;
     mutable primed : bool;
+    cur_st : State.t ref;  (* state the persistent environments read *)
+    venv : Netlist.Expr.env;  (* element-value env, built once *)
+    spec_cx : spec_ctx;  (* mutable context behind [spec_envv] *)
+    spec_envv : Netlist.Expr.env;  (* spec env, built once *)
     nv : float array;  (* cached node voltages *)
     cur : float array;  (* cached per-node current sums *)
     mag : float array;  (* cached per-node |current| sums *)
     elems : elem_cache array;
     elem_changed : bool array;  (* scratch, per sync *)
+    elem_dirty : bool array;  (* scratch, per sync *)
     node_seen : bool array;  (* scratch, per sync *)
+    dirty_buf : int array;  (* scratch: dirty vars, ascending *)
+    touched_buf : int array;  (* scratch: nodes visited this sync *)
     jig_valid : bool array;  (* persistent: cached ROM list is current *)
     jig_vals : float array array;  (* value-expression bits at last build *)
     jig_roms : (string * (Awe.Rom.t, string) result) list array;
+    mutable roms_flat : (string * (Awe.Rom.t, string) result) list;
+    mutable roms_flat_valid : bool;
     spec_valid : bool array;
     spec_cache : float option array;
+    mutable spec_list : (string * float option) list;
+    mutable spec_list_valid : bool;
     (* reverse maps derived from the per-spec dependency sets *)
     var_specs : int list array;
     elem_specs : int list array;
     jig_specs : int list array;
-    mutable residuals : float array;
-    mutable res_scale : float array;
+    residuals : float array;
+    res_scale : float array;
     mutable ops_list : (string * Mna.Dc.op_info) list;  (* element order *)
     mutable dirty_accum : int;  (* dirty vars since the last cost eval *)
     mutable since_resync : int;
@@ -594,17 +662,24 @@ module Incr = struct
     let elems =
       Array.map
         (fun (e : Netlist.Circuit.element) ->
-          let is_device =
+          (* flow capacity / memo-key width by element kind *)
+          let cap, kw =
             match e with
-            | Netlist.Circuit.Mosfet _ | Netlist.Circuit.Bjt _ -> true
-            | _ -> false
+            | Netlist.Circuit.Mosfet _ -> (5, 7)
+            | Netlist.Circuit.Bjt _ -> (3, 4)
+            | Netlist.Circuit.Resistor _ | Netlist.Circuit.Isource _ | Netlist.Circuit.Vccs _ ->
+                (2, 0)
+            | _ -> (0, 0)
           in
           {
             ec_name = Netlist.Circuit.element_name e;
-            flows = [||];
+            fn = Array.make cap 0;
+            fv = Array.make cap 0.0;
+            flen = 0;
             op = None;
-            memo = Array.make (if is_device then 4 else 0) None;
+            memo = Array.make (if kw > 0 then 4 else 0) None;
             memo_next = 0;
+            kscratch = Array.make kw 0.0;
           })
         p.Problem.bias.Netlist.Circuit.elements
     in
@@ -617,28 +692,53 @@ module Incr = struct
         List.iter (fun e -> elem_specs.(e) <- si :: elem_specs.(e)) sd.Problem.sd_elems;
         List.iter (fun j -> jig_specs.(j) <- si :: jig_specs.(j)) sd.Problem.sd_jigs)
       dg.Problem.dg_spec_deps;
+    (* Persistent environments: built once here, they read the current
+       state through [cur_st] — no closure rebuilt per evaluation. *)
+    let cur_st = ref p.Problem.state0 in
+    let venv = value_env_get p (fun () -> !cur_st) in
+    let spec_cx =
+      {
+        cx_st = p.Problem.state0;
+        cx_nv = [||];
+        cx_ops = [];
+        cx_node_leaving = [||];
+        cx_roms = [];
+      }
+    in
+    let spec_envv = spec_ctx_env p spec_cx in
     {
       sp = p;
       dg;
       resync_every = Int.max 2 resync_every;
       last_values = Array.make n_vars Float.nan;
       primed = false;
+      cur_st;
+      venv;
+      spec_cx;
+      spec_envv;
       nv = Array.make n_nodes 0.0;
       cur = Array.make n_nodes 0.0;
       mag = Array.make n_nodes 0.0;
       elems;
       elem_changed = Array.make n_elems false;
+      elem_dirty = Array.make n_elems false;
       node_seen = Array.make n_nodes false;
+      dirty_buf = Array.make n_vars 0;
+      touched_buf = Array.make n_nodes 0;
       jig_valid = Array.make n_jigs false;
       jig_vals = Array.make n_jigs [||];
       jig_roms = Array.make n_jigs [];
+      roms_flat = [];
+      roms_flat_valid = false;
       spec_valid = Array.make n_specs false;
       spec_cache = Array.make n_specs None;
+      spec_list = [];
+      spec_list_valid = false;
       var_specs;
       elem_specs;
       jig_specs;
-      residuals = [||];
-      res_scale = [||];
+      residuals = Array.make p.Problem.tl.Treelink.n_free 0.0;
+      res_scale = Array.make p.Problem.tl.Treelink.n_free 0.0;
       ops_list = [];
       dirty_accum = 0;
       since_resync = 0;
@@ -661,6 +761,54 @@ module Incr = struct
   let set_class ss cls = ss.cls <- cls
 
   let invalidate ss = ss.primed <- false
+
+  (* Return the session to its just-created state so one arena can serve
+     a fresh restart: every cache is dropped and every counter zeroed, but
+     no array is reallocated. A reset session is observationally identical
+     to a fresh [create] — the cross-restart reuse [Core.Oblx.best_of]
+     relies on for bit-identical results. *)
+  let reset ss =
+    ss.primed <- false;
+    Array.fill ss.last_values 0 (Array.length ss.last_values) Float.nan;
+    ss.cur_st := ss.sp.Problem.state0;
+    ss.spec_cx.cx_st <- ss.sp.Problem.state0;
+    ss.spec_cx.cx_nv <- [||];
+    ss.spec_cx.cx_ops <- [];
+    ss.spec_cx.cx_node_leaving <- [||];
+    ss.spec_cx.cx_roms <- [];
+    Array.iter
+      (fun ec ->
+        ec.flen <- 0;
+        ec.op <- None;
+        Array.fill ec.memo 0 (Array.length ec.memo) None;
+        ec.memo_next <- 0)
+      ss.elems;
+    Array.fill ss.jig_valid 0 (Array.length ss.jig_valid) false;
+    Array.fill ss.jig_vals 0 (Array.length ss.jig_vals) [||];
+    Array.fill ss.jig_roms 0 (Array.length ss.jig_roms) [];
+    ss.roms_flat <- [];
+    ss.roms_flat_valid <- false;
+    Array.fill ss.spec_valid 0 (Array.length ss.spec_valid) false;
+    Array.fill ss.spec_cache 0 (Array.length ss.spec_cache) None;
+    ss.spec_list <- [];
+    ss.spec_list_valid <- false;
+    ss.ops_list <- [];
+    ss.dirty_accum <- 0;
+    ss.since_resync <- 0;
+    ss.cls <- "";
+    ss.c_full <- 0;
+    ss.c_incr <- 0;
+    ss.c_dirty <- 0;
+    ss.c_op_hits <- 0;
+    ss.c_op_misses <- 0;
+    ss.c_rom_builds <- 0;
+    ss.c_rom_reuses <- 0;
+    ss.c_spec_evals <- 0;
+    ss.c_spec_reuses <- 0;
+    ss.c_resyncs <- 0;
+    ss.c_mismatches <- 0;
+    Array.fill ss.hist 0 (Array.length ss.hist) 0;
+    Hashtbl.reset ss.by_class
 
   let class_counters ss =
     match Hashtbl.find_opt ss.by_class ss.cls with
@@ -714,21 +862,22 @@ module Incr = struct
       ec.memo_next <- (ec.memo_next + 1) mod Array.length ec.memo
     end
 
-  let set_flows ss i ec flows =
+  (* Two-terminal flow update, in place: compare against the stored pair
+     and only mark the element changed on genuinely new bits. *)
+  let set_flow2 ss i ec n1 v1 n2 v2 =
     let changed =
-      Array.length ec.flows <> Array.length flows
-      ||
-      let rec go k =
-        if k >= Array.length flows then false
-        else begin
-          let n0, v0 = ec.flows.(k) and n1, v1 = flows.(k) in
-          n0 <> n1 || (not (feq_bits v0 v1)) || go (k + 1)
-        end
-      in
-      go 0
+      ec.flen <> 2
+      || ec.fn.(0) <> n1
+      || (not (feq_bits ec.fv.(0) v1))
+      || ec.fn.(1) <> n2
+      || not (feq_bits ec.fv.(1) v2)
     in
     if changed then begin
-      ec.flows <- flows;
+      ec.fn.(0) <- n1;
+      ec.fv.(0) <- v1;
+      ec.fn.(1) <- n2;
+      ec.fv.(1) <- v2;
+      ec.flen <- 2;
       ss.elem_changed.(i) <- true
     end
 
@@ -741,18 +890,25 @@ module Incr = struct
     match e with
     | Netlist.Circuit.Resistor { n1; n2; value = ve; _ } ->
         let iv = (nv.(n1) -. nv.(n2)) /. value ve in
-        set_flows ss i ec [| (n1, iv); (n2, -.iv) |]
+        set_flow2 ss i ec n1 iv n2 (-.iv)
     | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Vsource _ -> ()
     | Netlist.Circuit.Isource { np; nn; dc; _ } ->
         let iv = value dc in
-        set_flows ss i ec [| (np, iv); (nn, -.iv) |]
+        set_flow2 ss i ec np iv nn (-.iv)
     | Netlist.Circuit.Vccs { np; nn; ncp; ncn; gm; _ } ->
         let iv = value gm *. (nv.(ncp) -. nv.(ncn)) in
-        set_flows ss i ec [| (np, iv); (nn, -.iv) |]
+        set_flow2 ss i ec np iv nn (-.iv)
     | Netlist.Circuit.Mosfet { name; d; g; s; b; model; w; l; mult } -> begin
         match Devices.Registry.find_exn p.Problem.registry model with
         | Devices.Sig.Mos { eval; _ } ->
-            let key = [| value w; value l; value mult; nv.(d); nv.(g); nv.(s); nv.(b) |] in
+            let key = ec.kscratch in
+            key.(0) <- value w;
+            key.(1) <- value l;
+            key.(2) <- value mult;
+            key.(3) <- nv.(d);
+            key.(4) <- nv.(g);
+            key.(5) <- nv.(s);
+            key.(6) <- nv.(b);
             let op_info =
               match memo_find ss ec key with
               | Some op -> op
@@ -762,7 +918,7 @@ module Incr = struct
                       ~vb:key.(6)
                   in
                   let oi = Mna.Dc.Mos_op op in
-                  memo_add ec key oi;
+                  memo_add ec (Array.copy key) oi;
                   oi
             in
             let unchanged = match ec.op with Some o -> o == op_info | None -> false in
@@ -770,14 +926,17 @@ module Incr = struct
               (match op_info with
               | Mna.Dc.Mos_op op ->
                   let open Devices.Sig in
-                  ec.flows <-
-                    [|
-                      (d, op.id_);
-                      (s, -.op.id_);
-                      (b, op.ibd_ +. op.ibs_);
-                      (d, -.op.ibd_);
-                      (s, -.op.ibs_);
-                    |]
+                  ec.fn.(0) <- d;
+                  ec.fv.(0) <- op.id_;
+                  ec.fn.(1) <- s;
+                  ec.fv.(1) <- -.op.id_;
+                  ec.fn.(2) <- b;
+                  ec.fv.(2) <- op.ibd_ +. op.ibs_;
+                  ec.fn.(3) <- d;
+                  ec.fv.(3) <- -.op.ibd_;
+                  ec.fn.(4) <- s;
+                  ec.fv.(4) <- -.op.ibs_;
+                  ec.flen <- 5
               | Mna.Dc.Bjt_op _ -> assert false);
               ec.op <- Some op_info;
               ss.elem_changed.(i) <- true
@@ -787,14 +946,18 @@ module Incr = struct
     | Netlist.Circuit.Bjt { name; c; b; e = ne; model; area } -> begin
         match Devices.Registry.find_exn p.Problem.registry model with
         | Devices.Sig.Bjt { eval; _ } ->
-            let key = [| value area; nv.(c); nv.(b); nv.(ne) |] in
+            let key = ec.kscratch in
+            key.(0) <- value area;
+            key.(1) <- nv.(c);
+            key.(2) <- nv.(b);
+            key.(3) <- nv.(ne);
             let op_info =
               match memo_find ss ec key with
               | Some op -> op
               | None ->
                   let op = eval ~area:key.(0) ~vc:key.(1) ~vb:key.(2) ~ve:key.(3) in
                   let oi = Mna.Dc.Bjt_op op in
-                  memo_add ec key oi;
+                  memo_add ec (Array.copy key) oi;
                   oi
             in
             let unchanged = match ec.op with Some o -> o == op_info | None -> false in
@@ -802,7 +965,13 @@ module Incr = struct
               (match op_info with
               | Mna.Dc.Bjt_op op ->
                   let open Devices.Sig in
-                  ec.flows <- [| (c, op.ic); (b, op.ib); (ne, -.(op.ic +. op.ib)) |]
+                  ec.fn.(0) <- c;
+                  ec.fv.(0) <- op.ic;
+                  ec.fn.(1) <- b;
+                  ec.fv.(1) <- op.ib;
+                  ec.fn.(2) <- ne;
+                  ec.fv.(2) <- -.(op.ic +. op.ib);
+                  ec.flen <- 3
               | Mna.Dc.Mos_op _ -> assert false);
               ec.op <- Some op_info;
               ss.elem_changed.(i) <- true
@@ -835,7 +1004,10 @@ module Incr = struct
           if !k >= Array.length vals || not (feq_bits vals.(!k) v) then same := false;
           incr k)
         ss.dg.Problem.dg_jig_exprs.(j);
-      if not !same then ss.jig_valid.(j) <- false
+      if not !same then begin
+        ss.jig_valid.(j) <- false;
+        ss.roms_flat_valid <- false
+      end
     end
 
   (* Bring the bias slice (node voltages, element flows and operating
@@ -847,52 +1019,59 @@ module Incr = struct
     let n_elems = Array.length ss.elems in
     try
       let force = not ss.primed in
-      let env = value_env p st in
+      ss.cur_st := st;
+      let env = ss.venv in
       let value e = Netlist.Expr.eval env e in
       Array.fill ss.elem_changed 0 n_elems false;
-      let elem_dirty = Array.make n_elems force in
-      let dirty = ref [] in
+      Array.fill ss.elem_dirty 0 n_elems force;
+      (* dirty variables collect in [dirty_buf], ascending *)
+      let ndirty = ref 0 in
       if force then begin
-        for v = n_vars - 1 downto 0 do
-          dirty := v :: !dirty
+        for v = 0 to n_vars - 1 do
+          ss.dirty_buf.(v) <- v
         done;
+        ndirty := n_vars;
         Array.iteri (fun node _ -> ss.nv.(node) <- node_voltage_of p st env node) ss.nv;
         Array.fill ss.jig_valid 0 (Array.length ss.jig_valid) false;
+        ss.roms_flat_valid <- false;
         Array.fill ss.spec_valid 0 (Array.length ss.spec_valid) false
       end
       else begin
-        for v = n_vars - 1 downto 0 do
-          if not (feq_bits ss.last_values.(v) st.State.values.(v)) then dirty := v :: !dirty
+        for v = 0 to n_vars - 1 do
+          if not (feq_bits ss.last_values.(v) st.State.values.(v)) then begin
+            ss.dirty_buf.(!ndirty) <- v;
+            incr ndirty
+          end
         done;
         (* dirty vars -> nodes: recompute, and only a node whose voltage
            actually changed bits dirties the elements on it *)
-        let touched_nodes = ref [] in
-        List.iter
-          (fun v ->
-            List.iter
-              (fun node ->
-                if not ss.node_seen.(node) then begin
-                  ss.node_seen.(node) <- true;
-                  touched_nodes := node :: !touched_nodes;
-                  let fresh = node_voltage_of p st env node in
-                  if not (feq_bits fresh ss.nv.(node)) then begin
-                    ss.nv.(node) <- fresh;
-                    List.iter
-                      (fun e -> elem_dirty.(e) <- true)
-                      ss.dg.Problem.dg_node_elems.(node)
-                  end
-                end)
-              ss.dg.Problem.dg_var_nodes.(v);
-            List.iter (fun e -> elem_dirty.(e) <- true) ss.dg.Problem.dg_var_elems.(v))
-          !dirty;
-        List.iter (fun node -> ss.node_seen.(node) <- false) !touched_nodes
+        let ntouched = ref 0 in
+        for di = 0 to !ndirty - 1 do
+          let v = ss.dirty_buf.(di) in
+          List.iter
+            (fun node ->
+              if not ss.node_seen.(node) then begin
+                ss.node_seen.(node) <- true;
+                ss.touched_buf.(!ntouched) <- node;
+                incr ntouched;
+                let fresh = node_voltage_of p st env node in
+                if not (feq_bits fresh ss.nv.(node)) then begin
+                  ss.nv.(node) <- fresh;
+                  List.iter (fun e -> ss.elem_dirty.(e) <- true) ss.dg.Problem.dg_node_elems.(node)
+                end
+              end)
+            ss.dg.Problem.dg_var_nodes.(v);
+          List.iter (fun e -> ss.elem_dirty.(e) <- true) ss.dg.Problem.dg_var_elems.(v)
+        done;
+        for k = 0 to !ntouched - 1 do
+          ss.node_seen.(ss.touched_buf.(k)) <- false
+        done
       end;
-      let n_dirty = List.length !dirty in
-      ss.dirty_accum <- ss.dirty_accum + n_dirty;
+      ss.dirty_accum <- ss.dirty_accum + !ndirty;
       (* Recompute dirty elements; [elem_changed] ends up true only where
          the contribution (or operating point) has genuinely new bits. *)
       Array.iteri
-        (fun i e -> if elem_dirty.(i) then recompute_elem ss ~force value i e)
+        (fun i e -> if ss.elem_dirty.(i) then recompute_elem ss ~force value i e)
         p.Problem.bias.Netlist.Circuit.elements;
       let any_changed = force || Array.exists Fun.id ss.elem_changed in
       if any_changed then begin
@@ -903,15 +1082,13 @@ module Incr = struct
         Array.fill ss.mag 0 (Array.length ss.mag) 0.0;
         Array.iter
           (fun ec ->
-            Array.iter
-              (fun (node, i) ->
-                ss.cur.(node) <- ss.cur.(node) +. i;
-                ss.mag.(node) <- ss.mag.(node) +. Float.abs i)
-              ec.flows)
+            for k = 0 to ec.flen - 1 do
+              let node = ec.fn.(k) and i = ec.fv.(k) in
+              ss.cur.(node) <- ss.cur.(node) +. i;
+              ss.mag.(node) <- ss.mag.(node) +. Float.abs i
+            done)
           ss.elems;
-        let residuals, res_scale = group_residuals p ss.cur ss.mag in
-        ss.residuals <- residuals;
-        ss.res_scale <- res_scale;
+        group_residuals_into p ss.cur ss.mag ss.residuals ss.res_scale;
         let ops = ref [] in
         for i = n_elems - 1 downto 0 do
           match ss.elems.(i).op with
@@ -923,17 +1100,21 @@ module Incr = struct
         Array.iteri
           (fun i changed ->
             if changed then begin
-              List.iter (fun j -> ss.jig_valid.(j) <- false) ss.dg.Problem.dg_elem_jigs.(i);
+              List.iter
+                (fun j ->
+                  ss.jig_valid.(j) <- false;
+                  ss.roms_flat_valid <- false)
+                ss.dg.Problem.dg_elem_jigs.(i);
               List.iter (fun s -> ss.spec_valid.(s) <- false) ss.elem_specs.(i)
             end)
           ss.elem_changed
       end;
       if not force then
-        List.iter
-          (fun v ->
-            List.iter (fun j -> check_jig_vals ss env j) ss.dg.Problem.dg_var_jigs.(v);
-            List.iter (fun s -> ss.spec_valid.(s) <- false) ss.var_specs.(v))
-          !dirty;
+        for di = 0 to !ndirty - 1 do
+          let v = ss.dirty_buf.(di) in
+          List.iter (fun j -> check_jig_vals ss env j) ss.dg.Problem.dg_var_jigs.(v);
+          List.iter (fun s -> ss.spec_valid.(s) <- false) ss.var_specs.(v)
+        done;
       Array.blit st.State.values 0 ss.last_values 0 n_vars;
       ss.primed <- true
     with e ->
@@ -964,8 +1145,7 @@ module Incr = struct
        the specs that read it. *)
     let kk = class_counters ss in
     (if Array.exists (fun v -> not v) ss.jig_valid then begin
-       let env = value_env p st in
-       let value e = Netlist.Expr.eval env e in
+       let value e = Netlist.Expr.eval ss.venv e in
        let ops name = List.assoc_opt name bp.ops in
        List.iteri
          (fun j jig ->
@@ -977,6 +1157,7 @@ module Incr = struct
                     (fun e -> try value e with _ -> Float.nan)
                     ss.dg.Problem.dg_jig_exprs.(j));
              ss.jig_valid.(j) <- true;
+             ss.roms_flat_valid <- false;
              List.iter (fun s -> ss.spec_valid.(s) <- false) ss.jig_specs.(j);
              ss.c_rom_builds <- ss.c_rom_builds + 1;
              kk.k_rom_builds <- kk.k_rom_builds + 1
@@ -992,24 +1173,47 @@ module Incr = struct
        ss.c_rom_reuses <- ss.c_rom_reuses + n;
        kk.k_rom_reuses <- kk.k_rom_reuses + n
      end);
-    let roms = List.concat (Array.to_list ss.jig_roms) in
-    (* Re-measure stale specs with the same environment the full
-       evaluator builds. *)
-    let env = spec_env p st bp roms in
+    if not ss.roms_flat_valid then begin
+      ss.roms_flat <- List.concat (Array.to_list ss.jig_roms);
+      ss.roms_flat_valid <- true
+    end;
+    let roms = ss.roms_flat in
+    (* Re-measure stale specs with the session's persistent environment —
+       the same arithmetic as the env the full evaluator builds, pointed
+       at this evaluation's bias solution. *)
+    let cx = ss.spec_cx in
+    cx.cx_st <- st;
+    cx.cx_nv <- bp.node_v;
+    cx.cx_ops <- bp.ops;
+    cx.cx_node_leaving <- bp.node_leaving;
+    cx.cx_roms <- roms;
+    let env = ss.spec_envv in
+    let spec_changed = ref (not ss.spec_list_valid) in
     List.iteri
       (fun i (s : Problem.spec) ->
         let sd = ss.dg.Problem.dg_spec_deps.(i) in
         if sd.Problem.sd_always || not ss.spec_valid.(i) then begin
-          ss.spec_cache.(i) <- measure_spec env s;
+          let v = measure_spec env s in
+          (match (ss.spec_cache.(i), v) with
+          | Some a, Some b when feq_bits a b -> ()
+          | None, None -> ()
+          | _ -> spec_changed := true);
+          ss.spec_cache.(i) <- v;
           ss.spec_valid.(i) <- true;
           ss.c_spec_evals <- ss.c_spec_evals + 1
         end
         else ss.c_spec_reuses <- ss.c_spec_reuses + 1)
       p.Problem.specs;
-    let spec_values =
-      List.mapi (fun i (s : Problem.spec) -> (s.Problem.spec_name, ss.spec_cache.(i))) p.Problem.specs
-    in
-    { bias = bp; roms; spec_values }
+    (* The association list handed out is immutable, so it is shared
+       across evaluations until some spec value changes bits. *)
+    if !spec_changed then begin
+      ss.spec_list <-
+        List.mapi
+          (fun i (s : Problem.spec) -> (s.Problem.spec_name, ss.spec_cache.(i)))
+          p.Problem.specs;
+      ss.spec_list_valid <- true
+    end;
+    { bias = bp; roms; spec_values = ss.spec_list }
 
   let cost ss (w : Weights.t) (st : State.t) =
     let was_primed = ss.primed in

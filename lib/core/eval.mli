@@ -81,6 +81,12 @@ val breakdown_of : Problem.t -> Weights.t -> State.t -> measured -> breakdown
 
 (** Incremental move-scoped evaluation (docs/PERFORMANCE.md).
 
+    A session is a per-domain arena (docs/PARALLEL.md): all of its
+    arrays are allocated once in {!Incr.create} and written in place on
+    the hot path, so steady-state evaluation allocates almost nothing —
+    the property the domain-parallel {!Core.Oblx.best_of} depends on to
+    keep minor-GC stop-the-world barriers rare.
+
     A session owns caches for one annealing run: per-element KCL flow
     contributions and device operating points (with a small memo keyed on
     the exact geometry + terminal-voltage bits), per-jig AWE ROM lists,
@@ -134,6 +140,13 @@ module Incr : sig
 
   (** Drop all caches; the next evaluation runs from scratch. *)
   val invalidate : session -> unit
+
+  (** [reset ss] returns the session to its just-created state — caches
+      dropped AND counters zeroed — without reallocating any of its
+      arrays. A reset session is observationally identical to a fresh
+      [create]: {!Core.Oblx.best_of} resets one per-domain session
+      between restarts instead of allocating a new arena each time. *)
+  val reset : session -> unit
 
   (** Bit-identical to [Eval.cost p w st]. *)
   val cost : session -> Weights.t -> State.t -> breakdown

@@ -37,8 +37,8 @@ let kcl_stats (bp : Eval.bias_point) =
     bp.Eval.residuals;
   (!rel, !abs_)
 
-let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true) ?control ?(obs = Obs.Trace.none)
-    (p : Problem.t) =
+let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true) ?session ?control
+    ?(obs = Obs.Trace.none) (p : Problem.t) =
   let n_vars = State.n_vars p.Problem.state0 in
   let total_moves =
     match moves with Some m -> m | None -> Int.min 150_000 (Int.max 8_000 (2000 * n_vars))
@@ -48,8 +48,16 @@ let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true) ?control ?(obs = Ob
      caches follow this run's trajectory (including undo of rejected
      moves, which the value diff detects like any other move) and serve
      bit-identical costs, so the trajectory — and the winner — match the
-     full evaluator exactly. *)
-  let session = if incremental then Some (Eval.Incr.create p) else None in
+     full evaluator exactly. A caller-supplied [session] (the per-domain
+     arena of [best_of]) is reset, which makes it observationally a fresh
+     one without reallocating its arrays. *)
+  let session =
+    match session with
+    | Some ss ->
+        Eval.Incr.reset ss;
+        Some ss
+    | None -> if incremental then Some (Eval.Incr.create p) else None
+  in
   let ctx = Moves.make ?session p in
   let rng = match rng with Some r -> r | None -> Anneal.Rng.create seed in
   let evals = ref 0 in
@@ -247,13 +255,41 @@ let score (p : Problem.t) (r : result) =
 
 let default_jobs () = Int.max 1 (Domain.recommended_domain_count () - 1)
 
+(* --- Per-domain perf accounting, surfaced by [best_of ?perf]. --- *)
+
+type domain_report = {
+  d_index : int;
+  d_restarts : int;
+  d_wall_s : float;
+  d_minor_collections : int;
+  d_major_collections : int;
+  d_promoted_words : float;
+  d_minor_words : float;
+}
+
+type parallel_report = {
+  pr_jobs : int;
+  pr_runs : int;
+  pr_domains : domain_report list;
+  pr_merge : Obs.Shard.stats option;
+}
+
+(* Minor-heap words per worker domain when [best_of] runs parallel. In
+   OCaml 5 every minor collection is a stop-the-world barrier across ALL
+   domains, so undersized per-domain minor heaps make domains spend their
+   time synchronizing instead of annealing. The evaluator arenas keep the
+   allocation rate low; the larger nursery makes the remaining minor
+   collections rare. Spawned domains do not inherit the parent's Gc
+   settings, so each worker sets its own. *)
+let arena_minor_heap_words = 1 lsl 22
+
 (* A laggard gives up only when its best is worse than the published global
    best by a slack that scales with the costs involved: close races are
    always allowed to finish, so early stopping rarely changes the winner. *)
 let early_stop_slack best = Float.max 1.0 (0.25 *. Float.abs best)
 
 let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true) ?cutoff
-    ?(obs = Obs.Trace.none) ~runs (p : Problem.t) =
+    ?(obs = Obs.Trace.none) ?perf ~runs (p : Problem.t) =
   if runs < 1 then invalid_arg "Oblx.best_of: runs must be >= 1";
   let jobs = Int.min runs (match jobs with Some j -> Int.max 1 j | None -> default_jobs ()) in
   (* Restart k always anneals with the k-th split of the root generator, so
@@ -301,31 +337,80 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true)
   in
   let results : result option array = Array.make runs None in
   let next = Atomic.make 0 in
+  (* Under parallel emission, events route through a shard: each restart
+     buffers locally (no lock) and merges into the caller's sinks in
+     batches at stage boundaries, instead of serializing every event of
+     every domain through one mutex. The per-restart streams recovered by
+     demultiplexing the merged output are unchanged. *)
+  let shard =
+    if jobs > 1 && Obs.Trace.sinks obs <> [] then Some (Obs.Shard.create (Obs.Trace.sinks obs))
+    else None
+  in
+  let reports : domain_report option array = Array.make jobs None in
   (* Each worker owns the runs it claims: every slot of [results] is written
      by exactly one domain, and Domain.join publishes them to this one. *)
-  let worker () =
+  let worker w =
+    if jobs > 1 then Gc.set { (Gc.get ()) with Gc.minor_heap_size = arena_minor_heap_words };
+    let t0 = Unix.gettimeofday () in
+    let g0 = Gc.quick_stat () in
+    let claimed = ref 0 in
+    (* One evaluator arena per domain, reset between the restarts this
+       worker claims — allocation stays domain-local across the whole
+       worker lifetime. *)
+    let session = if incremental then Some (Eval.Incr.create p) else None in
     let rec take () =
       let k = Atomic.fetch_and_add next 1 in
       if k < runs then begin
+        incr claimed;
         (* Restart-tagged events let the shared sinks demultiplex the
            interleaved streams of concurrent domains. *)
-        let r =
-          synthesize ~rng:streams.(k) ?moves ~incremental ?control
-            ~obs:(Obs.Trace.with_restart obs k) p
+        let obs_k =
+          let t = Obs.Trace.with_restart obs k in
+          match shard with
+          | Some sh -> Obs.Trace.with_sinks t [ Obs.Shard.for_restart sh k ]
+          | None -> t
         in
+        let r = synthesize ~rng:streams.(k) ?moves ~incremental ?session ?control ~obs:obs_k p in
         publish r.best_cost;
         results.(k) <- Some r;
         take ()
       end
     in
-    take ()
+    take ();
+    let g1 = Gc.quick_stat () in
+    reports.(w) <-
+      Some
+        {
+          d_index = w;
+          d_restarts = !claimed;
+          d_wall_s = Unix.gettimeofday () -. t0;
+          d_minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+          d_major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+          d_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+          d_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+        }
   in
-  if jobs <= 1 then worker ()
-  else begin
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains
-  end;
+  (if jobs <= 1 then worker 0
+   else begin
+     (* The caller's domain is worker 0; restore its Gc parameters after
+        the parallel section (spawned domains die with theirs). *)
+     let saved = Gc.get () in
+     let domains = List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+     worker 0;
+     List.iter Domain.join domains;
+     Gc.set saved
+   end);
+  Option.iter Obs.Shard.drain shard;
+  (match perf with
+  | Some f ->
+      f
+        {
+          pr_jobs = jobs;
+          pr_runs = runs;
+          pr_domains = Array.to_list reports |> List.filter_map Fun.id;
+          pr_merge = Option.map Obs.Shard.stats shard;
+        }
+  | None -> ());
   let results = Array.to_list results |> List.filter_map Fun.id in
   (* Strict < keeps the earliest run on ties, independent of scheduling. *)
   let best =
@@ -342,7 +427,7 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true)
 let deadline_reason = "deadline"
 
 let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?(incremental = true)
-    ?deadline_s ?poll ?(obs = Obs.Trace.none) (p : Problem.t) =
+    ?deadline_s ?poll ?(obs = Obs.Trace.none) ?perf (p : Problem.t) =
   (* The deadline clock starts here — queue wait is the caller's budget to
      spend before calling — and is polled through the annealer's abort
      hook, so an already-expired deadline stops a run before its first
@@ -359,7 +444,7 @@ let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?(increme
       end
   in
   let cutoff = if poll = None && deadline_s = None then None else Some cutoff in
-  best_of ~seed ?moves ?jobs ~early_stop ~incremental ?cutoff ~obs ~runs p
+  best_of ~seed ?moves ?jobs ~early_stop ~incremental ?cutoff ~obs ?perf ~runs p
 
 (* ------------------------------------------------------------------ *)
 (* Trace replay                                                        *)

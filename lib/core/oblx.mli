@@ -48,6 +48,12 @@ type control = {
     [rng] (a stream from {!Anneal.Rng.split}) overrides [seed]; [control]
     connects the run to a parallel multi-start scheduler.
 
+    [session] supplies an existing incremental-evaluation arena (created
+    for the same problem) instead of allocating one: it is
+    {!Eval.Incr.reset} on entry, so results are bit-identical to a run
+    with a fresh session. This is how {!best_of} keeps one arena per
+    domain across all the restarts that domain claims.
+
     [obs] (default {!Obs.Trace.none}) receives the structured telemetry of
     docs/OBSERVABILITY.md: a [Restart] event, the annealer's [Move]/[Stage]
     stream (accepted moves carry the design point, making the trace
@@ -60,6 +66,7 @@ val synthesize :
   ?rng:Anneal.Rng.t ->
   ?moves:int ->
   ?incremental:bool ->
+  ?session:Eval.Incr.session ->
   ?control:control ->
   ?obs:Obs.Trace.t ->
   Problem.t ->
@@ -69,6 +76,38 @@ val synthesize :
     [Domain.recommended_domain_count () - 1], at least 1 — keep one core
     for the caller. *)
 val default_jobs : unit -> int
+
+(** What one worker domain did during a {!best_of} parallel section —
+    the raw material of [bench perf-parallel]'s GC/contention block. GC
+    numbers are {!Gc.quick_stat} deltas over the worker's lifetime, on
+    its own domain (per-domain minor heaps, shared major heap). *)
+type domain_report = {
+  d_index : int;  (** 0 is the calling domain *)
+  d_restarts : int;  (** restarts this domain claimed *)
+  d_wall_s : float;
+  d_minor_collections : int;
+      (** each one is a stop-the-world barrier across every domain *)
+  d_major_collections : int;
+  d_promoted_words : float;
+  d_minor_words : float;  (** words allocated in this domain's nursery *)
+}
+
+type parallel_report = {
+  pr_jobs : int;
+  pr_runs : int;
+  pr_domains : domain_report list;  (** by [d_index], one per worker *)
+  pr_merge : Obs.Shard.stats option;
+      (** telemetry merge counters; [None] when no shard ran (sequential,
+          or no sinks attached) *)
+}
+
+(** Minor-heap size (words) each worker domain adopts during a parallel
+    section. In OCaml 5 a minor collection is a stop-the-world barrier
+    across every domain, so worker nurseries are sized large enough that
+    the arena-based evaluator rarely fills them. Spawned domains do not
+    inherit the parent's Gc settings — any long-lived worker domain (the
+    serve pool's, for instance) should set this itself. *)
+val arena_minor_heap_words : int
 
 (** [best_of ?seed ?moves ?jobs ?early_stop ~runs p] performs [runs]
     independent annealing runs — the paper's "5-10 runs overnight",
@@ -94,9 +133,20 @@ val default_jobs : unit -> int
     annealing trajectory, so the determinism guarantee above still holds.
 
     [obs] is shared by every restart: run [k] emits into
-    [Obs.Trace.with_restart obs k], so one JSONL file (the sinks are
-    mutex-serialized) captures all runs and can be demultiplexed — or
-    replayed — per restart afterwards. *)
+    [Obs.Trace.with_restart obs k], so one JSONL file captures all runs
+    and can be demultiplexed — or replayed — per restart afterwards.
+    When [jobs > 1] the events flow through an {!Obs.Shard}: each restart
+    buffers lock-free and merges into the caller's sinks in batches at
+    stage boundaries, so concurrent domains stop serializing per event;
+    the merged stream demultiplexes to exactly the same per-restart
+    streams. Emission never touches the RNG either way.
+
+    Each worker domain allocates one {!Eval.Incr} arena and reuses it
+    (via {!Eval.Incr.reset}) for every restart it claims, and sizes its
+    own minor heap so that minor collections — stop-the-world barriers
+    across all domains in OCaml 5 — stay rare. [perf], when given,
+    receives the per-domain wall/GC/claim accounting and the telemetry
+    merge counters after the parallel section finishes. *)
 val best_of :
   ?seed:int ->
   ?moves:int ->
@@ -105,6 +155,7 @@ val best_of :
   ?incremental:bool ->
   ?cutoff:(unit -> string option) ->
   ?obs:Obs.Trace.t ->
+  ?perf:(parallel_report -> unit) ->
   runs:int ->
   Problem.t ->
   result * result list
@@ -132,6 +183,7 @@ val run_job :
   ?deadline_s:float ->
   ?poll:(unit -> string option) ->
   ?obs:Obs.Trace.t ->
+  ?perf:(parallel_report -> unit) ->
   Problem.t ->
   result * result list
 

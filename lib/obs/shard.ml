@@ -1,0 +1,123 @@
+(* Per-restart event buffers over a shared downstream sink list.
+
+   The mutex-serialized sinks of [Sink] are correct under domain-parallel
+   emission but pay one lock acquisition per event: a Moves-level trace of
+   an 8-domain multi-start serializes every domain through one mutex,
+   hundreds of thousands of times per second. A shard gives each restart
+   its own unshared buffer — emission is plain mutable-field writes on the
+   owning domain, no lock, no contention — and merges buffered events into
+   the downstream sinks in batches at stage boundaries.
+
+   Merge rule (documented in docs/PARALLEL.md):
+   - within a restart, events reach the downstream sinks in exactly their
+     emission order (a buffer is a FIFO and only its owner writes it);
+   - a batch is atomic: no event from another restart interleaves inside
+     it (the downstream lock is held for the whole batch);
+   - batches flush at stage boundaries ([Stage] and [Done] events) and
+     when a buffer reaches [batch] events, so buffering is bounded;
+   - [drain] flushes every remaining buffer in ascending restart order —
+     after the owning domains have been joined, the tail of the merged
+     stream is therefore deterministic.
+
+   Consumers demultiplex by the restart tag every event carries, so the
+   per-restart streams recovered from the merged output are bit-identical
+   to a sequential run's — the property test_parallel locks in. *)
+
+type buffer = {
+  b_restart : int;
+  mutable b_rev : Event.t list;  (* newest first *)
+  mutable b_len : int;
+}
+
+type t = {
+  sinks : Sink.t list;
+  batch : int;
+  lock : Mutex.t;
+  mutable buffers : buffer list;  (* registry for [drain], unordered *)
+  (* stats, mutated under [lock] *)
+  mutable n_buffers : int;
+  mutable n_events : int;
+  mutable n_batches : int;
+  mutable lock_wait_s : float;
+}
+
+type stats = {
+  sh_buffers : int;
+  sh_events : int;
+  sh_batches : int;
+  sh_lock_wait_s : float;
+}
+
+let create ?(batch = 4096) sinks =
+  if batch < 1 then invalid_arg "Shard.create: batch must be >= 1";
+  {
+    sinks;
+    batch;
+    lock = Mutex.create ();
+    buffers = [];
+    n_buffers = 0;
+    n_events = 0;
+    n_batches = 0;
+    lock_wait_s = 0.0;
+  }
+
+(* Lock acquisition with wait accounting: the uncontended path is a
+   [try_lock] (no clock read); only an actual wait is timed. *)
+let lock_timed t =
+  if not (Mutex.try_lock t.lock) then begin
+    let t0 = Unix.gettimeofday () in
+    Mutex.lock t.lock;
+    t.lock_wait_s <- t.lock_wait_s +. (Unix.gettimeofday () -. t0)
+  end
+
+let flush_locked t b =
+  if b.b_len > 0 then begin
+    let evs = List.rev b.b_rev in
+    b.b_rev <- [];
+    b.b_len <- 0;
+    List.iter (fun ev -> List.iter (fun (s : Sink.t) -> s.Sink.emit ev) t.sinks) evs;
+    t.n_batches <- t.n_batches + 1
+  end
+
+let flush t b =
+  lock_timed t;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> flush_locked t b)
+
+let for_restart t restart =
+  let b = { b_restart = restart; b_rev = []; b_len = 0 } in
+  lock_timed t;
+  t.buffers <- b :: t.buffers;
+  t.n_buffers <- t.n_buffers + 1;
+  Mutex.unlock t.lock;
+  {
+    Sink.emit =
+      (fun ev ->
+        b.b_rev <- ev :: b.b_rev;
+        b.b_len <- b.b_len + 1;
+        t.n_events <- t.n_events + 1;
+        (* [n_events] is a racy statistic; the buffer itself is owned. *)
+        let boundary =
+          match ev.Event.body with
+          | Event.Stage _ | Event.Done _ -> true
+          | Event.Restart _ | Event.Move _ | Event.Weight_update _ | Event.Evals _ -> false
+        in
+        if boundary || b.b_len >= t.batch then flush t b);
+    close = (fun () -> flush t b);
+  }
+
+let drain t =
+  lock_timed t;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let bs = List.sort (fun a b -> compare a.b_restart b.b_restart) t.buffers in
+      List.iter (flush_locked t) bs;
+      t.buffers <- [])
+
+let stats t =
+  {
+    sh_buffers = t.n_buffers;
+    sh_events = t.n_events;
+    sh_batches = t.n_batches;
+    sh_lock_wait_s = t.lock_wait_s;
+  }

@@ -1,0 +1,43 @@
+(** Per-restart event buffers over shared sinks — the telemetry side of the
+    domain-parallel memory model (docs/PARALLEL.md).
+
+    Where the built-in sinks serialize every event of every domain through
+    one mutex, a shard hands each restart an unshared FIFO buffer: emitting
+    is lock-free mutable-field writes on the owning domain, and buffered
+    events merge into the downstream sinks in atomic batches at stage
+    boundaries ([Stage]/[Done] events, or a size cap).
+
+    The merge is deterministic per restart: a restart's events reach the
+    sinks in exactly their emission order, batches never interleave inside
+    one another, and {!drain} (called after the worker domains are joined)
+    flushes leftovers in ascending restart order. Consumers demultiplex by
+    the restart tag, recovering per-restart streams bit-identical to a
+    sequential run's. *)
+
+type t
+
+(** Contention counters, for the perf-parallel bench's diagnostics. *)
+type stats = {
+  sh_buffers : int;  (** restart buffers handed out *)
+  sh_events : int;  (** events emitted through the shard (racy count) *)
+  sh_batches : int;  (** downstream merge batches *)
+  sh_lock_wait_s : float;
+      (** total wall time any domain spent waiting for the merge lock —
+          near-zero when batching is doing its job *)
+}
+
+(** [create ?batch sinks] — a shard merging into [sinks]. [batch]
+    (default 4096) caps a buffer's length between stage boundaries. *)
+val create : ?batch:int -> Sink.t list -> t
+
+(** [for_restart t k] — the buffer sink restart [k] emits into. Each call
+    registers a fresh buffer; a restart must call it exactly once, and
+    only the returned sink's owner may emit into it. *)
+val for_restart : t -> int -> Sink.t
+
+(** [drain t] flushes every remaining buffer, in ascending restart order.
+    Call after joining the emitting domains; does not close the
+    downstream sinks (the caller owns them). *)
+val drain : t -> unit
+
+val stats : t -> stats

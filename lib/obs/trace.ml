@@ -6,6 +6,8 @@ let with_restart t restart = { t with restart }
 let add_sink t sink = { t with sinks = sink :: t.sinks }
 let restart t = t.restart
 let level t = t.level
+let sinks t = t.sinks
+let with_sinks t sinks = { t with sinks }
 let enabled t l = t.sinks <> [] && l <> Event.Off && Event.level_leq l t.level
 
 let emit t ~moves ~temperature ~acceptance body =

@@ -24,6 +24,15 @@ val add_sink : t -> Sink.t -> t
 val restart : t -> int
 val level : t -> Event.level
 
+(** The handle's sinks, in delivery order — what {!Core.Oblx.best_of}
+    wraps in a {!Shard} so concurrent restarts stop serializing per
+    event. *)
+val sinks : t -> Sink.t list
+
+(** [with_sinks t sinks] is [t] delivering to [sinks] instead — the other
+    half of the shard plumbing. *)
+val with_sinks : t -> Sink.t list -> t
+
 (** [enabled t l] — events of level [l] will actually be recorded. Guard
     expensive payload construction (state snapshots) with this. *)
 val enabled : t -> Event.level -> bool

@@ -412,15 +412,22 @@ let run_job t (j : job) ~worker =
       finish t j ~worker:(Some worker) ~state:Failed ~error:e ()
   | Ok (p, cache_outcome) ->
       locked t (fun () -> j.cache <- Some cache_outcome);
-      let obs =
+      let sinks =
         match j.ring with
         | Some ring ->
             (* The ring rides next to the global summary but is capped at
                Stage level: a job's recent history, not a move torrent. *)
-            Obs.Trace.add_sink t.obs_base
-              (Obs.Sink.filtered ~level:Obs.Event.Stage (Obs.Sink.Ring.sink ring))
-        | None -> t.obs_base
+            Obs.Sink.filtered ~level:Obs.Event.Stage (Obs.Sink.Ring.sink ring)
+            :: Obs.Trace.sinks t.obs_base
+        | None -> Obs.Trace.sinks t.obs_base
       in
+      (* Per-job shard: this worker buffers its own events and merges them
+         into the shared summary (and the job's ring) in batches at stage
+         boundaries, so concurrent workers don't serialize the daemon's
+         telemetry per event. One buffer suffices — a job's restarts run
+         sequentially on this domain. *)
+      let shard = Obs.Shard.create sinks in
+      let obs = Obs.Trace.with_sinks t.obs_base [ Obs.Shard.for_restart shard 0 ] in
       (* The deadline is a latency bound from submission, so the queue wait
          already spent part of it; an exhausted budget still runs the job,
          which aborts at move 0 via the annealer's pre-loop poll. *)
@@ -433,10 +440,13 @@ let run_job t (j : job) ~worker =
         match j.spec.Proto.sb_moves with Some m -> Some m | None -> t.cfg.default_moves
       in
       let best, all =
-        Core.Oblx.run_job ~seed:j.spec.Proto.sb_seed ?moves ~runs:j.spec.Proto.sb_runs ~jobs:1
-          ~incremental:t.cfg.incremental ?deadline_s
-          ~poll:(fun () -> Atomic.get j.cancel)
-          ~obs p
+        Fun.protect
+          ~finally:(fun () -> Obs.Shard.drain shard)
+          (fun () ->
+            Core.Oblx.run_job ~seed:j.spec.Proto.sb_seed ?moves ~runs:j.spec.Proto.sb_runs
+              ~jobs:1 ~incremental:t.cfg.incremental ?deadline_s
+              ~poll:(fun () -> Atomic.get j.cancel)
+              ~obs p)
       in
       (* The job-level cut reason: the winner's, or the first restart that
          reported one (a deadline can fire during restart k > 0 while the
@@ -544,7 +554,14 @@ let create cfg =
       | Done | Failed | Cancelled -> ())
     restored_jobs;
   t.domains <-
-    List.init cfg.workers (fun w -> Domain.spawn (fun () -> worker_loop t ~worker:w));
+    List.init cfg.workers (fun w ->
+        Domain.spawn (fun () ->
+            (* Spawned domains start with the default nursery regardless of
+               the parent's settings; size this worker's for the annealing
+               hot path so minor collections (stop-the-world across all
+               domains) stay rare. *)
+            Gc.set { (Gc.get ()) with Gc.minor_heap_size = Core.Oblx.arena_minor_heap_words };
+            worker_loop t ~worker:w));
   t
 
 let submit t (s : Proto.submit) =
