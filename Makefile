@@ -29,9 +29,13 @@ bench-perf-check:
 
 # Move-scoped incremental evaluation vs full recompute (docs/PERFORMANCE.md);
 # writes bench/results/perf-incremental-latest.json with per-circuit
-# speedups, cache counters and the bit-identity checks.
+# speedups, cache counters and the bit-identity checks — including the
+# batched probe-then-confirm tournaments. PERF_INCR_FLOOR gates the best
+# probed-vs-full throughput gain; unlike PERF_FLOOR it needs no core-count
+# scaling (the win is algorithmic, not parallelism).
+PERF_INCR_FLOOR ?= 2.5
 bench-perf-incremental:
-	dune exec bench/main.exe -- perf-incremental --moves 4000
+	dune exec bench/main.exe -- perf-incremental --moves 4000 --floor $(PERF_INCR_FLOOR)
 
 # Record simple-ota traces sequentially and domain-parallel, then replay
 # both against the compiled cost function (docs/OBSERVABILITY.md) — the

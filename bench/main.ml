@@ -941,12 +941,107 @@ let perf_incremental () =
         (name, full_wall, incr_wall, speedup, identical, s))
       circuits
   in
+  (* Probed walk: the annealer's batched tournament. Each decision screens
+     [probe_batch] candidate perturbations with the low-rank probe
+     evaluator against the retained factorization, then confirms only the
+     screened winner through the exact incremental path. Every candidate
+     counts as a move — that is the throughput the annealer sees. The
+     timed pass does no verification; an untimed replay of the identical
+     trajectory (same seed, fresh session) re-confirms every decision
+     against the full evaluator bit for bit, and the two walks' running
+     cost sums must agree exactly. *)
+  let probe_batch = Core.Oblx.default_probe_batch in
+  let probed_walk p ss w ~verify =
+    let st = Core.State.snapshot p.Core.Problem.state0 in
+    let rng = Anneal.Rng.create (base_seed + 17) in
+    let n = Core.State.n_vars st in
+    let acc = ref 0.0 in
+    let decisions = Int.max 1 (n_moves / probe_batch) in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to decisions do
+      let base = Core.State.snapshot st in
+      let best_c = ref Float.infinity and best_st = ref base in
+      for _ = 1 to probe_batch do
+        Core.State.restore ~from:base st;
+        let v = Anneal.Rng.int rng n in
+        let prev = st.Core.State.values.(v) in
+        st.Core.State.values.(v) <-
+          Core.State.clamp st v
+            (prev +. ((Anneal.Rng.float rng -. 0.5) *. (Float.abs prev +. 0.1)));
+        let c = Core.Eval.Incr.probe_cost ss w st in
+        if c < !best_c then begin
+          best_c := c;
+          best_st := Core.State.snapshot st
+        end
+      done;
+      Core.State.restore ~from:!best_st st;
+      Core.Eval.Incr.set_class ss "confirm";
+      let c = Core.Eval.Incr.cost_scalar ss w st in
+      if verify then begin
+        let cf = (Core.Eval.cost p w st).Core.Eval.total in
+        if not (Int64.equal (Int64.bits_of_float c) (Int64.bits_of_float cf)) then
+          failwith "probed confirmation diverged from the full evaluator"
+      end;
+      acc := !acc +. c;
+      (* reject about half the tournaments, like the plain walks *)
+      if Anneal.Rng.bool rng then Core.State.restore ~from:base st
+    done;
+    (Unix.gettimeofday () -. t0, !acc, decisions * probe_batch)
+  in
+  Printf.printf "\nprobed tournaments: %d candidates screened per exact confirmation\n"
+    probe_batch;
+  let probed =
+    List.map
+      (fun (name, full_wall, _, _, _, (incr_s : Core.Eval.Incr.stats)) ->
+        let e = Option.get (Suite.Ckts.find name) in
+        let p = compile_exn e in
+        let w = Core.Weights.create () in
+        let ss = Core.Eval.Incr.create p in
+        let probed_wall, probed_acc, probed_moves = probed_walk p ss w ~verify:false in
+        let sp = Core.Eval.Incr.stats ss in
+        (* untimed bitwise verification replay of the same trajectory *)
+        let ss_v = Core.Eval.Incr.create p in
+        let _, verify_acc, _ = probed_walk p ss_v w ~verify:true in
+        let identical =
+          Int64.equal (Int64.bits_of_float probed_acc) (Int64.bits_of_float verify_acc)
+        in
+        if not identical then failwith (name ^ ": timed probed walk diverged from verified replay");
+        let full_rate = float_of_int n_moves /. Float.max 1e-9 full_wall in
+        let probed_rate = float_of_int probed_moves /. Float.max 1e-9 probed_wall in
+        let speedup = probed_rate /. Float.max 1e-9 full_rate in
+        (* exact ROM rebuilds per candidate move: batching confirms once
+           per tournament, so the exact path refits k times less often *)
+        let rb_rate_incr = float_of_int incr_s.Core.Eval.Incr.rom_builds /. float_of_int n_moves in
+        let rb_rate_probed =
+          float_of_int sp.Core.Eval.Incr.rom_builds /. float_of_int probed_moves
+        in
+        let rom_builds_drop = rb_rate_incr /. Float.max 1e-12 rb_rate_probed in
+        Printf.printf "\n-- %s probed\n" name;
+        Printf.printf "   probed      %8.0f moves/s (%.2f s)  -> %.2fx vs full\n" probed_rate
+          probed_wall speedup;
+        Printf.printf "   verified replay bit-identical: %b\n" identical;
+        Printf.printf
+          "   %d screens, %d probe refits (%d fresh fallbacks); moments %d reused, %d refreshed\n"
+          sp.Core.Eval.Incr.probes sp.Core.Eval.Incr.probe_rom_builds
+          sp.Core.Eval.Incr.probe_fallbacks sp.Core.Eval.Incr.mom_reuses
+          sp.Core.Eval.Incr.mom_refreshes;
+        Printf.printf "   exact rom_builds per 4k moves: %.1f (plain incr %.1f) -> %.1fx drop\n"
+          (4000.0 *. rb_rate_probed) (4000.0 *. rb_rate_incr) rom_builds_drop;
+        if sp.Core.Eval.Incr.resync_mismatches > 0 then
+          failwith (name ^ ": resync caught a divergence on the probed walk");
+        (name, probed_wall, probed_moves, probed_rate, speedup, rom_builds_drop, sp))
+      measured
+  in
   (* End-to-end guard: a real annealing run with the incremental evaluator
      must elect the same winner, bit for bit. *)
   let eq_name = "ladder-bias-amp" in
   let eq_moves = Int.min n_moves 2_000 in
   let eq_p = compile_exn (Option.get (Suite.Ckts.find eq_name)) in
-  let eq_run inc = Core.Oblx.synthesize ~seed:base_seed ~moves:eq_moves ~incremental:inc eq_p in
+  (* [probe_batch:1]: batched screening deliberately reshapes the
+     trajectory, so the winner-identity check runs unbatched *)
+  let eq_run inc =
+    Core.Oblx.synthesize ~seed:base_seed ~moves:eq_moves ~incremental:inc ~probe_batch:1 eq_p
+  in
   let eq_full = eq_run false and eq_incr = eq_run true in
   let eq_identical =
     Int64.equal
@@ -959,6 +1054,14 @@ let perf_incremental () =
   if not eq_identical then failwith "synthesize winner differs with incremental evaluation";
   let best_speedup = List.fold_left (fun a (_, _, _, sp, _, _) -> Float.max a sp) 0.0 measured in
   Printf.printf "best circuit speedup: %.2fx\n" best_speedup;
+  let best_probed_speedup =
+    List.fold_left (fun a (_, _, _, _, sp, _, _) -> Float.max a sp) 0.0 probed
+  in
+  let best_rom_drop =
+    List.fold_left (fun a (_, _, _, _, _, d, _) -> Float.max a d) 0.0 probed
+  in
+  Printf.printf "best probed speedup vs full: %.2fx (best rom_builds drop %.1fx)\n"
+    best_probed_speedup best_rom_drop;
   (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
   (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
   let path = "bench/results/perf-incremental-latest.json" in
@@ -972,6 +1075,9 @@ let perf_incremental () =
         ("seed", int (base_seed + 17));
         ("moves", int n_moves);
         ("best_speedup", num best_speedup);
+        ("probe_batch", int probe_batch);
+        ("best_probed_speedup", num best_probed_speedup);
+        ("best_rom_builds_drop", num best_rom_drop);
         ( "synthesize_check",
           Obs.Json.Obj
             [
@@ -1019,13 +1125,57 @@ let perf_incremental () =
                             s.by_class) );
                    ])
                measured) );
+        ( "probed",
+          Obs.Json.Arr
+            (List.map
+               (fun
+                 ( name,
+                   probed_wall,
+                   probed_moves,
+                   probed_rate,
+                   speedup,
+                   rom_drop,
+                   (s : Core.Eval.Incr.stats) )
+               ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str name);
+                     ("probed_wall_s", num probed_wall);
+                     ("probed_moves", int probed_moves);
+                     ("probed_moves_per_s", num probed_rate);
+                     ("speedup_vs_full", num speedup);
+                     ("rom_builds", int s.rom_builds);
+                     ("rom_builds_drop", num rom_drop);
+                     ("probes", int s.probes);
+                     ("probe_rom_builds", int s.probe_rom_builds);
+                     ("probe_fallbacks", int s.probe_fallbacks);
+                     ("mom_reuses", int s.mom_reuses);
+                     ("mom_refreshes", int s.mom_refreshes);
+                     ("resyncs", int s.resyncs);
+                     ("resync_mismatches", int s.resync_mismatches);
+                   ])
+               probed) );
       ]
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s\n" path
+  Printf.printf "wrote %s\n" path;
+  (* Regression gate (--floor F): fail when the best probed-vs-full
+     throughput gain falls below F. Unlike perf-parallel's gate this needs
+     no host-core scaling — the probed path's win is algorithmic (fewer
+     exact evaluations per candidate), not parallelism. *)
+  match !floor_opt with
+  | None -> ()
+  | Some f ->
+      Printf.printf "floor check: best probed speedup %.2fx (floor %.2fx)\n" best_probed_speedup f;
+      if best_probed_speedup < f then begin
+        Printf.eprintf "perf-incremental: FAIL: probed speedup %.2fx below floor %.2fx\n"
+          best_probed_speedup f;
+        exit 1
+      end
+      else Printf.printf "floor check: PASS\n"
 
 (* ------------------------------------------------------------------ *)
 (* Serve: oblxd job-service throughput and latency (JSON artifact)      *)

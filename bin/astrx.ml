@@ -124,8 +124,19 @@ let no_incremental_arg =
     & info [ "no-incremental" ]
         ~doc:
           "Evaluate every move with the full cost function instead of the move-scoped \
-           incremental evaluator (escape hatch; the trajectory and winner are bit-identical \
-           either way)")
+           incremental evaluator (escape hatch; also disables batched candidate screening, \
+           see $(b,--probe-batch))")
+
+let probe_batch_arg =
+  Arg.(
+    value
+    & opt int Core.Oblx.default_probe_batch
+    & info [ "probe-batch" ] ~docv:"K"
+        ~doc:
+          "Candidates screened per annealing decision with the low-rank probe evaluator \
+           before the winner is confirmed exactly (accepted costs stay bit-identical to the \
+           full evaluator). $(b,1) disables screening and reproduces the classic \
+           one-candidate trajectory")
 
 let netlist_arg =
   Arg.(
@@ -146,8 +157,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a problem and print ASTRX's analysis")
     Term.(const run $ file_arg)
 
-let synth_source name src seed moves runs jobs early_stop no_incremental no_verify dump
-    trace_path trace_level =
+let synth_source name src seed moves runs jobs early_stop no_incremental probe_batch no_verify
+    dump trace_path trace_level =
   match Core.Compile.compile_source src with
   | Error e ->
       prerr_endline e;
@@ -159,8 +170,8 @@ let synth_source name src seed moves runs jobs early_stop no_incremental no_veri
       print_analysis name p;
       let obs = make_trace trace_path trace_level in
       let best, all =
-        Core.Oblx.best_of ~seed ?moves ?jobs ~early_stop ~incremental:(not no_incremental) ~obs
-          ~runs p
+        Core.Oblx.best_of ~seed ?moves ?jobs ~early_stop ~incremental:(not no_incremental)
+          ~probe_batch ~obs ~runs p
       in
       Obs.Trace.close obs;
       (match trace_path with
@@ -191,7 +202,14 @@ let synth_source name src seed moves runs jobs early_stop no_incremental no_veri
             (pct es.Core.Eval.Incr.op_hits es.Core.Eval.Incr.op_misses)
             (pct es.Core.Eval.Incr.rom_reuses es.Core.Eval.Incr.rom_builds)
             (pct es.Core.Eval.Incr.spec_reuses es.Core.Eval.Incr.spec_evals)
-            es.Core.Eval.Incr.resyncs es.Core.Eval.Incr.resync_mismatches
+            es.Core.Eval.Incr.resyncs es.Core.Eval.Incr.resync_mismatches;
+          if es.Core.Eval.Incr.probes > 0 then
+            Printf.printf
+              "probe: %d screens, %d jig refits (%d fresh fallbacks); moments %d reused, %d \
+               refreshed\n"
+              es.Core.Eval.Incr.probes es.Core.Eval.Incr.probe_rom_builds
+              es.Core.Eval.Incr.probe_fallbacks es.Core.Eval.Incr.mom_reuses
+              es.Core.Eval.Incr.mom_refreshes
       | Some _ | None -> ());
       (match dump with
       | Some path ->
@@ -203,35 +221,37 @@ let synth_source name src seed moves runs jobs early_stop no_incremental no_veri
       0
 
 let synth_cmd =
-  let run file seed moves runs jobs early_stop no_incremental no_verify dump trace trace_level
-      =
-    synth_source file (read_file file) seed moves runs jobs early_stop no_incremental no_verify
-      dump trace trace_level
+  let run file seed moves runs jobs early_stop no_incremental probe_batch no_verify dump trace
+      trace_level =
+    synth_source file (read_file file) seed moves runs jobs early_stop no_incremental
+      probe_batch no_verify dump trace trace_level
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a problem with OBLX")
     Term.(
       const run $ file_arg $ seed_arg $ moves_arg $ runs_arg $ jobs_arg $ early_stop_arg
-      $ no_incremental_arg $ no_verify_arg $ netlist_arg $ trace_arg $ trace_level_arg)
+      $ no_incremental_arg $ probe_batch_arg $ no_verify_arg $ netlist_arg $ trace_arg
+      $ trace_level_arg)
 
 let bench_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name")
   in
-  let run name seed moves runs jobs early_stop no_incremental no_verify dump trace trace_level
-      =
+  let run name seed moves runs jobs early_stop no_incremental probe_batch no_verify dump trace
+      trace_level =
     match Suite.Ckts.find name with
     | None ->
         Printf.eprintf "unknown benchmark %s; known: %s\n" name
           (String.concat ", " (List.map (fun (e : Suite.Ckts.entry) -> e.name) Suite.Ckts.all));
         1
     | Some e ->
-        synth_source e.name e.source seed moves runs jobs early_stop no_incremental no_verify
-          dump trace trace_level
+        synth_source e.name e.source seed moves runs jobs early_stop no_incremental probe_batch
+          no_verify dump trace trace_level
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run a built-in benchmark circuit")
     Term.(
       const run $ name_arg $ seed_arg $ moves_arg $ runs_arg $ jobs_arg $ early_stop_arg
-      $ no_incremental_arg $ no_verify_arg $ netlist_arg $ trace_arg $ trace_level_arg)
+      $ no_incremental_arg $ probe_batch_arg $ no_verify_arg $ netlist_arg $ trace_arg
+      $ trace_level_arg)
 
 (* Problem source for replay/submit: a built-in benchmark name or a file
    path. An unreadable file is an [Error], not an escaping [Sys_error]. *)
@@ -555,7 +575,15 @@ let stats_cmd =
              %s, %s resyncs (%s mismatches)\n"
             mode (n ev "incremental") (n ev "full") (pct "op_hits" "op_misses")
             (pct "rom_reuses" "rom_builds") (pct "spec_reuses" "spec_evals") (n ev "resyncs")
-            (n ev "resync_mismatches")
+            (n ev "resync_mismatches");
+          (match jnum ev "probes" with
+          | Some p when p > 0.0 ->
+              Printf.printf
+                "probe: %s screens, %s jig refits (%s fresh fallbacks); moments %s reused, %s \
+                 refreshed\n"
+                (n ev "probes") (n ev "probe_rom_builds") (n ev "probe_fallbacks")
+                (n ev "mom_reuses") (n ev "mom_refreshes")
+          | Some _ | None -> ())
       | Some (Json.Str mode), _ -> Printf.printf "evals: mode %s\n" mode
       | _ -> ());
       match Json.mem_opt "workers_detail" j with

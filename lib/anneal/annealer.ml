@@ -7,6 +7,13 @@ type 'state problem = {
   on_stage : ('state -> stage_info -> unit) option;
   on_result : (int -> accepted:bool -> unit) option;
   abort : (stage_info -> bool) option;
+  batch : 'state batch option;
+}
+
+and 'state batch = {
+  batch_size : int;
+  screenable : bool array;
+  screen : 'state -> float;
 }
 
 and stage_info = {
@@ -61,6 +68,13 @@ let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
   let best_cost = ref !cur_cost in
   let accepted = ref 0 in
   let moves = ref 0 in
+  (* Schedule-recorded moves, tracked so a tournament never overshoots the
+     budget: [Lam.record] is called exactly once per [lam_record]. *)
+  let lam_moves = ref 0 in
+  let lam_record ~accepted =
+    Lam.record lam ~accepted;
+    incr lam_moves
+  in
   let stage = ref 0 in
   let froze = ref false in
   let aborted = ref false in
@@ -71,6 +85,11 @@ let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
      [stage_len <= 256] the extra poll never fires and behavior is exactly
      the per-stage poll of old. *)
   let abort_len = Int.min stage_len 256 in
+  (* Batched screening advances [moves] by a whole tournament per loop
+     iteration, so stage/abort boundaries are crossed as thresholds rather
+     than divisibility tests; in unbatched runs the two are identical. *)
+  let next_stage = ref stage_len in
+  let next_abort = ref abort_len in
   let poll_abort () =
     match problem.abort with
     | Some f
@@ -97,6 +116,94 @@ let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
       (Obs.Event.Move
          { cls; class_name = problem.classes.(cls); decision; delta_cost; cost; state })
   in
+  (* Accept-or-reject one already-proposed candidate through the exact
+     cost — the single-candidate path, and the confirm step of a batch. *)
+  let decide_exact k undo =
+    let c1 = problem.cost init in
+    let dc = c1 -. !cur_cost in
+    let t = Lam.temperature lam in
+    let take = dc <= 0.0 || Rng.float rng < Float.exp (-.dc /. t) in
+    if take then begin
+      cur_cost := c1;
+      incr accepted;
+      if c1 < !best_cost then begin
+        best_cost := c1;
+        best := problem.snapshot init
+      end
+    end
+    else undo ();
+    lam_record ~accepted:take;
+    Hustin.record hustin k ~accepted:take ~delta_cost:dc;
+    incr moves;
+    if trace_moves then begin
+      let decision = if take then Obs.Event.Accepted else Obs.Event.Rejected in
+      let state = if take then Option.map (fun v -> v init) view else None in
+      (* [t] is the temperature the Metropolis decision used. *)
+      emit_move ~temperature:t ~decision ~cls:k ~delta_cost:dc ~cost:!cur_cost ~state
+    end;
+    match problem.on_result with Some f -> f k ~accepted:take | None -> ()
+  in
+  let decide_inapplicable k =
+    Hustin.record hustin k ~accepted:false ~delta_cost:0.0;
+    incr moves;
+    if trace_moves then
+      emit_move ~temperature:(Lam.temperature lam) ~decision:Obs.Event.Inapplicable ~cls:k
+        ~delta_cost:0.0 ~cost:!cur_cost ~state:None
+  in
+  (* Batched candidate screening: draw up to [size] same-class candidates,
+     score each with the cheap approximate screen, and put only the best
+     one through the exact cost and a single Metropolis decision. Each
+     loser is a decided rejection — schedule, class statistics and move
+     counter advance exactly as if it had been proposed and turned down in
+     sequence. Determinism: the winner is re-proposed by replaying its
+     recorded rng draws from a snapshot, after which the generator is
+     restored to the post-tournament stream. *)
+  let tournament b k size =
+    let snaps = Array.make size rng in
+    let dcs = Array.make size 0.0 in
+    let n_gen = ref 0 in
+    let none_seen = ref false in
+    while !n_gen < size && not !none_seen do
+      let snap = Rng.copy rng in
+      match problem.propose init k rng with
+      | None -> none_seen := true
+      | Some undo ->
+          let c1 = b.screen init in
+          undo ();
+          snaps.(!n_gen) <- snap;
+          dcs.(!n_gen) <- c1 -. !cur_cost;
+          incr n_gen
+    done;
+    (* A [None] draw decides one inapplicable move, as unbatched. *)
+    if !none_seen then decide_inapplicable k;
+    if !n_gen > 0 then begin
+      let bi = ref 0 in
+      for i = 1 to !n_gen - 1 do
+        if dcs.(i) < dcs.(!bi) then bi := i
+      done;
+      for i = 0 to !n_gen - 1 do
+        if i <> !bi then begin
+          lam_record ~accepted:false;
+          Hustin.record hustin k ~accepted:false ~delta_cost:dcs.(i);
+          incr moves;
+          if trace_moves then
+            emit_move ~temperature:(Lam.temperature lam) ~decision:Obs.Event.Rejected ~cls:k
+              ~delta_cost:dcs.(i) ~cost:!cur_cost ~state:None
+        end
+      done;
+      let cont = Rng.copy rng in
+      Rng.assign rng snaps.(!bi);
+      match problem.propose init k rng with
+      | None ->
+          (* Unreachable for a deterministic [propose]: same state, same
+             draws. Restore the stream and drop the tournament's winner. *)
+          Rng.assign rng cont;
+          decide_inapplicable k
+      | Some undo ->
+          Rng.assign rng cont;
+          decide_exact k undo
+    end
+  in
   (* Poll the abort hook once before the first move: a run whose deadline
      already expired (or whose job was cancelled while queued) must not buy
      a whole stage of evaluations just to learn it should stop. *)
@@ -105,40 +212,18 @@ let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
     if Lam.finished lam || !froze || !aborted then ()
     else begin
       let k = Hustin.pick hustin rng in
-      (match problem.propose init k rng with
-      | None ->
-          Hustin.record hustin k ~accepted:false ~delta_cost:0.0;
-          incr moves;
-          if trace_moves then
-            emit_move ~temperature:(Lam.temperature lam) ~decision:Obs.Event.Inapplicable
-              ~cls:k ~delta_cost:0.0 ~cost:!cur_cost ~state:None
-      | Some undo ->
-          let c1 = problem.cost init in
-          let dc = c1 -. !cur_cost in
-          let t = Lam.temperature lam in
-          let take = dc <= 0.0 || Rng.float rng < Float.exp (-.dc /. t) in
-          if take then begin
-            cur_cost := c1;
-            incr accepted;
-            if c1 < !best_cost then begin
-              best_cost := c1;
-              best := problem.snapshot init
-            end
-          end
-          else undo ();
-          Lam.record lam ~accepted:take;
-          Hustin.record hustin k ~accepted:take ~delta_cost:dc;
-          incr moves;
-          if trace_moves then begin
-            let decision = if take then Obs.Event.Accepted else Obs.Event.Rejected in
-            let state = if take then Option.map (fun v -> v init) view else None in
-            (* [t] is the temperature the Metropolis decision used. *)
-            emit_move ~temperature:t ~decision ~cls:k ~delta_cost:dc ~cost:!cur_cost ~state
-          end;
-          (match problem.on_result with
-          | Some f -> f k ~accepted:take
-          | None -> ()));
-      if !moves mod stage_len = 0 then begin
+      (match problem.batch with
+      | Some b when b.batch_size > 1 && b.screenable.(k) && total_moves - !lam_moves > 1 ->
+          tournament b k (Int.min b.batch_size (total_moves - !lam_moves))
+      | Some _ | None -> begin
+          match problem.propose init k rng with
+          | None -> decide_inapplicable k
+          | Some undo -> decide_exact k undo
+        end);
+      if !moves >= !next_stage then begin
+        while !next_stage <= !moves do
+          next_stage := !next_stage + stage_len
+        done;
         incr stage;
         let info =
           {
@@ -172,7 +257,10 @@ let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
         | Some f when Lam.progress lam > 0.5 && f init -> froze := true
         | Some _ | None -> ()
       end
-      else if !moves mod abort_len = 0 then poll_abort ();
+      else if !moves >= !next_abort then poll_abort ();
+      while !next_abort <= !moves do
+        next_abort := !next_abort + abort_len
+      done;
       loop ()
     end
   in

@@ -32,6 +32,27 @@ type 'state problem = {
           to cut laggard runs and by the serve layer for
           deadlines/cancellation. An aborted run still reports its best
           state so far. *)
+  batch : 'state batch option;
+      (** batched candidate screening; [None] proposes and evaluates one
+          candidate per move, exactly as before *)
+}
+
+(** Batched screening: for a move class flagged in [screenable], the
+    driver draws up to [batch_size] candidates, ranks them with the cheap
+    approximate [screen], and only the most promising one is confirmed
+    through the exact [cost] and a Metropolis decision. The losers are
+    decided rejections — temperature schedule, class statistics and the
+    move counter advance as if each had been proposed and turned down in
+    sequence — so a batched run spends its move budget at the same rate
+    while paying the exact evaluation price roughly once per tournament.
+    [screen] sees the candidate applied to the problem state and may be
+    arbitrarily approximate: it only orders candidates, it never feeds an
+    accepted cost. Classes whose proposal already involves exact
+    evaluations (e.g. Newton-Raphson solves) should not be flagged. *)
+and 'state batch = {
+  batch_size : int;
+  screenable : bool array;
+  screen : 'state -> float;
 }
 
 and stage_info = {

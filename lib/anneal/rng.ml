@@ -30,6 +30,14 @@ let next t =
   t.s3 <- rotl t.s3 45;
   result
 
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let assign dst src =
+  dst.s0 <- src.s0;
+  dst.s1 <- src.s1;
+  dst.s2 <- src.s2;
+  dst.s3 <- src.s3
+
 let split t =
   let st = ref (next t) in
   let s0 = splitmix64 st in

@@ -10,6 +10,16 @@ val create : int -> t
 (** [split t] derives an independent generator (for parallel restarts). *)
 val split : t -> t
 
+(** [copy t] snapshots the generator; the copy and the original evolve
+    independently from the shared state. *)
+val copy : t -> t
+
+(** [assign dst src] rewinds [dst] to [src]'s state in place. Together
+    with [copy] this lets a caller replay a recorded draw sequence — the
+    annealer's batched tournament re-proposes its winning candidate from
+    the snapshot taken before that candidate was first drawn. *)
+val assign : t -> t -> unit
+
 (** [float t] is uniform in [0, 1). *)
 val float : t -> float
 

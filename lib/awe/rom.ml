@@ -41,9 +41,9 @@ let prune rom =
     q = List.length kept;
   }
 
-let build_with ?(qmax = 6) f ~b ~sel =
-  let count = (2 * qmax) + 2 in
-  let moments = Moments.compute_with f ~b ~sel ~count in
+let of_moments ?(qmax = 6) moments =
+  if Array.length moments < (2 * qmax) + 2 then
+    invalid_arg "Rom.of_moments: need 2*qmax+2 moments";
   if Array.for_all (fun m -> Float.abs m < 1e-300) moments then
     Error "rom: all moments are zero (no coupling from source to output)"
   else if not (Array.for_all Float.is_finite moments) then Error "rom: non-finite moments"
@@ -69,6 +69,11 @@ let build_with ?(qmax = 6) f ~b ~sel =
     in
     descend qmax
   end
+
+let build_with ?(qmax = 6) f ~b ~sel =
+  let count = (2 * qmax) + 2 in
+  let moments = Moments.compute_with f ~b ~sel ~count in
+  of_moments ~qmax moments
 
 let build ?qmax lin ~b ~sel = build_with ?qmax (Moments.factor lin) ~b ~sel
 

@@ -560,6 +560,11 @@ module Incr = struct
     spec_reuses : int;
     resyncs : int;
     resync_mismatches : int;
+    probes : int;
+    probe_rom_builds : int;
+    probe_fallbacks : int;
+    mom_reuses : int;
+    mom_refreshes : int;
     dirty_hist : int array;
     by_class : class_row list;
   }
@@ -631,6 +636,27 @@ module Incr = struct
     residuals : float array;
     res_scale : float array;
     mutable ops_list : (string * Mna.Dc.op_info) list;  (* element order *)
+    (* Probe-path retention: the stamped linear system, its factorization
+       and the per-tf moment vectors of the last exact build of each jig,
+       kept so candidate screening can restamp against the retained layout
+       and solve through a low-rank update instead of factoring fresh. *)
+    jig_lin : Mna.Linearize.t option array;
+    jig_fac : Awe.Moments.factored option array;
+    jig_mom : Awe.Moments.cache array array;  (* per jig, per tf *)
+    (* Probe scratch: candidate screening writes here, never into the
+       exact caches above, so an arbitrary number of probes can run
+       between two exact evaluations without perturbing them. *)
+    p_nv : float array;
+    p_cur : float array;
+    p_mag : float array;
+    p_residuals : float array;
+    p_res_scale : float array;
+    p_elem_dirty : bool array;
+    p_jig_dirty : bool array;
+    p_spec_stale : bool array;
+    p_ops : Mna.Dc.op_info option array;  (* probe op of dirty devices *)
+    pf_n : int array;  (* one element's probe flow nodes *)
+    pf_v : float array;  (* ... and currents *)
     mutable dirty_accum : int;  (* dirty vars since the last cost eval *)
     mutable since_resync : int;
     mutable cls : string;  (* move class currently charged, for stats *)
@@ -646,6 +672,11 @@ module Incr = struct
     mutable c_spec_reuses : int;
     mutable c_resyncs : int;
     mutable c_mismatches : int;
+    mutable c_probes : int;
+    mutable c_probe_rom_builds : int;
+    mutable c_probe_fallbacks : int;
+    mutable c_mom_reuses : int;
+    mutable c_mom_refreshes : int;
     hist : int array;
     by_class : (string, counters) Hashtbl.t;
   }
@@ -677,7 +708,12 @@ module Incr = struct
             fv = Array.make cap 0.0;
             flen = 0;
             op = None;
-            memo = Array.make (if kw > 0 then 4 else 0) None;
+            (* 16 slots: batched probing evaluates up to a handful of
+               candidate geometries per accepted move, and the confirm
+               path then re-asks for the winner — a 4-slot memo thrashes
+               under that access pattern where 16 keeps every candidate
+               of a batch plus the accepted neighborhood resident. *)
+            memo = Array.make (if kw > 0 then 16 else 0) None;
             memo_next = 0;
             kscratch = Array.make kw 0.0;
           })
@@ -740,6 +776,25 @@ module Incr = struct
       residuals = Array.make p.Problem.tl.Treelink.n_free 0.0;
       res_scale = Array.make p.Problem.tl.Treelink.n_free 0.0;
       ops_list = [];
+      jig_lin = Array.make n_jigs None;
+      jig_fac = Array.make n_jigs None;
+      jig_mom =
+        Array.of_list
+          (List.map
+             (fun (j : Problem.jig) ->
+               Array.init (List.length j.Problem.tfs) (fun _ -> Awe.Moments.cache_create ()))
+             p.Problem.jigs);
+      p_nv = Array.make n_nodes 0.0;
+      p_cur = Array.make n_nodes 0.0;
+      p_mag = Array.make n_nodes 0.0;
+      p_residuals = Array.make p.Problem.tl.Treelink.n_free 0.0;
+      p_res_scale = Array.make p.Problem.tl.Treelink.n_free 0.0;
+      p_elem_dirty = Array.make n_elems false;
+      p_jig_dirty = Array.make n_jigs false;
+      p_spec_stale = Array.make n_specs false;
+      p_ops = Array.make n_elems None;
+      pf_n = Array.make 5 0;
+      pf_v = Array.make 5 0.0;
       dirty_accum = 0;
       since_resync = 0;
       cls = "";
@@ -754,6 +809,11 @@ module Incr = struct
       c_spec_reuses = 0;
       c_resyncs = 0;
       c_mismatches = 0;
+      c_probes = 0;
+      c_probe_rom_builds = 0;
+      c_probe_fallbacks = 0;
+      c_mom_reuses = 0;
+      c_mom_refreshes = 0;
       hist = Array.make 9 0;
       by_class = Hashtbl.create 8;
     }
@@ -807,6 +867,14 @@ module Incr = struct
     ss.c_spec_reuses <- 0;
     ss.c_resyncs <- 0;
     ss.c_mismatches <- 0;
+    ss.c_probes <- 0;
+    ss.c_probe_rom_builds <- 0;
+    ss.c_probe_fallbacks <- 0;
+    ss.c_mom_reuses <- 0;
+    ss.c_mom_refreshes <- 0;
+    Array.fill ss.jig_lin 0 (Array.length ss.jig_lin) None;
+    Array.fill ss.jig_fac 0 (Array.length ss.jig_fac) None;
+    Array.iter (Array.iter Awe.Moments.cache_clear) ss.jig_mom;
     Array.fill ss.hist 0 (Array.length ss.hist) 0;
     Hashtbl.reset ss.by_class
 
@@ -1010,6 +1078,43 @@ module Incr = struct
       end
     end
 
+  (* Exact rebuild of one jig's ROM list: the same arithmetic and error
+     shape as [roms_for_jig] ([Rom.build_with] is [Moments.compute_with]
+     followed by [Rom.of_moments], and [compute_record] shares the
+     recurrence code with [compute_with] bit for bit) — but it retains
+     the stamped system, its factorization and the per-tf moment vectors
+     for the probe path. *)
+  let exact_count = (2 * 6) + 2 (* matches [Rom.build_with]'s default qmax *)
+
+  let rebuild_jig_exact ss j ~value ~ops (jig : Problem.jig) =
+    let caches = ss.jig_mom.(j) in
+    (* Recorded vectors belong to the system about to be replaced; a tf
+       that fails below must not leave them to be served by a probe. *)
+    Array.iter Awe.Moments.cache_clear caches;
+    match Mna.Linearize.build ~value ~ops jig.Problem.jig_circuit with
+    | exception Failure m ->
+        ss.jig_lin.(j) <- None;
+        ss.jig_fac.(j) <- None;
+        List.map (fun (tfname, _) -> (tfname, Error m)) jig.Problem.tfs
+    | lin ->
+        let fac = Awe.Moments.factor lin in
+        ss.jig_lin.(j) <- Some lin;
+        ss.jig_fac.(j) <- Some fac;
+        List.mapi
+          (fun ti (tfname, (tf : Problem.tf)) ->
+            let rom =
+              try
+                let b = Mna.Linearize.excitation_of lin ~src:tf.src in
+                let sel = Mna.Linearize.output_vector lin ~pos:tf.out_pos ~neg:tf.out_neg in
+                let m = Awe.Moments.compute_record fac caches.(ti) ~b ~sel ~count:exact_count in
+                Awe.Rom.of_moments m
+              with
+              | Failure m -> Error m
+              | La.Lu.Singular _ -> Error "singular AWE system"
+            in
+            (tfname, rom))
+          jig.Problem.tfs
+
   (* Bring the bias slice (node voltages, element flows and operating
      points, KCL residuals) up to date with [st], marking dependent jigs
      and specs stale along the way. *)
@@ -1150,7 +1255,7 @@ module Incr = struct
        List.iteri
          (fun j jig ->
            if not ss.jig_valid.(j) then begin
-             ss.jig_roms.(j) <- roms_for_jig ~value ~ops jig;
+             ss.jig_roms.(j) <- rebuild_jig_exact ss j ~value ~ops jig;
              ss.jig_vals.(j) <-
                Array.of_list
                  (List.map
@@ -1254,6 +1359,356 @@ module Incr = struct
 
   let cost_scalar ss w st = (cost ss w st).total
 
+  (* ---------------- candidate-move probe path ---------------- *)
+
+  (* Probe-side element evaluation: the same device arithmetic as
+     [recompute_elem], but reading the probe node voltages and writing
+     the flow into the [pf_n]/[pf_v] scratch so the exact per-element
+     caches stay untouched. The operating-point memo IS shared: a
+     memoized op is a pure function of the exact key bits, so probe
+     lookups and inserts cannot perturb the exact path — they only warm
+     the memo for the confirm evaluation of whichever candidate wins.
+     Returns the flow length; a device's probe op lands in [p_ops]. *)
+  let probe_elem_flows ss value i (e : Netlist.Circuit.element) =
+    let p = ss.sp in
+    let nv = ss.p_nv in
+    let ec = ss.elems.(i) in
+    match e with
+    | Netlist.Circuit.Resistor { n1; n2; value = ve; _ } ->
+        let iv = (nv.(n1) -. nv.(n2)) /. value ve in
+        ss.pf_n.(0) <- n1;
+        ss.pf_v.(0) <- iv;
+        ss.pf_n.(1) <- n2;
+        ss.pf_v.(1) <- -.iv;
+        2
+    | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Vsource _ -> 0
+    | Netlist.Circuit.Isource { np; nn; dc; _ } ->
+        let iv = value dc in
+        ss.pf_n.(0) <- np;
+        ss.pf_v.(0) <- iv;
+        ss.pf_n.(1) <- nn;
+        ss.pf_v.(1) <- -.iv;
+        2
+    | Netlist.Circuit.Vccs { np; nn; ncp; ncn; gm; _ } ->
+        let iv = value gm *. (nv.(ncp) -. nv.(ncn)) in
+        ss.pf_n.(0) <- np;
+        ss.pf_v.(0) <- iv;
+        ss.pf_n.(1) <- nn;
+        ss.pf_v.(1) <- -.iv;
+        2
+    | Netlist.Circuit.Mosfet { name; d; g; s; b; model; w; l; mult } -> begin
+        match Devices.Registry.find_exn p.Problem.registry model with
+        | Devices.Sig.Mos { eval; _ } ->
+            let key = ec.kscratch in
+            key.(0) <- value w;
+            key.(1) <- value l;
+            key.(2) <- value mult;
+            key.(3) <- nv.(d);
+            key.(4) <- nv.(g);
+            key.(5) <- nv.(s);
+            key.(6) <- nv.(b);
+            let op_info =
+              match memo_find ss ec key with
+              | Some op -> op
+              | None ->
+                  let op =
+                    eval ~w:key.(0) ~l:key.(1) ~m:key.(2) ~vd:key.(3) ~vg:key.(4) ~vs:key.(5)
+                      ~vb:key.(6)
+                  in
+                  let oi = Mna.Dc.Mos_op op in
+                  memo_add ec (Array.copy key) oi;
+                  oi
+            in
+            ss.p_ops.(i) <- Some op_info;
+            (match op_info with
+            | Mna.Dc.Mos_op op ->
+                let open Devices.Sig in
+                ss.pf_n.(0) <- d;
+                ss.pf_v.(0) <- op.id_;
+                ss.pf_n.(1) <- s;
+                ss.pf_v.(1) <- -.op.id_;
+                ss.pf_n.(2) <- b;
+                ss.pf_v.(2) <- op.ibd_ +. op.ibs_;
+                ss.pf_n.(3) <- d;
+                ss.pf_v.(3) <- -.op.ibd_;
+                ss.pf_n.(4) <- s;
+                ss.pf_v.(4) <- -.op.ibs_;
+                5
+            | Mna.Dc.Bjt_op _ -> assert false)
+        | Devices.Sig.Bjt _ -> failwith (name ^ ": MOS element with BJT model")
+      end
+    | Netlist.Circuit.Bjt { name; c; b; e = ne; model; area } -> begin
+        match Devices.Registry.find_exn p.Problem.registry model with
+        | Devices.Sig.Bjt { eval; _ } ->
+            let key = ec.kscratch in
+            key.(0) <- value area;
+            key.(1) <- nv.(c);
+            key.(2) <- nv.(b);
+            key.(3) <- nv.(ne);
+            let op_info =
+              match memo_find ss ec key with
+              | Some op -> op
+              | None ->
+                  let op = eval ~area:key.(0) ~vc:key.(1) ~vb:key.(2) ~ve:key.(3) in
+                  let oi = Mna.Dc.Bjt_op op in
+                  memo_add ec (Array.copy key) oi;
+                  oi
+            in
+            ss.p_ops.(i) <- Some op_info;
+            (match op_info with
+            | Mna.Dc.Bjt_op op ->
+                let open Devices.Sig in
+                ss.pf_n.(0) <- c;
+                ss.pf_v.(0) <- op.ic;
+                ss.pf_n.(1) <- b;
+                ss.pf_v.(1) <- op.ib;
+                ss.pf_n.(2) <- ne;
+                ss.pf_v.(2) <- -.(op.ic +. op.ib);
+                3
+            | Mna.Dc.Mos_op _ -> assert false)
+        | Devices.Sig.Mos _ -> failwith (name ^ ": BJT element with MOS model")
+      end
+    | Netlist.Circuit.Inductor { name; _ }
+    | Netlist.Circuit.Vcvs { name; _ }
+    | Netlist.Circuit.Cccs { name; _ }
+    | Netlist.Circuit.Ccvs { name; _ } ->
+        failwith (name ^ ": unsupported element in bias network")
+
+  (* Probe ROMs fit at a reduced order: half the moments of the exact
+     path is plenty to rank candidates, and the cost of the recurrence is
+     linear in the moment count. *)
+  let probe_qmax = 3
+  let probe_count = (2 * probe_qmax) + 2
+
+  (* Fresh probe-side fit when no retained factorization serves (the jig
+     never built exactly, or the low-rank guard refused the update). *)
+  let probe_jig_fresh (jig : Problem.jig) ~value ~ops =
+    match Mna.Linearize.build ~value ~ops jig.Problem.jig_circuit with
+    | exception Failure m -> List.map (fun (tfname, _) -> (tfname, Error m)) jig.Problem.tfs
+    | lin -> begin
+        match Awe.Moments.factor lin with
+        | exception La.Lu.Singular _ ->
+            List.map (fun (tfname, _) -> (tfname, Error "singular AWE system")) jig.Problem.tfs
+        | fac ->
+            List.map
+              (fun (tfname, (tf : Problem.tf)) ->
+                let rom =
+                  try
+                    let b = Mna.Linearize.excitation_of lin ~src:tf.src in
+                    let sel = Mna.Linearize.output_vector lin ~pos:tf.out_pos ~neg:tf.out_neg in
+                    Awe.Rom.build_with ~qmax:probe_qmax fac ~b ~sel
+                  with
+                  | Failure m -> Error m
+                  | La.Lu.Singular _ -> Error "singular AWE system"
+                in
+                (tfname, rom))
+              jig.Problem.tfs
+      end
+
+  (* Probe ROM list of one touched jig: restamp against the retained
+     layout, diff the matrices bitwise, and solve the moment recurrence
+     through the retained factorization plus a low-rank update — falling
+     back to a fresh (still reduced-order) factorization when the guard
+     refuses. *)
+  let probe_jig_roms ss j (jig : Problem.jig) ~value ~ops =
+    ss.c_probe_rom_builds <- ss.c_probe_rom_builds + 1;
+    match (ss.jig_lin.(j), ss.jig_fac.(j)) with
+    | Some lin_old, Some fac -> begin
+        match
+          Mna.Linearize.stamp_reuse ~idx:lin_old.Mna.Linearize.idx ~value ~ops
+            jig.Problem.jig_circuit
+        with
+        | exception Failure m -> List.map (fun (tfname, _) -> (tfname, Error m)) jig.Problem.tfs
+        | lin_new -> begin
+            match
+              Awe.Moments.prepare_update fac ~g_old:lin_old.Mna.Linearize.g
+                ~g_new:lin_new.Mna.Linearize.g ~c_old:lin_old.Mna.Linearize.c
+                ~c_new:lin_new.Mna.Linearize.c
+            with
+            | Ok u ->
+                let caches = ss.jig_mom.(j) in
+                List.mapi
+                  (fun ti (tfname, (tf : Problem.tf)) ->
+                    let rom =
+                      try
+                        let b = Mna.Linearize.excitation_of lin_new ~src:tf.src in
+                        let sel =
+                          Mna.Linearize.output_vector lin_new ~pos:tf.out_pos ~neg:tf.out_neg
+                        in
+                        let m, kind =
+                          Awe.Moments.compute_probe u caches.(ti) ~b ~sel ~count:probe_count
+                        in
+                        (match kind with
+                        | `Reused -> ss.c_mom_reuses <- ss.c_mom_reuses + 1
+                        | `Refreshed -> ss.c_mom_refreshes <- ss.c_mom_refreshes + 1
+                        | `Updated -> ());
+                        Awe.Rom.of_moments ~qmax:probe_qmax m
+                      with
+                      | Failure m -> Error m
+                      | La.Lu.Singular _ -> Error "singular AWE system"
+                    in
+                    (tfname, rom))
+                  jig.Problem.tfs
+            | Error _ ->
+                ss.c_probe_fallbacks <- ss.c_probe_fallbacks + 1;
+                probe_jig_fresh jig ~value ~ops
+          end
+      end
+    | _ ->
+        ss.c_probe_fallbacks <- ss.c_probe_fallbacks + 1;
+        probe_jig_fresh jig ~value ~ops
+
+  (* Screening cost of a candidate state: approximate by design (probe
+     ROMs are reduced-order and solved through low-rank updates), cheap by
+     construction (only the slice a candidate touches is recomputed, into
+     the p_* scratch arrays). Nothing the probe writes is read by the
+     exact path: the only shared mutable structures it touches are the
+     operating-point memo (pure function of key bits) and the probe
+     counters. The annealer uses this to rank candidates; the winner is
+     confirmed through [cost], which alone feeds accepted state. *)
+  let probe_cost ss (w : Weights.t) (st : State.t) =
+    if not ss.primed then (cost ss w st).total
+    else begin
+      ss.c_probes <- ss.c_probes + 1;
+      let p = ss.sp in
+      let n_vars = Array.length ss.last_values in
+      let n_nodes = Array.length ss.nv in
+      let n_elems = Array.length ss.elems in
+      ss.cur_st := st;
+      let env = ss.venv in
+      let value e = Netlist.Expr.eval env e in
+      Array.fill ss.p_elem_dirty 0 n_elems false;
+      Array.fill ss.p_jig_dirty 0 (Array.length ss.p_jig_dirty) false;
+      Array.fill ss.p_spec_stale 0 (Array.length ss.p_spec_stale) false;
+      Array.fill ss.p_ops 0 n_elems None;
+      Array.blit ss.nv 0 ss.p_nv 0 n_nodes;
+      (* candidate-dirty variables, and the nodes/elements/jigs/specs they
+         reach — the same depgraph walk as [sync], on probe scratch *)
+      let ndirty = ref 0 in
+      for v = 0 to n_vars - 1 do
+        if not (feq_bits ss.last_values.(v) st.State.values.(v)) then begin
+          ss.dirty_buf.(!ndirty) <- v;
+          incr ndirty
+        end
+      done;
+      let ntouched = ref 0 in
+      for di = 0 to !ndirty - 1 do
+        let v = ss.dirty_buf.(di) in
+        List.iter
+          (fun node ->
+            if not ss.node_seen.(node) then begin
+              ss.node_seen.(node) <- true;
+              ss.touched_buf.(!ntouched) <- node;
+              incr ntouched;
+              let fresh = node_voltage_of p st env node in
+              if not (feq_bits fresh ss.p_nv.(node)) then begin
+                ss.p_nv.(node) <- fresh;
+                List.iter (fun e -> ss.p_elem_dirty.(e) <- true) ss.dg.Problem.dg_node_elems.(node)
+              end
+            end)
+          ss.dg.Problem.dg_var_nodes.(v);
+        List.iter (fun e -> ss.p_elem_dirty.(e) <- true) ss.dg.Problem.dg_var_elems.(v);
+        List.iter (fun j -> ss.p_jig_dirty.(j) <- true) ss.dg.Problem.dg_var_jigs.(v);
+        List.iter (fun s -> ss.p_spec_stale.(s) <- true) ss.var_specs.(v)
+      done;
+      for k = 0 to !ntouched - 1 do
+        ss.node_seen.(ss.touched_buf.(k)) <- false
+      done;
+      (* Flows: start from the accepted accumulators and retract/re-add
+         only the dirty elements. The fold order differs from the exact
+         path's from-zero re-fold — screening tolerates the last-bit
+         difference, confirmation does not go through here. *)
+      Array.blit ss.cur 0 ss.p_cur 0 n_nodes;
+      Array.blit ss.mag 0 ss.p_mag 0 n_nodes;
+      let ops_changed = ref false in
+      Array.iteri
+        (fun i e ->
+          if ss.p_elem_dirty.(i) then begin
+            let ec = ss.elems.(i) in
+            for k = 0 to ec.flen - 1 do
+              let node = ec.fn.(k) and iv = ec.fv.(k) in
+              ss.p_cur.(node) <- ss.p_cur.(node) -. iv;
+              ss.p_mag.(node) <- ss.p_mag.(node) -. Float.abs iv
+            done;
+            let plen = probe_elem_flows ss value i e in
+            for k = 0 to plen - 1 do
+              let node = ss.pf_n.(k) and iv = ss.pf_v.(k) in
+              ss.p_cur.(node) <- ss.p_cur.(node) +. iv;
+              ss.p_mag.(node) <- ss.p_mag.(node) +. Float.abs iv
+            done;
+            (match ss.p_ops.(i) with
+            | Some oi -> (
+                match ec.op with Some o when o == oi -> () | Some _ | None -> ops_changed := true)
+            | None -> ());
+            List.iter (fun j -> ss.p_jig_dirty.(j) <- true) ss.dg.Problem.dg_elem_jigs.(i);
+            List.iter (fun s -> ss.p_spec_stale.(s) <- true) ss.elem_specs.(i)
+          end)
+        p.Problem.bias.Netlist.Circuit.elements;
+      group_residuals_into p ss.p_cur ss.p_mag ss.p_residuals ss.p_res_scale;
+      (* ops list: shared with the accepted state unless some operating
+         point actually moved *)
+      let ops_list =
+        if not !ops_changed then ss.ops_list
+        else begin
+          let ops = ref [] in
+          for i = n_elems - 1 downto 0 do
+            let ec = ss.elems.(i) in
+            match ss.p_ops.(i) with
+            | Some op -> ops := (ec.ec_name, op) :: !ops
+            | None -> (
+                match ec.op with Some op -> ops := (ec.ec_name, op) :: !ops | None -> ())
+          done;
+          !ops
+        end
+      in
+      (* jig ROMs: cached exact list when untouched, probe fit otherwise *)
+      let ops name = List.assoc_opt name ops_list in
+      let roms =
+        List.concat
+          (List.mapi
+             (fun j jig ->
+               if ss.p_jig_dirty.(j) || not ss.jig_valid.(j) then probe_jig_roms ss j jig ~value ~ops
+               else ss.jig_roms.(j))
+             p.Problem.jigs)
+      in
+      Array.iteri
+        (fun j dirty ->
+          if dirty || not ss.jig_valid.(j) then
+            List.iter (fun s -> ss.p_spec_stale.(s) <- true) ss.jig_specs.(j))
+        ss.p_jig_dirty;
+      (* specs: the persistent environment, repointed at the probe arrays;
+         [measure_with] repoints every field again before any exact use *)
+      let cx = ss.spec_cx in
+      cx.cx_st <- st;
+      cx.cx_nv <- ss.p_nv;
+      cx.cx_ops <- ops_list;
+      cx.cx_node_leaving <- ss.p_cur;
+      cx.cx_roms <- roms;
+      let senv = ss.spec_envv in
+      let spec_values =
+        List.mapi
+          (fun i (s : Problem.spec) ->
+            let sd = ss.dg.Problem.dg_spec_deps.(i) in
+            let v =
+              if sd.Problem.sd_always || ss.p_spec_stale.(i) || not ss.spec_valid.(i) then
+                measure_spec senv s
+              else ss.spec_cache.(i)
+            in
+            (s.Problem.spec_name, v))
+          p.Problem.specs
+      in
+      let bp =
+        {
+          node_v = ss.p_nv;
+          ops = ops_list;
+          residuals = ss.p_residuals;
+          res_scale = ss.p_res_scale;
+          node_leaving = ss.p_cur;
+        }
+      in
+      (breakdown_of p w st { bias = bp; roms; spec_values }).total
+    end
+
   let stats ss =
     let by_class =
       Hashtbl.fold
@@ -1283,6 +1738,11 @@ module Incr = struct
       spec_reuses = ss.c_spec_reuses;
       resyncs = ss.c_resyncs;
       resync_mismatches = ss.c_mismatches;
+      probes = ss.c_probes;
+      probe_rom_builds = ss.c_probe_rom_builds;
+      probe_fallbacks = ss.c_probe_fallbacks;
+      mom_reuses = ss.c_mom_reuses;
+      mom_refreshes = ss.c_mom_refreshes;
       dirty_hist = Array.copy ss.hist;
       by_class;
     }

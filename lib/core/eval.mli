@@ -122,6 +122,13 @@ module Incr : sig
     spec_reuses : int;
     resyncs : int;  (** periodic full-recompute verifications *)
     resync_mismatches : int;  (** resyncs that caught a divergence (bug) *)
+    probes : int;  (** candidate screenings served by [probe_cost] *)
+    probe_rom_builds : int;  (** touched jigs refit on the probe path *)
+    probe_fallbacks : int;
+        (** probe refits that factored fresh: no retained system, or the
+            low-rank guard refused the update *)
+    mom_reuses : int;  (** probe tfs served entirely from recorded vectors *)
+    mom_refreshes : int;  (** probe tfs that re-solved only the C-moved tail *)
     dirty_hist : int array;
         (** histogram of dirty-variable counts per incremental eval;
             last bucket accumulates everything >= its index *)
@@ -152,6 +159,19 @@ module Incr : sig
   val cost : session -> Weights.t -> State.t -> breakdown
 
   val cost_scalar : session -> Weights.t -> State.t -> float
+
+  (** [probe_cost ss w st] screens a candidate state: an approximate
+      total cost computed against the session's retained caches — jig
+      systems restamped on the retained layout and solved through
+      low-rank (Sherman-Morrison-Woodbury) updates of the retained
+      factorization at reduced moment order, recorded moment vectors
+      served where the system is bitwise untouched, element flows and
+      specs recomputed only where the candidate reaches through the
+      depgraph. Probing never writes the exact caches: any number of
+      probes may run between two exact evaluations without changing
+      what [cost] returns. Accepted states must be confirmed through
+      {!cost}, which is what the annealer's batched screening does. *)
+  val probe_cost : session -> Weights.t -> State.t -> float
 
   (** Bit-identical to [Eval.residuals_quick p st], but served from the
       cached bias slice — the Newton-Raphson inner loop. *)

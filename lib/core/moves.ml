@@ -14,6 +14,12 @@ type t = {
 
 let classes = [| "user-disc"; "user-cont"; "node-v"; "nr-partial"; "nr-full"; "multi" |]
 
+(* Classes eligible for batched candidate screening: the cheap state
+   perturbations. The Newton-Raphson classes pay for exact residual and
+   Jacobian solves while PROPOSING, so screening them would spend the
+   expensive part k times to save one evaluation. *)
+let screenable = [| true; true; true; false; false; true |]
+
 let make ?session (p : Problem.t) =
   let st = p.Problem.state0 in
   let n = State.n_vars st in

@@ -17,6 +17,12 @@ type t
 
 val classes : string array
 
+(** Per class, whether batched candidate screening applies ({!Oblx}'s
+    probe batches). The Newton-Raphson classes propose through exact
+    residual/Jacobian solves and are excluded — screening them would
+    re-run the expensive part per candidate to save one evaluation. *)
+val screenable : bool array
+
 (** [make ?session p] — with [session], the Newton-Raphson move classes
     read KCL residuals and device operating points out of the shared
     incremental-evaluation caches ({!Eval.Incr}) instead of re-sweeping

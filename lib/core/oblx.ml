@@ -37,8 +37,15 @@ let kcl_stats (bp : Eval.bias_point) =
     bp.Eval.residuals;
   (!rel, !abs_)
 
-let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true) ?session ?control
-    ?(obs = Obs.Trace.none) (p : Problem.t) =
+(* Default tournament size for batched candidate screening: large enough
+   that the exact-confirmation cost amortizes over several screened
+   candidates, small enough that the screen's ranking still tracks the
+   exact landscape within a tournament. *)
+let default_probe_batch = 8
+
+let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true)
+    ?(probe_batch = default_probe_batch) ?session ?control ?(obs = Obs.Trace.none)
+    (p : Problem.t) =
   let n_vars = State.n_vars p.Problem.state0 in
   let total_moves =
     match moves with Some m -> m | None -> Int.min 150_000 (Int.max 8_000 (2000 * n_vars))
@@ -120,6 +127,11 @@ let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true) ?session ?control
                spec_reuses = es.Eval.Incr.spec_reuses;
                resyncs = es.Eval.Incr.resyncs;
                resync_mismatches = es.Eval.Incr.resync_mismatches;
+               probes = es.Eval.Incr.probes;
+               probe_rom_builds = es.Eval.Incr.probe_rom_builds;
+               probe_fallbacks = es.Eval.Incr.probe_fallbacks;
+               mom_reuses = es.Eval.Incr.mom_reuses;
+               mom_refreshes = es.Eval.Incr.mom_refreshes;
                per_class =
                  List.map
                    (fun (c : Eval.Incr.class_row) ->
@@ -184,6 +196,25 @@ let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true) ?session ?control
       on_stage = Some on_stage;
       on_result = Some (fun k ~accepted -> Moves.record_result ctx k ~accepted);
       abort;
+      (* Batched screening needs the retained caches of the incremental
+         session — without one there is no cheap probe, so the full
+         evaluator keeps its one-candidate-per-move behavior. Screens are
+         not counted in [evals]/[eval_clock]: those meter exact
+         evaluations, and the probe/refresh counters in [Eval.Incr.stats]
+         meter the screening work. *)
+      batch =
+        (match session with
+        | Some ss when probe_batch > 1 ->
+            Some
+              {
+                Anneal.Annealer.batch_size = probe_batch;
+                screenable = Moves.screenable;
+                screen =
+                  (fun st ->
+                    let c = Eval.Incr.probe_cost ss weights st in
+                    if Float.is_finite c then c else 1e12);
+              }
+        | Some _ | None -> None);
     }
   in
   let t_start = Unix.gettimeofday () in
@@ -288,8 +319,9 @@ let arena_minor_heap_words = 1 lsl 22
    always allowed to finish, so early stopping rarely changes the winner. *)
 let early_stop_slack best = Float.max 1.0 (0.25 *. Float.abs best)
 
-let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true) ?cutoff
-    ?(obs = Obs.Trace.none) ?perf ~runs (p : Problem.t) =
+let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true)
+    ?(probe_batch = default_probe_batch) ?cutoff ?(obs = Obs.Trace.none) ?perf ~runs
+    (p : Problem.t) =
   if runs < 1 then invalid_arg "Oblx.best_of: runs must be >= 1";
   let jobs = Int.min runs (match jobs with Some j -> Int.max 1 j | None -> default_jobs ()) in
   (* Restart k always anneals with the k-th split of the root generator, so
@@ -370,7 +402,10 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true)
           | Some sh -> Obs.Trace.with_sinks t [ Obs.Shard.for_restart sh k ]
           | None -> t
         in
-        let r = synthesize ~rng:streams.(k) ?moves ~incremental ?session ?control ~obs:obs_k p in
+        let r =
+          synthesize ~rng:streams.(k) ?moves ~incremental ~probe_batch ?session ?control
+            ~obs:obs_k p
+        in
         publish r.best_cost;
         results.(k) <- Some r;
         take ()
@@ -427,7 +462,8 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true)
 let deadline_reason = "deadline"
 
 let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?(incremental = true)
-    ?deadline_s ?poll ?(obs = Obs.Trace.none) ?perf (p : Problem.t) =
+    ?(probe_batch = default_probe_batch) ?deadline_s ?poll ?(obs = Obs.Trace.none) ?perf
+    (p : Problem.t) =
   (* The deadline clock starts here — queue wait is the caller's budget to
      spend before calling — and is polled through the annealer's abort
      hook, so an already-expired deadline stops a run before its first
@@ -444,7 +480,7 @@ let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?(increme
       end
   in
   let cutoff = if poll = None && deadline_s = None then None else Some cutoff in
-  best_of ~seed ?moves ?jobs ~early_stop ~incremental ?cutoff ~obs ?perf ~runs p
+  best_of ~seed ?moves ?jobs ~early_stop ~incremental ~probe_batch ?cutoff ~obs ?perf ~runs p
 
 (* ------------------------------------------------------------------ *)
 (* Trace replay                                                        *)

@@ -54,6 +54,16 @@ type control = {
     with a fresh session. This is how {!best_of} keeps one arena per
     domain across all the restarts that domain claims.
 
+    [probe_batch] (default {!default_probe_batch}) enables batched
+    candidate screening when the incremental evaluator is on: for each
+    screenable move class the annealer proposes up to [probe_batch]
+    candidates, orders them with {!Eval.Incr.probe_cost} (a low-rank
+    approximate screen that never writes the exact caches), then replays
+    and confirms only the winner through the exact path — so every
+    accepted state's cost is still bit-identical to {!Eval.cost}.
+    [probe_batch <= 1], or [incremental:false], disables screening and
+    reproduces the classic one-candidate trajectory.
+
     [obs] (default {!Obs.Trace.none}) receives the structured telemetry of
     docs/OBSERVABILITY.md: a [Restart] event, the annealer's [Move]/[Stage]
     stream (accepted moves carry the design point, making the trace
@@ -66,11 +76,17 @@ val synthesize :
   ?rng:Anneal.Rng.t ->
   ?moves:int ->
   ?incremental:bool ->
+  ?probe_batch:int ->
   ?session:Eval.Incr.session ->
   ?control:control ->
   ?obs:Obs.Trace.t ->
   Problem.t ->
   result
+
+(** Candidates screened per retained factorization when batched probing is
+    on — the [probe_batch] default of {!synthesize}, {!best_of} and
+    {!run_job}. *)
+val default_probe_batch : int
 
 (** Default worker count for {!best_of}:
     [Domain.recommended_domain_count () - 1], at least 1 — keep one core
@@ -153,6 +169,7 @@ val best_of :
   ?jobs:int ->
   ?early_stop:bool ->
   ?incremental:bool ->
+  ?probe_batch:int ->
   ?cutoff:(unit -> string option) ->
   ?obs:Obs.Trace.t ->
   ?perf:(parallel_report -> unit) ->
@@ -180,6 +197,7 @@ val run_job :
   ?jobs:int ->
   ?early_stop:bool ->
   ?incremental:bool ->
+  ?probe_batch:int ->
   ?deadline_s:float ->
   ?poll:(unit -> string option) ->
   ?obs:Obs.Trace.t ->

@@ -65,7 +65,7 @@ let solve t b =
   solve_in_place t x;
   x
 
-let solve_transposed t b =
+let solve_transposed_in_place t b =
   let n = dim t in
   if Array.length b <> n then invalid_arg "Lu.solve_transposed: dim mismatch";
   (* A^T = U^T L^T P, so solve U^T z = b, L^T w = z, then x = P^T w. *)
@@ -81,10 +81,13 @@ let solve_transposed t b =
       z.(i) <- z.(i) -. (Mat.get t.lu j i *. z.(j))
     done
   done;
-  let x = Array.make n 0.0 in
   for i = 0 to n - 1 do
-    x.(t.piv.(i)) <- z.(i)
-  done;
+    b.(t.piv.(i)) <- z.(i)
+  done
+
+let solve_transposed t b =
+  let x = Array.copy b in
+  solve_transposed_in_place t x;
   x
 
 let det t =
@@ -103,5 +106,8 @@ let rcond_estimate t a =
     let x = solve t e in
     let nx = Vec.norm_inf x in
     let na = Mat.norm_inf a in
-    if nx = 0.0 || na = 0.0 then 1.0 else 1.0 /. (na *. nx)
+    (* A vanishing solve norm or matrix norm is a singular-direction hit,
+       not a well-conditioned system: report 0.0, the worst conditioning,
+       so callers treat it as trouble. *)
+    if nx = 0.0 || na = 0.0 then 0.0 else 1.0 /. (na *. nx)
   end

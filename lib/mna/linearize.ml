@@ -2,8 +2,7 @@ type t = { idx : Sysmat.t; g : La.Mat.t; c : La.Mat.t; b : La.Vec.t }
 
 (* Stamp every element of [circuit]; when [only_src] is given, AC
    excitations are taken from that source alone with unit magnitude. *)
-let stamp ~value ~ops ?only_src circuit =
-  let idx = Sysmat.of_circuit circuit in
+let stamp_into idx ~value ~ops ?only_src circuit =
   let n = idx.Sysmat.size in
   let g = La.Mat.create n n in
   let c = La.Mat.create n n in
@@ -107,6 +106,16 @@ let stamp ~value ~ops ?only_src circuit =
   in
   Array.iter handle circuit.Netlist.Circuit.elements;
   { idx; g; c; b }
+
+let stamp ~value ~ops ?only_src circuit =
+  stamp_into (Sysmat.of_circuit circuit) ~value ~ops ?only_src circuit
+
+(* [Sysmat.of_circuit] depends only on element kinds, names and node
+   connectivity — never on values or operating points — so the layout of a
+   jig circuit is reusable across every annealing move: the incremental
+   probe path restamps thousands of times per layout. *)
+let stamp_reuse ~idx ~value ~ops ?only_src circuit =
+  stamp_into idx ~value ~ops ?only_src circuit
 
 let build ~value ~ops circuit = stamp ~value ~ops circuit
 

@@ -42,6 +42,11 @@ type evals_data = {
   spec_reuses : int;
   resyncs : int;
   resync_mismatches : int;
+  probes : int;
+  probe_rom_builds : int;
+  probe_fallbacks : int;
+  mom_reuses : int;
+  mom_refreshes : int;
   per_class : eval_class list;
 }
 
@@ -168,6 +173,11 @@ let to_json t =
           ("spec_reuses", Json.Num (float_of_int e.spec_reuses));
           ("resyncs", Json.Num (float_of_int e.resyncs));
           ("mismatches", Json.Num (float_of_int e.resync_mismatches));
+          ("probes", Json.Num (float_of_int e.probes));
+          ("probe_rom_builds", Json.Num (float_of_int e.probe_rom_builds));
+          ("probe_fallbacks", Json.Num (float_of_int e.probe_fallbacks));
+          ("mom_reuses", Json.Num (float_of_int e.mom_reuses));
+          ("mom_refreshes", Json.Num (float_of_int e.mom_refreshes));
           ( "classes",
             Json.Arr
               (List.map
@@ -204,6 +214,8 @@ let to_json t =
        ("accept", Json.Num t.acceptance);
      ]
     @ body_fields)
+
+let int_or0 key j = match Json.mem_opt key j with Some v -> Json.to_int v | None -> 0
 
 let of_json j =
   try
@@ -289,6 +301,13 @@ let of_json j =
               spec_reuses = Json.to_int (Json.mem "spec_reuses" j);
               resyncs = Json.to_int (Json.mem "resyncs" j);
               resync_mismatches = Json.to_int (Json.mem "mismatches" j);
+              (* Probe counters postdate the format: absent means a trace
+                 recorded before batched screening existed, i.e. zero. *)
+              probes = int_or0 "probes" j;
+              probe_rom_builds = int_or0 "probe_rom_builds" j;
+              probe_fallbacks = int_or0 "probe_fallbacks" j;
+              mom_reuses = int_or0 "mom_reuses" j;
+              mom_refreshes = int_or0 "mom_refreshes" j;
               per_class = List.map cls (Json.to_list (Json.mem "classes" j));
             }
       | "done" ->

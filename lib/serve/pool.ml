@@ -725,6 +725,14 @@ let stats_json t =
                   ("resyncs", num_i (sum (fun e -> e.Obs.Event.resyncs)));
                   ( "resync_mismatches",
                     num_i (sum (fun e -> e.Obs.Event.resync_mismatches)) );
+                  ("probes", num_i (sum (fun e -> e.Obs.Event.probes)));
+                  ( "probe_rom_builds",
+                    num_i (sum (fun e -> e.Obs.Event.probe_rom_builds)) );
+                  ( "probe_fallbacks",
+                    num_i (sum (fun e -> e.Obs.Event.probe_fallbacks)) );
+                  ("mom_reuses", num_i (sum (fun e -> e.Obs.Event.mom_reuses)));
+                  ( "mom_refreshes",
+                    num_i (sum (fun e -> e.Obs.Event.mom_refreshes)) );
                 ] );
           ( "workers_detail",
             Json.Arr

@@ -251,6 +251,7 @@ let vector_problem ~cost ~dim ~span =
     on_stage = None;
     on_result = None;
     abort = None;
+    batch = None;
   }
 
 let test_annealer_sphere () =

@@ -89,6 +89,58 @@ let random_walk ?(moves = 1000) ?(resync_every = 128) name =
 let walk_case name =
   Alcotest.test_case ("walk " ^ name) `Slow (fun () -> random_walk name)
 
+(* Batched screening must probe without perturbing: a fuzz walk that
+   screens k candidate perturbations per step with [probe_cost] (the
+   approximate low-rank path) and then confirms the chosen one exactly
+   must leave [Incr.cost] bit-identical to the full evaluator at every
+   confirmation — probing never writes the exact caches. *)
+let probe_walk ?(moves = 400) name =
+  let p = compile name in
+  let st = Core.State.snapshot p.Core.Problem.state0 in
+  let rng = Anneal.Rng.create 1234 in
+  let w = Core.Weights.create () in
+  let ss = Core.Eval.Incr.create p in
+  let n = Core.State.n_vars st in
+  (* prime the session: probing needs retained factorizations *)
+  ignore (Core.Eval.Incr.cost ss w st);
+  for _step = 1 to moves do
+    let base = Core.State.snapshot st in
+    let k = 1 + Anneal.Rng.int rng 4 in
+    let best = ref None in
+    for _ = 1 to k do
+      Core.State.restore ~from:base st;
+      for _ = 0 to Anneal.Rng.int rng 2 do
+        let v = Anneal.Rng.int rng n in
+        let cur = st.Core.State.values.(v) in
+        st.Core.State.values.(v) <-
+          Core.State.clamp st v
+            (cur +. ((Anneal.Rng.float rng -. 0.5) *. (Float.abs cur +. 0.1)))
+      done;
+      let c = Core.Eval.Incr.probe_cost ss w st in
+      match !best with
+      | Some (bc, _) when bc <= c -> ()
+      | _ -> best := Some (c, Core.State.snapshot st)
+    done;
+    (* confirm the tournament winner — or reject the whole batch — through
+       the exact path, and it must still match the full evaluator bitwise *)
+    (match !best with
+    | Some (_, winner) when Anneal.Rng.int rng 4 > 0 -> Core.State.restore ~from:winner st
+    | _ -> Core.State.restore ~from:base st);
+    let incr = Core.Eval.Incr.cost ss w st in
+    let full = Core.Eval.cost p w st in
+    check_breakdown name full incr
+  done;
+  let s = Core.Eval.Incr.stats ss in
+  Alcotest.(check int) (name ^ ": no resync mismatches") 0 s.Core.Eval.Incr.resync_mismatches;
+  Alcotest.(check bool) (name ^ ": probes ran") true (s.Core.Eval.Incr.probes > 0);
+  Alcotest.(check bool)
+    (name ^ ": probe path refit jigs")
+    true
+    (s.Core.Eval.Incr.probe_rom_builds > 0)
+
+let probe_walk_case name =
+  Alcotest.test_case ("probe walk " ^ name) `Slow (fun () -> probe_walk name)
+
 (* The measured view itself (ops, roms, spec values) must round-trip. *)
 let test_measure_identical () =
   let p = compile "simple-ota" in
@@ -132,12 +184,47 @@ let test_invalidate_recovers () =
   let s = Core.Eval.Incr.stats ss in
   Alcotest.(check int) "both were full evals" 2 s.Core.Eval.Incr.full_evals
 
+(* Same recovery story for the probe-side retention (factorizations and
+   recorded moment vectors): poisoning the session must not leave stale
+   moment caches behind — the next exact eval rebuilds them, and probing
+   keeps screening against fresh retained state. *)
+let test_probe_invalidate_recovers () =
+  let p = compile "simple-ota" in
+  let st = Core.State.snapshot p.Core.Problem.state0 in
+  let w = Core.Weights.create () in
+  let ss = Core.Eval.Incr.create p in
+  let full = Core.Eval.cost p w st in
+  ignore (Core.Eval.Incr.cost ss w st);
+  let v0 = st.Core.State.values.(0) in
+  let perturb () = st.Core.State.values.(0) <- Core.State.clamp st 0 (v0 *. 1.01) in
+  perturb ();
+  let pc1 = Core.Eval.Incr.probe_cost ss w st in
+  st.Core.State.values.(0) <- v0;
+  Core.Eval.Incr.invalidate ss;
+  (* recovery: full re-eval repopulates every cache, bit-identically *)
+  let b = Core.Eval.Incr.cost ss w st in
+  check_breakdown "simple-ota" full b;
+  (* and the rebuilt moment caches serve the same screen again *)
+  perturb ();
+  let pc2 = Core.Eval.Incr.probe_cost ss w st in
+  check_bits "simple-ota" "probe cost across invalidate" pc1 pc2;
+  st.Core.State.values.(0) <- v0;
+  let c = Core.Eval.Incr.cost ss w st in
+  check_breakdown "simple-ota" full c;
+  let s = Core.Eval.Incr.stats ss in
+  Alcotest.(check int) "probes" 2 s.Core.Eval.Incr.probes
+
 (* The whole point: an annealing run with the incremental evaluator must
    produce the same trajectory as one without — same accepted count, same
-   winner, bit-identical best cost and final design point. *)
+   winner, bit-identical best cost and final design point. Batched probing
+   deliberately changes the trajectory (k candidates per decision instead
+   of one), so the unbatched incremental run ([probe_batch:1]) is the one
+   that must match the full evaluator move for move. *)
 let test_synthesize_equivalent name =
   let p = compile name in
-  let run incremental = Core.Oblx.synthesize ~seed:3 ~moves:800 ~incremental p in
+  let run incremental =
+    Core.Oblx.synthesize ~seed:3 ~moves:800 ~incremental ~probe_batch:1 p
+  in
   let a = run false in
   let b = run true in
   Alcotest.(check int) "moves" a.Core.Oblx.moves b.Core.Oblx.moves;
@@ -159,6 +246,30 @@ let test_synthesize_equivalent name =
       Alcotest.(check int) "no resync mismatches" 0 s.Core.Eval.Incr.resync_mismatches;
       Alcotest.(check bool) "incremental evals dominate" true (s.Core.Eval.Incr.incr_evals > 0)
 
+(* With batched probing ON (the default), the screen orders candidates
+   approximately — but every ACCEPTED state must still carry the exact
+   cost. Record a probed run at move granularity and replay every accepted
+   state against the full evaluator with zero tolerance. *)
+let test_batched_accepted_exact name =
+  let p = compile name in
+  let ring = Obs.Sink.Ring.create ~capacity:200_000 in
+  let trace = Obs.Trace.make ~level:Obs.Event.Moves [ Obs.Sink.Ring.sink ring ] in
+  let r = Core.Oblx.synthesize ~seed:5 ~moves:800 ~obs:trace p in
+  Obs.Trace.close trace;
+  (match r.Core.Oblx.eval_stats with
+  | None -> Alcotest.fail "probed run reports no eval stats"
+  | Some s ->
+      Alcotest.(check bool) (name ^ ": probes ran") true (s.Core.Eval.Incr.probes > 0);
+      Alcotest.(check int) (name ^ ": no resync mismatches") 0 s.Core.Eval.Incr.resync_mismatches);
+  match Core.Oblx.replay ~tol:0.0 p (Obs.Sink.Ring.contents ring) with
+  | Ok stats ->
+      Alcotest.(check bool)
+        (name ^ ": accepted states replayed")
+        true
+        (stats.Obs.Replay.rs_checked > 0)
+  | Error (ms, _) ->
+      Alcotest.failf "%s: %d accepted states do not re-evaluate exactly" name (List.length ms)
+
 let () =
   let walks =
     List.filter_map
@@ -166,13 +277,21 @@ let () =
         if e.Suite.Ckts.synthesized then Some (walk_case e.Suite.Ckts.name) else None)
       Suite.Ckts.all
   in
+  let probe_walks =
+    List.filter_map
+      (fun (e : Suite.Ckts.entry) ->
+        if e.Suite.Ckts.synthesized then Some (probe_walk_case e.Suite.Ckts.name) else None)
+      Suite.Ckts.all
+  in
   Alcotest.run "incr"
     [
       ("bit-identity walks", walks);
+      ("probe-then-confirm walks", probe_walks);
       ( "measured view",
         [
           Alcotest.test_case "measure identical" `Quick test_measure_identical;
           Alcotest.test_case "invalidate recovers" `Quick test_invalidate_recovers;
+          Alcotest.test_case "probe invalidate recovers" `Quick test_probe_invalidate_recovers;
         ] );
       ( "synthesis equivalence",
         [
@@ -180,5 +299,9 @@ let () =
               test_synthesize_equivalent "simple-ota");
           Alcotest.test_case "two-stage" `Slow (fun () ->
               test_synthesize_equivalent "two-stage");
+          Alcotest.test_case "batched accepted exact simple-ota" `Slow (fun () ->
+              test_batched_accepted_exact "simple-ota");
+          Alcotest.test_case "batched accepted exact two-stage" `Slow (fun () ->
+              test_batched_accepted_exact "two-stage");
         ] );
     ]

@@ -57,6 +57,11 @@ let sample_events =
            spec_reuses = 360;
            resyncs = 1;
            resync_mismatches = 0;
+           probes = 24;
+           probe_rom_builds = 6;
+           probe_fallbacks = 1;
+           mom_reuses = 40;
+           mom_refreshes = 8;
            per_class =
              [
                {
@@ -460,6 +465,7 @@ let vector_problem ~cost ~dim ~span =
     on_stage = None;
     on_result = None;
     abort = None;
+    batch = None;
   }
 
 let test_annealer_trace_stream () =
