@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-perf-check bench-perf-incremental bench-serve bench-serve-concurrent trace-replay serve-smoke clean
+.PHONY: all build test bench bench-quick bench-perf-check bench-perf-incremental bench-serve bench-serve-concurrent bench-serve-fleet trace-replay serve-smoke fleet-smoke clean
 
 all: build
 
@@ -61,10 +61,23 @@ bench-serve:
 bench-serve-concurrent:
 	dune exec bench/main.exe -- serve-concurrent --moves 300
 
+# Three in-process daemons over loopback TCP: scatter/steal/merge
+# determinism vs one box, steal-recovery latency, hundreds of concurrent
+# clients, and the replicated compile cache's remote hit rate; writes
+# bench/results/serve-fleet-latest.json.
+bench-serve-fleet:
+	dune exec bench/main.exe -- serve-fleet --moves 300
+
 # Boot the daemon, exercise submit/cache-hit/cancel/shutdown over the
 # socket (scripts/serve_smoke.sh; the CI serve-smoke job).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Three real oblxd daemons on authenticated loopback TCP: coordinator
+# scatter, peer kill -9 mid-job, bit-identity vs a standalone daemon
+# (scripts/fleet_smoke.sh; runs in CI next to serve-smoke).
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
 
 clean:
 	dune clean

@@ -409,7 +409,32 @@ let socket_arg =
   Arg.(
     value
     & opt string "oblxd.sock"
-    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the oblxd daemon")
+    & info [ "socket" ] ~docv:"ENDPOINT"
+        ~doc:
+          "oblxd endpoint: a Unix-socket path (or unix:PATH), or tcp:HOST:PORT / \
+           HOST:PORT for a TCP daemon")
+
+let auth_token_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "auth-token-file" ] ~docv:"FILE"
+        ~doc:"Present the shared secret (first line of FILE) when connecting")
+
+(* Read the token eagerly so a bad path fails before we dial. *)
+let auth_of_file = function
+  | None -> Ok None
+  | Some file -> begin
+      match open_in file with
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match input_line ic with
+              | line -> Ok (Some (String.trim line))
+              | exception End_of_file -> Error (file ^ ": empty token file"))
+      | exception Sys_error e -> Error e
+    end
 
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Print the raw JSON response on one line")
@@ -448,6 +473,9 @@ let print_response ~json render = function
       if json then print_endline (Json.to_string j) else render j;
       0
 
+let with_auth token_file f =
+  match auth_of_file token_file with Error e -> client_fail e | Ok auth -> f auth
+
 let submit_cmd =
   let priority_arg =
     Arg.(
@@ -478,68 +506,77 @@ let submit_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"PROBLEM" ~doc:"Built-in benchmark name or problem file")
   in
-  let run socket name seed moves runs priority deadline events wait json =
+  let run socket token_file name seed moves runs priority deadline events wait json =
     match problem_source name with
     | Error e ->
         prerr_endline e;
         1
-    | Ok src -> begin
-        let spec =
-          {
-            Serve.Proto.sb_name = name;
-            sb_source = src;
-            sb_seed = seed;
-            sb_moves = moves;
-            sb_runs = runs;
-            sb_priority = priority;
-            sb_deadline_s = deadline;
-            sb_trace = events;
-          }
-        in
-        match Serve.Client.submit ~socket spec with
-        | Error e -> client_fail e
-        | Ok id ->
-            if not wait then begin
-              if json then
-                print_endline (Json.to_string (Json.Obj [ ("id", Json.Num (float_of_int id)) ]))
-              else Printf.printf "job %d queued\n" id;
-              0
-            end
-            else print_response ~json print_job (Serve.Client.wait ~socket id)
-      end
+    | Ok src ->
+        with_auth token_file (fun auth ->
+            let spec =
+              {
+                Serve.Proto.sb_name = name;
+                sb_source = src;
+                sb_seed = seed;
+                sb_moves = moves;
+                sb_runs = runs;
+                sb_priority = priority;
+                sb_deadline_s = deadline;
+                sb_trace = events;
+                sb_shard = None;
+              }
+            in
+            match Serve.Client.submit ~socket ?auth spec with
+            | Error e -> client_fail e
+            | Ok id ->
+                if not wait then begin
+                  if json then
+                    print_endline
+                      (Json.to_string (Json.Obj [ ("id", Json.Num (float_of_int id)) ]))
+                  else Printf.printf "job %d queued\n" id;
+                  0
+                end
+                else print_response ~json print_job (Serve.Client.wait ~socket ?auth id))
   in
   Cmd.v
     (Cmd.info "submit" ~doc:"Queue a synthesis job on a running oblxd daemon")
     Term.(
-      const run $ socket_arg $ problem_arg $ seed_arg $ moves_arg $ runs_arg $ priority_arg
-      $ deadline_arg $ events_arg $ wait_flag $ json_arg)
+      const run $ socket_arg $ auth_token_file_arg $ problem_arg $ seed_arg $ moves_arg
+      $ runs_arg $ priority_arg $ deadline_arg $ events_arg $ wait_flag $ json_arg)
 
 let status_cmd =
-  let run socket id json = print_response ~json print_job (Serve.Client.status ~socket id) in
+  let run socket token_file id json =
+    with_auth token_file (fun auth ->
+        print_response ~json print_job (Serve.Client.status ~socket ?auth id))
+  in
   Cmd.v
     (Cmd.info "status" ~doc:"Show a daemon job's state and queue position")
-    Term.(const run $ socket_arg $ id_arg $ json_arg)
+    Term.(const run $ socket_arg $ auth_token_file_arg $ id_arg $ json_arg)
 
 let result_cmd =
-  let run socket id json = print_response ~json print_job (Serve.Client.result ~socket id) in
+  let run socket token_file id json =
+    with_auth token_file (fun auth ->
+        print_response ~json print_job (Serve.Client.result ~socket ?auth id))
+  in
   Cmd.v
     (Cmd.info "result" ~doc:"Fetch a daemon job's full result record")
-    Term.(const run $ socket_arg $ id_arg $ json_arg)
+    Term.(const run $ socket_arg $ auth_token_file_arg $ id_arg $ json_arg)
 
 let cancel_cmd =
-  let run socket id =
-    match Serve.Client.cancel ~socket id with
-    | Error e -> client_fail e
-    | Ok () ->
-        Printf.printf "job %d cancelled\n" id;
-        0
+  let run socket token_file id =
+    with_auth token_file (fun auth ->
+        match Serve.Client.cancel ~socket ?auth id with
+        | Error e -> client_fail e
+        | Ok () ->
+            Printf.printf "job %d cancelled\n" id;
+            0)
   in
   Cmd.v
     (Cmd.info "cancel" ~doc:"Cancel a queued or running daemon job")
-    Term.(const run $ socket_arg $ id_arg)
+    Term.(const run $ socket_arg $ auth_token_file_arg $ id_arg)
 
 let stats_cmd =
-  let run socket json =
+  let run socket token_file json =
     let render j =
       let sub k = match Json.mem_opt k j with Some o -> o | None -> Json.Obj [] in
       let jobs = sub "jobs" and cache = sub "cache" in
@@ -563,6 +600,19 @@ let stats_cmd =
         (match jnum cache "hit_rate" with
         | Some r -> Printf.sprintf ", hit rate %.0f%%" (100.0 *. r)
         | None -> "");
+      (match Json.mem_opt "fleet" j with
+      | Some (Json.Obj _ as f) ->
+          let peers =
+            match Json.mem_opt "peers" f with
+            | Some (Json.Arr ps) -> string_of_int (List.length ps)
+            | _ -> "-"
+          in
+          Printf.printf
+            "fleet: %s peer(s); cache %s remote hit / %s lookup RPCs, %s push (%s failed); \
+             %s scatter(s), %s remote shard(s), %s steal(s)\n"
+            peers (n f "remote_hits") (n f "remote_lookups") (n f "pushes")
+            (n f "push_failures") (n f "scatters") (n f "remote_shards") (n f "steals")
+      | Some _ | None -> ());
       (match (Json.mem_opt "eval_mode" j, Json.mem_opt "evals" j) with
       | Some (Json.Str mode), Some (Json.Obj _ as ev) ->
           let pct a b =
@@ -598,23 +648,25 @@ let stats_cmd =
             ws
       | Some _ | None -> ()
     in
-    print_response ~json render (Serve.Client.stats ~socket ())
+    with_auth token_file (fun auth ->
+        print_response ~json render (Serve.Client.stats ~socket ?auth ()))
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Show daemon queue, cache, and worker statistics")
-    Term.(const run $ socket_arg $ json_arg)
+    Term.(const run $ socket_arg $ auth_token_file_arg $ json_arg)
 
 let shutdown_cmd =
-  let run socket =
-    match Serve.Client.shutdown ~socket () with
-    | Error e -> client_fail e
-    | Ok () ->
-        print_endline "daemon shutting down";
-        0
+  let run socket token_file =
+    with_auth token_file (fun auth ->
+        match Serve.Client.shutdown ~socket ?auth () with
+        | Error e -> client_fail e
+        | Ok () ->
+            print_endline "daemon shutting down";
+            0)
   in
   Cmd.v
     (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ auth_token_file_arg)
 
 let () =
   let doc = "ASTRX/OBLX analog circuit synthesis" in

@@ -4,6 +4,10 @@
      oblxd --socket oblxd.sock --workers 4 --queue 64
      astrx submit simple-ota --seed 7 --wait
 
+   With --tcp it also listens on TCP (fleet peers, remote clients); with
+   --peer it coordinates a fleet — scattering restart budgets across
+   peers and replicating compile verdicts (docs/SERVER.md, "Fleet").
+
    Runs in the foreground until a shutdown request or SIGINT/SIGTERM. *)
 
 open Cmdliner
@@ -13,6 +17,51 @@ let socket_arg =
     value
     & opt string "oblxd.sock"
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Also listen on TCP (same protocol; fleet peers connect here). Port 0 binds an \
+           ephemeral port and prints it at startup")
+
+let auth_token_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "auth-token-file" ] ~docv:"FILE"
+        ~doc:
+          "Shared secret (first line of FILE) required as the first line of every \
+           connection; also presented when dialing peers")
+
+let peer_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "peer" ] ~docv:"ENDPOINT"
+        ~doc:
+          "A fleet peer (tcp:HOST:PORT or unix:PATH; repeatable). Multi-restart submits \
+           are scattered across peers and compile verdicts replicated to them")
+
+let steal_timeout_arg =
+  Arg.(
+    value
+    & opt float 60.0
+    & info [ "steal-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-shard deadline when scattering: a peer that has not finished its shard by \
+           then is treated as dead and the shard is re-run locally")
+
+let log_rotate_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "log-rotate-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Compact state-dir/jobs.log once it exceeds BYTES (one terminal record per \
+           finished job); default: never rotate")
 
 let workers_arg =
   Arg.(
@@ -81,53 +130,120 @@ let no_incremental_arg =
 
 let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup banner")
 
-let run socket workers queue cache state_dir no_state default_moves no_incremental
-    max_connections idle_timeout quiet =
+let parse_tcp s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "--tcp %s: expected HOST:PORT" s)
+  | Some i -> begin
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+      | _ -> Error (Printf.sprintf "--tcp %s: bad port %S" s port)
+    end
+
+let read_token file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> match input_line ic with line -> String.trim line | exception End_of_file -> "")
+
+let run socket tcp auth_token_file peers steal_timeout log_rotate_bytes workers queue cache
+    state_dir no_state default_moves no_incremental max_connections idle_timeout quiet =
   let workers = match workers with Some w -> Int.max 0 w | None -> Core.Oblx.default_jobs () in
   let state_dir = if no_state then None else state_dir in
-  let cfg =
-    {
-      Serve.Server.socket_path = socket;
-      max_connections = Int.max 1 max_connections;
-      idle_timeout_s = idle_timeout;
-      pool =
-        {
-          Serve.Pool.workers;
-          queue_capacity = queue;
-          cache_capacity = cache;
-          state_dir;
-          default_moves;
-          incremental = not no_incremental;
-        };
-    }
-  in
-  let ready () =
-    if not quiet then begin
-      Printf.printf
-        "oblxd: listening on %s (%d worker%s, queue %d, cache %d, max %d connections)\n%!"
-        socket workers
-        (if workers = 1 then "" else "s")
-        queue cache (Int.max 1 max_connections);
-      match state_dir with
-      | Some d -> Printf.printf "oblxd: job records and jobs.log in %s/\n%!" d
-      | None -> ()
+  match (match tcp with None -> Ok None | Some s -> Result.map Option.some (parse_tcp s)) with
+  | Error e ->
+      prerr_endline ("oblxd: " ^ e);
+      2
+  | Ok tcp -> begin
+      match
+        match auth_token_file with
+        | None -> Ok None
+        | Some f -> begin
+            match read_token f with
+            | "" -> Error (Printf.sprintf "oblxd: --auth-token-file %s: empty token" f)
+            | tok -> Ok (Some tok)
+            | exception Sys_error e -> Error ("oblxd: " ^ e)
+          end
+      with
+      | Error e ->
+          prerr_endline e;
+          2
+      | Ok auth_token ->
+          (* Always fleet-aware: even a leaf daemon with no peers serves
+             cache_lookup/cache_push, so any box can join a fleet later. *)
+          let fleet =
+            Serve.Fleet.create
+              {
+                Serve.Fleet.default_config with
+                peers;
+                auth = auth_token;
+                steal_timeout_s = steal_timeout;
+              }
+          in
+          let cfg =
+            {
+              Serve.Server.socket_path = socket;
+              tcp;
+              auth_token;
+              max_connections = Int.max 1 max_connections;
+              idle_timeout_s = idle_timeout;
+              pool =
+                {
+                  Serve.Pool.workers;
+                  queue_capacity = queue;
+                  cache_capacity = cache;
+                  state_dir;
+                  default_moves;
+                  incremental = not no_incremental;
+                  fleet = Some fleet;
+                  log_rotate_bytes;
+                };
+            }
+          in
+          let bound_tcp = ref None in
+          let tcp_port p = bound_tcp := Some p in
+          let ready () =
+            if not quiet then begin
+              Printf.printf
+                "oblxd: listening on %s (%d worker%s, queue %d, cache %d, max %d \
+                 connections)\n\
+                 %!"
+                socket workers
+                (if workers = 1 then "" else "s")
+                queue cache (Int.max 1 max_connections);
+              (match (tcp, !bound_tcp) with
+              | Some (host, _), Some port ->
+                  Printf.printf "oblxd: tcp on %s:%d%s\n%!"
+                    (if host = "" then "*" else host)
+                    port
+                    (if auth_token = None then " (no auth token!)" else "")
+              | _ -> ());
+              (match peers with
+              | [] -> ()
+              | ps -> Printf.printf "oblxd: fleet peers: %s\n%!" (String.concat ", " ps));
+              match state_dir with
+              | Some d -> Printf.printf "oblxd: job records and jobs.log in %s/\n%!" d
+              | None -> ()
+            end
+          in
+          (match Serve.Server.run ~ready ~tcp_port cfg with
+          | () ->
+              if not quiet then print_endline "oblxd: drained, bye";
+              0
+          | exception Unix.Unix_error (e, fn, arg) ->
+              Printf.eprintf "oblxd: %s(%s): %s\n" fn arg (Unix.error_message e);
+              1)
     end
-  in
-  match Serve.Server.run ~ready cfg with
-  | () ->
-      if not quiet then print_endline "oblxd: drained, bye";
-      0
-  | exception Unix.Unix_error (e, fn, arg) ->
-      Printf.eprintf "oblxd: %s(%s): %s\n" fn arg (Unix.error_message e);
-      1
 
 let () =
-  let doc = "OBLX synthesis daemon (JSONL over a Unix socket)" in
+  let doc = "OBLX synthesis daemon (JSONL over a Unix socket, optionally TCP)" in
   let info = Cmd.info "oblxd" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.v info
           Term.(
-            const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg $ state_dir_arg
-            $ no_state_arg $ default_moves_arg $ no_incremental_arg $ max_connections_arg
-            $ idle_timeout_arg $ quiet_arg)))
+            const run $ socket_arg $ tcp_arg $ auth_token_file_arg $ peer_arg
+            $ steal_timeout_arg $ log_rotate_bytes_arg $ workers_arg $ queue_arg $ cache_arg
+            $ state_dir_arg $ no_state_arg $ default_moves_arg $ no_incremental_arg
+            $ max_connections_arg $ idle_timeout_arg $ quiet_arg)))

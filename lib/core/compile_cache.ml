@@ -65,34 +65,44 @@ let evict_lru t =
       t.evictions <- t.evictions + 1
   | None -> ()
 
+let find t ~key =
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          e.last_used <- t.tick;
+          t.hits <- t.hits + 1;
+          Some e.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t ~key value =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        Hashtbl.add t.table key { value; last_used = t.tick }
+      end)
+
+let peek t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some { value = Ok _; _ } -> Some (Ok ())
+      | Some { value = Error e; _ } -> Some (Error e)
+      | None -> None)
+
 let compile t ~source =
   match key_of_source source with
   | Error e -> Error (e, Miss) (* unparseable: no key, so never cached *)
   | Ok key -> begin
-      let cached =
-        locked t (fun () ->
-            t.tick <- t.tick + 1;
-            match Hashtbl.find_opt t.table key with
-            | Some e ->
-                e.last_used <- t.tick;
-                t.hits <- t.hits + 1;
-                Some e.value
-            | None ->
-                t.misses <- t.misses + 1;
-                None)
-      in
-      match cached with
+      match find t ~key with
       | Some (Ok p) -> Ok (p, Hit)
       | Some (Error e) -> Error (e, Hit)
       | None -> begin
           (* Compile outside the lock: a big problem takes real time and
              must not stall lookups (or other compiles) behind it. *)
           let value = Compile.compile_source source in
-          locked t (fun () ->
-              if not (Hashtbl.mem t.table key) then begin
-                if Hashtbl.length t.table >= t.capacity then evict_lru t;
-                Hashtbl.add t.table key { value; last_used = t.tick }
-              end);
+          add t ~key value;
           match value with Ok p -> Ok (p, Miss) | Error e -> Error (e, Miss)
         end
     end

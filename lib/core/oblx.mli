@@ -88,6 +88,14 @@ val synthesize :
     {!run_job}. *)
 val default_probe_batch : int
 
+(** [score p r] is the value the multi-start winner rule minimizes: the
+    run's [best_cost], pushed last (+1e6) when any spec prediction failed
+    and the problem has specs. Exposed so a fleet coordinator can merge
+    per-shard winners with exactly the rule {!best_of} applies locally —
+    fold with strict [<] in ascending restart order, keeping the earliest
+    on ties. *)
+val score : Problem.t -> result -> float
+
 (** Default worker count for {!best_of}:
     [Domain.recommended_domain_count () - 1], at least 1 — keep one core
     for the caller. *)
@@ -162,7 +170,18 @@ val arena_minor_heap_words : int
     own minor heap so that minor collections — stop-the-world barriers
     across all domains in OCaml 5 — stay rare. [perf], when given,
     receives the per-domain wall/GC/claim accounting and the telemetry
-    merge counters after the parallel section finishes. *)
+    merge counters after the parallel section finishes.
+
+    [restarts:(lo, hi)] executes only the restart indices in [[lo, hi)]
+    of the full [runs] budget — a {e shard}. All [runs] split streams are
+    still derived from the root generator, so restart [k] of a shard
+    anneals bit-identically to restart [k] of an unsharded call; the
+    returned list holds only the executed range (ascending index) and the
+    winner is that range's minimum under {!score}. Shards covering
+    [[0, runs)] merged by the same left-biased strict-[<] fold (ascending
+    [lo]) therefore reproduce the unsharded winner byte for byte — the
+    fleet coordinator's merge rule. Raises [Invalid_argument] when the
+    range is empty or out of bounds. *)
 val best_of :
   ?seed:int ->
   ?moves:int ->
@@ -170,6 +189,7 @@ val best_of :
   ?early_stop:bool ->
   ?incremental:bool ->
   ?probe_batch:int ->
+  ?restarts:int * int ->
   ?cutoff:(unit -> string option) ->
   ?obs:Obs.Trace.t ->
   ?perf:(parallel_report -> unit) ->
@@ -198,6 +218,7 @@ val run_job :
   ?early_stop:bool ->
   ?incremental:bool ->
   ?probe_batch:int ->
+  ?restarts:int * int ->
   ?deadline_s:float ->
   ?poll:(unit -> string option) ->
   ?obs:Obs.Trace.t ->

@@ -1,0 +1,333 @@
+module Json = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and state                                             *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  peers : string list;
+  auth : string option;
+  steal_timeout_s : float;
+  rpc_timeout_s : float;
+  directory_capacity : int;
+}
+
+let default_config =
+  { peers = []; auth = None; steal_timeout_s = 60.0; rpc_timeout_s = 5.0; directory_capacity = 1024 }
+
+type t = {
+  mutex : Mutex.t;
+  mutable peers : string list;
+  auth : string option;
+  steal_timeout_s : float;
+  rpc_timeout_s : float;
+  (* The replica directory: canon hash -> compile verdict learned from the
+     fleet ([None] = compiled fine somewhere, [Some msg] = failed there).
+     Compiled problems hold closures and never cross the wire, so this is
+     metadata only — a known-good hash still compiles locally (once), a
+     known-bad hash fails fast without compiling at all. FIFO-bounded. *)
+  directory : (string, string option) Hashtbl.t;
+  dir_order : string Queue.t;
+  directory_capacity : int;
+  mutable remote_hits : int;  (** local misses answered by directory or a peer *)
+  mutable remote_lookups : int;  (** outbound cache_lookup RPCs *)
+  mutable pushes : int;
+  mutable push_failures : int;
+  mutable inbound_pushes : int;  (** cache_push verbs served *)
+  mutable served_lookups : int;  (** cache_lookup verbs served *)
+  mutable scatters : int;
+  mutable remote_shards : int;  (** shards a peer completed for us *)
+  mutable steals : int;  (** shards re-run locally after a peer failed *)
+}
+
+let create (cfg : config) =
+  if cfg.steal_timeout_s <= 0.0 then invalid_arg "Fleet.create: steal_timeout_s must be > 0";
+  if cfg.directory_capacity < 1 then invalid_arg "Fleet.create: directory_capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    peers = cfg.peers;
+    auth = cfg.auth;
+    steal_timeout_s = cfg.steal_timeout_s;
+    rpc_timeout_s = cfg.rpc_timeout_s;
+    directory = Hashtbl.create 64;
+    dir_order = Queue.create ();
+    directory_capacity = cfg.directory_capacity;
+    remote_hits = 0;
+    remote_lookups = 0;
+    pushes = 0;
+    push_failures = 0;
+    inbound_pushes = 0;
+    served_lookups = 0;
+    scatters = 0;
+    remote_shards = 0;
+    steals = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let peers t = locked t (fun () -> t.peers)
+let set_peers t peers = locked t (fun () -> t.peers <- peers)
+let auth t = t.auth
+
+(* ------------------------------------------------------------------ *)
+(* Replicated compile-cache directory                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Caller holds the lock. *)
+let note_locked t ~hash ~error =
+  if Hashtbl.mem t.directory hash then Hashtbl.replace t.directory hash error
+  else begin
+    if Queue.length t.dir_order >= t.directory_capacity then begin
+      let victim = Queue.pop t.dir_order in
+      Hashtbl.remove t.directory victim
+    end;
+    Queue.push hash t.dir_order;
+    Hashtbl.add t.directory hash error
+  end
+
+let record_push t ~hash ~error =
+  locked t (fun () ->
+      t.inbound_pushes <- t.inbound_pushes + 1;
+      note_locked t ~hash ~error)
+
+let record_served_lookup t = locked t (fun () -> t.served_lookups <- t.served_lookups + 1)
+
+let verdict_of = function None -> Ok () | Some e -> Error e
+
+(* On a local cache miss: the directory first (free), then each peer in
+   order (one bounded RPC each). A learned verdict lands in the directory
+   so the next miss on this hash asks no one. *)
+let lookup_remote t ~hash =
+  let dir = locked t (fun () -> Hashtbl.find_opt t.directory hash) in
+  match dir with
+  | Some verdict ->
+      locked t (fun () -> t.remote_hits <- t.remote_hits + 1);
+      Some (verdict_of verdict)
+  | None -> begin
+      let rec ask = function
+        | [] -> None
+        | peer :: rest -> begin
+            locked t (fun () -> t.remote_lookups <- t.remote_lookups + 1);
+            match
+              Client.cache_lookup ~socket:peer ?auth:t.auth ~timeout_s:t.rpc_timeout_s hash
+            with
+            | Ok (Some verdict) ->
+                locked t (fun () ->
+                    t.remote_hits <- t.remote_hits + 1;
+                    note_locked t ~hash
+                      ~error:(match verdict with Ok () -> None | Error e -> Some e));
+                Some verdict
+            | Ok None | Error _ -> ask rest
+          end
+      in
+      ask (peers t)
+    end
+
+(* Best-effort: a dead peer costs one timed-out RPC and a counter, never a
+   failed job. *)
+let push t ~hash ~error =
+  List.iter
+    (fun peer ->
+      match
+        Client.cache_push ~socket:peer ?auth:t.auth ~timeout_s:t.rpc_timeout_s
+          { Proto.cp_hash = hash; cp_error = error }
+      with
+      | Ok () -> locked t (fun () -> t.pushes <- t.pushes + 1)
+      | Error _ -> locked t (fun () -> t.push_failures <- t.push_failures + 1))
+    (peers t)
+
+(* ------------------------------------------------------------------ *)
+(* Scatter / steal / merge                                             *)
+(* ------------------------------------------------------------------ *)
+
+type shard_result = {
+  sr_lo : int;
+  sr_hi : int;
+  sr_peer : string option;
+  sr_stolen : bool;
+  sr_best_cost : float;
+  sr_winner_restart : int;
+  sr_winner_score : float;
+  sr_predicted : (string * float option) list;
+  sr_sizes : (string * float) list;
+  sr_moves : int;
+  sr_evals : int;
+  sr_cut_reason : string option;
+}
+
+(* Contiguous ascending shards covering [0, runs); the first [runs mod
+   parts] shards take the remainder. Never more shards than runs. *)
+let split_shards ~runs ~parts =
+  let parts = Int.max 1 (Int.min parts runs) in
+  let base = runs / parts and rem = runs mod parts in
+  let rec go i lo acc =
+    if i >= parts then List.rev acc
+    else begin
+      let len = base + if i < rem then 1 else 0 in
+      go (i + 1) (lo + len) ((lo, lo + len) :: acc)
+    end
+  in
+  go 0 0 []
+
+let jnum j k = match Json.mem_opt k j with Some (Json.Num v) -> Some v | _ -> None
+let jint j k = Option.map int_of_float (jnum j k)
+let jstr j k = match Json.mem_opt k j with Some (Json.Str s) -> Some s | _ -> None
+
+(* A peer's finished shard job back into a shard result. The floats made
+   the round trip through %.17g JSON, so best_cost and winner_score are
+   the exact bits the peer computed — the merge below stays bit-identical
+   to a local fold. Anything other than a clean "done" record is a steal
+   trigger, not a partial answer. *)
+let shard_result_of_job ~lo ~hi ~peer job =
+  match jstr job "state" with
+  | Some "done" -> begin
+      match (jnum job "best_cost", jint job "winner_restart", jnum job "winner_score") with
+      | Some best_cost, Some winner_restart, Some winner_score ->
+          let pairs k f =
+            match Json.mem_opt k job with
+            | Some (Json.Obj kvs) -> List.filter_map f kvs
+            | _ -> []
+          in
+          Ok
+            {
+              sr_lo = lo;
+              sr_hi = hi;
+              sr_peer = Some peer;
+              sr_stolen = false;
+              sr_best_cost = best_cost;
+              sr_winner_restart = winner_restart;
+              sr_winner_score = winner_score;
+              sr_predicted =
+                pairs "predicted" (fun (k, v) ->
+                    match v with
+                    | Json.Num v -> Some (k, Some v)
+                    | Json.Null -> Some (k, None)
+                    | _ -> None);
+              sr_sizes =
+                pairs "sizes" (fun (k, v) ->
+                    match v with Json.Num v -> Some (k, v) | _ -> None);
+              sr_moves = Option.value (jint job "moves") ~default:0;
+              sr_evals = Option.value (jint job "evals") ~default:0;
+              sr_cut_reason = jstr job "cut_reason";
+            }
+      | _ -> Error (Printf.sprintf "peer %s: shard record lacks winner fields" peer)
+    end
+  | Some state -> Error (Printf.sprintf "peer %s: shard finished %s" peer state)
+  | None -> Error (Printf.sprintf "peer %s: shard record lacks state" peer)
+
+let run_remote t ~submit ~peer ~lo ~hi =
+  let sub =
+    {
+      submit with
+      Proto.sb_shard = Some (lo, hi);
+      (* Shard jobs keep their own rings off: the coordinator's record is
+         the job of record; a shard's trace would only tell a shard story. *)
+      sb_trace = false;
+      sb_name =
+        (let base = submit.Proto.sb_name in
+         Printf.sprintf "%s#shard[%d,%d)" (if base = "" then "job" else base) lo hi);
+    }
+  in
+  match Client.submit ~socket:peer ?auth:t.auth ~timeout_s:t.rpc_timeout_s sub with
+  | Error e -> Error e
+  | Ok id -> begin
+      match
+        Client.wait ~socket:peer ?auth:t.auth ~poll_s:0.05 ~timeout_s:t.steal_timeout_s id
+      with
+      | Error e -> Error e
+      | Ok job -> shard_result_of_job ~lo ~hi ~peer job
+    end
+
+(* Scatter [submit]'s restart budget over self + peers, steal failed or
+   slow shards back (re-running them locally through [run_local]), and
+   return every shard's result in ascending [sr_lo] order. Because restart
+   [k] of a shard is restart [k] of the unsharded run (Oblx's [restarts]
+   contract) and each shard reports its winner's {!Oblx.score}, a
+   left-biased strict-< fold over this list in order reproduces the
+   winner one big box would pick, byte for byte — wherever each shard
+   actually ran, steals included. *)
+let scatter t ~(submit : Proto.submit) ~run_local =
+  let ps = peers t in
+  locked t (fun () -> t.scatters <- t.scatters + 1);
+  let shards = split_shards ~runs:submit.Proto.sb_runs ~parts:(1 + List.length ps) in
+  match shards with
+  | [] -> Error "no shards" (* unreachable: runs >= 1 *)
+  | local :: remote ->
+      let remote =
+        List.mapi (fun i (lo, hi) -> (i + 1, List.nth ps i, lo, hi)) remote
+      in
+      let n = 1 + List.length remote in
+      let results = Array.make n (Error "shard never ran") in
+      let steal ~lo ~hi reason =
+        locked t (fun () -> t.steals <- t.steals + 1);
+        match run_local ~lo ~hi with
+        | Ok sr -> Ok { sr with sr_stolen = true }
+        | Error e ->
+            Error (Printf.sprintf "shard [%d,%d): peer failed (%s), steal failed (%s)" lo hi reason e)
+      in
+      let threads =
+        List.map
+          (fun (idx, peer, lo, hi) ->
+            Thread.create
+              (fun () ->
+                results.(idx) <-
+                  (match run_remote t ~submit ~peer ~lo ~hi with
+                  | Ok sr ->
+                      locked t (fun () -> t.remote_shards <- t.remote_shards + 1);
+                      Ok sr
+                  | Error reason -> steal ~lo ~hi reason))
+              ())
+          remote
+      in
+      (let lo, hi = local in
+       results.(0) <- run_local ~lo ~hi);
+      List.iter Thread.join threads;
+      let rec collect i acc =
+        if i < 0 then Ok acc
+        else begin
+          match results.(i) with
+          | Ok sr -> collect (i - 1) (sr :: acc)
+          | Error e -> Error e
+        end
+      in
+      (* Slot order is shard order is ascending lo. *)
+      collect (n - 1) []
+
+(* The winner rule of [Oblx.best_of], lifted to shards: strict < keeps the
+   earliest shard on ties, and within a shard the daemon that ran it
+   already kept the earliest restart. *)
+let merge shards =
+  match shards with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best sr -> if sr.sr_winner_score < best.sr_winner_score then sr else best)
+           first rest)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let num_i i = Json.Num (float_of_int i)
+
+let stats_json t =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("peers", Json.Arr (List.map (fun p -> Json.Str p) t.peers));
+          ("remote_hits", num_i t.remote_hits);
+          ("remote_lookups", num_i t.remote_lookups);
+          ("pushes", num_i t.pushes);
+          ("push_failures", num_i t.push_failures);
+          ("inbound_pushes", num_i t.inbound_pushes);
+          ("served_lookups", num_i t.served_lookups);
+          ("directory_entries", num_i (Hashtbl.length t.directory));
+          ("scatters", num_i t.scatters);
+          ("remote_shards", num_i t.remote_shards);
+          ("steals", num_i t.steals);
+        ])
+
+let remote_hits t = locked t (fun () -> t.remote_hits)

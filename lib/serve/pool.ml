@@ -7,6 +7,8 @@ type config = {
   state_dir : string option;
   default_moves : int option;
   incremental : bool;  (** move-scoped incremental cost evaluation *)
+  fleet : Fleet.t option;  (** peer coordination: scatter + cache replication *)
+  log_rotate_bytes : int option;  (** compact jobs.log beyond this size *)
 }
 
 let default_config =
@@ -17,6 +19,8 @@ let default_config =
     state_dir = None;
     default_moves = None;
     incremental = true;
+    fleet = None;
+    log_rotate_bytes = None;
   }
 
 type job_state = Queued | Running | Done | Failed | Cancelled
@@ -36,6 +40,8 @@ type outcome = {
   jo_cut_reason : string option;
   jo_predicted : (string * float option) list;
   jo_sizes : (string * float) list;
+  jo_winner_restart : int option;  (** global restart index of the winner *)
+  jo_winner_score : float option;  (** {!Core.Oblx.score} of the winner *)
 }
 
 type job = {
@@ -64,8 +70,10 @@ type t = {
   mutable stopping : bool;
   mutable rejected : int;
   restored : int;  (** jobs replayed from the log at startup *)
-  log : out_channel option;  (** [state_dir/jobs.log], append mode *)
+  mutable log : out_channel option;  (** [state_dir/jobs.log], append mode *)
   log_mutex : Mutex.t;  (** appends are whole lines, never interleaved *)
+  mutable log_bytes : int;  (** bytes in jobs.log, for the rotation check *)
+  mutable rotations : int;
   cache : Core.Compile_cache.t;
   summary : Obs.Sink.Summary.summary;
   obs_base : Obs.Trace.t;  (** Moves-level handle over the summary sink *)
@@ -154,6 +162,11 @@ let job_json ~full t (j : job) =
       ("cut_reason", opt_str (match j.outcome with Some o -> o.jo_cut_reason | None -> None));
     ]
   in
+  let shard =
+    match j.spec.Proto.sb_shard with
+    | Some (lo, hi) -> [ ("shard_lo", num_i lo); ("shard_hi", num_i hi) ]
+    | None -> []
+  in
   let detail =
     if not full then []
     else
@@ -164,6 +177,9 @@ let job_json ~full t (j : job) =
             ("best_cost", Json.Num o.jo_best_cost);
             ("moves", num_i o.jo_moves);
             ("evals", num_i o.jo_evals);
+            ( "winner_restart",
+              match o.jo_winner_restart with Some k -> num_i k | None -> Json.Null );
+            ("winner_score", opt_num o.jo_winner_score);
             ( "predicted",
               Json.Obj (List.map (fun (k, v) -> (k, opt_num v)) o.jo_predicted) );
             ("sizes", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) o.jo_sizes));
@@ -181,7 +197,7 @@ let job_json ~full t (j : job) =
             ("events_dropped", num_i (Obs.Sink.Ring.dropped ring));
           ]
   in
-  Json.Obj (base @ detail @ events)
+  Json.Obj (base @ shard @ detail @ events)
 
 (* Persist outside the lock: the record is already rendered. *)
 let persist t (j : job) rendered =
@@ -210,38 +226,124 @@ let persist t (j : job) rendered =
    still answers status/result for every pre-restart job id. *)
 
 let log_append t wrap =
-  match t.log with
+  Mutex.lock t.log_mutex;
+  (match t.log with
   | None -> ()
-  | Some oc ->
-      Mutex.lock t.log_mutex;
-      (try
-         output_string oc (Json.to_string wrap);
-         output_char oc '\n';
-         flush oc
-       with Sys_error _ -> () (* best-effort, like the per-job files *));
-      Mutex.unlock t.log_mutex
+  | Some oc -> (
+      try
+        let line = Json.to_string wrap in
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        t.log_bytes <- t.log_bytes + String.length line + 1
+      with Sys_error _ -> () (* best-effort, like the per-job files *)));
+  Mutex.unlock t.log_mutex
+
+(* The spec fields ([source]/[moves]/[trace]) that let [replay_log]
+   reconstruct a job from this wrap alone. Submit wraps always carry
+   them; finish wraps only in a rotated log, where the submit line they
+   used to pair with is gone. *)
+let spec_fields (j : job) =
+  [
+    ("source", Json.Str j.spec.Proto.sb_source);
+    ("moves", match j.spec.Proto.sb_moves with Some m -> num_i m | None -> Json.Null);
+    ("trace", Json.Bool j.spec.Proto.sb_trace);
+  ]
 
 (* Caller holds the lock (wraps a [job_json] rendering). *)
 let log_submit_wrap t (j : job) =
   Json.Obj
-    [
-      ("log", Json.Str "submit");
-      ("t", Json.Num j.submitted_at);
-      ("source", Json.Str j.spec.Proto.sb_source);
-      ("moves", match j.spec.Proto.sb_moves with Some m -> num_i m | None -> Json.Null);
-      ("trace", Json.Bool j.spec.Proto.sb_trace);
-      ("job", job_json ~full:false t j);
-    ]
+    ((("log", Json.Str "submit") :: ("t", Json.Num j.submitted_at) :: spec_fields j)
+    @ [ ("job", job_json ~full:false t j) ])
 
-let log_finish_wrap (j : job) rendered =
+let log_finish_wrap ?(spec = false) (j : job) rendered =
   Json.Obj
-    [
-      ("log", Json.Str "finish");
-      ("t", match j.finished_at with Some v -> Json.Num v | None -> Json.Null);
-      ("submitted_at", Json.Num j.submitted_at);
-      ("started_at", opt_num j.started_at);
-      ("job", rendered);
-    ]
+    ([
+       ("log", Json.Str "finish");
+       ("t", (match j.finished_at with Some v -> Json.Num v | None -> Json.Null));
+       ("submitted_at", Json.Num j.submitted_at);
+       ("started_at", opt_num j.started_at);
+     ]
+    @ (if spec then spec_fields j else [])
+    @ [ ("job", rendered) ])
+
+(* --- Rotation: compact the journal while the daemon runs -------------- *)
+
+(* When jobs.log grows past [log_rotate_bytes], rewrite it as one
+   self-contained terminal record per finished job (a finish wrap carrying
+   the spec fields a submit line used to provide) plus the original submit
+   line for every job still queued or running, then atomically rename over
+   the old log. Replay fidelity is exact: the terminal records are the
+   same [job_json ~full:true] renderings the original finish lines held.
+   A kill -9 at any point leaves either the old complete log (plus a
+   harmless jobs.log.tmp) or the new complete one — never a torn journal.
+
+   Lock order: [t.mutex] (to render every job consistently) then
+   [t.log_mutex] (to swap the channel); [log_append] takes only
+   [log_mutex], and nothing takes [t.mutex] while holding [log_mutex], so
+   this cannot deadlock. A finish racing the rotation can append its
+   record right after the swap — a duplicate terminal line for that id,
+   which replay applies idempotently. *)
+let rotate t =
+  match t.cfg.state_dir with
+  | None -> ()
+  | Some dir ->
+      locked t (fun () ->
+          Mutex.lock t.log_mutex;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.log_mutex)
+            (fun () ->
+              match t.log with
+              | None -> ()
+              | Some oc -> begin
+                  let path = Filename.concat dir "jobs.log" in
+                  let tmp = path ^ ".tmp" in
+                  match open_out tmp with
+                  | exception Sys_error _ -> ()
+                  | tmp_oc -> (
+                      try
+                        let ids =
+                          Hashtbl.fold (fun id _ acc -> id :: acc) t.jobs []
+                          |> List.sort compare
+                        in
+                        List.iter
+                          (fun id ->
+                            let j = Hashtbl.find t.jobs id in
+                            let wrap =
+                              match j.state with
+                              | Done | Failed | Cancelled ->
+                                  log_finish_wrap ~spec:true j (job_json ~full:true t j)
+                              | Queued | Running -> log_submit_wrap t j
+                            in
+                            output_string tmp_oc (Json.to_string wrap);
+                            output_char tmp_oc '\n')
+                          ids;
+                        close_out tmp_oc;
+                        Sys.rename tmp path;
+                        (try close_out oc with Sys_error _ -> ());
+                        t.log <-
+                          (try Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+                           with Sys_error _ -> None);
+                        t.log_bytes <-
+                          (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0);
+                        t.rotations <- t.rotations + 1
+                      with Sys_error _ -> (
+                        (* Rotation is best-effort: keep appending to the
+                           old channel, try again past the next append. *)
+                        try close_out tmp_oc with Sys_error _ -> ()))
+                end))
+
+let maybe_rotate t =
+  let due =
+    match t.cfg.log_rotate_bytes with
+    | None -> false
+    | Some limit ->
+        Mutex.lock t.log_mutex;
+        let b = t.log <> None && t.log_bytes > limit in
+        Mutex.unlock t.log_mutex;
+        b
+  in
+  if due then rotate t
 
 let finish t (j : job) ~worker ~state ?error ?outcome () =
   let rendered, wrap =
@@ -262,7 +364,8 @@ let finish t (j : job) ~worker ~state ?error ?outcome () =
         (rendered, log_finish_wrap j rendered))
   in
   persist t j rendered;
-  log_append t wrap
+  log_append t wrap;
+  maybe_rotate t
 
 (* --- Replay: jobs.log lines back into job records ------------------- *)
 
@@ -289,6 +392,10 @@ let spec_of_log wrap jobj =
     sb_deadline_s = jnum jobj "deadline_s";
     sb_trace =
       (match Json.mem_opt "trace" wrap with Some (Json.Bool b) -> b | _ -> false);
+    sb_shard =
+      (match (jint jobj "shard_lo", jint jobj "shard_hi") with
+      | Some lo, Some hi -> Some (lo, hi)
+      | _ -> None);
   }
 
 let outcome_of_log jobj =
@@ -315,6 +422,8 @@ let outcome_of_log jobj =
           jo_sizes =
             pairs "sizes" (fun (k, v) ->
                 match v with Json.Num v -> Some (k, v) | _ -> None);
+          jo_winner_restart = jint jobj "winner_restart";
+          jo_winner_score = jnum jobj "winner_score";
         }
 
 let cache_of_log jobj =
@@ -403,8 +512,73 @@ let replay_log path =
 (* Workers                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* The fleet-aware compile path: local cache first (the common case),
+   then — on a local miss — the fleet's replicated verdict directory and
+   peers before spending a compile. Equivalent to
+   [Core.Compile_cache.compile] when no fleet is configured: [find]/[add]
+   are its two halves. *)
+let compile_for_job t source =
+  match Core.Compile_cache.key_of_source source with
+  | Error e -> Error (e, Core.Compile_cache.Miss) (* unparseable: never cached *)
+  | Ok key -> begin
+      match Core.Compile_cache.find t.cache ~key with
+      | Some (Ok p) -> Ok (p, Core.Compile_cache.Hit)
+      | Some (Error e) -> Error (e, Core.Compile_cache.Hit)
+      | None -> begin
+          let remote =
+            match t.cfg.fleet with Some f -> Fleet.lookup_remote f ~hash:key | None -> None
+          in
+          match remote with
+          | Some (Error e) ->
+              (* The fleet already knows this source fails: fail fast and
+                 cache the verdict so the next submission is a local hit. *)
+              Core.Compile_cache.add t.cache ~key (Error e);
+              Error (e, Core.Compile_cache.Miss)
+          | Some (Ok ()) | None -> begin
+              (* Known-good elsewhere still compiles here (compiled
+                 problems hold closures and cannot cross the wire), but
+                 the remote hit is counted by the fleet. *)
+              let value = Core.Compile.compile_source source in
+              Core.Compile_cache.add t.cache ~key value;
+              (match (remote, t.cfg.fleet) with
+              | None, Some f ->
+                  (* A genuinely new verdict propagates; one the fleet told
+                     us about doesn't need to go back out. *)
+                  Fleet.push f ~hash:key
+                    ~error:(match value with Ok _ -> None | Error e -> Some e)
+              | _ -> ());
+              match value with
+              | Ok p -> Ok (p, Core.Compile_cache.Miss)
+              | Error e -> Error (e, Core.Compile_cache.Miss)
+            end
+        end
+    end
+
+(* The job-level cut reason: the winner's, or the first restart that
+   reported one (a deadline can fire during restart k > 0 while the
+   winner ran to completion). *)
+let cut_reason_of best all =
+  match best.Core.Oblx.cut_reason with
+  | Some r -> Some r
+  | None -> List.find_map (fun (r : Core.Oblx.result) -> r.Core.Oblx.cut_reason) all
+
+(* Position of the winner in the executed range — [best] is one of [all]
+   by construction, compared physically because results carry floats. *)
+let winner_index best all =
+  let rec go i = function
+    | [] -> 0
+    | r :: rest -> if r == best then i else go (i + 1) rest
+  in
+  go 0 all
+
+let sum_moves all =
+  List.fold_left (fun a (r : Core.Oblx.result) -> a + r.Core.Oblx.moves) 0 all
+
+let sum_evals all =
+  List.fold_left (fun a (r : Core.Oblx.result) -> a + r.Core.Oblx.evals) 0 all
+
 let run_job t (j : job) ~worker =
-  match Core.Compile_cache.compile t.cache ~source:j.spec.Proto.sb_source with
+  match compile_for_job t j.spec.Proto.sb_source with
   | Error (e, cache_outcome) ->
       (* The cache deliberately remembers failures; report the real
          hit/miss so repeated broken submissions don't read as misses. *)
@@ -424,51 +598,112 @@ let run_job t (j : job) ~worker =
       (* Per-job shard: this worker buffers its own events and merges them
          into the shared summary (and the job's ring) in batches at stage
          boundaries, so concurrent workers don't serialize the daemon's
-         telemetry per event. One buffer suffices — a job's restarts run
-         sequentially on this domain. *)
+         telemetry per event. Buffer [k] belongs to the run over restart
+         range starting at [k]: a plain job uses buffer 0 only; a
+         scattered job gives each locally-run shard (shard 0 and any
+         steals, which run on concurrent threads) its own buffer. *)
       let shard = Obs.Shard.create sinks in
-      let obs = Obs.Trace.with_sinks t.obs_base [ Obs.Shard.for_restart shard 0 ] in
-      (* The deadline is a latency bound from submission, so the queue wait
-         already spent part of it; an exhausted budget still runs the job,
-         which aborts at move 0 via the annealer's pre-loop poll. *)
-      let deadline_s =
-        Option.map
-          (fun budget -> Float.max 0.0 (budget -. (now () -. j.submitted_at)))
-          j.spec.Proto.sb_deadline_s
-      in
       let moves =
         match j.spec.Proto.sb_moves with Some m -> Some m | None -> t.cfg.default_moves
       in
-      let best, all =
-        Fun.protect
-          ~finally:(fun () -> Obs.Shard.drain shard)
-          (fun () ->
-            Core.Oblx.run_job ~seed:j.spec.Proto.sb_seed ?moves ~runs:j.spec.Proto.sb_runs
-              ~jobs:1 ~incremental:t.cfg.incremental ?deadline_s
-              ~poll:(fun () -> Atomic.get j.cancel)
-              ~obs p)
+      (* One shard's (or the whole budget's) annealing on this daemon.
+         The deadline is a latency bound from submission, so the queue
+         wait already spent part of it — recomputed per call because a
+         stolen shard starts later than the scatter did; an exhausted
+         budget still runs, aborting at move 0 via the annealer's
+         pre-loop poll. *)
+      let run_range ?restarts () =
+        let deadline_s =
+          Option.map
+            (fun budget -> Float.max 0.0 (budget -. (now () -. j.submitted_at)))
+            j.spec.Proto.sb_deadline_s
+        in
+        let buffer = match restarts with Some (lo, _) -> lo | None -> 0 in
+        let obs = Obs.Trace.with_sinks t.obs_base [ Obs.Shard.for_restart shard buffer ] in
+        Core.Oblx.run_job ~seed:j.spec.Proto.sb_seed ?moves ~runs:j.spec.Proto.sb_runs
+          ~jobs:1 ~incremental:t.cfg.incremental ?restarts ?deadline_s
+          ~poll:(fun () -> Atomic.get j.cancel)
+          ~obs p
       in
-      (* The job-level cut reason: the winner's, or the first restart that
-         reported one (a deadline can fire during restart k > 0 while the
-         winner ran to completion). *)
-      let cut_reason =
-        match best.Core.Oblx.cut_reason with
-        | Some r -> Some r
-        | None ->
-            List.find_map (fun (r : Core.Oblx.result) -> r.Core.Oblx.cut_reason) all
+      let local_shard ~lo ~hi =
+        match run_range ~restarts:(lo, hi) () with
+        | best, all ->
+            Ok
+              {
+                Fleet.sr_lo = lo;
+                sr_hi = hi;
+                sr_peer = None;
+                sr_stolen = false;
+                sr_best_cost = best.Core.Oblx.best_cost;
+                sr_winner_restart = lo + winner_index best all;
+                sr_winner_score = Core.Oblx.score p best;
+                sr_predicted = best.Core.Oblx.predicted;
+                sr_sizes = Core.Report.sizes p best.Core.Oblx.final;
+                sr_moves = sum_moves all;
+                sr_evals = sum_evals all;
+                sr_cut_reason = cut_reason_of best all;
+              }
+        | exception exn -> Error (Printexc.to_string exn)
       in
-      let outcome =
-        {
-          jo_best_cost = best.Core.Oblx.best_cost;
-          jo_moves = List.fold_left (fun a (r : Core.Oblx.result) -> a + r.Core.Oblx.moves) 0 all;
-          jo_evals = List.fold_left (fun a (r : Core.Oblx.result) -> a + r.Core.Oblx.evals) 0 all;
-          jo_cut_reason = cut_reason;
-          jo_predicted = best.Core.Oblx.predicted;
-          jo_sizes = Core.Report.sizes p best.Core.Oblx.final;
-        }
+      let finish_with outcome =
+        let state = if Atomic.get j.cancel <> None then Cancelled else Done in
+        finish t j ~worker:(Some worker) ~state ~outcome ()
       in
-      let state = if Atomic.get j.cancel <> None then Cancelled else Done in
-      finish t j ~worker:(Some worker) ~state ~outcome ()
+      Fun.protect
+        ~finally:(fun () -> Obs.Shard.drain shard)
+        (fun () ->
+          let scatterable =
+            j.spec.Proto.sb_shard = None && j.spec.Proto.sb_runs > 1
+            &&
+            match t.cfg.fleet with Some f -> Fleet.peers f <> [] | None -> false
+          in
+          if scatterable then begin
+            (* Coordinator path: shard the budget over the fleet, steal
+               what dies, merge by the winner rule. *)
+            let f = Option.get t.cfg.fleet in
+            match Fleet.scatter f ~submit:j.spec ~run_local:local_shard with
+            | Error e ->
+                finish t j ~worker:(Some worker) ~state:Failed
+                  ~error:(Printf.sprintf "fleet scatter failed: %s" e)
+                  ()
+            | Ok shards ->
+                let w = Option.get (Fleet.merge shards) in
+                finish_with
+                  {
+                    jo_best_cost = w.Fleet.sr_best_cost;
+                    jo_moves =
+                      List.fold_left (fun a s -> a + s.Fleet.sr_moves) 0 shards;
+                    jo_evals =
+                      List.fold_left (fun a s -> a + s.Fleet.sr_evals) 0 shards;
+                    jo_cut_reason =
+                      (match w.Fleet.sr_cut_reason with
+                      | Some r -> Some r
+                      | None ->
+                          List.find_map (fun s -> s.Fleet.sr_cut_reason) shards);
+                    jo_predicted = w.Fleet.sr_predicted;
+                    jo_sizes = w.Fleet.sr_sizes;
+                    jo_winner_restart = Some w.Fleet.sr_winner_restart;
+                    jo_winner_score = Some w.Fleet.sr_winner_score;
+                  }
+          end
+          else begin
+            (* Plain or shard-executing path: anneal the requested range
+               (the whole budget when unsharded) on this worker. *)
+            let restarts = j.spec.Proto.sb_shard in
+            let lo = match restarts with Some (l, _) -> l | None -> 0 in
+            let best, all = run_range ?restarts () in
+            finish_with
+              {
+                jo_best_cost = best.Core.Oblx.best_cost;
+                jo_moves = sum_moves all;
+                jo_evals = sum_evals all;
+                jo_cut_reason = cut_reason_of best all;
+                jo_predicted = best.Core.Oblx.predicted;
+                jo_sizes = Core.Report.sizes p best.Core.Oblx.final;
+                jo_winner_restart = Some (lo + winner_index best all);
+                jo_winner_score = Some (Core.Oblx.score p best);
+              }
+          end)
 
 let rec worker_loop t ~worker =
   let job =
@@ -505,9 +740,9 @@ let rec worker_loop t ~worker =
 let create cfg =
   if cfg.workers < 0 then invalid_arg "Pool.create: workers must be >= 0";
   if cfg.queue_capacity < 1 then invalid_arg "Pool.create: queue_capacity must be >= 1";
-  let restored_jobs, log =
+  let restored_jobs, log, log_bytes =
     match cfg.state_dir with
-    | None -> ([], None)
+    | None -> ([], None, 0)
     | Some dir ->
         (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
         let path = Filename.concat dir "jobs.log" in
@@ -516,7 +751,8 @@ let create cfg =
           try Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
           with Sys_error _ -> None
         in
-        (restored, oc)
+        let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+        (restored, oc, bytes)
   in
   let summary = Obs.Sink.Summary.create () in
   let t =
@@ -532,6 +768,8 @@ let create cfg =
       restored = List.length restored_jobs;
       log;
       log_mutex = Mutex.create ();
+      log_bytes;
+      rotations = 0;
       cache = Core.Compile_cache.create ~capacity:cfg.cache_capacity ();
       summary;
       obs_base = Obs.Trace.make ~level:Obs.Event.Moves [ Obs.Sink.Summary.sink summary ];
@@ -567,6 +805,14 @@ let create cfg =
 let submit t (s : Proto.submit) =
   if s.Proto.sb_runs < 1 then Error "runs must be >= 1"
   else if String.trim s.Proto.sb_source = "" then Error "empty problem source"
+  else if
+    match s.Proto.sb_shard with
+    | Some (lo, hi) -> lo < 0 || lo >= hi || hi > s.Proto.sb_runs
+    | None -> false
+  then
+    Error
+      (let lo, hi = Option.get s.Proto.sb_shard in
+       Printf.sprintf "invalid shard [%d,%d) for %d runs" lo hi s.Proto.sb_runs)
   else begin
     let admitted =
       locked t (fun () ->
@@ -598,6 +844,7 @@ let submit t (s : Proto.submit) =
         (* Journal before the job becomes runnable: a worker cannot emit
            the finish record ahead of the submit record it pairs with. *)
         log_append t wrap;
+        maybe_rotate t;
         let enqueued =
           locked t (fun () ->
               if t.stopping then false
@@ -689,6 +936,9 @@ let stats_json t =
               [
                 ("hits", num_i cache.Core.Compile_cache.hits);
                 ("misses", num_i cache.Core.Compile_cache.misses);
+                ( "remote_hits",
+                  num_i
+                    (match t.cfg.fleet with Some f -> Fleet.remote_hits f | None -> 0) );
                 ("entries", num_i cache.Core.Compile_cache.entries);
                 ("evictions", num_i cache.Core.Compile_cache.evictions);
                 ("capacity", num_i cache.Core.Compile_cache.capacity);
@@ -696,6 +946,14 @@ let stats_json t =
                   if lookups = 0 then Json.Null
                   else Json.Num (float_of_int cache.Core.Compile_cache.hits /. float_of_int lookups)
                 );
+              ] );
+          ( "journal",
+            Json.Obj
+              [
+                ("bytes", num_i t.log_bytes);
+                ("rotations", num_i t.rotations);
+                ( "rotate_bytes",
+                  match t.cfg.log_rotate_bytes with Some b -> num_i b | None -> Json.Null );
               ] );
           ( "telemetry",
             Json.Obj
@@ -734,6 +992,8 @@ let stats_json t =
                   ( "mom_refreshes",
                     num_i (sum (fun e -> e.Obs.Event.mom_refreshes)) );
                 ] );
+          ( "fleet",
+            match t.cfg.fleet with Some f -> Fleet.stats_json f | None -> Json.Null );
           ( "workers_detail",
             Json.Arr
               (List.init t.cfg.workers (fun w ->
@@ -749,6 +1009,21 @@ let stats_json t =
                          else Json.Null );
                      ])) );
         ])
+
+(* --- Fleet-facing accessors (the cache_lookup / cache_push verbs) ----- *)
+
+let fleet t = t.cfg.fleet
+
+let cache_peek t ~hash =
+  (match t.cfg.fleet with Some f -> Fleet.record_served_lookup f | None -> ());
+  Core.Compile_cache.peek t.cache ~key:hash
+
+let cache_note t ~hash ~error =
+  (match t.cfg.fleet with Some f -> Fleet.record_push f ~hash ~error | None -> ());
+  (* A known-bad verdict also lands in the compile cache so the next
+     submission of that source fails fast without compiling. Known-good
+     can't: there is no compiled problem to cache. *)
+  match error with Some e -> Core.Compile_cache.add t.cache ~key:hash (Error e) | None -> ()
 
 let shutdown t =
   let queued, domains =

@@ -14,7 +14,20 @@
     on finish. {!create} replays it, so a restarted daemon still answers
     [status]/[result] for every pre-restart job id; jobs the old daemon
     left [Queued]/[Running] cannot be resumed and are replayed as
-    [Failed] with error ["daemon restarted"].
+    [Failed] with error ["daemon restarted"]. With [log_rotate_bytes],
+    a journal grown past the threshold is compacted in place — one
+    self-contained terminal record per finished job, original submit
+    lines for live ones, atomically renamed over the old log — without
+    losing replay fidelity.
+
+    With a {!Fleet.t}, the pool is fleet-aware on two paths: a local
+    compile-cache miss consults the fleet's replicated verdict directory
+    and peers before compiling (and pushes fresh verdicts out), and a
+    multi-restart submit with registered peers is scattered — the restart
+    budget split into per-peer shards, slow or dead peers stolen from,
+    results merged by {!Core.Oblx.best_of}'s winner rule, bit-identical
+    to running the whole budget on one box. A submit that itself carries
+    [sb_shard] executes just that range and is never re-scattered.
 
     All table/queue state is guarded by one mutex; synthesis itself runs
     outside it. JSON views are rendered under the lock so a reader never
@@ -34,6 +47,12 @@ type config = {
       (** evaluate costs with the move-scoped incremental evaluator
           ({!Core.Eval.Incr}); results are bit-identical either way, this
           is the escape hatch if they ever aren't *)
+  fleet : Fleet.t option;
+      (** peer coordination: restart scattering and compile-cache
+          replication; [None] = the classic single-daemon pool *)
+  log_rotate_bytes : int option;
+      (** compact [jobs.log] once it exceeds this many bytes; [None] =
+          never rotate *)
 }
 
 val default_config : config
@@ -63,9 +82,24 @@ val status_json : t -> int -> (Obs.Json.t, string) result
 val result_json : t -> int -> (Obs.Json.t, string) result
 
 (** [stats_json t] — jobs by state, queue depth, [restored_jobs] (jobs
-    replayed from the log at startup), compile-cache hit rate, and
-    per-worker moves/s from the shared streaming-summary sink. *)
+    replayed from the log at startup), compile-cache hit rate (plus
+    [remote_hits] when a fleet is configured), journal size/rotations,
+    the ["fleet"] counter block, and per-worker moves/s from the shared
+    streaming-summary sink. *)
 val stats_json : t -> Obs.Json.t
+
+(** {2 Fleet-facing accessors — the [cache_lookup]/[cache_push] verbs} *)
+
+val fleet : t -> Fleet.t option
+
+(** [cache_peek t ~hash] — this daemon's compile verdict for a canon hash
+    (served to a peer's [cache_lookup]; counts as a served lookup). *)
+val cache_peek : t -> hash:string -> (unit, string) result option
+
+(** [cache_note t ~hash ~error] — a peer's pushed verdict: recorded in the
+    fleet directory, and a failure verdict also lands in the local
+    compile cache so the next submission of that source fails fast. *)
+val cache_note : t -> hash:string -> error:string option -> unit
 
 (** [shutdown t] — reject new work, cancel queued jobs (reason
     ["shutdown"]), trip running jobs' abort hooks, and join the workers.

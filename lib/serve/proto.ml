@@ -9,7 +9,10 @@ type submit = {
   sb_priority : int;
   sb_deadline_s : float option;
   sb_trace : bool;
+  sb_shard : (int * int) option;
 }
+
+type cache_push = { cp_hash : string; cp_error : string option }
 
 type request =
   | Submit of submit
@@ -18,6 +21,9 @@ type request =
   | Cancel of int
   | Stats
   | Shutdown
+  | Cache_lookup of string
+  | Cache_push of cache_push
+  | Ping
 
 let num_i i = Json.Num (float_of_int i)
 let opt f = function Some v -> f v | None -> Json.Null
@@ -35,12 +41,23 @@ let request_to_json = function
           ("priority", num_i s.sb_priority);
           ("deadline_s", opt (fun v -> Json.Num v) s.sb_deadline_s);
           ("trace", Json.Bool s.sb_trace);
+          ("shard_lo", opt (fun (lo, _) -> num_i lo) s.sb_shard);
+          ("shard_hi", opt (fun (_, hi) -> num_i hi) s.sb_shard);
         ]
   | Status id -> Json.Obj [ ("op", Json.Str "status"); ("id", num_i id) ]
   | Result id -> Json.Obj [ ("op", Json.Str "result"); ("id", num_i id) ]
   | Cancel id -> Json.Obj [ ("op", Json.Str "cancel"); ("id", num_i id) ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
   | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+  | Cache_lookup hash -> Json.Obj [ ("op", Json.Str "cache_lookup"); ("hash", Json.Str hash) ]
+  | Cache_push c ->
+      Json.Obj
+        [
+          ("op", Json.Str "cache_push");
+          ("hash", Json.Str c.cp_hash);
+          ("error", opt (fun e -> Json.Str e) c.cp_error);
+        ]
+  | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
 
 (* Decoding is lenient on optional fields (absent = default) and strict on
    shape: a wrong type surfaces as a decode error, not a crash. *)
@@ -75,6 +92,15 @@ let request_of_json j =
         | Some v -> Json.to_str v
         | None -> raise (Json.Decode_error "submit: missing field \"source\"")
       in
+      let shard =
+        (* Both bounds or neither: a half-specified shard is a caller bug,
+           not something to guess a default for. *)
+        match (int_opt_field "shard_lo", int_opt_field "shard_hi") with
+        | Some lo, Some hi -> Some (lo, hi)
+        | None, None -> None
+        | Some _, None | None, Some _ ->
+            raise (Json.Decode_error "submit: shard_lo and shard_hi must come together")
+      in
       Ok
         (Submit
            {
@@ -86,12 +112,33 @@ let request_of_json j =
              sb_priority = int_field "priority" ~default:0;
              sb_deadline_s = float_opt_field "deadline_s";
              sb_trace = bool_field "trace" ~default:false;
+             sb_shard = shard;
            })
   | "status" -> Ok (Status (id ()))
   | "result" -> Ok (Result (id ()))
   | "cancel" -> Ok (Cancel (id ()))
   | "stats" -> Ok Stats
   | "shutdown" -> Ok Shutdown
+  | "cache_lookup" ->
+      let hash =
+        match field_opt "hash" with
+        | Some v -> Json.to_str v
+        | None -> raise (Json.Decode_error "cache_lookup: missing field \"hash\"")
+      in
+      Ok (Cache_lookup hash)
+  | "cache_push" ->
+      let hash =
+        match field_opt "hash" with
+        | Some v -> Json.to_str v
+        | None -> raise (Json.Decode_error "cache_push: missing field \"hash\"")
+      in
+      let error =
+        match field_opt "error" with
+        | Some Json.Null | None -> None
+        | Some v -> Some (Json.to_str v)
+      in
+      Ok (Cache_push { cp_hash = hash; cp_error = error })
+  | "ping" -> Ok Ping
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
 (* Field accessors raise [Decode_error] on shape mismatches anywhere in the
@@ -167,3 +214,31 @@ let response_error j =
       | Some _ | None -> Some "request failed"
     end
   | Some _ | None -> Some "malformed response (no \"ok\" field)"
+
+(* ------------------------------------------------------------------ *)
+(* Authentication                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* When a daemon listens on TCP it is configured with a shared secret, and
+   the first line of every connection (on either listener) must be
+   [{"auth":TOKEN}]. A correct token gets no response — the client
+   pipelines the auth line and the request and reads one response line. A
+   wrong or missing token gets exactly one [ok:false] line and a close. *)
+
+let auth_to_json token = Json.Obj [ ("auth", Json.Str token) ]
+
+let auth_of_json j =
+  match Json.mem_opt "auth" j with Some (Json.Str t) -> Some t | Some _ | None -> None
+
+let auth_failed_message = "authentication failed"
+
+(* Constant-time comparison over equal lengths: the timing of a token
+   check must not leak how long a matching prefix was. (Length itself is
+   not secret.) *)
+let token_equal a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+       !acc = 0
+     end

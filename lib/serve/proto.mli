@@ -1,18 +1,23 @@
-(** The oblxd wire protocol: JSONL over a Unix-domain socket. Each request
-    is one JSON object on one line; each response is one JSON object on
-    one line, with ["ok"] telling success from failure. The payload
-    encoding reuses the telemetry JSON of {!Obs.Json} — the same codec the
-    trace files use, so one parser serves both.
+(** The oblxd wire protocol: JSONL over a Unix-domain socket or an
+    authenticated TCP connection. Each request is one JSON object on one
+    line; each response is one JSON object on one line, with ["ok"]
+    telling success from failure. The payload encoding reuses the
+    telemetry JSON of {!Obs.Json} — the same codec the trace files use, so
+    one parser serves both.
 
     Requests (fields beyond ["op"] shown with their defaults):
     {v
     {"op":"submit","source":S,"name":N,"seed":1,"moves":null,"runs":1,
-     "priority":0,"deadline_s":null,"trace":false}
+     "priority":0,"deadline_s":null,"trace":false,
+     "shard_lo":null,"shard_hi":null}
     {"op":"status","id":I}
     {"op":"result","id":I}
     {"op":"cancel","id":I}
     {"op":"stats"}
     {"op":"shutdown"}
+    {"op":"cache_lookup","hash":H}
+    {"op":"cache_push","hash":H,"error":E|null}
+    {"op":"ping"}
     v}
     See docs/SERVER.md for the full schema including responses. *)
 
@@ -27,7 +32,18 @@ type submit = {
       (** wall-clock budget measured from submission (queue wait counts);
           on expiry the job aborts with [cut_reason = "deadline"] *)
   sb_trace : bool;  (** keep a bounded ring of stage events with the job *)
+  sb_shard : (int * int) option;
+      (** restart shard [[lo, hi)] of the [sb_runs] budget this daemon
+          should execute ({!Oblx.best_of}'s [restarts]); [None] = all of
+          it. A sharded submit is what a fleet coordinator scatters to a
+          peer — it is never re-scattered. *)
 }
+
+(** A compile-cache verdict replicated between fleet peers: [cp_error =
+    None] means the source hashing to [cp_hash] compiled successfully
+    somewhere, [Some msg] that it failed with [msg]. Compiled problems
+    hold closures and never cross the wire — only verdicts do. *)
+type cache_push = { cp_hash : string; cp_error : string option }
 
 type request =
   | Submit of submit
@@ -36,6 +52,9 @@ type request =
   | Cancel of int
   | Stats
   | Shutdown
+  | Cache_lookup of string  (** canon hash — do you know this key? *)
+  | Cache_push of cache_push  (** best-effort verdict replication *)
+  | Ping  (** liveness probe; answered [{"ok":true}] *)
 
 val request_to_json : request -> Obs.Json.t
 val request_of_json : Obs.Json.t -> (request, string) result
@@ -72,3 +91,25 @@ val line_reader : Unix.file_descr -> line_reader
 (** [read_line r] — the next line (newline stripped), [None] at EOF. A
     final unterminated line is returned as is. Unix errors propagate. *)
 val read_line : line_reader -> string option
+
+(** {2 Authentication}
+
+    A daemon configured with a shared secret requires [{"auth":TOKEN}] as
+    the very first line of every connection. Success is silent — the
+    client pipelines the auth line with its request and reads one response
+    — while a wrong or missing token is answered with exactly one
+    [ok:false] line ({!auth_failed_message}) before the server closes the
+    connection. The auth deadline is the idle timeout: a connection that
+    never authenticates is shed like one that went quiet. *)
+
+val auth_to_json : string -> Obs.Json.t
+
+(** [auth_of_json j] — the token of an [{"auth":TOKEN}] line, or [None]
+    when [j] is not one. *)
+val auth_of_json : Obs.Json.t -> string option
+
+val auth_failed_message : string
+
+(** Constant-time token comparison (for equal lengths — length is not
+    treated as secret). *)
+val token_equal : string -> string -> bool

@@ -2,6 +2,8 @@ module Json = Obs.Json
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+  auth_token : string option;
   max_connections : int;
   idle_timeout_s : float;
   pool : Pool.config;
@@ -27,6 +29,7 @@ type registry = {
   mutable r_next : int;
   mutable r_total : int;  (** accepted over the daemon's lifetime *)
   mutable r_rejected : int;  (** turned away at the connection cap *)
+  mutable r_auth_failures : int;  (** closed after a wrong/missing token *)
 }
 
 let registry_create () =
@@ -38,6 +41,7 @@ let registry_create () =
     r_next = 0;
     r_total = 0;
     r_rejected = 0;
+    r_auth_failures = 0;
   }
 
 let with_registry reg f =
@@ -54,6 +58,7 @@ let connections_json cfg reg =
           ("max", num_i cfg.max_connections);
           ("total", num_i reg.r_total);
           ("rejected", num_i reg.r_rejected);
+          ("auth_failures", num_i reg.r_auth_failures);
         ])
 
 (* ------------------------------------------------------------------ *)
@@ -86,19 +91,63 @@ let handle cfg reg pool stop (req : Proto.request) =
           Json.Obj (fields @ [ ("connections", connections_json cfg reg) ])
       | j -> j
     end
+  | Proto.Cache_lookup hash -> begin
+      (* What do *I* know about this canon hash — never a recursive ask
+         around the fleet, so lookups between peers can't loop. *)
+      match Pool.cache_peek pool ~hash with
+      | None -> Proto.ok [ ("known", Json.Bool false) ]
+      | Some (Ok ()) ->
+          Proto.ok [ ("known", Json.Bool true); ("compile_error", Json.Null) ]
+      | Some (Error e) ->
+          Proto.ok [ ("known", Json.Bool true); ("compile_error", Json.Str e) ]
+    end
+  | Proto.Cache_push c ->
+      Pool.cache_note pool ~hash:c.Proto.cp_hash ~error:c.Proto.cp_error;
+      Proto.ok []
+  | Proto.Ping -> Proto.ok []
   | Proto.Shutdown ->
       Atomic.set stop true;
       Proto.ok [ ("shutting_down", Json.Bool true) ]
 
 (* One connection: requests line by line until EOF, idle timeout, or
    shutdown. A malformed line gets an error response rather than a dropped
-   connection, so a misbehaving client can diagnose itself. *)
+   connection, so a misbehaving client can diagnose itself.
+
+   With an auth token configured, the first line must be {"auth":TOKEN}.
+   Success is silent (the client pipelines auth + request); anything else
+   — wrong token, or a first line that is not an auth line at all — gets
+   exactly one ok:false response, then the connection closes. The read
+   timeout is already armed, so a connection that never sends its token is
+   shed by the same clock as an idle one. *)
 let serve_connection cfg reg pool stop fd =
   (try
      Unix.setsockopt_float fd Unix.SO_RCVTIMEO cfg.idle_timeout_s;
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.idle_timeout_s
    with Unix.Unix_error _ -> ());
   let reader = Proto.line_reader fd in
+  let authed =
+    match cfg.auth_token with
+    | None -> true
+    | Some token -> begin
+        match Proto.read_line reader with
+        | None -> false (* EOF before a token: nothing to answer *)
+        | Some line -> begin
+            let presented =
+              match Json.of_string line with
+              | Ok j -> Proto.auth_of_json j
+              | Error _ -> None
+            in
+            match presented with
+            | Some p when Proto.token_equal p token -> true
+            | Some _ | None ->
+                with_registry reg (fun () ->
+                    reg.r_auth_failures <- reg.r_auth_failures + 1);
+                (try Proto.write_line fd (Proto.err Proto.auth_failed_message)
+                 with Unix.Unix_error _ | Sys_error _ -> ());
+                false
+          end
+      end
+  in
   let rec loop () =
     if Atomic.get stop then ()
     else
@@ -116,10 +165,11 @@ let serve_connection cfg reg pool stop fd =
             end);
           loop ()
   in
-  (* EAGAIN is the idle timeout expiring between requests: the connection
-     has gone quiet, reclaim its slot. A client that vanished mid-response
-     (EPIPE, reset) is its problem, not the daemon's. *)
-  (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
+  (* EAGAIN is the idle timeout expiring between requests (or before the
+     auth line ever arrived): the connection has gone quiet, reclaim its
+     slot. A client that vanished mid-response (EPIPE, reset) is its
+     problem, not the daemon's. *)
+  (if authed then try loop () with Sys_error _ | Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -175,7 +225,7 @@ let spawn_connection cfg reg pool stop fd =
     try Unix.close fd with Unix.Unix_error _ -> ()
   end
 
-let run ?ready config =
+let run ?ready ?tcp_port ?pool:existing_pool config =
   let stop = Atomic.make false in
   (* Graceful signals: finish in-flight responses, then drain. SIGPIPE
      must not kill the daemon when a client disconnects mid-write. *)
@@ -183,36 +233,71 @@ let run ?ready config =
   let on_signal _ = Atomic.set stop true in
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal) with Invalid_argument _ -> ());
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal) with Invalid_argument _ -> ());
-  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let unix_listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-  Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
-  Unix.listen listener 64;
-  let pool = Pool.create config.pool in
+  Unix.bind unix_listener (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen unix_listener 64;
+  (* The TCP listener rides next to the Unix socket: same protocol, same
+     dispatch, plus the auth gate. Binding port 0 picks an ephemeral port,
+     reported through [tcp_port] — how in-process fleets wire a mesh of
+     daemons that didn't know each other's ports in advance. *)
+  let tcp_listener =
+    match config.tcp with
+    | None -> None
+    | Some (host, port) ->
+        let addr =
+          if host = "" || host = "*" then Unix.inet_addr_any
+          else begin
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (
+              match Unix.getaddrinfo host "" [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+              | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+              | _ -> Unix.inet_addr_loopback)
+          end
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        Unix.listen fd 64;
+        (match (tcp_port, Unix.getsockname fd) with
+        | Some f, Unix.ADDR_INET (_, bound) -> f bound
+        | _ -> ());
+        Some fd
+  in
+  let pool = match existing_pool with Some p -> p | None -> Pool.create config.pool in
   let reg = registry_create () in
   (match ready with Some f -> f () | None -> ());
+  let listeners = unix_listener :: Option.to_list tcp_listener in
+  let accept_from listener =
+    match Unix.accept listener with
+    | fd, _ ->
+        (* TCP accepts inherit Nagle; every response is one small line, so
+           flush it immediately. *)
+        (if Some listener = tcp_listener then
+           try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        spawn_connection config reg pool stop fd
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+  in
   let rec accept_loop () =
     if Atomic.get stop then ()
     else begin
       (* Select with a short timeout so a signal or shutdown request is
          honoured even while no client is connecting. *)
-      (match Unix.select [ listener ] [] [] 0.25 with
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> begin
-          match Unix.accept listener with
-          | fd, _ -> spawn_connection config reg pool stop fd
-          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
-        end
+      (match Unix.select listeners [] [] 0.25 with
+      | readable, _, _ -> List.iter accept_from readable
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       accept_loop ()
     end
   in
   accept_loop ();
-  (* Graceful drain: no new connections are accepted past this point.
-     Connection threads notice [stop] before their next read; ones blocked
-     *in* a read get their read side shut down, which reads as EOF — the
-     response they were writing has already flushed (writes complete
-     before the loop returns to read). Join everything before the pool
-     stops and the socket file unlinks. *)
+  (* Graceful drain: close every listener first — both transports stop
+     accepting the moment shutdown begins, so no connection can slip in
+     half-authenticated while the daemon is dying. Then nudge connection
+     threads: ones blocked *in* a read get their read side shut down,
+     which reads as EOF — the response they were writing has already
+     flushed (writes complete before the loop returns to read). Join
+     everything before the pool stops and the socket file unlinks. *)
+  List.iter (fun l -> try Unix.close l with Unix.Unix_error _ -> ()) listeners;
   let threads =
     with_registry reg (fun () ->
         Hashtbl.iter
@@ -225,5 +310,4 @@ let run ?ready config =
   in
   List.iter Thread.join threads;
   Pool.shutdown pool;
-  (try Unix.close listener with Unix.Unix_error _ -> ());
   try Unix.unlink config.socket_path with Unix.Unix_error _ -> ()

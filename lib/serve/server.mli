@@ -1,5 +1,14 @@
-(** The oblxd daemon loop: a Unix-domain stream socket speaking the JSONL
-    protocol of {!Proto}, dispatching into a {!Pool}.
+(** The oblxd daemon loop: listeners speaking the JSONL protocol of
+    {!Proto}, dispatching into a {!Pool}.
+
+    Two transports share one dispatch: the Unix-domain socket (always),
+    and an optional TCP listener ([config.tcp]) for fleet peers and
+    remote clients. TCP carries the same line protocol; with
+    [auth_token] set, every connection (both transports) must present
+    [{"auth":TOKEN}] as its first line — success is silent, anything
+    else gets exactly one [ok:false] line ({!Proto.auth_failed_message})
+    and the connection closes. A connection that never sends its token
+    is shed by the idle timeout, like any other quiet connection.
 
     Connections are served {e concurrently}: each accepted connection gets
     its own thread (requests are table lookups; synthesis happens on the
@@ -13,9 +22,15 @@
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+      (** also listen on [HOST:PORT]; port 0 binds an ephemeral port,
+          reported through [run]'s [tcp_port] callback *)
+  auth_token : string option;
+      (** shared secret required as the first line of every connection *)
   max_connections : int;  (** live-connection cap; see {!default_max_connections} *)
   idle_timeout_s : float;
-      (** quiet time between requests before a connection is dropped *)
+      (** quiet time between requests before a connection is dropped;
+          also the deadline for the auth line *)
   pool : Pool.config;
 }
 
@@ -25,11 +40,16 @@ val default_max_connections : int
 val default_idle_timeout_s : float
 (** 30 s. *)
 
-(** [run ?ready config] binds [config.socket_path] (unlinking a stale
-    socket file first), starts the pool, and serves until a [shutdown]
-    request or SIGINT/SIGTERM arrives; then drains gracefully — stops
-    accepting, lets every in-flight response flush, joins the connection
-    threads, shuts the pool down — and removes the socket file. [ready]
-    fires once the socket is listening — how an in-process harness
-    (tests, bench) knows it can connect. *)
-val run : ?ready:(unit -> unit) -> config -> unit
+(** [run ?ready ?tcp_port ?pool config] binds [config.socket_path]
+    (unlinking a stale socket file first) and, when configured, the TCP
+    listener; starts the pool (or serves a pre-built one — how the fleet
+    bench inspects a daemon's pool after the fact); and serves until a
+    [shutdown] request or SIGINT/SIGTERM arrives. Then it drains
+    gracefully — closes {e both} listeners first so nothing new (not
+    even a half-authenticated connection) slips in, lets every in-flight
+    response flush, joins the connection threads, shuts the pool down —
+    and removes the socket file. [ready] fires once the listeners are
+    accepting; [tcp_port] fires earlier with the bound TCP port (the
+    ephemeral port when [config.tcp] asked for port 0). *)
+val run :
+  ?ready:(unit -> unit) -> ?tcp_port:(int -> unit) -> ?pool:Pool.t -> config -> unit

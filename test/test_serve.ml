@@ -5,7 +5,7 @@
 let ota_source = (Option.get (Suite.Ckts.find "simple-ota")).Suite.Ckts.source
 
 let submission ?(name = "simple-ota") ?(source = ota_source) ?(seed = 1) ?moves ?(runs = 1)
-    ?(priority = 0) ?deadline_s ?(trace = false) () =
+    ?(priority = 0) ?deadline_s ?(trace = false) ?shard () =
   {
     Serve.Proto.sb_name = name;
     sb_source = source;
@@ -15,6 +15,7 @@ let submission ?(name = "simple-ota") ?(source = ota_source) ?(seed = 1) ?moves 
     sb_priority = priority;
     sb_deadline_s = deadline_s;
     sb_trace = trace;
+    sb_shard = shard;
   }
 
 let jnum j k =
@@ -402,6 +403,8 @@ let test_server_end_to_end () =
   let cfg =
     {
       Serve.Server.socket_path = socket;
+      tcp = None;
+      auth_token = None;
       max_connections = Serve.Server.default_max_connections;
       idle_timeout_s = Serve.Server.default_idle_timeout_s;
       pool =
@@ -470,6 +473,8 @@ let with_server ?(workers = 0) ?(max_connections = Serve.Server.default_max_conn
   let cfg =
     {
       Serve.Server.socket_path = socket;
+      tcp = None;
+      auth_token = None;
       max_connections;
       idle_timeout_s;
       pool =
@@ -603,6 +608,612 @@ let test_client_error_attribution () =
   Unix.close listener;
   Unix.unlink path
 
+(* --- TCP transport, auth, fleet, rotation --- *)
+
+(* Boot a daemon with a TCP listener on an ephemeral loopback port (plus
+   its Unix socket). Returns both endpoints and a shutdown closure. *)
+type daemon = {
+  d_unix : string;
+  d_tcp : string;  (** "tcp:127.0.0.1:PORT" client endpoint *)
+  d_pool : Serve.Pool.t;
+  d_stop : unit -> unit;
+}
+
+let boot_daemon ?(workers = 1) ?auth_token ?fleet () =
+  incr sock_counter;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "oblxd-tcp%d-%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let pool =
+    Serve.Pool.create
+      { Serve.Pool.default_config with workers; queue_capacity = 16; state_dir = None; fleet }
+  in
+  let cfg =
+    {
+      Serve.Server.socket_path = socket;
+      tcp = Some ("127.0.0.1", 0);
+      auth_token;
+      max_connections = Serve.Server.default_max_connections;
+      idle_timeout_s = Serve.Server.default_idle_timeout_s;
+      pool = { Serve.Pool.default_config with workers; state_dir = None };
+    }
+  in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let port = ref 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run
+          ~tcp_port:(fun p -> port := p)
+          ~ready:(fun () ->
+            Mutex.lock ready_m;
+            ready := true;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          ~pool cfg)
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let stopped = ref false in
+  {
+    d_unix = socket;
+    d_tcp = Printf.sprintf "tcp:127.0.0.1:%d" !port;
+    d_pool = pool;
+    d_stop =
+      (fun () ->
+        if not !stopped then begin
+          stopped := true;
+          ignore (Serve.Client.shutdown ~socket ?auth:auth_token ());
+          Domain.join server
+        end);
+  }
+
+let test_proto_new_verbs_round_trip () =
+  let requests =
+    [
+      Serve.Proto.Submit (submission ~runs:8 ~shard:(2, 5) ());
+      Serve.Proto.Cache_lookup "deadbeef";
+      Serve.Proto.Cache_push { Serve.Proto.cp_hash = "deadbeef"; cp_error = None };
+      Serve.Proto.Cache_push { Serve.Proto.cp_hash = "cafe"; cp_error = Some "no such model" };
+      Serve.Proto.Ping;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Serve.Proto.request_of_json (Serve.Proto.request_to_json req) with
+      | Ok req' -> Alcotest.(check bool) "request survives the wire" true (req = req')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    requests;
+  (* A half-specified shard is a decode error, not a silent default. *)
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Error e -> Alcotest.failf "json: %s" e
+      | Ok j -> (
+          match Serve.Proto.request_of_json j with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "expected decode error for %s" s))
+    [
+      {|{"op":"submit","source":"s","shard_lo":1}|};
+      {|{"op":"submit","source":"s","shard_hi":3}|};
+      {|{"op":"cache_lookup"}|};
+      {|{"op":"cache_push"}|};
+    ]
+
+let test_fleet_split_shards () =
+  List.iter
+    (fun (runs, parts, expect) ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "split %d over %d" runs parts)
+        expect
+        (Serve.Fleet.split_shards ~runs ~parts))
+    [
+      (6, 3, [ (0, 2); (2, 4); (4, 6) ]);
+      (7, 3, [ (0, 3); (3, 5); (5, 7) ]);
+      (2, 5, [ (0, 1); (1, 2) ]);
+      (1, 1, [ (0, 1) ]);
+      (5, 1, [ (0, 5) ]);
+    ];
+  (* Property: shards tile [0, runs) in ascending order, for any shape. *)
+  for runs = 1 to 12 do
+    for parts = 1 to 5 do
+      let shards = Serve.Fleet.split_shards ~runs ~parts in
+      let covered =
+        List.fold_left
+          (fun expect (lo, hi) ->
+            Alcotest.(check int) "contiguous" expect lo;
+            Alcotest.(check bool) "non-empty" true (hi > lo);
+            hi)
+          0 shards
+      in
+      Alcotest.(check int) "covers the budget" runs covered
+    done
+  done
+
+let compiled_ota =
+  lazy
+    (match Core.Compile.compile_source ota_source with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "compile: %s" e)
+
+let test_pool_shard_execution () =
+  (* A sharded submit runs exactly its restart range: same bits as asking
+     Oblx for that range directly. *)
+  let p = Lazy.force compiled_ota in
+  let moves = 250 and seed = 11 and runs = 5 in
+  let ref_best, ref_all =
+    Core.Oblx.best_of ~seed ~moves ~jobs:1 ~runs ~restarts:(1, 4) p
+  in
+  let pool = running_pool () in
+  let id = ok (Serve.Pool.submit pool (submission ~seed ~moves ~runs ~shard:(1, 4) ())) in
+  Alcotest.(check string) "shard finished" "done" (wait_done pool id);
+  let j = ok (Serve.Pool.result_json pool id) in
+  (match jnum j "best_cost" with
+  | Some c ->
+      Alcotest.(check bool) "shard cost bit-identical to direct range" true
+        (Int64.bits_of_float c = Int64.bits_of_float ref_best.Core.Oblx.best_cost)
+  | None -> Alcotest.fail "no best_cost");
+  (* The winner index is global (shard-offset), not shard-relative. *)
+  let ref_winner =
+    1
+    + (let rec go i = function
+         | [] -> 0
+         | r :: rest -> if r == ref_best then i else go (i + 1) rest
+       in
+       go 0 ref_all)
+  in
+  Alcotest.(check (option (float 0.0))) "global winner index"
+    (Some (float_of_int ref_winner))
+    (jnum j "winner_restart");
+  (* Shard bounds are validated up front. *)
+  List.iter
+    (fun shard ->
+      match Serve.Pool.submit pool (submission ~runs:4 ~shard ()) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bad shard bounds must be rejected")
+    [ (-1, 2); (2, 2); (3, 2); (0, 5) ];
+  Serve.Pool.shutdown pool
+
+let test_tcp_round_trip () =
+  let d = boot_daemon () in
+  Fun.protect ~finally:d.d_stop (fun () ->
+      let socket = d.d_tcp in
+      (* Every verb over loopback TCP, through the same client. *)
+      ok (Serve.Client.ping ~socket ());
+      let id = ok (Serve.Client.submit ~socket (submission ~moves:200 ())) in
+      let j = ok (Serve.Client.wait ~socket id) in
+      Alcotest.(check (option string)) "job done over tcp" (Some "done") (jstr j "state");
+      let st = ok (Serve.Client.status ~socket id) in
+      Alcotest.(check (option string)) "status over tcp" (Some "done") (jstr st "state");
+      ignore (ok (Serve.Client.result ~socket id));
+      ignore (ok (Serve.Client.stats ~socket ()));
+      (match Serve.Client.cancel ~socket id with
+      | Error _ -> () (* already finished; the point is the verb's transit *)
+      | Ok () -> Alcotest.fail "cancel of a done job must be an error");
+      (* cache_lookup answers from the daemon's compile cache. *)
+      let hash =
+        match Core.Compile_cache.key_of_source ota_source with
+        | Ok k -> k
+        | Error e -> Alcotest.failf "canon: %s" e
+      in
+      (match ok (Serve.Client.cache_lookup ~socket hash) with
+      | Some (Ok ()) -> ()
+      | Some (Error e) -> Alcotest.failf "good source reported bad: %s" e
+      | None -> Alcotest.fail "compiled hash must be known");
+      Alcotest.(check bool) "unknown hash unknown" true
+        (ok (Serve.Client.cache_lookup ~socket "0000") = None);
+      (* cache_push of a failure verdict is visible to the next lookup. *)
+      ok
+        (Serve.Client.cache_push ~socket
+           { Serve.Proto.cp_hash = "feedface"; cp_error = Some "boom" });
+      (match ok (Serve.Client.cache_lookup ~socket "feedface") with
+      | Some (Error "boom") -> ()
+      | _ -> Alcotest.fail "pushed verdict must be served back");
+      (* The Unix socket serves the same daemon. *)
+      let st2 = ok (Serve.Client.stats ~socket:d.d_unix ()) in
+      Alcotest.(check bool) "both transports, one daemon" true
+        (Obs.Json.mem_opt "jobs" st2 <> None))
+
+let test_tcp_partial_line_writes () =
+  let d = boot_daemon ~workers:0 () in
+  Fun.protect ~finally:d.d_stop (fun () ->
+      (* A request dribbled out a few bytes at a time is still one line. *)
+      let port =
+        match Serve.Client.parse_endpoint d.d_tcp with
+        | Ok (Serve.Client.Tcp (_, p)) -> p
+        | _ -> Alcotest.fail "tcp endpoint did not parse"
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let line = Obs.Json.to_string (Serve.Proto.request_to_json Serve.Proto.Stats) ^ "\n" in
+      String.iter
+        (fun c ->
+          ignore (Unix.write_substring fd (String.make 1 c) 0 1);
+          if c = ',' then Unix.sleepf 0.002)
+        line;
+      let reader = Serve.Proto.line_reader fd in
+      Alcotest.(check bool) "dribbled request answered" true
+        (Serve.Proto.response_error (raw_response reader) = None);
+      (* Two requests in one write: both answered, in order. *)
+      let two =
+        Obs.Json.to_string (Serve.Proto.request_to_json Serve.Proto.Ping)
+        ^ "\n"
+        ^ Obs.Json.to_string (Serve.Proto.request_to_json (Serve.Proto.Status 999))
+        ^ "\n"
+      in
+      ignore (Unix.write_substring fd two 0 (String.length two));
+      Alcotest.(check bool) "first of pipelined pair" true
+        (Serve.Proto.response_error (raw_response reader) = None);
+      Alcotest.(check bool) "second of pipelined pair" true
+        (Serve.Proto.response_error (raw_response reader) <> None);
+      Unix.close fd)
+
+let test_tcp_error_attribution () =
+  (* Nobody listening: reachability. *)
+  (match Serve.Client.stats ~socket:"tcp:127.0.0.1:1" ~timeout_s:0.5 () with
+  | Error e ->
+      Alcotest.(check bool) "refused connect says cannot reach" true
+        (contains e "cannot reach")
+  | Ok _ -> Alcotest.fail "closed port must fail");
+  (* Accepts but never answers: a response timeout, as on the Unix path. *)
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listener 4;
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  (match
+     Serve.Client.stats ~socket:(Printf.sprintf "tcp:127.0.0.1:%d" port) ~timeout_s:0.3 ()
+   with
+  | Error e ->
+      Alcotest.(check bool) "mute tcp daemon says did not respond" true
+        (contains e "did not respond");
+      Alcotest.(check bool) "not misattributed to reachability" false
+        (contains e "cannot reach")
+  | Ok _ -> Alcotest.fail "mute daemon must time out");
+  Unix.close listener
+
+let test_auth_required () =
+  let d = boot_daemon ~workers:0 ~auth_token:"sekrit" () in
+  Fun.protect ~finally:d.d_stop (fun () ->
+      (* The right token, pipelined: business as usual on both transports. *)
+      ignore (ok (Serve.Client.stats ~socket:d.d_tcp ~auth:"sekrit" ()));
+      ignore (ok (Serve.Client.stats ~socket:d.d_unix ~auth:"sekrit" ()));
+      (* No token: the first line is a request, which is an auth failure —
+         exactly one ok:false line, then the connection closes. *)
+      let expect_one_refusal fd =
+        let reader = Serve.Proto.line_reader fd in
+        Serve.Proto.write_line fd (Serve.Proto.request_to_json Serve.Proto.Stats);
+        (match Serve.Proto.read_line reader with
+        | Some line -> (
+            match Obs.Json.of_string line with
+            | Ok j -> (
+                match Serve.Proto.response_error j with
+                | Some e ->
+                    Alcotest.(check string) "names the failure"
+                      Serve.Proto.auth_failed_message e
+                | None -> Alcotest.fail "refusal must be ok:false")
+            | Error e -> Alcotest.failf "bad refusal json: %s" e)
+        | None -> Alcotest.fail "expected one refusal line");
+        (* ...and nothing after it: the daemon hung up. *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+        (match Serve.Proto.read_line reader with
+        | None -> ()
+        | Some _ -> Alcotest.fail "connection must close after the refusal");
+        Unix.close fd
+      in
+      expect_one_refusal (connect_raw d.d_unix);
+      (* Wrong token over TCP: same single refusal. *)
+      let port =
+        match Serve.Client.parse_endpoint d.d_tcp with
+        | Ok (Serve.Client.Tcp (_, p)) -> p
+        | _ -> Alcotest.fail "tcp endpoint did not parse"
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Serve.Proto.write_line fd (Serve.Proto.auth_to_json "wrong");
+      let reader = Serve.Proto.line_reader fd in
+      (match Serve.Proto.read_line reader with
+      | Some line ->
+          Alcotest.(check bool) "wrong token refused" true
+            (match Obs.Json.of_string line with
+            | Ok j -> Serve.Proto.response_error j <> None
+            | Error _ -> false)
+      | None -> Alcotest.fail "expected a refusal line");
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      (match Serve.Proto.read_line reader with
+      | None -> ()
+      | Some _ -> Alcotest.fail "connection must close after wrong token");
+      Unix.close fd;
+      (* The client surfaces the refusal as the request's error. *)
+      (match Serve.Client.stats ~socket:d.d_tcp ~auth:"wrong" () with
+      | Error e ->
+          Alcotest.(check bool) "client surfaces auth failure" true
+            (contains e Serve.Proto.auth_failed_message)
+      | Ok _ -> Alcotest.fail "wrong token must fail");
+      (* Failures are counted. *)
+      let st = ok (Serve.Client.stats ~socket:d.d_tcp ~auth:"sekrit" ()) in
+      let conns = Option.get (Obs.Json.mem_opt "connections" st) in
+      match jnum conns "auth_failures" with
+      | Some n -> Alcotest.(check bool) "auth failures counted" true (n >= 3.0)
+      | None -> Alcotest.fail "no auth_failures counter")
+
+let test_drain_closes_tcp () =
+  let d = boot_daemon ~workers:0 () in
+  let port =
+    match Serve.Client.parse_endpoint d.d_tcp with
+    | Ok (Serve.Client.Tcp (_, p)) -> p
+    | _ -> Alcotest.fail "tcp endpoint did not parse"
+  in
+  ok (Serve.Client.ping ~socket:d.d_tcp ());
+  d.d_stop ();
+  (* Both listeners are gone: TCP connects are refused, the socket file is
+     unlinked. *)
+  (match Serve.Client.ping ~socket:d.d_tcp ~timeout_s:1.0 () with
+  | Error e -> Alcotest.(check bool) "tcp listener closed" true (contains e "cannot reach")
+  | Ok () -> Alcotest.fail "drained daemon must not answer tcp");
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists d.d_unix);
+  ignore port
+
+(* --- Fleet: scatter/steal/merge determinism, cache replication --- *)
+
+let fleet_config ?(peers = []) ?(steal_timeout_s = 30.0) ?(rpc_timeout_s = 5.0) () =
+  Serve.Fleet.create
+    { Serve.Fleet.default_config with peers; steal_timeout_s; rpc_timeout_s }
+
+(* A coordinator pool wired to [peers]; runs shard 0 itself. *)
+let coordinator ?fleet () =
+  Serve.Pool.create
+    {
+      Serve.Pool.default_config with
+      workers = 1;
+      queue_capacity = 16;
+      state_dir = None;
+      fleet;
+    }
+
+let test_fleet_determinism () =
+  let moves = 250 and seed = 9 and runs = 6 in
+  (* The single-box reference: one daemon, whole budget. *)
+  let p = Lazy.force compiled_ota in
+  let ref_best, ref_all = Core.Oblx.best_of ~seed ~moves ~jobs:1 ~runs p in
+  let ref_winner =
+    let rec go i = function
+      | [] -> 0
+      | r :: rest -> if r == ref_best then i else go (i + 1) rest
+    in
+    go 0 ref_all
+  in
+  (* Three daemons: a coordinator pool scattering over two TCP peers. *)
+  let b = boot_daemon () and c = boot_daemon () in
+  let fleet = fleet_config ~peers:[ b.d_tcp; c.d_tcp ] () in
+  let pool = coordinator ~fleet () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Pool.shutdown pool;
+      b.d_stop ();
+      c.d_stop ())
+    (fun () ->
+      let id = ok (Serve.Pool.submit pool (submission ~seed ~moves ~runs ())) in
+      Alcotest.(check string) "fleet job done" "done" (wait_done pool id);
+      let j = ok (Serve.Pool.result_json pool id) in
+      (match jnum j "best_cost" with
+      | Some c ->
+          Alcotest.(check bool) "fleet = one box, bit for bit" true
+            (Int64.bits_of_float c = Int64.bits_of_float ref_best.Core.Oblx.best_cost)
+      | None -> Alcotest.fail "no best_cost");
+      Alcotest.(check (option (float 0.0))) "winner restart preserved"
+        (Some (float_of_int ref_winner))
+        (jnum j "winner_restart");
+      (* Every restart ran exactly once, somewhere. *)
+      let total_moves =
+        List.fold_left (fun a (r : Core.Oblx.result) -> a + r.Core.Oblx.moves) 0 ref_all
+      in
+      Alcotest.(check (option (float 0.0))) "move total matches the flat run"
+        (Some (float_of_int total_moves))
+        (jnum j "moves");
+      let fs = Serve.Fleet.stats_json fleet in
+      Alcotest.(check (option (float 0.0))) "one scatter" (Some 1.0) (jnum fs "scatters");
+      Alcotest.(check (option (float 0.0))) "two remote shards" (Some 2.0)
+        (jnum fs "remote_shards"))
+
+let test_fleet_steal_recovers () =
+  let moves = 250 and seed = 9 and runs = 6 in
+  let p = Lazy.force compiled_ota in
+  let ref_best, _ = Core.Oblx.best_of ~seed ~moves ~jobs:1 ~runs p in
+  (* One live peer, one "peer" that accepts and never answers — a daemon
+     that died mid-job. Its shard must be stolen and re-run locally, and
+     the merged answer must not change. *)
+  let b = boot_daemon () in
+  let dead = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt dead Unix.SO_REUSEADDR true;
+  Unix.bind dead (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen dead 4;
+  let dead_ep =
+    match Unix.getsockname dead with
+    | Unix.ADDR_INET (_, p) -> Printf.sprintf "tcp:127.0.0.1:%d" p
+    | _ -> Alcotest.fail "no port"
+  in
+  let fleet = fleet_config ~peers:[ b.d_tcp; dead_ep ] ~rpc_timeout_s:0.4 () in
+  let pool = coordinator ~fleet () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Pool.shutdown pool;
+      b.d_stop ();
+      Unix.close dead)
+    (fun () ->
+      let id = ok (Serve.Pool.submit pool (submission ~seed ~moves ~runs ())) in
+      Alcotest.(check string) "job survives the dead peer" "done" (wait_done pool id);
+      let j = ok (Serve.Pool.result_json pool id) in
+      (match jnum j "best_cost" with
+      | Some c ->
+          Alcotest.(check bool) "stolen shard changes nothing, bit for bit" true
+            (Int64.bits_of_float c = Int64.bits_of_float ref_best.Core.Oblx.best_cost)
+      | None -> Alcotest.fail "no best_cost");
+      let fs = Serve.Fleet.stats_json fleet in
+      (match jnum fs "steals" with
+      | Some n -> Alcotest.(check bool) "the steal was counted" true (n >= 1.0)
+      | None -> Alcotest.fail "no steals counter"))
+
+let test_fleet_cache_replication () =
+  (* Two fleet-aware daemons pointing at each other. Compiling on one
+     pushes the verdict to the other; the other's first compile of the
+     same source is then a remote hit (it still compiles — closures don't
+     travel — but the fleet knew). *)
+  let fb = fleet_config () and fc = fleet_config () in
+  let b = boot_daemon ~fleet:fb () and c = boot_daemon ~fleet:fc () in
+  Serve.Fleet.set_peers fb [ c.d_tcp ];
+  Serve.Fleet.set_peers fc [ b.d_tcp ];
+  Fun.protect
+    ~finally:(fun () ->
+      b.d_stop ();
+      c.d_stop ())
+    (fun () ->
+      let id = ok (Serve.Client.submit ~socket:b.d_tcp (submission ~moves:200 ())) in
+      let j = ok (Serve.Client.wait ~socket:b.d_tcp id) in
+      Alcotest.(check (option string)) "first daemon compiled" (Some "miss")
+        (jstr j "cache");
+      (* The push landed in C's directory before B's job finished (push
+         happens at compile time, before annealing). *)
+      let id2 = ok (Serve.Client.submit ~socket:c.d_tcp (submission ~moves:200 ())) in
+      let j2 = ok (Serve.Client.wait ~socket:c.d_tcp id2) in
+      Alcotest.(check (option string)) "second daemon still compiles locally"
+        (Some "miss") (jstr j2 "cache");
+      Alcotest.(check (option string)) "and still finishes" (Some "done")
+        (jstr j2 "state");
+      let st = ok (Serve.Client.stats ~socket:c.d_tcp ()) in
+      let cache = Option.get (Obs.Json.mem_opt "cache" st) in
+      (match jnum cache "remote_hits" with
+      | Some n -> Alcotest.(check bool) "remote hit counted in stats" true (n >= 1.0)
+      | None -> Alcotest.fail "no remote_hits in cache stats");
+      (* A compile *failure* verdict replicates too — and fails fast. *)
+      let idb = ok (Serve.Client.submit ~socket:b.d_tcp (submission ~source:broken_source ())) in
+      let jb = ok (Serve.Client.wait ~socket:b.d_tcp idb) in
+      Alcotest.(check (option string)) "broken failed at the source" (Some "failed")
+        (jstr jb "state");
+      let idc = ok (Serve.Client.submit ~socket:c.d_tcp (submission ~source:broken_source ())) in
+      let jc = ok (Serve.Client.wait ~socket:c.d_tcp idc) in
+      Alcotest.(check (option string)) "replicated verdict fails fast" (Some "failed")
+        (jstr jc "state");
+      Alcotest.(check (option string)) "with the same error" (jstr jb "error")
+        (jstr jc "error"))
+
+(* --- Journal rotation --- *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_log_rotation_compacts_and_replays () =
+  let dir = temp_state_dir "rotate" in
+  rm_rf dir;
+  let cfg workers =
+    {
+      Serve.Pool.default_config with
+      workers;
+      queue_capacity = 16;
+      state_dir = Some dir;
+      log_rotate_bytes = Some 2_000;
+    }
+  in
+  let pool = Serve.Pool.create (cfg 1) in
+  let ids =
+    List.init 5 (fun i ->
+        ok (Serve.Pool.submit pool (submission ~seed:(i + 1) ~moves:150 ())))
+  in
+  List.iter (fun id -> Alcotest.(check string) "finished" "done" (wait_done pool id)) ids;
+  let costs =
+    List.map
+      (fun id ->
+        match jnum (ok (Serve.Pool.result_json pool id)) "best_cost" with
+        | Some c -> (id, c)
+        | None -> Alcotest.failf "job %d has no best_cost" id)
+      ids
+  in
+  let stats = Serve.Pool.stats_json pool in
+  let journal = Option.get (Obs.Json.mem_opt "journal" stats) in
+  (match jnum journal "rotations" with
+  | Some n -> Alcotest.(check bool) "rotated at least once" true (n >= 1.0)
+  | None -> Alcotest.fail "no rotations counter");
+  (* The compacted journal holds one terminal line per finished job. *)
+  let lines = read_lines (Filename.concat dir "jobs.log") in
+  Alcotest.(check bool) "compaction shrank the journal" true
+    (List.length lines <= 2 * List.length ids);
+  Serve.Pool.shutdown pool;
+  (* A leftover tmp from a rotation killed mid-write must be ignored:
+     replay reads jobs.log only. *)
+  let tmp_oc = open_out (Filename.concat dir "jobs.log.tmp") in
+  output_string tmp_oc "{\"log\":\"submit\",\"torn";
+  close_out tmp_oc;
+  let pool2 = Serve.Pool.create (cfg 0) in
+  List.iter
+    (fun (id, cost) ->
+      let j = ok (Serve.Pool.result_json pool2 id) in
+      Alcotest.(check (option string))
+        (Printf.sprintf "job %d replayed done" id)
+        (Some "done") (jstr j "state");
+      match jnum j "best_cost" with
+      | Some c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d cost bit-identical" id)
+            true
+            (Int64.bits_of_float c = Int64.bits_of_float cost)
+      | None -> Alcotest.failf "job %d lost best_cost" id)
+    costs;
+  Serve.Pool.shutdown pool2;
+  rm_rf dir
+
+let test_log_rotation_keeps_live_jobs () =
+  let dir = temp_state_dir "rotate-live" in
+  rm_rf dir;
+  (* A frozen pool with queued jobs: rotation must preserve their submit
+     lines so a restart still knows about them. Tiny threshold so the
+     queued submits themselves trip rotation. *)
+  let cfg =
+    {
+      Serve.Pool.default_config with
+      workers = 0;
+      queue_capacity = 16;
+      state_dir = Some dir;
+      log_rotate_bytes = Some 200;
+    }
+  in
+  let pool = Serve.Pool.create cfg in
+  let ids = List.init 3 (fun i -> ok (Serve.Pool.submit pool (submission ~seed:(i + 1) ()))) in
+  let stats = Serve.Pool.stats_json pool in
+  let journal = Option.get (Obs.Json.mem_opt "journal" stats) in
+  (match jnum journal "rotations" with
+  | Some n -> Alcotest.(check bool) "queued submits tripped rotation" true (n >= 1.0)
+  | None -> Alcotest.fail "no rotations counter");
+  (* Abandon without shutdown (simulated crash): the rotated journal must
+     still replay every queued id, as failed-by-restart. *)
+  let pool2 = Serve.Pool.create { cfg with log_rotate_bytes = None } in
+  List.iter
+    (fun id ->
+      let j = ok (Serve.Pool.result_json pool2 id) in
+      Alcotest.(check (option string))
+        (Printf.sprintf "queued job %d survived rotation" id)
+        (Some "failed") (jstr j "state"))
+    ids;
+  Serve.Pool.shutdown pool2;
+  Serve.Pool.shutdown pool;
+  rm_rf dir
+
 let () =
   Alcotest.run "serve"
     [
@@ -611,6 +1222,8 @@ let () =
           Alcotest.test_case "request round-trip" `Quick test_proto_round_trip;
           Alcotest.test_case "lenient defaults + shape errors" `Quick
             test_proto_lenient_defaults;
+          Alcotest.test_case "fleet verbs + shard round-trip" `Quick
+            test_proto_new_verbs_round_trip;
         ] );
       ( "cache",
         [
@@ -646,5 +1259,30 @@ let () =
           Alcotest.test_case "idle timeout" `Quick test_server_idle_timeout;
           Alcotest.test_case "client error attribution" `Quick
             test_client_error_attribution;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "every verb over loopback" `Slow test_tcp_round_trip;
+          Alcotest.test_case "partial-line writes" `Quick test_tcp_partial_line_writes;
+          Alcotest.test_case "error attribution" `Quick test_tcp_error_attribution;
+          Alcotest.test_case "auth gate" `Quick test_auth_required;
+          Alcotest.test_case "drain closes the tcp listener" `Quick test_drain_closes_tcp;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "split_shards tiles the budget" `Quick test_fleet_split_shards;
+          Alcotest.test_case "sharded submit runs its range" `Slow test_pool_shard_execution;
+          Alcotest.test_case "scatter/merge = one box, bit for bit" `Slow
+            test_fleet_determinism;
+          Alcotest.test_case "dead peer stolen, bits unchanged" `Slow
+            test_fleet_steal_recovers;
+          Alcotest.test_case "compile verdicts replicate" `Slow test_fleet_cache_replication;
+        ] );
+      ( "rotation",
+        [
+          Alcotest.test_case "compacts and replays bit-identically" `Slow
+            test_log_rotation_compacts_and_replays;
+          Alcotest.test_case "live jobs survive rotation" `Quick
+            test_log_rotation_keeps_live_jobs;
         ] );
     ]
