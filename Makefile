@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-perf-check bench-perf-incremental bench-serve bench-serve-concurrent bench-serve-fleet trace-replay serve-smoke fleet-smoke clean
+.PHONY: all build test bench bench-quick bench-perf-check bench-perf-incremental bench-serve bench-serve-concurrent bench-serve-fleet bench-sweep trace-replay serve-smoke fleet-smoke clean
 
 all: build
 
@@ -67,6 +67,14 @@ bench-serve-concurrent:
 # bench/results/serve-fleet-latest.json.
 bench-serve-fleet:
 	dune exec bench/main.exe -- serve-fleet --moves 300
+
+# One netlist swept over a corners x spec-overrides grid through the
+# pool's sweep verb: gates exactly one compile per distinct
+# (canon, corner) key via the cache counters, and byte-identical verdict
+# tables on 1-worker vs 4-worker pools; writes
+# bench/results/sweep-latest.json.
+bench-sweep:
+	dune exec bench/main.exe -- sweep --moves 200
 
 # Boot the daemon, exercise submit/cache-hit/cancel/shutdown over the
 # socket (scripts/serve_smoke.sh; the CI serve-smoke job).

@@ -1256,6 +1256,7 @@ let serve () =
                sb_deadline_s = None;
                sb_trace = false;
                sb_shard = None;
+               sb_sweep = [];
              }))
   in
   let jobs_done = List.map (fun id -> ok (Serve.Client.wait ~socket id)) ids in
@@ -1301,6 +1302,7 @@ let serve () =
            sb_deadline_s = Some deadline;
            sb_trace = false;
            sb_shard = None;
+           sb_sweep = [];
          })
   in
   let d_job = ok (Serve.Client.wait ~socket d_id) in
@@ -1478,6 +1480,7 @@ let serve_concurrent () =
               sb_deadline_s = None;
               sb_trace = false;
               sb_shard = None;
+              sb_sweep = [];
             }
         with
         | Error e -> Error e
@@ -1648,6 +1651,7 @@ let serve_fleet () =
       sb_deadline_s = None;
       sb_trace = false;
       sb_shard = None;
+      sb_sweep = [];
     }
   in
   Printf.printf "daemons=3 workers/daemon=%d moves/job=%d auth=on\n%!" workers s_moves;
@@ -1842,10 +1846,181 @@ let serve_fleet () =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Sweep: batch verdict grid, one compile per (canon, corner)          *)
+(* ------------------------------------------------------------------ *)
+
+(* The gates this bench enforces:
+   - exactly one compile per distinct (canon, corner) key, asserted from
+     both the per-row cache outcomes and the pool's cache counters;
+   - the verdict table is byte-identical between a 1-worker and a
+     4-worker pool (sweep jobs run their variants sequentially at
+     jobs = 1 on one worker, so the table is a deterministic function of
+     (source, variants, seed)). *)
+let sweep_bench () =
+  sep "SWEEP -- batch verdict grid: one compile per (canon, corner) key";
+  (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
+  (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
+  let s_moves = Option.value !moves ~default:300 in
+  let name = "simple-ota" in
+  let src = (Option.get (Suite.Ckts.find name)).Suite.Ckts.source in
+  let corner_names = [ None; Some "slow"; Some "fast"; Some "slow-n-fast-p"; Some "fast-n-slow-p" ] in
+  let specsets =
+    [
+      ("base", []);
+      ("tight-ugf", [ ("ugf", 80e6, 1e6) ]);
+      ("tight-pwr", [ ("pwr", 0.5e-3, 5e-3) ]);
+    ]
+  in
+  let variants =
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun (sn, ov) ->
+            {
+              Serve.Proto.vr_name = (match c with None -> sn | Some cn -> cn ^ "/" ^ sn);
+              vr_corner = c;
+              vr_specs = ov;
+            })
+          specsets)
+      corner_names
+  in
+  let submit =
+    {
+      Serve.Proto.sb_name = name;
+      sb_source = src;
+      sb_seed = base_seed;
+      sb_moves = Some s_moves;
+      sb_runs = 1;
+      sb_priority = 0;
+      sb_deadline_s = None;
+      sb_trace = false;
+      sb_shard = None;
+      sb_sweep = variants;
+    }
+  in
+  let distinct_keys = List.length corner_names in
+  let n_variants = List.length variants in
+  Printf.printf "%d variants (%d corners x %d spec sets), %d distinct (canon, corner) keys, \
+                 moves/variant=%d\n%!"
+    n_variants distinct_keys (List.length specsets) distinct_keys s_moves;
+  let run_on ~workers =
+    let pool =
+      Serve.Pool.create
+        { Serve.Pool.default_config with Serve.Pool.workers; queue_capacity = 8; state_dir = None }
+    in
+    Fun.protect
+      ~finally:(fun () -> Serve.Pool.shutdown pool)
+      (fun () ->
+        let id =
+          match Serve.Pool.submit pool submit with
+          | Ok id -> id
+          | Error e -> failwith ("sweep bench: " ^ e)
+        in
+        let rec wait () =
+          match Serve.Pool.status_json pool id with
+          | Error e -> failwith ("sweep bench: " ^ e)
+          | Ok j -> begin
+              match jstr j "state" with
+              | Some ("queued" | "running") ->
+                  Unix.sleepf 0.02;
+                  wait ()
+              | _ -> ()
+            end
+        in
+        wait ();
+        let job =
+          match Serve.Pool.result_json pool id with
+          | Ok j -> j
+          | Error e -> failwith ("sweep bench: " ^ e)
+        in
+        (job, Serve.Pool.stats_json pool))
+  in
+  let t0 = Unix.gettimeofday () in
+  let job1, stats1 = run_on ~workers:1 in
+  let job4, _ = run_on ~workers:4 in
+  let wall = Unix.gettimeofday () -. t0 in
+  let sweep_of job =
+    match Obs.Json.mem_opt "sweep" job with
+    | Some (Obs.Json.Arr rows) -> rows
+    | _ -> failwith "sweep bench: job record carries no sweep table"
+  in
+  let rows = sweep_of job1 in
+  if List.length rows <> n_variants then
+    failwith
+      (Printf.sprintf "sweep bench: %d rows for %d variants" (List.length rows) n_variants);
+  let hits = ref 0 and misses = ref 0 and failures = ref 0 in
+  List.iter
+    (fun r ->
+      (match jstr r "cache" with
+      | Some "hit" -> incr hits
+      | Some "miss" -> incr misses
+      | _ -> incr failures);
+      if jnum r "best_cost" = None then incr failures;
+      Printf.printf "  %-22s %-14s %-5s cost %-10s ok=%s\n"
+        (Option.value (jstr r "variant") ~default:"-")
+        (Option.value (jstr r "corner") ~default:"nominal")
+        (Option.value (jstr r "cache") ~default:"-")
+        (match jnum r "best_cost" with Some c -> Printf.sprintf "%.4g" c | None -> "-")
+        (match Obs.Json.mem_opt "ok" r with
+        | Some (Obs.Json.Bool b) -> string_of_bool b
+        | _ -> "-"))
+    rows;
+  Printf.printf "compiles: %d misses + %d hits over %d variants in %.2f s\n" !misses !hits
+    n_variants wall;
+  if !failures > 0 then failwith "sweep bench: a variant failed";
+  if !misses <> distinct_keys then
+    failwith
+      (Printf.sprintf "sweep bench: %d compiles for %d distinct (canon, corner) keys"
+         !misses distinct_keys);
+  if !hits <> n_variants - distinct_keys then
+    failwith
+      (Printf.sprintf "sweep bench: expected %d cache hits, saw %d"
+         (n_variants - distinct_keys) !hits);
+  (* The pool's own counters must agree: the job's compiles are the only
+     cache traffic this pool ever saw. *)
+  let cache1 = Option.value (Obs.Json.mem_opt "cache" stats1) ~default:(Obs.Json.Obj []) in
+  let pool_misses = Option.value (jnum cache1 "misses") ~default:(-1.0) in
+  Printf.printf "pool cache counters: %.0f misses (expected %d)\n" pool_misses distinct_keys;
+  if pool_misses <> float_of_int distinct_keys then
+    failwith "sweep bench: pool cache counters disagree with the per-row outcomes";
+  (* Worker-count independence: the rendered verdict tables must be
+     byte-identical between the 1- and 4-worker pools. *)
+  let table1 = Obs.Json.to_string (Obs.Json.Arr rows) in
+  let table4 = Obs.Json.to_string (Obs.Json.Arr (sweep_of job4)) in
+  Printf.printf "determinism: 1-worker vs 4-worker verdict table -> %s\n"
+    (if table1 = table4 then "byte-identical" else "MISMATCH");
+  if table1 <> table4 then failwith "sweep bench: verdict table depends on worker count";
+  let path = "bench/results/sweep-latest.json" in
+  let num v = Obs.Json.Num v in
+  let int v = num (float_of_int v) in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "sweep");
+        ("baseline", baseline_json ~jobs:1 ~eval_mode:"incremental");
+        ("circuit", Obs.Json.Str name);
+        ("variants", int n_variants);
+        ("distinct_keys", int distinct_keys);
+        ("moves_per_variant", int s_moves);
+        ("wall_s", num wall);
+        ("compile_misses", int !misses);
+        ("compile_hits", int !hits);
+        ("one_compile_per_key", Obs.Json.Bool (!misses = distinct_keys));
+        ("deterministic_vs_workers", Obs.Json.Bool (table1 = table4));
+        ("sweep", Obs.Json.Arr rows);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|perf-incremental|telemetry|serve|serve-concurrent|serve-fleet|all]\n\
+     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|perf-incremental|telemetry|serve|serve-concurrent|serve-fleet|sweep|all]\n\
     \       [--runs N] [--moves N] [--jobs N] [--floor F]"
 
 let () =
@@ -1885,6 +2060,7 @@ let () =
     | "serve" -> serve ()
     | "serve-concurrent" -> serve_concurrent ()
     | "serve-fleet" -> serve_fleet ()
+    | "sweep" -> sweep_bench ()
     | "all" ->
         table1 ();
         table2 ();
@@ -1899,7 +2075,8 @@ let () =
         telemetry ();
         serve ();
         serve_concurrent ();
-        serve_fleet ()
+        serve_fleet ();
+        sweep_bench ()
     | other ->
         Printf.printf "unknown experiment %S\n" other;
         usage ();

@@ -524,6 +524,7 @@ let submit_cmd =
                 sb_deadline_s = deadline;
                 sb_trace = events;
                 sb_shard = None;
+                sb_sweep = [];
               }
             in
             match Serve.Client.submit ~socket ?auth spec with
@@ -543,6 +544,233 @@ let submit_cmd =
     Term.(
       const run $ socket_arg $ auth_token_file_arg $ problem_arg $ seed_arg $ moves_arg
       $ runs_arg $ priority_arg $ deadline_arg $ events_arg $ wait_flag $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: one netlist, a grid of corner/spec variants                  *)
+(* ------------------------------------------------------------------ *)
+
+let problem_arg_sweep =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROBLEM" ~doc:"Built-in benchmark name or problem file")
+
+(* The per-variant verdict table a finished sweep job carries. The
+   compile counters are recomputed from the rows themselves (misses =
+   distinct (canon, corner) keys compiled, hits = variants served from
+   cache), so the report is the same whether the sweep ran in-process or
+   on a remote daemon. *)
+let print_sweep job =
+  (match Json.mem_opt "sweep" job with
+  | Some (Json.Arr rows) ->
+      Printf.printf "%-28s %-14s %-6s %12s %-4s %s\n" "variant" "corner" "cache"
+        "best-cost" "ok" "note";
+      let hits = ref 0 and misses = ref 0 in
+      List.iter
+        (fun r ->
+          let s k = match Json.mem_opt k r with Some (Json.Str s) -> s | _ -> "-" in
+          (match Json.mem_opt "cache" r with
+          | Some (Json.Str "hit") -> incr hits
+          | Some (Json.Str "miss") -> incr misses
+          | _ -> ());
+          let corner =
+            match Json.mem_opt "corner" r with
+            | Some (Json.Str c) -> c
+            | _ -> "nominal"
+          in
+          let cost =
+            match Json.mem_opt "best_cost" r with
+            | Some (Json.Num v) -> Printf.sprintf "%.4g" v
+            | _ -> "-"
+          in
+          let ok =
+            match Json.mem_opt "ok" r with
+            | Some (Json.Bool true) -> "yes"
+            | Some (Json.Bool false) -> "no"
+            | _ -> "-"
+          in
+          let note =
+            match Json.mem_opt "error" r with
+            | Some (Json.Str e) -> e
+            | _ -> (
+                match Json.mem_opt "cut_reason" r with
+                | Some (Json.Str c) -> "cut: " ^ c
+                | _ -> "")
+          in
+          Printf.printf "%-28s %-14s %-6s %12s %-4s %s\n" (s "variant") corner
+            (s "cache") cost ok note)
+        rows;
+      Printf.printf "compiles: %d for %d variants (%d cache hits)\n" !misses
+        (List.length rows) !hits
+  | _ -> print_endline "no sweep table on the job record");
+  match jstr job "error" with Some e -> Printf.printf "error: %s\n" e | None -> ()
+
+let sweep_cmd =
+  let corners_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corners" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated device corners from the standard table (\"nominal\" = no \
+             skew); each corner compiles once, shared by all its spec variants. Default: \
+             nominal only")
+  in
+  let vary_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "vary" ] ~docv:"SPEC:GOOD:BAD"
+          ~doc:
+            "Add a spec variant overriding one specification's good/bad targets \
+             (repeatable); applied per corner without recompiling")
+  in
+  let socket_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"ENDPOINT"
+          ~doc:"Run the sweep on a running oblxd daemon instead of in-process")
+  in
+  let parse_vary s =
+    (* Targets take spice suffixes (80meg, 0.5m) like every other number
+       in the language. *)
+    match String.split_on_char ':' s with
+    | [ name; good; bad ] -> begin
+        match (Netlist.Units.parse good, Netlist.Units.parse bad) with
+        | Ok g, Ok b when name <> "" -> Ok (name, g, b)
+        | _ -> Error (Printf.sprintf "bad --vary %S: expected SPEC:GOOD:BAD" s)
+      end
+    | _ -> Error (Printf.sprintf "bad --vary %S: expected SPEC:GOOD:BAD" s)
+  in
+  let build_variants corners varies =
+    let corner_list =
+      match corners with
+      | None -> [ None ]
+      | Some s ->
+          String.split_on_char ',' s
+          |> List.map String.trim
+          |> List.filter (fun c -> c <> "")
+          |> List.map (fun c -> if c = "nominal" then None else Some c)
+    in
+    let specsets =
+      ("base", [])
+      :: List.map
+           (fun (n, g, b) -> (Printf.sprintf "%s=%g:%g" n g b, [ (n, g, b) ]))
+           varies
+    in
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun (sn, ov) ->
+            {
+              Serve.Proto.vr_name =
+                (match c with None -> sn | Some cn -> cn ^ "/" ^ sn);
+              vr_corner = c;
+              vr_specs = ov;
+            })
+          specsets)
+      corner_list
+  in
+  let run socket token_file name seed moves runs corners varies json =
+    match problem_source name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src -> begin
+        let varies =
+          List.fold_left
+            (fun acc s ->
+              match (acc, parse_vary s) with
+              | Error e, _ -> Error e
+              | Ok vs, Ok v -> Ok (vs @ [ v ])
+              | Ok _, Error e -> Error e)
+            (Ok []) varies
+        in
+        match varies with
+        | Error e ->
+            prerr_endline ("astrx: " ^ e);
+            1
+        | Ok varies -> begin
+            let bad_corner =
+              match corners with
+              | None -> None
+              | Some s ->
+                  String.split_on_char ',' s
+                  |> List.map String.trim
+                  |> List.find_opt (fun c ->
+                         c <> "" && c <> "nominal"
+                         && Option.is_none (Devices.Registry.find_corner c))
+            in
+            match bad_corner with
+            | Some c ->
+                prerr_endline
+                  (Printf.sprintf "astrx: unknown corner %S (astrx sweep uses the standard \
+                                   corner table)" c);
+                1
+            | None -> begin
+                let spec =
+                  {
+                    Serve.Proto.sb_name = name;
+                    sb_source = src;
+                    sb_seed = seed;
+                    sb_moves = moves;
+                    sb_runs = runs;
+                    sb_priority = 0;
+                    sb_deadline_s = None;
+                    sb_trace = false;
+                    sb_shard = None;
+                    sb_sweep = build_variants corners varies;
+                  }
+                in
+                match socket with
+                | Some socket ->
+                    with_auth token_file (fun auth ->
+                        match Serve.Client.sweep ~socket ?auth spec with
+                        | Error e -> client_fail e
+                        | Ok id ->
+                            print_response ~json print_sweep
+                              (Serve.Client.wait ~socket ?auth id))
+                | None ->
+                    (* In-process: a private single-worker pool, so the CLI
+                       and the daemon execute the identical sweep path —
+                       same cache keying, same verdict table. *)
+                    let pool =
+                      Serve.Pool.create
+                        { Serve.Pool.default_config with Serve.Pool.workers = 1 }
+                    in
+                    Fun.protect
+                      ~finally:(fun () -> Serve.Pool.shutdown pool)
+                      (fun () ->
+                        match Serve.Pool.submit pool spec with
+                        | Error e -> client_fail e
+                        | Ok id ->
+                            let rec wait () =
+                              match Serve.Pool.status_json pool id with
+                              | Error e -> client_fail e
+                              | Ok j -> begin
+                                  match Json.mem_opt "state" j with
+                                  | Some (Json.Str ("queued" | "running")) ->
+                                      Unix.sleepf 0.02;
+                                      wait ()
+                                  | _ ->
+                                      print_response ~json print_sweep
+                                        (Serve.Pool.result_json pool id)
+                                end
+                            in
+                            wait ())
+              end
+          end
+      end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Synthesize one problem across a grid of corner/spec variants, compiling once \
+          per distinct (canon, corner) key")
+    Term.(
+      const run $ socket_opt_arg $ auth_token_file_arg $ problem_arg_sweep $ seed_arg
+      $ moves_arg $ runs_arg $ corners_arg $ vary_arg $ json_arg)
 
 let status_cmd =
   let run socket token_file id json =
@@ -683,6 +911,7 @@ let () =
             sens_cmd;
             list_cmd;
             submit_cmd;
+            sweep_cmd;
             status_cmd;
             result_cmd;
             cancel_cmd;

@@ -103,7 +103,7 @@ let compile ?corner (ast : Netlist.Ast.problem) =
                   } ))
               j.pzs
           in
-          { Problem.jig_name = j.jig_name; jig_circuit = c; tfs })
+          { Problem.jig_name = j.jig_name; jig_circuit = c; tfs; jig_tran = j.jig_tran })
         ast.jigs
     in
     (* 4. Cross-checks: every jig device must have a bias counterpart to
@@ -128,8 +128,12 @@ let compile ?corner (ast : Netlist.Ast.problem) =
                 ())
           j.jig_circuit.Netlist.Circuit.elements)
       jigs;
-    (* 5. Spec sanity: called functions exist; tf names resolve. *)
+    (* 5. Spec sanity: called functions exist; tf names resolve; transient
+       measurements have a .tran budget; corner names resolve. *)
     let all_tfs = List.concat_map (fun (j : Problem.jig) -> List.map fst j.tfs) jigs in
+    let jig_of_tf tfname =
+      List.find_opt (fun (j : Problem.jig) -> List.mem_assoc tfname j.tfs) jigs
+    in
     List.iter
       (fun (s : Netlist.Ast.spec) ->
         List.iter
@@ -142,15 +146,50 @@ let compile ?corner (ast : Netlist.Ast.problem) =
             if not known then err "spec %s: unknown function %s" s.spec_name fname;
             if List.mem fname known_tf_functions then begin
               match args with
-              | Netlist.Expr.Ref [ tfname ] :: _ ->
+              | Netlist.Expr.Ref [ tfname ] :: rest -> begin
                   if not (List.mem tfname all_tfs) then
-                    err "spec %s: unknown transfer function %s" s.spec_name tfname
+                    err "spec %s: unknown transfer function %s" s.spec_name tfname;
+                  (if List.mem fname Depgraph.transient_functions then
+                     match jig_of_tf tfname with
+                     | Some { Problem.jig_tran = None; jig_name; _ } ->
+                         err "spec %s: %s(%s) needs a .tran card in jig %s" s.spec_name fname
+                           tfname jig_name
+                     | Some _ | None -> ());
+                  if fname = "psrr_db" then begin
+                    match rest with
+                    | [ Netlist.Expr.Ref [ sup ] ] ->
+                        if not (List.mem sup all_tfs) then
+                          err "spec %s: unknown transfer function %s" s.spec_name sup
+                    | _ ->
+                        err "spec %s: psrr_db expects two transfer-function names" s.spec_name
+                  end
+                end
               | _ -> err "spec %s: %s expects a transfer-function name" s.spec_name fname
             end)
           (Netlist.Expr.calls s.expr);
+        (match s.spec_corner with
+        | Some cname when Devices.Registry.find_corner cname = None ->
+            err "spec %s: unknown corner %s (known: %s)" s.spec_name cname
+              (String.concat ", "
+                 (List.map
+                    (fun (c : Devices.Registry.corner) -> c.Devices.Registry.corner_name)
+                    Devices.Registry.standard_corners))
+        | Some _ | None -> ());
         if s.good = s.bad then err "spec %s: good and bad must differ" s.spec_name)
       ast.specs;
     if ast.specs = [] then err "no .obj/.spec cards";
+    (* Registries for corner-named spec rows, resolved once here. A corner
+       row is absolute — it names a standard corner regardless of any
+       ?corner this whole compile was skewed to. *)
+    let corner_regs =
+      List.sort_uniq String.compare
+        (List.filter_map (fun (s : Netlist.Ast.spec) -> s.spec_corner) ast.specs)
+      |> List.map (fun cname ->
+             let c = Option.get (Devices.Registry.find_corner cname) in
+             match Devices.Registry.build ?process:ast.process ~corner:c decls with
+             | Ok r -> (cname, r)
+             | Error e -> err "corner %s: %s" cname e)
+    in
     (* 6. Build the variable vector: user variables then node voltages. *)
     let init_vals = List.map (fun (v : Netlist.Ast.var_decl) -> (v.var_name, default_init v)) ast.vars in
     let env0 = initial_env init_vals ast.params in
@@ -262,6 +301,7 @@ let compile ?corner (ast : Netlist.Ast.problem) =
             expr = s.expr;
             good = s.good;
             bad = s.bad;
+            spec_corner = s.spec_corner;
           })
         ast.specs
     in
@@ -280,6 +320,7 @@ let compile ?corner (ast : Netlist.Ast.problem) =
         tl;
         jigs;
         specs;
+        corner_regs;
         regions = ast.regions;
         analysis;
         deps;

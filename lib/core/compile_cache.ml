@@ -43,9 +43,21 @@ let stats t =
         capacity = t.capacity;
       })
 
-let key_of_source src =
+(* A corner-skewed compile is a different artifact: the same canon hash
+   with the corner name appended. The nominal corner keeps the bare hash,
+   so keys already replicated around a fleet stay valid. Corner names are
+   assumed to identify their skews (the {!Devices.Registry.standard_corners}
+   table); a caller inventing two different corners under one name would
+   alias them. *)
+let qualify_key ?corner hash =
+  match corner with
+  | Some c when c.Devices.Registry.corner_name <> "nominal" ->
+      hash ^ "@" ^ c.Devices.Registry.corner_name
+  | Some _ | None -> hash
+
+let key_of_source ?corner src =
   match Netlist.Parser.parse_problem src with
-  | ast -> Ok (Netlist.Canon.problem_hash ast)
+  | ast -> Ok (qualify_key ?corner (Netlist.Canon.problem_hash ast))
   | exception Netlist.Parser.Error (ln, msg) ->
       Error (Printf.sprintf "astrx: parse error at line %d: %s" ln msg)
 
@@ -91,8 +103,8 @@ let peek t ~key =
       | Some { value = Error e; _ } -> Some (Error e)
       | None -> None)
 
-let compile t ~source =
-  match key_of_source source with
+let compile t ?corner ~source () =
+  match key_of_source ?corner source with
   | Error e -> Error (e, Miss) (* unparseable: no key, so never cached *)
   | Ok key -> begin
       match find t ~key with
@@ -101,7 +113,7 @@ let compile t ~source =
       | None -> begin
           (* Compile outside the lock: a big problem takes real time and
              must not stall lookups (or other compiles) behind it. *)
-          let value = Compile.compile_source source in
+          let value = Compile.compile_source ?corner source in
           add t ~key value;
           match value with Ok p -> Ok (p, Miss) | Error e -> Error (e, Miss)
         end

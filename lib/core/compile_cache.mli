@@ -31,10 +31,14 @@ val create : ?capacity:int -> unit -> t
 
 val stats : t -> stats
 
-(** [key_of_source src] — the cache key: {!Netlist.Canon.problem_hash} of
-    the parsed description. [Error] on a parse failure (formatted exactly
-    like {!Compile.compile_source}'s). *)
-val key_of_source : string -> (string, string) result
+(** [key_of_source ?corner src] — the cache key:
+    {!Netlist.Canon.problem_hash} of the parsed description, qualified by
+    the device corner's name ([hash@corner]) when one is given. The
+    nominal corner (and [None]) keep the bare hash, so keys replicated
+    between fleet peers before corners entered the key stay valid.
+    [Error] on a parse failure (formatted exactly like
+    {!Compile.compile_source}'s). *)
+val key_of_source : ?corner:Devices.Registry.corner -> string -> (string, string) result
 
 (** [find t ~key] — the lookup half of {!compile}: the cached verdict for
     [key], bumping the hit/miss counters and LRU recency exactly as
@@ -55,12 +59,18 @@ val add : t -> key:string -> (Problem.t, string) result -> unit
     wire, so replication carries verdicts, not artifacts. *)
 val peek : t -> key:string -> (unit, string) result option
 
-(** [compile t ~source] — parse, hash, and return the cached compile for
-    that key, or compile and remember. Failed compiles are cached too
-    (with their message), so a hammering client re-posting a broken
-    description costs one compile, not one per submission. The [outcome]
-    tells whether this call hit the cache — on both branches: a cached
-    failure replays as [Error (msg, Hit)], so a job record can report the
-    true hit/miss even when the compile failed. A parse error (no
-    canonical key to cache under) is always [Error (msg, Miss)]. *)
-val compile : t -> source:string -> (Problem.t * outcome, string * outcome) result
+(** [compile t ?corner ~source] — parse, hash, and return the cached
+    compile for that [(canon, corner)] key, or compile at that corner and
+    remember. Failed compiles are cached too (with their message), so a
+    hammering client re-posting a broken description costs one compile,
+    not one per submission. The [outcome] tells whether this call hit the
+    cache — on both branches: a cached failure replays as
+    [Error (msg, Hit)], so a job record can report the true hit/miss even
+    when the compile failed. A parse error (no canonical key to cache
+    under) is always [Error (msg, Miss)]. *)
+val compile :
+  t ->
+  ?corner:Devices.Registry.corner ->
+  source:string ->
+  unit ->
+  (Problem.t * outcome, string * outcome) result

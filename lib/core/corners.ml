@@ -1,19 +1,6 @@
-let corner name kp vto beta =
-  {
-    Devices.Registry.corner_name = name;
-    kp_scale = kp;
-    vto_shift = vto;
-    beta_scale = beta;
-  }
-
-let standard =
-  [
-    Devices.Registry.nominal_corner;
-    corner "slow" 0.85 0.08 0.8;
-    corner "fast" 1.15 (-0.08) 1.2;
-    corner "slow-n-fast-p" 0.92 0.05 0.9;
-    corner "fast-n-slow-p" 1.08 (-0.05) 1.1;
-  ]
+(* The table itself lives in Devices.Registry so the compiler can resolve
+   `corner=` spec rows without a Core-internal cycle. *)
+let standard = Devices.Registry.standard_corners
 
 type spec_at_corner = {
   sc_corner : string;
@@ -32,11 +19,22 @@ let apply_sizing (st : State.t) sizing =
       | State.Node_voltage _ -> ())
     st.State.info
 
-let analyze ?(corners = standard) ~source ~sizing () =
+let analyze ?(corners = standard) ?cache ~source ~sizing () =
+  (* With a cache, each (canon, corner) key compiles once across every
+     analyze/sweep sharing the cache; without one, compile per corner. *)
+  let compile_at c =
+    match cache with
+    | None -> Compile.compile_source ~corner:c source
+    | Some t -> begin
+        match Compile_cache.compile t ~corner:c ~source () with
+        | Ok (p, _) -> Ok p
+        | Error (e, _) -> Error e
+      end
+  in
   let rec run acc = function
     | [] -> Ok (List.rev acc)
     | c :: rest -> begin
-        match Compile.compile_source ~corner:c source with
+        match compile_at c with
         | Error e -> Error (c.Devices.Registry.corner_name ^ ": " ^ e)
         | Ok p -> begin
             let st = State.snapshot p.Problem.state0 in
@@ -79,7 +77,17 @@ let worst_case (p : Problem.t) results =
             | Netlist.Ast.Constraint_le | Netlist.Ast.Objective_min -> Ok (Float.max a v)
           end
       in
-      let per_corner = List.map (fun sc -> List.assoc name sc.sc_values) results in
+      (* A corner result that lacks the spec row entirely (e.g. compiled
+         from a different description revision) is a per-spec error, not a
+         Not_found crash taking the whole table down. *)
+      let per_corner =
+        List.map
+          (fun sc ->
+            match List.assoc_opt name sc.sc_values with
+            | Some r -> r
+            | None -> Error (Printf.sprintf "corner %s reported no %s row" sc.sc_corner name))
+          results
+      in
       match per_corner with
       | [] -> (name, Error "no corners")
       | first :: rest -> (name, List.fold_left fold first rest))

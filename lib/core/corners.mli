@@ -18,9 +18,13 @@ type spec_at_corner = {
 
 (** [analyze ~source ~sizing] recompiles the problem at every corner,
     applies the design point [sizing] (user-variable name/value pairs),
-    and evaluates every specification with the reference simulator. *)
+    and evaluates every specification with the reference simulator.
+    [?cache] routes each corner's compile through a shared
+    {!Compile_cache} under its corner-qualified key, so repeated analyses
+    (and the daemon's sweep jobs) compile each [(canon, corner)] once. *)
 val analyze :
   ?corners:Devices.Registry.corner list ->
+  ?cache:Compile_cache.t ->
   source:string ->
   sizing:(string * float) list ->
   unit ->

@@ -15,7 +15,24 @@ module S = Set.Make (Int)
    argument is the tf name), vs. functions that read the whole bias
    solution and are re-measured on every evaluation. *)
 let known_tf_functions =
-  [ "dc_gain"; "ugf"; "phase_margin"; "pm"; "gain_at"; "bw3db"; "pole1"; "gain_margin_db" ]
+  [
+    "dc_gain";
+    "ugf";
+    "phase_margin";
+    "pm";
+    "gain_at";
+    "bw3db";
+    "pole1";
+    "gain_margin_db";
+    "slew_rate";
+    "settle";
+    "noise_out_uv";
+    "psrr_db";
+  ]
+
+(* Subset of the above measured by transient simulation — they need a
+   .tran card on the owning jig (enforced at compile time). *)
+let transient_functions = [ "slew_rate"; "settle" ]
 
 let spec_only_functions = [ "area"; "power"; "supply_current" ]
 
@@ -136,10 +153,20 @@ let analyze ~(params : (string * Netlist.Expr.t) list) ~(state0 : State.t)
         (fun (e : Netlist.Circuit.element) ->
           let reads l = exprs := l @ !exprs in
           match e with
-          | Netlist.Circuit.Mosfet { name; _ } | Netlist.Circuit.Bjt { name; _ } -> begin
-              match Hashtbl.find_opt elem_of_name name with
+          | Netlist.Circuit.Mosfet { name; w; l; mult; _ } -> begin
+              (match Hashtbl.find_opt elem_of_name name with
               | Some i -> elem_jigs.(i) <- S.add j elem_jigs.(i)
-              | None -> ()
+              | None -> ());
+              (* Transient and noise measurements evaluate the jig's own
+                 device geometry directly, not just the bias counterpart's
+                 operating point. *)
+              reads [ w; l; mult ]
+            end
+          | Netlist.Circuit.Bjt { name; area; _ } -> begin
+              (match Hashtbl.find_opt elem_of_name name with
+              | Some i -> elem_jigs.(i) <- S.add j elem_jigs.(i)
+              | None -> ());
+              reads [ area ]
             end
           | Netlist.Circuit.Resistor { value; _ }
           | Netlist.Circuit.Capacitor { value; _ }
@@ -149,7 +176,9 @@ let analyze ~(params : (string * Netlist.Expr.t) list) ~(state0 : State.t)
               reads [ gain ]
           | Netlist.Circuit.Vccs { gm; _ } -> reads [ gm ]
           | Netlist.Circuit.Ccvs { r; _ } -> reads [ r ]
-          | Netlist.Circuit.Vsource _ | Netlist.Circuit.Isource _ -> ())
+          (* The transient's initial DC point reads source dc values. *)
+          | Netlist.Circuit.Vsource { dc; _ } | Netlist.Circuit.Isource { dc; _ } ->
+              reads [ dc ])
         jig.Problem.jig_circuit.Netlist.Circuit.elements;
       jig_exprs.(j) <- List.rev !exprs;
       List.iter (fun ex -> add_var_dep var_jigs j (expr_vars [] ex)) !exprs)
@@ -159,7 +188,9 @@ let analyze ~(params : (string * Netlist.Expr.t) list) ~(state0 : State.t)
      bare references name variables/parameters, and the whole-solution
      functions (area/power/supply_current) force re-measurement. *)
   let spec_deps (s : Problem.spec) =
-    let always = ref false in
+    (* Corner rows rebuild bias + ROMs under a skewed registry; every
+       variable reaches that solve, so they re-measure on every eval. *)
+    let always = ref (s.Problem.spec_corner <> None) in
     let vars = ref S.empty in
     let elems = ref S.empty in
     let sjigs = ref S.empty in
@@ -193,7 +224,16 @@ let analyze ~(params : (string * Netlist.Expr.t) list) ~(state0 : State.t)
               (match Hashtbl.find_opt jig_of_tf tf with
               | Some j -> sjigs := S.add j !sjigs
               | None -> always := true);
-              List.iter walk rest
+              (* A later argument naming another transfer function (e.g. the
+                 supply tf of psrr_db) is a jig dependency, not a variable
+                 reference. *)
+              List.iter
+                (fun a ->
+                  match a with
+                  | Netlist.Expr.Ref [ tf2 ] when Hashtbl.mem jig_of_tf tf2 ->
+                      sjigs := S.add (Hashtbl.find jig_of_tf tf2) !sjigs
+                  | _ -> walk a)
+                rest
             end
           | _ -> always := true
         end

@@ -12,6 +12,11 @@
     jig ([dc_gain], [ugf], ...). Shared with {!Compile}'s spec checks. *)
 val known_tf_functions : string list
 
+(** Subset of {!known_tf_functions} measured by transient simulation
+    ([slew_rate], [settle]); their owning jig must declare a [.tran]
+    card, which {!Compile} enforces. *)
+val transient_functions : string list
+
 (** Spec functions that read the whole bias solution ([area], [power],
     [supply_current]) — the specs calling them are re-measured on every
     evaluation. *)

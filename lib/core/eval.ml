@@ -278,6 +278,107 @@ let rom_of roms tfname =
   | Some (Error m) -> raise (Measurement_failed (tfname ^ ": " ^ m))
   | None -> raise (Measurement_failed ("unknown transfer function " ^ tfname))
 
+(* --- Large-signal and noise measurements over a jig circuit. --- *)
+
+let find_tf_jig (p : Problem.t) tfname =
+  let found =
+    List.find_map
+      (fun (j : Problem.jig) ->
+        Option.map (fun ports -> (j, ports)) (List.assoc_opt tfname j.Problem.tfs))
+      p.Problem.jigs
+  in
+  match found with
+  | Some jp -> jp
+  | None -> raise (Measurement_failed ("unknown transfer function " ^ tfname))
+
+let tran_card_of (p : Problem.t) tfname =
+  let j, _ = find_tf_jig p tfname in
+  match j.Problem.jig_tran with
+  | Some tc -> tc
+  | None -> raise (Measurement_failed (tfname ^ ": owning jig has no .tran card"))
+
+(* Step-stimulus transient over the jig owning [tf]: the source the
+   transfer function names steps by [vstep] at tstop/10, from whatever dc
+   value the state assigns it. Shared by the in-loop spec functions
+   (coarse [dtloop] budget) and by [Verify] (exact [dt]): both therefore
+   agree on the stimulus shape and onset and differ only in step size. *)
+let transient_response (p : Problem.t) ~value ~tf ~vstep ~tstop ~dt =
+  let j, ports = find_tf_jig p tf in
+  let src = ports.Problem.src in
+  let v0 =
+    match Netlist.Circuit.find_element j.Problem.jig_circuit src with
+    | Netlist.Circuit.Vsource { dc; _ } | Netlist.Circuit.Isource { dc; _ } -> value dc
+    | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
+    | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _
+    | Netlist.Circuit.Ccvs _ | Netlist.Circuit.Mosfet _ | Netlist.Circuit.Bjt _ ->
+        0.0
+    | exception Not_found -> 0.0
+  in
+  let t_step = tstop /. 10.0 in
+  let stim = [ (src, fun t -> if t >= t_step then v0 +. vstep else v0) ] in
+  match
+    Mna.Tran.simulate ~value ~registry:p.Problem.registry ~tstop ~dt ~stimulus:stim
+      j.Problem.jig_circuit
+  with
+  | Error e -> raise (Measurement_failed (tf ^ ": " ^ e))
+  | Ok r -> (r, ports, t_step)
+
+(* Output-referred noise: one adjoint solve G^T y = sel gives the dc
+   transfer from every noise-current injection site to the output, and
+   white sources then sum as i_n^2 (y+ - y-)^2. Sources modeled: resistor
+   thermal 4kT/R, MOS channel thermal (8/3)kT*gm, BJT shot 2q|Ic| and
+   2q|Ib|. The result is the output noise density in V^2/Hz at dc, which
+   the [noise_out_uv] spec function integrates over the first-order
+   equivalent noise bandwidth (pi/2 times the -3dB bandwidth). *)
+let kt_300 = 1.380649e-23 *. 300.0
+let q_electron = 1.602176634e-19
+
+let output_noise_v2_per_hz (lin : Mna.Linearize.t) ~value ~ops ~sel =
+  let idx = lin.Mna.Linearize.idx in
+  let lu =
+    try La.Lu.factor lin.Mna.Linearize.g
+    with La.Lu.Singular _ -> raise (Measurement_failed "noise: singular system")
+  in
+  let y = La.Lu.solve_transposed lu sel in
+  let yv node =
+    if node = 0 then 0.0
+    else
+      let r = Mna.Sysmat.node_row idx node in
+      if r < 0 then 0.0 else y.(r)
+  in
+  Array.fold_left
+    (fun acc (e : Netlist.Circuit.element) ->
+      match e with
+      | Netlist.Circuit.Resistor { n1; n2; value = ve; _ } ->
+          let r = value ve in
+          if r > 0.0 then begin
+            let g = yv n1 -. yv n2 in
+            acc +. (4.0 *. kt_300 /. r *. (g *. g))
+          end
+          else acc
+      | Netlist.Circuit.Mosfet { name; d; s; _ } -> begin
+          match ops name with
+          | Some (Mna.Dc.Mos_op o) ->
+              let g = yv d -. yv s in
+              acc +. (8.0 /. 3.0 *. kt_300 *. Float.max 0.0 o.Devices.Sig.gm *. (g *. g))
+          | Some (Mna.Dc.Bjt_op _) | None -> acc
+        end
+      | Netlist.Circuit.Bjt { name; c; b; e = ne; _ } -> begin
+          match ops name with
+          | Some (Mna.Dc.Bjt_op o) ->
+              let gc = yv c -. yv ne in
+              let gb = yv b -. yv ne in
+              acc
+              +. (2.0 *. q_electron *. Float.abs o.Devices.Sig.ic *. (gc *. gc))
+              +. (2.0 *. q_electron *. Float.abs o.Devices.Sig.ib *. (gb *. gb))
+          | Some (Mna.Dc.Mos_op _) | None -> acc
+        end
+      | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _ | Netlist.Circuit.Vsource _
+      | Netlist.Circuit.Isource _ | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Vccs _
+      | Netlist.Circuit.Cccs _ | Netlist.Circuit.Ccvs _ ->
+          acc)
+    0.0 idx.Mna.Sysmat.circuit.Netlist.Circuit.elements
+
 (* Spec-expression environment: element values plus device operating-point
    references plus the AWE measurement functions.
 
@@ -315,6 +416,26 @@ let spec_ctx_env (p : Problem.t) (cx : spec_ctx) =
         | None -> raise Not_found
       end
   in
+  let valuef e = Netlist.Expr.eval base e in
+  (* Transient waveform of [tf] under the owning jig's .tran budget; the
+     in-loop step size is the coarse [dtloop] when declared, else the
+     exact [dt] (Verify always re-measures at the exact [dt]). *)
+  let tran_of tfn =
+    let tc = tran_card_of p tfn in
+    let dt =
+      match tc.Netlist.Ast.tr_dtloop with Some d -> d | None -> tc.Netlist.Ast.tr_dt
+    in
+    let r, ports, t_step =
+      transient_response p ~value:valuef ~tf:tfn ~vstep:tc.Netlist.Ast.tr_vstep
+        ~tstop:tc.Netlist.Ast.tr_tstop ~dt
+    in
+    let v = Mna.Tran.waveform_of r ~pos:ports.Problem.out_pos ~neg:ports.Problem.out_neg in
+    (tc, r, v, t_step)
+  in
+  let settle_of tfn tol =
+    let _, r, v, t_step = tran_of tfn in
+    Mna.Tran.settling_time ~times:r.Mna.Tran.times v ~t_from:t_step ~tol
+  in
   let call name args =
     let tfarg = function
       | Netlist.Expr.Name n -> n
@@ -338,6 +459,37 @@ let spec_ctx_env (p : Problem.t) (cx : spec_ctx) =
         Option.value ~default:0.0 (Awe.Rom.dominant_pole_hz (rom_of cx.cx_roms (tfarg tf)))
     | "gain_margin_db", [ tf ] ->
         Option.value ~default:60.0 (Awe.Rom.gain_margin_db (rom_of cx.cx_roms (tfarg tf)))
+    | "slew_rate", [ tf ] ->
+        let tc, r, v, t_step = tran_of (tfarg tf) in
+        Mna.Tran.peak_slew ~times:r.Mna.Tran.times v ~t_from:t_step
+          ~t_to:tc.Netlist.Ast.tr_tstop
+    | "settle", [ tf ] -> settle_of (tfarg tf) 0.01
+    | "settle", [ tf; tol ] -> settle_of (tfarg tf) (numarg tol)
+    | "noise_out_uv", [ tf ] -> begin
+        let tfn = tfarg tf in
+        let enbw =
+          match Awe.Rom.bandwidth_3db (rom_of cx.cx_roms tfn) with
+          | Some bw when bw > 0.0 -> Float.pi /. 2.0 *. bw
+          | Some _ | None ->
+              raise (Measurement_failed (tfn ^ ": noise bandwidth unavailable"))
+        in
+        let j, ports = find_tf_jig p tfn in
+        let ops n = List.assoc_opt n cx.cx_ops in
+        match Mna.Linearize.build ~value:valuef ~ops j.Problem.jig_circuit with
+        | exception Failure m -> raise (Measurement_failed (tfn ^ ": " ^ m))
+        | lin ->
+            let sel =
+              Mna.Linearize.output_vector lin ~pos:ports.Problem.out_pos
+                ~neg:ports.Problem.out_neg
+            in
+            let s0 = output_noise_v2_per_hz lin ~value:valuef ~ops ~sel in
+            Float.sqrt (Float.max 0.0 (s0 *. enbw)) *. 1e6
+      end
+    | "psrr_db", [ stf; suptf ] ->
+        let a_sig = Float.abs (Awe.Rom.dc_gain (rom_of cx.cx_roms (tfarg stf))) in
+        let a_sup = Float.abs (Awe.Rom.dc_gain (rom_of cx.cx_roms (tfarg suptf))) in
+        if a_sup < 1e-30 then 300.0
+        else 20.0 *. Float.log10 (Float.max a_sig 1e-30 /. a_sup)
     | "area", [] -> active_area_um2 p cx.cx_st
     | "power", [] -> static_power_parts p cx.cx_st ~nv:cx.cx_nv ~ops:cx.cx_ops
     | "supply_current", [ src ] -> begin
@@ -387,12 +539,46 @@ let measure_spec env (s : Problem.spec) =
   in
   match v with Some x when not (Float.is_finite x) -> None | other -> other
 
+(* Corner robustness rows: re-measure the named specs with the registry
+   skewed to each compile-resolved corner. Corners evaluate sequentially
+   in [corner_regs] order with the full (non-incremental) evaluator, so
+   the values are a deterministic function of (p, st) alone — both the
+   full and the incremental cost path call this identically, which is what
+   keeps jobs=1 and jobs=N anneals bit-identical. *)
+let corner_spec_values (p : Problem.t) (st : State.t) =
+  List.concat_map
+    (fun (cname, reg) ->
+      let rows =
+        List.filter (fun (s : Problem.spec) -> s.Problem.spec_corner = Some cname) p.Problem.specs
+      in
+      try
+        let pc = { p with Problem.registry = reg } in
+        let bp = bias_point pc st in
+        let roms = build_roms pc st bp in
+        let env = spec_env pc st bp roms in
+        List.map (fun (s : Problem.spec) -> (s.Problem.spec_name, measure_spec env s)) rows
+      with Failure _ | Not_found | Measurement_failed _ ->
+        List.map (fun (s : Problem.spec) -> (s.Problem.spec_name, None)) rows)
+    p.Problem.corner_regs
+
 let measure (p : Problem.t) (st : State.t) =
   let bp = bias_point p st in
   let roms = build_roms p st bp in
   let env = spec_env p st bp roms in
+  let corner_vals = corner_spec_values p st in
   let spec_values =
-    List.map (fun (s : Problem.spec) -> (s.Problem.spec_name, measure_spec env s)) p.Problem.specs
+    List.map
+      (fun (s : Problem.spec) ->
+        let v =
+          match s.Problem.spec_corner with
+          | None -> measure_spec env s
+          | Some _ -> (
+              match List.assoc_opt s.Problem.spec_name corner_vals with
+              | Some v -> v
+              | None -> None)
+        in
+        (s.Problem.spec_name, v))
+      p.Problem.specs
   in
   { bias = bp; roms; spec_values }
 
@@ -627,6 +813,9 @@ module Incr = struct
     mutable roms_flat_valid : bool;
     spec_valid : bool array;
     spec_cache : float option array;
+    spec_screened : bool array;
+        (* corner rows and transient-measured rows: the probe path serves
+           these from the cache instead of re-simulating per candidate *)
     mutable spec_list : (string * float option) list;
     mutable spec_list_valid : bool;
     (* reverse maps derived from the per-spec dependency sets *)
@@ -742,6 +931,26 @@ module Incr = struct
       }
     in
     let spec_envv = spec_ctx_env p spec_cx in
+    let rec uses_transient (e : Netlist.Expr.t) =
+      match e with
+      | Netlist.Expr.Const _ | Netlist.Expr.Ref _ -> false
+      | Netlist.Expr.Neg a -> uses_transient a
+      | Netlist.Expr.Add (a, b)
+      | Netlist.Expr.Sub (a, b)
+      | Netlist.Expr.Mul (a, b)
+      | Netlist.Expr.Div (a, b)
+      | Netlist.Expr.Pow (a, b) ->
+          uses_transient a || uses_transient b
+      | Netlist.Expr.Call (f, args) ->
+          List.mem f Depgraph.transient_functions || List.exists uses_transient args
+    in
+    let spec_screened =
+      Array.of_list
+        (List.map
+           (fun (s : Problem.spec) ->
+             s.Problem.spec_corner <> None || uses_transient s.Problem.expr)
+           p.Problem.specs)
+    in
     {
       sp = p;
       dg;
@@ -768,6 +977,7 @@ module Incr = struct
       roms_flat_valid = false;
       spec_valid = Array.make n_specs false;
       spec_cache = Array.make n_specs None;
+      spec_screened;
       spec_list = [];
       spec_list_valid = false;
       var_specs;
@@ -1293,12 +1503,25 @@ module Incr = struct
     cx.cx_node_leaving <- bp.node_leaving;
     cx.cx_roms <- roms;
     let env = ss.spec_envv in
+    (* Corner rows bypass the session caches entirely: the same full
+       recompute the from-scratch evaluator does, so both paths agree bit
+       for bit. (sd_always keeps them permanently stale below.) *)
+    let corner_vals =
+      if p.Problem.corner_regs = [] then [] else corner_spec_values p st
+    in
     let spec_changed = ref (not ss.spec_list_valid) in
     List.iteri
       (fun i (s : Problem.spec) ->
         let sd = ss.dg.Problem.dg_spec_deps.(i) in
         if sd.Problem.sd_always || not ss.spec_valid.(i) then begin
-          let v = measure_spec env s in
+          let v =
+            match s.Problem.spec_corner with
+            | None -> measure_spec env s
+            | Some _ -> (
+                match List.assoc_opt s.Problem.spec_name corner_vals with
+                | Some v -> v
+                | None -> None)
+          in
           (match (ss.spec_cache.(i), v) with
           | Some a, Some b when feq_bits a b -> ()
           | None, None -> ()
@@ -1690,7 +1913,12 @@ module Incr = struct
           (fun i (s : Problem.spec) ->
             let sd = ss.dg.Problem.dg_spec_deps.(i) in
             let v =
-              if sd.Problem.sd_always || ss.p_spec_stale.(i) || not ss.spec_valid.(i) then
+              (* Corner and transient rows are served from the last exact
+                 value: re-simulating them per candidate would dominate
+                 the screen, and ranking tolerates the approximation —
+                 every accepted state is confirmed through [cost]. *)
+              if ss.spec_screened.(i) then ss.spec_cache.(i)
+              else if sd.Problem.sd_always || ss.p_spec_stale.(i) || not ss.spec_valid.(i) then
                 measure_spec senv s
               else ss.spec_cache.(i)
             in

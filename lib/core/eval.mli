@@ -40,6 +40,45 @@ val op_field : Mna.Dc.op_info -> string -> float
     design, square microns. *)
 val active_area_um2 : Problem.t -> State.t -> float
 
+(** [tran_card_of p tf] is the [.tran] budget of the jig owning [tf].
+    @raise Measurement_failed when the tf is unknown or its jig declares
+    no transient card. *)
+val tran_card_of : Problem.t -> string -> Netlist.Ast.tran_card
+
+(** [transient_response p ~value ~tf ~vstep ~tstop ~dt] runs the shared
+    step-stimulus transient over the jig owning [tf]: the source the tf
+    names steps by [vstep] at [tstop/10]. Returns the simulation, the tf
+    ports and the step onset time. Both the in-loop spec functions (at
+    the coarse [dtloop] budget) and {!Verify} (at the exact [dt]) measure
+    through this one helper, so they share stimulus and overlap-window
+    semantics exactly.
+    @raise Measurement_failed on an unknown tf or a failed simulation. *)
+val transient_response :
+  Problem.t ->
+  value:(Netlist.Expr.t -> float) ->
+  tf:string ->
+  vstep:float ->
+  tstop:float ->
+  dt:float ->
+  Mna.Tran.t * Problem.tf * float
+
+(** [output_noise_v2_per_hz lin ~value ~ops ~sel] is the dc output noise
+    density of the linearized jig in V^2/Hz, via one adjoint solve
+    G^T y = sel: resistor thermal, MOS channel thermal and BJT shot
+    sources. @raise Measurement_failed on a singular system. *)
+val output_noise_v2_per_hz :
+  Mna.Linearize.t ->
+  value:(Netlist.Expr.t -> float) ->
+  ops:(string -> Mna.Dc.op_info option) ->
+  sel:La.Vec.t ->
+  float
+
+(** [corner_spec_values p st] measures every [spec_corner] row under its
+    compile-resolved corner registry with the full evaluator, in
+    [corner_regs] order — a deterministic function of (p, st) shared by
+    the full and incremental cost paths. *)
+val corner_spec_values : Problem.t -> State.t -> (string * float option) list
+
 type measured = {
   bias : bias_point;
   roms : (string * (Awe.Rom.t, string) result) list;  (** per transfer function *)

@@ -7,6 +7,8 @@ type jig = {
   jig_name : string;
   jig_circuit : Netlist.Circuit.t;  (** template-expanded *)
   tfs : (string * tf) list;  (** transfer-function name -> ports *)
+  jig_tran : Netlist.Ast.tran_card option;
+      (** fixed-step transient budget for slew/settling measurements *)
 }
 
 type spec = {
@@ -15,6 +17,9 @@ type spec = {
   expr : Netlist.Expr.t;
   good : float;
   bad : float;
+  spec_corner : string option;
+      (** when set, measure this row with the registry skewed to the named
+          process corner — a robustness penalty term in the cost *)
 }
 
 (* Static dependency graph over the compiled problem, emitted by ASTRX
@@ -73,6 +78,9 @@ type t = {
   tl : Treelink.t;
   jigs : jig list;
   specs : spec list;
+  corner_regs : (string * Devices.Registry.t) list;
+      (** registries for the corners named by [spec_corner] rows, resolved
+          at compile time so corner rows never recompile in the loop *)
   regions : (string * Netlist.Ast.region_req) list;
   analysis : analysis;
   deps : depgraph;

@@ -32,17 +32,18 @@ let find_tf jigs name =
       Option.map (fun tf -> (js, tf)) (List.assoc_opt name js.tf_ports))
     jigs
 
-let simulate_specs (p : Problem.t) (st : State.t) =
-  try
-    let value = value_of p st in
-    let jigs = solve_jigs p st in
-    (* Exact bias operating point for device refs and power. *)
-    let bias_sol =
-      match Mna.Dc.solve ~value ~registry:p.Problem.registry p.Problem.bias with
-      | Ok s -> s
-      | Error e -> raise (Sim_failed ("bias: " ^ e))
-    in
-    let tf_measure name =
+(* Full-NR measurement environment over [p] — parametrized so corner rows
+   can rebuild it with the registry skewed to their corner. *)
+let make_env (p : Problem.t) (st : State.t) =
+  let value = value_of p st in
+  let jigs = solve_jigs p st in
+  (* Exact bias operating point for device refs and power. *)
+  let bias_sol =
+    match Mna.Dc.solve ~value ~registry:p.Problem.registry p.Problem.bias with
+    | Ok s -> s
+    | Error e -> raise (Sim_failed ("bias: " ^ e))
+  in
+  let tf_measure name =
       match find_tf jigs name with
       | None -> raise (Sim_failed ("unknown transfer function " ^ name))
       | Some (js, tf) ->
@@ -75,6 +76,42 @@ let simulate_specs (p : Problem.t) (st : State.t) =
           in
           (match op with Some op -> Eval.op_field op field | None -> raise Not_found)
     in
+    (* -3 dB point by direct scan of the exact AC response. *)
+    let bw3db_of (js, b, sel) =
+      let a0 = Float.abs (Mna.Ac.dc_gain js.lin ~b ~sel) in
+      let target = a0 /. Float.sqrt 2.0 in
+      let rec scan f =
+        if f > 1e12 then 1e12
+        else if La.Cpx.abs (Mna.Ac.transfer js.lin ~b ~sel ~w:(2.0 *. Float.pi *. f)) < target
+        then f
+        else scan (f *. 1.05)
+      in
+      scan 1.0
+    in
+    (* Exact-step transient of [tf] under the owning jig's .tran card,
+       through the same shared stimulus helper the in-loop evaluator uses
+       (Eval.transient_response) — the verification differs only in step
+       size (tr_dt, never the coarse tr_dtloop). *)
+    let tran_of tfn =
+      match Eval.tran_card_of p tfn with
+      | exception Eval.Measurement_failed m -> raise (Sim_failed m)
+      | tc -> begin
+          match
+            Eval.transient_response p ~value ~tf:tfn ~vstep:tc.Netlist.Ast.tr_vstep
+              ~tstop:tc.Netlist.Ast.tr_tstop ~dt:tc.Netlist.Ast.tr_dt
+          with
+          | exception Eval.Measurement_failed m -> raise (Sim_failed m)
+          | r, ports, t_step ->
+              let v =
+                Mna.Tran.waveform_of r ~pos:ports.Problem.out_pos ~neg:ports.Problem.out_neg
+              in
+              (tc, r, v, t_step)
+        end
+    in
+    let settle_of tfn tol =
+      let _, r, v, t_step = tran_of tfn in
+      Mna.Tran.settling_time ~times:r.Mna.Tran.times v ~t_from:t_step ~tol
+    in
     let call name args =
       let tfarg = function
         | Netlist.Expr.Name n -> n
@@ -97,18 +134,7 @@ let simulate_specs (p : Problem.t) (st : State.t) =
       | "gain_at", [ tf; f ] ->
           let js, b, sel = tf_measure (tfarg tf) in
           La.Cpx.abs (Mna.Ac.transfer js.lin ~b ~sel ~w:(2.0 *. Float.pi *. numarg f))
-      | "bw3db", [ tf ] ->
-          let js, b, sel = tf_measure (tfarg tf) in
-          let a0 = Float.abs (Mna.Ac.dc_gain js.lin ~b ~sel) in
-          let target = a0 /. Float.sqrt 2.0 in
-          (* scan for the -3 dB point directly *)
-          let rec scan f =
-            if f > 1e12 then 1e12
-            else if La.Cpx.abs (Mna.Ac.transfer js.lin ~b ~sel ~w:(2.0 *. Float.pi *. f)) < target
-            then f
-            else scan (f *. 1.05)
-          in
-          scan 1.0
+      | "bw3db", [ tf ] -> bw3db_of (tf_measure (tfarg tf))
       | "pole1", [ tf ] ->
           (* The reference flow extracts poles with AWE at the simulator's
              exact operating point (HSPICE's .pz plays this role). *)
@@ -121,6 +147,32 @@ let simulate_specs (p : Problem.t) (st : State.t) =
           (match Awe.Rom.build js.lin ~b ~sel with
           | Ok rom -> Option.value ~default:60.0 (Awe.Rom.gain_margin_db rom)
           | Error e -> raise (Sim_failed ("gain_margin_db: " ^ e)))
+      | "slew_rate", [ tf ] ->
+          let tc, r, v, t_step = tran_of (tfarg tf) in
+          Mna.Tran.peak_slew ~times:r.Mna.Tran.times v ~t_from:t_step
+            ~t_to:tc.Netlist.Ast.tr_tstop
+      | "settle", [ tf ] -> settle_of (tfarg tf) 0.01
+      | "settle", [ tf; tol ] -> settle_of (tfarg tf) (numarg tol)
+      | "noise_out_uv", [ tf ] -> begin
+          let tfn = tfarg tf in
+          let ((js, _, sel) as m) = tf_measure tfn in
+          let bw = bw3db_of m in
+          if not (bw > 0.0) then raise (Sim_failed (tfn ^ ": noise bandwidth unavailable"))
+          else begin
+            let enbw = Float.pi /. 2.0 *. bw in
+            let ops n = List.assoc_opt n js.sol.Mna.Dc.ops in
+            match Eval.output_noise_v2_per_hz js.lin ~value ~ops ~sel with
+            | exception Eval.Measurement_failed m -> raise (Sim_failed m)
+            | s0 -> Float.sqrt (Float.max 0.0 (s0 *. enbw)) *. 1e6
+          end
+        end
+      | "psrr_db", [ stf; suptf ] ->
+          let js1, b1, sel1 = tf_measure (tfarg stf) in
+          let js2, b2, sel2 = tf_measure (tfarg suptf) in
+          let a_sig = Float.abs (Mna.Ac.dc_gain js1.lin ~b:b1 ~sel:sel1) in
+          let a_sup = Float.abs (Mna.Ac.dc_gain js2.lin ~b:b2 ~sel:sel2) in
+          if a_sup < 1e-30 then 300.0
+          else 20.0 *. Float.log10 (Float.max a_sig 1e-30 /. a_sup)
       | "area", [] -> Eval.active_area_um2 p st
       | "power", [] -> Mna.Dc.supply_power bias_sol ~value
       | "supply_current", [ src ] -> begin
@@ -138,14 +190,39 @@ let simulate_specs (p : Problem.t) (st : State.t) =
           with Builtin.Unknown_function f -> raise (Sim_failed ("unknown function " ^ f))
         end
     in
-    let env = { Netlist.Expr.lookup; call } in
+    { Netlist.Expr.lookup; call }
+
+let simulate_specs (p : Problem.t) (st : State.t) =
+  try
+    let env = make_env p st in
+    (* Corner rows re-solve everything under the skewed registry; a corner
+       that fails to solve reports per-spec errors instead of failing the
+       whole verification. *)
+    let corner_envs =
+      List.map
+        (fun (cname, reg) ->
+          ( cname,
+            try Ok (make_env { p with Problem.registry = reg } st) with
+            | Sim_failed m -> Error m
+            | Failure m -> Error m ))
+        p.Problem.corner_regs
+    in
+    let eval_in envx (s : Problem.spec) =
+      try Ok (Netlist.Expr.eval envx s.Problem.expr) with
+      | Sim_failed m -> Error m
+      | Netlist.Expr.Eval_error m -> Error m
+    in
     let values =
       List.map
         (fun (s : Problem.spec) ->
           let v =
-            try Ok (Netlist.Expr.eval env s.expr) with
-            | Sim_failed m -> Error m
-            | Netlist.Expr.Eval_error m -> Error m
+            match s.Problem.spec_corner with
+            | None -> eval_in env s
+            | Some c -> (
+                match List.assoc_opt c corner_envs with
+                | Some (Ok envc) -> eval_in envc s
+                | Some (Error m) -> Error (Printf.sprintf "corner %s: %s" c m)
+                | None -> Error ("unknown corner " ^ c))
           in
           (s.spec_name, v))
         p.Problem.specs
@@ -175,58 +252,22 @@ let bias_voltage_error (p : Problem.t) (st : State.t) =
         relaxed;
       Ok !worst
 
+(* Single-ended and differential outputs share one waveform extraction
+   ([Tran.waveform_of]) and one overlap predicate ([Tran.peak_slew]): the
+   interval straddling the step onset counts, so a stimulus edge that
+   falls between samples is never dropped on either path. *)
 let transient_slew (p : Problem.t) (st : State.t) ~tf ~vstep ~tstop ~dt =
   let value = value_of p st in
-  (* Locate the jig owning [tf] and its ports. *)
-  let found =
-    List.find_map
-      (fun (j : Problem.jig) ->
-        Option.map (fun ports -> (j, ports)) (List.assoc_opt tf j.Problem.tfs))
-      p.Problem.jigs
-  in
-  match found with
-  | None -> Error ("unknown transfer function " ^ tf)
-  | Some (j, ports) -> begin
-      let src = ports.Problem.src in
-      (* The stimulus steps the source's dc value by vstep at tstop/10. *)
-      let v0 =
-        match Netlist.Circuit.find_element j.jig_circuit src with
-        | Netlist.Circuit.Vsource { dc; _ } | Netlist.Circuit.Isource { dc; _ } -> value dc
-        | Netlist.Circuit.Resistor _ | Netlist.Circuit.Capacitor _ | Netlist.Circuit.Inductor _
-        | Netlist.Circuit.Vcvs _ | Netlist.Circuit.Vccs _ | Netlist.Circuit.Cccs _
-        | Netlist.Circuit.Ccvs _ | Netlist.Circuit.Mosfet _ | Netlist.Circuit.Bjt _ ->
-            0.0
-        | exception Not_found -> 0.0
-      in
-      let t_step = tstop /. 10.0 in
-      let stim = [ (src, fun t -> if t >= t_step then v0 +. vstep else v0) ] in
-      match
-        Mna.Tran.simulate ~value ~registry:p.Problem.registry ~tstop ~dt ~stimulus:stim
-          j.jig_circuit
-      with
-      | Error e -> Error e
-      | Ok r ->
-          let sr_pos = Mna.Tran.slew_rate r ports.Problem.out_pos ~t_from:t_step ~t_to:tstop in
-          let sr =
-            match ports.Problem.out_neg with
-            | None -> sr_pos
-            | Some neg ->
-                (* differential output: slew of the difference *)
-                let vp = Mna.Tran.node_waveform r ports.Problem.out_pos in
-                let vn = Mna.Tran.node_waveform r neg in
-                let best = ref 0.0 in
-                Array.iteri
-                  (fun k t ->
-                    if k > 0 && t >= t_step then begin
-                      let dtk = t -. r.Mna.Tran.times.(k - 1) in
-                      if dtk > 0.0 then
-                        best :=
-                          Float.max !best
-                            (Float.abs
-                               ((vp.(k) -. vn.(k) -. (vp.(k - 1) -. vn.(k - 1))) /. dtk))
-                    end)
-                  r.Mna.Tran.times;
-                !best
-          in
-          Ok sr
-    end
+  match Eval.transient_response p ~value ~tf ~vstep ~tstop ~dt with
+  | exception Eval.Measurement_failed m -> Error m
+  | r, ports, t_step ->
+      let v = Mna.Tran.waveform_of r ~pos:ports.Problem.out_pos ~neg:ports.Problem.out_neg in
+      Ok (Mna.Tran.peak_slew ~times:r.Mna.Tran.times v ~t_from:t_step ~t_to:tstop)
+
+let transient_settle (p : Problem.t) (st : State.t) ~tf ~tol ~vstep ~tstop ~dt =
+  let value = value_of p st in
+  match Eval.transient_response p ~value ~tf ~vstep ~tstop ~dt with
+  | exception Eval.Measurement_failed m -> Error m
+  | r, ports, t_step ->
+      let v = Mna.Tran.waveform_of r ~pos:ports.Problem.out_pos ~neg:ports.Problem.out_neg in
+      Ok (Mna.Tran.settling_time ~times:r.Mna.Tran.times v ~t_from:t_step ~tol)

@@ -16,6 +16,24 @@ type corner = {
 
 let nominal_corner = { corner_name = "nominal"; kp_scale = 1.0; vto_shift = 0.0; beta_scale = 1.0 }
 
+(* The classic five corners. Declared here rather than in Core.Corners so
+   the compiler can resolve `corner=` spec rows without a layer cycle;
+   Core.Corners.standard aliases this list. *)
+let standard_corners =
+  let corner name kp vto beta =
+    { corner_name = name; kp_scale = kp; vto_shift = vto; beta_scale = beta }
+  in
+  [
+    nominal_corner;
+    corner "slow" 0.85 0.08 0.8;
+    corner "fast" 1.15 (-0.08) 1.2;
+    corner "slow-n-fast-p" 0.92 0.05 0.9;
+    corner "fast-n-slow-p" 1.08 (-0.05) 1.1;
+  ]
+
+let find_corner name =
+  List.find_opt (fun c -> c.corner_name = name) standard_corners
+
 let skew_mos corner (p : Mos_params.t) =
   { p with Mos_params.kp = p.Mos_params.kp *. corner.kp_scale; vto = p.Mos_params.vto +. corner.vto_shift }
 

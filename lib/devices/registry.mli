@@ -29,6 +29,14 @@ type corner = {
 
 val nominal_corner : corner
 
+(** The classic five: nominal, slow, fast, and the two skewed corners.
+    [Core.Corners.standard] is this list; it lives here so the compiler
+    can resolve corner-named spec rows without a layer cycle. *)
+val standard_corners : corner list
+
+(** [find_corner name] looks a corner up in {!standard_corners}. *)
+val find_corner : string -> corner option
+
 (** [build ?process ?corner decls] resolves every declaration eagerly so
     unknown parameters or kinds are reported up front. The optional corner
     skews every model (defaults to {!nominal_corner}). *)

@@ -4,15 +4,51 @@ let node_waveform r node =
   let row = Sysmat.node_row r.index node in
   Array.map (fun st -> if row < 0 then 0.0 else st.(row)) r.states
 
-let slew_rate r node ~t_from ~t_to =
-  let v = node_waveform r node in
+let waveform_of r ~pos ~neg =
+  let vp = node_waveform r pos in
+  match neg with
+  | None -> vp
+  | Some n ->
+      let vn = node_waveform r n in
+      Array.mapi (fun k v -> v -. vn.(k)) vp
+
+(* An interval [t0,t1] counts when it overlaps the open window
+   (t_from, t_to) — not only when fully contained. The interval that
+   straddles t_from is the step-onset one, where the true peak |dv/dt|
+   usually lives when the stimulus edge falls between samples. *)
+let peak_slew ~times v ~t_from ~t_to =
   let best = ref 0.0 in
   for k = 1 to Array.length v - 1 do
-    let t0 = r.times.(k - 1) and t1 = r.times.(k) in
-    if t0 >= t_from && t1 <= t_to && t1 > t0 then
+    let t0 = times.(k - 1) and t1 = times.(k) in
+    if t1 > t_from && t0 < t_to && t1 > t0 then
       best := Float.max !best (Float.abs ((v.(k) -. v.(k - 1)) /. (t1 -. t0)))
   done;
   !best
+
+let slew_rate r node ~t_from ~t_to =
+  peak_slew ~times:r.times (node_waveform r node) ~t_from ~t_to
+
+let settling_time ~times v ~t_from ~tol =
+  let n = Array.length v in
+  if n = 0 then 0.0
+  else begin
+    let v_final = v.(n - 1) in
+    (* Value just before the step edge: the last sample at or before t_from. *)
+    let onset = ref 0 in
+    for k = 0 to n - 1 do
+      if times.(k) <= t_from then onset := k
+    done;
+    let band = tol *. Float.max (Float.abs (v_final -. v.(!onset))) 1e-12 in
+    (* Earliest sample after which every later sample stays in the band.
+       The final sample always qualifies (it defines v_final). *)
+    let settle = ref (n - 1) in
+    (try
+       for k = n - 1 downto !onset do
+         if Float.abs (v.(k) -. v_final) > band then raise Exit else settle := k
+       done
+     with Exit -> ());
+    Float.max 0.0 (times.(!settle) -. t_from)
+  end
 
 (* Replace the DC expression of stimulated sources with the value at [t]. *)
 let circuit_at stimulus t (circuit : Netlist.Circuit.t) =
@@ -111,13 +147,22 @@ let simulate ~value ~registry ~tstop ~dt ~stimulus circuit =
   | Error e -> Error ("tran: initial operating point: " ^ e)
   | Ok sol0 ->
       let idx = sol0.Dc.index in
-      let nsteps = int_of_float (Float.ceil (tstop /. dt)) in
-      let times = Array.init (nsteps + 1) (fun k -> float_of_int k *. dt) in
+      (* The relative epsilon keeps an exactly-dividing tstop/dt from
+         rounding just above an integer and growing a degenerate h=0 final
+         step (whose C/h companion stamp would be singular). *)
+      let nsteps =
+        Stdlib.max 1 (int_of_float (Float.ceil (tstop /. dt *. (1.0 -. 1e-12))))
+      in
+      (* The last grid point clamps to tstop so the stimulus is never
+         sampled past the requested horizon; the final (shorter) step gets
+         its own h below. *)
+      let times = Array.init (nsteps + 1) (fun k -> Float.min (float_of_int k *. dt) tstop) in
       let states = Array.make (nsteps + 1) sol0.Dc.x in
       let rec run k x ops =
         if k > nsteps then Ok { index = idx; times; states }
         else begin
-          match step ~value ~registry ~h:dt ~stimulus ~t:times.(k) circuit x ops with
+          let h = times.(k) -. times.(k - 1) in
+          match step ~value ~registry ~h ~stimulus ~t:times.(k) circuit x ops with
           | Error e -> Error e
           | Ok (x', ops') ->
               states.(k) <- x';

@@ -14,9 +14,25 @@ type t = {
 (** [node_waveform r node] extracts one node's voltage trace. *)
 val node_waveform : t -> int -> float array
 
-(** [slew_rate r node ~t_from ~t_to] is the peak |dv/dt| of the node
-    voltage inside the window, V/s. *)
+(** [waveform_of r ~pos ~neg] is the single-ended or differential trace
+    v(pos) - v(neg). *)
+val waveform_of : t -> pos:int -> neg:int option -> float array
+
+(** [peak_slew ~times v ~t_from ~t_to] is the peak |dv/dt| over every
+    sample interval that overlaps the window (t_from, t_to) — including
+    the interval straddling the window edge, which carries the step-onset
+    transition when the stimulus edge falls between samples. *)
+val peak_slew : times:float array -> float array -> t_from:float -> t_to:float -> float
+
+(** [slew_rate r node ~t_from ~t_to] is [peak_slew] of the node voltage,
+    V/s. *)
 val slew_rate : t -> int -> t_from:float -> t_to:float -> float
+
+(** [settling_time ~times v ~t_from ~tol] is the time after [t_from] at
+    which the waveform last enters the band [tol] * |v_final - v(t_from)|
+    around its final value and stays there, in seconds. 0 when already
+    settled at the step edge; bounded by the simulated horizon. *)
+val settling_time : times:float array -> float array -> t_from:float -> tol:float -> float
 
 val simulate :
   value:(Netlist.Expr.t -> float) ->

@@ -39,14 +39,36 @@ type element =
 
 type subckt = { sub_name : string; ports : string list; body : element list }
 
+(** How a transfer-function declaration is meant to be read: a plain AC
+    response ([.pz]), an output-referred noise jig ([.noise]), or a
+    supply-rejection jig ([.psrr], whose source sits in a supply rail). *)
+type pz_kind = Pz_ac | Pz_noise | Pz_psrr
+
 type pz = {
   tf_name : string;
   out_pos : string;
   out_neg : string option;  (** differential output when present *)
   src : string;  (** name of the independent source driving the jig *)
+  pz_kind : pz_kind;
 }
 
-type jig = { jig_name : string; jig_body : element list; pzs : pz list }
+(** A [.tran] card inside a jig: the fixed-step backward-Euler budget for
+    that jig's large-signal (slew/settling) measurements. [tr_dtloop] is
+    the coarser step the in-loop evaluator may use; verification always
+    uses [tr_dt]. *)
+type tran_card = {
+  tr_tstop : float;
+  tr_dt : float;
+  tr_dtloop : float option;
+  tr_vstep : float;  (** stimulus step amplitude, V *)
+}
+
+type jig = {
+  jig_name : string;
+  jig_body : element list;
+  pzs : pz list;
+  jig_tran : tran_card option;
+}
 
 type grid_kind = Grid_log | Grid_lin
 
@@ -61,7 +83,17 @@ type var_decl = {
 
 type goal_kind = Objective_max | Objective_min | Constraint_ge | Constraint_le
 
-type spec = { spec_name : string; kind : goal_kind; expr : Expr.t; good : float; bad : float }
+type spec = {
+  spec_name : string;
+  kind : goal_kind;
+  expr : Expr.t;
+  good : float;
+  bad : float;
+  spec_corner : string option;
+      (** evaluate this row with every device skewed to the named process
+          corner ({!Devices.Registry.standard_corners}) — a robustness
+          penalty term, not a nominal measurement *)
+}
 
 type region_req = Region_sat | Region_linear | Region_off | Region_any
 

@@ -124,27 +124,42 @@ let problem_hash (p : Ast.problem) =
   List.iter
     (fun (j : Ast.jig) ->
       Buffer.add_string buf (sp "[jig %s]\n%s\n" j.Ast.jig_name (body_fingerprint ~subckts j.jig_body));
+      (* New facts (tf kinds, .tran cards) render only when present, so
+         descriptions that don't use them keep their pre-existing hash. *)
       Buffer.add_string buf
         (sorted_section
            (sp "pz %s" j.Ast.jig_name)
            (List.map
               (fun (z : Ast.pz) ->
-                sp "%s v(%s%s) %s" z.Ast.tf_name z.out_pos
+                sp "%s v(%s%s) %s%s" z.Ast.tf_name z.out_pos
                   (match z.out_neg with Some onn -> "," ^ onn | None -> "")
-                  z.src)
+                  z.src
+                  (match z.pz_kind with
+                  | Ast.Pz_ac -> ""
+                  | Ast.Pz_noise -> " noise"
+                  | Ast.Pz_psrr -> " psrr"))
               j.pzs)
-         ^ "\n"))
+         ^ "\n");
+      match j.Ast.jig_tran with
+      | None -> ()
+      | Some t ->
+          Buffer.add_string buf
+            (sp "[tran %s]\ntstop=%s dt=%s dtloop=%s vstep=%s\n" j.Ast.jig_name (num t.tr_tstop)
+               (num t.tr_dt)
+               (match t.tr_dtloop with Some d -> num d | None -> "-")
+               (num t.tr_vstep)))
     (List.sort (fun (a : Ast.jig) b -> String.compare a.Ast.jig_name b.Ast.jig_name) p.Ast.jigs);
   section "specs"
     (List.map
        (fun (s : Ast.spec) ->
-         sp "%s %s '%s' good=%s bad=%s" s.Ast.spec_name
+         sp "%s %s '%s' good=%s bad=%s%s" s.Ast.spec_name
            (match s.kind with
            | Ast.Objective_max -> "max"
            | Ast.Objective_min -> "min"
            | Ast.Constraint_ge -> "ge"
            | Ast.Constraint_le -> "le")
-           (expr s.expr) (num s.good) (num s.bad))
+           (expr s.expr) (num s.good) (num s.bad)
+           (match s.Ast.spec_corner with Some c -> " corner=" ^ c | None -> ""))
        p.Ast.specs);
   section "regions"
     (List.map

@@ -225,7 +225,7 @@ type state = {
 type mode =
   | Top
   | In_subckt of string * string list * Ast.element list ref
-  | In_jig of string * Ast.element list ref * Ast.pz list ref
+  | In_jig of string * Ast.element list ref * Ast.pz list ref * Ast.tran_card option ref
   | In_bias of Ast.element list ref
 
 let parse_var ln toks =
@@ -278,8 +278,30 @@ let parse_spec ln kind_default toks =
         | `Obj -> if good > bad then Ast.Objective_max else Ast.Objective_min
         | `Spec -> if good > bad then Ast.Constraint_ge else Ast.Constraint_le
       in
-      { Ast.spec_name = name; kind; expr = parse_expr_tok ln e; good; bad }
-  | _ -> fail ln ".obj/.spec: expected name 'expr' good=.. bad=.."
+      { Ast.spec_name = name; kind; expr = parse_expr_tok ln e; good; bad; spec_corner = get "corner" }
+  | _ -> fail ln ".obj/.spec: expected name 'expr' good=.. bad=.. [corner=..]"
+
+(* .tran tstop=.. dt=.. [dtloop=..] [vstep=..] *)
+let parse_tran ln toks =
+  let get key =
+    List.find_map
+      (fun tok ->
+        match split_eq tok with Some (k, v) when k = key -> Some v | Some _ | None -> None)
+      toks
+  in
+  let req key =
+    match get key with Some v -> parse_num_tok ln v | None -> fail ln (".tran: missing " ^ key ^ "=")
+  in
+  let tstop = req "tstop" and dt = req "dt" in
+  if not (tstop > 0.0 && dt > 0.0 && dt <= tstop) then
+    fail ln ".tran: need 0 < dt <= tstop";
+  let dtloop = Option.map (parse_num_tok ln) (get "dtloop") in
+  (match dtloop with
+  | Some d when not (d > 0.0 && d <= tstop) -> fail ln ".tran: need 0 < dtloop <= tstop"
+  | Some _ | None -> ());
+  let vstep = match get "vstep" with Some v -> parse_num_tok ln v | None -> 0.1 in
+  if vstep = 0.0 then fail ln ".tran: vstep must be nonzero";
+  { Ast.tr_tstop = tstop; tr_dt = dt; tr_dtloop = dtloop; tr_vstep = vstep }
 
 let parse_model ln toks =
   match toks with
@@ -341,24 +363,43 @@ let parse_problem src =
         | Top, ".jig" -> begin
             match rest with
             | [ name ] ->
-                mode := In_jig (name, ref [], ref []);
+                mode := In_jig (name, ref [], ref [], ref None);
                 st.netlist_lines <- st.netlist_lines + 1
             | _ -> fail ln ".jig: expected a single name"
           end
-        | In_jig (name, body, pzs), ".endjig" ->
+        | In_jig (name, body, pzs, tran), ".endjig" ->
             st.jigs <-
-              { Ast.jig_name = name; jig_body = List.rev !body; pzs = List.rev !pzs } :: st.jigs;
+              {
+                Ast.jig_name = name;
+                jig_body = List.rev !body;
+                pzs = List.rev !pzs;
+                jig_tran = !tran;
+              }
+              :: st.jigs;
             mode := Top;
             st.netlist_lines <- st.netlist_lines + 1
-        | In_jig (_, _, pzs), ".pz" -> begin
+        | In_jig (_, _, pzs, _), (".pz" | ".noise" | ".psrr") -> begin
             match rest with
             | [ tf_name; vout; src ] ->
                 let out_pos, out_neg = parse_vout ln vout in
-                pzs := { Ast.tf_name; out_pos; out_neg; src } :: !pzs;
+                let pz_kind =
+                  match card with
+                  | ".noise" -> Ast.Pz_noise
+                  | ".psrr" -> Ast.Pz_psrr
+                  | _ -> Ast.Pz_ac
+                in
+                pzs := { Ast.tf_name; out_pos; out_neg; src; pz_kind } :: !pzs;
                 st.netlist_lines <- st.netlist_lines + 1
-            | _ -> fail ln ".pz: expected 'tfname v(out) srcname'"
+            | _ -> fail ln (card ^ ": expected 'tfname v(out) srcname'")
           end
-        | In_jig (_, body, _), _ when card.[0] <> '.' ->
+        | In_jig (_, _, _, tran), ".tran" -> begin
+            match !tran with
+            | Some _ -> fail ln ".tran: at most one per jig"
+            | None ->
+                tran := Some (parse_tran ln rest);
+                st.netlist_lines <- st.netlist_lines + 1
+          end
+        | In_jig (_, body, _, _), _ when card.[0] <> '.' ->
             body := parse_element ln toks :: !body;
             st.netlist_lines <- st.netlist_lines + 1
         | In_jig _, _ -> fail ln ("unexpected card in .jig: " ^ card)
@@ -427,7 +468,7 @@ let parse_problem src =
   (match !mode with
   | Top -> ()
   | In_subckt (name, _, _) -> fail 0 ("unterminated .subckt " ^ name)
-  | In_jig (name, _, _) -> fail 0 ("unterminated .jig " ^ name)
+  | In_jig (name, _, _, _) -> fail 0 ("unterminated .jig " ^ name)
   | In_bias _ -> fail 0 "unterminated .bias");
   {
     Ast.title = st.title;

@@ -117,14 +117,17 @@ let checked ~socket ?timeout_s ?auth req =
       match Proto.response_error resp with Some e -> Error e | None -> Ok resp
     end
 
+let id_of resp =
+  match Json.mem_opt "id" resp with
+  | Some v -> Ok (Json.to_int v)
+  | None -> Error "submit response carries no id"
+
 let submit ~socket ?timeout_s ?auth s =
-  match checked ~socket ?timeout_s ?auth (Proto.Submit s) with
-  | Error e -> Error e
-  | Ok resp -> begin
-      match Json.mem_opt "id" resp with
-      | Some v -> Ok (Json.to_int v)
-      | None -> Error "submit response carries no id"
-    end
+  Result.bind (checked ~socket ?timeout_s ?auth (Proto.Submit s)) id_of
+
+let sweep ~socket ?timeout_s ?auth s =
+  if s.Proto.sb_sweep = [] then Error "sweep: at least one variant required"
+  else Result.bind (checked ~socket ?timeout_s ?auth (Proto.Sweep s)) id_of
 
 let job_of resp =
   match Json.mem_opt "job" resp with

@@ -40,6 +40,12 @@ val request :
 val submit :
   socket:string -> ?timeout_s:float -> ?auth:string -> Proto.submit -> (int, string) result
 
+(** [sweep ~socket s] — the batch verb: [s.sb_sweep] must be non-empty.
+    The returned id resolves (via {!wait}/{!result}) to a job record
+    whose ["sweep"] field is the per-variant verdict table. *)
+val sweep :
+  socket:string -> ?timeout_s:float -> ?auth:string -> Proto.submit -> (int, string) result
+
 val status :
   socket:string -> ?timeout_s:float -> ?auth:string -> int -> (Obs.Json.t, string) result
 

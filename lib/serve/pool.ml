@@ -32,6 +32,23 @@ let state_name = function
   | Failed -> "failed"
   | Cancelled -> "cancelled"
 
+(* One row of a sweep job's verdict table: what one variant's synthesis
+   produced. [sv_cache] is the compile-cache outcome for this variant's
+   (canon, corner) key — the bench gate over "one compile per distinct
+   key" reads these. *)
+type sweep_row = {
+  sv_name : string;
+  sv_corner : string option;
+  sv_cache : Core.Compile_cache.outcome option;  (** None: failed pre-key *)
+  sv_best_cost : float option;
+  sv_ok : bool option;  (** every spec at/inside its good target *)
+  sv_error : string option;
+  sv_predicted : (string * float option) list;
+  sv_moves : int;
+  sv_evals : int;
+  sv_cut_reason : string option;
+}
+
 (* What a finished synthesis leaves on the job record. *)
 type outcome = {
   jo_best_cost : float;
@@ -42,6 +59,7 @@ type outcome = {
   jo_sizes : (string * float) list;
   jo_winner_restart : int option;  (** global restart index of the winner *)
   jo_winner_score : float option;  (** {!Core.Oblx.score} of the winner *)
+  jo_sweep : sweep_row list;  (** non-empty only for sweep jobs *)
 }
 
 type job = {
@@ -114,6 +132,26 @@ let opt_num = function Some v -> Json.Num v | None -> Json.Null
 let num_i i = Json.Num (float_of_int i)
 let opt_str = function Some s -> Json.Str s | None -> Json.Null
 
+let cache_json = function
+  | Some Core.Compile_cache.Hit -> Json.Str "hit"
+  | Some Core.Compile_cache.Miss -> Json.Str "miss"
+  | None -> Json.Null
+
+let sweep_row_json (r : sweep_row) =
+  Json.Obj
+    [
+      ("variant", Json.Str r.sv_name);
+      ("corner", opt_str r.sv_corner);
+      ("cache", cache_json r.sv_cache);
+      ("best_cost", opt_num r.sv_best_cost);
+      ("ok", (match r.sv_ok with Some b -> Json.Bool b | None -> Json.Null));
+      ("error", opt_str r.sv_error);
+      ("predicted", Json.Obj (List.map (fun (k, v) -> (k, opt_num v)) r.sv_predicted));
+      ("moves", num_i r.sv_moves);
+      ("evals", num_i r.sv_evals);
+      ("cut_reason", opt_str r.sv_cut_reason);
+    ]
+
 (* Caller holds the lock. *)
 let job_json ~full t (j : job) =
   let wait_s =
@@ -153,11 +191,7 @@ let job_json ~full t (j : job) =
       ("queue_position", match queue_pos with Some p -> num_i p | None -> Json.Null);
       ("wait_s", Json.Num wait_s);
       ("run_s", opt_num run_s);
-      ( "cache",
-        match j.cache with
-        | Some Core.Compile_cache.Hit -> Json.Str "hit"
-        | Some Core.Compile_cache.Miss -> Json.Str "miss"
-        | None -> Json.Null );
+      ("cache", cache_json j.cache);
       ("error", opt_str j.error);
       ("cut_reason", opt_str (match j.outcome with Some o -> o.jo_cut_reason | None -> None));
     ]
@@ -184,6 +218,10 @@ let job_json ~full t (j : job) =
               Json.Obj (List.map (fun (k, v) -> (k, opt_num v)) o.jo_predicted) );
             ("sizes", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) o.jo_sizes));
           ]
+          @
+          match o.jo_sweep with
+          | [] -> []
+          | rows -> [ ("sweep", Json.Arr (List.map sweep_row_json rows)) ]
   in
   let events =
     if not full then []
@@ -396,7 +434,51 @@ let spec_of_log wrap jobj =
       (match (jint jobj "shard_lo", jint jobj "shard_hi") with
       | Some lo, Some hi -> Some (lo, hi)
       | _ -> None);
+    (* Variants are not journaled with the spec — a replayed sweep job is
+       already finished, and its verdict table replays from the outcome. *)
+    sb_sweep = [];
   }
+
+let sweep_of_log jobj =
+  match Json.mem_opt "sweep" jobj with
+  | Some (Json.Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match jstr row "variant" with
+          | None -> None
+          | Some name ->
+              Some
+                {
+                  sv_name = name;
+                  sv_corner = jstr row "corner";
+                  sv_cache =
+                    (match jstr row "cache" with
+                    | Some "hit" -> Some Core.Compile_cache.Hit
+                    | Some "miss" -> Some Core.Compile_cache.Miss
+                    | Some _ | None -> None);
+                  sv_best_cost = jnum row "best_cost";
+                  sv_ok =
+                    (match Json.mem_opt "ok" row with
+                    | Some (Json.Bool b) -> Some b
+                    | _ -> None);
+                  sv_error = jstr row "error";
+                  sv_predicted =
+                    (match Json.mem_opt "predicted" row with
+                    | Some (Json.Obj kvs) ->
+                        List.filter_map
+                          (fun (k, v) ->
+                            match v with
+                            | Json.Num v -> Some (k, Some v)
+                            | Json.Null -> Some (k, None)
+                            | _ -> None)
+                          kvs
+                    | _ -> []);
+                  sv_moves = Option.value (jint row "moves") ~default:0;
+                  sv_evals = Option.value (jint row "evals") ~default:0;
+                  sv_cut_reason = jstr row "cut_reason";
+                })
+        rows
+  | _ -> []
 
 let outcome_of_log jobj =
   match jnum jobj "best_cost" with
@@ -424,6 +506,7 @@ let outcome_of_log jobj =
                 match v with Json.Num v -> Some (k, v) | _ -> None);
           jo_winner_restart = jint jobj "winner_restart";
           jo_winner_score = jnum jobj "winner_score";
+          jo_sweep = sweep_of_log jobj;
         }
 
 let cache_of_log jobj =
@@ -517,8 +600,8 @@ let replay_log path =
    peers before spending a compile. Equivalent to
    [Core.Compile_cache.compile] when no fleet is configured: [find]/[add]
    are its two halves. *)
-let compile_for_job t source =
-  match Core.Compile_cache.key_of_source source with
+let compile_for_job t ?corner source =
+  match Core.Compile_cache.key_of_source ?corner source with
   | Error e -> Error (e, Core.Compile_cache.Miss) (* unparseable: never cached *)
   | Ok key -> begin
       match Core.Compile_cache.find t.cache ~key with
@@ -538,7 +621,7 @@ let compile_for_job t source =
               (* Known-good elsewhere still compiles here (compiled
                  problems hold closures and cannot cross the wire), but
                  the remote hit is counted by the fleet. *)
-              let value = Core.Compile.compile_source source in
+              let value = Core.Compile.compile_source ?corner source in
               Core.Compile_cache.add t.cache ~key value;
               (match (remote, t.cfg.fleet) with
               | None, Some f ->
@@ -577,7 +660,207 @@ let sum_moves all =
 let sum_evals all =
   List.fold_left (fun a (r : Core.Oblx.result) -> a + r.Core.Oblx.evals) 0 all
 
+(* "ok" for one sweep row: every specification at or inside its good
+   target. The direction comes from the good/bad ordering — good <= bad
+   means smaller is better — the same normalization the cost uses. *)
+let specs_met (p : Core.Problem.t) predicted =
+  List.for_all
+    (fun (s : Core.Problem.spec) ->
+      match List.assoc_opt s.Core.Problem.spec_name predicted with
+      | Some (Some v) ->
+          if s.Core.Problem.good <= s.Core.Problem.bad then v <= s.Core.Problem.good
+          else v >= s.Core.Problem.good
+      | Some None | None -> false)
+    p.Core.Problem.specs
+
+(* Re-target good/bad on the compiled problem without recompiling: the
+   spec list keeps its order, so the depgraph's per-spec rows stay
+   aligned. An override naming no spec is a caller bug, reported per
+   variant rather than silently ignored. *)
+let override_specs (p : Core.Problem.t) overrides =
+  let missing =
+    List.filter_map
+      (fun (n, _, _) ->
+        if Option.is_none (Core.Problem.find_spec p n) then Some n else None)
+      overrides
+  in
+  match (missing, overrides) with
+  | _ :: _, _ ->
+      Error (Printf.sprintf "unknown spec(s): %s" (String.concat ", " missing))
+  | [], [] -> Ok p
+  | [], _ ->
+      Ok
+        {
+          p with
+          Core.Problem.specs =
+            List.map
+              (fun (s : Core.Problem.spec) ->
+                match
+                  List.find_opt (fun (n, _, _) -> n = s.Core.Problem.spec_name) overrides
+                with
+                | Some (_, good, bad) -> { s with Core.Problem.good; bad }
+                | None -> s)
+              p.Core.Problem.specs;
+        }
+
+(* A sweep job: one (jobs = 1) synthesis per variant, run sequentially on
+   this worker, every compile routed through the shared cache under its
+   (canon, corner) key — the first variant at a given key compiles, the
+   rest hit. Sequential jobs = 1 execution makes the verdict table a
+   deterministic function of (source, variants, seed), independent of the
+   pool's worker count. Sweep jobs are never scattered across a fleet:
+   the shared compile is the point. *)
+let run_sweep t (j : job) ~worker =
+  let sinks =
+    match j.ring with
+    | Some ring ->
+        Obs.Sink.filtered ~level:Obs.Event.Stage (Obs.Sink.Ring.sink ring)
+        :: Obs.Trace.sinks t.obs_base
+    | None -> Obs.Trace.sinks t.obs_base
+  in
+  let shard = Obs.Shard.create sinks in
+  let moves =
+    match j.spec.Proto.sb_moves with Some m -> Some m | None -> t.cfg.default_moves
+  in
+  let rows = ref [] in
+  (* The cross-variant winner, for the job-level summary fields. *)
+  let best : (float * Core.Problem.t * Core.Oblx.result) option ref = ref None in
+  Fun.protect
+    ~finally:(fun () -> Obs.Shard.drain shard)
+    (fun () ->
+      List.iteri
+        (fun k (v : Proto.variant) ->
+          if Atomic.get j.cancel = None then begin
+            let fail ?cache e =
+              {
+                sv_name = v.Proto.vr_name;
+                sv_corner = v.Proto.vr_corner;
+                sv_cache = cache;
+                sv_best_cost = None;
+                sv_ok = None;
+                sv_error = Some e;
+                sv_predicted = [];
+                sv_moves = 0;
+                sv_evals = 0;
+                sv_cut_reason = None;
+              }
+            in
+            let corner =
+              match v.Proto.vr_corner with
+              | None -> Ok None
+              | Some c -> begin
+                  match Devices.Registry.find_corner c with
+                  | Some corner -> Ok (Some corner)
+                  | None -> Error (Printf.sprintf "unknown corner %S" c)
+                end
+            in
+            let row =
+              match corner with
+              | Error e -> fail e
+              | Ok corner -> begin
+                  match compile_for_job t ?corner j.spec.Proto.sb_source with
+                  | Error (e, cache) -> fail ~cache e
+                  | Ok (p, cache) -> begin
+                      match override_specs p v.Proto.vr_specs with
+                      | Error e -> fail ~cache e
+                      | Ok p' -> begin
+                          let deadline_s =
+                            Option.map
+                              (fun budget ->
+                                Float.max 0.0 (budget -. (now () -. j.submitted_at)))
+                              j.spec.Proto.sb_deadline_s
+                          in
+                          let obs =
+                            Obs.Trace.with_sinks t.obs_base
+                              [ Obs.Shard.for_restart shard k ]
+                          in
+                          match
+                            Core.Oblx.run_job ~seed:j.spec.Proto.sb_seed ?moves
+                              ~runs:j.spec.Proto.sb_runs ~jobs:1
+                              ~incremental:t.cfg.incremental ?deadline_s
+                              ~poll:(fun () -> Atomic.get j.cancel)
+                              ~obs p'
+                          with
+                          | b, all ->
+                              (match !best with
+                              | Some (c, _, _) when c <= b.Core.Oblx.best_cost -> ()
+                              | Some _ | None ->
+                                  best := Some (b.Core.Oblx.best_cost, p', b));
+                              {
+                                sv_name = v.Proto.vr_name;
+                                sv_corner = v.Proto.vr_corner;
+                                sv_cache = Some cache;
+                                sv_best_cost = Some b.Core.Oblx.best_cost;
+                                sv_ok = Some (specs_met p' b.Core.Oblx.predicted);
+                                sv_error = None;
+                                sv_predicted = b.Core.Oblx.predicted;
+                                sv_moves = sum_moves all;
+                                sv_evals = sum_evals all;
+                                sv_cut_reason = cut_reason_of b all;
+                              }
+                          | exception exn -> fail ~cache (Printexc.to_string exn)
+                        end
+                    end
+                end
+            in
+            rows := row :: !rows
+          end)
+        j.spec.Proto.sb_sweep;
+      let rows = List.rev !rows in
+      (* The job-level cache field reports the first variant's outcome
+         (informational); the per-row outcomes are authoritative. *)
+      (match rows with
+      | { sv_cache = Some c; _ } :: _ -> locked t (fun () -> j.cache <- Some c)
+      | _ -> ());
+      let jo_moves = List.fold_left (fun a r -> a + r.sv_moves) 0 rows in
+      let jo_evals = List.fold_left (fun a r -> a + r.sv_evals) 0 rows in
+      let jo_cut_reason = List.find_map (fun r -> r.sv_cut_reason) rows in
+      match !best with
+      | None ->
+          (* Every variant failed (or the job was cancelled before any
+             completed): the rows still ride on the outcome so the caller
+             sees per-variant reasons. *)
+          let state = if Atomic.get j.cancel <> None then Cancelled else Failed in
+          let error =
+            match List.find_opt (fun r -> r.sv_error <> None) rows with
+            | Some { sv_name; sv_error = Some e; _ } ->
+                Printf.sprintf "%s: %s" sv_name e
+            | _ -> "sweep: no variant completed"
+          in
+          finish t j ~worker:(Some worker) ~state ~error
+            ~outcome:
+              {
+                jo_best_cost = 0.0;
+                jo_moves;
+                jo_evals;
+                jo_cut_reason;
+                jo_predicted = [];
+                jo_sizes = [];
+                jo_winner_restart = None;
+                jo_winner_score = None;
+                jo_sweep = rows;
+              }
+            ()
+      | Some (cost, pw, bw) ->
+          let state = if Atomic.get j.cancel <> None then Cancelled else Done in
+          finish t j ~worker:(Some worker) ~state
+            ~outcome:
+              {
+                jo_best_cost = cost;
+                jo_moves;
+                jo_evals;
+                jo_cut_reason;
+                jo_predicted = bw.Core.Oblx.predicted;
+                jo_sizes = Core.Report.sizes pw bw.Core.Oblx.final;
+                jo_winner_restart = None;
+                jo_winner_score = Some (Core.Oblx.score pw bw);
+                jo_sweep = rows;
+              }
+            ())
+
 let run_job t (j : job) ~worker =
+  if j.spec.Proto.sb_sweep <> [] then run_sweep t j ~worker
+  else
   match compile_for_job t j.spec.Proto.sb_source with
   | Error (e, cache_outcome) ->
       (* The cache deliberately remembers failures; report the real
@@ -684,6 +967,7 @@ let run_job t (j : job) ~worker =
                     jo_sizes = w.Fleet.sr_sizes;
                     jo_winner_restart = Some w.Fleet.sr_winner_restart;
                     jo_winner_score = Some w.Fleet.sr_winner_score;
+                    jo_sweep = [];
                   }
           end
           else begin
@@ -702,6 +986,7 @@ let run_job t (j : job) ~worker =
                 jo_sizes = Core.Report.sizes p best.Core.Oblx.final;
                 jo_winner_restart = Some (lo + winner_index best all);
                 jo_winner_score = Some (Core.Oblx.score p best);
+                jo_sweep = [];
               }
           end)
 
@@ -805,6 +1090,11 @@ let create cfg =
 let submit t (s : Proto.submit) =
   if s.Proto.sb_runs < 1 then Error "runs must be >= 1"
   else if String.trim s.Proto.sb_source = "" then Error "empty problem source"
+  else if s.Proto.sb_sweep <> [] && s.Proto.sb_shard <> None then
+    Error "sweep jobs cannot be sharded"
+  else if
+    List.exists (fun (v : Proto.variant) -> String.trim v.Proto.vr_name = "") s.Proto.sb_sweep
+  then Error "sweep variant names must be non-empty"
   else if
     match s.Proto.sb_shard with
     | Some (lo, hi) -> lo < 0 || lo >= hi || hi > s.Proto.sb_runs

@@ -29,6 +29,17 @@
     to running the whole budget on one box. A submit that itself carries
     [sb_shard] executes just that range and is never re-scattered.
 
+    A submit whose [sb_sweep] is non-empty is a sweep job: one (jobs = 1)
+    synthesis per variant, run sequentially on a single worker, each
+    variant compiled through the shared cache under its (canon, corner)
+    key — so a 15-variant sweep over 5 corners costs exactly 5 compiles.
+    Spec-target overrides are applied to the compiled problem without
+    recompiling. The finished job's [result] record carries a ["sweep"]
+    array of per-variant verdict rows (best cost, ok, cache hit/miss,
+    predicted specs, per-variant error). Sweep jobs are never scattered
+    across a fleet, and the verdict table is a deterministic function of
+    (source, variants, seed) — independent of the pool's worker count.
+
     All table/queue state is guarded by one mutex; synthesis itself runs
     outside it. JSON views are rendered under the lock so a reader never
     sees a half-updated record. *)

@@ -1,5 +1,13 @@
 module Json = Obs.Json
 
+(* One cell of a sweep grid: the same netlist re-judged under an optional
+   device corner and/or overridden good/bad spec targets. *)
+type variant = {
+  vr_name : string;
+  vr_corner : string option;
+  vr_specs : (string * float * float) list;  (* spec name, good, bad *)
+}
+
 type submit = {
   sb_name : string;
   sb_source : string;
@@ -10,12 +18,16 @@ type submit = {
   sb_deadline_s : float option;
   sb_trace : bool;
   sb_shard : (int * int) option;
+  sb_sweep : variant list;
+      (* non-empty marks a sweep job: one synthesis per variant, sharing
+         one compile per distinct (canon, corner) key; never scattered *)
 }
 
 type cache_push = { cp_hash : string; cp_error : string option }
 
 type request =
   | Submit of submit
+  | Sweep of submit  (** sb_sweep non-empty: per-variant verdict table *)
   | Status of int
   | Result of int
   | Cancel of int
@@ -28,22 +40,64 @@ type request =
 let num_i i = Json.Num (float_of_int i)
 let opt f = function Some v -> f v | None -> Json.Null
 
+let variant_to_json (v : variant) =
+  Json.Obj
+    [
+      ("name", Json.Str v.vr_name);
+      ("corner", opt (fun c -> Json.Str c) v.vr_corner);
+      ( "specs",
+        Json.Obj
+          (List.map
+             (fun (n, good, bad) -> (n, Json.Arr [ Json.Num good; Json.Num bad ]))
+             v.vr_specs) );
+    ]
+
+let variant_of_json j =
+  let name =
+    match Json.mem_opt "name" j with
+    | Some v -> Json.to_str v
+    | None -> raise (Json.Decode_error "variant: missing field \"name\"")
+  in
+  let corner =
+    match Json.mem_opt "corner" j with
+    | Some Json.Null | None -> None
+    | Some v -> Some (Json.to_str v)
+  in
+  let specs =
+    match Json.mem_opt "specs" j with
+    | Some Json.Null | None -> []
+    | Some (Json.Obj kvs) ->
+        List.map
+          (fun (n, v) ->
+            match v with
+            | Json.Arr [ good; bad ] -> (n, Json.to_float good, Json.to_float bad)
+            | _ -> raise (Json.Decode_error "variant: spec override must be [good, bad]"))
+          kvs
+    | Some _ -> raise (Json.Decode_error "variant: \"specs\" must be an object")
+  in
+  { vr_name = name; vr_corner = corner; vr_specs = specs }
+
+let submit_fields (s : submit) =
+  [
+    ("name", Json.Str s.sb_name);
+    ("source", Json.Str s.sb_source);
+    ("seed", num_i s.sb_seed);
+    ("moves", opt num_i s.sb_moves);
+    ("runs", num_i s.sb_runs);
+    ("priority", num_i s.sb_priority);
+    ("deadline_s", opt (fun v -> Json.Num v) s.sb_deadline_s);
+    ("trace", Json.Bool s.sb_trace);
+    ("shard_lo", opt (fun (lo, _) -> num_i lo) s.sb_shard);
+    ("shard_hi", opt (fun (_, hi) -> num_i hi) s.sb_shard);
+  ]
+  @
+  match s.sb_sweep with
+  | [] -> []
+  | vs -> [ ("variants", Json.Arr (List.map variant_to_json vs)) ]
+
 let request_to_json = function
-  | Submit s ->
-      Json.Obj
-        [
-          ("op", Json.Str "submit");
-          ("name", Json.Str s.sb_name);
-          ("source", Json.Str s.sb_source);
-          ("seed", num_i s.sb_seed);
-          ("moves", opt num_i s.sb_moves);
-          ("runs", num_i s.sb_runs);
-          ("priority", num_i s.sb_priority);
-          ("deadline_s", opt (fun v -> Json.Num v) s.sb_deadline_s);
-          ("trace", Json.Bool s.sb_trace);
-          ("shard_lo", opt (fun (lo, _) -> num_i lo) s.sb_shard);
-          ("shard_hi", opt (fun (_, hi) -> num_i hi) s.sb_shard);
-        ]
+  | Submit s -> Json.Obj (("op", Json.Str "submit") :: submit_fields s)
+  | Sweep s -> Json.Obj (("op", Json.Str "sweep") :: submit_fields s)
   | Status id -> Json.Obj [ ("op", Json.Str "status"); ("id", num_i id) ]
   | Result id -> Json.Obj [ ("op", Json.Str "result"); ("id", num_i id) ]
   | Cancel id -> Json.Obj [ ("op", Json.Str "cancel"); ("id", num_i id) ]
@@ -85,35 +139,45 @@ let request_of_json j =
     | Some v -> Json.to_int v
     | None -> raise (Json.Decode_error "missing field \"id\"")
   in
+  let submit_of_fields op =
+    let source =
+      match field_opt "source" with
+      | Some v -> Json.to_str v
+      | None -> raise (Json.Decode_error (op ^ ": missing field \"source\""))
+    in
+    let shard =
+      (* Both bounds or neither: a half-specified shard is a caller bug,
+         not something to guess a default for. *)
+      match (int_opt_field "shard_lo", int_opt_field "shard_hi") with
+      | Some lo, Some hi -> Some (lo, hi)
+      | None, None -> None
+      | Some _, None | None, Some _ ->
+          raise (Json.Decode_error (op ^ ": shard_lo and shard_hi must come together"))
+    in
+    let variants =
+      match field_opt "variants" with
+      | Some Json.Null | None -> []
+      | Some (Json.Arr vs) -> List.map variant_of_json vs
+      | Some _ -> raise (Json.Decode_error (op ^ ": \"variants\" must be an array"))
+    in
+    {
+      sb_name = str_field "name" ~default:"";
+      sb_source = source;
+      sb_seed = int_field "seed" ~default:1;
+      sb_moves = int_opt_field "moves";
+      sb_runs = int_field "runs" ~default:1;
+      sb_priority = int_field "priority" ~default:0;
+      sb_deadline_s = float_opt_field "deadline_s";
+      sb_trace = bool_field "trace" ~default:false;
+      sb_shard = shard;
+      sb_sweep = variants;
+    }
+  in
   match Json.to_str (Json.mem "op" j) with
-  | "submit" ->
-      let source =
-        match field_opt "source" with
-        | Some v -> Json.to_str v
-        | None -> raise (Json.Decode_error "submit: missing field \"source\"")
-      in
-      let shard =
-        (* Both bounds or neither: a half-specified shard is a caller bug,
-           not something to guess a default for. *)
-        match (int_opt_field "shard_lo", int_opt_field "shard_hi") with
-        | Some lo, Some hi -> Some (lo, hi)
-        | None, None -> None
-        | Some _, None | None, Some _ ->
-            raise (Json.Decode_error "submit: shard_lo and shard_hi must come together")
-      in
-      Ok
-        (Submit
-           {
-             sb_name = str_field "name" ~default:"";
-             sb_source = source;
-             sb_seed = int_field "seed" ~default:1;
-             sb_moves = int_opt_field "moves";
-             sb_runs = int_field "runs" ~default:1;
-             sb_priority = int_field "priority" ~default:0;
-             sb_deadline_s = float_opt_field "deadline_s";
-             sb_trace = bool_field "trace" ~default:false;
-             sb_shard = shard;
-           })
+  | "submit" -> Ok (Submit (submit_of_fields "submit"))
+  | "sweep" ->
+      let s = submit_of_fields "sweep" in
+      if s.sb_sweep = [] then Error "sweep: at least one variant required" else Ok (Sweep s)
   | "status" -> Ok (Status (id ()))
   | "result" -> Ok (Result (id ()))
   | "cancel" -> Ok (Cancel (id ()))

@@ -10,6 +10,8 @@
     {"op":"submit","source":S,"name":N,"seed":1,"moves":null,"runs":1,
      "priority":0,"deadline_s":null,"trace":false,
      "shard_lo":null,"shard_hi":null}
+    {"op":"sweep",...submit fields...,
+     "variants":[{"name":V,"corner":C|null,"specs":{"ugf":[good,bad]}}]}
     {"op":"status","id":I}
     {"op":"result","id":I}
     {"op":"cancel","id":I}
@@ -20,6 +22,18 @@
     {"op":"ping"}
     v}
     See docs/SERVER.md for the full schema including responses. *)
+
+(** One cell of a sweep grid: the same netlist re-judged under an
+    optional device corner and/or overridden good/bad spec targets. *)
+type variant = {
+  vr_name : string;  (** label for the verdict-table row *)
+  vr_corner : string option;
+      (** device corner to compile under ([None] = nominal); folds into
+          the compile-cache key, so distinct corners compile once each *)
+  vr_specs : (string * float * float) list;
+      (** per-spec (name, good, bad) target overrides — applied to the
+          compiled problem without recompiling *)
+}
 
 type submit = {
   sb_name : string;  (** label for humans: file name or benchmark name *)
@@ -37,6 +51,11 @@ type submit = {
           should execute ({!Oblx.best_of}'s [restarts]); [None] = all of
           it. A sharded submit is what a fleet coordinator scatters to a
           peer — it is never re-scattered. *)
+  sb_sweep : variant list;
+      (** non-empty marks a sweep job: one (jobs=1) synthesis per variant
+          over a shared per-(canon, corner) compile, producing a verdict
+          table. Sweep jobs are never scattered across a fleet — the
+          shared compile is the point. *)
 }
 
 (** A compile-cache verdict replicated between fleet peers: [cp_error =
@@ -47,6 +66,7 @@ type cache_push = { cp_hash : string; cp_error : string option }
 
 type request =
   | Submit of submit
+  | Sweep of submit  (** [sb_sweep] non-empty; rejected when empty *)
   | Status of int
   | Result of int
   | Cancel of int

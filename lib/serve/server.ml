@@ -67,7 +67,10 @@ let connections_json cfg reg =
 
 let handle cfg reg pool stop (req : Proto.request) =
   match req with
-  | Proto.Submit s -> begin
+  | Proto.Submit s | Proto.Sweep s -> begin
+      (* A sweep is a submit whose sb_sweep is non-empty; the decoder
+         already rejected an empty variant list, and the pool's own
+         validation covers anything handed to it in-process. *)
       match Pool.submit pool s with
       | Ok id -> Proto.ok [ ("id", num_i id) ]
       | Error e -> Proto.err e

@@ -51,6 +51,9 @@ let all =
       synthesized = true;
       paper_table2 = Ladder_bias.paper_table2;
     };
+    (* Not a paper circuit: the suite's transient-dominant topology,
+       exercising the .tran/.noise/.psrr/corner= specification cards. *)
+    { name = Tran_buffer.name; source = Tran_buffer.source; synthesized = true; paper_table2 = [] };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

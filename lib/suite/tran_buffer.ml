@@ -1,0 +1,67 @@
+(* Transient-dominant benchmark: the 5T OTA topology driving a heavy
+   load capacitor, with the cost dominated by large-signal transient
+   measurements — slew rate as the objective and settling time as a hard
+   constraint — plus the dc output-noise and PSRR jig measurements and a
+   slow-corner robustness row. This is the suite's exercise of the
+   [.tran]/[.noise]/[.psrr]/[corner=] cards end to end: the in-loop
+   evaluator measures slew/settling on the coarse [dtloop] grid, and
+   {!Core.Verify} re-derives them on the exact [dt] grid. *)
+
+let name = "tran-buffer"
+
+let source =
+  {|.title transient buffer (5T OTA, slew-dominant)
+.process p1u2
+.param vddval=5
+.param vcmval=2.5
+.param cl=10p
+
+.subckt amp inp inm out vdd vss
+m1 n1 inp ntail vss nmos w='w1' l='l1'
+m2 out inm ntail vss nmos w='w1' l='l1'
+m3 n1 n1 vdd vdd pmos w='w3' l='l3'
+m4 out n1 vdd vdd pmos w='w3' l='l3'
+m5 ntail bp vss vss nmos w='w5' l='l5'
+m6 bp bp vss vss nmos w='w5' l='l5'
+iref vdd bp 'ib'
+.ends
+
+.var w1 min=2u max=400u steps=120
+.var l1 min=1.2u max=20u steps=60
+.var w3 min=2u max=400u steps=120
+.var l3 min=1.2u max=20u steps=60
+.var w5 min=2u max=400u steps=120
+.var l5 min=1.2u max=20u steps=60
+.var ib min=2u max=2m grid=log
+
+.jig main
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval' ac 1
+cl1 out 0 'cl'
+.pz tf v(out) vin
+.noise tfn v(out) vin
+.psrr tfdd v(out) vdd
+.tran tstop=1u dt=1n dtloop=10n vstep=10m
+.endjig
+
+.bias
+xamp inp inm out nvdd nvss amp
+vdd nvdd 0 'vddval'
+vss nvss 0 0
+vcm inm 0 'vcmval'
+vin inp 0 'vcmval'
+cl1 out 0 'cl'
+.endbias
+
+.obj sr 'slew_rate(tf)' good=2e6 bad=5e4
+.spec ts 'settle(tf, 0.02)' good=400n bad=2u
+.spec adm 'db(dc_gain(tf))' good=35 bad=6
+.spec ugf 'ugf(tf)' good=5meg bad=500k
+.spec noise 'noise_out_uv(tfn)' good=150 bad=1500
+.spec psrr 'psrr_db(tf, tfdd)' good=30 bad=5
+.spec ugf_slow 'ugf(tf)' good=3meg bad=300k corner=slow
+.spec pwr 'power()' good=2m bad=20m
+|}

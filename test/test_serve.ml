@@ -16,6 +16,7 @@ let submission ?(name = "simple-ota") ?(source = ota_source) ?(seed = 1) ?moves 
     sb_deadline_s = deadline_s;
     sb_trace = trace;
     sb_shard = shard;
+    sb_sweep = [];
   }
 
 let jnum j k =
@@ -93,13 +94,13 @@ let cok = function
 
 let test_cache_hit_miss () =
   let cache = Core.Compile_cache.create ~capacity:4 () in
-  let _, o1 = cok (Core.Compile_cache.compile cache ~source:ota_source) in
-  let _, o2 = cok (Core.Compile_cache.compile cache ~source:ota_source) in
+  let _, o1 = cok (Core.Compile_cache.compile cache ~source:ota_source ()) in
+  let _, o2 = cok (Core.Compile_cache.compile cache ~source:ota_source ()) in
   Alcotest.(check bool) "first is a miss" true (o1 = Core.Compile_cache.Miss);
   Alcotest.(check bool) "second is a hit" true (o2 = Core.Compile_cache.Hit);
   (* Cosmetic edits (comment, title) hit the same entry. *)
   let _, o3 =
-    cok (Core.Compile_cache.compile cache ~source:("* cosmetic comment\n" ^ ota_source))
+    cok (Core.Compile_cache.compile cache ~source:("* cosmetic comment\n" ^ ota_source) ())
   in
   Alcotest.(check bool) "comment-only edit hits" true (o3 = Core.Compile_cache.Hit);
   let st = Core.Compile_cache.stats cache in
@@ -114,8 +115,8 @@ let test_cache_remembers_failures () =
      .bias\nr1 x 0 1\n.endbias\n.obj o 'dc_gain(t)' good=1 bad=0\n"
   in
   let cache = Core.Compile_cache.create ~capacity:4 () in
-  let r1 = Core.Compile_cache.compile cache ~source:broken in
-  let r2 = Core.Compile_cache.compile cache ~source:broken in
+  let r1 = Core.Compile_cache.compile cache ~source:broken () in
+  let r2 = Core.Compile_cache.compile cache ~source:broken () in
   (match (r1, r2) with
   | Error (e1, o1), Error (e2, o2) ->
       Alcotest.(check string) "same error replayed" e1 e2;
@@ -128,7 +129,7 @@ let test_cache_remembers_failures () =
   Alcotest.(check int) "second lookup hit the cached failure" 1 st.Core.Compile_cache.hits;
   Alcotest.(check int) "compiled once" 1 st.Core.Compile_cache.misses;
   (* A parse error is not cacheable (no canonical form to key on). *)
-  match Core.Compile_cache.compile cache ~source:".frobnicate\n" with
+  match Core.Compile_cache.compile cache ~source:".frobnicate\n" () with
   | Error (_, Core.Compile_cache.Miss) -> ()
   | Error (_, Core.Compile_cache.Hit) -> Alcotest.fail "parse errors must never report a hit"
   | Ok _ -> Alcotest.fail "expected parse error"
@@ -136,9 +137,9 @@ let test_cache_remembers_failures () =
 let test_cache_lru_eviction () =
   let cache = Core.Compile_cache.create ~capacity:1 () in
   let other = (Option.get (Suite.Ckts.find "ota")).Suite.Ckts.source in
-  let _ = cok (Core.Compile_cache.compile cache ~source:ota_source) in
-  let _ = cok (Core.Compile_cache.compile cache ~source:other) in
-  let _, o3 = cok (Core.Compile_cache.compile cache ~source:ota_source) in
+  let _ = cok (Core.Compile_cache.compile cache ~source:ota_source ()) in
+  let _ = cok (Core.Compile_cache.compile cache ~source:other ()) in
+  let _, o3 = cok (Core.Compile_cache.compile cache ~source:ota_source ()) in
   Alcotest.(check bool) "evicted entry misses again" true (o3 = Core.Compile_cache.Miss);
   let st = Core.Compile_cache.stats cache in
   Alcotest.(check int) "evictions" 2 st.Core.Compile_cache.evictions;
@@ -1214,6 +1215,109 @@ let test_log_rotation_keeps_live_jobs () =
   Serve.Pool.shutdown pool;
   rm_rf dir
 
+(* --- Sweep jobs --- *)
+
+let sweep_variants =
+  [
+    { Serve.Proto.vr_name = "nominal/base"; vr_corner = None; vr_specs = [] };
+    { Serve.Proto.vr_name = "slow/base"; vr_corner = Some "slow"; vr_specs = [] };
+    {
+      Serve.Proto.vr_name = "nominal/tight-ugf";
+      vr_corner = None;
+      vr_specs = [ ("ugf", 80e6, 1e6) ];
+    };
+  ]
+
+let test_proto_sweep_round_trip () =
+  let req =
+    Serve.Proto.Sweep { (submission ()) with Serve.Proto.sb_sweep = sweep_variants }
+  in
+  (match Serve.Proto.request_of_json (Serve.Proto.request_to_json req) with
+  | Ok req' -> Alcotest.(check bool) "sweep survives the wire" true (req = req')
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  (* A sweep with no variants is a shape error on decode. *)
+  let empty = Serve.Proto.Sweep (submission ()) in
+  match Serve.Proto.request_of_json (Serve.Proto.request_to_json empty) with
+  | Error e -> Alcotest.(check bool) "empty sweep rejected" true (contains e "variant")
+  | Ok _ -> Alcotest.fail "empty sweep must not decode"
+
+let test_pool_sweep_validation () =
+  let pool = frozen_pool ~queue_capacity:4 () in
+  (* Sweep jobs are never scattered: a sharded sweep is rejected up front. *)
+  (match
+     Serve.Pool.submit pool
+       { (submission ~shard:(0, 1) ()) with Serve.Proto.sb_sweep = sweep_variants }
+   with
+  | Error e -> Alcotest.(check bool) "sharded sweep rejected" true (contains e "shard")
+  | Ok _ -> Alcotest.fail "sharded sweep must be rejected");
+  (* Variant rows need names — they key the verdict table. *)
+  (match
+     Serve.Pool.submit pool
+       {
+         (submission ()) with
+         Serve.Proto.sb_sweep =
+           [ { Serve.Proto.vr_name = "  "; vr_corner = None; vr_specs = [] } ];
+       }
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unnamed variant must be rejected");
+  Serve.Pool.shutdown pool
+
+let run_sweep_on ~workers =
+  let pool =
+    Serve.Pool.create
+      { Serve.Pool.default_config with workers; queue_capacity = 8; state_dir = None }
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.Pool.shutdown pool)
+    (fun () ->
+      let id =
+        ok
+          (Serve.Pool.submit pool
+             { (submission ~seed:7 ~moves:150 ()) with Serve.Proto.sb_sweep = sweep_variants })
+      in
+      Alcotest.(check string) "sweep finished" "done" (wait_done pool id);
+      let j = ok (Serve.Pool.result_json pool id) in
+      match Obs.Json.mem_opt "sweep" j with
+      | Some (Obs.Json.Arr rows) -> (rows, Serve.Pool.stats_json pool)
+      | _ -> Alcotest.fail "no sweep array in the result")
+
+let test_pool_sweep_verdict_table () =
+  let rows, stats = run_sweep_on ~workers:1 in
+  Alcotest.(check int) "one row per variant" (List.length sweep_variants)
+    (List.length rows);
+  let cache_of r = jstr r "cache" in
+  (match List.map cache_of rows with
+  | [ Some "miss"; Some "miss"; Some "hit" ] -> ()
+  | other ->
+      Alcotest.failf "cache outcomes: expected miss/miss/hit, got %s"
+        (String.concat "/"
+           (List.map (function Some s -> s | None -> "?") other)));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "row has a verdict" true (Obs.Json.mem_opt "ok" r <> None);
+      Alcotest.(check bool) "row has a best cost" true (jnum r "best_cost" <> None);
+      Alcotest.(check bool) "row carries predictions" true
+        (Obs.Json.mem_opt "predicted" r <> None))
+    rows;
+  (* The pool-level cache counters agree: 2 distinct (canon, corner) keys
+     compiled, the third variant reused the nominal compile. *)
+  match Obs.Json.mem_opt "cache" stats with
+  | Some c ->
+      Alcotest.(check (option (float 0.0))) "two compiles" (Some 2.0) (jnum c "misses");
+      Alcotest.(check (option (float 0.0))) "one reuse" (Some 1.0) (jnum c "hits")
+  | None -> Alcotest.fail "no cache stats"
+
+let test_pool_sweep_determinism_vs_workers () =
+  (* The verdict table is a function of (source, variants, seed) only:
+     each variant runs jobs=1 on a single worker, so a 4-worker pool must
+     reproduce the 1-worker table byte for byte. *)
+  let rows1, _ = run_sweep_on ~workers:1 in
+  let rows4, _ = run_sweep_on ~workers:4 in
+  Alcotest.(check string) "verdict tables byte-identical"
+    (Obs.Json.to_string (Obs.Json.Arr rows1))
+    (Obs.Json.to_string (Obs.Json.Arr rows4))
+
 let () =
   Alcotest.run "serve"
     [
@@ -1224,6 +1328,8 @@ let () =
             test_proto_lenient_defaults;
           Alcotest.test_case "fleet verbs + shard round-trip" `Quick
             test_proto_new_verbs_round_trip;
+          Alcotest.test_case "sweep round-trip + empty rejection" `Quick
+            test_proto_sweep_round_trip;
         ] );
       ( "cache",
         [
@@ -1244,6 +1350,14 @@ let () =
             test_pool_wait_s_on_cancelled_queued;
           Alcotest.test_case "failed job cache outcome" `Slow
             test_pool_failed_job_cache_outcome;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "validation" `Quick test_pool_sweep_validation;
+          Alcotest.test_case "verdict table + one compile per key" `Slow
+            test_pool_sweep_verdict_table;
+          Alcotest.test_case "byte-identical across worker counts" `Slow
+            test_pool_sweep_determinism_vs_workers;
         ] );
       ( "replay",
         [
