@@ -20,6 +20,44 @@ let jobs : int option ref = ref None
 let floor_opt : float option ref = ref None
 let base_seed = 1988 (* a fixed arbitrary seed *)
 
+(* --runstamp S: besides the mutable <name>-latest.json, every artifact
+   write leaves an immutable copy <name>-S.json, so successive bench runs
+   can be diffed (scripts/bench_compare.sh) without clobbering history. *)
+let runstamp : string option ref = ref None
+
+let stamped_path path stamp =
+  let base = Filename.basename path in
+  let name =
+    match Filename.chop_suffix_opt ~suffix:"-latest.json" base with
+    | Some n -> n
+    | None -> Filename.remove_extension base
+  in
+  Filename.concat (Filename.dirname path) (name ^ "-" ^ stamp ^ ".json")
+
+(* For artifacts streamed by hand (perf-parallel): copy the finished file. *)
+let stamp_copy path =
+  match !runstamp with
+  | None -> ()
+  | Some stamp ->
+      let dst = stamped_path path stamp in
+      let ic = open_in_bin path in
+      let body = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin dst in
+      output_string oc body;
+      close_out oc;
+      Printf.printf "wrote %s\n" dst
+
+let write_artifact path json =
+  (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
+  (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error _ -> ());
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  stamp_copy path
+
 let sep title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
 
@@ -708,6 +746,7 @@ let perf_parallel () =
   out "}\n";
   close_out oc;
   Printf.printf "wrote %s\n" artifact_path;
+  stamp_copy artifact_path;
   (* Regression gate (--floor F): the requested jobs=4 floor is scaled by
      the cores actually present — on a c-core host, 4 domains can at best
      approach min(4,c)x, so the effective floor is F * min(4,c)/4. *)
@@ -854,11 +893,7 @@ let telemetry () =
                stats.stage_rows) );
       ]
   in
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\nwrote %s\n" path
+  write_artifact path json
 
 (* ------------------------------------------------------------------ *)
 (* Perf-incremental: move-scoped evaluation vs full recompute           *)
@@ -1157,11 +1192,7 @@ let perf_incremental () =
                probed) );
       ]
   in
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s\n" path;
+  write_artifact path json;
   (* Regression gate (--floor F): fail when the best probed-vs-full
      throughput gain falls below F. Unlike perf-parallel's gate this needs
      no host-core scaling — the probed path's win is algorithmic (fewer
@@ -1257,6 +1288,8 @@ let serve () =
                sb_trace = false;
                sb_shard = None;
                sb_sweep = [];
+               sb_warm = [];
+               sb_spec_overrides = [];
              }))
   in
   let jobs_done = List.map (fun id -> ok (Serve.Client.wait ~socket id)) ids in
@@ -1303,6 +1336,8 @@ let serve () =
            sb_trace = false;
            sb_shard = None;
            sb_sweep = [];
+           sb_warm = [];
+           sb_spec_overrides = [];
          })
   in
   let d_job = ok (Serve.Client.wait ~socket d_id) in
@@ -1364,11 +1399,7 @@ let serve () =
         ("deterministic_vs_local", Obs.Json.Bool (served_cost = local.Core.Oblx.best_cost));
       ]
   in
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\nwrote %s\n" path
+  write_artifact path json
 
 (* ------------------------------------------------------------------ *)
 (* Serve-concurrent: the daemon under simultaneous clients             *)
@@ -1481,6 +1512,8 @@ let serve_concurrent () =
               sb_trace = false;
               sb_shard = None;
               sb_sweep = [];
+              sb_warm = [];
+              sb_spec_overrides = [];
             }
         with
         | Error e -> Error e
@@ -1550,11 +1583,7 @@ let serve_concurrent () =
         ("deterministic_vs_local", Obs.Json.Bool true);
       ]
   in
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\nwrote %s\n" path
+  write_artifact path json
 
 (* ------------------------------------------------------------------ *)
 (* Serve-fleet: coordinator + peers over loopback TCP                  *)
@@ -1652,6 +1681,8 @@ let serve_fleet () =
       sb_trace = false;
       sb_shard = None;
       sb_sweep = [];
+      sb_warm = [];
+      sb_spec_overrides = [];
     }
   in
   Printf.printf "daemons=3 workers/daemon=%d moves/job=%d auth=on\n%!" workers s_moves;
@@ -1840,11 +1871,7 @@ let serve_fleet () =
             ] );
       ]
   in
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\nwrote %s\n" path
+  write_artifact path json
 
 (* ------------------------------------------------------------------ *)
 (* Sweep: batch verdict grid, one compile per (canon, corner)          *)
@@ -1897,6 +1924,8 @@ let sweep_bench () =
       sb_trace = false;
       sb_shard = None;
       sb_sweep = variants;
+      sb_warm = [];
+      sb_spec_overrides = [];
     }
   in
   let distinct_keys = List.length corner_names in
@@ -2011,17 +2040,173 @@ let sweep_bench () =
         ("sweep", Obs.Json.Arr rows);
       ]
   in
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\nwrote %s\n" path
+  write_artifact path json
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start: corpus-seeded restarts vs cold (the resynthesize path)  *)
+(* ------------------------------------------------------------------ *)
+
+(* The resynthesize scenario, measured end to end: synthesize a circuit
+   cold, move every spec target ~5% toward the hard side (the shape hash
+   — the winner-corpus key — is unchanged by construction), then run the
+   re-targeted problem twice at the identical budget: cold, and seeded
+   from the parent winner (values, grid indices, learned Hustin
+   distribution). The figure of merit is moves-to-target — the move count
+   at which a run's trace first reaches the cold run's own final
+   (pre-polish) best — so the cold run sets its own bar and the warm run
+   is charged against it. --floor F (CI: WARM_FLOOR) fails the bench
+   unless some circuit's cold/warm ratio reaches F. A side guard reruns
+   the first circuit with [warm_starts = [||]] and insists the winner is
+   bit-identical to the plain call — the warm-off cold path must never
+   move. *)
+let warm_start_bench () =
+  sep "WARM-START -- corpus-seeded restarts vs cold (resynthesize fast path)";
+  let n_moves = Option.value !moves ~default:6_000 in
+  let circuits = [ "simple-ota"; "two-stage"; "folded-cascode" ] in
+  Printf.printf "moves=%d per run, 1 restart per side (the resynthesize schedule)\n" n_moves;
+  let retarget (p : Core.Problem.t) =
+    {
+      p with
+      Core.Problem.specs =
+        List.map
+          (fun (s : Core.Problem.spec) ->
+            let nudge = 0.05 *. Float.abs s.Core.Problem.good in
+            let good =
+              if s.Core.Problem.good <= s.Core.Problem.bad then s.Core.Problem.good -. nudge
+              else s.Core.Problem.good +. nudge
+            in
+            { s with Core.Problem.good })
+          p.Core.Problem.specs;
+    }
+  in
+  let min_best (r : Core.Oblx.result) =
+    List.fold_left
+      (fun a (tp : Core.Oblx.trace_point) -> Float.min a tp.Core.Oblx.tp_best)
+      Float.infinity r.Core.Oblx.trace
+  in
+  let moves_to ~target (r : Core.Oblx.result) =
+    List.find_opt
+      (fun (tp : Core.Oblx.trace_point) -> tp.Core.Oblx.tp_best <= target)
+      r.Core.Oblx.trace
+    |> Option.map (fun (tp : Core.Oblx.trace_point) -> tp.Core.Oblx.tp_moves)
+  in
+  let rows =
+    List.mapi
+      (fun ci name ->
+        let e = Option.get (Suite.Ckts.find name) in
+        let p = compile_exn e in
+        let shape = Option.value (Serve.Corpus.shape_of_source e.source) ~default:"-" in
+        (* Parent: the job whose winner the corpus would hold. *)
+        let parent, _ =
+          Core.Oblx.best_of ~seed:base_seed ~moves:n_moves ?jobs:!jobs ~runs:1 p
+        in
+        let p' = retarget p in
+        let seed' = base_seed + 31 in
+        (* Cold side, run with an explicit empty seeds array — doubling as
+           the warm-off determinism guard on the first circuit. *)
+        let cold, _ =
+          Core.Oblx.best_of ~seed:seed' ~moves:n_moves ?jobs:!jobs ~warm_starts:[||] ~runs:1
+            p'
+        in
+        let cold_identical =
+          if ci > 0 then true
+          else begin
+            let plain, _ = Core.Oblx.best_of ~seed:seed' ~moves:n_moves ?jobs:!jobs ~runs:1 p' in
+            Int64.equal
+              (Int64.bits_of_float plain.Core.Oblx.best_cost)
+              (Int64.bits_of_float cold.Core.Oblx.best_cost)
+            && plain.Core.Oblx.final.Core.State.values = cold.Core.Oblx.final.Core.State.values
+          end
+        in
+        let seed_entry =
+          {
+            Core.Oblx.ws_label = "bench:parent:" ^ name;
+            ws_values = Array.copy parent.Core.Oblx.final.Core.State.values;
+            ws_grid = Array.copy parent.Core.Oblx.final.Core.State.grid_index;
+            ws_probs = (if parent.Core.Oblx.probs = [||] then None else Some parent.Core.Oblx.probs);
+          }
+        in
+        let warm, _ =
+          Core.Oblx.best_of ~seed:seed' ~moves:n_moves ?jobs:!jobs
+            ~warm_starts:[| seed_entry |] ~runs:1 p'
+        in
+        let target = min_best cold in
+        let cold_mtt = Option.value (moves_to ~target cold) ~default:cold.Core.Oblx.moves in
+        let warm_mtt = moves_to ~target warm in
+        let warm_reached = Option.is_some warm_mtt in
+        let warm_mtt = Option.value warm_mtt ~default:warm.Core.Oblx.moves in
+        let ratio = float_of_int cold_mtt /. float_of_int (Int.max 1 warm_mtt) in
+        Printf.printf
+          "\n-- %s (shape %s)\n   parent cost %.4g; re-targeted cold best %.4g\n" name
+          (String.sub shape 0 (Int.min 16 (String.length shape)))
+          parent.Core.Oblx.best_cost cold.Core.Oblx.best_cost;
+        Printf.printf "   moves to cold's best: cold %d, warm %d%s -> %.2fx\n" cold_mtt
+          warm_mtt
+          (if warm_reached then "" else " (never; full budget charged)")
+          ratio;
+        Printf.printf "   warm seed used: %s; warm-off cold path bit-identical: %b\n"
+          (Option.value warm.Core.Oblx.warm ~default:"NONE (bug)")
+          cold_identical;
+        if not cold_identical then
+          failwith (name ^ ": warm_starts=[||] perturbed the cold path");
+        if warm.Core.Oblx.warm = None then
+          failwith (name ^ ": warm run did not record its seed");
+        (name, shape, target, cold_mtt, warm_mtt, warm_reached, ratio, cold_identical,
+         parent.Core.Oblx.best_cost, cold.Core.Oblx.best_cost, warm.Core.Oblx.best_cost))
+      circuits
+  in
+  let best_ratio =
+    List.fold_left (fun a (_, _, _, _, _, _, r, _, _, _, _) -> Float.max a r) 0.0 rows
+  in
+  Printf.printf "\nbest warm-start speedup (moves to cold's best): %.2fx\n" best_ratio;
+  let path = "bench/results/warm-start-latest.json" in
+  let num v = Obs.Json.Num v in
+  let int v = num (float_of_int v) in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "warm-start");
+        ("baseline", baseline_json ~jobs:1 ~eval_mode:"incremental");
+        ("seed", int base_seed);
+        ("moves", int n_moves);
+        ("best_ratio", num best_ratio);
+        ( "circuits",
+          Obs.Json.Arr
+            (List.map
+               (fun (name, shape, target, cold_mtt, warm_mtt, reached, ratio, ident, pc, cc, wc) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str name);
+                     ("shape", Obs.Json.Str shape);
+                     ("target", num target);
+                     ("cold_moves_to_target", int cold_mtt);
+                     ("warm_moves_to_target", int warm_mtt);
+                     ("warm_reached_target", Obs.Json.Bool reached);
+                     ("ratio", num ratio);
+                     ("cold_bit_identical", Obs.Json.Bool ident);
+                     ("parent_cost", num pc);
+                     ("cold_cost", num cc);
+                     ("warm_cost", num wc);
+                   ])
+               rows) );
+      ]
+  in
+  write_artifact path json;
+  match !floor_opt with
+  | None -> ()
+  | Some f ->
+      Printf.printf "floor check: best ratio %.2fx (floor %.2fx)\n" best_ratio f;
+      if best_ratio < f then begin
+        Printf.eprintf "warm-start: FAIL: best ratio %.2fx below floor %.2fx\n" best_ratio f;
+        exit 1
+      end
+      else Printf.printf "floor check: PASS\n"
 
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|perf-incremental|telemetry|serve|serve-concurrent|serve-fleet|sweep|all]\n\
-    \       [--runs N] [--moves N] [--jobs N] [--floor F]"
+     [table1|table2|table3|fig2|fig3|models|ablation|perf|perf-parallel|perf-incremental|telemetry|serve|serve-concurrent|serve-fleet|sweep|warm-start|all]\n\
+    \       [--runs N] [--moves N] [--jobs N] [--floor F] [--runstamp S]"
 
 let () =
   let cmds = ref [] in
@@ -2038,6 +2223,9 @@ let () =
         parse rest
     | "--floor" :: v :: rest ->
         floor_opt := Some (float_of_string v);
+        parse rest
+    | "--runstamp" :: v :: rest ->
+        runstamp := Some v;
         parse rest
     | cmd :: rest ->
         cmds := cmd :: !cmds;
@@ -2061,6 +2249,7 @@ let () =
     | "serve-concurrent" -> serve_concurrent ()
     | "serve-fleet" -> serve_fleet ()
     | "sweep" -> sweep_bench ()
+    | "warm-start" -> warm_start_bench ()
     | "all" ->
         table1 ();
         table2 ();
@@ -2076,7 +2265,8 @@ let () =
         serve ();
         serve_concurrent ();
         serve_fleet ();
-        sweep_bench ()
+        sweep_bench ();
+        warm_start_bench ()
     | other ->
         Printf.printf "unknown experiment %S\n" other;
         usage ();

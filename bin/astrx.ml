@@ -525,6 +525,8 @@ let submit_cmd =
                 sb_trace = events;
                 sb_shard = None;
                 sb_sweep = [];
+                sb_warm = [];
+                sb_spec_overrides = [];
               }
             in
             match Serve.Client.submit ~socket ?auth spec with
@@ -721,6 +723,8 @@ let sweep_cmd =
                     sb_trace = false;
                     sb_shard = None;
                     sb_sweep = build_variants corners varies;
+                    sb_warm = [];
+                    sb_spec_overrides = [];
                   }
                 in
                 match socket with
@@ -802,6 +806,182 @@ let cancel_cmd =
   Cmd.v
     (Cmd.info "cancel" ~doc:"Cancel a queued or running daemon job")
     Term.(const run $ socket_arg $ auth_token_file_arg $ id_arg)
+
+let resynthesize_cmd =
+  let set_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "set" ] ~docv:"SPEC=GOOD[:BAD]"
+          ~doc:
+            "Re-target one specification (repeatable). Values take spice suffixes \
+             (80meg, 0.5m); with BAD omitted the parent job's bad target is kept")
+  in
+  let runs_opt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Restart budget (default: half the parent's, minimum 1)")
+  in
+  let moves_opt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "moves" ] ~docv:"N"
+          ~doc:"Move budget per restart (default: half the parent's explicit budget)")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Latency bound from submission")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "events" ]
+          ~doc:"Keep the job's recent stage-level telemetry in its result record")
+  in
+  let wait_flag = Arg.(value & flag & info [ "wait" ] ~doc:"Block until the job finishes") in
+  let parse_set s =
+    let bad_set = Error (Printf.sprintf "bad --set %S: expected SPEC=GOOD[:BAD]" s) in
+    match String.index_opt s '=' with
+    | None -> bad_set
+    | Some i -> begin
+        let name = String.sub s 0 i in
+        let targets = String.sub s (i + 1) (String.length s - i - 1) in
+        if name = "" then bad_set
+        else
+          match String.split_on_char ':' targets with
+          | [ good ] -> begin
+              match Netlist.Units.parse good with
+              | Ok g -> Ok (name, g, None)
+              | Error _ -> bad_set
+            end
+          | [ good; bad ] -> begin
+              match (Netlist.Units.parse good, Netlist.Units.parse bad) with
+              | Ok g, Ok b -> Ok (name, g, Some b)
+              | _ -> bad_set
+            end
+          | _ -> bad_set
+      end
+  in
+  let run socket token_file id sets runs moves deadline events wait json =
+    let sets =
+      List.fold_left
+        (fun acc s ->
+          match (acc, parse_set s) with
+          | (Error _ as e), _ | _, (Error _ as e) -> e
+          | Ok vs, Ok v -> Ok (vs @ [ v ]))
+        (Ok []) sets
+    in
+    match sets with
+    | Error e ->
+        prerr_endline ("astrx: " ^ e);
+        1
+    | Ok specs ->
+        with_auth token_file (fun auth ->
+            let r =
+              {
+                Serve.Proto.rz_id = id;
+                rz_specs = specs;
+                rz_runs = runs;
+                rz_moves = moves;
+                rz_deadline_s = deadline;
+                rz_trace = events;
+              }
+            in
+            match Serve.Client.resynthesize ~socket ?auth r with
+            | Error e -> client_fail e
+            | Ok new_id ->
+                if not wait then begin
+                  if json then
+                    print_endline
+                      (Json.to_string (Json.Obj [ ("id", Json.Num (float_of_int new_id)) ]))
+                  else Printf.printf "job %d queued (warm rerun of job %d)\n" new_id id;
+                  0
+                end
+                else print_response ~json print_job (Serve.Client.wait ~socket ?auth new_id))
+  in
+  Cmd.v
+    (Cmd.info "resynthesize"
+       ~doc:
+         "Rerun a finished daemon job with tweaked spec targets: cached compile, \
+          warm-started from its recorded winner, on a reduced schedule")
+    Term.(
+      const run $ socket_arg $ auth_token_file_arg $ id_arg $ set_arg $ runs_opt_arg
+      $ moves_opt_arg $ deadline_arg $ events_arg $ wait_flag $ json_arg)
+
+let corpus_cmd =
+  let shape_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SHAPE" ~doc:"Shape hash (from $(b,astrx hash))")
+  in
+  let run socket token_file shape json =
+    with_auth token_file (fun auth ->
+        match Serve.Client.corpus_lookup ~socket ?auth shape with
+        | Error e -> client_fail e
+        | Ok entries ->
+            if json then
+              print_endline
+                (Json.to_string (Json.Arr (List.map Serve.Corpus.entry_to_json entries)))
+            else begin
+              List.iter
+                (fun e ->
+                  Printf.printf "job %d (%s): cost %.6g, %d variable%s%s\n"
+                    e.Serve.Corpus.en_job e.Serve.Corpus.en_name e.Serve.Corpus.en_cost
+                    (Array.length e.Serve.Corpus.en_values)
+                    (if Array.length e.Serve.Corpus.en_values = 1 then "" else "s")
+                    (if e.Serve.Corpus.en_probs = [||] then "" else ", with move priors"))
+                entries;
+              Printf.printf "%d corpus entr%s for shape %s\n" (List.length entries)
+                (if List.length entries = 1 then "y" else "ies")
+                shape
+            end;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List a daemon's winner-corpus entries for a circuit shape")
+    Term.(const run $ socket_arg $ auth_token_file_arg $ shape_arg $ json_arg)
+
+let hash_cmd =
+  let problem_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROBLEM" ~doc:"Built-in benchmark name or problem file")
+  in
+  let run name json =
+    match problem_source name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src -> begin
+        match Netlist.Parser.parse_problem src with
+        | exception Netlist.Parser.Error (line, msg) ->
+            Printf.eprintf "astrx: %s: line %d: %s\n" name line msg;
+            1
+        | ast ->
+            let canon = Netlist.Canon.problem_hash ast in
+            let shape = Netlist.Canon.problem_shape_hash ast in
+            if json then
+              print_endline
+                (Json.to_string
+                   (Json.Obj [ ("canon", Json.Str canon); ("shape", Json.Str shape) ]))
+            else Printf.printf "canon %s\nshape %s\n" canon shape;
+            0
+      end
+  in
+  Cmd.v
+    (Cmd.info "hash"
+       ~doc:
+         "Print a problem's canonical hash (the compile-cache key) and its shape hash \
+          (the winner-corpus key, spec targets canonicalized away)")
+    Term.(const run $ problem_arg $ json_arg)
 
 let stats_cmd =
   let run socket token_file json =
@@ -910,11 +1090,14 @@ let () =
             corners_cmd;
             sens_cmd;
             list_cmd;
+            hash_cmd;
             submit_cmd;
             sweep_cmd;
+            resynthesize_cmd;
             status_cmd;
             result_cmd;
             cancel_cmd;
+            corpus_cmd;
             stats_cmd;
             shutdown_cmd;
           ]))

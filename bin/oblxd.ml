@@ -119,6 +119,34 @@ let idle_timeout_arg =
     & info [ "idle-timeout" ] ~docv:"SECONDS"
         ~doc:"Drop a connection this quiet between requests (frees its slot)")
 
+let warm_start_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "warm-start" ]
+        ~doc:
+          "Seed a fraction of each submission's annealing restarts from the winner corpus \
+           (prior winners for the same circuit shape). Off by default: cold-path results \
+           are bit-identical to a corpus-free daemon. Recording winners is always on")
+
+let warm_fraction_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "warm-fraction" ] ~docv:"F"
+        ~doc:
+          "With --warm-start: at most this fraction of a job's restarts get warm seeds \
+           (floored; the rest stay cold so the search keeps exploring)")
+
+let corpus_capacity_arg =
+  Arg.(
+    value
+    & opt int 256
+    & info [ "corpus-capacity" ] ~docv:"N"
+        ~doc:
+          "Winner-corpus bound (entries, worst-cost-evicted); journaled in \
+           state-dir/corpus.log and replicated to fleet peers")
+
 let no_incremental_arg =
   Arg.(
     value
@@ -148,7 +176,8 @@ let read_token file =
     (fun () -> match input_line ic with line -> String.trim line | exception End_of_file -> "")
 
 let run socket tcp auth_token_file peers steal_timeout log_rotate_bytes workers queue cache
-    state_dir no_state default_moves no_incremental max_connections idle_timeout quiet =
+    state_dir no_state default_moves warm_start warm_fraction corpus_capacity no_incremental
+    max_connections idle_timeout quiet =
   let workers = match workers with Some w -> Int.max 0 w | None -> Core.Oblx.default_jobs () in
   let state_dir = if no_state then None else state_dir in
   match (match tcp with None -> Ok None | Some s -> Result.map Option.some (parse_tcp s)) with
@@ -198,6 +227,9 @@ let run socket tcp auth_token_file peers steal_timeout log_rotate_bytes workers 
                   incremental = not no_incremental;
                   fleet = Some fleet;
                   log_rotate_bytes;
+                  warm = warm_start;
+                  warm_fraction = Float.max 0.0 (Float.min 1.0 warm_fraction);
+                  corpus_capacity = Int.max 1 corpus_capacity;
                 };
             }
           in
@@ -222,9 +254,13 @@ let run socket tcp auth_token_file peers steal_timeout log_rotate_bytes workers 
               (match peers with
               | [] -> ()
               | ps -> Printf.printf "oblxd: fleet peers: %s\n%!" (String.concat ", " ps));
-              match state_dir with
+              (match state_dir with
               | Some d -> Printf.printf "oblxd: job records and jobs.log in %s/\n%!" d
-              | None -> ()
+              | None -> ());
+              if warm_start then
+                Printf.printf "oblxd: warm-start on (fraction %.2f, corpus capacity %d)\n%!"
+                  (Float.max 0.0 (Float.min 1.0 warm_fraction))
+                  (Int.max 1 corpus_capacity)
             end
           in
           (match Serve.Server.run ~ready ~tcp_port cfg with
@@ -245,5 +281,6 @@ let () =
           Term.(
             const run $ socket_arg $ tcp_arg $ auth_token_file_arg $ peer_arg
             $ steal_timeout_arg $ log_rotate_bytes_arg $ workers_arg $ queue_arg $ cache_arg
-            $ state_dir_arg $ no_state_arg $ default_moves_arg $ no_incremental_arg
+            $ state_dir_arg $ no_state_arg $ default_moves_arg $ warm_start_arg
+            $ warm_fraction_arg $ corpus_capacity_arg $ no_incremental_arg
             $ max_connections_arg $ idle_timeout_arg $ quiet_arg)))

@@ -35,6 +35,7 @@ type 'state outcome = {
   stages : int;
   froze_early : bool;
   aborted : bool;
+  probs : float array;
 }
 
 (* Initial temperature probe: sample random moves, undo each, and size T0
@@ -59,8 +60,12 @@ let probe_t0 problem state rng =
     Float.max 1e-9 (avg /. -.Float.log 0.9)
   end
 
-let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
-  let hustin = Hustin.create ~classes:problem.classes in
+let run ?(trace = Obs.Trace.none) ?view ?priors ~rng ~total_moves ~init problem =
+  let hustin =
+    match priors with
+    | Some p -> Hustin.of_probs ~classes:problem.classes p
+    | None -> Hustin.create ~classes:problem.classes
+  in
   let t0 = probe_t0 problem init rng in
   let lam = Lam.create ~total_moves ~t0 in
   let cur_cost = ref (problem.cost init) in
@@ -275,4 +280,5 @@ let run ?(trace = Obs.Trace.none) ?view ~rng ~total_moves ~init problem =
     stages = !stage;
     froze_early = !froze;
     aborted = !aborted;
+    probs = Hustin.probabilities hustin;
   }

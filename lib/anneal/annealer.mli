@@ -74,6 +74,9 @@ type 'state outcome = {
   stages : int;
   froze_early : bool;
   aborted : bool;  (** stopped by the [abort] hook rather than the schedule *)
+  probs : float array;
+      (** the Hustin selection distribution at the end of the run — the
+          prior a warm-started successor restores via [?priors] *)
 }
 
 (** [run ?trace ?view ~rng ~total_moves ~init problem] anneals. [init] is
@@ -87,10 +90,17 @@ type 'state outcome = {
     pair recorded on accepted moves — install it to make traces
     replayable with {!Obs.Replay}; without it accepted moves carry no
     state. Tracing never draws from [rng], so it cannot perturb the
-    annealing trajectory. *)
+    annealing trajectory.
+
+    [priors], when given, initializes the Hustin selector from a saved
+    distribution ({!Hustin.of_probs}) instead of uniform statistics,
+    shortcutting the adaptive warmup; the outcome's [probs] field carries
+    the end-of-run distribution so a caller can persist it. Without
+    [priors] behavior is bit-identical to before the field existed. *)
 val run :
   ?trace:Obs.Trace.t ->
   ?view:('state -> float array * int array) ->
+  ?priors:float array ->
   rng:Rng.t ->
   total_moves:int ->
   init:'state ->

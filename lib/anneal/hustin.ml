@@ -3,12 +3,20 @@ type t = {
   attempts : float array;
   gain : float array;  (** sum of |delta cost| over accepted moves *)
   mutable since_decay : int;
+  mutable prior : float array option;
+      (** restored distribution, served verbatim until the first [record] *)
 }
 
 let create ~classes =
   let n = Array.length classes in
   if n = 0 then invalid_arg "Hustin.create: no classes";
-  { names = classes; attempts = Array.make n 0.0; gain = Array.make n 0.0; since_decay = 0 }
+  {
+    names = classes;
+    attempts = Array.make n 0.0;
+    gain = Array.make n 0.0;
+    since_decay = 0;
+    prior = None;
+  }
 
 let n_classes t = Array.length t.names
 let class_name t k = t.names.(k)
@@ -17,14 +25,44 @@ let decay_every = 2000
 let decay_factor = 0.5
 
 let probabilities t =
+  match t.prior with
+  | Some p -> Array.copy p
+  | None ->
+      let n = n_classes t in
+      let quality = Array.init n (fun k -> if t.attempts.(k) > 0.0 then t.gain.(k) /. t.attempts.(k) else 0.0) in
+      let total = Array.fold_left ( +. ) 0.0 quality in
+      if total <= 0.0 then Array.make n (1.0 /. float_of_int n)
+      else begin
+        let head = 1.0 -. (floor_prob *. float_of_int n) in
+        Array.map (fun q -> floor_prob +. (head *. q /. total)) quality
+      end
+
+let to_probs = probabilities
+
+(* Weight of the pseudo-counts a restored prior seeds the statistics with:
+   heavy enough that the first real moves nudge rather than overwrite the
+   prior, light enough that one decay period dominates it. *)
+let prior_weight = 32.0
+
+let of_probs ~classes probs =
+  let t = create ~classes in
   let n = n_classes t in
-  let quality = Array.init n (fun k -> if t.attempts.(k) > 0.0 then t.gain.(k) /. t.attempts.(k) else 0.0) in
-  let total = Array.fold_left ( +. ) 0.0 quality in
-  if total <= 0.0 then Array.make n (1.0 /. float_of_int n)
-  else begin
-    let head = 1.0 -. (floor_prob *. float_of_int n) in
-    Array.map (fun q -> floor_prob +. (head *. q /. total)) quality
-  end
+  if Array.length probs <> n then
+    invalid_arg
+      (Printf.sprintf "Hustin.of_probs: %d probabilities for %d classes" (Array.length probs) n);
+  Array.iter
+    (fun p -> if not (Float.is_finite p) || p < 0.0 then invalid_arg "Hustin.of_probs: bad probability")
+    probs;
+  (* Seed quality statistics that the selection formula maps back to
+     (approximately) the prior, so the distribution degrades smoothly once
+     live statistics accumulate; the verbatim [prior] copy makes
+     [to_probs (of_probs p) = p] exact until then. *)
+  for k = 0 to n - 1 do
+    t.attempts.(k) <- prior_weight;
+    t.gain.(k) <- prior_weight *. Float.max 0.0 (probs.(k) -. floor_prob)
+  done;
+  t.prior <- Some (Array.copy probs);
+  t
 
 let pick t rng =
   let probs = probabilities t in
@@ -39,6 +77,7 @@ let pick t rng =
   scan 0 0.0
 
 let record t k ~accepted ~delta_cost =
+  t.prior <- None;
   t.attempts.(k) <- t.attempts.(k) +. 1.0;
   if accepted then t.gain.(k) <- t.gain.(k) +. Float.abs delta_cost;
   t.since_decay <- t.since_decay + 1;

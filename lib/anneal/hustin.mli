@@ -21,3 +21,16 @@ val record : t -> int -> accepted:bool -> delta_cost:float -> unit
 
 (** [probabilities t] is the current selection distribution (sums to 1). *)
 val probabilities : t -> float array
+
+(** [to_probs t] = {!probabilities} — the value to persist so a later run
+    can warm-start its move selection from this one's converged mix. *)
+val to_probs : t -> float array
+
+(** [of_probs ~classes probs] restores a selector from a saved
+    distribution. The restored distribution is served verbatim —
+    [to_probs (of_probs ~classes p)] is exactly [p], bit for bit — until
+    the first {!record}, after which seeded pseudo-count statistics (which
+    the selection formula maps back to approximately [p]) take over and
+    adapt normally. Raises [Invalid_argument] on an arity mismatch or a
+    negative/non-finite probability. *)
+val of_probs : classes:string array -> float array -> t

@@ -21,6 +21,15 @@ type result = {
   run_time_s : float;
   trace : trace_point list;
   eval_stats : Eval.Incr.stats option;
+  probs : float array;
+  warm : string option;
+}
+
+type warm_start = {
+  ws_label : string;
+  ws_values : float array;
+  ws_grid : int array;
+  ws_probs : float array option;
 }
 
 type control = {
@@ -44,9 +53,16 @@ let kcl_stats (bp : Eval.bias_point) =
 let default_probe_batch = 8
 
 let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true)
-    ?(probe_batch = default_probe_batch) ?session ?control ?(obs = Obs.Trace.none)
+    ?(probe_batch = default_probe_batch) ?session ?control ?warm ?(obs = Obs.Trace.none)
     (p : Problem.t) =
   let n_vars = State.n_vars p.Problem.state0 in
+  (match warm with
+  | Some w ->
+      if Array.length w.ws_values <> n_vars || Array.length w.ws_grid <> n_vars then
+        invalid_arg
+          (Printf.sprintf "Oblx.synthesize: warm seed '%s' has %d variables, problem has %d"
+             w.ws_label (Array.length w.ws_values) n_vars)
+  | None -> ());
   let total_moves =
     match moves with Some m -> m | None -> Int.min 150_000 (Int.max 8_000 (2000 * n_vars))
   in
@@ -218,9 +234,23 @@ let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true)
     }
   in
   let t_start = Unix.gettimeofday () in
-  let init = State.snapshot p.Problem.state0 in
+  (* A warm seed replaces the description's initial point with a prior
+     winner's design vector (copied — the caller's corpus entry must not
+     be mutated by the anneal) and optionally restores the Hustin mix it
+     converged to. Cold runs take the exact pre-warm-start path. *)
+  let init =
+    match warm with
+    | None -> State.snapshot p.Problem.state0
+    | Some w ->
+        {
+          State.info = p.Problem.state0.State.info;
+          values = Array.copy w.ws_values;
+          grid_index = Array.copy w.ws_grid;
+        }
+  in
+  let priors = Option.bind warm (fun w -> w.ws_probs) in
   let view (st : State.t) = (Array.copy st.State.values, Array.copy st.State.grid_index) in
-  let outcome = Anneal.Annealer.run ~trace:obs ~view ~rng ~total_moves ~init problem in
+  let outcome = Anneal.Annealer.run ~trace:obs ~view ?priors ~rng ~total_moves ~init problem in
   (* Final polish: drive the relaxed-dc residuals to zero with full NR so
      the winning design is dc-correct like a simulated circuit. *)
   let best = outcome.Anneal.Annealer.best in
@@ -275,6 +305,8 @@ let synthesize ?(seed = 1) ?rng ?moves ?(incremental = true)
     run_time_s;
     trace = List.rev !trace;
     eval_stats = Option.map Eval.Incr.stats session;
+    probs = outcome.Anneal.Annealer.probs;
+    warm = Option.map (fun w -> w.ws_label) warm;
   }
 
 let score (p : Problem.t) (r : result) =
@@ -320,9 +352,17 @@ let arena_minor_heap_words = 1 lsl 22
 let early_stop_slack best = Float.max 1.0 (0.25 *. Float.abs best)
 
 let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true)
-    ?(probe_batch = default_probe_batch) ?restarts ?cutoff ?(obs = Obs.Trace.none) ?perf ~runs
-    (p : Problem.t) =
+    ?(probe_batch = default_probe_batch) ?restarts ?cutoff ?(warm_starts = [||])
+    ?(obs = Obs.Trace.none) ?perf ~runs (p : Problem.t) =
   if runs < 1 then invalid_arg "Oblx.best_of: runs must be >= 1";
+  (* Warm seeds attach to restart indices positionally: restart k < |seeds|
+     anneals from seed k, the rest stay cold for exploration. The mapping
+     is by index — not by scheduling order — so the winner stays
+     bit-identical for every [jobs] value and every shard split, exactly
+     like the RNG streams. *)
+  if Array.length warm_starts > runs then
+    invalid_arg
+      (Printf.sprintf "Oblx.best_of: %d warm seeds for %d runs" (Array.length warm_starts) runs);
   (* A restart shard executes only indices [lo, hi) of the full restart set,
      still drawing stream k for restart k — so a fleet of shards covering
      [0, runs) reproduces exactly the runs one machine would perform. *)
@@ -409,8 +449,9 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true)
           | Some sh -> Obs.Trace.with_sinks t [ Obs.Shard.for_restart sh k ]
           | None -> t
         in
+        let warm = if k < Array.length warm_starts then Some warm_starts.(k) else None in
         let r =
-          synthesize ~rng:streams.(k) ?moves ~incremental ~probe_batch ?session ?control
+          synthesize ~rng:streams.(k) ?moves ~incremental ~probe_batch ?session ?control ?warm
             ~obs:obs_k p
         in
         publish r.best_cost;
@@ -469,8 +510,8 @@ let best_of ?(seed = 1) ?moves ?jobs ?(early_stop = false) ?(incremental = true)
 let deadline_reason = "deadline"
 
 let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?(incremental = true)
-    ?(probe_batch = default_probe_batch) ?restarts ?deadline_s ?poll ?(obs = Obs.Trace.none) ?perf
-    (p : Problem.t) =
+    ?(probe_batch = default_probe_batch) ?restarts ?deadline_s ?poll ?warm_starts
+    ?(obs = Obs.Trace.none) ?perf (p : Problem.t) =
   (* The deadline clock starts here — queue wait is the caller's budget to
      spend before calling — and is polled through the annealer's abort
      hook, so an already-expired deadline stops a run before its first
@@ -487,8 +528,8 @@ let run_job ?(seed = 1) ?moves ?(runs = 1) ?jobs ?(early_stop = false) ?(increme
       end
   in
   let cutoff = if poll = None && deadline_s = None then None else Some cutoff in
-  best_of ~seed ?moves ?jobs ~early_stop ~incremental ~probe_batch ?restarts ?cutoff ~obs ?perf ~runs
-    p
+  best_of ~seed ?moves ?jobs ~early_stop ~incremental ~probe_batch ?restarts ?cutoff ?warm_starts
+    ~obs ?perf ~runs p
 
 (* ------------------------------------------------------------------ *)
 (* Trace replay                                                        *)

@@ -30,6 +30,22 @@ type result = {
   trace : trace_point list;  (** per-stage, oldest first (Fig. 2 data) *)
   eval_stats : Eval.Incr.stats option;
       (** incremental-evaluation cache counters, when enabled *)
+  probs : float array;
+      (** end-of-run Hustin move-class distribution — the learned prior a
+          warm-started successor restores *)
+  warm : string option;
+      (** label of the warm seed this run started from; [None] = cold *)
+}
+
+(** A warm seed: a prior winner's design point (and optionally its
+    converged Hustin distribution) used as the starting point of a restart
+    instead of the description's initial values. The arrays are copied on
+    use; the seed itself is never mutated. *)
+type warm_start = {
+  ws_label : string;  (** provenance, recorded in [result.warm] *)
+  ws_values : float array;
+  ws_grid : int array;
+  ws_probs : float array option;  (** learned move-class prior, if recorded *)
 }
 
 (** Hooks a multi-start scheduler threads into a run. [publish] is called
@@ -64,6 +80,15 @@ type control = {
     [probe_batch <= 1], or [incremental:false], disables screening and
     reproduces the classic one-candidate trajectory.
 
+    [warm] starts the anneal from a {!warm_start} seed instead of the
+    description's initial point, and — when the seed carries [ws_probs] —
+    initializes Hustin move selection from the recorded prior. A warm run
+    draws from [rng] differently from the first probe on (the landscape
+    around the seed differs), so warm and cold trajectories diverge by
+    design; with [warm = None] the run is bit-identical to one before the
+    parameter existed. Raises [Invalid_argument] when the seed's arity
+    does not match [p].
+
     [obs] (default {!Obs.Trace.none}) receives the structured telemetry of
     docs/OBSERVABILITY.md: a [Restart] event, the annealer's [Move]/[Stage]
     stream (accepted moves carry the design point, making the trace
@@ -79,6 +104,7 @@ val synthesize :
   ?probe_batch:int ->
   ?session:Eval.Incr.session ->
   ?control:control ->
+  ?warm:warm_start ->
   ?obs:Obs.Trace.t ->
   Problem.t ->
   result
@@ -181,7 +207,17 @@ val arena_minor_heap_words : int
     [[0, runs)] merged by the same left-biased strict-[<] fold (ascending
     [lo]) therefore reproduce the unsharded winner byte for byte — the
     fleet coordinator's merge rule. Raises [Invalid_argument] when the
-    range is empty or out of bounds. *)
+    range is empty or out of bounds.
+
+    [warm_starts] seeds the first [Array.length warm_starts] restarts
+    (which must not exceed [runs]) from prior winners: restart [k] anneals
+    from [warm_starts.(k)], the remaining restarts stay cold for
+    exploration, and each result records its seed's label in
+    [result.warm]. The mapping is positional — like the RNG streams it is
+    independent of scheduling and of shard splits, so determinism (same
+    seeds array, same winner for any [jobs]/shard split) is preserved; the
+    caller must hand the {e same} array to every shard. An empty array is
+    bit-identical to the pre-warm-start behavior. *)
 val best_of :
   ?seed:int ->
   ?moves:int ->
@@ -191,6 +227,7 @@ val best_of :
   ?probe_batch:int ->
   ?restarts:int * int ->
   ?cutoff:(unit -> string option) ->
+  ?warm_starts:warm_start array ->
   ?obs:Obs.Trace.t ->
   ?perf:(parallel_report -> unit) ->
   runs:int ->
@@ -221,6 +258,7 @@ val run_job :
   ?restarts:int * int ->
   ?deadline_s:float ->
   ?poll:(unit -> string option) ->
+  ?warm_starts:warm_start array ->
   ?obs:Obs.Trace.t ->
   ?perf:(parallel_report -> unit) ->
   Problem.t ->

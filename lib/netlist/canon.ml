@@ -97,11 +97,19 @@ let body_fingerprint ~subckts body =
 let sorted_section tag lines =
   sp "[%s]\n%s" tag (String.concat "\n" (List.sort String.compare lines))
 
-let problem_hash (p : Ast.problem) =
+(* Shape hashing renders the same sections under a "shape:v1" header but
+   drops the spec good/bad values, so two descriptions that differ only in
+   where the spec targets sit collide — the key of the warm-start corpus.
+   Everything else (topology, cards, corners, spec structure) still
+   contributes: a warm seed is only meaningful when the variable space and
+   the cost function's shape are the same. *)
+let shape_version = "shape:v1"
+
+let render_problem ~header ~spec_values (p : Ast.problem) =
   let subckts = p.Ast.subckts in
   let buf = Buffer.create 1024 in
   let section tag lines = Buffer.add_string buf (sorted_section tag lines ^ "\n") in
-  Buffer.add_string buf (version ^ "\n");
+  Buffer.add_string buf (header ^ "\n");
   Buffer.add_string buf (sp "[process]\n%s\n" (Option.value p.Ast.process ~default:"-"));
   section "models"
     (List.map
@@ -152,13 +160,17 @@ let problem_hash (p : Ast.problem) =
   section "specs"
     (List.map
        (fun (s : Ast.spec) ->
-         sp "%s %s '%s' good=%s bad=%s%s" s.Ast.spec_name
-           (match s.kind with
+         let kind =
+           match s.Ast.kind with
            | Ast.Objective_max -> "max"
            | Ast.Objective_min -> "min"
            | Ast.Constraint_ge -> "ge"
-           | Ast.Constraint_le -> "le")
-           (expr s.expr) (num s.good) (num s.bad)
+           | Ast.Constraint_le -> "le"
+         in
+         let targets =
+           if spec_values then sp " good=%s bad=%s" (num s.Ast.good) (num s.Ast.bad) else ""
+         in
+         sp "%s %s '%s'%s%s" s.Ast.spec_name kind (expr s.Ast.expr) targets
            (match s.Ast.spec_corner with Some c -> " corner=" ^ c | None -> ""))
        p.Ast.specs);
   section "regions"
@@ -171,4 +183,7 @@ let problem_hash (p : Ast.problem) =
            | Ast.Region_off -> "off"
            | Ast.Region_any -> "any"))
        p.Ast.regions);
-  digest (Buffer.contents buf)
+  Buffer.contents buf
+
+let problem_hash p = digest (render_problem ~header:version ~spec_values:true p)
+let problem_shape_hash p = digest (render_problem ~header:shape_version ~spec_values:false p)

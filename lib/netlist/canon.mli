@@ -25,3 +25,13 @@ val circuit_fingerprint : Circuit.t -> string
     fails to elaborate still hashes (over its raw cards), so the cache can
     also remember failures. *)
 val problem_hash : Ast.problem -> string
+
+(** [problem_shape_hash ast] — like {!problem_hash} but under a "shape:v1"
+    header and with the spec [good]/[bad] target values canonicalized away.
+    Spec structure (name, kind, measured expression, corner qualifier),
+    topology and every other card still contribute, so two descriptions
+    collide exactly when they pose the same synthesis problem with tweaked
+    spec targets — the key of the warm-start winner corpus: a prior winner
+    is a useful seed precisely when the variable space and cost landscape
+    shape are shared, even though the targets moved. *)
+val problem_shape_hash : Ast.problem -> string

@@ -169,6 +169,30 @@ let cache_lookup ~socket ?timeout_s ?auth hash =
 let cache_push ~socket ?timeout_s ?auth c =
   Result.map (fun _ -> ()) (checked ~socket ?timeout_s ?auth (Proto.Cache_push c))
 
+let resynthesize ~socket ?timeout_s ?auth r =
+  Result.bind (checked ~socket ?timeout_s ?auth (Proto.Resynthesize r)) id_of
+
+let corpus_lookup ~socket ?timeout_s ?auth shape =
+  match checked ~socket ?timeout_s ?auth (Proto.Corpus_lookup shape) with
+  | Error e -> Error e
+  | Ok resp -> begin
+      match Json.mem_opt "entries" resp with
+      | Some (Json.Arr es) ->
+          let rec decode acc = function
+            | [] -> Ok (List.rev acc)
+            | e :: rest -> begin
+                match Corpus.entry_of_json e with
+                | Ok entry -> decode (entry :: acc) rest
+                | Error m -> Error (Printf.sprintf "corpus_lookup: %s" m)
+              end
+          in
+          decode [] es
+      | Some _ | None -> Error "corpus_lookup response carries no entries"
+    end
+
+let corpus_push ~socket ?timeout_s ?auth entry =
+  Result.map (fun _ -> ()) (checked ~socket ?timeout_s ?auth (Proto.Corpus_push entry))
+
 let wait ~socket ?(poll_s = 0.05) ?(timeout_s = 600.0) ?auth id =
   let t0 = Unix.gettimeofday () in
   let rec go () =

@@ -76,6 +76,26 @@ val cache_lookup :
 val cache_push :
   socket:string -> ?timeout_s:float -> ?auth:string -> Proto.cache_push -> (unit, string) result
 
+(** [resynthesize ~socket r] — the warm fast path: rerun finished job
+    [r.rz_id] with tweaked spec targets, seeded from its recorded winner,
+    on a reduced schedule. Returns the new job's id. *)
+val resynthesize :
+  socket:string -> ?timeout_s:float -> ?auth:string -> Proto.resynth -> (int, string) result
+
+(** [corpus_lookup ~socket shape] — a peer's winner-corpus entries for a
+    shape hash, best cost first (possibly []). *)
+val corpus_lookup :
+  socket:string ->
+  ?timeout_s:float ->
+  ?auth:string ->
+  string ->
+  (Corpus.entry list, string) result
+
+(** [corpus_push ~socket entry] replicates a recorded winner to a peer
+    (best-effort at the call sites, like {!cache_push}). *)
+val corpus_push :
+  socket:string -> ?timeout_s:float -> ?auth:string -> Corpus.entry -> (unit, string) result
+
 (** [wait ~socket ?poll_s ?timeout_s id] polls [status] until the job
     leaves [queued]/[running] (default poll 50 ms, timeout 600 s), then
     returns the full [result] response's ["job"] object. *)

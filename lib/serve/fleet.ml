@@ -38,6 +38,10 @@ type t = {
   mutable scatters : int;
   mutable remote_shards : int;  (** shards a peer completed for us *)
   mutable steals : int;  (** shards re-run locally after a peer failed *)
+  mutable corpus_pushes : int;  (** winner entries accepted by peers *)
+  mutable corpus_push_failures : int;
+  mutable corpus_inbound : int;  (** corpus_push verbs served *)
+  mutable corpus_served_lookups : int;  (** corpus_lookup verbs served *)
 }
 
 let create (cfg : config) =
@@ -61,6 +65,10 @@ let create (cfg : config) =
     scatters = 0;
     remote_shards = 0;
     steals = 0;
+    corpus_pushes = 0;
+    corpus_push_failures = 0;
+    corpus_inbound = 0;
+    corpus_served_lookups = 0;
   }
 
 let locked t f =
@@ -125,6 +133,24 @@ let lookup_remote t ~hash =
       ask (peers t)
     end
 
+let record_corpus_inbound t = locked t (fun () -> t.corpus_inbound <- t.corpus_inbound + 1)
+
+let record_served_corpus_lookup t =
+  locked t (fun () -> t.corpus_served_lookups <- t.corpus_served_lookups + 1)
+
+(* Winner replication, same best-effort contract as verdict [push]: a dead
+   peer costs one timed-out RPC and a counter. Only entries that carried
+   new information locally are pushed (the pool checks), and receivers do
+   not re-propagate — each daemon tells every peer directly, so that is
+   enough for a full mesh without echo. *)
+let corpus_push t ~entry =
+  List.iter
+    (fun peer ->
+      match Client.corpus_push ~socket:peer ?auth:t.auth ~timeout_s:t.rpc_timeout_s entry with
+      | Ok () -> locked t (fun () -> t.corpus_pushes <- t.corpus_pushes + 1)
+      | Error _ -> locked t (fun () -> t.corpus_push_failures <- t.corpus_push_failures + 1))
+    (peers t)
+
 (* Best-effort: a dead peer costs one timed-out RPC and a counter, never a
    failed job. *)
 let push t ~hash ~error =
@@ -155,6 +181,10 @@ type shard_result = {
   sr_moves : int;
   sr_evals : int;
   sr_cut_reason : string option;
+  sr_warm : string option;  (** winning restart's seed provenance label *)
+  sr_winner : (float array * int array * float array) option;
+      (** winner's (values, grid indices, Hustin probs) — what the
+          coordinator records in its corpus when this shard wins *)
 }
 
 (* Contiguous ascending shards covering [0, runs); the first [runs mod
@@ -211,6 +241,22 @@ let shard_result_of_job ~lo ~hi ~peer job =
               sr_moves = Option.value (jint job "moves") ~default:0;
               sr_evals = Option.value (jint job "evals") ~default:0;
               sr_cut_reason = jstr job "cut_reason";
+              sr_warm = jstr job "warm";
+              sr_winner =
+                (let arr k =
+                   match Json.mem_opt k job with
+                   | Some (Json.Arr vs) ->
+                       Some
+                         (Array.of_list
+                            (List.filter_map
+                               (function Json.Num v -> Some v | _ -> None)
+                               vs))
+                   | _ -> None
+                 in
+                 match (arr "winner_values", arr "winner_grid", arr "winner_probs") with
+                 | Some values, Some grid, Some probs when values <> [||] ->
+                     Some (values, Array.map int_of_float grid, probs)
+                 | _ -> None);
             }
       | _ -> Error (Printf.sprintf "peer %s: shard record lacks winner fields" peer)
     end
@@ -328,6 +374,10 @@ let stats_json t =
           ("scatters", num_i t.scatters);
           ("remote_shards", num_i t.remote_shards);
           ("steals", num_i t.steals);
+          ("corpus_pushes", num_i t.corpus_pushes);
+          ("corpus_push_failures", num_i t.corpus_push_failures);
+          ("corpus_inbound", num_i t.corpus_inbound);
+          ("corpus_served_lookups", num_i t.corpus_served_lookups);
         ])
 
 let remote_hits t = locked t (fun () -> t.remote_hits)

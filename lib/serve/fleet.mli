@@ -76,6 +76,24 @@ val record_push : t -> hash:string -> error:string option -> unit
     {!Core.Compile_cache}, not from here). *)
 val record_served_lookup : t -> unit
 
+(** {2 Winner-corpus replication}
+
+    Same shape as verdict replication: finished winners travel to peers
+    as [corpus_push] verbs, best-effort, and only when they carried new
+    information locally — receivers absorb without re-propagating, which
+    is loop-free on a full mesh. *)
+
+(** [corpus_push t ~entry] — replicate a freshly recorded winner to every
+    peer, best-effort. *)
+val corpus_push : t -> entry:Corpus.entry -> unit
+
+(** Count an inbound [corpus_push] verb (the entry lands in the pool's
+    {!Corpus}, not here). *)
+val record_corpus_inbound : t -> unit
+
+(** Count an inbound [corpus_lookup] verb. *)
+val record_served_corpus_lookup : t -> unit
+
 (** {2 Scatter / steal / merge} *)
 
 type shard_result = {
@@ -91,6 +109,11 @@ type shard_result = {
   sr_moves : int;
   sr_evals : int;
   sr_cut_reason : string option;
+  sr_warm : string option;
+      (** the shard winner's seed provenance ({!Core.Oblx.result.warm}) *)
+  sr_winner : (float array * int array * float array) option;
+      (** shard winner's (values, grid indices, Hustin probs); [None] on
+          older peers whose job records lack the winner arrays *)
 }
 
 (** [split_shards ~runs ~parts] — contiguous ascending ranges covering

@@ -9,6 +9,13 @@ type config = {
   incremental : bool;  (** move-scoped incremental cost evaluation *)
   fleet : Fleet.t option;  (** peer coordination: scatter + cache replication *)
   log_rotate_bytes : int option;  (** compact jobs.log beyond this size *)
+  warm : bool;
+      (** seed plain submits from the winner corpus. Recording into the
+          corpus is always on (passive, like the journal); this gates
+          {e consumption}, so with it off every existing run is
+          bit-identical to a corpus-free daemon. *)
+  warm_fraction : float;  (** fraction of a job's restarts to seed warm *)
+  corpus_capacity : int;  (** total winner-corpus entries kept in memory *)
 }
 
 let default_config =
@@ -21,6 +28,9 @@ let default_config =
     incremental = true;
     fleet = None;
     log_rotate_bytes = None;
+    warm = false;
+    warm_fraction = 0.5;
+    corpus_capacity = 256;
   }
 
 type job_state = Queued | Running | Done | Failed | Cancelled
@@ -60,6 +70,14 @@ type outcome = {
   jo_winner_restart : int option;  (** global restart index of the winner *)
   jo_winner_score : float option;  (** {!Core.Oblx.score} of the winner *)
   jo_sweep : sweep_row list;  (** non-empty only for sweep jobs *)
+  jo_shape : string option;  (** the problem's shape hash, when it parsed *)
+  jo_warm : string option;
+      (** provenance of the winning restart's seed (a corpus label), or
+          [None] when a cold restart won / no warm seeds were attached *)
+  jo_winner : (float array * int array * float array) option;
+      (** winner's (values, grid indices, Hustin probs) — recorded on the
+          job so [resynthesize] can warm-start from it even after the
+          corpus evicted the entry *)
 }
 
 type job = {
@@ -100,6 +118,7 @@ type t = {
   worker_jobs : int array;
   mutable domains : unit Domain.t list;
   started_wall : float;
+  corpus : Corpus.t;
 }
 
 let locked t f =
@@ -218,6 +237,17 @@ let job_json ~full t (j : job) =
               Json.Obj (List.map (fun (k, v) -> (k, opt_num v)) o.jo_predicted) );
             ("sizes", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) o.jo_sizes));
           ]
+          @ (match o.jo_shape with Some s -> [ ("shape", Json.Str s) ] | None -> [])
+          @ (match o.jo_warm with Some w -> [ ("warm", Json.Str w) ] | None -> [])
+          @ (match o.jo_winner with
+            | None -> []
+            | Some (values, grid, probs) ->
+                let farr a = Json.Arr (Array.to_list a |> List.map (fun v -> Json.Num v)) in
+                [
+                  ("winner_values", farr values);
+                  ("winner_grid", farr (Array.map float_of_int grid));
+                  ("winner_probs", farr probs);
+                ])
           @
           match o.jo_sweep with
           | [] -> []
@@ -287,6 +317,23 @@ let spec_fields (j : job) =
     ("moves", match j.spec.Proto.sb_moves with Some m -> num_i m | None -> Json.Null);
     ("trace", Json.Bool j.spec.Proto.sb_trace);
   ]
+  (* The warm snapshot and spec overrides are part of the job's recorded
+     inputs: a replayed job must re-run from the same seeds and targets
+     regardless of where the live corpus has moved since. *)
+  @ (match j.spec.Proto.sb_warm with
+    | [] -> []
+    | es -> [ ("warm", Json.Arr (List.map Corpus.entry_to_json es)) ])
+  @
+  match j.spec.Proto.sb_spec_overrides with
+  | [] -> []
+  | specs ->
+      [
+        ( "spec_overrides",
+          Json.Obj
+            (List.map
+               (fun (n, good, bad) -> (n, Json.Arr [ Json.Num good; Json.Num bad ]))
+               specs) );
+      ]
 
 (* Caller holds the lock (wraps a [job_json] rendering). *)
 let log_submit_wrap t (j : job) =
@@ -437,6 +484,21 @@ let spec_of_log wrap jobj =
     (* Variants are not journaled with the spec — a replayed sweep job is
        already finished, and its verdict table replays from the outcome. *)
     sb_sweep = [];
+    sb_warm =
+      (match Json.mem_opt "warm" wrap with
+      | Some (Json.Arr es) ->
+          List.filter_map (fun e -> Result.to_option (Corpus.entry_of_json e)) es
+      | _ -> []);
+    sb_spec_overrides =
+      (match Json.mem_opt "spec_overrides" wrap with
+      | Some (Json.Obj kvs) ->
+          List.filter_map
+            (fun (n, v) ->
+              match v with
+              | Json.Arr [ Json.Num good; Json.Num bad ] -> Some (n, good, bad)
+              | _ -> None)
+            kvs
+      | _ -> []);
   }
 
 let sweep_of_log jobj =
@@ -507,6 +569,23 @@ let outcome_of_log jobj =
           jo_winner_restart = jint jobj "winner_restart";
           jo_winner_score = jnum jobj "winner_score";
           jo_sweep = sweep_of_log jobj;
+          jo_shape = jstr jobj "shape";
+          jo_warm = jstr jobj "warm";
+          jo_winner =
+            (let arr k =
+               match Json.mem_opt k jobj with
+               | Some (Json.Arr vs) ->
+                   Some
+                     (Array.of_list
+                        (List.filter_map
+                           (function Json.Num v -> Some v | _ -> None)
+                           vs))
+               | _ -> None
+             in
+             match (arr "winner_values", arr "winner_grid", arr "winner_probs") with
+             | Some values, Some grid, Some probs when values <> [||] ->
+                 Some (values, Array.map int_of_float grid, probs)
+             | _ -> None);
         }
 
 let cache_of_log jobj =
@@ -839,6 +918,9 @@ let run_sweep t (j : job) ~worker =
                 jo_winner_restart = None;
                 jo_winner_score = None;
                 jo_sweep = rows;
+                jo_shape = None;
+                jo_warm = None;
+                jo_winner = None;
               }
             ()
       | Some (cost, pw, bw) ->
@@ -855,8 +937,18 @@ let run_sweep t (j : job) ~worker =
                 jo_winner_restart = None;
                 jo_winner_score = Some (Core.Oblx.score pw bw);
                 jo_sweep = rows;
+                jo_shape = None;
+                jo_warm = None;
+                jo_winner = None;
               }
             ())
+
+(* Both hashes of a problem source in one parse: the full canon key and
+   the spec-value-free shape key the corpus buckets by. *)
+let hashes_of_source src =
+  match Netlist.Parser.parse_problem src with
+  | ast -> Some (Netlist.Canon.problem_hash ast, Netlist.Canon.problem_shape_hash ast)
+  | exception Netlist.Parser.Error _ -> None
 
 let run_job t (j : job) ~worker =
   if j.spec.Proto.sb_sweep <> [] then run_sweep t j ~worker
@@ -867,8 +959,14 @@ let run_job t (j : job) ~worker =
          hit/miss so repeated broken submissions don't read as misses. *)
       locked t (fun () -> j.cache <- Some cache_outcome);
       finish t j ~worker:(Some worker) ~state:Failed ~error:e ()
-  | Ok (p, cache_outcome) ->
+  | Ok (compiled, cache_outcome) -> begin
       locked t (fun () -> j.cache <- Some cache_outcome);
+      (* Spec re-targets (the resynthesize fast path) bind after the
+         compile: the cache hit above is the point — the overridden
+         problem shares the parent's compiled closures. *)
+      match override_specs compiled j.spec.Proto.sb_spec_overrides with
+      | Error e -> finish t j ~worker:(Some worker) ~state:Failed ~error:e ()
+      | Ok p ->
       let sinks =
         match j.ring with
         | Some ring ->
@@ -895,6 +993,14 @@ let run_job t (j : job) ~worker =
          stolen shard starts later than the scatter did; an exhausted
          budget still runs, aborting at move 0 via the annealer's
          pre-loop poll. *)
+      (* The journaled warm snapshot, attached positionally: global
+         restart k < |sb_warm| seeds from entry k (the rest stay cold).
+         Indices are global, so a sharded execution passes the full
+         array and [best_of] picks the seeds its range covers — the
+         same attachment for any fleet split. *)
+      let warm_starts =
+        Array.of_list (List.map Corpus.warm_start_of_entry j.spec.Proto.sb_warm)
+      in
       let run_range ?restarts () =
         let deadline_s =
           Option.map
@@ -904,9 +1010,14 @@ let run_job t (j : job) ~worker =
         let buffer = match restarts with Some (lo, _) -> lo | None -> 0 in
         let obs = Obs.Trace.with_sinks t.obs_base [ Obs.Shard.for_restart shard buffer ] in
         Core.Oblx.run_job ~seed:j.spec.Proto.sb_seed ?moves ~runs:j.spec.Proto.sb_runs
-          ~jobs:1 ~incremental:t.cfg.incremental ?restarts ?deadline_s
+          ~jobs:1 ~incremental:t.cfg.incremental ?restarts ?deadline_s ~warm_starts
           ~poll:(fun () -> Atomic.get j.cancel)
           ~obs p
+      in
+      let winner_state (best : Core.Oblx.result) =
+        ( Array.copy best.Core.Oblx.final.Core.State.values,
+          Array.copy best.Core.Oblx.final.Core.State.grid_index,
+          best.Core.Oblx.probs )
       in
       let local_shard ~lo ~hi =
         match run_range ~restarts:(lo, hi) () with
@@ -925,13 +1036,46 @@ let run_job t (j : job) ~worker =
                 sr_moves = sum_moves all;
                 sr_evals = sum_evals all;
                 sr_cut_reason = cut_reason_of best all;
+                sr_warm = best.Core.Oblx.warm;
+                sr_winner = Some (winner_state best);
               }
         | exception exn -> Error (Printexc.to_string exn)
       in
+      (* Record a finished job's winner in the corpus (and replicate a
+         genuinely new entry to peers). Only whole jobs record — a shard
+         execution's winner is partial; the coordinator records the
+         merged one. Recording is unconditional on [cfg.warm]: the
+         corpus fills passively like the journal, [warm] only gates
+         whether submits read from it. *)
+      let hashes = hashes_of_source j.spec.Proto.sb_source in
+      let record_corpus (outcome : outcome) =
+        match (j.spec.Proto.sb_shard, outcome.jo_winner, hashes) with
+        | None, Some (values, grid, probs), Some (canon, shape) ->
+            let entry =
+              {
+                Corpus.en_shape = shape;
+                en_canon = canon;
+                en_job = j.id;
+                en_name = j.spec.Proto.sb_name;
+                en_cost = outcome.jo_best_cost;
+                en_values = values;
+                en_grid = grid;
+                en_probs = probs;
+              }
+            in
+            if Corpus.add t.corpus entry then begin
+              match t.cfg.fleet with
+              | Some f -> Fleet.corpus_push f ~entry
+              | None -> ()
+            end
+        | _ -> ()
+      in
       let finish_with outcome =
         let state = if Atomic.get j.cancel <> None then Cancelled else Done in
-        finish t j ~worker:(Some worker) ~state ~outcome ()
+        finish t j ~worker:(Some worker) ~state ~outcome ();
+        if state = Done then record_corpus outcome
       in
+      let shape = Option.map snd hashes in
       Fun.protect
         ~finally:(fun () -> Obs.Shard.drain shard)
         (fun () ->
@@ -968,6 +1112,9 @@ let run_job t (j : job) ~worker =
                     jo_winner_restart = Some w.Fleet.sr_winner_restart;
                     jo_winner_score = Some w.Fleet.sr_winner_score;
                     jo_sweep = [];
+                    jo_shape = shape;
+                    jo_warm = w.Fleet.sr_warm;
+                    jo_winner = w.Fleet.sr_winner;
                   }
           end
           else begin
@@ -987,8 +1134,12 @@ let run_job t (j : job) ~worker =
                 jo_winner_restart = Some (lo + winner_index best all);
                 jo_winner_score = Some (Core.Oblx.score p best);
                 jo_sweep = [];
+                jo_shape = shape;
+                jo_warm = best.Core.Oblx.warm;
+                jo_winner = Some (winner_state best);
               }
           end)
+    end
 
 let rec worker_loop t ~worker =
   let job =
@@ -1063,6 +1214,10 @@ let create cfg =
       worker_jobs = Array.make (Int.max 1 cfg.workers) 0;
       domains = [];
       started_wall = now ();
+      corpus =
+        Corpus.create ~capacity:cfg.corpus_capacity
+          ?path:(Option.map (fun dir -> Filename.concat dir "corpus.log") cfg.state_dir)
+          ();
     }
   in
   List.iter (fun (j : job) -> Hashtbl.replace t.jobs j.id j) restored_jobs;
@@ -1095,6 +1250,14 @@ let submit t (s : Proto.submit) =
   else if
     List.exists (fun (v : Proto.variant) -> String.trim v.Proto.vr_name = "") s.Proto.sb_sweep
   then Error "sweep variant names must be non-empty"
+  else if s.Proto.sb_sweep <> [] && s.Proto.sb_warm <> [] then
+    Error "sweep jobs cannot be warm-started"
+  else if s.Proto.sb_sweep <> [] && s.Proto.sb_spec_overrides <> [] then
+    Error "sweep jobs take spec overrides per variant, not job-wide"
+  else if List.length s.Proto.sb_warm > s.Proto.sb_runs then
+    Error
+      (Printf.sprintf "%d warm seeds for %d runs" (List.length s.Proto.sb_warm)
+         s.Proto.sb_runs)
   else if
     match s.Proto.sb_shard with
     | Some (lo, hi) -> lo < 0 || lo >= hi || hi > s.Proto.sb_runs
@@ -1104,6 +1267,43 @@ let submit t (s : Proto.submit) =
       (let lo, hi = Option.get s.Proto.sb_shard in
        Printf.sprintf "invalid shard [%d,%d) for %d runs" lo hi s.Proto.sb_runs)
   else begin
+    (* Warm-start consumption: a plain submit on a warm-enabled daemon
+       snapshots the corpus's best entries for the problem's shape into
+       the spec — at most [warm_fraction] of the restarts, the rest
+       staying cold so the search never collapses onto its own history.
+       The snapshot is journaled with the submit (it is part of the
+       job's recorded inputs): a replay re-runs from these exact seeds
+       no matter what the live corpus holds by then. Explicit sb_warm
+       (a resynthesize, or a scattered shard carrying its coordinator's
+       snapshot) is left untouched. *)
+    let s =
+      if
+        t.cfg.warm
+        && s.Proto.sb_shard = None
+        && s.Proto.sb_sweep = []
+        && s.Proto.sb_warm = []
+      then begin
+        match Corpus.shape_of_source s.Proto.sb_source with
+        | None -> s
+        | Some shape ->
+            let n_warm =
+              Int.min s.Proto.sb_runs
+                (int_of_float (t.cfg.warm_fraction *. float_of_int s.Proto.sb_runs))
+            in
+            if n_warm <= 0 then s
+            else begin
+              let rec take n = function
+                | [] -> []
+                | _ when n = 0 -> []
+                | e :: rest -> e :: take (n - 1) rest
+              in
+              match take n_warm (Corpus.lookup t.corpus shape) with
+              | [] -> s
+              | warm -> { s with Proto.sb_warm = warm }
+            end
+      end
+      else s
+    in
     let admitted =
       locked t (fun () ->
           if t.stopping then Error "daemon is shutting down"
@@ -1282,6 +1482,21 @@ let stats_json t =
                   ( "mom_refreshes",
                     num_i (sum (fun e -> e.Obs.Event.mom_refreshes)) );
                 ] );
+          ( "corpus",
+            let c = Corpus.stats t.corpus in
+            Json.Obj
+              [
+                ("entries", num_i c.Corpus.entries);
+                ("shapes", num_i c.Corpus.shapes);
+                ("capacity", num_i t.cfg.corpus_capacity);
+                ("adds", num_i c.Corpus.adds);
+                ("evictions", num_i c.Corpus.evictions);
+                ("hits", num_i c.Corpus.hits);
+                ("lookups", num_i c.Corpus.lookups);
+                ("replayed", num_i c.Corpus.replayed);
+                ("warm", Json.Bool t.cfg.warm);
+                ("warm_fraction", Json.Num t.cfg.warm_fraction);
+              ] );
           ( "fleet",
             match t.cfg.fleet with Some f -> Fleet.stats_json f | None -> Json.Null );
           ( "workers_detail",
@@ -1315,6 +1530,142 @@ let cache_note t ~hash ~error =
      can't: there is no compiled problem to cache. *)
   match error with Some e -> Core.Compile_cache.add t.cache ~key:hash (Error e) | None -> ()
 
+(* --- Corpus-facing accessors (corpus_lookup / corpus_push verbs) ------ *)
+
+let corpus_lookup t ~shape =
+  (match t.cfg.fleet with Some f -> Fleet.record_served_corpus_lookup f | None -> ());
+  Corpus.lookup t.corpus shape
+
+(* An inbound replication push. A new entry is absorbed but not pushed
+   onward: every daemon pushes its own winners to every peer directly, so
+   re-propagation would only echo around the full mesh. *)
+let corpus_note t entry =
+  (match t.cfg.fleet with Some f -> Fleet.record_corpus_inbound f | None -> ());
+  ignore (Corpus.add t.corpus entry)
+
+(* --- The resynthesize fast path --------------------------------------- *)
+
+(* Rerun a finished job with tweaked spec targets: reuse its source (the
+   compile is a cache hit), warm-start exactly one restart from its
+   recorded winner (plus the winner's Hustin distribution as priors), and
+   halve the restart/budget schedule unless told otherwise. Works with
+   [cfg.warm] off — the explicit parent is the seed, not the corpus. *)
+let resynthesize t (r : Proto.resynth) =
+  let parent =
+    locked t (fun () ->
+        match find_job t r.Proto.rz_id with
+        | None -> Error (Printf.sprintf "unknown job %d" r.Proto.rz_id)
+        | Some j -> begin
+            match j.state with
+            | Done -> begin
+                match j.outcome with
+                | Some ({ jo_winner = Some _; _ } as o) when j.spec.Proto.sb_sweep = [] ->
+                    Ok (j.id, j.spec, o)
+                | Some { jo_winner = Some _; _ } ->
+                    Error (Printf.sprintf "job %d is a sweep — resynthesize one variant's submit instead" j.id)
+                | Some _ | None ->
+                    Error
+                      (Printf.sprintf
+                         "job %d has no recorded winner (pre-corpus journal?) — submit afresh"
+                         j.id)
+              end
+            | st ->
+                Error
+                  (Printf.sprintf "job %d is %s — only done jobs resynthesize" j.id
+                     (state_name st))
+          end)
+  in
+  match parent with
+  | Error e -> Error e
+  | Ok (parent_id, spec, o) -> begin
+      let values, grid, probs = Option.get o.jo_winner in
+      match
+        match Netlist.Parser.parse_problem spec.Proto.sb_source with
+        | ast -> Some ast
+        | exception Netlist.Parser.Error _ -> None
+      with
+      | None -> Error (Printf.sprintf "job %d source no longer parses" parent_id)
+      | Some ast -> begin
+          let canon = Netlist.Canon.problem_hash ast
+          and shape = Netlist.Canon.problem_shape_hash ast in
+          (* Resolve each re-target's omitted bad against the parent's
+             effective targets: its overrides first, the source second. *)
+          let effective_bad n =
+            match
+              List.find_opt (fun (m, _, _) -> m = n) spec.Proto.sb_spec_overrides
+            with
+            | Some (_, _, bad) -> Some bad
+            | None ->
+                List.find_map
+                  (fun (s : Netlist.Ast.spec) ->
+                    if s.Netlist.Ast.spec_name = n then Some s.Netlist.Ast.bad else None)
+                  ast.Netlist.Ast.specs
+          in
+          let unresolved, resolved =
+            List.partition_map
+              (fun (n, good, bad) ->
+                match bad with
+                | Some b -> Right (n, good, b)
+                | None -> begin
+                    match effective_bad n with
+                    | Some b -> Right (n, good, b)
+                    | None -> Left n
+                  end)
+              r.Proto.rz_specs
+          in
+          match unresolved with
+          | _ :: _ ->
+              Error
+                (Printf.sprintf "unknown spec(s): %s" (String.concat ", " unresolved))
+          | [] ->
+          let entry =
+            {
+              Corpus.en_shape = shape;
+              en_canon = canon;
+              en_job = parent_id;
+              en_name = spec.Proto.sb_name;
+              en_cost = o.jo_best_cost;
+              en_values = values;
+              en_grid = grid;
+              en_probs = probs;
+            }
+          in
+          (* New targets shadow same-named parent overrides; the rest of
+             the parent's overrides carry forward so the child judges the
+             same problem apart from the requested tweaks. *)
+          let overrides =
+            List.filter
+              (fun (n, _, _) ->
+                not (List.exists (fun (m, _, _) -> m = n) resolved))
+              spec.Proto.sb_spec_overrides
+            @ resolved
+          in
+          let runs =
+            match r.Proto.rz_runs with
+            | Some n -> n
+            | None -> Int.max 1 ((spec.Proto.sb_runs + 1) / 2)
+          in
+          let moves =
+            match r.Proto.rz_moves with
+            | Some m -> Some m
+            | None -> Option.map (fun m -> Int.max 1 (m / 2)) spec.Proto.sb_moves
+          in
+          submit t
+            {
+              spec with
+              Proto.sb_name = Printf.sprintf "%s#resynth:%d" spec.Proto.sb_name parent_id;
+              sb_runs = runs;
+              sb_moves = moves;
+              sb_deadline_s = r.Proto.rz_deadline_s;
+              sb_trace = r.Proto.rz_trace;
+              sb_shard = None;
+              sb_sweep = [];
+              sb_warm = [ entry ];
+              sb_spec_overrides = overrides;
+            }
+        end
+    end
+
 let shutdown t =
   let queued, domains =
     locked t (fun () ->
@@ -1341,6 +1692,7 @@ let shutdown t =
   in
   List.iter (fun j -> finish t j ~worker:None ~state:Cancelled ()) queued;
   List.iter Domain.join domains;
+  Corpus.close t.corpus;
   (* Workers are gone and submissions are refused: nothing appends past
      this point, so the journal can close. (A second shutdown call raises
      on the closed channel; swallow it — idempotence is the contract.) *)

@@ -64,6 +64,17 @@ type config = {
   log_rotate_bytes : int option;
       (** compact [jobs.log] once it exceeds this many bytes; [None] =
           never rotate *)
+  warm : bool;
+      (** seed plain submits from the winner corpus. Recording into the
+          corpus is always on (passive, like the journal); this gates
+          {e consumption} — with it off (the default) every run is
+          bit-identical to a corpus-free daemon, which is what keeps the
+          existing determinism gates green. *)
+  warm_fraction : float;
+      (** at most this fraction of a job's restarts get warm seeds
+          (floored, so [runs = 1] always stays fully cold); the rest run
+          cold so the search never collapses onto its own history *)
+  corpus_capacity : int;  (** total winner-corpus entries kept *)
 }
 
 val default_config : config
@@ -111,6 +122,34 @@ val cache_peek : t -> hash:string -> (unit, string) result option
     fleet directory, and a failure verdict also lands in the local
     compile cache so the next submission of that source fails fast. *)
 val cache_note : t -> hash:string -> error:string option -> unit
+
+(** {2 Warm starts — the winner corpus and the resynthesize fast path}
+
+    Every finished (non-shard, non-sweep) job records its winning variable
+    vector, final cost, and end-of-run Hustin distribution in a bounded
+    {!Corpus} keyed by the problem's shape hash, journaled in
+    [state_dir/corpus.log] and replicated to fleet peers. With
+    [config.warm] on, a plain submit snapshots the best corpus entries for
+    its shape into [sb_warm] — at most [warm_fraction] of the restarts —
+    before journaling, so the snapshot is part of the job's recorded
+    inputs and a replay is bit-identical whatever the live corpus holds. *)
+
+(** [corpus_lookup t ~shape] — this daemon's corpus entries for a shape
+    hash, best first (served to a peer's [corpus_lookup] verb). *)
+val corpus_lookup : t -> shape:string -> Corpus.entry list
+
+(** [corpus_note t entry] — a peer's pushed winner: absorbed into the
+    local corpus, not re-propagated (each daemon pushes its own winners
+    to every peer directly). *)
+val corpus_note : t -> Corpus.entry -> unit
+
+(** [resynthesize t r] — rerun finished job [r.rz_id] with [r.rz_specs]
+    re-targeted: same source (a compile-cache hit), exactly one restart
+    warm-started from the parent's recorded winner (with its Hustin
+    distribution as priors), and half the parent's restarts/budget unless
+    [r] says otherwise. Returns the new job's id. Works with
+    [config.warm] off — the explicit parent is the seed, not the corpus. *)
+val resynthesize : t -> Proto.resynth -> (int, string) result
 
 (** [shutdown t] — reject new work, cancel queued jobs (reason
     ["shutdown"]), trip running jobs' abort hooks, and join the workers.

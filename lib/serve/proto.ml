@@ -21,13 +21,35 @@ type submit = {
   sb_sweep : variant list;
       (* non-empty marks a sweep job: one synthesis per variant, sharing
          one compile per distinct (canon, corner) key; never scattered *)
+  sb_warm : Corpus.entry list;
+      (* the job's warm-start snapshot: restart k < |sb_warm| seeds from
+         entry k. Filled by the pool at submit time (from its corpus) and
+         journaled with the submit, so a replayed job re-runs from the
+         same seeds regardless of what the live corpus holds by then. *)
+  sb_spec_overrides : (string * float * float) list;
+      (* good/bad re-targets applied to the compiled problem without
+         recompiling — the resynthesize fast path's spec tweak *)
 }
 
 type cache_push = { cp_hash : string; cp_error : string option }
 
+(* The resynthesize fast path: rerun a finished job with tweaked spec
+   targets, warm-started from its winner, on a reduced schedule. A spec's
+   bad target is optional — omitted means "keep the parent's", which the
+   pool resolves against the parent's source and overrides. *)
+type resynth = {
+  rz_id : int;
+  rz_specs : (string * float * float option) list;
+  rz_runs : int option;  (* None: half the parent's restarts *)
+  rz_moves : int option;  (* None: half the parent's explicit budget *)
+  rz_deadline_s : float option;
+  rz_trace : bool;
+}
+
 type request =
   | Submit of submit
   | Sweep of submit  (** sb_sweep non-empty: per-variant verdict table *)
+  | Resynthesize of resynth
   | Status of int
   | Result of int
   | Cancel of int
@@ -35,10 +57,28 @@ type request =
   | Shutdown
   | Cache_lookup of string
   | Cache_push of cache_push
+  | Corpus_lookup of string  (** shape hash *)
+  | Corpus_push of Corpus.entry
   | Ping
 
 let num_i i = Json.Num (float_of_int i)
 let opt f = function Some v -> f v | None -> Json.Null
+
+(* Spec re-targets cross the wire in the sweep-variant shape:
+   an object mapping spec name to [good, bad]. *)
+let specs_to_json specs =
+  Json.Obj
+    (List.map (fun (n, good, bad) -> (n, Json.Arr [ Json.Num good; Json.Num bad ])) specs)
+
+let specs_of_json ~what = function
+  | Json.Obj kvs ->
+      List.map
+        (fun (n, v) ->
+          match v with
+          | Json.Arr [ good; bad ] -> (n, Json.to_float good, Json.to_float bad)
+          | _ -> raise (Json.Decode_error (what ^ ": spec override must be [good, bad]")))
+        kvs
+  | _ -> raise (Json.Decode_error (what ^ ": spec overrides must be an object"))
 
 let variant_to_json (v : variant) =
   Json.Obj
@@ -66,14 +106,7 @@ let variant_of_json j =
   let specs =
     match Json.mem_opt "specs" j with
     | Some Json.Null | None -> []
-    | Some (Json.Obj kvs) ->
-        List.map
-          (fun (n, v) ->
-            match v with
-            | Json.Arr [ good; bad ] -> (n, Json.to_float good, Json.to_float bad)
-            | _ -> raise (Json.Decode_error "variant: spec override must be [good, bad]"))
-          kvs
-    | Some _ -> raise (Json.Decode_error "variant: \"specs\" must be an object")
+    | Some v -> specs_of_json ~what:"variant" v
   in
   { vr_name = name; vr_corner = corner; vr_specs = specs }
 
@@ -90,14 +123,45 @@ let submit_fields (s : submit) =
     ("shard_lo", opt (fun (lo, _) -> num_i lo) s.sb_shard);
     ("shard_hi", opt (fun (_, hi) -> num_i hi) s.sb_shard);
   ]
+  @ (match s.sb_sweep with
+    | [] -> []
+    | vs -> [ ("variants", Json.Arr (List.map variant_to_json vs)) ])
+  @ (match s.sb_warm with
+    | [] -> []
+    | es -> [ ("warm", Json.Arr (List.map Corpus.entry_to_json es)) ])
   @
-  match s.sb_sweep with
+  match s.sb_spec_overrides with
   | [] -> []
-  | vs -> [ ("variants", Json.Arr (List.map variant_to_json vs)) ]
+  | specs -> [ ("spec_overrides", specs_to_json specs) ]
 
 let request_to_json = function
   | Submit s -> Json.Obj (("op", Json.Str "submit") :: submit_fields s)
   | Sweep s -> Json.Obj (("op", Json.Str "sweep") :: submit_fields s)
+  | Resynthesize r ->
+      Json.Obj
+        ([
+           ("op", Json.Str "resynthesize");
+           ("id", num_i r.rz_id);
+           ("runs", opt num_i r.rz_runs);
+           ("moves", opt num_i r.rz_moves);
+           ("deadline_s", opt (fun v -> Json.Num v) r.rz_deadline_s);
+           ("trace", Json.Bool r.rz_trace);
+         ]
+        @
+        match r.rz_specs with
+        | [] -> []
+        | specs ->
+            [
+              ( "specs",
+                Json.Obj
+                  (List.map
+                     (fun (n, good, bad) ->
+                       ( n,
+                         Json.Arr
+                           (Json.Num good
+                           :: (match bad with Some b -> [ Json.Num b ] | None -> [])) ))
+                     specs) );
+            ])
   | Status id -> Json.Obj [ ("op", Json.Str "status"); ("id", num_i id) ]
   | Result id -> Json.Obj [ ("op", Json.Str "result"); ("id", num_i id) ]
   | Cancel id -> Json.Obj [ ("op", Json.Str "cancel"); ("id", num_i id) ]
@@ -111,6 +175,9 @@ let request_to_json = function
           ("hash", Json.Str c.cp_hash);
           ("error", opt (fun e -> Json.Str e) c.cp_error);
         ]
+  | Corpus_lookup shape ->
+      Json.Obj [ ("op", Json.Str "corpus_lookup"); ("shape", Json.Str shape) ]
+  | Corpus_push e -> Json.Obj (("op", Json.Str "corpus_push") :: [ ("entry", Corpus.entry_to_json e) ])
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
 
 (* Decoding is lenient on optional fields (absent = default) and strict on
@@ -160,6 +227,23 @@ let request_of_json j =
       | Some (Json.Arr vs) -> List.map variant_of_json vs
       | Some _ -> raise (Json.Decode_error (op ^ ": \"variants\" must be an array"))
     in
+    let warm =
+      match field_opt "warm" with
+      | Some Json.Null | None -> []
+      | Some (Json.Arr es) ->
+          List.map
+            (fun e ->
+              match Corpus.entry_of_json e with
+              | Ok entry -> entry
+              | Error m -> raise (Json.Decode_error (op ^ ": " ^ m)))
+            es
+      | Some _ -> raise (Json.Decode_error (op ^ ": \"warm\" must be an array"))
+    in
+    let spec_overrides =
+      match field_opt "spec_overrides" with
+      | Some Json.Null | None -> []
+      | Some v -> specs_of_json ~what:op v
+    in
     {
       sb_name = str_field "name" ~default:"";
       sb_source = source;
@@ -171,6 +255,8 @@ let request_of_json j =
       sb_trace = bool_field "trace" ~default:false;
       sb_shard = shard;
       sb_sweep = variants;
+      sb_warm = warm;
+      sb_spec_overrides = spec_overrides;
     }
   in
   match Json.to_str (Json.mem "op" j) with
@@ -178,6 +264,34 @@ let request_of_json j =
   | "sweep" ->
       let s = submit_of_fields "sweep" in
       if s.sb_sweep = [] then Error "sweep: at least one variant required" else Ok (Sweep s)
+  | "resynthesize" ->
+      let specs =
+        match field_opt "specs" with
+        | Some Json.Null | None -> []
+        | Some (Json.Obj kvs) ->
+            List.map
+              (fun (n, v) ->
+                match v with
+                | Json.Arr [ good ] -> (n, Json.to_float good, None)
+                | Json.Arr [ good; bad ] ->
+                    (n, Json.to_float good, Some (Json.to_float bad))
+                | _ ->
+                    raise
+                      (Json.Decode_error
+                         "resynthesize: spec re-target must be [good] or [good, bad]"))
+              kvs
+        | Some _ -> raise (Json.Decode_error "resynthesize: \"specs\" must be an object")
+      in
+      Ok
+        (Resynthesize
+           {
+             rz_id = id ();
+             rz_specs = specs;
+             rz_runs = int_opt_field "runs";
+             rz_moves = int_opt_field "moves";
+             rz_deadline_s = float_opt_field "deadline_s";
+             rz_trace = bool_field "trace" ~default:false;
+           })
   | "status" -> Ok (Status (id ()))
   | "result" -> Ok (Result (id ()))
   | "cancel" -> Ok (Cancel (id ()))
@@ -202,6 +316,22 @@ let request_of_json j =
         | Some v -> Some (Json.to_str v)
       in
       Ok (Cache_push { cp_hash = hash; cp_error = error })
+  | "corpus_lookup" ->
+      let shape =
+        match field_opt "shape" with
+        | Some v -> Json.to_str v
+        | None -> raise (Json.Decode_error "corpus_lookup: missing field \"shape\"")
+      in
+      Ok (Corpus_lookup shape)
+  | "corpus_push" -> begin
+      match field_opt "entry" with
+      | None -> Error "corpus_push: missing field \"entry\""
+      | Some e -> begin
+          match Corpus.entry_of_json e with
+          | Ok entry -> Ok (Corpus_push entry)
+          | Error m -> Error ("corpus_push: " ^ m)
+        end
+    end
   | "ping" -> Ok Ping
   | op -> Error (Printf.sprintf "unknown op %S" op)
 

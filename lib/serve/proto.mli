@@ -17,8 +17,12 @@
     {"op":"cancel","id":I}
     {"op":"stats"}
     {"op":"shutdown"}
+    {"op":"resynthesize","id":I,"specs":{"ugf":[good]|[good,bad]},
+     "runs":null,"moves":null,"deadline_s":null,"trace":false}
     {"op":"cache_lookup","hash":H}
     {"op":"cache_push","hash":H,"error":E|null}
+    {"op":"corpus_lookup","shape":H}
+    {"op":"corpus_push","entry":{...corpus entry...}}
     {"op":"ping"}
     v}
     See docs/SERVER.md for the full schema including responses. *)
@@ -56,6 +60,16 @@ type submit = {
           over a shared per-(canon, corner) compile, producing a verdict
           table. Sweep jobs are never scattered across a fleet — the
           shared compile is the point. *)
+  sb_warm : Corpus.entry list;
+      (** the job's warm-start snapshot: restart [k < length sb_warm]
+          seeds from entry [k]; the rest stay cold. Normally filled by
+          the pool at submit time from its corpus, and journaled with the
+          submit so a replay re-runs from the same seeds — the snapshot,
+          not the live corpus, is the job's recorded input. *)
+  sb_spec_overrides : (string * float * float) list;
+      (** (name, good, bad) re-targets applied to the compiled problem
+          without recompiling — how [resynthesize] tweaks specs while
+          keeping the parent's compile-cache hit. *)
 }
 
 (** A compile-cache verdict replicated between fleet peers: [cp_error =
@@ -64,9 +78,24 @@ type submit = {
     hold closures and never cross the wire — only verdicts do. *)
 type cache_push = { cp_hash : string; cp_error : string option }
 
+(** The resynthesize fast path: rerun finished job [rz_id] with tweaked
+    spec targets, warm-started from its recorded winner, on a reduced
+    schedule. Answered with the new job's id. *)
+type resynth = {
+  rz_id : int;
+  rz_specs : (string * float * float option) list;
+      (** (name, good, bad) re-targets; [bad = None] keeps the parent's
+          effective bad target for that spec *)
+  rz_runs : int option;  (** [None]: half the parent's restarts (min 1) *)
+  rz_moves : int option;  (** [None]: half the parent's explicit budget *)
+  rz_deadline_s : float option;
+  rz_trace : bool;
+}
+
 type request =
   | Submit of submit
   | Sweep of submit  (** [sb_sweep] non-empty; rejected when empty *)
+  | Resynthesize of resynth
   | Status of int
   | Result of int
   | Cancel of int
@@ -74,6 +103,9 @@ type request =
   | Shutdown
   | Cache_lookup of string  (** canon hash — do you know this key? *)
   | Cache_push of cache_push  (** best-effort verdict replication *)
+  | Corpus_lookup of string
+      (** shape hash — answered with the peer's corpus entries for it *)
+  | Corpus_push of Corpus.entry  (** best-effort winner replication *)
   | Ping  (** liveness probe; answered [{"ok":true}] *)
 
 val request_to_json : request -> Obs.Json.t

@@ -107,6 +107,23 @@ let handle cfg reg pool stop (req : Proto.request) =
   | Proto.Cache_push c ->
       Pool.cache_note pool ~hash:c.Proto.cp_hash ~error:c.Proto.cp_error;
       Proto.ok []
+  | Proto.Resynthesize r -> begin
+      match Pool.resynthesize pool r with
+      | Ok id -> Proto.ok [ ("id", num_i id) ]
+      | Error e -> Proto.err e
+    end
+  | Proto.Corpus_lookup shape ->
+      (* Same non-recursive contract as cache_lookup: only what *my*
+         corpus holds for this shape. *)
+      Proto.ok
+        [
+          ( "entries",
+            Json.Arr
+              (List.map Corpus.entry_to_json (Pool.corpus_lookup pool ~shape)) );
+        ]
+  | Proto.Corpus_push entry ->
+      Pool.corpus_note pool entry;
+      Proto.ok []
   | Proto.Ping -> Proto.ok []
   | Proto.Shutdown ->
       Atomic.set stop true;

@@ -115,6 +115,34 @@ fi
   || fail "no steal recorded"
 echo "steal == one box: $(best_cost "$RES")"
 
+echo "== winner-corpus replication and resynthesize =="
+# Recording into the winner corpus is always on (consumption is what
+# --warm-start gates), so the coordinator's merged winners are already in
+# its corpus and pushed to the surviving peer.
+SHAPE=$("$ASTRX" hash simple-ota | sed -n 's/^shape //p')
+[ -n "$SHAPE" ] || fail "astrx hash printed no shape"
+CORPUS_A=$("$ASTRX" corpus "$SHAPE" --socket "$DIR/a.sock" "${AUTH[@]}" --json)
+grep -q '"shape"' <<<"$CORPUS_A" || fail "coordinator corpus is empty for shape $SHAPE"
+CORPUS_B=""
+for _ in $(seq 1 50); do
+  CORPUS_B=$("$ASTRX" corpus "$SHAPE" --socket "tcp:127.0.0.1:$PORT_B" "${AUTH[@]}" --json)
+  grep -q '"shape"' <<<"$CORPUS_B" && break
+  sleep 0.1
+done
+grep -q '"shape"' <<<"$CORPUS_B" || fail "winner never replicated to peer B"
+echo "corpus for $SHAPE on coordinator and peer B"
+# The fast path: rerun the reference job with a tweaked ugf target, warm
+# from its recorded winner, on the reduced schedule.
+REF_ID=$(grep -o '"id":[0-9]*' <<<"$REF2" | head -1 | sed 's/[^0-9]//g')
+[ -n "$REF_ID" ] || fail "reference job record carries no id"
+# --runs 1: the single restart is the warm-seeded one, so the winner's
+# recorded seed label is deterministic.
+RZ=$("$ASTRX" resynthesize "$REF_ID" --socket "$DIR/d.sock" --set ugf=45meg --runs 1 --wait --json)
+grep -q '"state":"done"' <<<"$RZ" || fail "resynthesize job did not finish: $RZ"
+grep -q '"warm":' <<<"$RZ" || fail "resynthesize result records no warm seed"
+grep -q '#resynth:'"$REF_ID" <<<"$RZ" || fail "resynthesize job does not name its parent"
+echo "resynthesize of job $REF_ID: done, warm-seeded"
+
 echo "== drain =="
 "$ASTRX" shutdown --socket "$DIR/a.sock" "${AUTH[@]}"
 "$ASTRX" shutdown --socket "tcp:127.0.0.1:$PORT_B" "${AUTH[@]}"

@@ -213,6 +213,56 @@ let test_hustin_starved_class_recovers () =
   Alcotest.(check bool) "b beats a" true (probs.(1) > probs.(0));
   Alcotest.(check (float 1e-9)) "still sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 probs)
 
+let test_hustin_probs_round_trip () =
+  (* The warm-start persistence contract: a restored selector serves the
+     saved distribution verbatim — bit for bit — until its first record,
+     after which the seeded pseudo-counts take over and adapt normally. *)
+  let classes = [| "a"; "b"; "c"; "d" |] in
+  let h = Anneal.Hustin.create ~classes in
+  for _ = 1 to 400 do
+    Anneal.Hustin.record h 1 ~accepted:true ~delta_cost:8.0;
+    Anneal.Hustin.record h 3 ~accepted:true ~delta_cost:2.0;
+    Anneal.Hustin.record h 0 ~accepted:false ~delta_cost:0.0
+  done;
+  let saved = Anneal.Hustin.to_probs h in
+  let r = Anneal.Hustin.of_probs ~classes saved in
+  let restored = Anneal.Hustin.to_probs r in
+  Alcotest.(check int) "arity preserved" (Array.length saved) (Array.length restored);
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "class %d bit-identical" i)
+        true
+        (Int64.equal (Int64.bits_of_float p) (Int64.bits_of_float restored.(i))))
+    saved;
+  (* [pick] must draw from the restored distribution, not the uniform one. *)
+  let rng = Anneal.Rng.create 11 in
+  let counts = Array.make (Array.length classes) 0 in
+  for _ = 1 to 2000 do
+    let k = Anneal.Hustin.pick r rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "pick follows the prior" true
+    (float_of_int counts.(1) /. 2000.0 > saved.(1) -. 0.1);
+  (* First record flips to live statistics: still a proper distribution,
+     and near the prior (that is what the pseudo-counts encode). *)
+  Anneal.Hustin.record r 1 ~accepted:true ~delta_cost:1.0;
+  let after = Anneal.Hustin.probabilities r in
+  Alcotest.(check (float 1e-9)) "still sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 after);
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "class %d near the prior after first record" i)
+        true
+        (Float.abs (p -. saved.(i)) < 0.15))
+    after;
+  Alcotest.check_raises "arity mismatch rejected"
+    (Invalid_argument "Hustin.of_probs: 2 probabilities for 4 classes") (fun () ->
+      ignore (Anneal.Hustin.of_probs ~classes [| 0.5; 0.5 |]));
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Hustin.of_probs: bad probability") (fun () ->
+      ignore (Anneal.Hustin.of_probs ~classes [| Float.nan; 0.3; 0.3; 0.4 |]))
+
 (* --- Range limiter --- *)
 
 let test_range_adaptation () =
@@ -423,6 +473,8 @@ let () =
           Alcotest.test_case "pick follows probs" `Quick test_hustin_pick_follows_probs;
           QCheck_alcotest.to_alcotest prop_hustin_probs_normalized;
           Alcotest.test_case "starved class recovers" `Quick test_hustin_starved_class_recovers;
+          Alcotest.test_case "probs round-trip (warm-start)" `Quick
+            test_hustin_probs_round_trip;
         ] );
       ("range", [ Alcotest.test_case "adaptation" `Quick test_range_adaptation ]);
       ( "annealer",

@@ -309,6 +309,34 @@ let test_canon_problem_sensitivity () =
   tweaked ".process p1u2" ".process p2u"
 (* the process card *)
 
+let test_canon_shape_hash () =
+  (* The winner-corpus key ("shape:v1"): spec good/bad targets are
+     canonicalized away, so "same circuit, tweaked targets" collides by
+     design, while the compile-cache key still separates — and anything
+     moving the variable space or cost structure separates both. *)
+  let shape s = Netlist.Canon.problem_shape_hash (Netlist.Parser.parse_problem s) in
+  let base = shape small_problem in
+  Alcotest.(check bool) "shape and compile keys are distinct spaces" true
+    (base <> hash_src small_problem);
+  let ugf_moved = replace_once "good=1meg" "good=2meg" small_problem in
+  Alcotest.(check string) "spec target canonicalized away" base (shape ugf_moved);
+  Alcotest.(check bool) "compile key still moves on the same tweak" true
+    (hash_src ugf_moved <> hash_src small_problem);
+  let obj_moved = replace_once "bad=0" "bad=5" small_problem in
+  Alcotest.(check string) "objective target canonicalized away" base (shape obj_moved);
+  List.iter
+    (fun (what, with_) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shape moves when %S -> %S" what with_)
+        true
+        (shape (replace_once what with_ small_problem) <> base))
+    [
+      ("10k", "11k") (* element value *);
+      ("max=100u" (* variable range *), "max=90u");
+      (".process p1u2", ".process p2u") (* process card *);
+      ("'ugf(tf)'", "'2 * ugf(tf)'") (* spec expression, not its targets *);
+    ]
+
 let () =
   Alcotest.run "netlist"
     [
@@ -341,5 +369,7 @@ let () =
           Alcotest.test_case "problem invariances" `Quick test_canon_problem_invariances;
           Alcotest.test_case "subckt instantiation order" `Quick test_canon_subckt_inst_order;
           Alcotest.test_case "problem sensitivity" `Quick test_canon_problem_sensitivity;
+          Alcotest.test_case "shape hash (warm-start corpus key)" `Quick
+            test_canon_shape_hash;
         ] );
     ]

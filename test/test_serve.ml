@@ -17,6 +17,8 @@ let submission ?(name = "simple-ota") ?(source = ota_source) ?(seed = 1) ?moves 
     sb_trace = trace;
     sb_shard = shard;
     sb_sweep = [];
+    sb_warm = [];
+    sb_spec_overrides = [];
   }
 
 let jnum j k =
@@ -1318,6 +1320,249 @@ let test_pool_sweep_determinism_vs_workers () =
     (Obs.Json.to_string (Obs.Json.Arr rows1))
     (Obs.Json.to_string (Obs.Json.Arr rows4))
 
+(* --- Warm starts: corpus, seeded submits, resynthesize --- *)
+
+let corpus_entry =
+  {
+    Serve.Corpus.en_shape = "shapehash";
+    en_canon = "canonhash";
+    en_job = 3;
+    en_name = "circuit";
+    en_cost = 1.5;
+    en_values = [| 1.0; -2.5e-6; 0.0 |];
+    en_grid = [| 0; 7; 3 |];
+    en_probs = [| 0.25; 0.75 |];
+  }
+
+let test_proto_warm_round_trip () =
+  let requests =
+    [
+      Serve.Proto.Submit
+        {
+          (submission ()) with
+          Serve.Proto.sb_warm = [ corpus_entry ];
+          sb_spec_overrides = [ ("ugf", 4.5e7, 1e6) ];
+        };
+      Serve.Proto.Resynthesize
+        {
+          Serve.Proto.rz_id = 9;
+          rz_specs = [ ("ugf", 4.5e7, None); ("pm", 50.0, Some 10.0) ];
+          rz_runs = Some 2;
+          rz_moves = None;
+          rz_deadline_s = Some 3.0;
+          rz_trace = true;
+        };
+      Serve.Proto.Corpus_lookup "shapehash";
+      Serve.Proto.Corpus_push corpus_entry;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Serve.Proto.request_of_json (Serve.Proto.request_to_json req) with
+      | Ok req' -> Alcotest.(check bool) "warm request survives the wire" true (req = req')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    requests
+
+let test_pool_warm_validation () =
+  let pool = frozen_pool ~queue_capacity:4 () in
+  (match
+     Serve.Pool.submit pool
+       { (submission ~runs:1 ()) with Serve.Proto.sb_warm = [ corpus_entry; corpus_entry ] }
+   with
+  | Error e -> Alcotest.(check bool) "seeds > runs rejected" true (contains e "warm")
+  | Ok _ -> Alcotest.fail "more warm seeds than runs must be rejected");
+  (match
+     Serve.Pool.submit pool
+       {
+         (submission ()) with
+         Serve.Proto.sb_sweep = sweep_variants;
+         sb_warm = [ corpus_entry ];
+       }
+   with
+  | Error e -> Alcotest.(check bool) "warm sweep rejected" true (contains e "warm")
+  | Ok _ -> Alcotest.fail "a warm-seeded sweep must be rejected");
+  (* A queued job never finishes on a frozen pool, so resynthesizing it
+     must name the only-done rule (no race against a worker). *)
+  let queued = ok (Serve.Pool.submit pool (submission ())) in
+  (match
+     Serve.Pool.resynthesize pool
+       {
+         Serve.Proto.rz_id = queued;
+         rz_specs = [];
+         rz_runs = None;
+         rz_moves = None;
+         rz_deadline_s = None;
+         rz_trace = false;
+       }
+   with
+  | Error e ->
+      Alcotest.(check bool) "unfinished parent refused" true (contains e "only done")
+  | Ok _ -> Alcotest.fail "resynthesizing an unfinished job must fail");
+  (match
+     Serve.Pool.resynthesize pool
+       {
+         Serve.Proto.rz_id = 9999;
+         rz_specs = [];
+         rz_runs = None;
+         rz_moves = None;
+         rz_deadline_s = None;
+         rz_trace = false;
+       }
+   with
+  | Error e -> Alcotest.(check bool) "unknown parent refused" true (contains e "unknown job")
+  | Ok _ -> Alcotest.fail "resynthesizing an unknown job must fail");
+  Serve.Pool.shutdown pool
+
+let warm_pool ?state_dir () =
+  Serve.Pool.create
+    {
+      Serve.Pool.default_config with
+      workers = 1;
+      queue_capacity = 16;
+      state_dir;
+      warm = true;
+      warm_fraction = 1.0;
+    }
+
+let test_pool_corpus_records_and_seeds () =
+  let pool = warm_pool () in
+  Fun.protect
+    ~finally:(fun () -> Serve.Pool.shutdown pool)
+    (fun () ->
+      let parent = ok (Serve.Pool.submit pool (submission ~seed:3 ~moves:300 ())) in
+      Alcotest.(check string) "parent finished" "done" (wait_done pool parent);
+      (* Recording is passive and always on: the winner is in the corpus
+         under the problem's shape hash. *)
+      let shape =
+        match Serve.Corpus.shape_of_source ota_source with
+        | Some s -> s
+        | None -> Alcotest.fail "source does not shape-hash"
+      in
+      (match Serve.Pool.corpus_lookup pool ~shape with
+      | [ e ] ->
+          Alcotest.(check int) "entry names the parent job" parent e.Serve.Corpus.en_job;
+          Alcotest.(check bool) "entry carries the winning vector" true
+            (Array.length e.Serve.Corpus.en_values > 0);
+          Alcotest.(check bool) "entry carries the Hustin distribution" true
+            (Array.length e.Serve.Corpus.en_probs > 0)
+      | other -> Alcotest.failf "expected 1 corpus entry, got %d" (List.length other));
+      (* warm = true, fraction 1.0, runs = 1: the child's only restart is
+         seeded, so the winner must record the corpus label. *)
+      let child = ok (Serve.Pool.submit pool (submission ~seed:4 ~moves:300 ())) in
+      Alcotest.(check string) "child finished" "done" (wait_done pool child);
+      let j = ok (Serve.Pool.result_json pool child) in
+      Alcotest.(check (option string)) "winner records its corpus seed"
+        (Some (Printf.sprintf "corpus:job%d:simple-ota" parent))
+        (jstr j "warm"))
+
+let test_pool_corpus_crash_durability () =
+  let dir = temp_state_dir "corpus" in
+  rm_rf dir;
+  (* Pool A records a winner, then is abandoned without shutdown — the
+     crash case. The corpus journal is flushed per add, so pool B over the
+     same state_dir must replay the identical entry, and a warm job
+     submitted to either pool must synthesize bit-identically: the
+     journaled snapshot, not the daemon's lifetime, owns the seeds. *)
+  let cfg = { Serve.Pool.default_config with workers = 1; queue_capacity = 8;
+              state_dir = Some dir; warm = true; warm_fraction = 1.0 } in
+  let pool_a = Serve.Pool.create cfg in
+  let parent = ok (Serve.Pool.submit pool_a (submission ~seed:5 ~moves:300 ())) in
+  Alcotest.(check string) "parent finished" "done" (wait_done pool_a parent);
+  let shape = Option.get (Serve.Corpus.shape_of_source ota_source) in
+  let entry_a =
+    match Serve.Pool.corpus_lookup pool_a ~shape with
+    | [ e ] -> e
+    | other -> Alcotest.failf "pool A: expected 1 entry, got %d" (List.length other)
+  in
+  (* No shutdown: pool B replays the journal a crashed daemon left. *)
+  let pool_b = Serve.Pool.create cfg in
+  let entry_b =
+    match Serve.Pool.corpus_lookup pool_b ~shape with
+    | [ e ] -> e
+    | other -> Alcotest.failf "pool B: expected 1 entry, got %d" (List.length other)
+  in
+  Alcotest.(check int) "same job id" entry_a.Serve.Corpus.en_job entry_b.Serve.Corpus.en_job;
+  Alcotest.(check bool) "replayed cost bit-identical" true
+    (Int64.bits_of_float entry_a.Serve.Corpus.en_cost
+    = Int64.bits_of_float entry_b.Serve.Corpus.en_cost);
+  Alcotest.(check bool) "replayed vector bit-identical" true
+    (Array.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       entry_a.Serve.Corpus.en_values entry_b.Serve.Corpus.en_values);
+  (match Obs.Json.mem_opt "corpus" (Serve.Pool.stats_json pool_b) with
+  | Some c ->
+      Alcotest.(check bool) "replay counted" true
+        (match jnum c "replayed" with Some n -> n >= 1.0 | None -> false)
+  | None -> Alcotest.fail "no corpus stats block");
+  let warm_cost pool =
+    let id = ok (Serve.Pool.submit pool (submission ~seed:6 ~moves:300 ())) in
+    Alcotest.(check string) "warm job finished" "done" (wait_done pool id);
+    let j = ok (Serve.Pool.result_json pool id) in
+    Alcotest.(check (option string)) "warm job was seeded"
+      (Some (Printf.sprintf "corpus:job%d:simple-ota" parent))
+      (jstr j "warm");
+    match jnum j "best_cost" with
+    | Some c -> c
+    | None -> Alcotest.fail "warm job has no best_cost"
+  in
+  let cost_a = warm_cost pool_a in
+  let cost_b = warm_cost pool_b in
+  Alcotest.(check bool) "warm rerun bit-identical across the crash" true
+    (Int64.bits_of_float cost_a = Int64.bits_of_float cost_b);
+  Serve.Pool.shutdown pool_a;
+  Serve.Pool.shutdown pool_b;
+  rm_rf dir
+
+let test_pool_resynthesize () =
+  (* Warm consumption off (the default): resynthesize still works — the
+     parent's recorded winner, not the corpus gate, provides the seed. *)
+  let pool = running_pool () in
+  Fun.protect
+    ~finally:(fun () -> Serve.Pool.shutdown pool)
+    (fun () ->
+      let parent = ok (Serve.Pool.submit pool (submission ~seed:9 ~moves:400 ~runs:2 ())) in
+      Alcotest.(check string) "parent finished" "done" (wait_done pool parent);
+      (match
+         Serve.Pool.resynthesize pool
+           {
+             Serve.Proto.rz_id = parent;
+             rz_specs = [ ("no-such-spec", 1.0, None) ];
+             rz_runs = None;
+             rz_moves = None;
+             rz_deadline_s = None;
+             rz_trace = false;
+           }
+       with
+      | Error e -> Alcotest.(check bool) "unknown spec named" true (contains e "no-such-spec")
+      | Ok _ -> Alcotest.fail "an unknown spec must be rejected");
+      let child =
+        ok
+          (Serve.Pool.resynthesize pool
+             {
+               Serve.Proto.rz_id = parent;
+               rz_specs = [ ("ugf", 4.5e7, None) ];
+               rz_runs = None;
+               rz_moves = None;
+               rz_deadline_s = None;
+               rz_trace = false;
+             })
+      in
+      Alcotest.(check string) "child finished" "done" (wait_done pool child);
+      let j = ok (Serve.Pool.result_json pool child) in
+      Alcotest.(check (option string)) "child names its parent"
+        (Some (Printf.sprintf "simple-ota#resynth:%d" parent))
+        (jstr j "name");
+      (* Half the parent's restarts: 2 -> 1, so the single restart is the
+         warm one and the winner records the parent seed. *)
+      Alcotest.(check (option (float 0.0))) "reduced schedule" (Some 1.0) (jnum j "runs");
+      Alcotest.(check (option string)) "warm-started from the parent winner"
+        (Some (Printf.sprintf "corpus:job%d:simple-ota" parent))
+        (jstr j "warm");
+      (* Same source, so the child's compile is a cache hit — the point of
+         the fast path. *)
+      Alcotest.(check (option string)) "cached compile" (Some "hit") (jstr j "cache");
+      Alcotest.(check bool) "child reports a best design" true (jnum j "best_cost" <> None))
+
 let () =
   Alcotest.run "serve"
     [
@@ -1398,5 +1643,15 @@ let () =
             test_log_rotation_compacts_and_replays;
           Alcotest.test_case "live jobs survive rotation" `Quick
             test_log_rotation_keeps_live_jobs;
+        ] );
+      ( "warm-start",
+        [
+          Alcotest.test_case "protocol round-trips" `Quick test_proto_warm_round_trip;
+          Alcotest.test_case "validation" `Quick test_pool_warm_validation;
+          Alcotest.test_case "corpus records and seeds" `Slow
+            test_pool_corpus_records_and_seeds;
+          Alcotest.test_case "corpus survives a crash, bits unchanged" `Slow
+            test_pool_corpus_crash_durability;
+          Alcotest.test_case "resynthesize fast path" `Slow test_pool_resynthesize;
         ] );
     ]
